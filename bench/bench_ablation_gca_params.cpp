@@ -1,0 +1,132 @@
+// Experiment A5 — sensitivity of GCA place discovery to its two main knobs
+// (DESIGN.md design-choice ablation):
+//
+//   1. the GSM sampling period (the paper samples every minute; coarser
+//      sampling saves energy but starves the movement graph of oscillation
+//      evidence), and
+//   2. the oscillation-evidence threshold `min_edge_weight` (how many
+//      A->B->A bounces an edge needs before two cells merge into a place).
+//
+// Runs GSM-only so the WiFi pipeline cannot mask GCA behaviour.
+#include <algorithm>
+#include <cstdio>
+
+#include "algorithms/evaluate.hpp"
+#include "core/pms.hpp"
+#include "mobility/participant.hpp"
+#include "mobility/schedule.hpp"
+#include "util/logging.hpp"
+
+using namespace pmware;
+using algorithms::DiscoveredOutcome;
+
+namespace {
+
+constexpr int kParticipants = 4;
+constexpr int kDays = 7;
+
+struct Row {
+  std::size_t correct = 0, merged = 0, divided = 0, missed_truth = 0;
+  std::size_t places = 0;
+  double sensing_j = 0;
+};
+
+Row run_config(SimDuration gsm_period, int min_edge_weight) {
+  Rng rng(20141208);
+  Rng world_rng = rng.fork(1);
+  world::WorldConfig wc;
+  auto world = world::generate_world(wc, world_rng);
+  Rng prng = rng.fork(2);
+  const auto participants =
+      mobility::make_participants(*world, kParticipants, prng);
+
+  Row row;
+  for (const auto& participant : participants) {
+    Rng trng = rng.fork(100 + participant.id);
+    mobility::ScheduleConfig sc;
+    sc.days = kDays;
+    const mobility::Trace trace =
+        mobility::build_trace(*world, participant, sc, trng);
+
+    Rng p_rng(700 + participant.id);
+    auto device = std::make_unique<sensing::Device>(
+        world, sensing::oracle_from_trace(trace), sensing::DeviceConfig{},
+        p_rng.fork(1));
+    core::PmsConfig config;
+    config.inference.wifi_enabled = false;
+    config.inference.gsm_period = gsm_period;
+    config.inference.gca.min_edge_weight = min_edge_weight;
+    // Keep consecutive samples adjacent in the movement graph even when the
+    // sampling period exceeds the default 4-minute gap.
+    config.inference.gca.max_transition_gap =
+        std::max(minutes(4), 2 * gsm_period);
+    core::PmwareMobileService pms(std::move(device), config, nullptr,
+                                  p_rng.fork(2));
+    core::PlaceAlertRequest request;
+    request.app = "ablation";
+    request.granularity = core::Granularity::Building;
+    pms.apps().register_place_alerts(request);
+    pms.run(TimeWindow{0, days(kDays)});
+    pms.shutdown(days(kDays));
+
+    std::vector<algorithms::TruthVisit> truth;
+    for (const auto& v : trace.significant_visits(minutes(10)))
+      truth.push_back({v.place, v.window});
+    std::vector<algorithms::ReportedVisit> reported;
+    std::set<core::PlaceUid> distinct;
+    for (const auto& v : pms.inference().visit_log()) {
+      reported.push_back({static_cast<std::size_t>(v.uid), v.window});
+      distinct.insert(v.uid);
+    }
+    const auto disc_eval = algorithms::evaluate_discovered(truth, reported);
+    const auto truth_eval = algorithms::evaluate_places(truth, reported);
+    row.correct += disc_eval.count(DiscoveredOutcome::Correct);
+    row.merged += disc_eval.count(DiscoveredOutcome::Merged);
+    row.divided += disc_eval.count(DiscoveredOutcome::Divided);
+    row.missed_truth += truth_eval.count(algorithms::PlaceOutcome::Missed);
+    row.places += distinct.size();
+    row.sensing_j += pms.meter().sensing_j();
+  }
+  return row;
+}
+
+void print_row(const char* label, const Row& row) {
+  std::printf("%-16s | %7zu %7zu %7zu | %7zu %7zu | %9.0f\n", label,
+              row.correct, row.merged, row.divided, row.missed_truth,
+              row.places, row.sensing_j);
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::Error);
+  std::printf("=== A5: GCA sensitivity, GSM-only (%d participants x %d days) "
+              "===\n\n",
+              kParticipants, kDays);
+  std::printf("%-16s | %7s %7s %7s | %7s %7s | %9s\n", "config", "correct",
+              "merged", "divided", "missed", "places", "sense J");
+  std::printf("%s\n", std::string(80, '-').c_str());
+
+  std::printf("-- GSM sampling period (min_edge_weight = 3) --\n");
+  for (SimDuration period : {seconds(30), minutes(1), minutes(2), minutes(5)}) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "period %llds",
+                  static_cast<long long>(period));
+    print_row(label, run_config(period, 3));
+  }
+
+  std::printf("\n-- oscillation threshold (period = 60s) --\n");
+  for (int weight : {2, 3, 5, 8}) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "min bounces %d", weight);
+    print_row(label, run_config(minutes(1), weight));
+  }
+
+  std::printf(
+      "\nshape check: coarser sampling starves the movement graph of\n"
+      "oscillation evidence, so clusters fragment (divided rises) and some\n"
+      "places go missing; a stricter bounce threshold does the same, while\n"
+      "a looser one risks over-merging. The paper's 1-minute operating\n"
+      "point buys clean clusters for ~2x the energy of 2-minute sampling.\n");
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Experiment A2 — interface ablation for place discovery accuracy (paper §4:
+// "most of merged places were very close to each other, i.e. academic
+// building and library, which can be easily avoided with location interfaces
+// such as WiFi").
+//
+// The same participants and ground truth are replayed through three
+// pipelines:
+//   - GSM-only          (GCA clusters, WiFi disabled)
+//   - GSM + opp. WiFi   (the deployed hybrid)
+//   - GPS + Kang        (continuous GPS clustering — accurate but costly)
+#include <cstdio>
+
+#include "algorithms/evaluate.hpp"
+#include "algorithms/kang.hpp"
+#include "core/pms.hpp"
+#include "mobility/participant.hpp"
+#include "mobility/schedule.hpp"
+#include "util/logging.hpp"
+
+using namespace pmware;
+using algorithms::DiscoveredOutcome;
+
+namespace {
+
+constexpr int kParticipants = 6;
+constexpr int kDays = 7;
+
+struct Row {
+  std::size_t correct = 0, merged = 0, divided = 0, spurious = 0;
+  double sensing_j = 0;
+  double battery_h_sum = 0;
+  int runs = 0;
+
+  void add(const algorithms::DiscoveredEvaluation& eval,
+           const energy::EnergyMeter& meter) {
+    correct += eval.count(DiscoveredOutcome::Correct);
+    merged += eval.count(DiscoveredOutcome::Merged);
+    divided += eval.count(DiscoveredOutcome::Divided);
+    spurious += eval.count(DiscoveredOutcome::Spurious);
+    sensing_j += meter.sensing_j();
+    battery_h_sum += meter.implied_battery_duration_s(days(kDays)) / 3600.0;
+    ++runs;
+  }
+};
+
+std::vector<algorithms::TruthVisit> truth_of(const mobility::Trace& trace) {
+  std::vector<algorithms::TruthVisit> truth;
+  for (const auto& v : trace.significant_visits(minutes(10)))
+    truth.push_back({v.place, v.window});
+  return truth;
+}
+
+/// PMWare pipeline (hybrid or GSM-only).
+void run_pmware(const std::shared_ptr<const world::World>& world,
+                const mobility::Participant& participant,
+                const mobility::Trace& trace, bool wifi, Row& row) {
+  Rng rng(900 + participant.id);
+  auto device = std::make_unique<sensing::Device>(
+      world, sensing::oracle_from_trace(trace), sensing::DeviceConfig{},
+      rng.fork(1));
+  core::PmsConfig config;
+  config.inference.wifi_enabled = wifi;
+  core::PmwareMobileService pms(std::move(device), config, nullptr, rng.fork(2));
+  core::PlaceAlertRequest request;
+  request.app = "bench";
+  request.granularity = core::Granularity::Building;
+  pms.apps().register_place_alerts(request);
+  pms.run(TimeWindow{0, days(kDays)});
+  pms.shutdown(days(kDays));
+
+  std::vector<algorithms::ReportedVisit> reported;
+  for (const auto& v : pms.inference().visit_log())
+    reported.push_back({static_cast<std::size_t>(v.uid), v.window});
+  row.add(algorithms::evaluate_discovered(truth_of(trace), reported),
+          pms.meter());
+}
+
+/// GPS + Kang baseline: continuous GPS every minute into the clusterer.
+void run_gps_kang(const std::shared_ptr<const world::World>& world,
+                  const mobility::Participant& participant,
+                  const mobility::Trace& trace, Row& row) {
+  Rng rng(900 + participant.id);
+  sensing::Device device(world, sensing::oracle_from_trace(trace),
+                         sensing::DeviceConfig{}, rng.fork(1));
+  energy::EnergyMeter meter;
+  sensing::SamplingScheduler scheduler(&meter);
+  algorithms::GpsPlaceClusterer clusterer;
+  scheduler.set_callback(energy::Interface::Gps, [&](SimTime t) {
+    clusterer.on_fix(device.read_gps(t));
+  });
+  scheduler.set_period(energy::Interface::Gps, 60);
+  scheduler.run(TimeWindow{0, days(kDays)});
+  clusterer.finish(days(kDays));
+
+  std::vector<algorithms::ReportedVisit> reported;
+  for (const auto& v : clusterer.visits())
+    reported.push_back({v.place_index, v.window});
+  row.add(algorithms::evaluate_discovered(truth_of(trace), reported), meter);
+}
+
+void print_row(const char* name, const Row& row) {
+  const std::size_t detected = row.correct + row.merged + row.divided;
+  const double denom = detected == 0 ? 1.0 : static_cast<double>(detected);
+  std::printf("%-22s | %4zu %6.1f%% | %4zu %6.1f%% | %4zu %6.1f%% | %4zu | "
+              "%9.0f %9.1f\n",
+              name, row.correct, 100 * row.correct / denom, row.merged,
+              100 * row.merged / denom, row.divided, 100 * row.divided / denom,
+              row.spurious, row.sensing_j,
+              row.battery_h_sum / std::max(1, row.runs));
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::Error);
+  Rng rng(20141208);
+  Rng world_rng = rng.fork(1);
+  world::WorldConfig wc;
+  auto world = world::generate_world(wc, world_rng);
+  Rng prng = rng.fork(2);
+  const auto participants =
+      mobility::make_participants(*world, kParticipants, prng);
+
+  Row gsm_only, hybrid, gps_kang;
+  for (const auto& participant : participants) {
+    Rng trng = rng.fork(100 + participant.id);
+    mobility::ScheduleConfig sc;
+    sc.days = kDays;
+    const mobility::Trace trace =
+        mobility::build_trace(*world, participant, sc, trng);
+    run_pmware(world, participant, trace, false, gsm_only);
+    run_pmware(world, participant, trace, true, hybrid);
+    run_gps_kang(world, participant, trace, gps_kang);
+  }
+
+  std::printf("=== A2: place accuracy by interface (%d participants x %d "
+              "days) ===\n\n",
+              kParticipants, kDays);
+  std::printf("%-22s | %12s | %12s | %12s | %4s | %9s %9s\n", "pipeline",
+              "correct", "merged", "divided", "spur", "sense J", "battery h");
+  std::printf("%s\n", std::string(104, '-').c_str());
+  print_row("GSM only (GCA)", gsm_only);
+  print_row("GSM + opp. WiFi", hybrid);
+  print_row("GPS + Kang @60s", gps_kang);
+
+  std::printf(
+      "\nshape check: GSM-only merges adjacent places (campus, market row);\n"
+      "adding opportunistic WiFi recovers most of them at a small energy\n"
+      "cost; continuous GPS is accurate outdoors but costs an order of\n"
+      "magnitude more energy and degrades indoors.\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Experiment A1 — ablation of PMWare's two energy claims (paper §1, §6):
+//
+//  (a) Triggered sensing vs always-on sensing: GSM runs continuously while
+//      WiFi/GPS fire only on accelerometer triggers and app demand, instead
+//      of polling the expensive interfaces around the clock.
+//  (b) Shared sensing vs N isolated per-app stacks: one PMS serves all
+//      connected applications; without PMWare every app would run its own
+//      pipeline, multiplying the sensing energy by N.
+//
+// All configurations replay the same participant's 2-day ground truth.
+#include <cstdio>
+
+#include "core/pms.hpp"
+#include "mobility/participant.hpp"
+#include "mobility/schedule.hpp"
+#include "util/logging.hpp"
+
+using namespace pmware;
+using energy::Interface;
+
+namespace {
+
+constexpr int kDays = 2;
+
+struct Fixture {
+  Fixture() {
+    Rng rng(20141208);
+    Rng world_rng = rng.fork(1);
+    world::WorldConfig wc;
+    world = world::generate_world(wc, world_rng);
+    Rng prng = rng.fork(2);
+    participants = mobility::make_participants(*world, 1, prng);
+    Rng trng = rng.fork(3);
+    mobility::ScheduleConfig sc;
+    sc.days = kDays;
+    trace.emplace(mobility::build_trace(*world, participants[0], sc, trng));
+  }
+  std::shared_ptr<const world::World> world;
+  std::vector<mobility::Participant> participants;
+  std::optional<mobility::Trace> trace;
+};
+
+struct Row {
+  const char* name;
+  double sensing_j;
+  double total_j;
+  double battery_h;
+  std::size_t gsm, wifi, gps, accel;
+};
+
+/// PMWare triggered sensing with one building-level app.
+Row run_pmware(const Fixture& f) {
+  Rng rng(5);
+  auto device = std::make_unique<sensing::Device>(
+      f.world, sensing::oracle_from_trace(*f.trace), sensing::DeviceConfig{},
+      rng.fork(1));
+  core::PmwareMobileService pms(std::move(device), core::PmsConfig{}, nullptr,
+                                rng.fork(2));
+  core::PlaceAlertRequest request;
+  request.app = "app";
+  request.granularity = core::Granularity::Building;
+  pms.apps().register_place_alerts(request);
+  pms.run(TimeWindow{0, days(kDays)});
+  const auto& m = pms.meter();
+  return {"PMWare triggered (1 app)", m.sensing_j(), m.total_j(),
+          m.implied_battery_duration_s(days(kDays)) / 3600.0,
+          m.sample_count(Interface::Gsm), m.sample_count(Interface::Wifi),
+          m.sample_count(Interface::Gps),
+          m.sample_count(Interface::Accelerometer)};
+}
+
+/// Always-on polling of a fixed interface set at a fixed period — what an
+/// isolated place-discovery implementation typically does.
+Row run_always_on(const char* name, std::vector<Interface> interfaces,
+                  SimDuration period) {
+  energy::EnergyMeter meter;
+  sensing::SamplingScheduler scheduler(&meter);
+  for (Interface i : interfaces) {
+    scheduler.set_callback(i, [](SimTime) {});
+    scheduler.set_period(i, period);
+  }
+  scheduler.run(TimeWindow{0, days(kDays)});
+  return {name, meter.sensing_j(), meter.total_j(),
+          meter.implied_battery_duration_s(days(kDays)) / 3600.0,
+          meter.sample_count(Interface::Gsm),
+          meter.sample_count(Interface::Wifi),
+          meter.sample_count(Interface::Gps),
+          meter.sample_count(Interface::Accelerometer)};
+}
+
+void print_row(const Row& row) {
+  std::printf("%-34s %9.0f %9.0f %9.1f | %5zu %5zu %5zu %5zu\n", row.name,
+              row.sensing_j, row.total_j, row.battery_h, row.gsm, row.wifi,
+              row.gps, row.accel);
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::Error);
+  Fixture fixture;
+
+  std::printf("=== A1: triggered sensing vs always-on, and sensing sharing "
+              "(%d-day replay) ===\n\n",
+              kDays);
+  std::printf("%-34s %9s %9s %9s | %5s %5s %5s %5s\n", "configuration",
+              "sense J", "total J", "battery h", "gsm", "wifi", "gps", "accel");
+  std::printf("%s\n", std::string(100, '-').c_str());
+
+  const Row pmware = run_pmware(fixture);
+  print_row(pmware);
+  print_row(run_always_on("always-on GSM @60s (area only)", {Interface::Gsm}, 60));
+  print_row(run_always_on("always-on WiFi+GSM @60s",
+                          {Interface::Gsm, Interface::Wifi}, 60));
+  print_row(run_always_on("always-on GPS @60s",
+                          {Interface::Gps}, 60));
+  print_row(run_always_on("always-on GPS+WiFi @60s",
+                          {Interface::Gps, Interface::Wifi}, 60));
+
+  std::printf("\n--- (b) N apps: one shared PMS vs N isolated stacks ---\n");
+  std::printf("%-6s %22s %22s %9s\n", "N", "PMWare shared (J)",
+              "N isolated stacks (J)", "saving");
+  const energy::Battery battery;
+  for (int n : {1, 2, 4, 8}) {
+    // Shared: requirements are identical, so the PMS cost is flat in N.
+    const double shared = pmware.total_j;
+    // Isolated: every app pays its own sensing (baseline is shared by the
+    // phone either way, so charge it once).
+    const double isolated =
+        pmware.total_j + (n - 1) * pmware.sensing_j;
+    std::printf("%-6d %18.0f %22.0f %8.1f%%\n", n, shared, isolated,
+                100.0 * (isolated - shared) / isolated);
+  }
+  (void)battery;
+
+  std::printf(
+      "\nshape check: PMWare's battery life sits near the GSM-only bound and\n"
+      "far above always-on GPS; isolated-stack energy grows linearly in N\n"
+      "while the shared PMS stays flat (the paper's redundancy argument).\n");
+  return 0;
+}

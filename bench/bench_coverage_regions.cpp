@@ -1,0 +1,59 @@
+// Experiment A3 — regional WiFi-coverage customization (paper §1,
+// limitation 4): "a mobile user is under WiFi coverage for nearly 60% of the
+// day in India opposed to more than 90% in a developed country such as
+// Switzerland". The same study runs under both region profiles; accuracy
+// should track coverage.
+#include <cstdio>
+
+#include "study/deployment.hpp"
+#include "util/logging.hpp"
+
+using namespace pmware;
+using algorithms::DiscoveredOutcome;
+
+namespace {
+
+struct RegionRow {
+  std::string name;
+  double coverage;
+  study::StudyResult result;
+};
+
+RegionRow run_region(const world::RegionProfile& region) {
+  study::StudyConfig config;
+  config.participants = 8;
+  config.days = 7;
+  config.world.region = region;
+  study::DeploymentStudy study(config);
+  RegionRow row{region.name, region.wifi_place_coverage, study.run()};
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::Error);
+  std::printf("=== A3: region profiles — WiFi coverage vs discovery accuracy "
+              "(8 participants x 7 days) ===\n\n");
+  std::printf("%-14s %9s | %8s %8s %8s | %8s %8s\n", "region", "coverage",
+              "correct", "merged", "divided", "places", "tagged");
+  std::printf("%s\n", std::string(84, '-').c_str());
+
+  const RegionRow india = run_region(world::RegionProfile::india());
+  const RegionRow swiss = run_region(world::RegionProfile::switzerland());
+  for (const RegionRow* row : {&india, &swiss}) {
+    std::printf("%-14s %8.0f%% | %7.1f%% %7.1f%% %7.1f%% | %8zu %8zu\n",
+                row->name.c_str(), row->coverage * 100,
+                100 * row->result.fraction(DiscoveredOutcome::Correct),
+                100 * row->result.fraction(DiscoveredOutcome::Merged),
+                100 * row->result.fraction(DiscoveredOutcome::Divided),
+                row->result.total_discovered(), row->result.total_tagged());
+  }
+
+  std::printf(
+      "\nshape check: with ~90%% WiFi coverage (Switzerland) more places get\n"
+      "a WiFi identity, so fewer adjacent places stay merged than in the\n"
+      "~60%% coverage (India) deployment — the paper's argument for\n"
+      "per-geography customization inside the middleware.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the middleware:
+// GCA clustering throughput, Tanimoto matching, the JSON wire format, REST
+// routing, and the world's spatial queries. These bound the cost of the
+// cloud's offloaded computations and of each on-device sensing tick.
+#include <benchmark/benchmark.h>
+
+#include "algorithms/gca.hpp"
+#include "algorithms/signature.hpp"
+#include "core/codec.hpp"
+#include "net/router.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "world/world.hpp"
+
+namespace {
+
+using namespace pmware;
+using world::CellId;
+
+CellId cell(std::uint32_t cid) {
+  return CellId{404, 10, 1, cid, world::Radio::Gsm2G};
+}
+
+/// Synthetic day pattern: home oscillation, commute chain, work oscillation.
+std::vector<algorithms::CellObservation> make_log(int days_n, Rng& rng) {
+  std::vector<algorithms::CellObservation> log;
+  SimTime t = 0;
+  auto dwell = [&](std::initializer_list<std::uint32_t> cells, SimDuration d) {
+    std::vector<std::uint32_t> v(cells);
+    for (SimDuration e = 0; e < d; e += 60, t += 60)
+      log.push_back({t, cell(v[rng.index(v.size())])});
+  };
+  auto travel = [&](std::initializer_list<std::uint32_t> chain) {
+    for (std::uint32_t c : chain) {
+      log.push_back({t, cell(c)});
+      t += 60;
+    }
+  };
+  for (int day = 0; day < days_n; ++day) {
+    dwell({1, 2, 3}, hours(9));
+    travel({20, 21, 22, 23});
+    dwell({10, 11}, hours(8));
+    travel({23, 22, 21, 20});
+    dwell({1, 2, 3}, hours(6));
+  }
+  return log;
+}
+
+void BM_RunGca(benchmark::State& state) {
+  Rng rng(1);
+  const auto log = make_log(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithms::run_gca(log));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(log.size()));
+}
+BENCHMARK(BM_RunGca)->Arg(1)->Arg(7)->Arg(14)->Unit(benchmark::kMillisecond);
+
+void BM_Tanimoto(benchmark::State& state) {
+  Rng rng(2);
+  std::set<world::Bssid> a, b;
+  for (int i = 0; i < state.range(0); ++i) {
+    a.insert(static_cast<world::Bssid>(rng.uniform_int(0, 1 << 20)));
+    b.insert(static_cast<world::Bssid>(rng.uniform_int(0, 1 << 20)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithms::tanimoto(a, b));
+  }
+}
+BENCHMARK(BM_Tanimoto)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_JsonProfileRoundTrip(benchmark::State& state) {
+  core::MobilityProfile profile;
+  profile.user = 1;
+  profile.day = 3;
+  for (int i = 0; i < 12; ++i)
+    profile.places.push_back({static_cast<core::PlaceUid>(i + 1),
+                              hours(i), hours(i) + minutes(45)});
+  for (auto _ : state) {
+    const std::string wire = core::to_json(profile).dump();
+    benchmark::DoNotOptimize(core::profile_from_json(Json::parse(wire)));
+  }
+}
+BENCHMARK(BM_JsonProfileRoundTrip);
+
+void BM_RouterDispatch(benchmark::State& state) {
+  net::Router router;
+  for (int i = 0; i < 20; ++i) {
+    router.add_route(net::Method::Get,
+                     "/api/resource" + std::to_string(i) + "/:id",
+                     [](const net::HttpRequest&, const net::PathParams&) {
+                       return net::HttpResponse::json(Json::object());
+                     });
+  }
+  net::HttpRequest request;
+  request.method = net::Method::Get;
+  request.path = "/api/resource19/42";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.handle(request));
+  }
+}
+BENCHMARK(BM_RouterDispatch);
+
+void BM_WorldHearableCells(benchmark::State& state) {
+  Rng rng(3);
+  world::WorldConfig config;
+  const auto world = world::generate_world(config, rng);
+  const geo::LatLng pos = world->place(5).center;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world->hearable_cells(pos));
+  }
+}
+BENCHMARK(BM_WorldHearableCells);
+
+void BM_WorldVisibleAps(benchmark::State& state) {
+  Rng rng(3);
+  world::WorldConfig config;
+  const auto world = world::generate_world(config, rng);
+  const geo::LatLng pos = world->place(5).center;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world->visible_aps(pos));
+  }
+}
+BENCHMARK(BM_WorldVisibleAps);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Quickstart: the §2.4 use case end-to-end.
+//
+// Builds a synthetic city, simulates one user for three days, runs the
+// PMWare Mobile Service against an in-process Cloud Instance, connects a
+// To-Do app that wants building-level place alerts between 9 AM and 6 PM,
+// and prints every reminder that fires plus the discovered-place list.
+#include <cstdio>
+
+#include "apps/lifelog.hpp"
+#include "apps/todo_reminder.hpp"
+#include "cloud/cloud_instance.hpp"
+#include "core/pms.hpp"
+#include "mobility/schedule.hpp"
+#include "sensing/device.hpp"
+#include "util/logging.hpp"
+#include "world/world.hpp"
+
+using namespace pmware;
+
+int main() {
+  set_log_level(LogLevel::Warn);
+  Rng rng(7);
+
+  // 1. A city to live in and a participant to follow.
+  world::WorldConfig world_config;
+  auto world = world::generate_world(world_config, rng);
+  auto participants = mobility::make_participants(*world, 1, rng);
+  const mobility::Participant& user = participants.front();
+
+  mobility::ScheduleConfig schedule;
+  schedule.days = 3;
+  const mobility::Trace trace =
+      mobility::build_trace(*world, user, schedule, rng);
+  std::printf("ground truth: %zu visits, %zu trips over %d days\n",
+              trace.visits().size(), trace.trips().size(), schedule.days);
+
+  // 2. The PMWare Cloud Instance (in-process REST server).
+  cloud::CloudInstance cloud(cloud::CloudConfig{},
+                             cloud::GeoLocationService(world->cell_location_db()),
+                             rng.fork(1));
+
+  // 3. The PMWare Mobile Service on the user's phone.
+  auto device = std::make_unique<sensing::Device>(
+      world, sensing::oracle_from_trace(trace), sensing::DeviceConfig{},
+      rng.fork(2));
+  auto client = std::make_unique<net::RestClient>(
+      &cloud.router(), net::NetworkConditions{0.01, 1}, rng.fork(3));
+  core::PmwareMobileService pms(std::move(device), core::PmsConfig{},
+                                std::move(client), rng.fork(4));
+  if (!pms.register_with_cloud(0)) {
+    std::printf("cloud registration failed\n");
+    return 1;
+  }
+
+  // 4. Connected applications delegate their place sensing to PMWare.
+  apps::LifeLog lifelog;
+  lifelog.connect(pms);
+
+  apps::TodoReminder todo("workplace", DailyWindow{hours(9), hours(18)});
+  todo.add_todo({"Prepare stand-up notes", /*on_enter=*/true});
+  todo.add_todo({"Submit timesheet", /*on_enter=*/false});
+  todo.connect(pms);
+
+  // 5. Live the three days. Day boundaries trigger GCA offloading to the
+  //    cloud, profile sync, and token refresh automatically.
+  for (int day = 0; day < schedule.days; ++day) {
+    pms.run(TimeWindow{start_of_day(day), start_of_day(day + 1)});
+    // The user tags the workplace once it shows up in the life-log UI
+    // (labels are what the To-Do app keys on).
+    for (core::PlaceUid uid : lifelog.untagged_places()) {
+      const core::PlaceRecord* record = pms.places().get(uid);
+      if (record == nullptr || record->visit_count == 0) continue;
+      // Tag every discovered place with a guess from the visit pattern: the
+      // place occupied at 11:00 on a weekday is "workplace", the one at
+      // 03:00 is "home".
+      const auto& log = pms.inference().visit_log();
+      for (const auto& visit : log) {
+        if (visit.uid != uid) continue;
+        const SimDuration tod = time_of_day(visit.window.begin);
+        if (tod > hours(7) && tod < hours(12) && !is_weekend(visit.window.begin))
+          lifelog.tag(uid, "workplace", start_of_day(day + 1));
+        else if (visit.window.length() > hours(6))
+          lifelog.tag(uid, "home", start_of_day(day + 1));
+      }
+    }
+  }
+  pms.shutdown(start_of_day(schedule.days));
+
+  // 6. What did PMWare see?
+  std::printf("\ndiscovered places (%zu):\n%s", lifelog.discovered_places(),
+              lifelog.render_place_list().c_str());
+
+  std::printf("reminders fired: %zu on enter, %zu on exit\n",
+              todo.enter_alerts(), todo.exit_alerts());
+  for (const auto& fired : todo.fired())
+    std::printf("  [%s] %s (%s)\n", format_time(fired.t).c_str(),
+                fired.text.c_str(), fired.entered ? "arrived" : "left");
+
+  std::printf("\nenergy: %s\n", pms.meter().summary().c_str());
+  std::printf("implied battery life at this duty cycle: %.1f h\n",
+              pms.meter().implied_battery_duration_s(days(schedule.days)) /
+                  3600.0);
+  std::printf("cloud: %zu profile syncs, %zu GCA offloads\n",
+              pms.stats().profile_syncs, pms.stats().gca_offloads);
+  return 0;
+}

@@ -1,0 +1,140 @@
+// studyctl — command-line driver for the deployment-study harness.
+//
+// Runs a configurable PMWare deployment study and writes a JSON report plus
+// an SVG place map, so parameter sweeps can be scripted without recompiling:
+//
+//   studyctl [--participants N] [--days D] [--seed S]
+//            [--region india|switzerland] [--no-wifi] [--no-ads]
+//            [--report FILE.json] [--map FILE.svg]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "study/deployment.hpp"
+#include "util/logging.hpp"
+#include "viz/map_render.hpp"
+
+using namespace pmware;
+using algorithms::DiscoveredOutcome;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--participants N] [--days D] [--seed S]\n"
+               "          [--region india|switzerland] [--no-wifi] [--no-ads]\n"
+               "          [--report FILE.json] [--map FILE.svg]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::Error);
+  study::StudyConfig config;
+  std::string report_path = "study_report.json";
+  std::string map_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--participants") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      config.participants = std::atoi(v);
+    } else if (arg == "--days") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      config.days = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      config.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--region") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      if (std::strcmp(v, "india") == 0)
+        config.world.region = world::RegionProfile::india();
+      else if (std::strcmp(v, "switzerland") == 0)
+        config.world.region = world::RegionProfile::switzerland();
+      else
+        return usage(argv[0]);
+    } else if (arg == "--no-wifi") {
+      config.use_wifi = false;
+    } else if (arg == "--no-ads") {
+      config.run_placeads = false;
+    } else if (arg == "--report") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      report_path = v;
+    } else if (arg == "--map") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      map_path = v;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (config.participants < 1 || config.days < 1) return usage(argv[0]);
+
+  std::printf("running study: %d participants x %d days, region %s, "
+              "wifi %s, seed %llu\n",
+              config.participants, config.days,
+              config.world.region.name.c_str(),
+              config.use_wifi ? "on" : "off",
+              static_cast<unsigned long long>(config.seed));
+
+  study::DeploymentStudy study(config);
+  const study::StudyResult result = study.run();
+  std::printf("%s", result.summary().c_str());
+
+  // --- JSON report ---
+  Json report = Json::object();
+  report.set("participants", config.participants);
+  report.set("days", config.days);
+  report.set("seed", static_cast<std::uint64_t>(config.seed));
+  report.set("region", config.world.region.name);
+  report.set("wifi", config.use_wifi);
+  report.set("discovered", static_cast<std::uint64_t>(result.total_discovered()));
+  report.set("tagged", static_cast<std::uint64_t>(result.total_tagged()));
+  report.set("evaluable", static_cast<std::uint64_t>(result.total_evaluable()));
+  Json outcomes = Json::object();
+  outcomes.set("correct", result.fraction(DiscoveredOutcome::Correct));
+  outcomes.set("merged", result.fraction(DiscoveredOutcome::Merged));
+  outcomes.set("divided", result.fraction(DiscoveredOutcome::Divided));
+  report.set("outcomes", std::move(outcomes));
+  report.set("likes", static_cast<std::uint64_t>(result.total_likes()));
+  report.set("dislikes", static_cast<std::uint64_t>(result.total_dislikes()));
+  Json per_participant = Json::array();
+  for (const auto& p : result.participants) {
+    Json row = Json::object();
+    row.set("name", p.profile.name);
+    row.set("archetype", to_string(p.profile.archetype));
+    row.set("places", static_cast<std::uint64_t>(p.places_discovered));
+    row.set("tagged", static_cast<std::uint64_t>(p.places_tagged));
+    row.set("battery_hours", p.implied_battery_hours);
+    per_participant.push_back(std::move(row));
+  }
+  report.set("per_participant", std::move(per_participant));
+  std::ofstream(report_path) << report.pretty() << '\n';
+  std::printf("report written to %s\n", report_path.c_str());
+
+  // --- optional SVG map (Figure 5b) ---
+  if (!map_path.empty()) {
+    viz::MapExtent extent{study.world().config().origin,
+                          study.world().config().extent_m};
+    std::vector<viz::MapMarker> markers;
+    for (const auto& entry : result.place_map) {
+      if (!entry.location) continue;
+      markers.push_back({*entry.location, entry.label, 'o', "#4466cc", 4});
+    }
+    std::ofstream(map_path) << viz::render_svg_map(extent, markers);
+    std::printf("map written to %s (%zu places)\n", map_path.c_str(),
+                markers.size());
+  }
+  return 0;
+}

@@ -1,0 +1,190 @@
+#include "algorithms/evaluate.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/strfmt.hpp"
+
+namespace pmware::algorithms {
+
+const char* to_string(PlaceOutcome o) {
+  switch (o) {
+    case PlaceOutcome::Correct: return "correct";
+    case PlaceOutcome::Merged: return "merged";
+    case PlaceOutcome::Divided: return "divided";
+    case PlaceOutcome::Missed: return "missed";
+  }
+  return "?";
+}
+
+std::size_t PlaceEvaluation::count(PlaceOutcome o) const {
+  std::size_t n = 0;
+  for (const auto& [place, outcome] : outcomes)
+    if (outcome == o) ++n;
+  return n;
+}
+
+double PlaceEvaluation::fraction_of_detected(PlaceOutcome o) const {
+  const std::size_t detected = outcomes.size() - count(PlaceOutcome::Missed);
+  if (detected == 0) return 0.0;
+  if (o == PlaceOutcome::Missed) return 0.0;
+  return static_cast<double>(count(o)) / static_cast<double>(detected);
+}
+
+double PlaceEvaluation::fraction_of_evaluable(PlaceOutcome o) const {
+  if (outcomes.empty()) return 0.0;
+  return static_cast<double>(count(o)) / static_cast<double>(outcomes.size());
+}
+
+std::string PlaceEvaluation::summary() const {
+  return strfmt(
+      "evaluable %zu: correct %zu (%.2f%%), merged %zu (%.2f%%), divided %zu "
+      "(%.2f%%), missed %zu",
+      evaluable(), count(PlaceOutcome::Correct),
+      100 * fraction_of_detected(PlaceOutcome::Correct),
+      count(PlaceOutcome::Merged),
+      100 * fraction_of_detected(PlaceOutcome::Merged),
+      count(PlaceOutcome::Divided),
+      100 * fraction_of_detected(PlaceOutcome::Divided),
+      count(PlaceOutcome::Missed));
+}
+
+const char* to_string(DiscoveredOutcome o) {
+  switch (o) {
+    case DiscoveredOutcome::Correct: return "correct";
+    case DiscoveredOutcome::Merged: return "merged";
+    case DiscoveredOutcome::Divided: return "divided";
+    case DiscoveredOutcome::Spurious: return "spurious";
+  }
+  return "?";
+}
+
+std::size_t DiscoveredEvaluation::count(DiscoveredOutcome o) const {
+  std::size_t n = 0;
+  for (const auto& [idx, outcome] : outcomes)
+    if (outcome == o) ++n;
+  return n;
+}
+
+double DiscoveredEvaluation::fraction(DiscoveredOutcome o) const {
+  const std::size_t denom = outcomes.size() - count(DiscoveredOutcome::Spurious);
+  if (denom == 0 || o == DiscoveredOutcome::Spurious) return 0.0;
+  return static_cast<double>(count(o)) / static_cast<double>(denom);
+}
+
+std::string DiscoveredEvaluation::summary() const {
+  return strfmt(
+      "discovered %zu: correct %zu (%.2f%%), merged %zu (%.2f%%), divided %zu "
+      "(%.2f%%), spurious %zu",
+      outcomes.size(), count(DiscoveredOutcome::Correct),
+      100 * fraction(DiscoveredOutcome::Correct),
+      count(DiscoveredOutcome::Merged), 100 * fraction(DiscoveredOutcome::Merged),
+      count(DiscoveredOutcome::Divided),
+      100 * fraction(DiscoveredOutcome::Divided),
+      count(DiscoveredOutcome::Spurious));
+}
+
+namespace {
+
+struct LinkMaps {
+  std::map<world::PlaceId, std::set<std::size_t>> truth_to_disc;
+  std::map<std::size_t, std::set<world::PlaceId>> disc_to_truth;
+  std::set<world::PlaceId> evaluable_truth;
+  std::set<std::size_t> seen_discovered;
+};
+
+LinkMaps build_links(std::span<const TruthVisit> truth,
+                     std::span<const ReportedVisit> reported,
+                     const EvalConfig& config) {
+  LinkMaps links;
+  std::map<std::pair<world::PlaceId, std::size_t>, SimDuration> overlap;
+  for (const auto& rv : reported) links.seen_discovered.insert(rv.place_index);
+  for (const auto& tv : truth) {
+    if (tv.window.length() < config.min_truth_dwell) continue;
+    links.evaluable_truth.insert(tv.place);
+    for (const auto& rv : reported) {
+      const SimDuration o = tv.window.overlap_length(rv.window);
+      auto& best = overlap[{tv.place, rv.place_index}];
+      best = std::max(best, o);
+    }
+  }
+  for (const auto& [key, o] : overlap) {
+    if (o < config.min_link_overlap) continue;
+    links.truth_to_disc[key.first].insert(key.second);
+    links.disc_to_truth[key.second].insert(key.first);
+  }
+  return links;
+}
+
+}  // namespace
+
+DiscoveredEvaluation evaluate_discovered(std::span<const TruthVisit> truth,
+                                         std::span<const ReportedVisit> reported,
+                                         const EvalConfig& config) {
+  const LinkMaps links = build_links(truth, reported, config);
+  DiscoveredEvaluation eval;
+  for (const std::size_t disc : links.seen_discovered) {
+    const auto it = links.disc_to_truth.find(disc);
+    if (it == links.disc_to_truth.end() || it->second.empty()) {
+      eval.outcomes[disc] = DiscoveredOutcome::Spurious;
+      continue;
+    }
+    if (it->second.size() >= 2) {
+      eval.outcomes[disc] = DiscoveredOutcome::Merged;
+      continue;
+    }
+    const world::PlaceId t = *it->second.begin();
+    eval.outcomes[disc] = links.truth_to_disc.at(t).size() >= 2
+                              ? DiscoveredOutcome::Divided
+                              : DiscoveredOutcome::Correct;
+  }
+  return eval;
+}
+
+PlaceEvaluation evaluate_places(std::span<const TruthVisit> truth,
+                                std::span<const ReportedVisit> reported,
+                                const EvalConfig& config) {
+  // Best single-visit overlap between each (truth place, discovered place)
+  // pair: a link means one whole stay was recognized, so boundary slivers
+  // repeated daily never accumulate into a spurious link.
+  std::map<std::pair<world::PlaceId, std::size_t>, SimDuration> overlap;
+  std::set<world::PlaceId> evaluable;
+  for (const auto& tv : truth) {
+    if (tv.window.length() < config.min_truth_dwell) continue;
+    evaluable.insert(tv.place);
+    for (const auto& rv : reported) {
+      const SimDuration o = tv.window.overlap_length(rv.window);
+      auto& best = overlap[{tv.place, rv.place_index}];
+      best = std::max(best, o);
+    }
+  }
+
+  // Links above the threshold, in both directions.
+  std::map<world::PlaceId, std::set<std::size_t>> truth_to_disc;
+  std::map<std::size_t, std::set<world::PlaceId>> disc_to_truth;
+  for (const auto& [key, o] : overlap) {
+    if (o < config.min_link_overlap) continue;
+    truth_to_disc[key.first].insert(key.second);
+    disc_to_truth[key.second].insert(key.first);
+  }
+
+  PlaceEvaluation eval;
+  for (const world::PlaceId place : evaluable) {
+    const auto it = truth_to_disc.find(place);
+    if (it == truth_to_disc.end() || it->second.empty()) {
+      eval.outcomes[place] = PlaceOutcome::Missed;
+      continue;
+    }
+    if (it->second.size() >= 2) {
+      eval.outcomes[place] = PlaceOutcome::Divided;
+      continue;
+    }
+    const std::size_t disc = *it->second.begin();
+    eval.outcomes[place] = disc_to_truth.at(disc).size() >= 2
+                               ? PlaceOutcome::Merged
+                               : PlaceOutcome::Correct;
+  }
+  return eval;
+}
+
+}  // namespace pmware::algorithms

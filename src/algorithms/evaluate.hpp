@@ -1,0 +1,84 @@
+// Place-discovery evaluation, mirroring the paper's §4 deployment metrics:
+// each evaluable ground-truth place is classified as correctly discovered,
+// merged (one discovered place covers several true places), or divided
+// (several discovered places cover one true place).
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/simtime.hpp"
+#include "world/ids.hpp"
+
+namespace pmware::algorithms {
+
+/// A ground-truth stay (from the diary / mobility trace).
+struct TruthVisit {
+  world::PlaceId place = world::kNoPlace;
+  TimeWindow window;
+};
+
+/// A stay reported by a discovery algorithm, keyed by its discovered-place
+/// index (algorithm-local).
+struct ReportedVisit {
+  std::size_t place_index = 0;
+  TimeWindow window;
+};
+
+enum class PlaceOutcome { Correct, Merged, Divided, Missed };
+const char* to_string(PlaceOutcome o);
+
+struct EvalConfig {
+  /// Minimum overlapped time for a truth place and a discovered place to be
+  /// considered linked.
+  SimDuration min_link_overlap = minutes(15);
+  /// Truth visits shorter than this are not evaluable.
+  SimDuration min_truth_dwell = minutes(10);
+};
+
+struct PlaceEvaluation {
+  /// Outcome per evaluable ground-truth place.
+  std::map<world::PlaceId, PlaceOutcome> outcomes;
+
+  std::size_t evaluable() const { return outcomes.size(); }
+  std::size_t count(PlaceOutcome o) const;
+  /// Fraction of *detected* places (non-missed) with the given outcome —
+  /// the denominator the paper uses for its 79/14.5/6.4% split.
+  double fraction_of_detected(PlaceOutcome o) const;
+  /// Fraction over all evaluable places (missed included).
+  double fraction_of_evaluable(PlaceOutcome o) const;
+
+  std::string summary() const;
+};
+
+/// Links truth and discovered places by accumulated visit-window overlap and
+/// classifies every evaluable truth place.
+PlaceEvaluation evaluate_places(std::span<const TruthVisit> truth,
+                                std::span<const ReportedVisit> reported,
+                                const EvalConfig& config = {});
+
+/// Outcome for a *discovered* place — the paper's §4 denominator is the set
+/// of discovered places the participants tagged (and that have departure
+/// info), classified as correct / merged / divided.
+enum class DiscoveredOutcome { Correct, Merged, Divided, Spurious };
+const char* to_string(DiscoveredOutcome o);
+
+struct DiscoveredEvaluation {
+  /// Outcome per discovered-place index (only those with >= 1 reported
+  /// visit appear).
+  std::map<std::size_t, DiscoveredOutcome> outcomes;
+
+  std::size_t count(DiscoveredOutcome o) const;
+  /// Fraction over non-spurious discovered places.
+  double fraction(DiscoveredOutcome o) const;
+  std::string summary() const;
+};
+
+/// Classifies every discovered place by its ground-truth coverage.
+DiscoveredEvaluation evaluate_discovered(std::span<const TruthVisit> truth,
+                                         std::span<const ReportedVisit> reported,
+                                         const EvalConfig& config = {});
+
+}  // namespace pmware::algorithms

@@ -1,0 +1,183 @@
+#include "algorithms/gca.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace pmware::algorithms {
+
+void MovementGraph::observe(const CellObservation& obs,
+                            const GcaConfig& config) {
+  if (last_ && obs.t < last_->t)
+    throw std::invalid_argument("MovementGraph: observations out of order");
+  if (last_) {
+    const SimDuration dt = obs.t - last_->t;
+    if (dt <= config.max_transition_gap) {
+      // Dwell accrues to the cell we were on during [last_.t, obs.t).
+      dwell_[last_->cell] += dt;
+      if (last_->cell != obs.cell) {
+        // Note: value pair, not std::minmax (which returns dangling-prone
+        // reference pairs).
+        const std::pair<world::CellId, world::CellId> key =
+            last_->cell < obs.cell ? std::pair{last_->cell, obs.cell}
+                                   : std::pair{obs.cell, last_->cell};
+        ++edges_[key];
+        ++transitions_[last_->cell];
+        ++transitions_[obs.cell];
+
+        // Oscillation event: this transition bounces straight back along
+        // the previous one (A->B then B->A within the window).
+        if (last_transition_ && last_transition_->from == obs.cell &&
+            last_transition_->to == last_->cell &&
+            obs.t - last_transition_->t <= config.oscillation_window) {
+          ++oscillations_[key];
+        }
+        last_transition_ = Transition{last_->cell, obs.cell, obs.t};
+      }
+    } else {
+      last_transition_.reset();  // gap breaks the bounce chain
+    }
+  }
+  dwell_.try_emplace(obs.cell, 0);
+  last_ = obs;
+}
+
+int MovementGraph::transitions(const world::CellId& cell) const {
+  const auto it = transitions_.find(cell);
+  return it == transitions_.end() ? 0 : it->second;
+}
+
+namespace {
+
+/// Union-find over cell ids.
+class DisjointSets {
+ public:
+  world::CellId find(const world::CellId& c) {
+    auto it = parent_.find(c);
+    if (it == parent_.end()) {
+      parent_[c] = c;
+      return c;
+    }
+    if (it->second == c) return c;
+    const world::CellId root = find(it->second);
+    parent_[c] = root;
+    return root;
+  }
+
+  void unite(const world::CellId& a, const world::CellId& b) {
+    const world::CellId ra = find(a);
+    const world::CellId rb = find(b);
+    if (!(ra == rb)) parent_[rb] = ra;
+  }
+
+ private:
+  std::map<world::CellId, world::CellId> parent_;
+};
+
+}  // namespace
+
+GcaResult run_gca(std::span<const CellObservation> observations,
+                  const GcaConfig& config) {
+  MovementGraph graph;
+  for (const auto& obs : observations) graph.observe(obs, config);
+
+  // Keep only edges with enough oscillation evidence and union their
+  // endpoints. Raw transition counts are deliberately ignored here: repeated
+  // commutes inflate them without the user ever dwelling.
+  DisjointSets sets;
+  for (const auto& [edge, bounces] : graph.oscillations()) {
+    if (bounces < config.min_edge_weight) continue;
+    sets.unite(edge.first, edge.second);
+  }
+
+  // Group cells by root; compute cluster dwell.
+  std::map<world::CellId, std::vector<world::CellId>> groups;
+  for (const auto& [cell, dwell] : graph.dwell())
+    groups[sets.find(cell)].push_back(cell);
+
+  GcaResult result;
+  for (const auto& [root, cells] : groups) {
+    SimDuration total = 0;
+    for (const auto& c : cells) total += graph.dwell().at(c);
+    const bool multi = cells.size() > 1;
+    // Single cells qualify only with a long dominant dwell; multi-cell
+    // clusters (real oscillation groups) need min_cluster_dwell.
+    if (multi ? total < config.min_cluster_dwell
+              : total < config.min_single_cell_dwell)
+      continue;
+    CellCluster cluster;
+    cluster.signature.cells.insert(cells.begin(), cells.end());
+    cluster.total_dwell = total;
+    const std::size_t index = result.places.size();
+    for (const auto& c : cells) result.cell_to_place[c] = index;
+    result.places.push_back(std::move(cluster));
+  }
+
+  // Replay the stream through the visit tracker to reconstruct stays.
+  CellVisitTracker tracker(result.cell_to_place, config);
+  std::vector<CellVisitTracker::Event> events;
+  for (const auto& obs : observations) {
+    auto evs = tracker.observe(obs);
+    events.insert(events.end(), evs.begin(), evs.end());
+  }
+  if (!observations.empty()) {
+    auto evs = tracker.finish(observations.back().t);
+    events.insert(events.end(), evs.begin(), evs.end());
+  }
+
+  std::optional<std::pair<std::size_t, SimTime>> open;
+  for (const auto& ev : events) {
+    if (ev.kind == CellVisitTracker::Event::Kind::Arrival) {
+      open = {ev.place_index, ev.t};
+    } else if (open && open->first == ev.place_index) {
+      result.visits.push_back({ev.place_index, TimeWindow{open->second, ev.t}});
+      open.reset();
+    }
+  }
+  return result;
+}
+
+CellVisitTracker::CellVisitTracker(
+    std::map<world::CellId, std::size_t> cell_to_place, const GcaConfig& config)
+    : cell_to_place_(std::move(cell_to_place)), config_(config) {}
+
+std::vector<CellVisitTracker::Event> CellVisitTracker::observe(
+    const CellObservation& obs) {
+  std::vector<Event> events;
+  std::optional<std::size_t> cluster;
+  if (const auto it = cell_to_place_.find(obs.cell); it != cell_to_place_.end())
+    cluster = it->second;
+
+  if (current_) {
+    if (cluster == current_) {
+      last_in_ = obs.t;
+      if (!announced_ && obs.t - start_ >= config_.min_visit_dwell) {
+        announced_ = true;
+        events.push_back({Event::Kind::Arrival, *current_, start_});
+      }
+    } else if (obs.t - last_in_ > config_.visit_gap_tolerance) {
+      if (announced_)
+        events.push_back({Event::Kind::Departure, *current_, last_in_});
+      current_ = cluster;
+      start_ = last_in_ = obs.t;
+      announced_ = false;
+    }
+    // else: brief excursion outside the cluster; keep the visit open.
+  } else if (cluster) {
+    current_ = cluster;
+    start_ = last_in_ = obs.t;
+    announced_ = false;
+  }
+  return events;
+}
+
+std::vector<CellVisitTracker::Event> CellVisitTracker::finish(SimTime t) {
+  std::vector<Event> events;
+  if (current_ && announced_)
+    events.push_back({Event::Kind::Departure, *current_, std::max(last_in_, t)});
+  current_.reset();
+  announced_ = false;
+  return events;
+}
+
+}  // namespace pmware::algorithms

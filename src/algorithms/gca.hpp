@@ -1,0 +1,152 @@
+// GCA: GSM-based place discovery by clustering Cell IDs (paper §2.2.2,
+// algorithm from the authors' PlaceMap work [26]).
+//
+// A phone's serving cell changes even while the user is stationary — network
+// load, signal fading, and 2G/3G handoff cause the "oscillating effect".
+// GCA models it with an undirected weighted *movement graph*: nodes are cell
+// ids, an edge counts how often the serving cell flipped directly between
+// two cells. While dwelling at a place the same few cells flip back and
+// forth many times (heavy edges); while travelling each transition happens
+// once or twice (light edges). Clustering keeps only strong edges, and each
+// resulting component of cells is a place signature.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "algorithms/signature.hpp"
+#include "util/simtime.hpp"
+#include "world/ids.hpp"
+
+namespace pmware::algorithms {
+
+struct GcaConfig {
+  /// Readings farther apart than this are not treated as adjacent (sensing
+  /// gaps, device off).
+  SimDuration max_transition_gap = minutes(4);
+  /// An edge joins a cluster only after at least this many *oscillation
+  /// events*: A->B immediately followed by B->A within oscillation_window.
+  /// Raw transition counts cannot be used — a daily commute repeats the same
+  /// A->B->C chain every day and would weld travel chains into the home and
+  /// work clusters; only a bounce back-and-forth is evidence of stationary
+  /// oscillation.
+  int min_edge_weight = 3;
+  /// Maximum delay for the return transition of an oscillation event.
+  SimDuration oscillation_window = minutes(10);
+  /// Cells dwelt on for at least this long can seed a single-cell cluster
+  /// even without strong edges (quiet areas with one dominant tower).
+  SimDuration min_single_cell_dwell = hours(1);
+  /// Minimum accumulated dwell for a cluster to become a place.
+  SimDuration min_cluster_dwell = minutes(20);
+  /// Minimum stay for a visit to be reported (prior work: 10 min).
+  SimDuration min_visit_dwell = minutes(10);
+  /// A visit survives excursions/no-cluster gaps up to this long.
+  SimDuration visit_gap_tolerance = minutes(6);
+};
+
+/// One timestamped serving-cell observation.
+struct CellObservation {
+  SimTime t = 0;
+  world::CellId cell;
+};
+
+/// The undirected weighted movement graph.
+class MovementGraph {
+ public:
+  /// Feeds the next serving-cell observation (must be time-ordered).
+  /// Uses `config.max_transition_gap` and `config.oscillation_window`.
+  void observe(const CellObservation& obs, const GcaConfig& config);
+
+  const std::map<world::CellId, SimDuration>& dwell() const { return dwell_; }
+  /// Raw transition counts per unordered cell pair.
+  const std::map<std::pair<world::CellId, world::CellId>, int>& edges() const {
+    return edges_;
+  }
+  /// Oscillation-event counts per unordered cell pair (A->B->A bounces).
+  const std::map<std::pair<world::CellId, world::CellId>, int>& oscillations()
+      const {
+    return oscillations_;
+  }
+  /// Total transitions touching `cell` (its weighted degree).
+  int transitions(const world::CellId& cell) const;
+  std::size_t node_count() const { return dwell_.size(); }
+
+ private:
+  struct Transition {
+    world::CellId from;
+    world::CellId to;
+    SimTime t = 0;
+  };
+
+  std::optional<CellObservation> last_;
+  std::optional<Transition> last_transition_;
+  std::map<world::CellId, SimDuration> dwell_;
+  std::map<std::pair<world::CellId, world::CellId>, int> edges_;
+  std::map<std::pair<world::CellId, world::CellId>, int> oscillations_;
+  std::map<world::CellId, int> transitions_;
+};
+
+/// A cluster of oscillating cells = one discovered place.
+struct CellCluster {
+  CellSignature signature;
+  SimDuration total_dwell = 0;
+};
+
+/// A stay at a discovered place, as reconstructed from the cell stream.
+struct DiscoveredVisit {
+  std::size_t place_index = 0;  ///< index into GcaResult::places
+  TimeWindow window;
+};
+
+struct GcaResult {
+  std::vector<CellCluster> places;
+  std::vector<DiscoveredVisit> visits;
+  /// Mapping from each clustered cell to its place index.
+  std::map<world::CellId, std::size_t> cell_to_place;
+};
+
+/// Batch GCA over a time-ordered observation log. This is the computation
+/// the mobile service offloads to the cloud instance (paper §2.3.1).
+GcaResult run_gca(std::span<const CellObservation> observations,
+                  const GcaConfig& config = {});
+
+/// Incremental visit tracker: once signatures exist (e.g. from an offloaded
+/// GCA run), the mobile service tracks arrivals/departures online without
+/// re-clustering (paper §2.3.1: "after discovery of place signatures, mobile
+/// service can track user's visit in those places").
+class CellVisitTracker {
+ public:
+  CellVisitTracker(std::map<world::CellId, std::size_t> cell_to_place,
+                   const GcaConfig& config = {});
+
+  struct Event {
+    enum class Kind { Arrival, Departure } kind;
+    std::size_t place_index;
+    SimTime t;
+  };
+
+  /// Feeds one observation; returns zero or more arrival/departure events.
+  std::vector<Event> observe(const CellObservation& obs);
+
+  /// Flushes any open visit at end of stream.
+  std::vector<Event> finish(SimTime t);
+
+  /// Place currently occupied, if any.
+  std::optional<std::size_t> current_place() const { return current_; }
+
+ private:
+  std::map<world::CellId, std::size_t> cell_to_place_;
+  GcaConfig config_;
+  std::optional<std::size_t> current_;
+  SimTime start_ = 0;
+  SimTime last_in_ = 0;
+  bool announced_ = false;
+
+  std::vector<Event> close_if_needed(SimTime t);
+};
+
+}  // namespace pmware::algorithms

@@ -1,0 +1,100 @@
+#include "algorithms/kang.hpp"
+
+namespace pmware::algorithms {
+
+GpsPlaceClusterer::GpsPlaceClusterer(KangConfig config) : config_(config) {}
+
+std::vector<GpsPlaceClusterer::Event> GpsPlaceClusterer::commit_pending(
+    SimTime end) {
+  std::vector<Event> events;
+  const bool long_enough = !pending_points_.empty() &&
+                           pending_last_ - pending_start_ >= config_.min_dwell;
+  if (pending_place_) {
+    // Arrival already fired; close the visit.
+    events.push_back({Event::Kind::Departure, *pending_place_,
+                      std::min(end, pending_last_)});
+    visits_.push_back(
+        {*pending_place_, TimeWindow{pending_start_, std::min(end, pending_last_)}});
+  } else if (long_enough) {
+    // Cluster qualified but never fired (stream ended right at threshold).
+    std::size_t place = places_.size();
+    bool found = false;
+    for (std::size_t i = 0; i < places_.size(); ++i) {
+      if (geo::distance_m(places_[i].center, pending_centroid_) <=
+          config_.merge_distance_m) {
+        place = i;
+        found = true;
+        break;
+      }
+    }
+    if (!found) places_.push_back(GpsSignature{pending_centroid_,
+                                               config_.cluster_radius_m});
+    events.push_back({Event::Kind::Arrival, place, pending_start_});
+    events.push_back({Event::Kind::Departure, place, pending_last_});
+    visits_.push_back({place, TimeWindow{pending_start_, pending_last_}});
+  }
+  pending_points_.clear();
+  pending_place_.reset();
+  return events;
+}
+
+std::vector<GpsPlaceClusterer::Event> GpsPlaceClusterer::on_fix(
+    const sensing::GpsFix& fix) {
+  std::vector<Event> events;
+  if (!fix.valid) return events;
+
+  if (!pending_points_.empty() &&
+      fix.t - pending_last_ > config_.max_fix_gap) {
+    auto evs = commit_pending(pending_last_);
+    events.insert(events.end(), evs.begin(), evs.end());
+  }
+
+  if (pending_points_.empty()) {
+    pending_points_.push_back(fix.position);
+    pending_centroid_ = fix.position;
+    pending_start_ = pending_last_ = fix.t;
+    return events;
+  }
+
+  if (geo::distance_m(fix.position, pending_centroid_) <=
+      config_.cluster_radius_m) {
+    pending_points_.push_back(fix.position);
+    pending_centroid_ = geo::centroid(pending_points_);
+    pending_last_ = fix.t;
+
+    // Fire the (late) arrival as soon as the dwell threshold is crossed.
+    if (!pending_place_ &&
+        pending_last_ - pending_start_ >= config_.min_dwell) {
+      std::size_t place = places_.size();
+      bool found = false;
+      for (std::size_t i = 0; i < places_.size(); ++i) {
+        if (geo::distance_m(places_[i].center, pending_centroid_) <=
+            config_.merge_distance_m) {
+          place = i;
+          found = true;
+          break;
+        }
+      }
+      if (!found)
+        places_.push_back(GpsSignature{pending_centroid_,
+                                       config_.cluster_radius_m});
+      pending_place_ = place;
+      events.push_back({Event::Kind::Arrival, place, pending_start_});
+    }
+    return events;
+  }
+
+  // Left the candidate's radius: commit or discard, then restart from here.
+  auto evs = commit_pending(fix.t);
+  events.insert(events.end(), evs.begin(), evs.end());
+  pending_points_.push_back(fix.position);
+  pending_centroid_ = fix.position;
+  pending_start_ = pending_last_ = fix.t;
+  return events;
+}
+
+std::vector<GpsPlaceClusterer::Event> GpsPlaceClusterer::finish(SimTime t) {
+  return commit_pending(t);
+}
+
+}  // namespace pmware::algorithms

@@ -1,0 +1,70 @@
+// GPS place extraction after Kang et al. [WMASH'04], the algorithm PMWare
+// uses for clustering GPS coordinates into physical places (paper §2.2.2):
+// time-based clustering with a spatial threshold — consecutive fixes within
+// `cluster_radius_m` of the running centroid belong to one candidate; the
+// candidate becomes a place once the stay exceeds `min_dwell`.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "algorithms/signature.hpp"
+#include "sensing/readings.hpp"
+#include "util/simtime.hpp"
+
+namespace pmware::algorithms {
+
+struct KangConfig {
+  double cluster_radius_m = 100;
+  SimDuration min_dwell = minutes(10);
+  /// New clusters within this distance of an existing place are the same
+  /// place (re-visit).
+  double merge_distance_m = 120;
+  /// A gap between fixes longer than this breaks the pending cluster
+  /// (GPS was off / no fix indoors).
+  SimDuration max_fix_gap = minutes(20);
+};
+
+class GpsPlaceClusterer {
+ public:
+  explicit GpsPlaceClusterer(KangConfig config = {});
+
+  struct Event {
+    enum class Kind { Arrival, Departure } kind;
+    std::size_t place_index;
+    SimTime t;
+  };
+
+  struct Visit {
+    std::size_t place_index = 0;
+    TimeWindow window;
+  };
+
+  /// Feeds one fix (invalid fixes are ignored); returns completed-visit
+  /// events. Note: Kang's algorithm is retrospective — the arrival is only
+  /// known once the dwell threshold passes, so Arrival events fire late.
+  std::vector<Event> on_fix(const sensing::GpsFix& fix);
+
+  /// Flushes the pending cluster at end of stream.
+  std::vector<Event> finish(SimTime t);
+
+  const std::vector<GpsSignature>& places() const { return places_; }
+  const std::vector<Visit>& visits() const { return visits_; }
+
+ private:
+  std::vector<Event> commit_pending(SimTime end);
+
+  KangConfig config_;
+  std::vector<GpsSignature> places_;
+  std::vector<Visit> visits_;
+
+  // Pending candidate cluster.
+  std::vector<geo::LatLng> pending_points_;
+  geo::LatLng pending_centroid_;
+  SimTime pending_start_ = 0;
+  SimTime pending_last_ = 0;
+  /// Set once the pending cluster crossed min_dwell and fired its Arrival.
+  std::optional<std::size_t> pending_place_;
+};
+
+}  // namespace pmware::algorithms

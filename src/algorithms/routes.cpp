@@ -1,0 +1,110 @@
+#include "algorithms/routes.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "geo/polyline.hpp"
+
+namespace pmware::algorithms {
+
+double gps_route_similarity(const GpsRoute& a, const GpsRoute& b,
+                            double tolerance_m) {
+  if (a.points.size() < 2 || b.points.size() < 2) return 0.0;
+  auto coverage = [tolerance_m](const std::vector<geo::LatLng>& pts,
+                                const std::vector<geo::LatLng>& line) {
+    std::size_t near = 0;
+    for (const auto& p : pts)
+      if (geo::distance_to_polyline_m(p, line) <= tolerance_m) ++near;
+    return static_cast<double>(near) / static_cast<double>(pts.size());
+  };
+  return std::min(coverage(a.points, b.points), coverage(b.points, a.points));
+}
+
+namespace {
+
+/// Length of the longest common subsequence of two cell sequences.
+std::size_t lcs_length(const std::vector<world::CellId>& a,
+                       const std::vector<world::CellId>& b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  std::vector<std::size_t> prev(m + 1, 0);
+  std::vector<std::size_t> cur(m + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      if (a[i - 1] == b[j - 1]) cur[j] = prev[j - 1] + 1;
+      else cur[j] = std::max(prev[j], cur[j - 1]);
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+std::vector<world::CellId> dedup_consecutive(const std::vector<world::CellId>& seq) {
+  std::vector<world::CellId> out;
+  for (const auto& c : seq)
+    if (out.empty() || !(out.back() == c)) out.push_back(c);
+  return out;
+}
+
+}  // namespace
+
+double cell_route_similarity(const CellRoute& a, const CellRoute& b) {
+  if (a.cells.empty() || b.cells.empty()) return 0.0;
+  const std::set<world::CellId> sa(a.cells.begin(), a.cells.end());
+  const std::set<world::CellId> sb(b.cells.begin(), b.cells.end());
+  std::size_t inter = 0;
+  for (const auto& c : sa) inter += sb.count(c);
+  const double jaccard = static_cast<double>(inter) /
+                         static_cast<double>(sa.size() + sb.size() - inter);
+
+  const auto da = dedup_consecutive(a.cells);
+  const auto db = dedup_consecutive(b.cells);
+  const double order =
+      static_cast<double>(lcs_length(da, db)) /
+      static_cast<double>(std::max(da.size(), db.size()));
+  return jaccard * 0.5 + order * 0.5;
+}
+
+RouteStore::RouteStore(RouteStoreConfig config) : config_(config) {}
+
+bool RouteStore::same_route(const RouteObservation& a,
+                            const RouteObservation& b) const {
+  if (a.from_place != b.from_place || a.to_place != b.to_place) return false;
+  // Either representation may be sparse (a journey may yield only a couple
+  // of fixes or a short cell chain), so accept whichever signal matches.
+  if (a.gps.points.size() >= 2 && b.gps.points.size() >= 2 &&
+      gps_route_similarity(a.gps, b.gps) >= config_.gps_similarity_threshold)
+    return true;
+  if (!a.cells.cells.empty() && !b.cells.cells.empty() &&
+      cell_route_similarity(a.cells, b.cells) >=
+          config_.cell_similarity_threshold)
+    return true;
+  return false;
+}
+
+std::size_t RouteStore::add(RouteObservation obs) {
+  for (std::size_t i = 0; i < routes_.size(); ++i) {
+    if (same_route(routes_[i].representative, obs)) {
+      ++routes_[i].use_count;
+      return i;
+    }
+  }
+  routes_.push_back({std::move(obs), 1});
+  return routes_.size() - 1;
+}
+
+std::vector<std::size_t> RouteStore::between(std::size_t from_place,
+                                             std::size_t to_place) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < routes_.size(); ++i) {
+    const auto& r = routes_[i].representative;
+    if (r.from_place == from_place && r.to_place == to_place) out.push_back(i);
+  }
+  std::sort(out.begin(), out.end(), [this](std::size_t x, std::size_t y) {
+    return routes_[x].use_count > routes_[y].use_count;
+  });
+  return out;
+}
+
+}  // namespace pmware::algorithms

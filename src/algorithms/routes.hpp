@@ -1,0 +1,84 @@
+// Route representation and discovery (paper §2.1.2): the path between two
+// places is a series of timestamped GPS coordinates (high-accuracy mode) or
+// time-ordered cell ids (low-accuracy mode). The cloud instance hosts route
+// similarity so repeated commutes collapse into one canonical route with a
+// usage frequency (§2.3.3 "optional parameters such as route usage
+// frequency").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/latlng.hpp"
+#include "util/simtime.hpp"
+#include "world/ids.hpp"
+
+namespace pmware::algorithms {
+
+/// R = {g1..gn}, gi = (t, lat, lng).
+struct GpsRoute {
+  std::vector<SimTime> times;
+  std::vector<geo::LatLng> points;
+};
+
+/// R = {c1..cn} with timestamps.
+struct CellRoute {
+  std::vector<SimTime> times;
+  std::vector<world::CellId> cells;
+};
+
+/// A journey between two discovered places, in either representation.
+struct RouteObservation {
+  std::size_t from_place = 0;
+  std::size_t to_place = 0;
+  TimeWindow window;
+  GpsRoute gps;    ///< may be empty in low-accuracy mode
+  CellRoute cells; ///< may be empty in high-accuracy mode
+};
+
+/// Similarity in [0, 1] between two GPS routes: the symmetric fraction of
+/// points of each route lying within `tolerance_m` of the other. Returns 0
+/// if either route has fewer than 2 points.
+double gps_route_similarity(const GpsRoute& a, const GpsRoute& b,
+                            double tolerance_m = 150);
+
+/// Similarity in [0, 1] between two cell routes: Jaccard over cell sets,
+/// discounted by direction agreement (shared cells appearing in the same
+/// relative order).
+double cell_route_similarity(const CellRoute& a, const CellRoute& b);
+
+/// Canonical route with usage statistics.
+struct CanonicalRoute {
+  RouteObservation representative;
+  std::size_t use_count = 1;
+};
+
+struct RouteStoreConfig {
+  double gps_similarity_threshold = 0.6;
+  double cell_similarity_threshold = 0.5;
+};
+
+/// Deduplicating store: observations between the same place pair merge into
+/// canonical routes by similarity.
+class RouteStore {
+ public:
+  explicit RouteStore(RouteStoreConfig config = {});
+
+  /// Adds an observation; returns the index of the canonical route it joined
+  /// (possibly newly created).
+  std::size_t add(RouteObservation obs);
+
+  const std::vector<CanonicalRoute>& routes() const { return routes_; }
+
+  /// Canonical routes between a place pair, most used first.
+  std::vector<std::size_t> between(std::size_t from_place,
+                                   std::size_t to_place) const;
+
+ private:
+  bool same_route(const RouteObservation& a, const RouteObservation& b) const;
+
+  RouteStoreConfig config_;
+  std::vector<CanonicalRoute> routes_;
+};
+
+}  // namespace pmware::algorithms

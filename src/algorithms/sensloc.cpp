@@ -1,0 +1,142 @@
+#include "algorithms/sensloc.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace pmware::algorithms {
+
+WifiPlaceDetector::WifiPlaceDetector(SensLocConfig config) : config_(config) {}
+
+std::set<world::Bssid> WifiPlaceDetector::to_set(const sensing::WifiScan& scan) {
+  std::set<world::Bssid> out;
+  for (const auto& ap : scan.aps) out.insert(ap.bssid);
+  return out;
+}
+
+namespace {
+
+/// Fingerprints are small (often 1-4 APs) and scans carry transient street
+/// APs, so pure Tanimoto under-matches; the overlap coefficient recognizes
+/// "the whole stored fingerprint is visible" regardless of extras.
+double place_similarity(const std::set<world::Bssid>& signature,
+                        const std::set<world::Bssid>& scan) {
+  return std::max(tanimoto(signature, scan),
+                  overlap_coefficient(signature, scan));
+}
+
+}  // namespace
+
+std::optional<std::size_t> WifiPlaceDetector::match_registry(
+    const std::set<world::Bssid>& aps) const {
+  std::optional<std::size_t> best;
+  double best_sim = 0;
+  for (std::size_t i = 0; i < places_.size(); ++i) {
+    const double sim = place_similarity(places_[i].aps, aps);
+    if (sim >= config_.match_similarity && sim > best_sim) {
+      best = i;
+      best_sim = sim;
+    }
+  }
+  return best;
+}
+
+void WifiPlaceDetector::record_visit(std::size_t place, SimTime begin,
+                                     SimTime end) {
+  if (end - begin >= config_.min_visit_dwell)
+    visits_.push_back({place, TimeWindow{begin, end}});
+}
+
+std::vector<WifiPlaceDetector::Event> WifiPlaceDetector::on_scan(
+    const sensing::WifiScan& scan) {
+  std::vector<Event> events;
+  const std::set<world::Bssid> aps = to_set(scan);
+
+  if (current_ && scan.t - last_match_t_ > config_.max_match_gap) {
+    // Stale stay: nothing has matched for hours (the user is somewhere
+    // without WiFi evidence). Close the visit at the last matching scan.
+    events.push_back({Event::Kind::Departure, *current_, last_match_t_});
+    record_visit(*current_, arrival_t_, last_match_t_);
+    current_.reset();
+    miss_streak_ = 0;
+    stable_run_.clear();
+  }
+
+  if (current_) {
+    // An empty scan carries no evidence either way (missed beacon round);
+    // it must not evict the current place — overnight opportunistic scans
+    // would otherwise fragment long stays.
+    if (aps.empty()) return events;
+    const double sim = place_similarity(places_[*current_].aps, aps);
+    if (sim >= config_.match_similarity) {
+      last_match_t_ = scan.t;
+      miss_streak_ = 0;
+    } else if (++miss_streak_ >= config_.scans_to_exit) {
+      events.push_back({Event::Kind::Departure, *current_, last_match_t_});
+      record_visit(*current_, arrival_t_, last_match_t_);
+      current_.reset();
+      miss_streak_ = 0;
+      stable_run_.clear();
+      // The scan that evicted us may itself start a new stable run.
+      if (!aps.empty()) {
+        stable_run_.push_back(aps);
+        stable_start_ = scan.t;
+      }
+    }
+    return events;
+  }
+
+  // Moving: build a run of mutually-similar scans. An empty scan carries no
+  // information (could be a street stretch without APs, or a fully missed
+  // beacon round) — ignore it rather than resetting the run.
+  if (aps.empty()) return events;
+  if (!stable_run_.empty() &&
+      tanimoto(stable_run_.back(), aps) >= config_.stationary_similarity) {
+    stable_run_.push_back(aps);
+  } else {
+    stable_run_.clear();
+    stable_run_.push_back(aps);
+    stable_start_ = scan.t;
+  }
+
+  if (static_cast<int>(stable_run_.size()) >= config_.scans_to_enter) {
+    // Fingerprint: APs seen in a majority of the stable scans (robust to
+    // missed beacons).
+    std::map<world::Bssid, int> counts;
+    for (const auto& s : stable_run_)
+      for (world::Bssid b : s) ++counts[b];
+    std::set<world::Bssid> fingerprint;
+    const int majority = static_cast<int>(stable_run_.size() + 1) / 2;
+    for (const auto& [b, n] : counts)
+      if (n >= majority) fingerprint.insert(b);
+    if (fingerprint.empty()) fingerprint = stable_run_.back();
+
+    std::size_t place;
+    if (const auto existing = match_registry(fingerprint)) {
+      place = *existing;
+    } else {
+      place = places_.size();
+      places_.push_back(WifiSignature{fingerprint});
+    }
+    current_ = place;
+    arrival_t_ = stable_start_;
+    last_match_t_ = scan.t;
+    miss_streak_ = 0;
+    stable_run_.clear();
+    events.push_back({Event::Kind::Arrival, place, arrival_t_});
+  }
+  return events;
+}
+
+std::vector<WifiPlaceDetector::Event> WifiPlaceDetector::finish(SimTime t) {
+  std::vector<Event> events;
+  if (current_) {
+    const SimTime end = std::max(last_match_t_, std::min(t, last_match_t_ + 60));
+    events.push_back({Event::Kind::Departure, *current_, end});
+    record_visit(*current_, arrival_t_, end);
+    current_.reset();
+  }
+  stable_run_.clear();
+  return events;
+}
+
+}  // namespace pmware::algorithms

@@ -1,0 +1,87 @@
+// WiFi-based place discovery in the style of SensLoc [Kim et al., SenSys'10],
+// as used by PMWare (paper §2.2.2): a Tanimoto-coefficient similarity over
+// WiFi fingerprints finds unique place signatures and detects subsequent
+// arrivals and departures.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "algorithms/signature.hpp"
+#include "sensing/readings.hpp"
+#include "util/simtime.hpp"
+
+namespace pmware::algorithms {
+
+struct SensLocConfig {
+  /// Consecutive scans at least this similar indicate the user is dwelling.
+  /// Kept permissive: with small AP sets a single missed beacon or a street
+  /// AP drifting in drops Tanimoto to 0.5 even when stationary.
+  double stationary_similarity = 0.45;
+  /// Scan-vs-signature similarity that still counts as "at this place".
+  double match_similarity = 0.40;
+  /// Number of consecutive stable scans before an arrival is declared.
+  int scans_to_enter = 3;
+  /// Number of consecutive non-empty, non-matching scans before a departure
+  /// (empty scans are ignored — they carry no evidence).
+  int scans_to_exit = 3;
+  /// Visits shorter than this are dropped from the visit log.
+  SimDuration min_visit_dwell = minutes(10);
+  /// If no scan has matched the current place for this long, the visit is
+  /// closed at the last matching scan: the user has left for somewhere
+  /// without WiFi evidence (e.g. a home with no AP), and the fingerprint
+  /// must not stay "current" until it happens to match again days later.
+  SimDuration max_match_gap = hours(2);
+};
+
+/// Streaming WiFi place detector. Feed it every WiFi scan; it maintains a
+/// registry of discovered WifiSignatures and a visit log.
+class WifiPlaceDetector {
+ public:
+  explicit WifiPlaceDetector(SensLocConfig config = {});
+
+  struct Event {
+    enum class Kind { Arrival, Departure } kind;
+    std::size_t place_index;
+    SimTime t;
+  };
+
+  /// Processes one scan; returns arrival/departure events, if any.
+  std::vector<Event> on_scan(const sensing::WifiScan& scan);
+
+  /// Flushes the open visit at end of stream.
+  std::vector<Event> finish(SimTime t);
+
+  const std::vector<WifiSignature>& places() const { return places_; }
+
+  struct Visit {
+    std::size_t place_index = 0;
+    TimeWindow window;
+  };
+  /// Completed visits of at least min_visit_dwell.
+  const std::vector<Visit>& visits() const { return visits_; }
+
+  /// Index of the place currently occupied, if any.
+  std::optional<std::size_t> current_place() const { return current_; }
+
+ private:
+  static std::set<world::Bssid> to_set(const sensing::WifiScan& scan);
+  std::optional<std::size_t> match_registry(const std::set<world::Bssid>& aps) const;
+  void record_visit(std::size_t place, SimTime begin, SimTime end);
+
+  SensLocConfig config_;
+  std::vector<WifiSignature> places_;
+  std::vector<Visit> visits_;
+
+  // --- state machine ---
+  std::optional<std::size_t> current_;   ///< occupied place, if any
+  SimTime arrival_t_ = 0;
+  SimTime last_match_t_ = 0;
+  int miss_streak_ = 0;
+  // While moving: run of mutually-similar scans building toward an arrival.
+  std::vector<std::set<world::Bssid>> stable_run_;
+  SimTime stable_start_ = 0;
+};
+
+}  // namespace pmware::algorithms

@@ -1,0 +1,33 @@
+#include "algorithms/signature.hpp"
+
+#include "util/strfmt.hpp"
+
+namespace pmware::algorithms {
+
+bool signatures_match(const PlaceSignature& a, const PlaceSignature& b,
+                      double set_similarity_threshold) {
+  if (a.index() != b.index()) return false;
+  if (const auto* ca = std::get_if<CellSignature>(&a)) {
+    const auto& cb = std::get<CellSignature>(b);
+    return tanimoto(ca->cells, cb.cells) >= set_similarity_threshold;
+  }
+  if (const auto* wa = std::get_if<WifiSignature>(&a)) {
+    const auto& wb = std::get<WifiSignature>(b);
+    return tanimoto(wa->aps, wb.aps) >= set_similarity_threshold;
+  }
+  const auto& ga = std::get<GpsSignature>(a);
+  const auto& gb = std::get<GpsSignature>(b);
+  return geo::distance_m(ga.center, gb.center) <=
+         std::max(ga.radius_m, gb.radius_m);
+}
+
+std::string describe(const PlaceSignature& sig) {
+  if (const auto* c = std::get_if<CellSignature>(&sig))
+    return strfmt("cells[%zu]", c->cells.size());
+  if (const auto* w = std::get_if<WifiSignature>(&sig))
+    return strfmt("aps[%zu]", w->aps.size());
+  const auto& g = std::get<GpsSignature>(sig);
+  return strfmt("gps%s r=%.0fm", g.center.to_string().c_str(), g.radius_m);
+}
+
+}  // namespace pmware::algorithms

@@ -1,0 +1,78 @@
+// Place signatures (paper §2.1.1): a place is identified by a set of cell
+// ids, a set of WiFi APs, or a GPS coordinate pair —
+//   P = {c1..c5} or {w1..w4} or {lat, lng}.
+#pragma once
+
+#include <set>
+#include <string>
+#include <variant>
+
+#include "geo/latlng.hpp"
+#include "world/ids.hpp"
+
+namespace pmware::algorithms {
+
+/// Signature built by GCA from GSM cell clustering.
+struct CellSignature {
+  std::set<world::CellId> cells;
+  bool operator==(const CellSignature&) const = default;
+};
+
+/// Signature built by the WiFi detector (SensLoc-style).
+struct WifiSignature {
+  std::set<world::Bssid> aps;
+  bool operator==(const WifiSignature&) const = default;
+};
+
+/// Signature built by GPS clustering (Kang et al.).
+struct GpsSignature {
+  geo::LatLng center;
+  double radius_m = 75;
+  bool operator==(const GpsSignature&) const = default;
+};
+
+using PlaceSignature = std::variant<CellSignature, WifiSignature, GpsSignature>;
+
+/// Tanimoto (Jaccard) coefficient between two sets: |A∩B| / |A∪B|.
+/// Returns 0 when both sets are empty.
+template <typename T>
+double tanimoto(const std::set<T>& a, const std::set<T>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  std::size_t inter = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) ++ia;
+    else if (*ib < *ia) ++ib;
+    else { ++inter; ++ia; ++ib; }
+  }
+  const std::size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+/// Overlap (Szymkiewicz-Simpson) coefficient: |A∩B| / min(|A|,|B|).
+/// Better suited than Tanimoto for matching a small stored fingerprint
+/// against a scan that may contain extra transient APs.
+template <typename T>
+double overlap_coefficient(const std::set<T>& a, const std::set<T>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  std::size_t inter = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) ++ia;
+    else if (*ib < *ia) ++ib;
+    else { ++inter; ++ia; ++ib; }
+  }
+  return static_cast<double>(inter) /
+         static_cast<double>(std::min(a.size(), b.size()));
+}
+
+/// Whether two signatures of the same kind describe the same place.
+/// Cell/WiFi signatures match on Tanimoto similarity; GPS on center distance.
+bool signatures_match(const PlaceSignature& a, const PlaceSignature& b,
+                      double set_similarity_threshold = 0.45);
+
+std::string describe(const PlaceSignature& sig);
+
+}  // namespace pmware::algorithms

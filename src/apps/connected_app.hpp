@@ -1,0 +1,31 @@
+// Base class for connected third-party applications (paper §2.2.4): an app
+// registers an intent receiver with the PMS bus and files its place/route/
+// social requirements, then reacts to the alerts PMWare broadcasts.
+#pragma once
+
+#include <string>
+
+#include "core/pms.hpp"
+
+namespace pmware::apps {
+
+class ConnectedApp {
+ public:
+  explicit ConnectedApp(std::string name) : name_(std::move(name)) {}
+  virtual ~ConnectedApp() = default;
+
+  ConnectedApp(const ConnectedApp&) = delete;
+  ConnectedApp& operator=(const ConnectedApp&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Registers this app's receiver and requirements with the PMS. Call once;
+  /// the PMS must outlive the app.
+  virtual void connect(core::PmwareMobileService& pms) = 0;
+
+ protected:
+  std::string name_;
+  core::ReceiverId receiver_ = 0;
+};
+
+}  // namespace pmware::apps

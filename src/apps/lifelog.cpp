@@ -1,0 +1,73 @@
+#include "apps/lifelog.hpp"
+
+#include "util/strfmt.hpp"
+
+namespace pmware::apps {
+
+void LifeLog::connect(core::PmwareMobileService& pms) {
+  pms_ = &pms;
+  core::IntentFilter filter;
+  filter.actions = {core::actions::kPlaceEnter, core::actions::kPlaceExit,
+                    core::actions::kNewPlace};
+  receiver_ = pms.bus().register_receiver(
+      filter, [this](const core::Intent& intent) { on_intent(intent); });
+
+  core::PlaceAlertRequest request;
+  request.app = name_;
+  request.granularity = core::Granularity::Building;
+  request.want_enter = true;
+  request.want_exit = true;
+  request.want_new_place = true;
+  request.receiver = receiver_;
+  pms.apps().register_place_alerts(std::move(request));
+}
+
+void LifeLog::on_intent(const core::Intent& intent) {
+  const auto place =
+      static_cast<core::PlaceUid>(intent.extras.get_int("place_uid", 0));
+  if (place == core::kNoPlaceUid) return;
+  PlaceUsage& usage = usage_[place];
+  const SimTime t = intent.extras.get_int("t", 0);
+  if (intent.action == core::actions::kPlaceExit) {
+    const SimDuration dwell = intent.extras.get_int("dwell", 0);
+    usage.total_stay += dwell;
+    ++usage.visit_count;
+    usage.visiting_days.insert(day_of(t));
+  } else if (intent.action == core::actions::kPlaceEnter) {
+    usage.visiting_days.insert(day_of(t));
+  }
+}
+
+std::vector<core::PlaceUid> LifeLog::untagged_places() const {
+  std::vector<core::PlaceUid> out;
+  if (pms_ == nullptr) return out;
+  for (const auto& [uid, record] : pms_->places().records())
+    if (record.label.empty()) out.push_back(uid);
+  return out;
+}
+
+bool LifeLog::tag(core::PlaceUid uid, const std::string& label, SimTime now) {
+  return pms_ != nullptr && pms_->tag_place(uid, label, now);
+}
+
+std::size_t LifeLog::discovered_places() const {
+  return pms_ == nullptr ? 0 : pms_->places().size();
+}
+
+std::string LifeLog::render_place_list() const {
+  std::string out;
+  if (pms_ == nullptr) return out;
+  for (const auto& [uid, record] : pms_->places().records()) {
+    const auto it = usage_.find(uid);
+    const SimDuration stay = it == usage_.end() ? 0 : it->second.total_stay;
+    const std::size_t days =
+        it == usage_.end() ? 0 : it->second.visiting_days.size();
+    out += strfmt("  #%-4llu %-14s stay %-12s days %zu\n",
+                  static_cast<unsigned long long>(uid),
+                  record.label.empty() ? "(untagged)" : record.label.c_str(),
+                  format_duration(stay).c_str(), days);
+  }
+  return out;
+}
+
+}  // namespace pmware::apps

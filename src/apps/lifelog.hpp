@@ -1,0 +1,48 @@
+// The life-logging application PMWare ships with (paper §3, Figure 4): lets
+// the user see all automatically-discovered places, validate them, tag them
+// with semantic labels, and browse per-place stay time and visiting days.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/connected_app.hpp"
+
+namespace pmware::apps {
+
+struct PlaceUsage {
+  SimDuration total_stay = 0;
+  std::size_t visit_count = 0;
+  std::set<std::int64_t> visiting_days;
+};
+
+class LifeLog : public ConnectedApp {
+ public:
+  LifeLog() : ConnectedApp("lifelog") {}
+
+  void connect(core::PmwareMobileService& pms) override;
+
+  /// Places the user has not tagged yet (candidates for the Figure 4 map UI).
+  std::vector<core::PlaceUid> untagged_places() const;
+
+  /// Tags a place through the PMS visualization module (local + cloud).
+  bool tag(core::PlaceUid uid, const std::string& label, SimTime now);
+
+  /// Per-place stay statistics, as shown in Figure 4c.
+  const std::map<core::PlaceUid, PlaceUsage>& usage() const { return usage_; }
+
+  std::size_t discovered_places() const;
+
+  /// Multi-line textual rendering of the place list (the Figure 4b list).
+  std::string render_place_list() const;
+
+ private:
+  void on_intent(const core::Intent& intent);
+
+  core::PmwareMobileService* pms_ = nullptr;
+  std::map<core::PlaceUid, PlaceUsage> usage_;
+};
+
+}  // namespace pmware::apps

@@ -1,0 +1,136 @@
+#include "apps/placeads.hpp"
+
+#include <algorithm>
+
+#include "util/strfmt.hpp"
+
+namespace pmware::apps {
+
+void AdInventory::add(Ad ad) { ads_.push_back(std::move(ad)); }
+
+std::vector<const Ad*> AdInventory::by_category(
+    const std::string& category) const {
+  std::vector<const Ad*> out;
+  for (const Ad& ad : ads_)
+    if (ad.category == category) out.push_back(&ad);
+  return out;
+}
+
+AdInventory AdInventory::default_catalogue() {
+  AdInventory inv;
+  std::uint32_t id = 1;
+  const std::pair<const char*, const char*> entries[] = {
+      {"cafe", "Flat white 2-for-1 at Third Wave"},
+      {"cafe", "Free cookie with any latte"},
+      {"restaurant", "Lunch thali at half price"},
+      {"restaurant", "Chef's tasting menu -30%%"},
+      {"market", "Fresh produce morning discount"},
+      {"mall", "Weekend mega sale across 40 stores"},
+      {"mall", "Food court combo offers"},
+      {"gym", "First month free at PowerFit"},
+      {"cinema", "Tuesday tickets at half price"},
+      {"park", "Morning yoga classes nearby"},
+      {"library", "Second-hand book fair"},
+  };
+  for (const auto& [category, title] : entries) {
+    int discount = 10 + static_cast<int>(id % 4) * 10;
+    inv.add(Ad{id++, category, title, discount});
+  }
+  return inv;
+}
+
+PlaceAds::PlaceAds(AdInventory inventory, Rng rng)
+    : ConnectedApp("placeads"), inventory_(std::move(inventory)), rng_(rng) {
+  judge_ = [this](const AdImpression& impression) {
+    return default_judge(impression);
+  };
+}
+
+std::vector<std::string> PlaceAds::target_categories(const std::string& label) {
+  // Complementary targeting: what is worth advertising to someone *at* this
+  // kind of place.
+  if (label == "home") return {"market", "restaurant", "cinema"};
+  if (label == "workplace" || label == "academic") return {"cafe", "restaurant"};
+  if (label == "market") return {"market", "restaurant"};
+  if (label == "mall") return {"mall", "cinema", "cafe"};
+  if (label == "gym") return {"cafe", "restaurant"};
+  if (label == "park") return {"park", "cafe"};
+  if (label == "library") return {"library", "cafe"};
+  if (label == "cafe" || label == "restaurant") return {"cinema", "mall"};
+  if (label == "cinema") return {"restaurant", "cafe"};
+  return {};
+}
+
+void PlaceAds::connect(core::PmwareMobileService& pms) {
+  pms_ = &pms;
+  core::IntentFilter filter;
+  filter.actions = {core::actions::kPlaceEnter};
+  receiver_ = pms.bus().register_receiver(
+      filter, [this](const core::Intent& intent) { on_intent(intent); });
+
+  core::PlaceAlertRequest request;
+  request.app = name_;
+  request.granularity = core::Granularity::Building;
+  request.want_enter = true;
+  request.want_exit = false;
+  request.want_new_place = false;
+  request.receiver = receiver_;
+  pms.apps().register_place_alerts(std::move(request));
+}
+
+void PlaceAds::on_intent(const core::Intent& intent) {
+  const SimTime t = intent.extras.get_int("t", 0);
+  const auto place = static_cast<core::PlaceUid>(
+      intent.extras.get_int("place_uid",
+                            intent.extras.get_int("area_uid", 0)));
+  if (place == core::kNoPlaceUid) return;
+
+  // Throttle repeated impressions at the same place.
+  const auto it = last_shown_.find(place);
+  if (it != last_shown_.end() && t - it->second < min_repeat_gap_) return;
+  last_shown_[place] = t;
+
+  const std::string label = intent.extras.get_string("label", "");
+  std::vector<const Ad*> candidates;
+  bool targeted = false;
+  for (const std::string& category : target_categories(label)) {
+    const auto ads = inventory_.by_category(category);
+    candidates.insert(candidates.end(), ads.begin(), ads.end());
+  }
+  if (!candidates.empty()) {
+    targeted = true;
+  } else {
+    // Untagged or unknown place: shotgun an arbitrary ad.
+    for (const Ad& ad : inventory_.all()) candidates.push_back(&ad);
+  }
+  if (candidates.empty()) return;
+  const Ad& chosen = *candidates[rng_.index(candidates.size())];
+
+  AdImpression impression{chosen, place, t, targeted, false};
+  impression.liked = judge_(impression);
+  impressions_.push_back(std::move(impression));
+}
+
+bool PlaceAds::default_judge(const AdImpression& impression) {
+  // Calibrated so the aggregate like:dislike lands near the paper's 17:3
+  // with the deployment's ~70% tagging rate: targeted ads are compelling,
+  // shotgun ads much less so.
+  return rng_.bernoulli(impression.targeted ? 0.96 : 0.71);
+}
+
+std::size_t PlaceAds::likes() const {
+  return static_cast<std::size_t>(
+      std::count_if(impressions_.begin(), impressions_.end(),
+                    [](const AdImpression& i) { return i.liked; }));
+}
+
+std::size_t PlaceAds::dislikes() const { return impressions_.size() - likes(); }
+
+std::pair<double, double> PlaceAds::ratio_of_twenty() const {
+  if (impressions_.empty()) return {0, 0};
+  const double like_share =
+      static_cast<double>(likes()) / static_cast<double>(impressions_.size());
+  return {like_share * 20.0, (1.0 - like_share) * 20.0};
+}
+
+}  // namespace pmware::apps

@@ -1,0 +1,82 @@
+// PlaceADs (paper §3/§4): the proof-of-concept connected application that
+// pushes contextual advertisements when the user visits a place. Each ad is
+// shown as a card; the user swipes left (like) or right (dislike). The
+// deployment study reports the aggregate like:dislike ratio (17:3).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "apps/connected_app.hpp"
+#include "util/rng.hpp"
+
+namespace pmware::apps {
+
+struct Ad {
+  std::uint32_t id = 0;
+  std::string category;  ///< POI category the ad is relevant to ("cafe", ...)
+  std::string title;
+  int discount_percent = 0;
+};
+
+/// Static ad inventory keyed by category, with a default catalogue covering
+/// the categories the synthetic world generates.
+class AdInventory {
+ public:
+  void add(Ad ad);
+  /// Ads in `category`; empty vector when none.
+  std::vector<const Ad*> by_category(const std::string& category) const;
+  const std::vector<Ad>& all() const { return ads_; }
+
+  static AdInventory default_catalogue();
+
+ private:
+  std::vector<Ad> ads_;
+};
+
+struct AdImpression {
+  Ad ad;
+  core::PlaceUid place = core::kNoPlaceUid;
+  SimTime t = 0;
+  bool targeted = false;  ///< ad category derived from the place's label
+  bool liked = false;
+};
+
+class PlaceAds : public ConnectedApp {
+ public:
+  /// `judge(impression)` decides the swipe; defaults to a model where
+  /// targeted ads are liked far more often than shotgun ones.
+  using FeedbackJudge = std::function<bool(const AdImpression&)>;
+
+  PlaceAds(AdInventory inventory, Rng rng);
+
+  void connect(core::PmwareMobileService& pms) override;
+  void set_feedback_judge(FeedbackJudge judge) { judge_ = std::move(judge); }
+
+  const std::vector<AdImpression>& impressions() const { return impressions_; }
+  std::size_t likes() const;
+  std::size_t dislikes() const;
+  /// likes : dislikes as a ratio normalized to 20 parts (paper: 17 : 3).
+  std::pair<double, double> ratio_of_twenty() const;
+
+  /// Maps a place label to the ad categories worth pushing there — e.g. at a
+  /// gym push cafe/restaurant offers nearby.
+  static std::vector<std::string> target_categories(const std::string& label);
+
+ private:
+  void on_intent(const core::Intent& intent);
+  bool default_judge(const AdImpression& impression);
+
+  AdInventory inventory_;
+  Rng rng_;
+  FeedbackJudge judge_;
+  core::PmwareMobileService* pms_ = nullptr;
+  std::vector<AdImpression> impressions_;
+  /// Throttle: at most one ad per place per this period.
+  std::map<core::PlaceUid, SimTime> last_shown_;
+  SimDuration min_repeat_gap_ = hours(6);
+};
+
+}  // namespace pmware::apps

@@ -1,0 +1,43 @@
+#include "apps/todo_reminder.hpp"
+
+namespace pmware::apps {
+
+TodoReminder::TodoReminder(std::string tracked_label, DailyWindow window)
+    : ConnectedApp("todo-reminder"),
+      tracked_label_(std::move(tracked_label)),
+      window_(window) {}
+
+void TodoReminder::connect(core::PmwareMobileService& pms) {
+  core::IntentFilter filter;
+  filter.actions = {core::actions::kPlaceEnter, core::actions::kPlaceExit};
+  receiver_ = pms.bus().register_receiver(
+      filter, [this](const core::Intent& intent) { on_intent(intent); });
+
+  // Step 1-2 of the §2.4 use case: building granularity, 9 AM - 6 PM.
+  core::PlaceAlertRequest request;
+  request.app = name_;
+  request.granularity = core::Granularity::Building;
+  request.window = window_;
+  request.want_enter = true;
+  request.want_exit = true;
+  request.receiver = receiver_;
+  pms.apps().register_place_alerts(std::move(request));
+}
+
+void TodoReminder::on_intent(const core::Intent& intent) {
+  if (intent.extras.get_string("label", "") != tracked_label_) return;
+  const bool entered = intent.action == core::actions::kPlaceEnter;
+  const SimTime t = intent.extras.get_int("t", 0);
+  const auto place =
+      static_cast<core::PlaceUid>(intent.extras.get_int("place_uid", 0));
+
+  if (entered) ++enter_alerts_;
+  else ++exit_alerts_;
+
+  for (const TodoItem& todo : todos_) {
+    if (todo.on_enter != entered) continue;
+    fired_.push_back({todo.text, place, t, entered});
+  }
+}
+
+}  // namespace pmware::apps

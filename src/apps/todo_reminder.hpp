@@ -1,0 +1,51 @@
+// The To-Do application of the paper's §2.4 use case: "alert the user with
+// reminders when she enters/leaves her workplace", requested at
+// building-level granularity, tracked 9 AM - 6 PM.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/connected_app.hpp"
+
+namespace pmware::apps {
+
+struct TodoItem {
+  std::string text;
+  /// Fire on entering (true) or leaving (false) the tracked place.
+  bool on_enter = true;
+};
+
+struct FiredReminder {
+  std::string text;
+  core::PlaceUid place = core::kNoPlaceUid;
+  SimTime t = 0;
+  bool entered = false;
+};
+
+class TodoReminder : public ConnectedApp {
+ public:
+  /// Reminders fire at places carrying `tracked_label` ("workplace").
+  explicit TodoReminder(std::string tracked_label = "workplace",
+                        DailyWindow window = DailyWindow{hours(9), hours(18)});
+
+  void connect(core::PmwareMobileService& pms) override;
+
+  void add_todo(TodoItem item) { todos_.push_back(std::move(item)); }
+
+  const std::vector<FiredReminder>& fired() const { return fired_; }
+  std::size_t enter_alerts() const { return enter_alerts_; }
+  std::size_t exit_alerts() const { return exit_alerts_; }
+
+ private:
+  void on_intent(const core::Intent& intent);
+
+  std::string tracked_label_;
+  DailyWindow window_;
+  std::vector<TodoItem> todos_;
+  std::vector<FiredReminder> fired_;
+  std::size_t enter_alerts_ = 0;
+  std::size_t exit_alerts_ = 0;
+};
+
+}  // namespace pmware::apps

@@ -1,0 +1,139 @@
+#include "cloud/analytics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "util/stats.hpp"
+
+namespace pmware::cloud {
+
+std::optional<SimDuration> AnalyticsEngine::typical_arrival_tod(
+    world::DeviceId user, core::PlaceUid place, DailyWindow window) const {
+  RunningStats stats;
+  for (const auto& visit : storage_->stitched_visits_at(user, place)) {
+    if (!window.contains(visit.arrival)) continue;
+    stats.add(static_cast<double>(time_of_day(visit.arrival)));
+  }
+  if (stats.count() == 0) return std::nullopt;
+  return static_cast<SimDuration>(stats.mean());
+}
+
+std::optional<SimTime> AnalyticsEngine::predict_next_visit(
+    world::DeviceId user, core::PlaceUid place, SimTime now,
+    double min_day_probability) const {
+  const auto visits = storage_->stitched_visits_at(user, place);
+  if (visits.empty()) return std::nullopt;
+
+  // Per-weekday visit statistics.
+  std::array<int, 7> visit_days{};   // days-of-week with >= 1 visit
+  std::array<RunningStats, 7> arrival_tod{};
+  std::int64_t min_day = day_of(visits.front().arrival);
+  std::int64_t max_day = min_day;
+  std::array<std::set<std::int64_t>, 7> distinct_days{};
+  for (const auto& v : visits) {
+    const std::int64_t d = day_of(v.arrival);
+    min_day = std::min(min_day, d);
+    max_day = std::max(max_day, d);
+    const int wd = static_cast<int>(d % 7);
+    distinct_days[static_cast<std::size_t>(wd)].insert(d);
+    arrival_tod[static_cast<std::size_t>(wd)].add(
+        static_cast<double>(time_of_day(v.arrival)));
+  }
+  // Number of times each weekday occurred in the observation span.
+  const std::int64_t span_days = max_day - min_day + 1;
+  std::array<int, 7> occurrences{};
+  for (std::int64_t d = min_day; d <= max_day; ++d)
+    ++occurrences[static_cast<std::size_t>(d % 7)];
+  for (int wd = 0; wd < 7; ++wd)
+    visit_days[static_cast<std::size_t>(wd)] =
+        static_cast<int>(distinct_days[static_cast<std::size_t>(wd)].size());
+  (void)span_days;
+
+  // Scan forward up to two weeks for the first plausible day — starting
+  // with *today* if the typical arrival time has not passed yet ("when is
+  // the next visit?" asked at noon should answer "this evening").
+  for (std::int64_t d = day_of(now); d <= day_of(now) + 14; ++d) {
+    const auto wd = static_cast<std::size_t>(d % 7);
+    if (occurrences[wd] == 0) continue;
+    const double prob = static_cast<double>(visit_days[wd]) /
+                        static_cast<double>(occurrences[wd]);
+    if (prob < min_day_probability) continue;
+    if (arrival_tod[wd].count() == 0) continue;
+    const SimTime predicted =
+        start_of_day(d) + static_cast<SimDuration>(arrival_tod[wd].mean());
+    if (predicted <= now) continue;  // today's typical time already passed
+    return predicted;
+  }
+  return std::nullopt;
+}
+
+std::optional<SimDuration> AnalyticsEngine::typical_departure_tod(
+    world::DeviceId user, core::PlaceUid place, DailyWindow window) const {
+  RunningStats stats;
+  for (const auto& visit : storage_->stitched_visits_at(user, place)) {
+    if (!window.contains(visit.departure)) continue;
+    // A departure at exactly a day end is an unstitched truncation (end of
+    // study), not a real departure.
+    if (time_of_day(visit.departure) == 0) continue;
+    stats.add(static_cast<double>(time_of_day(visit.departure)));
+  }
+  if (stats.count() == 0) return std::nullopt;
+  return static_cast<SimDuration>(stats.mean());
+}
+
+std::optional<AnalyticsEngine::NextPlace> AnalyticsEngine::predict_next_place(
+    world::DeviceId user, core::PlaceUid current) const {
+  const UserStore* store = storage_->find_user(user);
+  if (store == nullptr) return std::nullopt;
+
+  // Flatten all profile entries into one time-ordered sequence of stays.
+  std::vector<core::PlaceVisitEntry> sequence;
+  for (const auto& [day, profile] : store->profiles)
+    sequence.insert(sequence.end(), profile.places.begin(),
+                    profile.places.end());
+  std::sort(sequence.begin(), sequence.end(),
+            [](const core::PlaceVisitEntry& a, const core::PlaceVisitEntry& b) {
+              return a.arrival < b.arrival;
+            });
+
+  // Count transitions out of `current` (skipping midnight continuations and
+  // consecutive same-place entries).
+  std::map<core::PlaceUid, int> counts;
+  int total = 0;
+  for (std::size_t i = 0; i + 1 < sequence.size(); ++i) {
+    if (sequence[i].place != current) continue;
+    const core::PlaceUid next = sequence[i + 1].place;
+    if (next == current) continue;
+    // A gap of more than 6 hours means the log lost track in between; such
+    // pairs are not evidence of a direct transition.
+    if (sequence[i + 1].arrival - sequence[i].departure > hours(6)) continue;
+    ++counts[next];
+    ++total;
+  }
+  if (total == 0) return std::nullopt;
+  NextPlace best;
+  for (const auto& [place, count] : counts) {
+    const double probability = static_cast<double>(count) / total;
+    if (probability > best.probability) best = {place, probability};
+  }
+  return best;
+}
+
+std::int64_t AnalyticsEngine::observed_days(world::DeviceId user) const {
+  const UserStore* store = storage_->find_user(user);
+  if (store == nullptr || store->profiles.empty()) return 1;
+  return static_cast<std::int64_t>(store->profiles.size());
+}
+
+double AnalyticsEngine::visit_frequency_per_week(
+    world::DeviceId user, std::span<const core::PlaceUid> places) const {
+  std::size_t visits = 0;
+  for (const core::PlaceUid place : places)
+    visits += storage_->visits_at(user, place).size();
+  const double weeks =
+      static_cast<double>(observed_days(user)) / 7.0;
+  return weeks <= 0 ? 0.0 : static_cast<double>(visits) / weeks;
+}
+
+}  // namespace pmware::cloud

@@ -1,0 +1,63 @@
+// Analytics & prediction engine (paper §2.3.2): answers the long-horizon
+// queries the mobile service cannot — typical home-arrival time, next-visit
+// prediction, and category visit frequency — from stored mobility profiles.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "cloud/storage.hpp"
+#include "util/simtime.hpp"
+
+namespace pmware::cloud {
+
+class AnalyticsEngine {
+ public:
+  /// `storage` must outlive the engine.
+  explicit AnalyticsEngine(const CloudStorage* storage) : storage_(storage) {}
+
+  /// Q1: "What is the likely time at which the user typically reaches home
+  /// in the evening?" — mean arrival time-of-day over historical arrivals
+  /// falling inside `window`. nullopt without data.
+  std::optional<SimDuration> typical_arrival_tod(
+      world::DeviceId user, core::PlaceUid place,
+      DailyWindow window = DailyWindow{hours(15), hours(24)}) const;
+
+  /// Q2: "When will be the next visit of the user for place A?" — scans
+  /// forward from `now` for the next day whose day-of-week historically has
+  /// a visit (probability >= `min_day_probability`), predicted at the mean
+  /// arrival time-of-day for that weekday.
+  std::optional<SimTime> predict_next_visit(world::DeviceId user,
+                                            core::PlaceUid place, SimTime now,
+                                            double min_day_probability = 0.3) const;
+
+  /// Q3: "How frequently does the user visit shopping malls?" — visits per
+  /// week across `places` (e.g. every place labelled "mall").
+  double visit_frequency_per_week(world::DeviceId user,
+                                  std::span<const core::PlaceUid> places) const;
+
+  /// Typical departure time-of-day from a place (e.g. "when does she leave
+  /// for work?"), over departures inside `window`. Cross-midnight stays are
+  /// stitched so midnight itself never counts as a departure.
+  std::optional<SimDuration> typical_departure_tod(
+      world::DeviceId user, core::PlaceUid place,
+      DailyWindow window = DailyWindow::all_day()) const;
+
+  /// First-order Markov next-place prediction: given the user is at
+  /// `current`, the place that most often followed it in the stored
+  /// profiles, with its empirical probability. nullopt without history.
+  struct NextPlace {
+    core::PlaceUid place = core::kNoPlaceUid;
+    double probability = 0;
+  };
+  std::optional<NextPlace> predict_next_place(world::DeviceId user,
+                                              core::PlaceUid current) const;
+
+ private:
+  /// Number of whole days covered by the user's stored profiles (>= 1).
+  std::int64_t observed_days(world::DeviceId user) const;
+
+  const CloudStorage* storage_;
+};
+
+}  // namespace pmware::cloud

@@ -1,0 +1,416 @@
+#include "cloud/cloud_instance.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "algorithms/gca.hpp"
+#include "core/codec.hpp"
+
+namespace pmware::cloud {
+
+using net::HttpRequest;
+using net::HttpResponse;
+using net::PathParams;
+
+CloudInstance::CloudInstance(CloudConfig config, GeoLocationService geoloc,
+                             Rng rng)
+    : config_(config),
+      geoloc_(std::move(geoloc)),
+      tokens_(rng, config.token_ttl),
+      analytics_(&storage_) {
+  register_routes();
+}
+
+SimTime CloudInstance::request_time(const HttpRequest& request) {
+  const auto it = request.headers.find(kSimTimeHeader);
+  if (it == request.headers.end()) return 0;
+  return std::atoll(it->second.c_str());
+}
+
+std::optional<world::DeviceId> CloudInstance::authed_user(
+    const HttpRequest& request) const {
+  const auto it = request.headers.find("Authorization");
+  if (it == request.headers.end()) return std::nullopt;
+  const std::string& value = it->second;
+  constexpr const char* kPrefix = "Bearer ";
+  if (value.rfind(kPrefix, 0) != 0) return std::nullopt;
+  return tokens_.validate(value.substr(7), request_time(request));
+}
+
+std::optional<HttpResponse> CloudInstance::require_user(
+    const HttpRequest& request, const PathParams& params,
+    world::DeviceId& user_out) const {
+  const auto user = authed_user(request);
+  if (!user)
+    return HttpResponse::error(net::kStatusUnauthorized, "invalid token");
+  const auto it = params.find("id");
+  if (it != params.end() &&
+      static_cast<world::DeviceId>(std::atoll(it->second.c_str())) != *user)
+    return HttpResponse::error(net::kStatusUnauthorized,
+                               "token does not match user");
+  user_out = *user;
+  return std::nullopt;
+}
+
+void CloudInstance::register_routes() {
+  using net::Method;
+
+  // --- Registration API ---
+  router_.add_route(Method::Post, "/api/register",
+                    [this](const HttpRequest& req, const PathParams&) {
+    const std::string imei = req.body.get_string("imei", "");
+    const std::string email = req.body.get_string("email", "");
+    if (imei.empty() || email.empty())
+      return HttpResponse::error(net::kStatusBadRequest,
+                                 "imei and email required");
+    const TokenGrant grant =
+        tokens_.register_device(imei, email, request_time(req));
+    Json body = Json::object();
+    body.set("user", static_cast<std::uint64_t>(grant.user));
+    body.set("token", grant.token);
+    body.set("expires_at", grant.expires_at);
+    return HttpResponse::json(std::move(body), net::kStatusCreated);
+  });
+
+  router_.add_route(Method::Post, "/api/token/refresh",
+                    [this](const HttpRequest& req, const PathParams&) {
+    const auto it = req.headers.find("Authorization");
+    if (it == req.headers.end() || it->second.rfind("Bearer ", 0) != 0)
+      return HttpResponse::error(net::kStatusUnauthorized, "no token");
+    const auto grant = tokens_.refresh(it->second.substr(7), request_time(req));
+    if (!grant)
+      return HttpResponse::error(net::kStatusUnauthorized, "token expired");
+    Json body = Json::object();
+    body.set("user", static_cast<std::uint64_t>(grant->user));
+    body.set("token", grant->token);
+    body.set("expires_at", grant->expires_at);
+    return HttpResponse::json(std::move(body));
+  });
+
+  // --- Places API: GCA offloading (§2.3.1) ---
+  router_.add_route(Method::Post, "/api/places/discover",
+                    [this](const HttpRequest& req, const PathParams& params) {
+    world::DeviceId user = 0;
+    if (auto err = require_user(req, params, user)) return *err;
+    std::vector<algorithms::CellObservation> observations;
+    for (const auto& o : req.body.at("observations").as_array()) {
+      observations.push_back(
+          {o.at("t").as_int(), core::cell_from_json(o.at("cell"))});
+    }
+    const algorithms::GcaResult result = algorithms::run_gca(observations);
+    Json places = Json::array();
+    for (const auto& cluster : result.places) {
+      Json p = Json::object();
+      p.set("signature",
+            core::to_json(algorithms::PlaceSignature(cluster.signature)));
+      p.set("total_dwell", static_cast<std::int64_t>(cluster.total_dwell));
+      places.push_back(std::move(p));
+    }
+    Json visits = Json::array();
+    for (const auto& v : result.visits) {
+      Json e = Json::object();
+      e.set("place", static_cast<std::uint64_t>(v.place_index));
+      e.set("arrival", v.window.begin);
+      e.set("departure", v.window.end);
+      visits.push_back(std::move(e));
+    }
+    Json body = Json::object();
+    body.set("places", std::move(places));
+    body.set("visits", std::move(visits));
+    return HttpResponse::json(std::move(body));
+  });
+
+  // --- Places API: sync and retrieval ---
+  router_.add_route(Method::Get, "/api/users/:id/places",
+                    [this](const HttpRequest& req, const PathParams& params) {
+    world::DeviceId user = 0;
+    if (auto err = require_user(req, params, user)) return *err;
+    Json arr = Json::array();
+    for (const auto& [uid, record] : storage_.user(user).places)
+      arr.push_back(core::to_json(record));
+    Json body = Json::object();
+    body.set("places", std::move(arr));
+    return HttpResponse::json(std::move(body));
+  });
+
+  router_.add_route(Method::Put, "/api/users/:id/places/:uid",
+                    [this](const HttpRequest& req, const PathParams& params) {
+    world::DeviceId user = 0;
+    if (auto err = require_user(req, params, user)) return *err;
+    core::PlaceRecord record = core::place_record_from_json(req.body);
+    record.uid = static_cast<core::PlaceUid>(
+        std::atoll(params.at("uid").c_str()));
+    // Resolve an approximate position server-side when the client has none.
+    if (!record.location)
+      record.location = geoloc_.locate_signature(record.signature);
+    storage_.user(user).places[record.uid] = record;
+    Json body = Json::object();
+    body.set("uid", static_cast<std::uint64_t>(record.uid));
+    // Echo the resolved position so the mobile service can cache it locally
+    // (geofencing and the map UI need coordinates on-device).
+    if (record.location) body.set("location", core::to_json(*record.location));
+    return HttpResponse::json(std::move(body), net::kStatusCreated);
+  });
+
+  router_.add_route(Method::Post, "/api/users/:id/places/:uid/label",
+                    [this](const HttpRequest& req, const PathParams& params) {
+    world::DeviceId user = 0;
+    if (auto err = require_user(req, params, user)) return *err;
+    const auto uid = static_cast<core::PlaceUid>(
+        std::atoll(params.at("uid").c_str()));
+    auto& places = storage_.user(user).places;
+    const auto it = places.find(uid);
+    if (it == places.end())
+      return HttpResponse::error(net::kStatusNotFound, "unknown place");
+    it->second.label = req.body.get_string("label", "");
+    return HttpResponse::json(Json::object());
+  });
+
+  // --- Mobility profiles API (§2.3.3) ---
+  router_.add_route(Method::Put, "/api/users/:id/profiles/:day",
+                    [this](const HttpRequest& req, const PathParams& params) {
+    world::DeviceId user = 0;
+    if (auto err = require_user(req, params, user)) return *err;
+    core::MobilityProfile profile = core::profile_from_json(req.body);
+    const std::int64_t day = std::atoll(params.at("day").c_str());
+    profile.day = day;
+    profile.user = user;
+    storage_.user(user).profiles[day] = std::move(profile);
+    return HttpResponse::json(Json::object(), net::kStatusCreated);
+  });
+
+  router_.add_route(Method::Get, "/api/users/:id/profiles/:day",
+                    [this](const HttpRequest& req, const PathParams& params) {
+    world::DeviceId user = 0;
+    if (auto err = require_user(req, params, user)) return *err;
+    const std::int64_t day = std::atoll(params.at("day").c_str());
+    const auto& profiles = storage_.user(user).profiles;
+    const auto it = profiles.find(day);
+    if (it == profiles.end())
+      return HttpResponse::error(net::kStatusNotFound, "no profile for day");
+    return HttpResponse::json(core::to_json(it->second));
+  });
+
+  // --- Routes API ---
+  router_.add_route(Method::Post, "/api/users/:id/routes",
+                    [this](const HttpRequest& req, const PathParams& params) {
+    world::DeviceId user = 0;
+    if (auto err = require_user(req, params, user)) return *err;
+    algorithms::RouteObservation obs;
+    obs.from_place = static_cast<std::size_t>(req.body.get_int("from", 0));
+    obs.to_place = static_cast<std::size_t>(req.body.get_int("to", 0));
+    obs.window = TimeWindow{req.body.get_int("start", 0),
+                            req.body.get_int("end", 0)};
+    if (req.body.contains("cells")) {
+      for (const auto& c : req.body.at("cells").as_array()) {
+        obs.cells.times.push_back(c.at("t").as_int());
+        obs.cells.cells.push_back(core::cell_from_json(c.at("cell")));
+      }
+    }
+    if (req.body.contains("gps")) {
+      for (const auto& g : req.body.at("gps").as_array()) {
+        obs.gps.times.push_back(g.at("t").as_int());
+        obs.gps.points.push_back(core::latlng_from_json(g));
+      }
+    }
+    const std::size_t uid = storage_.user(user).routes.add(std::move(obs));
+    Json body = Json::object();
+    body.set("route_uid", static_cast<std::uint64_t>(uid));
+    return HttpResponse::json(std::move(body), net::kStatusCreated);
+  });
+
+  router_.add_route(Method::Get, "/api/users/:id/routes",
+                    [this](const HttpRequest& req, const PathParams& params) {
+    world::DeviceId user = 0;
+    if (auto err = require_user(req, params, user)) return *err;
+    const auto& store = storage_.user(user).routes;
+    Json arr = Json::array();
+    auto emit = [&arr](std::size_t uid, const algorithms::CanonicalRoute& r) {
+      Json e = Json::object();
+      e.set("route_uid", static_cast<std::uint64_t>(uid));
+      e.set("from", static_cast<std::uint64_t>(r.representative.from_place));
+      e.set("to", static_cast<std::uint64_t>(r.representative.to_place));
+      e.set("use_count", static_cast<std::uint64_t>(r.use_count));
+      arr.push_back(std::move(e));
+    };
+    const auto from_it = req.query.find("from");
+    const auto to_it = req.query.find("to");
+    if (from_it != req.query.end() && to_it != req.query.end()) {
+      for (std::size_t uid : store.between(
+               static_cast<std::size_t>(std::atoll(from_it->second.c_str())),
+               static_cast<std::size_t>(std::atoll(to_it->second.c_str()))))
+        emit(uid, store.routes()[uid]);
+    } else {
+      for (std::size_t uid = 0; uid < store.routes().size(); ++uid)
+        emit(uid, store.routes()[uid]);
+    }
+    Json body = Json::object();
+    body.set("routes", std::move(arr));
+    return HttpResponse::json(std::move(body));
+  });
+
+  // --- Social contacts API ---
+  router_.add_route(Method::Post, "/api/users/:id/contacts",
+                    [this](const HttpRequest& req, const PathParams& params) {
+    world::DeviceId user = 0;
+    if (auto err = require_user(req, params, user)) return *err;
+    for (const auto& e : req.body.at("encounters").as_array()) {
+      storage_.user(user).encounters.push_back(
+          {static_cast<world::DeviceId>(e.at("contact").as_int()),
+           static_cast<core::PlaceUid>(e.at("place").as_int()),
+           e.at("start").as_int(), e.at("end").as_int()});
+    }
+    return HttpResponse::json(Json::object(), net::kStatusCreated);
+  });
+
+  router_.add_route(Method::Get, "/api/users/:id/contacts",
+                    [this](const HttpRequest& req, const PathParams& params) {
+    world::DeviceId user = 0;
+    if (auto err = require_user(req, params, user)) return *err;
+    std::optional<core::PlaceUid> place_filter;
+    if (const auto it = req.query.find("place"); it != req.query.end())
+      place_filter = static_cast<core::PlaceUid>(std::atoll(it->second.c_str()));
+    Json arr = Json::array();
+    for (const auto& e : storage_.user(user).encounters) {
+      if (place_filter && e.place != *place_filter) continue;
+      Json o = Json::object();
+      o.set("contact", static_cast<std::uint64_t>(e.contact));
+      o.set("place", static_cast<std::uint64_t>(e.place));
+      o.set("start", e.start);
+      o.set("end", e.end);
+      arr.push_back(std::move(o));
+    }
+    Json body = Json::object();
+    body.set("encounters", std::move(arr));
+    return HttpResponse::json(std::move(body));
+  });
+
+  // --- Privacy: data deletion (paper §6 "greater privacy and security
+  // guarantees") ---
+  router_.add_route(Method::Delete, "/api/users/:id",
+                    [this](const HttpRequest& req, const PathParams& params) {
+    world::DeviceId user = 0;
+    if (auto err = require_user(req, params, user)) return *err;
+    storage_.erase_user(user);
+    return HttpResponse::json(Json::object());
+  });
+
+  router_.add_route(Method::Delete, "/api/users/:id/places/:uid",
+                    [this](const HttpRequest& req, const PathParams& params) {
+    world::DeviceId user = 0;
+    if (auto err = require_user(req, params, user)) return *err;
+    const auto uid = static_cast<core::PlaceUid>(
+        std::atoll(params.at("uid").c_str()));
+    if (!storage_.erase_place(user, uid))
+      return HttpResponse::error(net::kStatusNotFound, "unknown place");
+    return HttpResponse::json(Json::object());
+  });
+
+  // --- Activity tracking (paper §6 future work) ---
+  router_.add_route(Method::Get, "/api/users/:id/analytics/activity/:day",
+                    [this](const HttpRequest& req, const PathParams& params) {
+    world::DeviceId user = 0;
+    if (auto err = require_user(req, params, user)) return *err;
+    const std::int64_t day = std::atoll(params.at("day").c_str());
+    const auto& profiles = storage_.user(user).profiles;
+    const auto it = profiles.find(day);
+    if (it == profiles.end() || it->second.activity.empty())
+      return HttpResponse::error(net::kStatusNotFound, "no activity for day");
+    Json body = Json::object();
+    body.set("still", it->second.activity.still);
+    body.set("walking", it->second.activity.walking);
+    body.set("vehicle", it->second.activity.vehicle);
+    return HttpResponse::json(std::move(body));
+  });
+
+  // --- Geo-location API (§2.3.3 "miscellaneous services") ---
+  router_.add_route(Method::Get, "/api/geo/cell/:mcc/:mnc/:lac/:cid",
+                    [this](const HttpRequest& req, const PathParams& params) {
+    world::DeviceId user = 0;
+    if (auto err = require_user(req, params, user)) return *err;
+    world::CellId cell;
+    cell.mcc = static_cast<std::uint16_t>(std::atoi(params.at("mcc").c_str()));
+    cell.mnc = static_cast<std::uint16_t>(std::atoi(params.at("mnc").c_str()));
+    cell.lac = static_cast<std::uint16_t>(std::atoi(params.at("lac").c_str()));
+    cell.cid = static_cast<std::uint32_t>(std::atoll(params.at("cid").c_str()));
+    const auto radio_it = req.query.find("radio");
+    cell.radio = (radio_it != req.query.end() && radio_it->second == "3g")
+                     ? world::Radio::Umts3G
+                     : world::Radio::Gsm2G;
+    const auto pos = geoloc_.locate_cell(cell);
+    if (!pos) return HttpResponse::error(net::kStatusNotFound, "unknown cell");
+    return HttpResponse::json(core::to_json(*pos));
+  });
+
+  // --- Analytics & prediction engine (§2.3.2) ---
+  router_.add_route(Method::Get, "/api/users/:id/analytics/arrival/:uid",
+                    [this](const HttpRequest& req, const PathParams& params) {
+    world::DeviceId user = 0;
+    if (auto err = require_user(req, params, user)) return *err;
+    const auto uid = static_cast<core::PlaceUid>(
+        std::atoll(params.at("uid").c_str()));
+    const auto tod = analytics_.typical_arrival_tod(user, uid);
+    if (!tod) return HttpResponse::error(net::kStatusNotFound, "no history");
+    Json body = Json::object();
+    body.set("typical_arrival_tod", *tod);
+    return HttpResponse::json(std::move(body));
+  });
+
+  router_.add_route(Method::Get, "/api/users/:id/analytics/next_visit/:uid",
+                    [this](const HttpRequest& req, const PathParams& params) {
+    world::DeviceId user = 0;
+    if (auto err = require_user(req, params, user)) return *err;
+    const auto uid = static_cast<core::PlaceUid>(
+        std::atoll(params.at("uid").c_str()));
+    const auto t = analytics_.predict_next_visit(user, uid, request_time(req));
+    if (!t) return HttpResponse::error(net::kStatusNotFound, "no prediction");
+    Json body = Json::object();
+    body.set("predicted_at", *t);
+    return HttpResponse::json(std::move(body));
+  });
+
+  router_.add_route(Method::Get, "/api/users/:id/analytics/departure/:uid",
+                    [this](const HttpRequest& req, const PathParams& params) {
+    world::DeviceId user = 0;
+    if (auto err = require_user(req, params, user)) return *err;
+    const auto uid = static_cast<core::PlaceUid>(
+        std::atoll(params.at("uid").c_str()));
+    const auto tod = analytics_.typical_departure_tod(user, uid);
+    if (!tod) return HttpResponse::error(net::kStatusNotFound, "no history");
+    Json body = Json::object();
+    body.set("typical_departure_tod", *tod);
+    return HttpResponse::json(std::move(body));
+  });
+
+  router_.add_route(Method::Get, "/api/users/:id/analytics/next_place/:uid",
+                    [this](const HttpRequest& req, const PathParams& params) {
+    world::DeviceId user = 0;
+    if (auto err = require_user(req, params, user)) return *err;
+    const auto uid = static_cast<core::PlaceUid>(
+        std::atoll(params.at("uid").c_str()));
+    const auto next = analytics_.predict_next_place(user, uid);
+    if (!next) return HttpResponse::error(net::kStatusNotFound, "no history");
+    Json body = Json::object();
+    body.set("place", static_cast<std::uint64_t>(next->place));
+    body.set("probability", next->probability);
+    return HttpResponse::json(std::move(body));
+  });
+
+  router_.add_route(Method::Get, "/api/users/:id/analytics/frequency",
+                    [this](const HttpRequest& req, const PathParams& params) {
+    world::DeviceId user = 0;
+    if (auto err = require_user(req, params, user)) return *err;
+    const auto it = req.query.find("label");
+    std::vector<core::PlaceUid> matching;
+    for (const auto& [uid, record] : storage_.user(user).places) {
+      if (it == req.query.end() || record.label == it->second)
+        matching.push_back(uid);
+    }
+    Json body = Json::object();
+    body.set("visits_per_week",
+             analytics_.visit_frequency_per_week(user, matching));
+    return HttpResponse::json(std::move(body));
+  });
+}
+
+}  // namespace pmware::cloud

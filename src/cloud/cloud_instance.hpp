@@ -1,0 +1,67 @@
+// The PMWare Cloud Instance (PCI, paper §2.3): REST endpoints for
+// registration, place/route discovery offloading, mobility-profile sync,
+// social contacts, geo-location, and analytics.
+//
+// Requests carry the simulation clock in an "X-Sim-Time" header (the
+// in-process stand-in for wall-clock), and a bearer token in
+// "Authorization" for everything except registration.
+#pragma once
+
+#include <memory>
+
+#include "cloud/analytics.hpp"
+#include "cloud/geolocation.hpp"
+#include "cloud/storage.hpp"
+#include "cloud/token_service.hpp"
+#include "net/router.hpp"
+#include "util/rng.hpp"
+
+namespace pmware::cloud {
+
+struct CloudConfig {
+  // 28h: long enough that the nightly housekeeping refresh runs
+  // with >4h of validity to spare, short enough to be exercised daily.
+  SimDuration token_ttl = hours(28);
+};
+
+class CloudInstance {
+ public:
+  CloudInstance(CloudConfig config, GeoLocationService geoloc, Rng rng);
+
+  /// The REST surface; hand this to a net::RestClient.
+  const net::Router& router() const { return router_; }
+
+  // Direct (non-REST) access for tests and local tooling.
+  CloudStorage& storage() { return storage_; }
+  const CloudStorage& storage() const { return storage_; }
+  TokenService& tokens() { return tokens_; }
+  const AnalyticsEngine& analytics() const { return analytics_; }
+  const GeoLocationService& geolocation() const { return geoloc_; }
+
+  /// Header names of the simulated transport.
+  static constexpr const char* kSimTimeHeader = "X-Sim-Time";
+
+ private:
+  void register_routes();
+
+  /// Current simulated time as reported by the caller (0 if absent).
+  static SimTime request_time(const net::HttpRequest& request);
+
+  /// Validates the bearer token; returns the authenticated user or nullopt.
+  std::optional<world::DeviceId> authed_user(
+      const net::HttpRequest& request) const;
+
+  /// 401 unless the token is valid AND matches the :id path parameter.
+  std::optional<net::HttpResponse> require_user(
+      const net::HttpRequest& request, const net::PathParams& params,
+      world::DeviceId& user_out) const;
+
+  CloudConfig config_;
+  GeoLocationService geoloc_;
+  TokenService tokens_;
+  CloudStorage storage_;
+  AnalyticsEngine analytics_;
+  net::Router router_;
+};
+
+}  // namespace pmware::cloud

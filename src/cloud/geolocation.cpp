@@ -1,0 +1,35 @@
+#include "cloud/geolocation.hpp"
+
+#include <vector>
+
+namespace pmware::cloud {
+
+std::optional<geo::LatLng> GeoLocationService::locate_cell(
+    const world::CellId& cell) const {
+  const auto it = cell_db_.find(cell);
+  if (it == cell_db_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<geo::LatLng> GeoLocationService::locate_signature(
+    const algorithms::PlaceSignature& sig) const {
+  if (const auto* c = std::get_if<algorithms::CellSignature>(&sig)) {
+    std::vector<geo::LatLng> known;
+    for (const auto& cell : c->cells)
+      if (const auto pos = locate_cell(cell)) known.push_back(*pos);
+    if (known.empty()) return std::nullopt;
+    return geo::centroid(known);
+  }
+  if (const auto* w = std::get_if<algorithms::WifiSignature>(&sig)) {
+    std::vector<geo::LatLng> known;
+    for (world::Bssid b : w->aps) {
+      const auto it = ap_db_.find(b);
+      if (it != ap_db_.end()) known.push_back(it->second);
+    }
+    if (known.empty()) return std::nullopt;
+    return geo::centroid(known);
+  }
+  return std::get<algorithms::GpsSignature>(sig).center;
+}
+
+}  // namespace pmware::cloud

@@ -1,0 +1,40 @@
+// Geo-location service (paper §2.3.3): converts cell ids to approximate
+// coordinates, standing in for OpenCellID / Google geo-location APIs, and
+// resolves place signatures to map positions for visualization (Figure 5b).
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "algorithms/signature.hpp"
+#include "geo/latlng.hpp"
+#include "world/ids.hpp"
+
+namespace pmware::cloud {
+
+class GeoLocationService {
+ public:
+  explicit GeoLocationService(std::map<world::CellId, geo::LatLng> cell_db)
+      : cell_db_(std::move(cell_db)) {}
+
+  /// Approximate tower position for a cell, if known.
+  std::optional<geo::LatLng> locate_cell(const world::CellId& cell) const;
+
+  /// Approximate position of a place signature: centroid of its known cells,
+  /// centroid of its AP positions (when an AP database is supplied), or the
+  /// GPS center directly.
+  std::optional<geo::LatLng> locate_signature(
+      const algorithms::PlaceSignature& sig) const;
+
+  void set_ap_db(std::map<world::Bssid, geo::LatLng> ap_db) {
+    ap_db_ = std::move(ap_db);
+  }
+
+  std::size_t known_cells() const { return cell_db_.size(); }
+
+ private:
+  std::map<world::CellId, geo::LatLng> cell_db_;
+  std::map<world::Bssid, geo::LatLng> ap_db_;
+};
+
+}  // namespace pmware::cloud

@@ -1,0 +1,53 @@
+#include "cloud/storage.hpp"
+
+#include <algorithm>
+
+namespace pmware::cloud {
+
+std::vector<core::PlaceVisitEntry> CloudStorage::visits_at(
+    world::DeviceId user, core::PlaceUid place) const {
+  std::vector<core::PlaceVisitEntry> out;
+  const UserStore* store = find_user(user);
+  if (store == nullptr) return out;
+  for (const auto& [day, profile] : store->profiles) {
+    for (const auto& visit : profile.places)
+      if (visit.place == place) out.push_back(visit);
+  }
+  return out;
+}
+
+bool CloudStorage::erase_place(world::DeviceId id, core::PlaceUid place) {
+  const auto it = users_.find(id);
+  if (it == users_.end()) return false;
+  const bool existed = it->second.places.erase(place) > 0;
+  for (auto& [day, profile] : it->second.profiles) {
+    std::erase_if(profile.places, [place](const core::PlaceVisitEntry& e) {
+      return e.place == place;
+    });
+  }
+  std::erase_if(it->second.encounters, [place](const core::EncounterEntry& e) {
+    return e.place == place;
+  });
+  return existed;
+}
+
+std::vector<core::PlaceVisitEntry> CloudStorage::stitched_visits_at(
+    world::DeviceId user, core::PlaceUid place) const {
+  std::vector<core::PlaceVisitEntry> raw = visits_at(user, place);
+  std::sort(raw.begin(), raw.end(),
+            [](const core::PlaceVisitEntry& a, const core::PlaceVisitEntry& b) {
+              return a.arrival < b.arrival;
+            });
+  std::vector<core::PlaceVisitEntry> out;
+  for (const auto& entry : raw) {
+    if (!out.empty() && out.back().departure == entry.arrival &&
+        time_of_day(entry.arrival) == 0) {
+      out.back().departure = entry.departure;  // midnight continuation
+    } else {
+      out.push_back(entry);
+    }
+  }
+  return out;
+}
+
+}  // namespace pmware::cloud

@@ -1,0 +1,55 @@
+// Cloud-side persistent stores: per-user places, day-keyed mobility
+// profiles, canonical routes, and social contacts (paper §2.3).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "algorithms/routes.hpp"
+#include "core/model.hpp"
+
+namespace pmware::cloud {
+
+struct UserStore {
+  std::map<core::PlaceUid, core::PlaceRecord> places;
+  std::map<std::int64_t, core::MobilityProfile> profiles;  ///< by day
+  algorithms::RouteStore routes;
+  std::vector<core::EncounterEntry> encounters;
+};
+
+class CloudStorage {
+ public:
+  UserStore& user(world::DeviceId id) { return users_[id]; }
+  const UserStore* find_user(world::DeviceId id) const {
+    const auto it = users_.find(id);
+    return it == users_.end() ? nullptr : &it->second;
+  }
+  std::size_t user_count() const { return users_.size(); }
+
+  /// Deletes everything stored for `id` (privacy wipe, paper §6 future
+  /// work). Returns true if the user had any data.
+  bool erase_user(world::DeviceId id) { return users_.erase(id) > 0; }
+
+  /// Deletes one place and every profile entry referencing it. Returns true
+  /// if the place existed.
+  bool erase_place(world::DeviceId id, core::PlaceUid place);
+
+  /// All visits of `user` at `place` across all stored profiles, in day
+  /// order — the analytics engine's raw material.
+  std::vector<core::PlaceVisitEntry> visits_at(world::DeviceId user,
+                                               core::PlaceUid place) const;
+
+  /// Like visits_at, but with cross-midnight continuations stitched back
+  /// together: day profiles split an overnight stay into an evening entry
+  /// ending at midnight and a morning entry starting at midnight (paper
+  /// §2.1.3 stores day-specific profiles); for arrival/departure analytics
+  /// those two entries are one stay.
+  std::vector<core::PlaceVisitEntry> stitched_visits_at(
+      world::DeviceId user, core::PlaceUid place) const;
+
+ private:
+  std::map<world::DeviceId, UserStore> users_;
+};
+
+}  // namespace pmware::cloud

@@ -1,0 +1,52 @@
+#include "cloud/token_service.hpp"
+
+#include "util/strfmt.hpp"
+
+namespace pmware::cloud {
+
+TokenService::TokenService(Rng rng, SimDuration token_ttl)
+    : rng_(rng), ttl_(token_ttl) {}
+
+std::string TokenService::mint_token() {
+  return strfmt("tok-%016llx%016llx",
+                static_cast<unsigned long long>(rng_.engine()()),
+                static_cast<unsigned long long>(rng_.engine()()));
+}
+
+TokenGrant TokenService::register_device(const std::string& imei,
+                                         const std::string& email,
+                                         SimTime now) {
+  const auto key = std::make_pair(imei, email);
+  auto it = devices_.find(key);
+  if (it == devices_.end())
+    it = devices_.emplace(key, next_user_++).first;
+
+  TokenGrant grant;
+  grant.user = it->second;
+  grant.token = mint_token();
+  grant.expires_at = now + ttl_;
+  tokens_[grant.token] = {grant.user, grant.expires_at};
+  return grant;
+}
+
+std::optional<TokenGrant> TokenService::refresh(const std::string& token,
+                                                SimTime now) {
+  const auto it = tokens_.find(token);
+  if (it == tokens_.end() || it->second.expires_at <= now) return std::nullopt;
+  TokenGrant grant;
+  grant.user = it->second.user;
+  grant.token = mint_token();
+  grant.expires_at = now + ttl_;
+  tokens_.erase(it);
+  tokens_[grant.token] = {grant.user, grant.expires_at};
+  return grant;
+}
+
+std::optional<world::DeviceId> TokenService::validate(const std::string& token,
+                                                      SimTime now) const {
+  const auto it = tokens_.find(token);
+  if (it == tokens_.end() || it->second.expires_at <= now) return std::nullopt;
+  return it->second.user;
+}
+
+}  // namespace pmware::cloud

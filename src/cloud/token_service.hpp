@@ -1,0 +1,56 @@
+// Registration and authentication (paper §2.2.1/§2.3.3): a device is
+// identified by IMEI + account email; a one-time registration yields a
+// bearer token which expires and is refreshed periodically.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/rng.hpp"
+#include "util/simtime.hpp"
+#include "world/ids.hpp"
+
+namespace pmware::cloud {
+
+struct TokenGrant {
+  world::DeviceId user = 0;
+  std::string token;
+  SimTime expires_at = 0;
+};
+
+class TokenService {
+ public:
+  explicit TokenService(Rng rng, SimDuration token_ttl = hours(24));
+
+  /// Registers (or re-registers) a device; idempotent on (imei, email) —
+  /// the same device always maps to the same user id, with a fresh token.
+  TokenGrant register_device(const std::string& imei, const std::string& email,
+                             SimTime now);
+
+  /// Exchanges a valid (possibly near-expiry) token for a fresh one.
+  /// Expired or unknown tokens are refused.
+  std::optional<TokenGrant> refresh(const std::string& token, SimTime now);
+
+  /// Validates a bearer token; returns the user id if current.
+  std::optional<world::DeviceId> validate(const std::string& token,
+                                          SimTime now) const;
+
+  SimDuration token_ttl() const { return ttl_; }
+  std::size_t registered_devices() const { return devices_.size(); }
+
+ private:
+  std::string mint_token();
+
+  Rng rng_;
+  SimDuration ttl_;
+  std::map<std::pair<std::string, std::string>, world::DeviceId> devices_;
+  struct TokenInfo {
+    world::DeviceId user;
+    SimTime expires_at;
+  };
+  std::map<std::string, TokenInfo> tokens_;
+  world::DeviceId next_user_ = 1;
+};
+
+}  // namespace pmware::cloud

@@ -1,0 +1,203 @@
+#include "core/codec.hpp"
+
+#include <stdexcept>
+
+namespace pmware::core {
+
+const char* to_string(Granularity g) {
+  switch (g) {
+    case Granularity::Area: return "area";
+    case Granularity::Building: return "building";
+    case Granularity::Room: return "room";
+  }
+  return "?";
+}
+
+Json to_json(const world::CellId& cell) {
+  Json j = Json::object();
+  j.set("mcc", static_cast<std::int64_t>(cell.mcc));
+  j.set("mnc", static_cast<std::int64_t>(cell.mnc));
+  j.set("lac", static_cast<std::int64_t>(cell.lac));
+  j.set("cid", static_cast<std::int64_t>(cell.cid));
+  j.set("radio", cell.radio == world::Radio::Gsm2G ? "2g" : "3g");
+  return j;
+}
+
+world::CellId cell_from_json(const Json& j) {
+  world::CellId cell;
+  cell.mcc = static_cast<std::uint16_t>(j.at("mcc").as_int());
+  cell.mnc = static_cast<std::uint16_t>(j.at("mnc").as_int());
+  cell.lac = static_cast<std::uint16_t>(j.at("lac").as_int());
+  cell.cid = static_cast<std::uint32_t>(j.at("cid").as_int());
+  cell.radio = j.get_string("radio", "2g") == "3g" ? world::Radio::Umts3G
+                                                   : world::Radio::Gsm2G;
+  return cell;
+}
+
+Json to_json(const geo::LatLng& p) {
+  Json j = Json::object();
+  j.set("lat", p.lat);
+  j.set("lng", p.lng);
+  return j;
+}
+
+geo::LatLng latlng_from_json(const Json& j) {
+  return {j.at("lat").as_double(), j.at("lng").as_double()};
+}
+
+Json to_json(const algorithms::PlaceSignature& sig) {
+  Json j = Json::object();
+  if (const auto* c = std::get_if<algorithms::CellSignature>(&sig)) {
+    j.set("kind", "cells");
+    Json arr = Json::array();
+    for (const auto& cell : c->cells) arr.push_back(to_json(cell));
+    j.set("cells", std::move(arr));
+  } else if (const auto* w = std::get_if<algorithms::WifiSignature>(&sig)) {
+    j.set("kind", "wifi");
+    Json arr = Json::array();
+    for (world::Bssid b : w->aps) arr.push_back(static_cast<std::uint64_t>(b));
+    j.set("aps", std::move(arr));
+  } else {
+    const auto& g = std::get<algorithms::GpsSignature>(sig);
+    j.set("kind", "gps");
+    j.set("center", to_json(g.center));
+    j.set("radius_m", g.radius_m);
+  }
+  return j;
+}
+
+algorithms::PlaceSignature signature_from_json(const Json& j) {
+  const std::string kind = j.at("kind").as_string();
+  if (kind == "cells") {
+    algorithms::CellSignature sig;
+    for (const auto& c : j.at("cells").as_array())
+      sig.cells.insert(cell_from_json(c));
+    return sig;
+  }
+  if (kind == "wifi") {
+    algorithms::WifiSignature sig;
+    for (const auto& b : j.at("aps").as_array())
+      sig.aps.insert(static_cast<world::Bssid>(b.as_int()));
+    return sig;
+  }
+  if (kind == "gps") {
+    algorithms::GpsSignature sig;
+    sig.center = latlng_from_json(j.at("center"));
+    sig.radius_m = j.at("radius_m").as_double();
+    return sig;
+  }
+  throw JsonError("unknown signature kind: " + kind);
+}
+
+Json to_json(const PlaceRecord& record) {
+  Json j = Json::object();
+  j.set("uid", static_cast<std::uint64_t>(record.uid));
+  j.set("signature", to_json(record.signature));
+  j.set("label", record.label);
+  if (record.location) j.set("location", to_json(*record.location));
+  j.set("granularity", to_string(record.granularity));
+  j.set("visit_count", static_cast<std::uint64_t>(record.visit_count));
+  j.set("total_dwell", static_cast<std::int64_t>(record.total_dwell));
+  return j;
+}
+
+namespace {
+
+Granularity granularity_from_string(const std::string& s) {
+  if (s == "area") return Granularity::Area;
+  if (s == "building") return Granularity::Building;
+  if (s == "room") return Granularity::Room;
+  throw JsonError("unknown granularity: " + s);
+}
+
+}  // namespace
+
+PlaceRecord place_record_from_json(const Json& j) {
+  PlaceRecord record;
+  record.uid = static_cast<PlaceUid>(j.at("uid").as_int());
+  record.signature = signature_from_json(j.at("signature"));
+  record.label = j.get_string("label", "");
+  if (j.contains("location"))
+    record.location = latlng_from_json(j.at("location"));
+  record.granularity =
+      granularity_from_string(j.get_string("granularity", "building"));
+  record.visit_count = static_cast<std::size_t>(j.get_int("visit_count", 0));
+  record.total_dwell = j.get_int("total_dwell", 0);
+  return record;
+}
+
+Json to_json(const MobilityProfile& profile) {
+  Json j = Json::object();
+  j.set("user", static_cast<std::uint64_t>(profile.user));
+  j.set("day", profile.day);
+
+  Json places = Json::array();
+  for (const auto& v : profile.places) {
+    Json e = Json::object();
+    e.set("place", static_cast<std::uint64_t>(v.place));
+    e.set("arrival", v.arrival);
+    e.set("departure", v.departure);
+    places.push_back(std::move(e));
+  }
+  j.set("places", std::move(places));
+
+  Json routes = Json::array();
+  for (const auto& r : profile.routes) {
+    Json e = Json::object();
+    e.set("route", static_cast<std::uint64_t>(r.route_uid));
+    e.set("start", r.start);
+    e.set("end", r.end);
+    routes.push_back(std::move(e));
+  }
+  j.set("routes", std::move(routes));
+
+  Json encounters = Json::array();
+  for (const auto& h : profile.encounters) {
+    Json e = Json::object();
+    e.set("contact", static_cast<std::uint64_t>(h.contact));
+    e.set("place", static_cast<std::uint64_t>(h.place));
+    e.set("start", h.start);
+    e.set("end", h.end);
+    encounters.push_back(std::move(e));
+  }
+  j.set("encounters", std::move(encounters));
+
+  if (!profile.activity.empty()) {
+    Json activity = Json::object();
+    activity.set("still", profile.activity.still);
+    activity.set("walking", profile.activity.walking);
+    activity.set("vehicle", profile.activity.vehicle);
+    j.set("activity", std::move(activity));
+  }
+  return j;
+}
+
+MobilityProfile profile_from_json(const Json& j) {
+  MobilityProfile profile;
+  profile.user = static_cast<world::DeviceId>(j.at("user").as_int());
+  profile.day = j.at("day").as_int();
+  for (const auto& e : j.at("places").as_array()) {
+    profile.places.push_back({static_cast<PlaceUid>(e.at("place").as_int()),
+                              e.at("arrival").as_int(),
+                              e.at("departure").as_int()});
+  }
+  for (const auto& e : j.at("routes").as_array()) {
+    profile.routes.push_back({static_cast<std::uint64_t>(e.at("route").as_int()),
+                              e.at("start").as_int(), e.at("end").as_int()});
+  }
+  for (const auto& e : j.at("encounters").as_array()) {
+    profile.encounters.push_back(
+        {static_cast<world::DeviceId>(e.at("contact").as_int()),
+         static_cast<PlaceUid>(e.at("place").as_int()),
+         e.at("start").as_int(), e.at("end").as_int()});
+  }
+  if (j.contains("activity")) {
+    const Json& activity = j.at("activity");
+    profile.activity.still = activity.get_int("still", 0);
+    profile.activity.walking = activity.get_int("walking", 0);
+    profile.activity.vehicle = activity.get_int("vehicle", 0);
+  }
+  return profile;
+}
+
+}  // namespace pmware::core

@@ -1,0 +1,24 @@
+// JSON codecs for the shared model — the REST wire format (paper §2.3.3).
+#pragma once
+
+#include "core/model.hpp"
+#include "util/json.hpp"
+
+namespace pmware::core {
+
+Json to_json(const world::CellId& cell);
+world::CellId cell_from_json(const Json& j);
+
+Json to_json(const geo::LatLng& p);
+geo::LatLng latlng_from_json(const Json& j);
+
+Json to_json(const algorithms::PlaceSignature& sig);
+algorithms::PlaceSignature signature_from_json(const Json& j);
+
+Json to_json(const PlaceRecord& record);
+PlaceRecord place_record_from_json(const Json& j);
+
+Json to_json(const MobilityProfile& profile);
+MobilityProfile profile_from_json(const Json& j);
+
+}  // namespace pmware::core

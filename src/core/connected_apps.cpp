@@ -1,0 +1,217 @@
+#include "core/connected_apps.hpp"
+
+#include <algorithm>
+
+namespace pmware::core {
+
+RequestId ConnectedAppsModule::register_place_alerts(PlaceAlertRequest request) {
+  const RequestId id = next_id_++;
+  place_requests_[id] = std::move(request);
+  return id;
+}
+
+RequestId ConnectedAppsModule::register_route_tracking(
+    RouteTrackingRequest request) {
+  const RequestId id = next_id_++;
+  route_requests_[id] = std::move(request);
+  return id;
+}
+
+RequestId ConnectedAppsModule::register_social(SocialRequest request) {
+  const RequestId id = next_id_++;
+  social_requests_[id] = std::move(request);
+  return id;
+}
+
+RequestId ConnectedAppsModule::register_geofence(GeofenceRequest request) {
+  const RequestId id = next_id_++;
+  geofence_requests_[id] = std::move(request);
+  return id;
+}
+
+void ConnectedAppsModule::unregister(RequestId id) {
+  place_requests_.erase(id);
+  route_requests_.erase(id);
+  social_requests_.erase(id);
+  geofence_requests_.erase(id);
+}
+
+void ConnectedAppsModule::unregister_app(const std::string& app) {
+  std::erase_if(place_requests_,
+                [&](const auto& kv) { return kv.second.app == app; });
+  std::erase_if(route_requests_,
+                [&](const auto& kv) { return kv.second.app == app; });
+  std::erase_if(social_requests_,
+                [&](const auto& kv) { return kv.second.app == app; });
+  std::erase_if(geofence_requests_,
+                [&](const auto& kv) { return kv.second.app == app; });
+}
+
+std::optional<Granularity> ConnectedAppsModule::required_granularity(
+    SimTime t) const {
+  if (!preferences_->sharing_enabled()) return std::nullopt;
+  std::optional<Granularity> finest;
+  for (const auto& [id, req] : place_requests_) {
+    if (!req.window.contains(t)) continue;
+    // What the app effectively receives is capped by the user's preference,
+    // so sensing never works harder than the permission allows.
+    const Granularity eff = preferences_->effective(req.app, req.granularity);
+    if (!finest || static_cast<int>(eff) > static_cast<int>(*finest))
+      finest = eff;
+  }
+  // Geofences need distinct buildings: they demand building-level sensing.
+  for (const auto& [id, req] : geofence_requests_) {
+    if (!req.window.contains(t)) continue;
+    const Granularity eff =
+        preferences_->effective(req.app, Granularity::Building);
+    if (!finest || static_cast<int>(eff) > static_cast<int>(*finest))
+      finest = eff;
+  }
+  return finest;
+}
+
+RouteAccuracy ConnectedAppsModule::required_route_accuracy(SimTime t) const {
+  if (!preferences_->sharing_enabled()) return RouteAccuracy::Off;
+  RouteAccuracy best = RouteAccuracy::Off;
+  for (const auto& [id, req] : route_requests_) {
+    if (!req.window.contains(t)) continue;
+    if (static_cast<int>(req.accuracy) > static_cast<int>(best))
+      best = req.accuracy;
+  }
+  return best;
+}
+
+bool ConnectedAppsModule::social_required(SimTime t,
+                                          std::optional<PlaceUid> place) const {
+  if (!preferences_->sharing_enabled()) return false;
+  for (const auto& [id, req] : social_requests_) {
+    if (!req.window.contains(t)) continue;
+    if (!req.only_at_place) return true;
+    if (place && *place == *req.only_at_place) return true;
+  }
+  return false;
+}
+
+namespace {
+
+const char* action_for(PlaceEvent::Kind kind) {
+  switch (kind) {
+    case PlaceEvent::Kind::Enter: return actions::kPlaceEnter;
+    case PlaceEvent::Kind::Exit: return actions::kPlaceExit;
+    case PlaceEvent::Kind::NewPlace: return actions::kNewPlace;
+  }
+  return actions::kPlaceEnter;
+}
+
+}  // namespace
+
+std::size_t ConnectedAppsModule::deliver_place_event(const PlaceEvent& event,
+                                                     const PlaceStore& store,
+                                                     IntentBus& bus) {
+  if (!preferences_->sharing_enabled()) return 0;
+  std::size_t delivered = 0;
+  for (const auto& [id, req] : place_requests_) {
+    if (!req.window.contains(event.t)) continue;
+    switch (event.kind) {
+      case PlaceEvent::Kind::Enter:
+        if (!req.want_enter) continue;
+        break;
+      case PlaceEvent::Kind::Exit:
+        if (!req.want_exit) continue;
+        break;
+      case PlaceEvent::Kind::NewPlace:
+        if (!req.want_new_place) continue;
+        break;
+    }
+    const Granularity eff = preferences_->effective(req.app, req.granularity);
+
+    Intent intent{action_for(event.kind)};
+    intent.put("t", Json(event.t));
+    intent.put("area_uid", Json(static_cast<std::uint64_t>(event.area_uid)));
+    if (eff != Granularity::Area) {
+      intent.put("place_uid", Json(static_cast<std::uint64_t>(event.uid)));
+      if (const PlaceRecord* record = store.get(event.uid)) {
+        if (!record->label.empty()) intent.put("label", Json(record->label));
+        if (record->location) {
+          intent.put("lat", Json(record->location->lat));
+          intent.put("lng", Json(record->location->lng));
+        }
+        intent.put("visit_count",
+                   Json(static_cast<std::uint64_t>(record->visit_count)));
+      }
+      if (event.kind == PlaceEvent::Kind::Exit)
+        intent.put("dwell", Json(event.dwell));
+    }
+    if (bus.send_to(req.receiver, intent)) ++delivered;
+  }
+  return delivered;
+}
+
+std::size_t ConnectedAppsModule::deliver_route_event(const RouteEvent& event,
+                                                     IntentBus& bus) {
+  if (!preferences_->sharing_enabled()) return 0;
+  std::size_t delivered = 0;
+  for (const auto& [id, req] : route_requests_) {
+    if (!req.window.contains(event.window.end)) continue;
+    Intent intent{actions::kRouteCompleted};
+    intent.put("route_uid", Json(event.route_uid));
+    intent.put("from", Json(static_cast<std::uint64_t>(event.from)));
+    intent.put("to", Json(static_cast<std::uint64_t>(event.to)));
+    intent.put("start", Json(event.window.begin));
+    intent.put("end", Json(event.window.end));
+    intent.put("high_accuracy", Json(event.high_accuracy));
+    if (bus.send_to(req.receiver, intent)) ++delivered;
+  }
+  return delivered;
+}
+
+std::size_t ConnectedAppsModule::deliver_encounter(const EncounterEvent& event,
+                                                   IntentBus& bus) {
+  if (!preferences_->sharing_enabled()) return 0;
+  std::size_t delivered = 0;
+  for (const auto& [id, req] : social_requests_) {
+    if (!req.window.contains(event.window.begin)) continue;
+    if (req.only_at_place && !(event.place == *req.only_at_place)) continue;
+    Intent intent{actions::kEncounter};
+    intent.put("contact", Json(static_cast<std::uint64_t>(event.contact)));
+    intent.put("place", Json(static_cast<std::uint64_t>(event.place)));
+    intent.put("start", Json(event.window.begin));
+    intent.put("end", Json(event.window.end));
+    if (bus.send_to(req.receiver, intent)) ++delivered;
+  }
+  return delivered;
+}
+
+std::size_t ConnectedAppsModule::deliver_geofence(const PlaceEvent& event,
+                                                  const PlaceStore& store,
+                                                  IntentBus& bus) {
+  if (!preferences_->sharing_enabled()) return 0;
+  if (event.kind == PlaceEvent::Kind::NewPlace) return 0;
+  const PlaceRecord* record = store.get(event.uid);
+  if (record == nullptr || !record->location) return 0;
+
+  std::size_t delivered = 0;
+  for (const auto& [id, req] : geofence_requests_) {
+    if (!req.window.contains(event.t)) continue;
+    if (event.kind == PlaceEvent::Kind::Enter && !req.want_enter) continue;
+    if (event.kind == PlaceEvent::Kind::Exit && !req.want_exit) continue;
+    if (geo::distance_m(*record->location, req.center) > req.radius_m) continue;
+
+    Intent intent{event.kind == PlaceEvent::Kind::Enter
+                      ? actions::kGeofenceEnter
+                      : actions::kGeofenceExit};
+    intent.put("t", Json(event.t));
+    intent.put("geofence_id", Json(static_cast<std::uint64_t>(id)));
+    intent.put("lat", Json(record->location->lat));
+    intent.put("lng", Json(record->location->lng));
+    if (bus.send_to(req.receiver, intent)) ++delivered;
+  }
+  return delivered;
+}
+
+std::size_t ConnectedAppsModule::registration_count() const {
+  return place_requests_.size() + route_requests_.size() +
+         social_requests_.size() + geofence_requests_.size();
+}
+
+}  // namespace pmware::core

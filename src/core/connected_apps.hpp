@@ -1,0 +1,119 @@
+// Connected Applications Module (paper §2.2.4): keeps every connected app's
+// registered requirements, aggregates them into the sensing demand the
+// inference engine acts on, and delivers place/route/social alerts as
+// intents — coarsened to each app's permitted granularity (§2.2.1).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/events.hpp"
+#include "core/intents.hpp"
+#include "core/model.hpp"
+#include "core/place_store.hpp"
+#include "core/preferences.hpp"
+#include "geo/latlng.hpp"
+
+namespace pmware::core {
+
+/// Route-tracking accuracy (paper §2.2.2): low uses GSM only; high uses WiFi
+/// for departure detection and GPS along the way.
+enum class RouteAccuracy : std::uint8_t { Off = 0, Low = 1, High = 2 };
+
+/// A connected app's request for place alerts (the §2.4 use case: "get place
+/// alerts at building granularity, tracked 9 AM - 6 PM").
+struct PlaceAlertRequest {
+  std::string app;
+  Granularity granularity = Granularity::Building;
+  DailyWindow window = DailyWindow::all_day();
+  bool want_enter = true;
+  bool want_exit = true;
+  bool want_new_place = false;
+  ReceiverId receiver = 0;  ///< the app's intent receiver
+};
+
+struct RouteTrackingRequest {
+  std::string app;
+  RouteAccuracy accuracy = RouteAccuracy::Low;
+  DailyWindow window = DailyWindow::all_day();
+  ReceiverId receiver = 0;
+};
+
+/// A coordinate geofence (the geo-reminder apps the paper's introduction
+/// motivates [Place-Its, geo to-do lists]): fires when the user enters or
+/// leaves any discovered place whose resolved position lies within
+/// `radius_m` of `center`.
+struct GeofenceRequest {
+  std::string app;
+  geo::LatLng center;
+  double radius_m = 200;
+  bool want_enter = true;
+  bool want_exit = true;
+  DailyWindow window = DailyWindow::all_day();
+  ReceiverId receiver = 0;
+};
+
+/// Social-contact monitoring, optionally targeted at one place
+/// (§2.2.2: "monitoring contacts only at the user's workplace").
+struct SocialRequest {
+  std::string app;
+  std::optional<PlaceUid> only_at_place;
+  DailyWindow window = DailyWindow::all_day();
+  ReceiverId receiver = 0;
+};
+
+using RequestId = std::uint32_t;
+
+class ConnectedAppsModule {
+ public:
+  /// `preferences` must outlive the module.
+  explicit ConnectedAppsModule(const UserPreferences* preferences)
+      : preferences_(preferences) {}
+
+  RequestId register_place_alerts(PlaceAlertRequest request);
+  RequestId register_route_tracking(RouteTrackingRequest request);
+  RequestId register_social(SocialRequest request);
+  RequestId register_geofence(GeofenceRequest request);
+  void unregister(RequestId id);
+  /// Removes every registration of `app`.
+  void unregister_app(const std::string& app);
+
+  // --- Aggregated sensing demand (drives the inference engine) ---
+
+  /// Finest granularity any active place-alert request needs at time `t`;
+  /// nullopt when no request is active (or the master switch is off).
+  std::optional<Granularity> required_granularity(SimTime t) const;
+
+  /// Highest route accuracy requested at `t`.
+  RouteAccuracy required_route_accuracy(SimTime t) const;
+
+  /// Whether social scanning is wanted at `t` while at `place`.
+  bool social_required(SimTime t, std::optional<PlaceUid> place) const;
+
+  // --- Delivery ---
+
+  /// Sends the event to every matching registration, coarsened per app.
+  /// Returns the number of intents delivered.
+  std::size_t deliver_place_event(const PlaceEvent& event,
+                                  const PlaceStore& store, IntentBus& bus);
+  std::size_t deliver_route_event(const RouteEvent& event, IntentBus& bus);
+  std::size_t deliver_encounter(const EncounterEvent& event, IntentBus& bus);
+  /// Matches the event's place (by its resolved position) against every
+  /// registered geofence. Places without a resolved position never fire.
+  std::size_t deliver_geofence(const PlaceEvent& event, const PlaceStore& store,
+                               IntentBus& bus);
+
+  std::size_t registration_count() const;
+
+ private:
+  const UserPreferences* preferences_;
+  std::map<RequestId, PlaceAlertRequest> place_requests_;
+  std::map<RequestId, RouteTrackingRequest> route_requests_;
+  std::map<RequestId, SocialRequest> social_requests_;
+  std::map<RequestId, GeofenceRequest> geofence_requests_;
+  RequestId next_id_ = 1;
+};
+
+}  // namespace pmware::core

@@ -1,0 +1,39 @@
+// Events produced by the inference engine and delivered (as intents) to
+// connected applications.
+#pragma once
+
+#include <optional>
+
+#include "core/model.hpp"
+#include "util/simtime.hpp"
+
+namespace pmware::core {
+
+struct PlaceEvent {
+  enum class Kind { Enter, Exit, NewPlace };
+  Kind kind = Kind::Enter;
+  PlaceUid uid = kNoPlaceUid;
+  /// Area-level identity: the GSM-cluster place containing `uid` (equal to
+  /// `uid` when the place itself is a GSM cluster). This is all an app with
+  /// an area-granularity permission gets to see.
+  PlaceUid area_uid = kNoPlaceUid;
+  SimTime t = 0;
+  /// For Exit: how long the stay lasted.
+  SimDuration dwell = 0;
+};
+
+struct RouteEvent {
+  std::uint64_t route_uid = 0;
+  PlaceUid from = kNoPlaceUid;
+  PlaceUid to = kNoPlaceUid;
+  TimeWindow window;
+  bool high_accuracy = false;
+};
+
+struct EncounterEvent {
+  world::DeviceId contact = 0;
+  PlaceUid place = kNoPlaceUid;
+  TimeWindow window;
+};
+
+}  // namespace pmware::core

@@ -1,0 +1,38 @@
+#include "core/intents.hpp"
+
+namespace pmware::core {
+
+ReceiverId IntentBus::register_receiver(IntentFilter filter,
+                                        IntentHandler handler) {
+  const ReceiverId id = next_id_++;
+  receivers_[id] = {std::move(filter), std::move(handler)};
+  return id;
+}
+
+void IntentBus::unregister(ReceiverId id) { receivers_.erase(id); }
+
+std::size_t IntentBus::broadcast(const Intent& intent) {
+  ++broadcasts_;
+  std::size_t reached = 0;
+  // Snapshot ids first: handlers may (un)register receivers while running.
+  std::vector<ReceiverId> ids;
+  ids.reserve(receivers_.size());
+  for (const auto& [id, receiver] : receivers_) ids.push_back(id);
+  for (ReceiverId id : ids) {
+    const auto it = receivers_.find(id);
+    if (it == receivers_.end()) continue;
+    if (!it->second.filter.matches(intent)) continue;
+    it->second.handler(intent);
+    ++reached;
+  }
+  return reached;
+}
+
+bool IntentBus::send_to(ReceiverId id, const Intent& intent) {
+  const auto it = receivers_.find(id);
+  if (it == receivers_.end()) return false;
+  it->second.handler(intent);
+  return true;
+}
+
+}  // namespace pmware::core

@@ -1,0 +1,78 @@
+// Message-passing between the PMWare Mobile Service and connected
+// applications (paper §2.2.4): the in-process equivalent of Android intents
+// and broadcasts. Apps register intent filters; PMS broadcasts place alerts;
+// a directed send targets one receiver.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace pmware::core {
+
+/// Well-known intent actions broadcast by PMS.
+namespace actions {
+inline constexpr const char* kPlaceEnter = "pmware.place.ENTER";
+inline constexpr const char* kPlaceExit = "pmware.place.EXIT";
+inline constexpr const char* kNewPlace = "pmware.place.NEW";
+inline constexpr const char* kRouteCompleted = "pmware.route.COMPLETED";
+inline constexpr const char* kEncounter = "pmware.social.ENCOUNTER";
+inline constexpr const char* kGeofenceEnter = "pmware.geofence.ENTER";
+inline constexpr const char* kGeofenceExit = "pmware.geofence.EXIT";
+}  // namespace actions
+
+struct Intent {
+  std::string action;
+  Json extras = Json::object();
+
+  Intent() = default;
+  explicit Intent(std::string a) : action(std::move(a)) {}
+  Intent& put(const std::string& key, Json value) {
+    extras.set(key, std::move(value));
+    return *this;
+  }
+};
+
+/// Which actions a receiver is interested in.
+struct IntentFilter {
+  std::set<std::string> actions;
+  bool matches(const Intent& intent) const {
+    return actions.count(intent.action) > 0;
+  }
+};
+
+using ReceiverId = std::uint32_t;
+using IntentHandler = std::function<void(const Intent&)>;
+
+class IntentBus {
+ public:
+  /// Registers a receiver; returns its id for directed sends/unregistering.
+  ReceiverId register_receiver(IntentFilter filter, IntentHandler handler);
+
+  void unregister(ReceiverId id);
+
+  /// Delivers to every receiver whose filter matches.
+  /// Returns the number of receivers reached.
+  std::size_t broadcast(const Intent& intent);
+
+  /// Delivers to one receiver regardless of its filter; false if unknown.
+  bool send_to(ReceiverId id, const Intent& intent);
+
+  std::size_t receiver_count() const { return receivers_.size(); }
+  std::size_t broadcast_count() const { return broadcasts_; }
+
+ private:
+  struct Receiver {
+    IntentFilter filter;
+    IntentHandler handler;
+  };
+  std::map<ReceiverId, Receiver> receivers_;
+  ReceiverId next_id_ = 1;
+  std::size_t broadcasts_ = 0;
+};
+
+}  // namespace pmware::core

@@ -1,0 +1,98 @@
+// PMWare mobility representation (paper §2.1): places, routes, and the
+// day-specific mobility profile
+//   M_X = (P_i, a_i, d_i)* , (R_j, s_j, e_j)* , (H_k, s_k, e_k)*
+// shared between the mobile service and the cloud instance.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algorithms/signature.hpp"
+#include "geo/latlng.hpp"
+#include "util/simtime.hpp"
+#include "world/ids.hpp"
+
+namespace pmware::core {
+
+/// Place granularity classes (paper Figure 2): what accuracy a connected
+/// application needs. Determines which location interfaces PMWare samples.
+enum class Granularity : std::uint8_t {
+  Area = 0,      ///< "user is in the shopping street" — GSM suffices
+  Building = 1,  ///< distinct buildings — GSM + opportunistic WiFi
+  Room = 2,      ///< room-level — WiFi (+ GPS for outdoor transitions)
+};
+
+const char* to_string(Granularity g);
+
+/// Stable identifier the mobile service assigns to a discovered place.
+using PlaceUid = std::uint64_t;
+inline constexpr PlaceUid kNoPlaceUid = 0;
+
+/// A discovered place as stored and synced by PMWare.
+struct PlaceRecord {
+  PlaceUid uid = kNoPlaceUid;
+  algorithms::PlaceSignature signature;
+  /// User-provided semantic label ("Home", "Workplace", ...); empty until
+  /// the user tags the place in the visualization module.
+  std::string label;
+  /// Approximate geo-coordinates, resolved via the cloud geo-location API.
+  std::optional<geo::LatLng> location;
+  /// Coarsest granularity class this record is meaningful at.
+  Granularity granularity = Granularity::Building;
+  std::size_t visit_count = 0;
+  SimDuration total_dwell = 0;
+};
+
+/// (P_i, a_i, d_i): one stay in the day profile.
+struct PlaceVisitEntry {
+  PlaceUid place = kNoPlaceUid;
+  SimTime arrival = 0;
+  SimTime departure = 0;
+};
+
+/// (R_j, s_j, e_j): one journey in the day profile.
+struct RouteEntry {
+  std::uint64_t route_uid = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+};
+
+/// (H_k, s_k, e_k): a social encounter during a place visit (§2.1.3).
+struct EncounterEntry {
+  world::DeviceId contact = 0;
+  PlaceUid place = kNoPlaceUid;
+  SimTime start = 0;
+  SimTime end = 0;
+};
+
+/// Per-day physical-activity totals, from the accelerometer stream (the
+/// paper's §6 future-work item "integrating other contextual information
+/// such as activity tracking").
+struct ActivitySummary {
+  SimDuration still = 0;
+  SimDuration walking = 0;
+  SimDuration vehicle = 0;
+
+  SimDuration tracked() const { return still + walking + vehicle; }
+  bool empty() const { return tracked() == 0; }
+  bool operator==(const ActivitySummary&) const = default;
+};
+
+/// Day-specific mobility profile for one user.
+struct MobilityProfile {
+  world::DeviceId user = 0;
+  std::int64_t day = 0;
+  std::vector<PlaceVisitEntry> places;
+  std::vector<RouteEntry> routes;
+  std::vector<EncounterEntry> encounters;
+  ActivitySummary activity;
+
+  bool empty() const {
+    return places.empty() && routes.empty() && encounters.empty() &&
+           activity.empty();
+  }
+};
+
+}  // namespace pmware::core

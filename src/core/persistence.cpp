@@ -1,0 +1,96 @@
+#include "core/persistence.hpp"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "core/codec.hpp"
+
+namespace pmware::core {
+
+namespace {
+
+/// Applies `parse` to every non-empty line; rethrows JSON errors as
+/// PersistenceError with the line number.
+template <typename Fn>
+void for_each_line(std::istream& in, Fn parse) {
+  std::string line;
+  std::size_t number = 0;
+  while (std::getline(in, line)) {
+    ++number;
+    if (line.empty()) continue;
+    try {
+      parse(Json::parse(line));
+    } catch (const JsonError& error) {
+      throw PersistenceError(number, error.what());
+    }
+  }
+}
+
+}  // namespace
+
+void write_gsm_log(std::ostream& out,
+                   std::span<const algorithms::CellObservation> log) {
+  for (const auto& obs : log) {
+    Json j = Json::object();
+    j.set("t", obs.t);
+    j.set("cell", to_json(obs.cell));
+    out << j.dump() << '\n';
+  }
+}
+
+std::vector<algorithms::CellObservation> read_gsm_log(std::istream& in) {
+  std::vector<algorithms::CellObservation> log;
+  for_each_line(in, [&log](const Json& j) {
+    log.push_back({j.at("t").as_int(), cell_from_json(j.at("cell"))});
+  });
+  return log;
+}
+
+void write_visit_log(std::ostream& out, std::span<const LoggedVisit> log) {
+  for (const auto& visit : log) {
+    Json j = Json::object();
+    j.set("uid", static_cast<std::uint64_t>(visit.uid));
+    j.set("begin", visit.window.begin);
+    j.set("end", visit.window.end);
+    out << j.dump() << '\n';
+  }
+}
+
+std::vector<LoggedVisit> read_visit_log(std::istream& in) {
+  std::vector<LoggedVisit> log;
+  for_each_line(in, [&log](const Json& j) {
+    log.push_back({static_cast<PlaceUid>(j.at("uid").as_int()),
+                   TimeWindow{j.at("begin").as_int(), j.at("end").as_int()}});
+  });
+  return log;
+}
+
+void write_place_records(std::ostream& out, const PlaceStore& store) {
+  for (const auto& [uid, record] : store.records())
+    out << to_json(record).dump() << '\n';
+}
+
+std::vector<PlaceRecord> read_place_records(std::istream& in) {
+  std::vector<PlaceRecord> records;
+  for_each_line(in, [&records](const Json& j) {
+    records.push_back(place_record_from_json(j));
+  });
+  return records;
+}
+
+void write_profiles(std::ostream& out,
+                    std::span<const MobilityProfile> profiles) {
+  for (const auto& profile : profiles)
+    out << to_json(profile).dump() << '\n';
+}
+
+std::vector<MobilityProfile> read_profiles(std::istream& in) {
+  std::vector<MobilityProfile> profiles;
+  for_each_line(in, [&profiles](const Json& j) {
+    profiles.push_back(profile_from_json(j));
+  });
+  return profiles;
+}
+
+}  // namespace pmware::core

@@ -1,0 +1,50 @@
+// JSONL persistence for PMWare data products: raw GSM observation logs,
+// visit logs, place records, and mobility profiles.
+//
+// A real deployment must survive process restarts and ship logs for offline
+// analysis; this is the serialization layer for that (one JSON document per
+// line, append-friendly, stream-based so it is storage-agnostic).
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "algorithms/gca.hpp"
+#include "core/inference_engine.hpp"
+#include "core/model.hpp"
+#include "core/place_store.hpp"
+
+namespace pmware::core {
+
+// --- GSM observation log (the GCA input that gets offloaded) ---
+void write_gsm_log(std::ostream& out,
+                   std::span<const algorithms::CellObservation> log);
+std::vector<algorithms::CellObservation> read_gsm_log(std::istream& in);
+
+// --- Visit log (the authoritative post-recluster stays) ---
+void write_visit_log(std::ostream& out, std::span<const LoggedVisit> log);
+std::vector<LoggedVisit> read_visit_log(std::istream& in);
+
+// --- Place records ---
+void write_place_records(std::ostream& out, const PlaceStore& store);
+std::vector<PlaceRecord> read_place_records(std::istream& in);
+
+// --- Day profiles ---
+void write_profiles(std::ostream& out,
+                    std::span<const MobilityProfile> profiles);
+std::vector<MobilityProfile> read_profiles(std::istream& in);
+
+/// Thrown by readers on malformed lines (carries the 1-based line number).
+class PersistenceError : public std::runtime_error {
+ public:
+  PersistenceError(std::size_t line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+}  // namespace pmware::core

@@ -1,0 +1,59 @@
+#include "core/place_store.hpp"
+
+namespace pmware::core {
+
+std::pair<PlaceUid, bool> PlaceStore::intern(
+    const algorithms::PlaceSignature& sig, Granularity granularity) {
+  if (const auto existing = find(sig)) {
+    // Keep the signature fresh: cell sets drift as networks re-plan, so the
+    // newest clustering wins.
+    records_[*existing].signature = sig;
+    return {*existing, false};
+  }
+  PlaceRecord record;
+  record.uid = next_uid_++;
+  record.signature = sig;
+  record.granularity = granularity;
+  records_[record.uid] = std::move(record);
+  return {next_uid_ - 1, true};
+}
+
+std::optional<PlaceUid> PlaceStore::find(
+    const algorithms::PlaceSignature& sig) const {
+  for (const auto& [uid, record] : records_)
+    if (algorithms::signatures_match(record.signature, sig)) return uid;
+  return std::nullopt;
+}
+
+const PlaceRecord* PlaceStore::get(PlaceUid uid) const {
+  const auto it = records_.find(uid);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+PlaceRecord* PlaceStore::get_mutable(PlaceUid uid) {
+  const auto it = records_.find(uid);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+void PlaceStore::record_visit(PlaceUid uid, SimDuration dwell) {
+  const auto it = records_.find(uid);
+  if (it == records_.end()) return;
+  ++it->second.visit_count;
+  it->second.total_dwell += dwell;
+}
+
+bool PlaceStore::set_label(PlaceUid uid, const std::string& label) {
+  const auto it = records_.find(uid);
+  if (it == records_.end()) return false;
+  it->second.label = label;
+  return true;
+}
+
+std::vector<PlaceUid> PlaceStore::with_label(const std::string& label) const {
+  std::vector<PlaceUid> out;
+  for (const auto& [uid, record] : records_)
+    if (record.label == label) out.push_back(uid);
+  return out;
+}
+
+}  // namespace pmware::core

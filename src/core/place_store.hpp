@@ -1,0 +1,48 @@
+// PMS-side place registry: assigns stable PlaceUids to discovered
+// signatures, accumulates visit statistics, and holds user labels
+// (the data behind the visualization & labeling module, paper §2.2.5).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace pmware::core {
+
+class PlaceStore {
+ public:
+  /// Finds the record whose signature matches `sig` (same kind, similarity
+  /// above the matching threshold), or creates one. Returns the uid and
+  /// whether it was newly created.
+  std::pair<PlaceUid, bool> intern(const algorithms::PlaceSignature& sig,
+                                   Granularity granularity);
+
+  /// Matches without creating.
+  std::optional<PlaceUid> find(const algorithms::PlaceSignature& sig) const;
+
+  const PlaceRecord* get(PlaceUid uid) const;
+  PlaceRecord* get_mutable(PlaceUid uid);
+
+  /// Records one completed visit for statistics.
+  void record_visit(PlaceUid uid, SimDuration dwell);
+
+  /// User tags a place with a semantic label (life-logging UI, §3).
+  bool set_label(PlaceUid uid, const std::string& label);
+
+  /// Removes a record entirely ("forget this place"). The uid is never
+  /// reused. Returns true if it existed.
+  bool erase(PlaceUid uid) { return records_.erase(uid) > 0; }
+
+  const std::map<PlaceUid, PlaceRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  std::vector<PlaceUid> with_label(const std::string& label) const;
+
+ private:
+  std::map<PlaceUid, PlaceRecord> records_;
+  PlaceUid next_uid_ = 1;
+};
+
+}  // namespace pmware::core

@@ -1,0 +1,318 @@
+#include "core/pms.hpp"
+
+#include <algorithm>
+
+#include "core/codec.hpp"
+#include "util/logging.hpp"
+#include "util/strfmt.hpp"
+
+namespace pmware::core {
+
+PmwareMobileService::PmwareMobileService(
+    std::unique_ptr<sensing::Device> device, PmsConfig config,
+    std::unique_ptr<net::RestClient> client, Rng rng)
+    : config_(std::move(config)),
+      device_(std::move(device)),
+      meter_(config_.power),
+      scheduler_(&meter_),
+      apps_(&preferences_),
+      engine_(device_.get(), &scheduler_, &place_store_, &apps_,
+              config_.inference, rng.fork(1)),
+      client_(std::move(client)) {
+  engine_.set_place_event_sink([this](const PlaceEvent& event) {
+    stats_.place_events_delivered +=
+        apps_.deliver_place_event(event, place_store_, bus_);
+    stats_.place_events_delivered +=
+        apps_.deliver_geofence(event, place_store_, bus_);
+  });
+  engine_.set_route_event_sink([this](const RouteEvent& event) {
+    stats_.route_events_delivered += apps_.deliver_route_event(event, bus_);
+  });
+  engine_.set_encounter_sink([this](const EncounterEvent& event) {
+    stats_.encounters_delivered += apps_.deliver_encounter(event, bus_);
+  });
+  engine_.set_gca_runner(
+      [this](std::span<const algorithms::CellObservation> observations) {
+        return offloaded_gca(observations, scheduler_.now());
+      });
+  engine_.attach();
+}
+
+net::HttpRequest PmwareMobileService::make_request(net::Method method,
+                                                   std::string path,
+                                                   SimTime now) const {
+  net::HttpRequest request;
+  request.method = method;
+  request.path = std::move(path);
+  request.headers["X-Sim-Time"] = std::to_string(now);
+  return request;
+}
+
+bool PmwareMobileService::register_with_cloud(SimTime now) {
+  if (client_ == nullptr) return false;
+  net::HttpRequest request = make_request(net::Method::Post, "/api/register", now);
+  request.body = Json::object();
+  request.body.set("imei", config_.imei);
+  request.body.set("email", config_.email);
+  const net::HttpResponse response = client_->send(request);
+  if (!response.ok()) {
+    log_warn("pms", "registration failed: %d", response.status);
+    return false;
+  }
+  user_id_ = static_cast<world::DeviceId>(response.body.at("user").as_int());
+  client_->set_auth_token(response.body.at("token").as_string());
+  token_expires_ = response.body.at("expires_at").as_int();
+  log_info("pms", "registered as user %u", *user_id_);
+  return true;
+}
+
+void PmwareMobileService::maybe_refresh_token(SimTime now) {
+  if (client_ == nullptr || !user_id_) return;
+  // Refresh once less than six hours of validity remain.
+  if (token_expires_ - now >= hours(6)) return;
+  net::HttpRequest request =
+      make_request(net::Method::Post, "/api/token/refresh", now);
+  const net::HttpResponse response = client_->send(request);
+  if (response.ok()) {
+    client_->set_auth_token(response.body.at("token").as_string());
+    token_expires_ = response.body.at("expires_at").as_int();
+    ++stats_.token_refreshes;
+  } else {
+    // Expired beyond refresh: re-register (idempotent on imei/email).
+    register_with_cloud(now);
+  }
+}
+
+algorithms::GcaResult PmwareMobileService::offloaded_gca(
+    std::span<const algorithms::CellObservation> observations, SimTime now) {
+  if (config_.offload_gca && client_ != nullptr && user_id_) {
+    net::HttpRequest request =
+        make_request(net::Method::Post, "/api/places/discover", now);
+    Json arr = Json::array();
+    for (const auto& obs : observations) {
+      Json o = Json::object();
+      o.set("t", obs.t);
+      o.set("cell", to_json(obs.cell));
+      arr.push_back(std::move(o));
+    }
+    request.body = Json::object();
+    request.body.set("observations", std::move(arr));
+    const net::HttpResponse response = client_->send(request);
+    if (response.ok()) {
+      ++stats_.gca_offloads;
+      algorithms::GcaResult result;
+      for (const auto& p : response.body.at("places").as_array()) {
+        const auto sig = signature_from_json(p.at("signature"));
+        algorithms::CellCluster cluster;
+        cluster.signature = std::get<algorithms::CellSignature>(sig);
+        cluster.total_dwell = p.at("total_dwell").as_int();
+        const std::size_t index = result.places.size();
+        for (const auto& cell : cluster.signature.cells)
+          result.cell_to_place[cell] = index;
+        result.places.push_back(std::move(cluster));
+      }
+      for (const auto& v : response.body.at("visits").as_array()) {
+        result.visits.push_back(
+            {static_cast<std::size_t>(v.at("place").as_int()),
+             TimeWindow{v.at("arrival").as_int(), v.at("departure").as_int()}});
+      }
+      return result;
+    }
+    log_warn("pms", "GCA offload failed (%d); running locally", response.status);
+  }
+  ++stats_.gca_local_runs;
+  return algorithms::run_gca(observations, config_.inference.gca);
+}
+
+void PmwareMobileService::run(TimeWindow window) {
+  // Split at day boundaries so housekeeping runs between days.
+  SimTime cursor = window.begin;
+  while (cursor < window.end) {
+    const SimTime day_end =
+        std::min(window.end, start_of_day(day_of(cursor) + 1));
+    scheduler_.run(TimeWindow{cursor, day_end});
+    cursor = day_end;
+    if (cursor < window.end || time_of_day(cursor) == 0)
+      housekeeping(cursor);
+  }
+}
+
+void PmwareMobileService::housekeeping(SimTime now) {
+  // Refresh credentials first: the recluster below may offload to the cloud.
+  maybe_refresh_token(now);
+  engine_.recluster(now);
+  if (config_.cloud_sync && client_ != nullptr && user_id_) {
+    // Sync every completed day. Days already synced are re-PUT because each
+    // recluster can refine earlier days' visit logs; the PUT is idempotent.
+    const std::int64_t up_to = day_of(now) - (time_of_day(now) == 0 ? 1 : 0);
+    for (std::int64_t day = 0; day <= up_to; ++day) sync_day(day, now);
+
+    // Sync place records (signatures may have shifted after recluster).
+    // The cloud resolves approximate coordinates via its geo-location
+    // service and echoes them back; cache them locally — geofencing and the
+    // map UI need positions on-device.
+    std::vector<std::pair<PlaceUid, geo::LatLng>> resolved;
+    for (const auto& [uid, record] : place_store_.records()) {
+      net::HttpRequest request = make_request(
+          net::Method::Put,
+          strfmt("/api/users/%u/places/%llu", *user_id_,
+                 static_cast<unsigned long long>(uid)),
+          now);
+      request.body = to_json(record);
+      const net::HttpResponse response = client_->send(request);
+      if (response.ok() && response.body.contains("location") &&
+          !record.location)
+        resolved.emplace_back(uid,
+                              latlng_from_json(response.body.at("location")));
+    }
+    for (const auto& [uid, location] : resolved) {
+      if (PlaceRecord* record = place_store_.get_mutable(uid))
+        record->location = location;
+    }
+
+    // Upload journeys completed since the last sync; the cloud's route
+    // store deduplicates repeats into canonical routes (paper §2.3.3).
+    const auto& route_log = engine_.route_log();
+    for (; routes_synced_ < route_log.size(); ++routes_synced_) {
+      const RouteEvent& event = route_log[routes_synced_];
+      const auto& canonical = engine_.routes().routes();
+      if (event.route_uid >= canonical.size()) continue;
+      const algorithms::RouteObservation& rep =
+          canonical[event.route_uid].representative;
+      net::HttpRequest request = make_request(
+          net::Method::Post, strfmt("/api/users/%u/routes", *user_id_), now);
+      request.body = Json::object();
+      request.body.set("from", static_cast<std::uint64_t>(event.from));
+      request.body.set("to", static_cast<std::uint64_t>(event.to));
+      request.body.set("start", event.window.begin);
+      request.body.set("end", event.window.end);
+      if (!rep.cells.cells.empty()) {
+        Json cells = Json::array();
+        for (std::size_t i = 0; i < rep.cells.cells.size(); ++i) {
+          Json c = Json::object();
+          c.set("t", rep.cells.times[i]);
+          c.set("cell", to_json(rep.cells.cells[i]));
+          cells.push_back(std::move(c));
+        }
+        request.body.set("cells", std::move(cells));
+      }
+      if (!rep.gps.points.empty()) {
+        Json gps = Json::array();
+        for (std::size_t i = 0; i < rep.gps.points.size(); ++i) {
+          Json g = to_json(rep.gps.points[i]);
+          g.set("t", rep.gps.times[i]);
+          gps.push_back(std::move(g));
+        }
+        request.body.set("gps", std::move(gps));
+      }
+      client_->send(request);
+    }
+
+    // Upload new social encounters to the contacts endpoint.
+    const auto& encounter_log = engine_.encounter_log();
+    if (encounters_synced_ < encounter_log.size()) {
+      net::HttpRequest request = make_request(
+          net::Method::Post, strfmt("/api/users/%u/contacts", *user_id_), now);
+      Json encounters = Json::array();
+      for (; encounters_synced_ < encounter_log.size(); ++encounters_synced_) {
+        const EncounterEvent& event = encounter_log[encounters_synced_];
+        Json e = Json::object();
+        e.set("contact", static_cast<std::uint64_t>(event.contact));
+        e.set("place", static_cast<std::uint64_t>(event.place));
+        e.set("start", event.window.begin);
+        e.set("end", event.window.end);
+        encounters.push_back(std::move(e));
+      }
+      request.body = Json::object();
+      request.body.set("encounters", std::move(encounters));
+      client_->send(request);
+    }
+  }
+}
+
+void PmwareMobileService::sync_day(std::int64_t day, SimTime now) {
+  const MobilityProfile profile = profile_for(day);
+  if (profile.empty()) return;
+  net::HttpRequest request = make_request(
+      net::Method::Put,
+      strfmt("/api/users/%u/profiles/%lld", *user_id_,
+             static_cast<long long>(day)),
+      now);
+  request.body = to_json(profile);
+  if (client_->send(request).ok()) ++stats_.profile_syncs;
+}
+
+MobilityProfile PmwareMobileService::profile_for(std::int64_t day) const {
+  MobilityProfile profile;
+  profile.user = user_id_.value_or(0);
+  profile.day = day;
+  const TimeWindow day_window{start_of_day(day), start_of_day(day + 1)};
+
+  for (const auto& visit : engine_.visit_log()) {
+    const SimDuration overlap = visit.window.overlap_length(day_window);
+    if (overlap < config_.inference.min_visit_dwell) continue;
+    profile.places.push_back(
+        {visit.uid, std::max(visit.window.begin, day_window.begin),
+         std::min(visit.window.end, day_window.end)});
+  }
+  for (const auto& route : engine_.route_log()) {
+    if (!route.window.overlaps(day_window)) continue;
+    profile.routes.push_back({route.route_uid, route.window.begin,
+                              route.window.end});
+  }
+  for (const auto& enc : engine_.encounter_log()) {
+    if (!enc.window.overlaps(day_window)) continue;
+    profile.encounters.push_back({enc.contact, enc.place, enc.window.begin,
+                                  enc.window.end});
+  }
+  profile.activity = engine_.activity_for(day);
+  return profile;
+}
+
+bool PmwareMobileService::tag_place(PlaceUid uid, const std::string& label,
+                                    SimTime now) {
+  if (!place_store_.set_label(uid, label)) return false;
+  if (client_ != nullptr && user_id_) {
+    net::HttpRequest request = make_request(
+        net::Method::Post,
+        strfmt("/api/users/%u/places/%llu/label", *user_id_,
+               static_cast<unsigned long long>(uid)),
+        now);
+    request.body = Json::object();
+    request.body.set("label", label);
+    client_->send(request);
+  }
+  return true;
+}
+
+bool PmwareMobileService::forget_place(PlaceUid uid, SimTime now) {
+  if (place_store_.get(uid) == nullptr) return false;
+  place_store_.erase(uid);
+  engine_.forget_place(uid);
+  if (client_ != nullptr && user_id_) {
+    client_->send(make_request(
+        net::Method::Delete,
+        strfmt("/api/users/%u/places/%llu", *user_id_,
+               static_cast<unsigned long long>(uid)),
+        now));
+  }
+  return true;
+}
+
+bool PmwareMobileService::wipe_cloud_data(SimTime now) {
+  if (client_ == nullptr || !user_id_) return false;
+  const net::HttpResponse response = client_->send(
+      make_request(net::Method::Delete, strfmt("/api/users/%u", *user_id_), now));
+  return response.ok();
+}
+
+void PmwareMobileService::shutdown(SimTime now) {
+  engine_.flush(now);
+  housekeeping(now);
+  if (config_.cloud_sync && client_ != nullptr && user_id_) {
+    // Final day may be partial; sync it too.
+    sync_day(day_of(now), now);
+  }
+}
+
+}  // namespace pmware::core

@@ -1,0 +1,130 @@
+// PMWare Mobile Service (PMS, paper §2.2): the single on-device service all
+// connected applications share. Owns the device, the sampling scheduler and
+// energy meter, the inference engine, the place store, user preferences, the
+// connected-apps module, and the REST link to the cloud instance.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/connected_apps.hpp"
+#include "core/inference_engine.hpp"
+#include "core/intents.hpp"
+#include "core/place_store.hpp"
+#include "core/preferences.hpp"
+#include "energy/meter.hpp"
+#include "net/client.hpp"
+#include "sensing/device.hpp"
+#include "sensing/scheduler.hpp"
+
+namespace pmware::core {
+
+struct PmsConfig {
+  std::string imei = "358240051111110";
+  std::string email = "user@example.com";
+  InferenceConfig inference;
+  /// Offload GCA clustering to the cloud (paper §2.3.1); falls back to the
+  /// local implementation when the cloud is unreachable.
+  bool offload_gca = true;
+  /// Sync profiles/places to the cloud during housekeeping.
+  bool cloud_sync = true;
+  energy::PowerProfile power = energy::PowerProfile::htc_explorer();
+};
+
+struct PmsStats {
+  std::size_t place_events_delivered = 0;
+  std::size_t route_events_delivered = 0;
+  std::size_t encounters_delivered = 0;
+  std::size_t profile_syncs = 0;
+  std::size_t token_refreshes = 0;
+  std::size_t gca_offloads = 0;
+  std::size_t gca_local_runs = 0;
+};
+
+class PmwareMobileService {
+ public:
+  /// `client` may be null for a fully offline PMS (no registration, local
+  /// GCA, no sync).
+  PmwareMobileService(std::unique_ptr<sensing::Device> device, PmsConfig config,
+                      std::unique_ptr<net::RestClient> client, Rng rng);
+
+  // --- Authentication & lifecycle (paper §2.2.1) ---
+
+  /// One-time registration against the cloud; true on success.
+  bool register_with_cloud(SimTime now);
+  bool registered() const { return user_id_.has_value(); }
+  std::optional<world::DeviceId> user_id() const { return user_id_; }
+
+  /// Runs the sensing loop over [window.begin, window.end). Day boundaries
+  /// inside the window trigger housekeeping (recluster + sync + token
+  /// refresh). Call repeatedly for consecutive windows if preferred.
+  void run(TimeWindow window);
+
+  /// End-of-study shutdown: flush open visits and run a final recluster +
+  /// sync so the logs are complete.
+  void shutdown(SimTime now);
+
+  // --- Connected applications (paper §2.2.4) ---
+  IntentBus& bus() { return bus_; }
+  ConnectedAppsModule& apps() { return apps_; }
+  UserPreferences& preferences() { return preferences_; }
+
+  // --- Visualization & labeling (paper §2.2.5) ---
+  PlaceStore& places() { return place_store_; }
+  const PlaceStore& places() const { return place_store_; }
+  /// User tags a place; propagated to the cloud when connected.
+  bool tag_place(PlaceUid uid, const std::string& label, SimTime now);
+
+  // --- Privacy (paper §6 future work) ---
+  /// Erases one place locally (record + visit history) and on the cloud.
+  bool forget_place(PlaceUid uid, SimTime now);
+  /// Asks the cloud to delete everything stored for this user. Local state
+  /// is untouched (callers usually discard the PMS afterwards).
+  bool wipe_cloud_data(SimTime now);
+
+  // --- Data products ---
+  const InferenceEngine& inference() const { return engine_; }
+  InferenceEngine& inference() { return engine_; }
+  /// Day-specific mobility profile assembled from the logs (paper §2.2.3).
+  MobilityProfile profile_for(std::int64_t day) const;
+
+  energy::EnergyMeter& meter() { return meter_; }
+  const energy::EnergyMeter& meter() const { return meter_; }
+  const PmsStats& stats() const { return stats_; }
+  net::RestClient* client() { return client_.get(); }
+  sensing::SamplingScheduler& scheduler() { return scheduler_; }
+
+  /// Supplies peer positions for Bluetooth social discovery.
+  void set_peer_provider(InferenceEngine::PeerProvider provider) {
+    engine_.set_peer_provider(std::move(provider));
+  }
+
+ private:
+  void housekeeping(SimTime now);
+  void sync_day(std::int64_t day, SimTime now);
+  void maybe_refresh_token(SimTime now);
+  net::HttpRequest make_request(net::Method method, std::string path,
+                                SimTime now) const;
+  algorithms::GcaResult offloaded_gca(
+      std::span<const algorithms::CellObservation> observations, SimTime now);
+
+  PmsConfig config_;
+  std::unique_ptr<sensing::Device> device_;
+  energy::EnergyMeter meter_;
+  sensing::SamplingScheduler scheduler_;
+  UserPreferences preferences_;
+  ConnectedAppsModule apps_;
+  PlaceStore place_store_;
+  IntentBus bus_;
+  InferenceEngine engine_;
+  std::unique_ptr<net::RestClient> client_;
+  PmsStats stats_;
+
+  std::optional<world::DeviceId> user_id_;
+  SimTime token_expires_ = 0;
+  std::size_t routes_synced_ = 0;      ///< route_log entries already uploaded
+  std::size_t encounters_synced_ = 0;  ///< encounter_log entries uploaded
+};
+
+}  // namespace pmware::core

@@ -1,0 +1,27 @@
+#include "core/preferences.hpp"
+
+#include <algorithm>
+
+namespace pmware::core {
+
+void UserPreferences::set_app_cap(const std::string& app, Granularity cap) {
+  caps_[app] = cap;
+}
+
+std::optional<Granularity> UserPreferences::app_cap(
+    const std::string& app) const {
+  const auto it = caps_.find(app);
+  if (it == caps_.end()) return std::nullopt;
+  return it->second;
+}
+
+Granularity UserPreferences::effective(const std::string& app,
+                                       Granularity requested) const {
+  const auto cap = app_cap(app);
+  if (!cap) return requested;
+  // Coarser = numerically smaller (Area < Building < Room).
+  return static_cast<Granularity>(
+      std::min(static_cast<int>(requested), static_cast<int>(*cap)));
+}
+
+}  // namespace pmware::core

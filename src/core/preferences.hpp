@@ -1,0 +1,34 @@
+// User preferences (paper §2.2.1): per-connected-app granularity permission
+// caps and the single master switch that hides place information from all
+// connected applications.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/model.hpp"
+
+namespace pmware::core {
+
+class UserPreferences {
+ public:
+  /// Caps what granularity `app` may receive; e.g. an advertising app asking
+  /// for building-level data can be restricted to area-level.
+  void set_app_cap(const std::string& app, Granularity cap);
+  std::optional<Granularity> app_cap(const std::string& app) const;
+
+  /// Effective granularity an app receives when it requested `requested`:
+  /// the coarser of the request and the user's cap.
+  Granularity effective(const std::string& app, Granularity requested) const;
+
+  /// Master switch: when off, no place information flows to any app.
+  void set_sharing_enabled(bool enabled) { sharing_enabled_ = enabled; }
+  bool sharing_enabled() const { return sharing_enabled_; }
+
+ private:
+  std::map<std::string, Granularity> caps_;
+  bool sharing_enabled_ = true;
+};
+
+}  // namespace pmware::core

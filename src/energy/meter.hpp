@@ -1,0 +1,53 @@
+// Energy accounting for a running device: every sensor sample taken by the
+// sampling scheduler is charged here, so experiments can compare sensing
+// strategies by joules actually spent.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "energy/profile.hpp"
+#include "util/simtime.hpp"
+
+namespace pmware::energy {
+
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(PowerProfile profile = PowerProfile::htc_explorer())
+      : profile_(profile) {}
+
+  /// Charges one sample of `interface` at time `t`.
+  void charge_sample(Interface interface, SimTime t);
+
+  /// Charges baseline drain for the span [from, to).
+  void charge_baseline(SimTime from, SimTime to);
+
+  const PowerProfile& profile() const { return profile_; }
+  double total_j() const;
+  double sensing_j() const;
+  double baseline_j() const { return baseline_j_; }
+  double interface_j(Interface i) const {
+    return per_interface_j_[static_cast<std::size_t>(i)];
+  }
+  std::size_t sample_count(Interface i) const {
+    return per_interface_count_[static_cast<std::size_t>(i)];
+  }
+
+  /// Average power over [begin, end) assuming all charges fell inside it.
+  double average_power_w(SimDuration span) const;
+
+  /// Battery lifetime implied by the average power over `span`.
+  double implied_battery_duration_s(SimDuration span,
+                                    const Battery& battery = Battery{}) const;
+
+  /// One-line summary for bench output.
+  std::string summary() const;
+
+ private:
+  PowerProfile profile_;
+  std::array<double, kInterfaceCount> per_interface_j_{};
+  std::array<std::size_t, kInterfaceCount> per_interface_count_{};
+  double baseline_j_ = 0;
+};
+
+}  // namespace pmware::energy

@@ -1,0 +1,42 @@
+#include "energy/profile.hpp"
+
+#include <stdexcept>
+
+namespace pmware::energy {
+
+const char* to_string(Interface i) {
+  switch (i) {
+    case Interface::Gsm: return "gsm";
+    case Interface::Wifi: return "wifi";
+    case Interface::Gps: return "gps";
+    case Interface::Accelerometer: return "accel";
+    case Interface::Bluetooth: return "bluetooth";
+  }
+  return "?";
+}
+
+double PowerProfile::average_power_w(Interface i, SimDuration interval) const {
+  if (interval <= 0)
+    throw std::invalid_argument("average_power_w: interval <= 0");
+  return base_power_w + sample_energy(i) / static_cast<double>(interval);
+}
+
+void Battery::consume(double joules) {
+  if (joules < 0) throw std::invalid_argument("Battery::consume: negative");
+  consumed_j += joules;
+}
+
+double battery_duration_s(const Battery& battery, double average_power_w) {
+  if (average_power_w <= 0)
+    throw std::invalid_argument("battery_duration_s: power <= 0");
+  return battery.capacity_j / average_power_w;
+}
+
+double continuous_sensing_duration_s(const PowerProfile& profile,
+                                     Interface interface,
+                                     SimDuration interval) {
+  return battery_duration_s(Battery{},
+                            profile.average_power_w(interface, interval));
+}
+
+}  // namespace pmware::energy

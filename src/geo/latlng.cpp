@@ -1,0 +1,107 @@
+#include "geo/latlng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <stdexcept>
+
+namespace pmware::geo {
+
+namespace {
+
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+constexpr double kRadToDeg = 180.0 / std::numbers::pi;
+
+}  // namespace
+
+std::string LatLng::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "(%.6f, %.6f)", lat, lng);
+  return buf;
+}
+
+double distance_m(const LatLng& a, const LatLng& b) {
+  const double phi1 = a.lat * kDegToRad;
+  const double phi2 = b.lat * kDegToRad;
+  const double dphi = (b.lat - a.lat) * kDegToRad;
+  const double dlmb = (b.lng - a.lng) * kDegToRad;
+  const double s1 = std::sin(dphi / 2);
+  const double s2 = std::sin(dlmb / 2);
+  const double h = s1 * s1 + std::cos(phi1) * std::cos(phi2) * s2 * s2;
+  return 2 * kEarthRadiusM * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double bearing_deg(const LatLng& a, const LatLng& b) {
+  const double phi1 = a.lat * kDegToRad;
+  const double phi2 = b.lat * kDegToRad;
+  const double dlmb = (b.lng - a.lng) * kDegToRad;
+  const double y = std::sin(dlmb) * std::cos(phi2);
+  const double x = std::cos(phi1) * std::sin(phi2) -
+                   std::sin(phi1) * std::cos(phi2) * std::cos(dlmb);
+  const double theta = std::atan2(y, x) * kRadToDeg;
+  return std::fmod(theta + 360.0, 360.0);
+}
+
+LatLng destination(const LatLng& origin, double bearing, double dist) {
+  const double delta = dist / kEarthRadiusM;
+  const double theta = bearing * kDegToRad;
+  const double phi1 = origin.lat * kDegToRad;
+  const double lmb1 = origin.lng * kDegToRad;
+  const double phi2 = std::asin(std::sin(phi1) * std::cos(delta) +
+                                std::cos(phi1) * std::sin(delta) * std::cos(theta));
+  const double lmb2 =
+      lmb1 + std::atan2(std::sin(theta) * std::sin(delta) * std::cos(phi1),
+                        std::cos(delta) - std::sin(phi1) * std::sin(phi2));
+  return {phi2 * kRadToDeg,
+          std::fmod(lmb2 * kRadToDeg + 540.0, 360.0) - 180.0};
+}
+
+LatLng centroid(const std::vector<LatLng>& points) {
+  if (points.empty()) throw std::invalid_argument("centroid: empty input");
+  double lat = 0, lng = 0;
+  for (const auto& p : points) {
+    lat += p.lat;
+    lng += p.lng;
+  }
+  const auto n = static_cast<double>(points.size());
+  return {lat / n, lng / n};
+}
+
+LatLng lerp(const LatLng& a, const LatLng& b, double frac) {
+  return {a.lat + (b.lat - a.lat) * frac, a.lng + (b.lng - a.lng) * frac};
+}
+
+BoundingBox BoundingBox::of(const std::vector<LatLng>& points) {
+  if (points.empty()) throw std::invalid_argument("BoundingBox::of: empty input");
+  BoundingBox box{points[0].lat, points[0].lng, points[0].lat, points[0].lng};
+  for (const auto& p : points) {
+    box.min_lat = std::min(box.min_lat, p.lat);
+    box.max_lat = std::max(box.max_lat, p.lat);
+    box.min_lng = std::min(box.min_lng, p.lng);
+    box.max_lng = std::max(box.max_lng, p.lng);
+  }
+  return box;
+}
+
+BoundingBox BoundingBox::expanded(double margin_m) const {
+  const double dlat = margin_m / kEarthRadiusM * kRadToDeg;
+  const double cos_lat =
+      std::max(0.01, std::cos(center().lat * kDegToRad));
+  const double dlng = dlat / cos_lat;
+  return {min_lat - dlat, min_lng - dlng, max_lat + dlat, max_lng + dlng};
+}
+
+EnuOffset to_enu(const LatLng& origin, const LatLng& p) {
+  const double cos_lat = std::cos(origin.lat * kDegToRad);
+  return {(p.lng - origin.lng) * kDegToRad * kEarthRadiusM * cos_lat,
+          (p.lat - origin.lat) * kDegToRad * kEarthRadiusM};
+}
+
+LatLng from_enu(const LatLng& origin, const EnuOffset& offset) {
+  const double cos_lat = std::cos(origin.lat * kDegToRad);
+  return {origin.lat + offset.north_m / kEarthRadiusM * kRadToDeg,
+          origin.lng + offset.east_m / (kEarthRadiusM * cos_lat) * kRadToDeg};
+}
+
+}  // namespace pmware::geo

@@ -1,0 +1,64 @@
+// Geodesy primitives: WGS-84 coordinates, great-circle math, bounding boxes
+// and a local tangent-plane projection used by clustering algorithms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pmware::geo {
+
+/// Mean Earth radius in metres (spherical model; adequate at city scale).
+inline constexpr double kEarthRadiusM = 6371000.0;
+
+/// WGS-84 coordinate in degrees.
+struct LatLng {
+  double lat = 0;  ///< degrees, [-90, 90]
+  double lng = 0;  ///< degrees, [-180, 180]
+
+  bool operator==(const LatLng&) const = default;
+  std::string to_string() const;
+};
+
+/// Great-circle (haversine) distance in metres.
+double distance_m(const LatLng& a, const LatLng& b);
+
+/// Initial bearing from `a` to `b`, degrees clockwise from north in [0, 360).
+double bearing_deg(const LatLng& a, const LatLng& b);
+
+/// Point reached by travelling `distance_m` metres from `origin` along
+/// `bearing_deg` (degrees clockwise from north).
+LatLng destination(const LatLng& origin, double bearing_deg, double distance_m);
+
+/// Arithmetic centroid of a non-empty set of nearby points (valid at city
+/// scale where curvature is negligible). Throws on empty input.
+LatLng centroid(const std::vector<LatLng>& points);
+
+/// Point linearly interpolated between `a` and `b`; frac in [0,1].
+LatLng lerp(const LatLng& a, const LatLng& b, double frac);
+
+/// Axis-aligned bounding box in degrees.
+struct BoundingBox {
+  double min_lat = 0, min_lng = 0, max_lat = 0, max_lng = 0;
+
+  bool contains(const LatLng& p) const {
+    return p.lat >= min_lat && p.lat <= max_lat && p.lng >= min_lng &&
+           p.lng <= max_lng;
+  }
+  LatLng center() const { return {(min_lat + max_lat) / 2, (min_lng + max_lng) / 2}; }
+
+  /// Smallest box containing all `points`; throws on empty input.
+  static BoundingBox of(const std::vector<LatLng>& points);
+  /// Box expanded by `margin_m` metres on every side.
+  BoundingBox expanded(double margin_m) const;
+};
+
+/// East-north offset in metres of `p` relative to `origin` (equirectangular
+/// local projection — accurate to << 1 m over a city).
+struct EnuOffset {
+  double east_m = 0;
+  double north_m = 0;
+};
+EnuOffset to_enu(const LatLng& origin, const LatLng& p);
+LatLng from_enu(const LatLng& origin, const EnuOffset& offset);
+
+}  // namespace pmware::geo

@@ -1,0 +1,66 @@
+#include "geo/polyline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pmware::geo {
+
+double polyline_length_m(const std::vector<LatLng>& line) {
+  double total = 0;
+  for (std::size_t i = 1; i < line.size(); ++i)
+    total += distance_m(line[i - 1], line[i]);
+  return total;
+}
+
+LatLng point_along(const std::vector<LatLng>& line, double along_m) {
+  if (line.empty()) throw std::invalid_argument("point_along: empty polyline");
+  if (along_m <= 0) return line.front();
+  for (std::size_t i = 1; i < line.size(); ++i) {
+    const double seg = distance_m(line[i - 1], line[i]);
+    if (along_m <= seg && seg > 0) return lerp(line[i - 1], line[i], along_m / seg);
+    along_m -= seg;
+  }
+  return line.back();
+}
+
+std::vector<LatLng> resample(const std::vector<LatLng>& line, double spacing_m) {
+  if (line.empty()) throw std::invalid_argument("resample: empty polyline");
+  if (spacing_m <= 0) throw std::invalid_argument("resample: spacing <= 0");
+  const double total = polyline_length_m(line);
+  std::vector<LatLng> out;
+  out.push_back(line.front());
+  for (double along = spacing_m; along < total; along += spacing_m)
+    out.push_back(point_along(line, along));
+  if (line.size() > 1) out.push_back(line.back());
+  return out;
+}
+
+namespace {
+
+// Distance from point to segment in the local tangent plane around `a`.
+double distance_to_segment_m(const LatLng& p, const LatLng& a, const LatLng& b) {
+  const EnuOffset pe = to_enu(a, p);
+  const EnuOffset be = to_enu(a, b);
+  const double len2 = be.east_m * be.east_m + be.north_m * be.north_m;
+  if (len2 == 0) return distance_m(p, a);
+  double t = (pe.east_m * be.east_m + pe.north_m * be.north_m) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  const double dx = pe.east_m - t * be.east_m;
+  const double dy = pe.north_m - t * be.north_m;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+double distance_to_polyline_m(const LatLng& p, const std::vector<LatLng>& line) {
+  if (line.empty())
+    throw std::invalid_argument("distance_to_polyline_m: empty polyline");
+  if (line.size() == 1) return distance_m(p, line[0]);
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 1; i < line.size(); ++i)
+    best = std::min(best, distance_to_segment_m(p, line[i - 1], line[i]));
+  return best;
+}
+
+}  // namespace pmware::geo

@@ -1,0 +1,26 @@
+// Polyline helpers used for routes: length, interpolation along the line,
+// resampling at fixed spacing, and point-to-line distance.
+#pragma once
+
+#include <vector>
+
+#include "geo/latlng.hpp"
+
+namespace pmware::geo {
+
+/// Total length of the polyline in metres (0 for fewer than 2 points).
+double polyline_length_m(const std::vector<LatLng>& line);
+
+/// Point at `along_m` metres from the start of the polyline (clamped to the
+/// endpoints). Throws on an empty polyline.
+LatLng point_along(const std::vector<LatLng>& line, double along_m);
+
+/// Resamples a polyline to points spaced `spacing_m` apart (endpoints always
+/// included). Throws on empty line or non-positive spacing.
+std::vector<LatLng> resample(const std::vector<LatLng>& line, double spacing_m);
+
+/// Minimum distance from `p` to any segment of the polyline, metres.
+/// Throws on an empty polyline.
+double distance_to_polyline_m(const LatLng& p, const std::vector<LatLng>& line);
+
+}  // namespace pmware::geo

@@ -1,0 +1,94 @@
+#include "mobility/participant.hpp"
+
+#include "util/strfmt.hpp"
+#include <stdexcept>
+
+namespace pmware::mobility {
+
+using world::PlaceCategory;
+using world::PlaceId;
+
+const char* to_string(Archetype a) {
+  switch (a) {
+    case Archetype::OfficeWorker: return "office-worker";
+    case Archetype::Student: return "student";
+    case Archetype::Homemaker: return "homemaker";
+  }
+  return "?";
+}
+
+std::vector<Participant> make_participants(const world::World& world, int count,
+                                           Rng& rng) {
+  auto homes = world.all_of_category(PlaceCategory::Home);
+  if (static_cast<int>(homes.size()) < count)
+    throw std::invalid_argument(
+        "make_participants: world has fewer homes than participants");
+  rng.shuffle(homes);
+
+  const auto workplaces = world.all_of_category(PlaceCategory::Workplace);
+  if (workplaces.empty())
+    throw std::invalid_argument("make_participants: world has no workplaces");
+  const auto academic = world.find_category(PlaceCategory::AcademicBuilding);
+  const auto library = world.find_category(PlaceCategory::Library);
+
+  // Leisure pool: everything people go to in evenings/weekends.
+  std::vector<PlaceId> leisure_pool;
+  for (PlaceCategory c :
+       {PlaceCategory::Market, PlaceCategory::Restaurant, PlaceCategory::Cafe,
+        PlaceCategory::Mall, PlaceCategory::Gym, PlaceCategory::Park,
+        PlaceCategory::Cinema}) {
+    for (PlaceId p : world.all_of_category(c)) leisure_pool.push_back(p);
+  }
+  if (leisure_pool.empty())
+    throw std::invalid_argument("make_participants: world has no leisure POIs");
+
+  std::vector<Participant> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Participant p;
+    p.id = static_cast<world::DeviceId>(i);
+    p.name = strfmt("participant-%02d", i + 1);
+    p.home = homes[static_cast<std::size_t>(i)];
+
+    if (academic && i % 5 == 1) {
+      p.archetype = Archetype::Student;
+      p.anchor = *academic;
+      p.anchor_adjunct = library.value_or(world::kNoPlace);
+    } else if (i % 8 == 7) {
+      p.archetype = Archetype::Homemaker;
+      p.anchor = world::kNoPlace;
+    } else {
+      p.archetype = Archetype::OfficeWorker;
+      p.anchor = workplaces[rng.index(workplaces.size())];
+    }
+
+    const int n_leisure =
+        static_cast<int>(rng.uniform_int(3, 5));
+    std::vector<PlaceId> pool = leisure_pool;
+    rng.shuffle(pool);
+    for (int k = 0; k < n_leisure && k < static_cast<int>(pool.size()); ++k)
+      p.leisure.push_back(pool[static_cast<std::size_t>(k)]);
+
+    // People visit complexes, not isolated points: if a chosen haunt has a
+    // neighbouring leisure POI (the cinema inside the mall, the restaurant
+    // row at the market), they frequent that one too.
+    const std::vector<PlaceId> chosen = p.leisure;
+    for (PlaceId id : chosen) {
+      for (PlaceId other : leisure_pool) {
+        if (other == id) continue;
+        if (std::find(p.leisure.begin(), p.leisure.end(), other) !=
+            p.leisure.end())
+          continue;
+        if (geo::distance_m(world.place(id).center,
+                            world.place(other).center) <= 150.0)
+          p.leisure.push_back(other);
+      }
+    }
+
+    p.weekday_outing_prob = rng.uniform(0.3, 0.7);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace pmware::mobility

@@ -1,0 +1,41 @@
+// Participant profiles: who lives where, works where, and which POIs they
+// frequent. Profiles drive the schedule generator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "world/world.hpp"
+
+namespace pmware::mobility {
+
+/// Archetype controls the weekday anchor (office vs campus) and the mix of
+/// leisure outings. Students reproduce the paper's §4 "academic building +
+/// library" merged-place scenario.
+enum class Archetype : std::uint8_t { OfficeWorker, Student, Homemaker };
+
+const char* to_string(Archetype a);
+
+struct Participant {
+  world::DeviceId id = 0;
+  std::string name;
+  Archetype archetype = Archetype::OfficeWorker;
+  world::PlaceId home = world::kNoPlace;
+  world::PlaceId anchor = world::kNoPlace;  ///< workplace or campus
+  /// Secondary frequent place tightly coupled to the anchor (e.g. the
+  /// library next to the academic building); kNoPlace if none.
+  world::PlaceId anchor_adjunct = world::kNoPlace;
+  std::vector<world::PlaceId> leisure;  ///< pool of evening/weekend outings
+  /// Per-participant rate of evening outings on weekdays, [0, 1].
+  double weekday_outing_prob = 0.5;
+};
+
+/// Builds `count` participants over the world's POIs. Homes are assigned
+/// without reuse (throws if the world has fewer homes than participants).
+/// Roughly 1 in 5 participants is a Student anchored at the campus cluster
+/// when the world has one; 1 in 8 is a Homemaker.
+std::vector<Participant> make_participants(const world::World& world, int count,
+                                           Rng& rng);
+
+}  // namespace pmware::mobility

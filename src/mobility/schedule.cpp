@@ -1,0 +1,198 @@
+#include "mobility/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "geo/polyline.hpp"
+
+namespace pmware::mobility {
+
+namespace {
+
+using world::PlaceCategory;
+using world::PlaceId;
+
+/// An intent to be at `place` from roughly `arrival` for `dwell` seconds.
+struct Appointment {
+  PlaceId place = world::kNoPlace;
+  SimTime arrival = 0;
+};
+
+SimDuration typical_dwell(PlaceCategory c, Rng& rng) {
+  auto jitter = [&rng](SimDuration base, double frac) {
+    return base + static_cast<SimDuration>(
+                      rng.normal(0, static_cast<double>(base) * frac));
+  };
+  switch (c) {
+    case PlaceCategory::Market: return std::max<SimDuration>(minutes(15), jitter(minutes(45), 0.3));
+    case PlaceCategory::Restaurant: return std::max<SimDuration>(minutes(25), jitter(minutes(70), 0.25));
+    case PlaceCategory::Cafe: return std::max<SimDuration>(minutes(15), jitter(minutes(40), 0.3));
+    case PlaceCategory::Mall: return std::max<SimDuration>(minutes(40), jitter(minutes(95), 0.3));
+    case PlaceCategory::Gym: return std::max<SimDuration>(minutes(35), jitter(minutes(70), 0.2));
+    case PlaceCategory::Park: return std::max<SimDuration>(minutes(20), jitter(minutes(50), 0.3));
+    case PlaceCategory::Cinema: return std::max<SimDuration>(minutes(100), jitter(minutes(160), 0.1));
+    case PlaceCategory::Library: return std::max<SimDuration>(minutes(30), jitter(minutes(90), 0.3));
+    default: return std::max<SimDuration>(minutes(20), jitter(minutes(45), 0.3));
+  }
+}
+
+SimTime tod(std::int64_t day, int hour, int minute, Rng& rng,
+            SimDuration sigma) {
+  const SimTime base = start_of_day(day) + hours(hour) + minutes(minute);
+  return base + static_cast<SimTime>(rng.normal(0, static_cast<double>(sigma)));
+}
+
+/// Appends the appointments for one day; every day ends with a return home.
+void plan_day(std::vector<Appointment>& out, const world::World& world,
+              const Participant& p, std::int64_t day,
+              Rng& rng) {
+  const bool weekend = day % 7 >= 5;
+  SimTime last_end = start_of_day(day) + hours(7);
+
+  auto add = [&](PlaceId place, SimTime arrival, SimDuration dwell) {
+    arrival = std::max(arrival, last_end + minutes(10));
+    out.push_back({place, arrival});
+    last_end = arrival + dwell;
+  };
+
+  if (!weekend && p.anchor != world::kNoPlace) {
+    const bool student = p.archetype == Archetype::Student;
+    const SimTime work_arrival =
+        tod(day, student ? 10 : 9, student ? 0 : 15, rng, minutes(20));
+    SimDuration work_dwell =
+        student ? hours(6) + static_cast<SimDuration>(rng.normal(0, 1800))
+                : hours(8) + static_cast<SimDuration>(rng.normal(0, 2400));
+    work_dwell = std::max<SimDuration>(hours(4), work_dwell);
+
+    // Lunch away from the desk splits the work block in two. People eat
+    // near the office: pick the closest eatery to the anchor.
+    std::optional<PlaceId> nearest_eatery;
+    double nearest_dist = std::numeric_limits<double>::infinity();
+    for (const auto& place : world.places()) {
+      if (place.category != PlaceCategory::Restaurant &&
+          place.category != PlaceCategory::Cafe)
+        continue;
+      const double d =
+          geo::distance_m(place.center, world.place(p.anchor).center);
+      if (d < nearest_dist) {
+        nearest_dist = d;
+        nearest_eatery = place.id;
+      }
+    }
+    const bool lunch_out = nearest_eatery && rng.bernoulli(0.4);
+    if (lunch_out) {
+      const SimTime lunch_at = tod(day, 13, 0, rng, minutes(15));
+      const SimDuration lunch_dwell = typical_dwell(PlaceCategory::Restaurant, rng) / 2;
+      const PlaceId lunch_place = *nearest_eatery;
+      add(p.anchor, work_arrival, lunch_at - work_arrival);
+      add(lunch_place, lunch_at, lunch_dwell);
+      add(p.anchor, last_end + minutes(15), work_arrival + work_dwell - last_end);
+    } else {
+      add(p.anchor, work_arrival, work_dwell);
+    }
+
+    // Students drop by the adjacent library most evenings — the merged-place
+    // scenario of §4.
+    if (student && p.anchor_adjunct != world::kNoPlace && rng.bernoulli(0.6)) {
+      add(p.anchor_adjunct, last_end + minutes(10),
+          typical_dwell(PlaceCategory::Library, rng));
+    }
+
+    if (!p.leisure.empty() && rng.bernoulli(p.weekday_outing_prob)) {
+      const PlaceId outing = p.leisure[rng.index(p.leisure.size())];
+      add(outing, std::max(last_end + minutes(20), tod(day, 18, 45, rng, minutes(30))),
+          typical_dwell(world.place(outing).category, rng));
+    }
+  } else {
+    // Weekend / homemaker: one or two outings.
+    const int n_outings =
+        p.leisure.empty() ? 0 : static_cast<int>(rng.uniform_int(1, 2));
+    const int slots[2] = {11, 17};
+    for (int k = 0; k < n_outings; ++k) {
+      const PlaceId outing = p.leisure[rng.index(p.leisure.size())];
+      add(outing, tod(day, slots[k], 0, rng, minutes(40)),
+          typical_dwell(world.place(outing).category, rng));
+    }
+    if (weekend && p.archetype == Archetype::Student &&
+        p.anchor_adjunct != world::kNoPlace && rng.bernoulli(0.3)) {
+      add(p.anchor_adjunct, tod(day, 15, 0, rng, minutes(30)),
+          typical_dwell(PlaceCategory::Library, rng));
+    }
+  }
+
+  // Return home for the night.
+  add(p.home, std::max(last_end + minutes(20), tod(day, 20, 30, rng, minutes(45))),
+      hours(9));
+}
+
+geo::LatLng anchor_in(const world::Place& place, Rng& rng) {
+  return geo::destination(place.center, rng.uniform(0, 360),
+                          rng.uniform(0, place.radius_m * 0.5));
+}
+
+}  // namespace
+
+Trace build_trace(const world::World& world, const Participant& participant,
+                  const ScheduleConfig& config, Rng& rng) {
+  if (config.days <= 0) throw std::invalid_argument("build_trace: days <= 0");
+  const TimeWindow period{0, days(config.days)};
+
+  std::vector<Appointment> appointments;
+  for (std::int64_t d = 0; d < config.days; ++d)
+    plan_day(appointments, world, participant, d, rng);
+
+  std::vector<Visit> visits;
+  std::vector<Trip> trips;
+  std::vector<geo::LatLng> anchors;
+
+  PlaceId current = participant.home;
+  geo::LatLng current_pos = anchor_in(world.place(current), rng);
+  SimTime visit_start = period.begin;
+
+  // Returns false (without mutating state) when the move cannot fit before
+  // the end of the study period.
+  auto close_and_travel = [&](PlaceId next, SimTime target_arrival) -> bool {
+    const geo::LatLng next_pos = anchor_in(world.place(next), rng);
+    std::vector<geo::LatLng> path = world.roads().route(current_pos, next_pos);
+    const double length = geo::polyline_length_m(path);
+    const TravelMode mode =
+        length <= config.walk_threshold_m ? TravelMode::Walk : TravelMode::Drive;
+    const double speed = mode == TravelMode::Walk
+                             ? config.walk_speed_mps * rng.uniform(0.9, 1.1)
+                             : config.drive_speed_mps * rng.uniform(0.8, 1.2);
+    const auto travel =
+        std::max<SimDuration>(60, static_cast<SimDuration>(length / speed));
+
+    const SimTime earliest_departure =
+        std::max(visit_start + config.min_stay, visit_start + 1);
+    if (earliest_departure + travel + minutes(5) > period.end) return false;
+
+    const SimTime departure = std::min(
+        std::max(target_arrival - travel, earliest_departure),
+        period.end - travel - minutes(5));
+    const SimTime arrival = departure + travel;
+
+    visits.push_back({current, TimeWindow{visit_start, departure}});
+    anchors.push_back(current_pos);
+    trips.push_back({current, next, TimeWindow{departure, arrival},
+                     std::move(path), mode});
+    current = next;
+    current_pos = next_pos;
+    visit_start = arrival;
+    return true;
+  };
+
+  for (const Appointment& a : appointments) {
+    if (a.place == current) continue;  // merge consecutive same-place stays
+    if (a.arrival >= period.end - hours(1)) break;
+    if (!close_and_travel(a.place, a.arrival)) break;
+  }
+  // Final open-ended visit runs to the end of the study.
+  visits.push_back({current, TimeWindow{visit_start, period.end}});
+  anchors.push_back(current_pos);
+
+  return Trace(std::move(visits), std::move(trips), std::move(anchors), period);
+}
+
+}  // namespace pmware::mobility

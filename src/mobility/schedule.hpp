@@ -1,0 +1,27 @@
+// Day-schedule generator: turns a participant profile into a ground-truth
+// Trace over a study period (visits + road trips), with realistic clock-time
+// jitter across days so mobility profiles have day-to-day regularity but not
+// identical repetition.
+#pragma once
+
+#include "mobility/participant.hpp"
+#include "mobility/trace.hpp"
+#include "util/rng.hpp"
+#include "world/world.hpp"
+
+namespace pmware::mobility {
+
+struct ScheduleConfig {
+  int days = 14;                    ///< study length (paper §4: 2 weeks)
+  double walk_speed_mps = 1.3;
+  double drive_speed_mps = 7.5;     ///< ~27 km/h urban average
+  double walk_threshold_m = 900;    ///< farther than this and they drive
+  SimDuration min_stay = minutes(5);
+};
+
+/// Builds the full ground-truth trace for one participant.
+/// Deterministic given (world, participant, config, rng state).
+Trace build_trace(const world::World& world, const Participant& participant,
+                  const ScheduleConfig& config, Rng& rng);
+
+}  // namespace pmware::mobility

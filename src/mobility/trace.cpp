@@ -1,0 +1,88 @@
+#include "mobility/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "geo/polyline.hpp"
+
+namespace pmware::mobility {
+
+Trace::Trace(std::vector<Visit> visits, std::vector<Trip> trips,
+             std::vector<geo::LatLng> visit_anchor_positions, TimeWindow period)
+    : visits_(std::move(visits)),
+      trips_(std::move(trips)),
+      anchors_(std::move(visit_anchor_positions)),
+      period_(period) {
+  if (anchors_.size() != visits_.size())
+    throw std::invalid_argument("Trace: anchors/visits size mismatch");
+
+  for (std::size_t i = 0; i < visits_.size(); ++i)
+    segments_.push_back({true, i, visits_[i].window});
+  for (std::size_t i = 0; i < trips_.size(); ++i)
+    segments_.push_back({false, i, trips_[i].window});
+  std::sort(segments_.begin(), segments_.end(),
+            [](const Segment& a, const Segment& b) {
+              return a.window.begin < b.window.begin;
+            });
+
+  if (segments_.empty()) throw std::invalid_argument("Trace: empty trace");
+  if (segments_.front().window.begin != period_.begin ||
+      segments_.back().window.end != period_.end)
+    throw std::invalid_argument("Trace: segments do not span the period");
+  for (std::size_t i = 0; i + 1 < segments_.size(); ++i) {
+    if (segments_[i].window.end != segments_[i + 1].window.begin)
+      throw std::invalid_argument("Trace: segments not contiguous");
+    if (segments_[i].window.length() <= 0)
+      throw std::invalid_argument("Trace: empty segment");
+  }
+  for (const Trip& t : trips_) {
+    if (t.path.size() < 2)
+      throw std::invalid_argument("Trace: trip path too short");
+  }
+}
+
+const Trace::Segment& Trace::segment_at(SimTime t) const {
+  t = std::clamp(t, period_.begin, period_.end - 1);
+  // Binary search for the segment whose window contains t.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](SimTime value, const Segment& s) { return value < s.window.begin; });
+  if (it == segments_.begin())
+    throw std::logic_error("Trace::segment_at: before first segment");
+  return *(it - 1);
+}
+
+geo::LatLng Trace::position_at(SimTime t) const {
+  const Segment& s = segment_at(t);
+  if (s.is_visit) return anchors_[s.index];
+  const Trip& trip = trips_[s.index];
+  const double frac =
+      static_cast<double>(std::clamp(t, trip.window.begin, trip.window.end) -
+                          trip.window.begin) /
+      static_cast<double>(trip.window.length());
+  const double total = geo::polyline_length_m(trip.path);
+  return geo::point_along(trip.path, frac * total);
+}
+
+std::optional<world::PlaceId> Trace::place_at(SimTime t) const {
+  const Segment& s = segment_at(t);
+  if (!s.is_visit) return std::nullopt;
+  return visits_[s.index].place;
+}
+
+Activity Trace::activity_at(SimTime t) const {
+  const Segment& s = segment_at(t);
+  if (s.is_visit) return Activity::Still;
+  return trips_[s.index].mode == TravelMode::Walk ? Activity::Walking
+                                                  : Activity::Vehicle;
+}
+
+std::vector<Visit> Trace::significant_visits(SimDuration min_dwell) const {
+  std::vector<Visit> out;
+  for (const Visit& v : visits_)
+    if (v.window.length() >= min_dwell) out.push_back(v);
+  return out;
+}
+
+}  // namespace pmware::mobility

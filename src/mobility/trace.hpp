@@ -1,0 +1,79 @@
+// Ground-truth mobility trace: a continuous alternation of place visits and
+// trips, queryable for position / current place / activity at any instant.
+//
+// This is the "truth" against which PMWare's discovered places, routes and
+// mobility profiles are evaluated (paper §4's diary logging stand-in).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geo/latlng.hpp"
+#include "util/simtime.hpp"
+#include "world/ids.hpp"
+
+namespace pmware::mobility {
+
+/// Travel mode; determines speed and the activity the accelerometer sees.
+enum class TravelMode : std::uint8_t { Walk, Drive };
+
+/// Physical activity state, as a perfect oracle would report it.
+enum class Activity : std::uint8_t { Still, Walking, Vehicle };
+
+/// A stay at a place. `window` is [arrival, departure).
+struct Visit {
+  world::PlaceId place = world::kNoPlace;
+  TimeWindow window;
+};
+
+/// A journey between two consecutive visits along `path`.
+struct Trip {
+  world::PlaceId from = world::kNoPlace;
+  world::PlaceId to = world::kNoPlace;
+  TimeWindow window;
+  std::vector<geo::LatLng> path;  ///< includes both endpoints
+  TravelMode mode = TravelMode::Walk;
+};
+
+/// Immutable trace over a study period. Invariants (checked at build):
+/// segments tile the period contiguously, visits and trips alternate, and
+/// every window has positive length.
+class Trace {
+ public:
+  Trace(std::vector<Visit> visits, std::vector<Trip> trips,
+        std::vector<geo::LatLng> visit_anchor_positions, TimeWindow period);
+
+  const std::vector<Visit>& visits() const { return visits_; }
+  const std::vector<Trip>& trips() const { return trips_; }
+  const TimeWindow& period() const { return period_; }
+
+  /// True position at time `t` (clamped into the period).
+  geo::LatLng position_at(SimTime t) const;
+
+  /// Place occupied at `t`, or nullopt while travelling.
+  std::optional<world::PlaceId> place_at(SimTime t) const;
+
+  /// Oracle activity at `t`.
+  Activity activity_at(SimTime t) const;
+
+  /// Visits of at least `min_dwell` seconds — the "significant place" ground
+  /// truth (prior work uses a 10-minute threshold, paper §2.1.1).
+  std::vector<Visit> significant_visits(SimDuration min_dwell) const;
+
+ private:
+  // Segment lookup: visits and trips interleaved, sorted by start time.
+  struct Segment {
+    bool is_visit = true;
+    std::size_t index = 0;
+    TimeWindow window;
+  };
+  const Segment& segment_at(SimTime t) const;
+
+  std::vector<Visit> visits_;
+  std::vector<Trip> trips_;
+  std::vector<geo::LatLng> anchors_;  ///< position used during each visit
+  std::vector<Segment> segments_;
+  TimeWindow period_;
+};
+
+}  // namespace pmware::mobility

@@ -1,0 +1,32 @@
+#include "net/client.hpp"
+
+namespace pmware::net {
+
+RestClient::RestClient(const Router* server, NetworkConditions conditions,
+                       Rng rng)
+    : server_(server), conditions_(conditions), rng_(rng) {}
+
+HttpResponse RestClient::send(const HttpRequest& request, int max_retries) {
+  HttpRequest outgoing = request;
+  if (!token_.empty() && outgoing.headers.find("Authorization") ==
+                             outgoing.headers.end())
+    outgoing.headers["Authorization"] = "Bearer " + token_;
+
+  HttpResponse response =
+      HttpResponse::error(kStatusServiceUnavailable, "network unreachable");
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    ++stats_.requests;
+    if (attempt > 0) ++stats_.retries;
+    stats_.bytes_sent += outgoing.body.dump().size();
+    stats_.total_latency += conditions_.latency_s;
+    if (rng_.bernoulli(conditions_.failure_prob)) {
+      ++stats_.failures;
+      continue;  // request lost; retry
+    }
+    response = server_->handle(outgoing);
+    return response;
+  }
+  return response;
+}
+
+}  // namespace pmware::net

@@ -1,0 +1,54 @@
+// REST client with simulated network conditions: latency, transient
+// failures, and retry with backoff — the PMS communication-management
+// module's transport (paper §2.2.5).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "net/http.hpp"
+#include "net/router.hpp"
+#include "util/rng.hpp"
+#include "util/simtime.hpp"
+
+namespace pmware::net {
+
+struct NetworkConditions {
+  double failure_prob = 0.0;       ///< chance a request is lost (503)
+  SimDuration latency_s = 0;       ///< simulated round-trip, whole seconds
+};
+
+struct ClientStats {
+  std::size_t requests = 0;
+  std::size_t failures = 0;   ///< transport-level losses observed
+  std::size_t retries = 0;
+  std::size_t bytes_sent = 0; ///< serialized JSON body bytes
+  SimDuration total_latency = 0;
+};
+
+class RestClient {
+ public:
+  /// `server` must outlive the client.
+  RestClient(const Router* server, NetworkConditions conditions, Rng rng);
+
+  /// Sends a request; transparently retries transport failures up to
+  /// `max_retries` times. Returns the final response (503 if all attempts
+  /// were lost).
+  HttpResponse send(const HttpRequest& request, int max_retries = 2);
+
+  const ClientStats& stats() const { return stats_; }
+
+  /// Default bearer token attached to every request (set after
+  /// registration); empty disables.
+  void set_auth_token(std::string token) { token_ = std::move(token); }
+  const std::string& auth_token() const { return token_; }
+
+ private:
+  const Router* server_;
+  NetworkConditions conditions_;
+  Rng rng_;
+  ClientStats stats_;
+  std::string token_;
+};
+
+}  // namespace pmware::net

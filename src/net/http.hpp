@@ -1,0 +1,54 @@
+// HTTP request/response model for the simulated REST transport between the
+// PMWare Mobile Service and the Cloud Instance (paper §2.3.3). In-process,
+// but with the same shapes (methods, paths, headers, JSON bodies, status
+// codes) as the paper's Django deployment, so the control flow — auth
+// tokens, retries, offloading — is exercised for real.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace pmware::net {
+
+enum class Method { Get, Post, Put, Delete };
+const char* to_string(Method m);
+
+struct HttpRequest {
+  Method method = Method::Get;
+  std::string path;                          ///< e.g. "/api/places/discover"
+  std::map<std::string, std::string> headers;
+  std::map<std::string, std::string> query;
+  Json body;
+
+  HttpRequest& with_header(std::string key, std::string value) {
+    headers[std::move(key)] = std::move(value);
+    return *this;
+  }
+};
+
+struct HttpResponse {
+  int status = 200;
+  Json body;
+
+  bool ok() const { return status >= 200 && status < 300; }
+
+  static HttpResponse json(Json body, int status = 200) {
+    return {status, std::move(body)};
+  }
+  static HttpResponse error(int status, const std::string& message) {
+    Json b = Json::object();
+    b.set("error", message);
+    return {status, std::move(b)};
+  }
+};
+
+inline constexpr int kStatusOk = 200;
+inline constexpr int kStatusCreated = 201;
+inline constexpr int kStatusBadRequest = 400;
+inline constexpr int kStatusUnauthorized = 401;
+inline constexpr int kStatusNotFound = 404;
+inline constexpr int kStatusServiceUnavailable = 503;
+
+}  // namespace pmware::net

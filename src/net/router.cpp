@@ -1,0 +1,77 @@
+#include "net/router.hpp"
+
+namespace pmware::net {
+
+const char* to_string(Method m) {
+  switch (m) {
+    case Method::Get: return "GET";
+    case Method::Post: return "POST";
+    case Method::Put: return "PUT";
+    case Method::Delete: return "DELETE";
+  }
+  return "?";
+}
+
+std::vector<std::string> Router::split(const std::string& path) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : path) {
+    if (c == '/') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+void Router::add_route(Method method, const std::string& pattern,
+                       Handler handler) {
+  routes_.push_back({method, split(pattern), std::move(handler)});
+}
+
+void Router::add_middleware(Middleware mw,
+                            std::vector<std::string> exempt_prefixes) {
+  guards_.push_back({std::move(mw), std::move(exempt_prefixes)});
+}
+
+bool Router::match(const Route& route, const std::vector<std::string>& segments,
+                   PathParams& params) {
+  if (route.segments.size() != segments.size()) return false;
+  params.clear();
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const std::string& pat = route.segments[i];
+    if (!pat.empty() && pat[0] == ':') {
+      params[pat.substr(1)] = segments[i];
+    } else if (pat != segments[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+HttpResponse Router::handle(const HttpRequest& request) const {
+  for (const Guard& guard : guards_) {
+    bool exempt = false;
+    for (const std::string& prefix : guard.exempt_prefixes) {
+      if (request.path.rfind(prefix, 0) == 0) {
+        exempt = true;
+        break;
+      }
+    }
+    if (exempt) continue;
+    if (auto response = guard.mw(request)) return *response;
+  }
+
+  const auto segments = split(request.path);
+  PathParams params;
+  for (const Route& route : routes_) {
+    if (route.method != request.method) continue;
+    if (match(route, segments, params)) return route.handler(request, params);
+  }
+  return HttpResponse::error(kStatusNotFound, "no route for " + request.path);
+}
+
+}  // namespace pmware::net

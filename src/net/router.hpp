@@ -1,0 +1,59 @@
+// Path router: dispatches requests to handlers, with ":param" captures —
+// the server half of the simulated REST stack.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/http.hpp"
+
+namespace pmware::net {
+
+/// Path parameters captured from ":name" segments.
+using PathParams = std::map<std::string, std::string>;
+
+using Handler = std::function<HttpResponse(const HttpRequest&, const PathParams&)>;
+
+/// A middleware may short-circuit (return a response) or pass (return
+/// nullopt) — used for the cloud's auth check.
+using Middleware = std::function<std::optional<HttpResponse>(const HttpRequest&)>;
+
+class Router {
+ public:
+  /// Registers a handler for `method` on `pattern`, where pattern segments
+  /// starting with ':' capture the corresponding request segment,
+  /// e.g. "/api/users/:id/places".
+  void add_route(Method method, const std::string& pattern, Handler handler);
+
+  /// Adds a middleware run (in registration order) before every route whose
+  /// path does NOT start with one of `exempt_prefixes`.
+  void add_middleware(Middleware mw, std::vector<std::string> exempt_prefixes = {});
+
+  /// Dispatches a request; 404 when no route matches.
+  HttpResponse handle(const HttpRequest& request) const;
+
+  std::size_t route_count() const { return routes_.size(); }
+
+ private:
+  struct Route {
+    Method method;
+    std::vector<std::string> segments;  ///< pattern split on '/'
+    Handler handler;
+  };
+  struct Guard {
+    Middleware mw;
+    std::vector<std::string> exempt_prefixes;
+  };
+
+  static std::vector<std::string> split(const std::string& path);
+  static bool match(const Route& route, const std::vector<std::string>& segments,
+                    PathParams& params);
+
+  std::vector<Route> routes_;
+  std::vector<Guard> guards_;
+};
+
+}  // namespace pmware::net

@@ -1,0 +1,71 @@
+#include "sensing/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pmware::sensing {
+
+void SamplingScheduler::set_period(energy::Interface interface,
+                                   std::optional<SimDuration> period) {
+  if (period && *period <= 0)
+    throw std::invalid_argument("set_period: period <= 0");
+  const auto idx = static_cast<std::size_t>(interface);
+  periods_[idx] = period;
+  next_due_[idx] = period ? std::optional<SimTime>(now_ + *period) : std::nullopt;
+}
+
+void SamplingScheduler::set_callback(energy::Interface interface, Callback cb) {
+  callbacks_[static_cast<std::size_t>(interface)] = std::move(cb);
+}
+
+void SamplingScheduler::request_once(energy::Interface interface, SimTime at) {
+  one_shots_.push_back({interface, std::max(at, now_)});
+}
+
+void SamplingScheduler::run(TimeWindow window) {
+  now_ = window.begin;
+  if (meter_ != nullptr) meter_->charge_baseline(window.begin, window.end);
+
+  // Arm periodic interfaces to fire at the window start.
+  for (std::size_t i = 0; i < periods_.size(); ++i)
+    if (periods_[i]) next_due_[i] = window.begin;
+
+  while (true) {
+    // Earliest due event across periodic interfaces and one-shots.
+    std::optional<SimTime> due;
+    for (std::size_t i = 0; i < next_due_.size(); ++i)
+      if (next_due_[i] && (!due || *next_due_[i] < *due)) due = next_due_[i];
+    for (const OneShot& shot : one_shots_)
+      if (!due || shot.at < *due) due = shot.at;
+    if (!due || *due >= window.end) break;
+
+    now_ = *due;
+
+    // Dispatch every periodic interface due now (stable order by index).
+    for (std::size_t i = 0; i < next_due_.size(); ++i) {
+      if (!next_due_[i] || *next_due_[i] != now_) continue;
+      const auto interface = static_cast<energy::Interface>(i);
+      // Reschedule before dispatch so a callback changing the period wins.
+      next_due_[i] = periods_[i] ? std::optional<SimTime>(now_ + *periods_[i])
+                                 : std::nullopt;
+      if (meter_ != nullptr) meter_->charge_sample(interface, now_);
+      if (callbacks_[i]) callbacks_[i](now_);
+    }
+
+    // Dispatch due one-shots. Callbacks may enqueue more one-shots, so work
+    // on a drained copy.
+    std::vector<OneShot> due_shots;
+    auto split = std::partition(one_shots_.begin(), one_shots_.end(),
+                                [&](const OneShot& s) { return s.at > now_; });
+    due_shots.assign(split, one_shots_.end());
+    one_shots_.erase(split, one_shots_.end());
+    for (const OneShot& shot : due_shots) {
+      const auto idx = static_cast<std::size_t>(shot.interface);
+      if (meter_ != nullptr) meter_->charge_sample(shot.interface, now_);
+      if (callbacks_[idx]) callbacks_[idx](now_);
+    }
+  }
+  now_ = window.end;
+}
+
+}  // namespace pmware::sensing

@@ -1,0 +1,62 @@
+// Sampling scheduler: the device's single sensing loop.
+//
+// Exactly one scheduler runs per device — this is the architectural point of
+// PMWare (paper §2.2): N connected applications share one sensing pipeline
+// instead of N redundant ones. The inference engine adjusts periods and
+// requests one-shot samples; every sample is charged to the energy meter.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "energy/meter.hpp"
+#include "util/simtime.hpp"
+
+namespace pmware::sensing {
+
+class SamplingScheduler {
+ public:
+  using Callback = std::function<void(SimTime)>;
+
+  explicit SamplingScheduler(energy::EnergyMeter* meter) : meter_(meter) {}
+
+  /// Sets the periodic sampling interval for an interface; nullopt disables
+  /// periodic sampling. Takes effect from the current simulation time.
+  void set_period(energy::Interface interface,
+                  std::optional<SimDuration> period);
+
+  std::optional<SimDuration> period(energy::Interface interface) const {
+    return periods_[static_cast<std::size_t>(interface)];
+  }
+
+  /// Installs the handler invoked on each sample of `interface`.
+  void set_callback(energy::Interface interface, Callback cb);
+
+  /// Requests a single extra sample at time `at` (>= now); used for
+  /// triggered sensing (e.g. "scan WiFi now, movement started").
+  void request_once(energy::Interface interface, SimTime at);
+
+  /// Runs the loop over [window.begin, window.end), dispatching samples in
+  /// time order and charging the meter (samples + baseline). Callbacks may
+  /// call set_period/request_once to adapt sensing while running.
+  void run(TimeWindow window);
+
+  SimTime now() const { return now_; }
+
+ private:
+  struct OneShot {
+    energy::Interface interface;
+    SimTime at;
+  };
+
+  energy::EnergyMeter* meter_;
+  std::array<std::optional<SimDuration>, energy::kInterfaceCount> periods_{};
+  std::array<std::optional<SimTime>, energy::kInterfaceCount> next_due_{};
+  std::array<Callback, energy::kInterfaceCount> callbacks_{};
+  std::vector<OneShot> one_shots_;
+  SimTime now_ = 0;
+};
+
+}  // namespace pmware::sensing

@@ -1,0 +1,276 @@
+#include "study/deployment.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hpp"
+#include "util/strfmt.hpp"
+
+namespace pmware::study {
+
+using algorithms::DiscoveredOutcome;
+
+DeploymentStudy::DeploymentStudy(StudyConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  Rng world_rng = rng_.fork(1);
+  world_ = world::generate_world(config_.world, world_rng);
+}
+
+namespace {
+
+/// Diary state for one discovered place.
+struct TagState {
+  bool tagged = false;
+  bool has_departure = true;
+};
+
+/// Finds the ground-truth place whose visits overlap this discovered
+/// place's logged visits the most.
+std::optional<world::PlaceId> dominant_truth(
+    const std::vector<core::LoggedVisit>& log, core::PlaceUid uid,
+    const std::vector<mobility::Visit>& truth) {
+  std::map<world::PlaceId, SimDuration> overlap;
+  for (const auto& lv : log) {
+    if (lv.uid != uid) continue;
+    for (const auto& tv : truth) {
+      const SimDuration o = lv.window.overlap_length(tv.window);
+      if (o > 0) overlap[tv.place] += o;
+    }
+  }
+  std::optional<world::PlaceId> best;
+  SimDuration best_overlap = 0;
+  for (const auto& [place, o] : overlap) {
+    if (o > best_overlap) {
+      best = place;
+      best_overlap = o;
+    }
+  }
+  return best;
+}
+
+/// End-of-day diary session: the participant looks at newly discovered
+/// places in the life-logging UI and tags ~70% of them with their semantic
+/// category (paper §4: "participants tagged 85 places ... nearly 70%").
+void diary_session(core::PmwareMobileService& pms, const world::World& world,
+                   const std::vector<mobility::Visit>& truth,
+                   const StudyConfig& config, SimTime now, Rng& rng,
+                   std::map<core::PlaceUid, TagState>& diary) {
+  const auto& log = pms.inference().visit_log();
+  for (const auto& [uid, record] : pms.places().records()) {
+    if (diary.count(uid)) continue;
+    // Only places the user has actually seen in the UI (has logged visits).
+    const bool visited =
+        std::any_of(log.begin(), log.end(),
+                    [&](const core::LoggedVisit& v) { return v.uid == uid; });
+    if (!visited) continue;
+
+    TagState state;
+    state.tagged = rng.bernoulli(config.tag_probability);
+    if (state.tagged) {
+      std::string label = "place";
+      if (const auto truth_place = dominant_truth(log, uid, truth))
+        label = world::to_string(world.place(*truth_place).category);
+      pms.tag_place(uid, label, now);
+      state.has_departure = !rng.bernoulli(config.missing_departure_prob);
+    }
+    diary.emplace(uid, state);
+  }
+}
+
+}  // namespace
+
+ParticipantResult DeploymentStudy::run_participant(
+    const mobility::Participant& participant, cloud::CloudInstance& cloud,
+    Rng& rng, std::vector<PlaceMapEntry>& place_map) {
+  Rng trace_rng = rng.fork(1);
+  const mobility::Trace trace =
+      mobility::build_trace(*world_, participant, config_.schedule, trace_rng);
+  const std::vector<mobility::Visit> truth_visits =
+      trace.significant_visits(config_.inference.min_visit_dwell);
+
+  auto device = std::make_unique<sensing::Device>(
+      world_, sensing::oracle_from_trace(trace), config_.device, rng.fork(2));
+  auto client = std::make_unique<net::RestClient>(
+      &cloud.router(), config_.network, rng.fork(3));
+
+  core::PmsConfig pms_config;
+  pms_config.imei = strfmt("35824005%07u", participant.id + 1);
+  pms_config.email = participant.name + "@study.pmware.org";
+  pms_config.inference = config_.inference;
+  pms_config.inference.wifi_enabled = config_.use_wifi;
+  pms_config.offload_gca = config_.offload_gca;
+
+  core::PmwareMobileService pms(std::move(device), pms_config,
+                                std::move(client), rng.fork(4));
+
+  apps::LifeLog lifelog;
+  lifelog.connect(pms);
+  std::optional<apps::PlaceAds> placeads;
+  if (config_.run_placeads) {
+    placeads.emplace(apps::AdInventory::default_catalogue(), rng.fork(5));
+    placeads->connect(pms);
+  }
+
+  pms.register_with_cloud(0);
+
+  Rng diary_rng = rng.fork(6);
+  std::map<core::PlaceUid, TagState> diary;
+  for (int day = 0; day < config_.days; ++day) {
+    pms.run(TimeWindow{start_of_day(day), start_of_day(day + 1)});
+    diary_session(pms, *world_, truth_visits, config_, start_of_day(day + 1),
+                  diary_rng, diary);
+  }
+  pms.shutdown(start_of_day(config_.days));
+  diary_session(pms, *world_, truth_visits, config_, start_of_day(config_.days),
+                diary_rng, diary);
+
+  // --- Evaluation (paper §4) ---
+  ParticipantResult result;
+  result.profile = participant;
+
+  const auto& log = pms.inference().visit_log();
+  std::set<core::PlaceUid> discovered;
+  for (const auto& v : log) discovered.insert(v.uid);
+  result.places_discovered = discovered.size();
+
+  std::vector<algorithms::TruthVisit> truth;
+  for (const auto& v : truth_visits) truth.push_back({v.place, v.window});
+  std::vector<algorithms::ReportedVisit> reported;
+  for (const auto& v : log)
+    reported.push_back({static_cast<std::size_t>(v.uid), v.window});
+
+  const algorithms::DiscoveredEvaluation full_eval =
+      algorithms::evaluate_discovered(truth, reported);
+
+  // Restrict the reported split to tagged places with departure info
+  // (the paper's 123 -> 85 -> 62 attrition).
+  for (const auto& [idx, outcome] : full_eval.outcomes) {
+    const auto uid = static_cast<core::PlaceUid>(idx);
+    const auto it = diary.find(uid);
+    if (it == diary.end() || !it->second.tagged) continue;
+    ++result.places_tagged;
+    if (!it->second.has_departure) continue;
+    ++result.places_evaluable;
+    result.eval.outcomes[idx] = outcome;
+  }
+
+  if (placeads) {
+    result.ad_likes = placeads->likes();
+    result.ad_dislikes = placeads->dislikes();
+  }
+  result.sensing_joules = pms.meter().sensing_j();
+  result.implied_battery_hours =
+      pms.meter().implied_battery_duration_s(days(config_.days)) / 3600.0;
+  result.pms_stats = pms.stats();
+
+  // Figure 5b inventory: every discovered place with a resolvable position.
+  for (const core::PlaceUid uid : discovered) {
+    const core::PlaceRecord* record = pms.places().get(uid);
+    if (record == nullptr) continue;
+    PlaceMapEntry entry;
+    entry.participant = static_cast<int>(participant.id);
+    entry.uid = uid;
+    entry.label = record->label;
+    entry.location = record->location;
+    if (!entry.location)
+      entry.location = cloud.geolocation().locate_signature(record->signature);
+    place_map.push_back(std::move(entry));
+  }
+  return result;
+}
+
+StudyResult DeploymentStudy::run() {
+  Rng participants_rng = rng_.fork(2);
+  const std::vector<mobility::Participant> participants =
+      mobility::make_participants(*world_, config_.participants,
+                                  participants_rng);
+
+  cloud::GeoLocationService geoloc(world_->cell_location_db());
+  geoloc.set_ap_db(world_->ap_location_db());
+  cloud::CloudInstance cloud(cloud::CloudConfig{}, std::move(geoloc),
+                             rng_.fork(3));
+
+  StudyResult result;
+  for (const auto& participant : participants) {
+    Rng prng = rng_.fork(1000 + participant.id);
+    result.participants.push_back(
+        run_participant(participant, cloud, prng, result.place_map));
+    const auto& r = result.participants.back();
+    log_info("study", "%s: %zu places, %zu tagged, %s",
+             participant.name.c_str(), r.places_discovered, r.places_tagged,
+             r.eval.summary().c_str());
+  }
+  return result;
+}
+
+std::size_t StudyResult::total_discovered() const {
+  std::size_t n = 0;
+  for (const auto& p : participants) n += p.places_discovered;
+  return n;
+}
+
+std::size_t StudyResult::total_tagged() const {
+  std::size_t n = 0;
+  for (const auto& p : participants) n += p.places_tagged;
+  return n;
+}
+
+std::size_t StudyResult::total_evaluable() const {
+  std::size_t n = 0;
+  for (const auto& p : participants) n += p.places_evaluable;
+  return n;
+}
+
+std::size_t StudyResult::total(DiscoveredOutcome o) const {
+  std::size_t n = 0;
+  for (const auto& p : participants) n += p.eval.count(o);
+  return n;
+}
+
+double StudyResult::fraction(DiscoveredOutcome o) const {
+  const std::size_t denom = total(DiscoveredOutcome::Correct) +
+                            total(DiscoveredOutcome::Merged) +
+                            total(DiscoveredOutcome::Divided);
+  if (denom == 0) return 0.0;
+  return static_cast<double>(total(o)) / static_cast<double>(denom);
+}
+
+std::size_t StudyResult::total_likes() const {
+  std::size_t n = 0;
+  for (const auto& p : participants) n += p.ad_likes;
+  return n;
+}
+
+std::size_t StudyResult::total_dislikes() const {
+  std::size_t n = 0;
+  for (const auto& p : participants) n += p.ad_dislikes;
+  return n;
+}
+
+std::string StudyResult::summary() const {
+  std::string out;
+  out += strfmt("participants:            %zu\n", participants.size());
+  out += strfmt("places discovered:       %zu\n", total_discovered());
+  out += strfmt("places tagged:           %zu (%.1f%%)\n", total_tagged(),
+                total_discovered() == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(total_tagged()) /
+                          static_cast<double>(total_discovered()));
+  out += strfmt("evaluable (w/ departure): %zu\n", total_evaluable());
+  out += strfmt("  correct:   %3zu (%.2f%%)\n", total(DiscoveredOutcome::Correct),
+                100 * fraction(DiscoveredOutcome::Correct));
+  out += strfmt("  merged:    %3zu (%.2f%%)\n", total(DiscoveredOutcome::Merged),
+                100 * fraction(DiscoveredOutcome::Merged));
+  out += strfmt("  divided:   %3zu (%.2f%%)\n", total(DiscoveredOutcome::Divided),
+                100 * fraction(DiscoveredOutcome::Divided));
+  const std::size_t impressions = total_likes() + total_dislikes();
+  if (impressions > 0) {
+    const double like20 = 20.0 * static_cast<double>(total_likes()) /
+                          static_cast<double>(impressions);
+    out += strfmt("PlaceADs impressions:    %zu, like:dislike = %.1f : %.1f\n",
+                  impressions, like20, 20.0 - like20);
+  }
+  return out;
+}
+
+}  // namespace pmware::study

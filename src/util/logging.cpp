@@ -1,0 +1,60 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+
+namespace pmware {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?????";
+}
+
+void vlog(LogLevel level, const char* component, const char* fmt,
+          va_list args) {
+  if (level < g_level.load()) return;
+  char msg[1024];
+  std::vsnprintf(msg, sizeof(msg), fmt, args);
+  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component, msg);
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, std::string_view component, std::string_view msg) {
+  if (level < g_level.load()) return;
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+#define PMWARE_DEFINE_LOG(name, level)                       \
+  void name(const char* component, const char* fmt, ...) {   \
+    va_list args;                                            \
+    va_start(args, fmt);                                     \
+    vlog(level, component, fmt, args);                       \
+    va_end(args);                                            \
+  }
+
+PMWARE_DEFINE_LOG(log_debug, LogLevel::Debug)
+PMWARE_DEFINE_LOG(log_info, LogLevel::Info)
+PMWARE_DEFINE_LOG(log_warn, LogLevel::Warn)
+PMWARE_DEFINE_LOG(log_error, LogLevel::Error)
+
+#undef PMWARE_DEFINE_LOG
+
+}  // namespace pmware

@@ -1,0 +1,52 @@
+#include "util/simtime.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace pmware {
+
+std::string format_time(SimTime t) {
+  const std::int64_t day = day_of(t);
+  const SimDuration tod = time_of_day(t);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "d%lld %02lld:%02lld:%02lld",
+                static_cast<long long>(day),
+                static_cast<long long>(tod / 3600),
+                static_cast<long long>((tod / 60) % 60),
+                static_cast<long long>(tod % 60));
+  return buf;
+}
+
+std::string format_duration(SimDuration d) {
+  const bool neg = d < 0;
+  if (neg) d = -d;
+  const std::int64_t dd = d / kSecondsPerDay;
+  const SimDuration rest = d % kSecondsPerDay;
+  char buf[64];
+  if (dd > 0) {
+    std::snprintf(buf, sizeof(buf), "%s%lldd %02lld:%02lld:%02lld",
+                  neg ? "-" : "", static_cast<long long>(dd),
+                  static_cast<long long>(rest / 3600),
+                  static_cast<long long>((rest / 60) % 60),
+                  static_cast<long long>(rest % 60));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%02lld:%02lld:%02lld", neg ? "-" : "",
+                  static_cast<long long>(rest / 3600),
+                  static_cast<long long>((rest / 60) % 60),
+                  static_cast<long long>(rest % 60));
+  }
+  return buf;
+}
+
+TimeWindow::TimeWindow(SimTime b, SimTime e) : begin(b), end(e) {
+  if (e < b) throw std::invalid_argument("TimeWindow: end < begin");
+}
+
+SimDuration TimeWindow::overlap_length(const TimeWindow& other) const {
+  const SimTime lo = std::max(begin, other.begin);
+  const SimTime hi = std::min(end, other.end);
+  return hi > lo ? hi - lo : 0;
+}
+
+}  // namespace pmware

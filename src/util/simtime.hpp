@@ -1,0 +1,90 @@
+// Simulation time: integer seconds since the simulation epoch (day 0, 00:00).
+//
+// All of PMWare runs on this clock; the sensing scheduler advances it and the
+// middleware never reads wall-clock time, so runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pmware {
+
+/// Seconds since simulation epoch (midnight of day 0).
+using SimTime = std::int64_t;
+
+/// Span of simulated time, in seconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration seconds(std::int64_t n) { return n; }
+constexpr SimDuration minutes(std::int64_t n) { return n * 60; }
+constexpr SimDuration hours(std::int64_t n) { return n * 3600; }
+constexpr SimDuration days(std::int64_t n) { return n * 86400; }
+
+constexpr SimDuration kSecondsPerDay = 86400;
+constexpr SimDuration kSecondsPerWeek = 7 * kSecondsPerDay;
+
+/// Day index (0-based) containing `t`. Works for t >= 0.
+constexpr std::int64_t day_of(SimTime t) { return t / kSecondsPerDay; }
+
+/// Seconds past midnight on the day containing `t`.
+constexpr SimDuration time_of_day(SimTime t) {
+  const SimDuration r = t % kSecondsPerDay;
+  return r < 0 ? r + kSecondsPerDay : r;
+}
+
+/// Day-of-week index: 0 = Monday ... 6 = Sunday (day 0 is a Monday).
+constexpr int weekday_of(SimTime t) { return static_cast<int>(day_of(t) % 7); }
+
+/// True for Saturday/Sunday.
+constexpr bool is_weekend(SimTime t) { return weekday_of(t) >= 5; }
+
+/// Timestamp of midnight on day `day`.
+constexpr SimTime start_of_day(std::int64_t day) { return day * kSecondsPerDay; }
+
+/// "d3 14:05:09"-style human-readable rendering.
+std::string format_time(SimTime t);
+
+/// "02:30:00"-style rendering of a duration (may exceed 24h: "1d 02:30:00").
+std::string format_duration(SimDuration d);
+
+/// Closed-open interval of simulated time. `end >= begin` is an invariant
+/// enforced by the constructor.
+struct TimeWindow {
+  SimTime begin = 0;
+  SimTime end = 0;
+
+  TimeWindow() = default;
+  TimeWindow(SimTime b, SimTime e);
+
+  SimDuration length() const { return end - begin; }
+  bool contains(SimTime t) const { return t >= begin && t < end; }
+  bool overlaps(const TimeWindow& other) const {
+    return begin < other.end && other.begin < end;
+  }
+  /// Length of the intersection with `other` (0 if disjoint).
+  SimDuration overlap_length(const TimeWindow& other) const;
+
+  bool operator==(const TimeWindow&) const = default;
+};
+
+/// Daily recurring window expressed as seconds past midnight, e.g. the
+/// "track between 9 AM and 6 PM" request of the §2.4 use case.
+struct DailyWindow {
+  SimDuration start_tod = 0;             ///< inclusive, seconds past midnight
+  SimDuration end_tod = kSecondsPerDay;  ///< exclusive
+
+  /// True if the time-of-day of `t` falls inside the window. Handles
+  /// windows that wrap midnight (start > end).
+  bool contains(SimTime t) const {
+    const SimDuration tod = time_of_day(t);
+    if (start_tod <= end_tod) return tod >= start_tod && tod < end_tod;
+    return tod >= start_tod || tod < end_tod;
+  }
+
+  /// Whole-day window (always contains).
+  static DailyWindow all_day() { return {0, kSecondsPerDay}; }
+
+  bool operator==(const DailyWindow&) const = default;
+};
+
+}  // namespace pmware

@@ -1,0 +1,109 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace pmware {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("percentile: empty input");
+  if (q < 0 || q > 1) throw std::invalid_argument("percentile: q outside [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+double mean_of(std::span<const double> values) {
+  RunningStats s;
+  for (double v : values) s.add(v);
+  return s.mean();
+}
+
+double median_of(std::span<const double> values) {
+  return percentile(values, 0.5);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  if (buckets == 0) throw std::invalid_argument("Histogram: zero buckets");
+  if (hi <= lo) throw std::invalid_argument("Histogram: hi <= lo");
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::int64_t>((x - lo_) / width);
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t bucket) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bucket);
+}
+
+double Histogram::bucket_hi(std::size_t bucket) const {
+  return bucket_lo(bucket + 1);
+}
+
+std::string Histogram::render(std::size_t max_width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char head[64];
+    std::snprintf(head, sizeof(head), "[%8.2f, %8.2f) %6zu ", bucket_lo(i),
+                  bucket_hi(i), counts_[i]);
+    out += head;
+    const std::size_t bar = counts_[i] * max_width / peak;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+std::size_t Tally::count(const std::string& key) const {
+  const auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::size_t Tally::total() const {
+  std::size_t n = 0;
+  for (const auto& [key, c] : counts_) n += c;
+  return n;
+}
+
+double Tally::fraction(const std::string& key) const {
+  const std::size_t t = total();
+  return t == 0 ? 0.0 : static_cast<double>(count(key)) / static_cast<double>(t);
+}
+
+}  // namespace pmware

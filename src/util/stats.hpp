@@ -1,0 +1,79 @@
+// Small statistics helpers used by the evaluation harness and benches.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pmware {
+
+/// Streaming accumulator for count/mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Linear-interpolated percentile of `values`, q in [0, 1].
+/// Throws on empty input or q outside [0, 1].
+double percentile(std::span<const double> values, double q);
+
+double mean_of(std::span<const double> values);
+double median_of(std::span<const double> values);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bucket so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  std::size_t total() const { return total_; }
+  double bucket_lo(std::size_t bucket) const;
+  double bucket_hi(std::size_t bucket) const;
+
+  /// Multi-line ASCII rendering for bench output.
+  std::string render(std::size_t max_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Counter keyed by string label; used for tally-style evaluation output.
+class Tally {
+ public:
+  void add(const std::string& key, std::size_t n = 1) { counts_[key] += n; }
+  std::size_t count(const std::string& key) const;
+  std::size_t total() const;
+  /// Fraction of total mass under `key`; 0 if the tally is empty.
+  double fraction(const std::string& key) const;
+  const std::map<std::string, std::size_t>& counts() const { return counts_; }
+
+ private:
+  std::map<std::string, std::size_t> counts_;
+};
+
+}  // namespace pmware

@@ -1,0 +1,143 @@
+#include "viz/map_render.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "util/strfmt.hpp"
+
+namespace pmware::viz {
+
+namespace {
+
+/// Projects into [0,1)^2 within the extent; nullopt if outside.
+std::optional<std::pair<double, double>> unit_project(const MapExtent& extent,
+                                                      const geo::LatLng& p) {
+  const geo::EnuOffset off = geo::to_enu(extent.origin, p);
+  const double x = off.east_m / extent.extent_m;
+  const double y = off.north_m / extent.extent_m;
+  if (x < 0 || x >= 1 || y < 0 || y >= 1) return std::nullopt;
+  return std::make_pair(x, y);
+}
+
+std::string xml_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_ascii_map(const MapExtent& extent,
+                             const std::vector<MapMarker>& markers, int cols,
+                             int rows) {
+  if (cols < 2 || rows < 2)
+    throw std::invalid_argument("render_ascii_map: grid too small");
+  std::vector<std::string> grid(static_cast<std::size_t>(rows),
+                                std::string(static_cast<std::size_t>(cols), '.'));
+  for (const MapMarker& marker : markers) {
+    const auto unit = unit_project(extent, marker.position);
+    if (!unit) continue;
+    const int c = std::min(cols - 1, static_cast<int>(unit->first * cols));
+    const int r =
+        rows - 1 - std::min(rows - 1, static_cast<int>(unit->second * rows));
+    char& cell = grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+    cell = cell == '.' ? marker.glyph : '#';
+  }
+  std::string out;
+  for (const std::string& row : grid) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_svg_map(const MapExtent& extent,
+                           const std::vector<MapMarker>& markers,
+                           const std::vector<SvgPolyline>& polylines,
+                           int width_px, int height_px) {
+  std::string out = strfmt(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" "
+      "viewBox=\"0 0 %d %d\">\n"
+      "<rect width=\"%d\" height=\"%d\" fill=\"#f7f5f0\"/>\n",
+      width_px, height_px, width_px, height_px, width_px, height_px);
+
+  auto to_px = [&](const geo::LatLng& p)
+      -> std::optional<std::pair<double, double>> {
+    const auto unit = unit_project(extent, p);
+    if (!unit) return std::nullopt;
+    return std::make_pair(unit->first * width_px,
+                          (1.0 - unit->second) * height_px);
+  };
+
+  for (const SvgPolyline& line : polylines) {
+    std::string points;
+    for (const geo::LatLng& p : line.points) {
+      const auto px = to_px(p);
+      if (!px) continue;
+      points += strfmt("%.1f,%.1f ", px->first, px->second);
+    }
+    if (points.empty()) continue;
+    out += strfmt(
+        "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" "
+        "stroke-width=\"%.1f\"/>\n",
+        points.c_str(), line.color.c_str(), line.width_px);
+  }
+
+  for (const MapMarker& marker : markers) {
+    const auto px = to_px(marker.position);
+    if (!px) continue;
+    out += strfmt("<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" fill=\"%s\">",
+                  px->first, px->second, marker.radius_px,
+                  marker.color.c_str());
+    if (!marker.label.empty())
+      out += strfmt("<title>%s</title>", xml_escape(marker.label).c_str());
+    out += "</circle>\n";
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+std::string render_day_timeline(std::int64_t day,
+                                const std::vector<TimelineEntry>& entries,
+                                SimDuration bucket) {
+  if (bucket <= 0)
+    throw std::invalid_argument("render_day_timeline: bucket <= 0");
+  const TimeWindow day_window{start_of_day(day), start_of_day(day + 1)};
+  const auto columns = static_cast<std::size_t>(kSecondsPerDay / bucket);
+  std::string bar(columns, '.');
+  std::map<char, std::string> legend;
+
+  for (const TimelineEntry& entry : entries) {
+    const SimTime begin = std::max(entry.window.begin, day_window.begin);
+    const SimTime end = std::min(entry.window.end, day_window.end);
+    if (end <= begin) continue;
+    legend[entry.glyph] = entry.label;
+    const auto first = static_cast<std::size_t>((begin - day_window.begin) / bucket);
+    auto last = static_cast<std::size_t>((end - 1 - day_window.begin) / bucket);
+    last = std::min(last, columns - 1);
+    for (std::size_t i = first; i <= last; ++i) bar[i] = entry.glyph;
+  }
+
+  std::string out = strfmt("day %lld  00h", static_cast<long long>(day));
+  // Hour ruler every 6 hours.
+  out += "\n  ";
+  for (std::size_t i = 0; i < columns; ++i) {
+    const SimDuration tod = static_cast<SimDuration>(i) * bucket;
+    out += (tod % hours(6) == 0 && tod > 0) ? '|' : ' ';
+  }
+  out += "\n  " + bar + "\n";
+  for (const auto& [glyph, label] : legend)
+    out += strfmt("  %c = %s\n", glyph, label.c_str());
+  return out;
+}
+
+}  // namespace pmware::viz

@@ -1,0 +1,64 @@
+// Visualization module (paper §2.2.5, Figures 4 & 5b): renders discovered
+// places on a map and a user's day as a timeline — the data views the
+// life-logging app shows so users can validate and label discovery results.
+//
+// Two output forms: ASCII (for terminals, benches and logs) and SVG (the
+// map interface of Figure 4a / 5b).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/latlng.hpp"
+#include "util/simtime.hpp"
+
+namespace pmware::viz {
+
+/// One dot on the map.
+struct MapMarker {
+  geo::LatLng position;
+  std::string label;       ///< optional; shown in SVG tooltips
+  char glyph = 'o';        ///< ASCII glyph
+  std::string color = "#4466cc";  ///< SVG fill
+  double radius_px = 4;
+};
+
+struct MapExtent {
+  geo::LatLng origin;  ///< south-west corner
+  double extent_m = 6000;
+};
+
+/// Renders markers into a `cols` x `rows` ASCII grid. Markers sharing a grid
+/// cell collapse into '#'. Out-of-extent markers are dropped.
+std::string render_ascii_map(const MapExtent& extent,
+                             const std::vector<MapMarker>& markers,
+                             int cols = 60, int rows = 24);
+
+/// Renders markers (and optional polylines) as a standalone SVG document.
+struct SvgPolyline {
+  std::vector<geo::LatLng> points;
+  std::string color = "#999999";
+  double width_px = 1.5;
+};
+
+std::string render_svg_map(const MapExtent& extent,
+                           const std::vector<MapMarker>& markers,
+                           const std::vector<SvgPolyline>& polylines = {},
+                           int width_px = 640, int height_px = 640);
+
+/// One block of a day timeline (Figure 4c's per-place stay view).
+struct TimelineEntry {
+  TimeWindow window;
+  std::string label;
+  char glyph = '#';
+};
+
+/// Renders a one-day timeline as a fixed-width bar, one character per
+/// `bucket` seconds (default: one char per 15 min => 96 columns), with a
+/// legend of the labels used. Entries outside `day` are clipped.
+std::string render_day_timeline(std::int64_t day,
+                                const std::vector<TimelineEntry>& entries,
+                                SimDuration bucket = minutes(15));
+
+}  // namespace pmware::viz

@@ -1,0 +1,26 @@
+#include "world/ids.hpp"
+
+#include <cstdio>
+
+namespace pmware::world {
+
+std::string CellId::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%u-%u-%u-%u/%s", mcc, mnc, lac, cid,
+                radio == Radio::Gsm2G ? "2G" : "3G");
+  return buf;
+}
+
+std::string bssid_to_string(Bssid b) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x",
+                static_cast<unsigned>((b >> 40) & 0xff),
+                static_cast<unsigned>((b >> 32) & 0xff),
+                static_cast<unsigned>((b >> 24) & 0xff),
+                static_cast<unsigned>((b >> 16) & 0xff),
+                static_cast<unsigned>((b >> 8) & 0xff),
+                static_cast<unsigned>(b & 0xff));
+  return buf;
+}
+
+}  // namespace pmware::world

@@ -1,0 +1,62 @@
+// Identifier types shared across the world model, sensing layer and
+// place-discovery algorithms.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace pmware::world {
+
+/// Radio access technology of a cell. The 2G/3G split matters because
+/// inter-network handoff is one source of the "oscillation effect" GCA
+/// has to model (paper §2.2.2).
+enum class Radio : std::uint8_t { Gsm2G = 0, Umts3G = 1 };
+
+/// Globally unique cell identity, as surfaced by the modem:
+/// MCC + MNC + LAC + CID (paper §2.2.2 tracks exactly these four fields).
+struct CellId {
+  std::uint16_t mcc = 0;   ///< mobile country code
+  std::uint16_t mnc = 0;   ///< mobile network code
+  std::uint16_t lac = 0;   ///< location area code
+  std::uint32_t cid = 0;   ///< cell id within the LAC
+  Radio radio = Radio::Gsm2G;
+
+  auto operator<=>(const CellId&) const = default;
+
+  /// Packed 64-bit key for hashing / compact storage.
+  std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(mcc) << 52) |
+           (static_cast<std::uint64_t>(mnc) << 42) |
+           (static_cast<std::uint64_t>(lac) << 26) |
+           (static_cast<std::uint64_t>(cid) << 1) |
+           static_cast<std::uint64_t>(radio);
+  }
+
+  std::string to_string() const;
+};
+
+/// WiFi access-point BSSID (48-bit MAC stored in 64 bits).
+using Bssid = std::uint64_t;
+
+/// Index of a place/POI within a World.
+using PlaceId = std::uint32_t;
+inline constexpr PlaceId kNoPlace = 0xffffffffu;
+
+/// Index of a cell tower within a World.
+using TowerId = std::uint32_t;
+
+/// Identifier of a simulated participant / device.
+using DeviceId = std::uint32_t;
+
+std::string bssid_to_string(Bssid b);
+
+}  // namespace pmware::world
+
+template <>
+struct std::hash<pmware::world::CellId> {
+  std::size_t operator()(const pmware::world::CellId& c) const noexcept {
+    return std::hash<std::uint64_t>{}(c.key());
+  }
+};

@@ -1,0 +1,25 @@
+#include "world/place.hpp"
+
+namespace pmware::world {
+
+const char* to_string(PlaceCategory c) {
+  switch (c) {
+    case PlaceCategory::Home: return "home";
+    case PlaceCategory::Workplace: return "workplace";
+    case PlaceCategory::Market: return "market";
+    case PlaceCategory::Restaurant: return "restaurant";
+    case PlaceCategory::Cafe: return "cafe";
+    case PlaceCategory::Mall: return "mall";
+    case PlaceCategory::Gym: return "gym";
+    case PlaceCategory::Park: return "park";
+    case PlaceCategory::Library: return "library";
+    case PlaceCategory::AcademicBuilding: return "academic";
+    case PlaceCategory::Hospital: return "hospital";
+    case PlaceCategory::Cinema: return "cinema";
+    case PlaceCategory::TransitHub: return "transit";
+    case PlaceCategory::Other: return "other";
+  }
+  return "other";
+}
+
+}  // namespace pmware::world

@@ -1,0 +1,48 @@
+// Points of interest: the ground-truth "places" participants visit.
+#pragma once
+
+#include <string>
+
+#include "geo/latlng.hpp"
+#include "world/ids.hpp"
+
+namespace pmware::world {
+
+/// Semantic category of a POI; mirrors the labels users attach in the paper's
+/// life-logging app ("Home", "Workplace", "Market", ...) and the ad targeting
+/// categories of PlaceADs.
+enum class PlaceCategory : std::uint8_t {
+  Home,
+  Workplace,
+  Market,
+  Restaurant,
+  Cafe,
+  Mall,
+  Gym,
+  Park,
+  Library,
+  AcademicBuilding,
+  Hospital,
+  Cinema,
+  TransitHub,
+  Other,
+};
+
+const char* to_string(PlaceCategory c);
+
+/// A ground-truth place. Its radius approximates the building footprint; WiFi
+/// presence depends on the region profile (paper §1 limitation 4).
+struct Place {
+  PlaceId id = kNoPlace;
+  std::string name;
+  PlaceCategory category = PlaceCategory::Other;
+  geo::LatLng center;
+  double radius_m = 50;
+  bool has_wifi = true;
+
+  bool contains(const geo::LatLng& p) const {
+    return geo::distance_m(center, p) <= radius_m;
+  }
+};
+
+}  // namespace pmware::world

@@ -1,0 +1,21 @@
+#include "world/radio.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pmware::world {
+
+double PathLossModel::rssi_dbm(double tx_power_dbm, double distance_m,
+                               double shadowing_db) const {
+  const double d = std::max(distance_m, 1.0);
+  return tx_power_dbm - reference_loss_db - 10.0 * exponent * std::log10(d) +
+         shadowing_db;
+}
+
+// With tx = 43 dBm this puts the detection edge (-108 dBm) near 2.9 km,
+// a realistic urban macro-cell hearability radius.
+PathLossModel cell_path_loss() { return PathLossModel{3.5, 30.0}; }
+
+PathLossModel wifi_path_loss() { return PathLossModel{3.2, 40.0}; }
+
+}  // namespace pmware::world

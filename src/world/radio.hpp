@@ -1,0 +1,51 @@
+// Radio infrastructure: cell towers and WiFi access points, plus the
+// log-distance propagation model both share.
+#pragma once
+
+#include <optional>
+
+#include "geo/latlng.hpp"
+#include "world/ids.hpp"
+
+namespace pmware::world {
+
+/// A base station. Each tower serves one cell; 2G and 3G towers form two
+/// overlapping layers so that inter-network handoff can occur.
+struct CellTower {
+  TowerId id = 0;
+  CellId cell;
+  geo::LatLng pos;
+  double tx_power_dbm = 43.0;   ///< macro-cell EIRP
+  double range_hint_m = 1200;   ///< nominal coverage radius (for generation)
+  double shadowing_db = 0;      ///< fixed per-tower shadowing offset
+};
+
+/// A WiFi access point, anchored to a place or a street segment.
+struct WifiAp {
+  Bssid bssid = 0;
+  geo::LatLng pos;
+  double tx_power_dbm = 20.0;
+  double shadowing_db = 0;
+  PlaceId place = kNoPlace;  ///< owning place, or kNoPlace for street APs
+};
+
+/// Log-distance path-loss model:
+///   rssi = tx_dbm - 10 * exponent * log10(max(d, 1m)) + shadowing
+/// Deterministic; time-varying fading is added by the sensing layer.
+struct PathLossModel {
+  double exponent = 3.5;
+  double reference_loss_db = 30.0;  ///< loss at 1 m
+
+  double rssi_dbm(double tx_power_dbm, double distance_m,
+                  double shadowing_db) const;
+};
+
+/// Default models for macro cells and WiFi.
+PathLossModel cell_path_loss();
+PathLossModel wifi_path_loss();
+
+/// Detection thresholds: below these the receiver does not see the emitter.
+inline constexpr double kCellDetectionDbm = -108.0;
+inline constexpr double kWifiDetectionDbm = -88.0;
+
+}  // namespace pmware::world

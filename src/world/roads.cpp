@@ -1,0 +1,87 @@
+#include "world/roads.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace pmware::world {
+
+RoadNetwork::RoadNetwork(geo::LatLng origin, double spacing_m, int cols,
+                         int rows)
+    : origin_(origin), spacing_m_(spacing_m), cols_(cols), rows_(rows) {
+  if (spacing_m <= 0) throw std::invalid_argument("RoadNetwork: spacing <= 0");
+  if (cols < 2 || rows < 2)
+    throw std::invalid_argument("RoadNetwork: grid must be at least 2x2");
+}
+
+geo::LatLng RoadNetwork::node(int i, int j) const {
+  return geo::from_enu(origin_, {spacing_m_ * i, spacing_m_ * j});
+}
+
+std::pair<int, int> RoadNetwork::nearest_node(const geo::LatLng& p) const {
+  const geo::EnuOffset off = geo::to_enu(origin_, p);
+  const int i = std::clamp(static_cast<int>(std::lround(off.east_m / spacing_m_)),
+                           0, cols_ - 1);
+  const int j = std::clamp(static_cast<int>(std::lround(off.north_m / spacing_m_)),
+                           0, rows_ - 1);
+  return {i, j};
+}
+
+std::vector<geo::LatLng> RoadNetwork::route(const geo::LatLng& from,
+                                            const geo::LatLng& to) const {
+  const auto [si, sj] = nearest_node(from);
+  const auto [ti, tj] = nearest_node(to);
+
+  // Dijkstra over the grid (uniform edge weights => effectively BFS, but we
+  // keep Dijkstra so non-uniform road costs can be added later).
+  const std::size_t n = static_cast<std::size_t>(cols_) * rows_;
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  std::vector<std::int32_t> prev(n, -1);
+  using QE = std::pair<double, std::size_t>;
+  std::priority_queue<QE, std::vector<QE>, std::greater<>> queue;
+
+  const std::size_t start = index(si, sj);
+  const std::size_t goal = index(ti, tj);
+  dist[start] = 0;
+  queue.push({0, start});
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    if (u == goal) break;
+    const int ui = static_cast<int>(u % static_cast<std::size_t>(cols_));
+    const int uj = static_cast<int>(u / static_cast<std::size_t>(cols_));
+    const std::pair<int, int> neighbors[4] = {
+        {ui + 1, uj}, {ui - 1, uj}, {ui, uj + 1}, {ui, uj - 1}};
+    for (const auto& [vi, vj] : neighbors) {
+      if (vi < 0 || vi >= cols_ || vj < 0 || vj >= rows_) continue;
+      const std::size_t v = index(vi, vj);
+      const double nd = d + spacing_m_;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        prev[v] = static_cast<std::int32_t>(u);
+        queue.push({nd, v});
+      }
+    }
+  }
+
+  std::vector<std::size_t> nodes;
+  for (std::size_t at = goal; ; at = static_cast<std::size_t>(prev[at])) {
+    nodes.push_back(at);
+    if (at == start || prev[at] < 0) break;
+  }
+  std::reverse(nodes.begin(), nodes.end());
+
+  std::vector<geo::LatLng> line;
+  line.push_back(from);
+  for (std::size_t u : nodes) {
+    const int i = static_cast<int>(u % static_cast<std::size_t>(cols_));
+    const int j = static_cast<int>(u / static_cast<std::size_t>(cols_));
+    line.push_back(node(i, j));
+  }
+  line.push_back(to);
+  return line;
+}
+
+}  // namespace pmware::world

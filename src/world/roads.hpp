@@ -1,0 +1,48 @@
+// Grid road network and shortest-path route planner.
+//
+// Participant trips between places travel along these roads; the resulting
+// polylines are what GPS/route tracking observes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/latlng.hpp"
+
+namespace pmware::world {
+
+/// Rectangular grid of streets with `spacing_m` between intersections,
+/// anchored at `origin` (south-west corner), `cols` x `rows` intersections.
+class RoadNetwork {
+ public:
+  RoadNetwork(geo::LatLng origin, double spacing_m, int cols, int rows);
+
+  int cols() const { return cols_; }
+  int rows() const { return rows_; }
+  double spacing_m() const { return spacing_m_; }
+
+  /// Position of intersection (i, j); i in [0, cols), j in [0, rows).
+  geo::LatLng node(int i, int j) const;
+
+  /// Nearest intersection to `p` (clamped into the grid).
+  std::pair<int, int> nearest_node(const geo::LatLng& p) const;
+
+  /// Shortest road path from `from` to `to`: starts at `from`, follows grid
+  /// streets (Dijkstra over intersections), ends at `to`. Always returns at
+  /// least {from, to}.
+  std::vector<geo::LatLng> route(const geo::LatLng& from,
+                                 const geo::LatLng& to) const;
+
+ private:
+  std::size_t index(int i, int j) const {
+    return static_cast<std::size_t>(j) * static_cast<std::size_t>(cols_) +
+           static_cast<std::size_t>(i);
+  }
+
+  geo::LatLng origin_;
+  double spacing_m_;
+  int cols_;
+  int rows_;
+};
+
+}  // namespace pmware::world

@@ -1,0 +1,73 @@
+// Uniform-grid spatial index over items with a LatLng position.
+//
+// The world holds hundreds of towers and thousands of APs; every sensing
+// sample queries "what is near this point", so lookups must not be linear.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "geo/latlng.hpp"
+
+namespace pmware::world {
+
+/// Index over items of type T. Positions are projected into a local tangent
+/// plane around `origin`; the grid uses square cells of `cell_size_m`.
+template <typename T>
+class SpatialIndex {
+ public:
+  using PositionFn = std::function<geo::LatLng(const T&)>;
+
+  SpatialIndex(geo::LatLng origin, double cell_size_m, PositionFn position)
+      : origin_(origin), cell_size_m_(cell_size_m), position_(std::move(position)) {}
+
+  void add(T item) {
+    const auto key = cell_of(position_(item));
+    items_.push_back(std::move(item));
+    grid_[key].push_back(items_.size() - 1);
+  }
+
+  std::size_t size() const { return items_.size(); }
+  const std::vector<T>& items() const { return items_; }
+  const T& item(std::size_t i) const { return items_.at(i); }
+
+  /// All items within `radius_m` of `p`, as indices into items().
+  /// Results are sorted by index, so iteration order is deterministic.
+  std::vector<std::size_t> query(const geo::LatLng& p, double radius_m) const {
+    std::vector<std::size_t> out;
+    const auto [ci, cj] = cell_of(p);
+    const auto span = static_cast<std::int64_t>(
+        std::ceil(radius_m / cell_size_m_));
+    for (std::int64_t di = -span; di <= span; ++di) {
+      for (std::int64_t dj = -span; dj <= span; ++dj) {
+        const auto it = grid_.find({ci + di, cj + dj});
+        if (it == grid_.end()) continue;
+        for (std::size_t idx : it->second) {
+          if (geo::distance_m(p, position_(items_[idx])) <= radius_m)
+            out.push_back(idx);
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  using Key = std::pair<std::int64_t, std::int64_t>;
+
+  Key cell_of(const geo::LatLng& p) const {
+    const geo::EnuOffset off = geo::to_enu(origin_, p);
+    return {static_cast<std::int64_t>(std::floor(off.east_m / cell_size_m_)),
+            static_cast<std::int64_t>(std::floor(off.north_m / cell_size_m_))};
+  }
+
+  geo::LatLng origin_;
+  double cell_size_m_;
+  PositionFn position_;
+  std::vector<T> items_;
+  std::map<Key, std::vector<std::size_t>> grid_;
+};
+
+}  // namespace pmware::world

@@ -1,0 +1,323 @@
+#include "world/world.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include "util/strfmt.hpp"
+#include <stdexcept>
+
+namespace pmware::world {
+
+RegionProfile RegionProfile::india() { return RegionProfile{}; }
+
+RegionProfile RegionProfile::switzerland() {
+  RegionProfile p;
+  p.name = "switzerland";
+  p.wifi_place_coverage = 0.92;
+  // Most urban APs sit inside buildings and are captured by the per-place
+  // APs; only a moderate density is hearable on the street.
+  p.street_ap_density_per_km2 = 8.0;
+  p.tower_spacing_2g_m = 900;
+  p.tower_spacing_3g_m = 550;
+  return p;
+}
+
+World::World(WorldConfig config, std::vector<Place> places,
+             std::vector<CellTower> towers, std::vector<WifiAp> aps)
+    : config_(std::move(config)),
+      places_(std::move(places)),
+      towers_(std::move(towers)),
+      aps_(std::move(aps)) {
+  const int grid_nodes =
+      std::max(2, static_cast<int>(config_.extent_m / config_.road_spacing_m) + 1);
+  roads_ = std::make_unique<RoadNetwork>(config_.origin, config_.road_spacing_m,
+                                         grid_nodes, grid_nodes);
+
+  tower_index_ = std::make_unique<SpatialIndex<std::size_t>>(
+      config_.origin, 500.0,
+      [this](const std::size_t& i) { return towers_[i].pos; });
+  for (std::size_t i = 0; i < towers_.size(); ++i) tower_index_->add(i);
+
+  ap_index_ = std::make_unique<SpatialIndex<std::size_t>>(
+      config_.origin, 200.0, [this](const std::size_t& i) { return aps_[i].pos; });
+  for (std::size_t i = 0; i < aps_.size(); ++i) ap_index_->add(i);
+
+  place_index_ = std::make_unique<SpatialIndex<std::size_t>>(
+      config_.origin, 500.0,
+      [this](const std::size_t& i) { return places_[i].center; });
+  for (std::size_t i = 0; i < places_.size(); ++i) place_index_->add(i);
+}
+
+std::vector<HeardCell> World::hearable_cells(const geo::LatLng& pos,
+                                             double fading_margin_db) const {
+  const PathLossModel model = cell_path_loss();
+  // Search radius: distance at which even a +fading-margin +max-shadowing
+  // tower drops below the detection threshold.
+  const double budget = 43.0 - model.reference_loss_db - kCellDetectionDbm +
+                        fading_margin_db + 12.0;
+  const double radius = std::pow(10.0, budget / (10.0 * model.exponent));
+
+  std::vector<HeardCell> out;
+  for (std::size_t idx : tower_index_->query(pos, radius)) {
+    const CellTower& t = towers_[idx];
+    const double rssi = model.rssi_dbm(
+        t.tx_power_dbm, geo::distance_m(pos, t.pos), t.shadowing_db);
+    if (rssi >= kCellDetectionDbm - fading_margin_db)
+      out.push_back({t.id, t.cell, rssi});
+  }
+  std::sort(out.begin(), out.end(), [](const HeardCell& a, const HeardCell& b) {
+    if (a.rssi_dbm != b.rssi_dbm) return a.rssi_dbm > b.rssi_dbm;
+    return a.tower < b.tower;
+  });
+  return out;
+}
+
+std::vector<HeardAp> World::visible_aps(const geo::LatLng& pos,
+                                        double fading_margin_db) const {
+  const PathLossModel model = wifi_path_loss();
+  const double budget = 20.0 - model.reference_loss_db - kWifiDetectionDbm +
+                        fading_margin_db + 8.0;
+  const double radius = std::pow(10.0, budget / (10.0 * model.exponent));
+
+  std::vector<HeardAp> out;
+  for (std::size_t idx : ap_index_->query(pos, radius)) {
+    const WifiAp& ap = aps_[idx];
+    const double rssi = model.rssi_dbm(
+        ap.tx_power_dbm, geo::distance_m(pos, ap.pos), ap.shadowing_db);
+    if (rssi >= kWifiDetectionDbm - fading_margin_db)
+      out.push_back({ap.bssid, rssi, ap.place});
+  }
+  std::sort(out.begin(), out.end(), [](const HeardAp& a, const HeardAp& b) {
+    if (a.rssi_dbm != b.rssi_dbm) return a.rssi_dbm > b.rssi_dbm;
+    return a.bssid < b.bssid;
+  });
+  return out;
+}
+
+std::optional<PlaceId> World::place_at(const geo::LatLng& pos) const {
+  std::optional<PlaceId> best;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t idx : place_index_->query(pos, 400.0)) {
+    const Place& p = places_[idx];
+    const double d = geo::distance_m(pos, p.center);
+    if (d <= p.radius_m && d < best_dist) {
+      best = p.id;
+      best_dist = d;
+    }
+  }
+  return best;
+}
+
+std::vector<PlaceId> World::places_near(const geo::LatLng& pos,
+                                        double radius_m) const {
+  std::vector<PlaceId> out;
+  for (std::size_t idx : place_index_->query(pos, radius_m))
+    out.push_back(places_[idx].id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::map<CellId, geo::LatLng> World::cell_location_db() const {
+  std::map<CellId, geo::LatLng> db;
+  for (const auto& t : towers_) db[t.cell] = t.pos;
+  return db;
+}
+
+std::map<Bssid, geo::LatLng> World::ap_location_db() const {
+  std::map<Bssid, geo::LatLng> db;
+  for (const auto& ap : aps_) db[ap.bssid] = ap.pos;
+  return db;
+}
+
+std::optional<PlaceId> World::find_category(PlaceCategory c) const {
+  for (const auto& p : places_)
+    if (p.category == c) return p.id;
+  return std::nullopt;
+}
+
+std::vector<PlaceId> World::all_of_category(PlaceCategory c) const {
+  std::vector<PlaceId> out;
+  for (const auto& p : places_)
+    if (p.category == c) out.push_back(p.id);
+  return out;
+}
+
+namespace {
+
+geo::LatLng jittered_point(const WorldConfig& cfg, Rng& rng, double margin_m) {
+  const double east = rng.uniform(margin_m, cfg.extent_m - margin_m);
+  const double north = rng.uniform(margin_m, cfg.extent_m - margin_m);
+  return geo::from_enu(cfg.origin, {east, north});
+}
+
+void add_places(std::vector<Place>& places, const WorldConfig& cfg, Rng& rng,
+                PlaceCategory cat, int count, double radius_lo,
+                double radius_hi, double min_separation_m) {
+  for (int k = 0; k < count; ++k) {
+    geo::LatLng pos;
+    // Rejection-sample so distinct POIs don't overlap (except the explicit
+    // campus cluster added separately).
+    bool ok = false;
+    for (int attempt = 0; attempt < 200 && !ok; ++attempt) {
+      pos = jittered_point(cfg, rng, 150.0);
+      ok = true;
+      for (const auto& existing : places) {
+        if (geo::distance_m(existing.center, pos) < min_separation_m) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    Place p;
+    p.id = static_cast<PlaceId>(places.size());
+    p.category = cat;
+    p.name = strfmt("%s-%d", to_string(cat), k + 1);
+    p.center = pos;
+    p.radius_m = rng.uniform(radius_lo, radius_hi);
+    p.has_wifi = rng.bernoulli(cfg.region.wifi_place_coverage);
+    places.push_back(std::move(p));
+  }
+}
+
+void add_tower_layer(std::vector<CellTower>& towers, const WorldConfig& cfg,
+                     Rng& rng, Radio radio, double spacing_m,
+                     std::uint16_t lac_base) {
+  const int n = std::max(2, static_cast<int>(cfg.extent_m / spacing_m) + 2);
+  std::uint32_t cid = radio == Radio::Gsm2G ? 1000 : 30000;
+  for (int j = -1; j < n; ++j) {
+    for (int i = -1; i < n; ++i) {
+      // Hex-like packing: offset alternate rows by half a spacing.
+      const double east = spacing_m * i + (j % 2 == 0 ? 0.0 : spacing_m / 2) +
+                          rng.uniform(-spacing_m * 0.15, spacing_m * 0.15);
+      const double north =
+          spacing_m * j * 0.87 + rng.uniform(-spacing_m * 0.15, spacing_m * 0.15);
+      CellTower t;
+      t.id = static_cast<TowerId>(towers.size());
+      t.cell = CellId{cfg.mcc, cfg.mnc,
+                      static_cast<std::uint16_t>(
+                          lac_base + static_cast<std::uint16_t>(j + 1) / 4),
+                      cid++, radio};
+      t.pos = geo::from_enu(cfg.origin, {east, north});
+      t.tx_power_dbm = 43.0 + rng.uniform(-1.5, 1.5);
+      t.range_hint_m = spacing_m;
+      t.shadowing_db = rng.normal(0.0, 4.0);
+      towers.push_back(std::move(t));
+    }
+  }
+}
+
+Bssid random_bssid(Rng& rng) {
+  // Locally-administered unicast MAC.
+  const auto raw = static_cast<std::uint64_t>(rng.uniform_int(0, (1LL << 46) - 1));
+  return (raw << 2 | 0x2ULL) & 0xffffffffffffULL;
+}
+
+}  // namespace
+
+std::shared_ptr<const World> generate_world(const WorldConfig& config,
+                                            Rng& rng) {
+  std::vector<Place> places;
+
+  const auto& mix = config.poi;
+  add_places(places, config, rng, PlaceCategory::Home, mix.homes, 30, 50, 260);
+  add_places(places, config, rng, PlaceCategory::Workplace, mix.workplaces, 45,
+             80, 320);
+  add_places(places, config, rng, PlaceCategory::Market, mix.markets, 70, 120,
+             400);
+  add_places(places, config, rng, PlaceCategory::Restaurant, mix.restaurants,
+             20, 35, 220);
+  add_places(places, config, rng, PlaceCategory::Cafe, mix.cafes, 15, 25, 220);
+  add_places(places, config, rng, PlaceCategory::Mall, mix.malls, 90, 140, 500);
+  add_places(places, config, rng, PlaceCategory::Gym, mix.gyms, 25, 40, 260);
+  add_places(places, config, rng, PlaceCategory::Park, mix.parks, 100, 180, 500);
+  add_places(places, config, rng, PlaceCategory::Hospital, mix.hospitals, 60,
+             100, 400);
+  add_places(places, config, rng, PlaceCategory::Cinema, mix.cinemas, 40, 60,
+             300);
+  add_places(places, config, rng, PlaceCategory::TransitHub, mix.transit_hubs,
+             50, 80, 400);
+
+  // Adjacent-place pairs: real cities cluster POIs (a restaurant row by the
+  // market, a cinema inside the mall complex). These pairs share a cell
+  // footprint, so GSM-only discovery merges them — the §4 phenomenon.
+  auto relocate_adjacent = [&](PlaceCategory anchor_cat, PlaceCategory sat_cat,
+                               double separation_m) {
+    std::optional<PlaceId> anchor_id, sat_id;
+    for (const auto& p : places) {
+      if (!anchor_id && p.category == anchor_cat) anchor_id = p.id;
+      if (!sat_id && p.category == sat_cat) sat_id = p.id;
+    }
+    if (anchor_id && sat_id) {
+      places[*sat_id].center = geo::destination(
+          places[*anchor_id].center, rng.uniform(0, 360), separation_m);
+    }
+  };
+  relocate_adjacent(PlaceCategory::Market, PlaceCategory::Restaurant, 75.0);
+  relocate_adjacent(PlaceCategory::Mall, PlaceCategory::Cinema, 100.0);
+  relocate_adjacent(PlaceCategory::Workplace, PlaceCategory::Cafe, 60.0);
+
+  if (mix.campus_cluster) {
+    // Academic building and library deliberately ~90 m apart: close enough to
+    // share a cell footprint (GSM merges them) but with distinct WiFi sets.
+    const geo::LatLng campus = jittered_point(config, rng, 400.0);
+    Place academic;
+    academic.id = static_cast<PlaceId>(places.size());
+    academic.category = PlaceCategory::AcademicBuilding;
+    academic.name = "academic-1";
+    academic.center = campus;
+    academic.radius_m = 45;
+    academic.has_wifi = true;  // campuses are WiFi-covered in both regions
+    places.push_back(academic);
+
+    Place library;
+    library.id = static_cast<PlaceId>(places.size());
+    library.category = PlaceCategory::Library;
+    library.name = "library-1";
+    library.center = geo::destination(campus, 90.0, 90.0);
+    library.radius_m = 35;
+    library.has_wifi = true;
+    places.push_back(library);
+  }
+
+  std::vector<CellTower> towers;
+  add_tower_layer(towers, config, rng, Radio::Gsm2G,
+                  config.region.tower_spacing_2g_m, 100);
+  add_tower_layer(towers, config, rng, Radio::Umts3G,
+                  config.region.tower_spacing_3g_m, 500);
+
+  std::vector<WifiAp> aps;
+  for (const auto& p : places) {
+    if (!p.has_wifi) continue;
+    const int n_aps = static_cast<int>(rng.uniform_int(1, 3));
+    for (int k = 0; k < n_aps; ++k) {
+      WifiAp ap;
+      ap.bssid = random_bssid(rng);
+      ap.pos = geo::destination(p.center, rng.uniform(0, 360),
+                                rng.uniform(0, p.radius_m * 0.6));
+      ap.tx_power_dbm = 20.0 + rng.uniform(-3.0, 3.0);
+      ap.shadowing_db = rng.normal(0.0, 2.5);
+      ap.place = p.id;
+      aps.push_back(std::move(ap));
+    }
+  }
+  const double area_km2 = (config.extent_m / 1000.0) * (config.extent_m / 1000.0);
+  const int street_aps =
+      static_cast<int>(config.region.street_ap_density_per_km2 * area_km2);
+  for (int k = 0; k < street_aps; ++k) {
+    WifiAp ap;
+    ap.bssid = random_bssid(rng);
+    ap.pos = jittered_point(config, rng, 50.0);
+    // Street APs are residential routers heard through walls: much weaker
+    // than a POI's own AP, hearable only within ~75 m. Keeping them weak
+    // matters — an AP at the edge of visibility flickers in and out of
+    // scans and would mint phantom place fingerprints.
+    ap.tx_power_dbm = 12.0 + rng.uniform(-3.0, 3.0);
+    ap.shadowing_db = rng.normal(0.0, 2.5);
+    ap.place = kNoPlace;
+    aps.push_back(std::move(ap));
+  }
+
+  return std::make_shared<const World>(config, std::move(places),
+                                       std::move(towers), std::move(aps));
+}
+
+}  // namespace pmware::world

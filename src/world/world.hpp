@@ -1,0 +1,133 @@
+// The synthetic world: places, radio infrastructure, roads, and the spatial
+// queries the sensing layer runs against it.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/latlng.hpp"
+#include "util/rng.hpp"
+#include "world/ids.hpp"
+#include "world/place.hpp"
+#include "world/radio.hpp"
+#include "world/roads.hpp"
+#include "world/spatial_index.hpp"
+
+namespace pmware::world {
+
+/// Regional deployment characteristics. The paper (§1, limitation 4) notes a
+/// user is under WiFi coverage ~60% of the day in India vs >90% in
+/// Switzerland; these profiles are the knob for experiment A3.
+struct RegionProfile {
+  std::string name = "india";
+  double wifi_place_coverage = 0.60;   ///< probability a POI deploys WiFi
+  double street_ap_density_per_km2 = 2.5;
+  double tower_spacing_2g_m = 1100;
+  double tower_spacing_3g_m = 700;
+
+  static RegionProfile india();
+  static RegionProfile switzerland();
+};
+
+/// How many POIs of each kind to generate.
+struct PoiMix {
+  int homes = 20;
+  int workplaces = 8;
+  int markets = 4;
+  int restaurants = 6;
+  int cafes = 6;
+  int malls = 2;
+  int gyms = 2;
+  int parks = 2;
+  int hospitals = 1;
+  int cinemas = 1;
+  int transit_hubs = 2;
+  /// A campus cluster (academic building + library ~90 m apart) is always
+  /// generated; it reproduces the paper's §4 observation that GSM-only
+  /// discovery merges such adjacent places.
+  bool campus_cluster = true;
+};
+
+struct WorldConfig {
+  geo::LatLng origin{28.6139, 77.2090};  ///< south-west corner (Delhi)
+  double extent_m = 6000;                ///< square city side length
+  double road_spacing_m = 250;
+  RegionProfile region;
+  PoiMix poi;
+  std::uint16_t mcc = 404;  ///< India
+  std::uint16_t mnc = 10;
+};
+
+/// Tower heard at a position, with the deterministic part of its RSSI.
+struct HeardCell {
+  TowerId tower = 0;
+  CellId cell;
+  double rssi_dbm = 0;
+};
+
+/// AP visible at a position.
+struct HeardAp {
+  Bssid bssid = 0;
+  double rssi_dbm = 0;
+  PlaceId place = kNoPlace;
+};
+
+/// Immutable world; build via generate_world().
+class World {
+ public:
+  World(WorldConfig config, std::vector<Place> places,
+        std::vector<CellTower> towers, std::vector<WifiAp> aps);
+
+  const WorldConfig& config() const { return config_; }
+  const std::vector<Place>& places() const { return places_; }
+  const Place& place(PlaceId id) const { return places_.at(id); }
+  const std::vector<CellTower>& towers() const { return towers_; }
+  const std::vector<WifiAp>& aps() const { return aps_; }
+  const RoadNetwork& roads() const { return *roads_; }
+
+  /// Towers hearable at `pos` (deterministic RSSI above the detection
+  /// threshold), strongest first. `fading_margin_db` widens the search so the
+  /// sensing layer can add fading without re-querying.
+  std::vector<HeardCell> hearable_cells(const geo::LatLng& pos,
+                                        double fading_margin_db = 6.0) const;
+
+  /// APs visible at `pos`, strongest first.
+  std::vector<HeardAp> visible_aps(const geo::LatLng& pos,
+                                   double fading_margin_db = 4.0) const;
+
+  /// Place whose footprint contains `pos` (closest center wins on overlap).
+  std::optional<PlaceId> place_at(const geo::LatLng& pos) const;
+
+  /// Places with centers within `radius_m` of `pos`.
+  std::vector<PlaceId> places_near(const geo::LatLng& pos, double radius_m) const;
+
+  /// Cell-id -> tower position database (the cloud geo-location API's
+  /// OpenCellID stand-in).
+  std::map<CellId, geo::LatLng> cell_location_db() const;
+
+  /// BSSID -> AP position database (crowdsourced AP-location stand-in,
+  /// used by the cloud to place WiFi-signature places on the map).
+  std::map<Bssid, geo::LatLng> ap_location_db() const;
+
+  /// First place of the given category, if any.
+  std::optional<PlaceId> find_category(PlaceCategory c) const;
+  std::vector<PlaceId> all_of_category(PlaceCategory c) const;
+
+ private:
+  WorldConfig config_;
+  std::vector<Place> places_;
+  std::vector<CellTower> towers_;
+  std::vector<WifiAp> aps_;
+  std::unique_ptr<RoadNetwork> roads_;
+  std::unique_ptr<SpatialIndex<std::size_t>> tower_index_;
+  std::unique_ptr<SpatialIndex<std::size_t>> ap_index_;
+  std::unique_ptr<SpatialIndex<std::size_t>> place_index_;
+};
+
+/// Generates a deterministic city from the config and RNG.
+std::shared_ptr<const World> generate_world(const WorldConfig& config, Rng& rng);
+
+}  // namespace pmware::world

@@ -1,0 +1,195 @@
+// Connected-application tests: PlaceADs, TodoReminder, LifeLog against a
+// scripted intent stream (no full simulation needed).
+#include "apps/lifelog.hpp"
+#include "apps/placeads.hpp"
+#include "apps/todo_reminder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cloud/cloud_instance.hpp"
+#include "mobility/participant.hpp"
+#include "mobility/schedule.hpp"
+
+namespace pmware::apps {
+namespace {
+
+using core::Granularity;
+using core::Intent;
+using core::PlaceUid;
+
+TEST(AdInventory, DefaultCatalogueCoversLeisureCategories) {
+  const AdInventory inv = AdInventory::default_catalogue();
+  EXPECT_GE(inv.all().size(), 8u);
+  for (const char* category : {"cafe", "restaurant", "mall", "market"})
+    EXPECT_FALSE(inv.by_category(category).empty()) << category;
+  EXPECT_TRUE(inv.by_category("spaceport").empty());
+}
+
+TEST(PlaceAds, TargetCategoriesKeyOffLabels) {
+  EXPECT_FALSE(PlaceAds::target_categories("home").empty());
+  EXPECT_FALSE(PlaceAds::target_categories("workplace").empty());
+  EXPECT_TRUE(PlaceAds::target_categories("").empty());
+  EXPECT_TRUE(PlaceAds::target_categories("unknown-label").empty());
+}
+
+/// Full-stack app tests need a PMS; build a tiny one (1 participant, 2 days).
+struct AppStackHarness {
+  AppStackHarness() {
+    Rng world_rng(1);
+    world::WorldConfig wc;
+    world = world::generate_world(wc, world_rng);
+    Rng prng(2);
+    participants = mobility::make_participants(*world, 1, prng);
+    Rng trng(5);
+    mobility::ScheduleConfig sc;
+    sc.days = 2;
+    trace.emplace(mobility::build_trace(*world, participants[0], sc, trng));
+    cloud.emplace(cloud::CloudConfig{},
+                  cloud::GeoLocationService(world->cell_location_db()), Rng(3));
+    auto device = std::make_unique<sensing::Device>(
+        world, sensing::oracle_from_trace(*trace), sensing::DeviceConfig{},
+        Rng(7));
+    auto client = std::make_unique<net::RestClient>(
+        &cloud->router(), net::NetworkConditions{0.0, 1}, Rng(11));
+    pms.emplace(std::move(device), core::PmsConfig{}, std::move(client),
+                Rng(13));
+    pms->register_with_cloud(0);
+  }
+
+  /// Runs a day and tags every place by its dominant truth category so that
+  /// label-keyed apps have something to chew on.
+  void run_day_and_tag(int day) {
+    pms->run(TimeWindow{start_of_day(day), start_of_day(day + 1)});
+    const auto& log = pms->inference().visit_log();
+    for (const auto& visit : log) {
+      const core::PlaceRecord* record = pms->places().get(visit.uid);
+      if (record == nullptr || !record->label.empty()) continue;
+      const SimTime mid = (visit.window.begin + visit.window.end) / 2;
+      if (const auto truth = trace->place_at(mid))
+        pms->tag_place(visit.uid, world::to_string(world->place(*truth).category),
+                       start_of_day(day + 1));
+    }
+  }
+
+  std::shared_ptr<const world::World> world;
+  std::vector<mobility::Participant> participants;
+  std::optional<mobility::Trace> trace;
+  std::optional<cloud::CloudInstance> cloud;
+  std::optional<core::PmwareMobileService> pms;
+};
+
+TEST(PlaceAdsStack, ImpressionsFollowPlaceEnters) {
+  AppStackHarness h;
+  PlaceAds ads(AdInventory::default_catalogue(), Rng(5));
+  ads.connect(*h.pms);
+  h.run_day_and_tag(0);
+  h.run_day_and_tag(1);
+  h.pms->shutdown(days(2));
+  EXPECT_GE(ads.impressions().size(), 2u);
+  EXPECT_EQ(ads.likes() + ads.dislikes(), ads.impressions().size());
+}
+
+TEST(PlaceAdsStack, ThrottlePreventsRapidRepeats) {
+  AppStackHarness h;
+  PlaceAds ads(AdInventory::default_catalogue(), Rng(5));
+  ads.connect(*h.pms);
+  h.run_day_and_tag(0);
+  // Count impressions per (place, 6h bucket): the throttle allows 1.
+  std::map<std::pair<PlaceUid, SimTime>, int> buckets;
+  for (const auto& imp : ads.impressions())
+    ++buckets[{imp.place, imp.t / hours(6)}];
+  for (const auto& [key, count] : buckets) EXPECT_EQ(count, 1);
+}
+
+TEST(PlaceAdsStack, TargetedImpressionsAppearOnceLabelled) {
+  AppStackHarness h;
+  PlaceAds ads(AdInventory::default_catalogue(), Rng(5));
+  ads.connect(*h.pms);
+  h.run_day_and_tag(0);  // labels appear at the end of day 0
+  h.run_day_and_tag(1);
+  h.pms->shutdown(days(2));
+  bool any_targeted = false;
+  for (const auto& imp : ads.impressions())
+    if (imp.targeted) any_targeted = true;
+  EXPECT_TRUE(any_targeted);
+}
+
+TEST(PlaceAdsStack, CustomJudgeDrivesRatio) {
+  AppStackHarness h;
+  PlaceAds ads(AdInventory::default_catalogue(), Rng(5));
+  ads.set_feedback_judge([](const AdImpression&) { return false; });
+  ads.connect(*h.pms);
+  h.run_day_and_tag(0);
+  h.pms->shutdown(days(1));
+  EXPECT_EQ(ads.likes(), 0u);
+  EXPECT_EQ(ads.ratio_of_twenty().first, 0.0);
+  if (!ads.impressions().empty()) {
+    EXPECT_DOUBLE_EQ(ads.ratio_of_twenty().second, 20.0);
+  }
+}
+
+TEST(TodoReminderStack, FiresOnLabelledWorkplaceWithinWindow) {
+  AppStackHarness h;
+  TodoReminder todo("workplace", DailyWindow{hours(9), hours(18)});
+  todo.add_todo({"standup notes", true});
+  todo.add_todo({"timesheet", false});
+  todo.connect(*h.pms);
+  h.run_day_and_tag(0);  // workplace tagged at end of day 0
+  h.run_day_and_tag(1);
+  h.pms->shutdown(days(2));
+  // Day 1 at least: enter alert at the tagged workplace.
+  EXPECT_GE(todo.enter_alerts(), 1u);
+  for (const auto& fired : todo.fired()) {
+    const SimDuration tod = time_of_day(fired.t);
+    EXPECT_GE(tod, hours(9));
+    EXPECT_LT(tod, hours(18));
+  }
+}
+
+TEST(TodoReminderStack, IgnoresOtherLabels) {
+  AppStackHarness h;
+  TodoReminder todo("gym");  // participant 0 may not even have a gym
+  todo.add_todo({"bring towel", true});
+  todo.connect(*h.pms);
+  h.run_day_and_tag(0);
+  h.pms->shutdown(days(1));
+  for (const auto& fired : todo.fired()) EXPECT_EQ(fired.text, "bring towel");
+}
+
+TEST(LifeLogStack, TracksUsageAndTagging) {
+  AppStackHarness h;
+  LifeLog lifelog;
+  lifelog.connect(*h.pms);
+  h.pms->run(TimeWindow{0, days(2)});
+  h.pms->shutdown(days(2));
+
+  EXPECT_GE(lifelog.discovered_places(), 2u);
+  EXPECT_FALSE(lifelog.untagged_places().empty());
+  const PlaceUid uid = lifelog.untagged_places().front();
+  EXPECT_TRUE(lifelog.tag(uid, "home", days(2)));
+  EXPECT_EQ(h.pms->places().get(uid)->label, "home");
+  // One fewer untagged place now.
+  for (PlaceUid remaining : lifelog.untagged_places())
+    EXPECT_NE(remaining, uid);
+
+  // Usage stats accumulated from exit events.
+  SimDuration total_stay = 0;
+  for (const auto& [place, usage] : lifelog.usage())
+    total_stay += usage.total_stay;
+  EXPECT_GT(total_stay, hours(10));
+
+  const std::string rendered = lifelog.render_place_list();
+  EXPECT_NE(rendered.find("home"), std::string::npos);
+  EXPECT_NE(rendered.find("(untagged)"), std::string::npos);
+}
+
+TEST(LifeLogStack, DisconnectedLifeLogIsInert) {
+  LifeLog lifelog;
+  EXPECT_EQ(lifelog.discovered_places(), 0u);
+  EXPECT_TRUE(lifelog.untagged_places().empty());
+  EXPECT_FALSE(lifelog.tag(1, "x", 0));
+  EXPECT_TRUE(lifelog.render_place_list().empty());
+}
+
+}  // namespace
+}  // namespace pmware::apps

@@ -1,0 +1,398 @@
+#include "cloud/cloud_instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/codec.hpp"
+
+namespace pmware::cloud {
+namespace {
+
+using net::HttpRequest;
+using net::HttpResponse;
+using net::Method;
+
+class CloudFixture : public ::testing::Test {
+ protected:
+  CloudFixture()
+      : cloud_(CloudConfig{}, GeoLocationService({}), Rng(1)) {}
+
+  HttpRequest request(Method method, std::string path, SimTime now = 0) {
+    HttpRequest req;
+    req.method = method;
+    req.path = std::move(path);
+    req.headers[CloudInstance::kSimTimeHeader] = std::to_string(now);
+    if (!token_.empty()) req.headers["Authorization"] = "Bearer " + token_;
+    return req;
+  }
+
+  /// Registers a device; stores the token for subsequent requests.
+  world::DeviceId register_device(const std::string& imei = "111",
+                                  const std::string& email = "a@b.c",
+                                  SimTime now = 0) {
+    HttpRequest req = request(Method::Post, "/api/register", now);
+    req.headers.erase("Authorization");
+    req.body = Json::object();
+    req.body.set("imei", imei);
+    req.body.set("email", email);
+    const HttpResponse res = cloud_.router().handle(req);
+    EXPECT_EQ(res.status, net::kStatusCreated);
+    token_ = res.body.at("token").as_string();
+    return static_cast<world::DeviceId>(res.body.at("user").as_int());
+  }
+
+  CloudInstance cloud_;
+  std::string token_;
+};
+
+TEST_F(CloudFixture, RegistrationIssuesToken) {
+  const world::DeviceId user = register_device();
+  EXPECT_GE(user, 1u);
+  EXPECT_FALSE(token_.empty());
+  EXPECT_EQ(cloud_.tokens().registered_devices(), 1u);
+}
+
+TEST_F(CloudFixture, RegistrationRequiresImeiAndEmail) {
+  HttpRequest req = request(Method::Post, "/api/register");
+  req.body = Json::object();
+  req.body.set("imei", "111");
+  EXPECT_EQ(cloud_.router().handle(req).status, net::kStatusBadRequest);
+}
+
+TEST_F(CloudFixture, ReRegistrationIsIdempotentOnIdentity) {
+  const world::DeviceId first = register_device("imei-x", "x@y.z");
+  const world::DeviceId again = register_device("imei-x", "x@y.z");
+  EXPECT_EQ(first, again);
+  const world::DeviceId other = register_device("imei-y", "x@y.z");
+  EXPECT_NE(first, other);
+}
+
+TEST_F(CloudFixture, EndpointsRejectMissingToken) {
+  register_device();
+  token_.clear();
+  const HttpResponse res =
+      cloud_.router().handle(request(Method::Get, "/api/users/1/places"));
+  EXPECT_EQ(res.status, net::kStatusUnauthorized);
+}
+
+TEST_F(CloudFixture, EndpointsRejectForeignUser) {
+  register_device();  // user 1 with our token
+  const HttpResponse res =
+      cloud_.router().handle(request(Method::Get, "/api/users/2/places"));
+  EXPECT_EQ(res.status, net::kStatusUnauthorized);
+}
+
+TEST_F(CloudFixture, TokenExpiresAfterTtl) {
+  register_device();
+  const SimTime later = hours(29);  // past the 28h default TTL
+  const HttpResponse res = cloud_.router().handle(
+      request(Method::Get, "/api/users/1/places", later));
+  EXPECT_EQ(res.status, net::kStatusUnauthorized);
+}
+
+TEST_F(CloudFixture, RefreshExtendsValidity) {
+  register_device();
+  HttpRequest refresh = request(Method::Post, "/api/token/refresh", hours(20));
+  const HttpResponse res = cloud_.router().handle(refresh);
+  ASSERT_TRUE(res.ok());
+  token_ = res.body.at("token").as_string();
+  const HttpResponse later = cloud_.router().handle(
+      request(Method::Get, "/api/users/1/places", hours(30)));
+  EXPECT_TRUE(later.ok());
+}
+
+TEST_F(CloudFixture, RefreshOfExpiredTokenFails) {
+  register_device();
+  const HttpResponse res = cloud_.router().handle(
+      request(Method::Post, "/api/token/refresh", hours(48)));
+  EXPECT_EQ(res.status, net::kStatusUnauthorized);
+}
+
+TEST_F(CloudFixture, OldTokenDiesAfterRefresh) {
+  register_device();
+  const std::string old_token = token_;
+  const HttpResponse res = cloud_.router().handle(
+      request(Method::Post, "/api/token/refresh", hours(1)));
+  ASSERT_TRUE(res.ok());
+  token_ = old_token;
+  EXPECT_EQ(cloud_.router()
+                .handle(request(Method::Get, "/api/users/1/places", hours(2)))
+                .status,
+            net::kStatusUnauthorized);
+}
+
+TEST_F(CloudFixture, PlaceSyncAndList) {
+  const world::DeviceId user = register_device();
+  core::PlaceRecord record;
+  record.uid = 7;
+  record.signature = algorithms::WifiSignature{{1, 2}};
+  record.label = "home";
+  HttpRequest put = request(Method::Put, "/api/users/1/places/7");
+  put.body = core::to_json(record);
+  ASSERT_EQ(cloud_.router().handle(put).status, net::kStatusCreated);
+
+  const HttpResponse list =
+      cloud_.router().handle(request(Method::Get, "/api/users/1/places"));
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list.body.at("places").size(), 1u);
+  EXPECT_EQ(list.body.at("places")[0].at("label").as_string(), "home");
+  EXPECT_EQ(cloud_.storage().user(user).places.at(7).label, "home");
+}
+
+TEST_F(CloudFixture, PlaceLabelEndpoint) {
+  register_device();
+  core::PlaceRecord record;
+  record.uid = 7;
+  record.signature = algorithms::WifiSignature{{1}};
+  HttpRequest put = request(Method::Put, "/api/users/1/places/7");
+  put.body = core::to_json(record);
+  cloud_.router().handle(put);
+
+  HttpRequest label = request(Method::Post, "/api/users/1/places/7/label");
+  label.body = Json::object();
+  label.body.set("label", "workplace");
+  EXPECT_TRUE(cloud_.router().handle(label).ok());
+  EXPECT_EQ(cloud_.storage().user(1).places.at(7).label, "workplace");
+
+  HttpRequest missing = request(Method::Post, "/api/users/1/places/99/label");
+  missing.body = label.body;
+  EXPECT_EQ(cloud_.router().handle(missing).status, net::kStatusNotFound);
+}
+
+TEST_F(CloudFixture, ProfileSyncRoundTrip) {
+  register_device();
+  core::MobilityProfile profile;
+  profile.user = 1;
+  profile.day = 3;
+  profile.places = {{7, days(3) + hours(9), days(3) + hours(17)}};
+  HttpRequest put = request(Method::Put, "/api/users/1/profiles/3");
+  put.body = core::to_json(profile);
+  ASSERT_EQ(cloud_.router().handle(put).status, net::kStatusCreated);
+
+  const HttpResponse get =
+      cloud_.router().handle(request(Method::Get, "/api/users/1/profiles/3"));
+  ASSERT_TRUE(get.ok());
+  const core::MobilityProfile decoded = core::profile_from_json(get.body);
+  ASSERT_EQ(decoded.places.size(), 1u);
+  EXPECT_EQ(decoded.places[0].place, 7u);
+
+  EXPECT_EQ(cloud_.router()
+                .handle(request(Method::Get, "/api/users/1/profiles/9"))
+                .status,
+            net::kStatusNotFound);
+}
+
+TEST_F(CloudFixture, GcaDiscoveryEndpoint) {
+  register_device();
+  HttpRequest discover = request(Method::Post, "/api/places/discover");
+  Json observations = Json::array();
+  // Oscillate between two cells for 2 hours.
+  for (int i = 0; i < 120; ++i) {
+    Json o = Json::object();
+    o.set("t", i * 60);
+    o.set("cell", core::to_json(world::CellId{
+                      404, 10, 1, static_cast<std::uint32_t>(100 + i % 2),
+                      world::Radio::Gsm2G}));
+    observations.push_back(std::move(o));
+  }
+  discover.body = Json::object();
+  discover.body.set("observations", std::move(observations));
+  const HttpResponse res = cloud_.router().handle(discover);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.body.at("places").size(), 1u);
+  EXPECT_GE(res.body.at("visits").size(), 1u);
+  const auto sig = core::signature_from_json(
+      res.body.at("places")[0].at("signature"));
+  EXPECT_EQ(std::get<algorithms::CellSignature>(sig).cells.size(), 2u);
+}
+
+TEST_F(CloudFixture, RouteStoreEndpoints) {
+  register_device();
+  auto post_route = [this]() {
+    HttpRequest post = request(Method::Post, "/api/users/1/routes");
+    post.body = Json::object();
+    post.body.set("from", 1);
+    post.body.set("to", 2);
+    post.body.set("start", hours(9));
+    post.body.set("end", hours(9) + minutes(30));
+    Json cells = Json::array();
+    for (int i = 0; i < 5; ++i) {
+      Json c = Json::object();
+      c.set("t", hours(9) + i * 300);
+      c.set("cell", core::to_json(world::CellId{
+                        404, 10, 1, static_cast<std::uint32_t>(200 + i),
+                        world::Radio::Gsm2G}));
+      cells.push_back(std::move(c));
+    }
+    post.body.set("cells", std::move(cells));
+    return cloud_.router().handle(post);
+  };
+  const HttpResponse first = post_route();
+  ASSERT_EQ(first.status, net::kStatusCreated);
+  const HttpResponse second = post_route();
+  // Identical route deduplicates to the same uid.
+  EXPECT_EQ(first.body.at("route_uid").as_int(),
+            second.body.at("route_uid").as_int());
+
+  HttpRequest get = request(Method::Get, "/api/users/1/routes");
+  get.query["from"] = "1";
+  get.query["to"] = "2";
+  const HttpResponse routes = cloud_.router().handle(get);
+  ASSERT_TRUE(routes.ok());
+  ASSERT_EQ(routes.body.at("routes").size(), 1u);
+  EXPECT_EQ(routes.body.at("routes")[0].at("use_count").as_int(), 2);
+}
+
+TEST_F(CloudFixture, ContactsEndpoints) {
+  register_device();
+  HttpRequest post = request(Method::Post, "/api/users/1/contacts");
+  post.body = Json::object();
+  Json encounters = Json::array();
+  Json e = Json::object();
+  e.set("contact", 5);
+  e.set("place", 7);
+  e.set("start", hours(9));
+  e.set("end", hours(10));
+  encounters.push_back(std::move(e));
+  Json e2 = Json::object();
+  e2.set("contact", 6);
+  e2.set("place", 8);
+  e2.set("start", hours(11));
+  e2.set("end", hours(12));
+  encounters.push_back(std::move(e2));
+  post.body.set("encounters", std::move(encounters));
+  ASSERT_EQ(cloud_.router().handle(post).status, net::kStatusCreated);
+
+  HttpRequest get = request(Method::Get, "/api/users/1/contacts");
+  get.query["place"] = "7";
+  const HttpResponse res = cloud_.router().handle(get);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.body.at("encounters").size(), 1u);
+  EXPECT_EQ(res.body.at("encounters")[0].at("contact").as_int(), 5);
+}
+
+TEST(CloudGeo, CellLookupEndpoint) {
+  std::map<world::CellId, geo::LatLng> db;
+  const world::CellId known{404, 10, 101, 1000, world::Radio::Gsm2G};
+  db[known] = geo::LatLng{28.61, 77.21};
+  CloudInstance cloud(CloudConfig{}, GeoLocationService(std::move(db)), Rng(2));
+
+  HttpRequest reg;
+  reg.method = Method::Post;
+  reg.path = "/api/register";
+  reg.headers[CloudInstance::kSimTimeHeader] = "0";
+  reg.body = Json::object();
+  reg.body.set("imei", "1");
+  reg.body.set("email", "a@b");
+  const std::string token =
+      cloud.router().handle(reg).body.at("token").as_string();
+
+  HttpRequest get;
+  get.method = Method::Get;
+  get.path = "/api/geo/cell/404/10/101/1000";
+  get.headers[CloudInstance::kSimTimeHeader] = "0";
+  get.headers["Authorization"] = "Bearer " + token;
+  const HttpResponse res = cloud.router().handle(get);
+  ASSERT_TRUE(res.ok());
+  EXPECT_NEAR(res.body.at("lat").as_double(), 28.61, 1e-9);
+
+  get.path = "/api/geo/cell/404/10/101/9999";
+  EXPECT_EQ(cloud.router().handle(get).status, net::kStatusNotFound);
+}
+
+TEST_F(CloudFixture, AnalyticsEndpoints) {
+  register_device();
+  // Store 10 days of evening home arrivals at ~19:00 on weekdays.
+  for (int day = 0; day < 10; ++day) {
+    core::MobilityProfile profile;
+    profile.user = 1;
+    profile.day = day;
+    profile.places.push_back(
+        {7, start_of_day(day) + hours(19) + minutes(day % 3),
+         start_of_day(day + 1) + hours(8)});
+    HttpRequest put = request(
+        Method::Put, "/api/users/1/profiles/" + std::to_string(day));
+    put.body = core::to_json(profile);
+    cloud_.router().handle(put);
+  }
+  core::PlaceRecord record;
+  record.uid = 7;
+  record.signature = algorithms::WifiSignature{{1}};
+  record.label = "home";
+  HttpRequest put = request(Method::Put, "/api/users/1/places/7");
+  put.body = core::to_json(record);
+  cloud_.router().handle(put);
+
+  // Q1: typical evening arrival.
+  const HttpResponse arrival = cloud_.router().handle(
+      request(Method::Get, "/api/users/1/analytics/arrival/7"));
+  ASSERT_TRUE(arrival.ok());
+  EXPECT_NEAR(static_cast<double>(arrival.body.at("typical_arrival_tod").as_int()),
+              static_cast<double>(hours(19) + minutes(1)), minutes(3));
+
+  // Q2: next visit prediction. The query is days in the future, past the
+  // token TTL — re-register (idempotent on identity) for a fresh token.
+  register_device("111", "a@b.c", start_of_day(10) + hours(12));
+  HttpRequest next = request(Method::Get, "/api/users/1/analytics/next_visit/7",
+                             start_of_day(10) + hours(12));
+  const HttpResponse next_res = cloud_.router().handle(next);
+  ASSERT_TRUE(next_res.ok());
+  const SimTime predicted = next_res.body.at("predicted_at").as_int();
+  EXPECT_GT(predicted, start_of_day(10) + hours(12));
+  EXPECT_NEAR(static_cast<double>(time_of_day(predicted)),
+              static_cast<double>(hours(19)), minutes(10));
+
+  // Q3: visit frequency by label.
+  HttpRequest freq = request(Method::Get, "/api/users/1/analytics/frequency");
+  freq.query["label"] = "home";
+  const HttpResponse freq_res = cloud_.router().handle(freq);
+  ASSERT_TRUE(freq_res.ok());
+  EXPECT_NEAR(freq_res.body.at("visits_per_week").as_double(), 7.0, 0.5);
+
+  // Unknown place: 404.
+  EXPECT_EQ(cloud_.router()
+                .handle(request(Method::Get, "/api/users/1/analytics/arrival/99"))
+                .status,
+            net::kStatusNotFound);
+}
+
+TEST(Analytics, PredictNextVisitSkipsNonVisitDays) {
+  CloudStorage storage;
+  // Visits only on weekdays 0-4 (Mon-Fri) for two weeks.
+  for (int day = 0; day < 14; ++day) {
+    if (day % 7 >= 5) continue;
+    core::MobilityProfile profile;
+    profile.user = 1;
+    profile.day = day;
+    profile.places.push_back({5, start_of_day(day) + hours(9),
+                              start_of_day(day) + hours(17)});
+    storage.user(1).profiles[day] = profile;
+  }
+  const AnalyticsEngine analytics(&storage);
+  // Asking on Friday evening: next predicted visit is Monday, not Saturday.
+  const auto predicted = analytics.predict_next_visit(
+      1, 5, start_of_day(11) + hours(20));
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_EQ(day_of(*predicted) % 7, 0);
+  EXPECT_NEAR(static_cast<double>(time_of_day(*predicted)),
+              static_cast<double>(hours(9)), minutes(5));
+}
+
+TEST(Analytics, NoDataMeansNoAnswer) {
+  CloudStorage storage;
+  const AnalyticsEngine analytics(&storage);
+  EXPECT_FALSE(analytics.typical_arrival_tod(1, 5).has_value());
+  EXPECT_FALSE(analytics.predict_next_visit(1, 5, 0).has_value());
+  const std::vector<core::PlaceUid> places{5};
+  EXPECT_DOUBLE_EQ(analytics.visit_frequency_per_week(1, places), 0.0);
+}
+
+TEST(TokenServiceUnit, ValidateExpiryBoundary) {
+  TokenService tokens(Rng(1), hours(24));
+  const TokenGrant grant = tokens.register_device("i", "e", 0);
+  EXPECT_TRUE(tokens.validate(grant.token, hours(23)).has_value());
+  EXPECT_FALSE(tokens.validate(grant.token, hours(24)).has_value());
+  EXPECT_FALSE(tokens.validate("garbage", 0).has_value());
+}
+
+}  // namespace
+}  // namespace pmware::cloud

@@ -1,0 +1,159 @@
+#include "core/codec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmware::core {
+namespace {
+
+using algorithms::CellSignature;
+using algorithms::GpsSignature;
+using algorithms::PlaceSignature;
+using algorithms::WifiSignature;
+using world::CellId;
+
+CellId cell(std::uint32_t cid, world::Radio radio = world::Radio::Gsm2G) {
+  return CellId{404, 10, 101, cid, radio};
+}
+
+TEST(Codec, CellIdRoundTrip) {
+  const CellId original = cell(12345, world::Radio::Umts3G);
+  const CellId decoded = cell_from_json(to_json(original));
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(Codec, CellIdSurvivesSerializedText) {
+  const CellId original = cell(999);
+  const Json reparsed = Json::parse(to_json(original).dump());
+  EXPECT_EQ(cell_from_json(reparsed), original);
+}
+
+TEST(Codec, LatLngRoundTrip) {
+  const geo::LatLng original{28.613912, 77.209021};
+  const geo::LatLng decoded =
+      latlng_from_json(Json::parse(to_json(original).dump()));
+  EXPECT_NEAR(decoded.lat, original.lat, 1e-9);
+  EXPECT_NEAR(decoded.lng, original.lng, 1e-9);
+}
+
+TEST(Codec, CellSignatureRoundTrip) {
+  CellSignature sig;
+  sig.cells = {cell(1), cell(2, world::Radio::Umts3G), cell(3)};
+  const PlaceSignature decoded =
+      signature_from_json(Json::parse(to_json(PlaceSignature(sig)).dump()));
+  ASSERT_TRUE(std::holds_alternative<CellSignature>(decoded));
+  EXPECT_EQ(std::get<CellSignature>(decoded), sig);
+}
+
+TEST(Codec, WifiSignatureRoundTrip) {
+  WifiSignature sig;
+  sig.aps = {0x001122334455ULL, 0xa0b1c2d3e4f5ULL};
+  const PlaceSignature decoded =
+      signature_from_json(Json::parse(to_json(PlaceSignature(sig)).dump()));
+  ASSERT_TRUE(std::holds_alternative<WifiSignature>(decoded));
+  EXPECT_EQ(std::get<WifiSignature>(decoded), sig);
+}
+
+TEST(Codec, GpsSignatureRoundTrip) {
+  const GpsSignature sig{{28.61, 77.21}, 120.5};
+  const PlaceSignature decoded =
+      signature_from_json(Json::parse(to_json(PlaceSignature(sig)).dump()));
+  ASSERT_TRUE(std::holds_alternative<GpsSignature>(decoded));
+  EXPECT_EQ(std::get<GpsSignature>(decoded), sig);
+}
+
+TEST(Codec, UnknownSignatureKindThrows) {
+  Json j = Json::object();
+  j.set("kind", "sonar");
+  EXPECT_THROW(signature_from_json(j), JsonError);
+}
+
+TEST(Codec, PlaceRecordRoundTrip) {
+  PlaceRecord record;
+  record.uid = 42;
+  WifiSignature sig;
+  sig.aps = {1, 2, 3};
+  record.signature = sig;
+  record.label = "workplace";
+  record.location = geo::LatLng{28.6, 77.2};
+  record.granularity = Granularity::Room;
+  record.visit_count = 17;
+  record.total_dwell = hours(40);
+
+  const PlaceRecord decoded =
+      place_record_from_json(Json::parse(to_json(record).dump()));
+  EXPECT_EQ(decoded.uid, record.uid);
+  EXPECT_EQ(std::get<WifiSignature>(decoded.signature), sig);
+  EXPECT_EQ(decoded.label, "workplace");
+  ASSERT_TRUE(decoded.location.has_value());
+  EXPECT_NEAR(decoded.location->lat, 28.6, 1e-9);
+  EXPECT_EQ(decoded.granularity, Granularity::Room);
+  EXPECT_EQ(decoded.visit_count, 17u);
+  EXPECT_EQ(decoded.total_dwell, hours(40));
+}
+
+TEST(Codec, PlaceRecordWithoutLocation) {
+  PlaceRecord record;
+  record.uid = 1;
+  record.signature = GpsSignature{{28.0, 77.0}, 75};
+  const PlaceRecord decoded = place_record_from_json(to_json(record));
+  EXPECT_FALSE(decoded.location.has_value());
+  EXPECT_EQ(decoded.label, "");
+}
+
+TEST(Codec, MobilityProfileRoundTrip) {
+  MobilityProfile profile;
+  profile.user = 3;
+  profile.day = 5;
+  profile.places = {{10, hours(8), hours(12)}, {11, hours(13), hours(20)}};
+  profile.routes = {{100, hours(12), hours(13)}};
+  profile.encounters = {{7, 10, hours(9), hours(10)}};
+
+  const MobilityProfile decoded =
+      profile_from_json(Json::parse(to_json(profile).dump()));
+  EXPECT_EQ(decoded.user, 3u);
+  EXPECT_EQ(decoded.day, 5);
+  ASSERT_EQ(decoded.places.size(), 2u);
+  EXPECT_EQ(decoded.places[0].place, 10u);
+  EXPECT_EQ(decoded.places[0].arrival, hours(8));
+  EXPECT_EQ(decoded.places[1].departure, hours(20));
+  ASSERT_EQ(decoded.routes.size(), 1u);
+  EXPECT_EQ(decoded.routes[0].route_uid, 100u);
+  ASSERT_EQ(decoded.encounters.size(), 1u);
+  EXPECT_EQ(decoded.encounters[0].contact, 7u);
+  EXPECT_EQ(decoded.encounters[0].place, 10u);
+}
+
+TEST(Codec, EmptyProfileRoundTrip) {
+  MobilityProfile profile;
+  profile.user = 1;
+  profile.day = 0;
+  const MobilityProfile decoded = profile_from_json(to_json(profile));
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(Codec, GranularityNames) {
+  EXPECT_STREQ(to_string(Granularity::Area), "area");
+  EXPECT_STREQ(to_string(Granularity::Building), "building");
+  EXPECT_STREQ(to_string(Granularity::Room), "room");
+}
+
+class SignatureKindSweep
+    : public ::testing::TestWithParam<algorithms::PlaceSignature> {};
+
+TEST_P(SignatureKindSweep, RoundTripPreservesKindAndEquality) {
+  const PlaceSignature original = GetParam();
+  const PlaceSignature decoded =
+      signature_from_json(Json::parse(to_json(original).dump()));
+  EXPECT_EQ(decoded.index(), original.index());
+  EXPECT_TRUE(algorithms::signatures_match(original, decoded, 0.99) ||
+              std::holds_alternative<GpsSignature>(original));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, SignatureKindSweep,
+    ::testing::Values(PlaceSignature(CellSignature{{cell(1), cell(2)}}),
+                      PlaceSignature(WifiSignature{{11, 22, 33}}),
+                      PlaceSignature(GpsSignature{{28.61, 77.21}, 90})));
+
+}  // namespace
+}  // namespace pmware::core

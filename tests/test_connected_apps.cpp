@@ -1,0 +1,254 @@
+#include "core/connected_apps.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmware::core {
+namespace {
+
+class ConnectedAppsFixture : public ::testing::Test {
+ protected:
+  ConnectedAppsFixture() : apps_(&prefs_) {}
+
+  ReceiverId capture_receiver(std::vector<Intent>& sink) {
+    IntentFilter filter;  // directed sends ignore the filter
+    return bus_.register_receiver(filter, [&sink](const Intent& intent) {
+      sink.push_back(intent);
+    });
+  }
+
+  UserPreferences prefs_;
+  ConnectedAppsModule apps_;
+  IntentBus bus_;
+  PlaceStore store_;
+};
+
+TEST_F(ConnectedAppsFixture, NoRequestsMeansNoGranularity) {
+  EXPECT_FALSE(apps_.required_granularity(hours(10)).has_value());
+  EXPECT_EQ(apps_.required_route_accuracy(0), RouteAccuracy::Off);
+  EXPECT_FALSE(apps_.social_required(0, std::nullopt));
+}
+
+TEST_F(ConnectedAppsFixture, GranularityIsFinestActiveRequest) {
+  PlaceAlertRequest area;
+  area.app = "a";
+  area.granularity = Granularity::Area;
+  apps_.register_place_alerts(area);
+  EXPECT_EQ(apps_.required_granularity(0), Granularity::Area);
+
+  PlaceAlertRequest room;
+  room.app = "b";
+  room.granularity = Granularity::Room;
+  const RequestId room_id = apps_.register_place_alerts(room);
+  EXPECT_EQ(apps_.required_granularity(0), Granularity::Room);
+
+  apps_.unregister(room_id);
+  EXPECT_EQ(apps_.required_granularity(0), Granularity::Area);
+}
+
+TEST_F(ConnectedAppsFixture, TimeWindowLimitsDemand) {
+  PlaceAlertRequest request;
+  request.app = "todo";
+  request.granularity = Granularity::Building;
+  request.window = DailyWindow{hours(9), hours(18)};
+  apps_.register_place_alerts(request);
+  EXPECT_EQ(apps_.required_granularity(hours(10)), Granularity::Building);
+  EXPECT_FALSE(apps_.required_granularity(hours(20)).has_value());
+  EXPECT_EQ(apps_.required_granularity(days(3) + hours(9)),
+            Granularity::Building);
+}
+
+TEST_F(ConnectedAppsFixture, UserCapLimitsSensingDemand) {
+  prefs_.set_app_cap("ads", Granularity::Area);
+  PlaceAlertRequest request;
+  request.app = "ads";
+  request.granularity = Granularity::Room;
+  apps_.register_place_alerts(request);
+  // Sensing must not work harder than the cap allows.
+  EXPECT_EQ(apps_.required_granularity(0), Granularity::Area);
+}
+
+TEST_F(ConnectedAppsFixture, MasterSwitchKillsDemand) {
+  PlaceAlertRequest request;
+  request.app = "x";
+  apps_.register_place_alerts(request);
+  RouteTrackingRequest route;
+  route.app = "x";
+  route.accuracy = RouteAccuracy::High;
+  apps_.register_route_tracking(route);
+  prefs_.set_sharing_enabled(false);
+  EXPECT_FALSE(apps_.required_granularity(0).has_value());
+  EXPECT_EQ(apps_.required_route_accuracy(0), RouteAccuracy::Off);
+  EXPECT_FALSE(apps_.social_required(0, 5));
+}
+
+TEST_F(ConnectedAppsFixture, RouteAccuracyIsHighestRequested) {
+  RouteTrackingRequest low;
+  low.app = "a";
+  low.accuracy = RouteAccuracy::Low;
+  apps_.register_route_tracking(low);
+  EXPECT_EQ(apps_.required_route_accuracy(0), RouteAccuracy::Low);
+  RouteTrackingRequest high;
+  high.app = "b";
+  high.accuracy = RouteAccuracy::High;
+  apps_.register_route_tracking(high);
+  EXPECT_EQ(apps_.required_route_accuracy(0), RouteAccuracy::High);
+}
+
+TEST_F(ConnectedAppsFixture, SocialTargeting) {
+  SocialRequest request;
+  request.app = "meet";
+  request.only_at_place = 42;
+  apps_.register_social(request);
+  EXPECT_TRUE(apps_.social_required(0, 42));
+  EXPECT_FALSE(apps_.social_required(0, 43));
+  EXPECT_FALSE(apps_.social_required(0, std::nullopt));
+
+  SocialRequest everywhere;
+  everywhere.app = "meet2";
+  apps_.register_social(everywhere);
+  EXPECT_TRUE(apps_.social_required(0, std::nullopt));
+}
+
+TEST_F(ConnectedAppsFixture, DeliverPlaceEventRespectsKindFlags) {
+  std::vector<Intent> seen;
+  PlaceAlertRequest request;
+  request.app = "x";
+  request.want_enter = true;
+  request.want_exit = false;
+  request.want_new_place = false;
+  request.receiver = capture_receiver(seen);
+  apps_.register_place_alerts(request);
+
+  const auto [uid, created] = store_.intern(
+      algorithms::WifiSignature{{1}}, Granularity::Building);
+  apps_.deliver_place_event({PlaceEvent::Kind::Enter, uid, uid, hours(10), 0},
+                            store_, bus_);
+  apps_.deliver_place_event(
+      {PlaceEvent::Kind::Exit, uid, uid, hours(11), hours(1)}, store_, bus_);
+  apps_.deliver_place_event({PlaceEvent::Kind::NewPlace, uid, uid, hours(12), 0},
+                            store_, bus_);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].action, actions::kPlaceEnter);
+  (void)created;
+}
+
+TEST_F(ConnectedAppsFixture, AreaCappedAppSeesOnlyAreaUid) {
+  prefs_.set_app_cap("ads", Granularity::Area);
+  std::vector<Intent> seen;
+  PlaceAlertRequest request;
+  request.app = "ads";
+  request.granularity = Granularity::Building;
+  request.receiver = capture_receiver(seen);
+  apps_.register_place_alerts(request);
+
+  const auto [uid, created] = store_.intern(
+      algorithms::WifiSignature{{1}}, Granularity::Building);
+  store_.set_label(uid, "home");
+  apps_.deliver_place_event({PlaceEvent::Kind::Enter, uid, 99, hours(1), 0},
+                            store_, bus_);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].extras.get_int("area_uid", 0), 99);
+  EXPECT_FALSE(seen[0].extras.contains("place_uid"));
+  EXPECT_FALSE(seen[0].extras.contains("label"));
+  (void)created;
+}
+
+TEST_F(ConnectedAppsFixture, BuildingAppSeesDetails) {
+  std::vector<Intent> seen;
+  PlaceAlertRequest request;
+  request.app = "lifelog";
+  request.granularity = Granularity::Building;
+  request.receiver = capture_receiver(seen);
+  apps_.register_place_alerts(request);
+
+  const auto [uid, created] = store_.intern(
+      algorithms::WifiSignature{{1}}, Granularity::Building);
+  store_.set_label(uid, "cafe");
+  store_.record_visit(uid, hours(1));
+  apps_.deliver_place_event(
+      {PlaceEvent::Kind::Exit, uid, uid, hours(2), minutes(45)}, store_, bus_);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(static_cast<PlaceUid>(seen[0].extras.get_int("place_uid", 0)), uid);
+  EXPECT_EQ(seen[0].extras.get_string("label", ""), "cafe");
+  EXPECT_EQ(seen[0].extras.get_int("dwell", 0), minutes(45));
+  EXPECT_EQ(seen[0].extras.get_int("visit_count", 0), 1);
+  (void)created;
+}
+
+TEST_F(ConnectedAppsFixture, DeliveryHonoursDailyWindow) {
+  std::vector<Intent> seen;
+  PlaceAlertRequest request;
+  request.app = "todo";
+  request.window = DailyWindow{hours(9), hours(18)};
+  request.receiver = capture_receiver(seen);
+  apps_.register_place_alerts(request);
+  const auto [uid, created] = store_.intern(
+      algorithms::WifiSignature{{1}}, Granularity::Building);
+  apps_.deliver_place_event({PlaceEvent::Kind::Enter, uid, uid, hours(8), 0},
+                            store_, bus_);
+  apps_.deliver_place_event({PlaceEvent::Kind::Enter, uid, uid, hours(10), 0},
+                            store_, bus_);
+  apps_.deliver_place_event({PlaceEvent::Kind::Enter, uid, uid, hours(19), 0},
+                            store_, bus_);
+  EXPECT_EQ(seen.size(), 1u);
+  (void)created;
+}
+
+TEST_F(ConnectedAppsFixture, MasterSwitchBlocksDelivery) {
+  std::vector<Intent> seen;
+  PlaceAlertRequest request;
+  request.app = "x";
+  request.receiver = capture_receiver(seen);
+  apps_.register_place_alerts(request);
+  prefs_.set_sharing_enabled(false);
+  const auto [uid, created] = store_.intern(
+      algorithms::WifiSignature{{1}}, Granularity::Building);
+  EXPECT_EQ(apps_.deliver_place_event(
+                {PlaceEvent::Kind::Enter, uid, uid, hours(1), 0}, store_, bus_),
+            0u);
+  EXPECT_TRUE(seen.empty());
+  (void)created;
+}
+
+TEST_F(ConnectedAppsFixture, RouteAndEncounterDelivery) {
+  std::vector<Intent> seen;
+  RouteTrackingRequest route;
+  route.app = "health";
+  route.accuracy = RouteAccuracy::High;
+  route.receiver = capture_receiver(seen);
+  apps_.register_route_tracking(route);
+  SocialRequest social;
+  social.app = "meet";
+  social.only_at_place = 7;
+  social.receiver = capture_receiver(seen);
+  apps_.register_social(social);
+
+  apps_.deliver_route_event(
+      {3, 1, 2, TimeWindow{hours(9), hours(9) + minutes(25)}, true}, bus_);
+  apps_.deliver_encounter({12, 7, TimeWindow{hours(10), hours(11)}}, bus_);
+  apps_.deliver_encounter({12, 8, TimeWindow{hours(12), hours(13)}}, bus_);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].action, actions::kRouteCompleted);
+  EXPECT_EQ(seen[0].extras.get_int("route_uid", -1), 3);
+  EXPECT_TRUE(seen[0].extras.get_bool("high_accuracy", false));
+  EXPECT_EQ(seen[1].action, actions::kEncounter);
+  EXPECT_EQ(seen[1].extras.get_int("contact", -1), 12);
+}
+
+TEST_F(ConnectedAppsFixture, UnregisterAppRemovesEverything) {
+  PlaceAlertRequest place;
+  place.app = "x";
+  apps_.register_place_alerts(place);
+  RouteTrackingRequest route;
+  route.app = "x";
+  apps_.register_route_tracking(route);
+  SocialRequest social;
+  social.app = "x";
+  apps_.register_social(social);
+  EXPECT_EQ(apps_.registration_count(), 3u);
+  apps_.unregister_app("x");
+  EXPECT_EQ(apps_.registration_count(), 0u);
+}
+
+}  // namespace
+}  // namespace pmware::core

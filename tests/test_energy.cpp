@@ -1,0 +1,148 @@
+#include "energy/meter.hpp"
+#include "energy/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pmware::energy {
+namespace {
+
+TEST(PowerProfile, AveragePowerMath) {
+  const PowerProfile profile;
+  const double p = profile.average_power_w(Interface::Gsm, 60);
+  EXPECT_NEAR(p, profile.base_power_w + profile.sample_energy(Interface::Gsm) / 60.0,
+              1e-12);
+}
+
+TEST(PowerProfile, AveragePowerRejectsBadInterval) {
+  const PowerProfile profile;
+  EXPECT_THROW(profile.average_power_w(Interface::Gsm, 0), std::invalid_argument);
+  EXPECT_THROW(profile.average_power_w(Interface::Gsm, -5), std::invalid_argument);
+}
+
+TEST(PowerProfile, InterfaceEnergyOrdering) {
+  // The Figure 1 ordering: accelerometer < GSM < Bluetooth < WiFi < GPS.
+  const PowerProfile profile;
+  EXPECT_LT(profile.sample_energy(Interface::Accelerometer),
+            profile.sample_energy(Interface::Gsm));
+  EXPECT_LT(profile.sample_energy(Interface::Gsm),
+            profile.sample_energy(Interface::Bluetooth));
+  EXPECT_LT(profile.sample_energy(Interface::Bluetooth),
+            profile.sample_energy(Interface::Wifi));
+  EXPECT_LT(profile.sample_energy(Interface::Wifi),
+            profile.sample_energy(Interface::Gps));
+}
+
+TEST(PowerProfile, HeadlineElevenTimesRatio) {
+  // Paper Figure 1: battery duration with GSM sampled every minute is ~11x
+  // the duration with GPS sampled every minute.
+  const PowerProfile profile = PowerProfile::htc_explorer();
+  const double gsm = continuous_sensing_duration_s(profile, Interface::Gsm, 60);
+  const double gps = continuous_sensing_duration_s(profile, Interface::Gps, 60);
+  EXPECT_NEAR(gsm / gps, 11.0, 1.0);
+}
+
+TEST(PowerProfile, DurationDecreasesWithFrequency) {
+  const PowerProfile profile;
+  for (Interface i : {Interface::Gsm, Interface::Wifi, Interface::Gps}) {
+    const double slow = continuous_sensing_duration_s(profile, i, 600);
+    const double fast = continuous_sensing_duration_s(profile, i, 10);
+    EXPECT_GT(slow, fast);
+  }
+}
+
+TEST(Battery, CapacityMatchesHtcExplorer) {
+  const Battery battery;
+  // 1230 mAh at 3.7 V.
+  EXPECT_NEAR(battery.capacity_j, 1.230 * 3.7 * 3600, 1);
+}
+
+TEST(Battery, ConsumeAndDeplete) {
+  Battery battery;
+  battery.capacity_j = 100;
+  battery.consume(30);
+  EXPECT_DOUBLE_EQ(battery.remaining_j(), 70);
+  EXPECT_DOUBLE_EQ(battery.remaining_fraction(), 0.7);
+  EXPECT_FALSE(battery.depleted());
+  battery.consume(80);
+  EXPECT_TRUE(battery.depleted());
+  EXPECT_THROW(battery.consume(-1), std::invalid_argument);
+}
+
+TEST(Battery, DurationMath) {
+  Battery battery;
+  battery.capacity_j = 3600;
+  EXPECT_DOUBLE_EQ(battery_duration_s(battery, 1.0), 3600);
+  EXPECT_THROW(battery_duration_s(battery, 0), std::invalid_argument);
+}
+
+TEST(EnergyMeter, ChargesSamplesPerInterface) {
+  EnergyMeter meter;
+  meter.charge_sample(Interface::Gsm, 0);
+  meter.charge_sample(Interface::Gsm, 60);
+  meter.charge_sample(Interface::Gps, 120);
+  EXPECT_EQ(meter.sample_count(Interface::Gsm), 2u);
+  EXPECT_EQ(meter.sample_count(Interface::Gps), 1u);
+  EXPECT_EQ(meter.sample_count(Interface::Wifi), 0u);
+  EXPECT_DOUBLE_EQ(meter.interface_j(Interface::Gsm),
+                   2 * meter.profile().sample_energy(Interface::Gsm));
+  EXPECT_DOUBLE_EQ(
+      meter.sensing_j(),
+      2 * meter.profile().sample_energy(Interface::Gsm) +
+          meter.profile().sample_energy(Interface::Gps));
+}
+
+TEST(EnergyMeter, ChargesBaseline) {
+  EnergyMeter meter;
+  meter.charge_baseline(0, 1000);
+  EXPECT_DOUBLE_EQ(meter.baseline_j(), meter.profile().base_power_w * 1000);
+  EXPECT_THROW(meter.charge_baseline(10, 5), std::invalid_argument);
+}
+
+TEST(EnergyMeter, AveragePowerAndImpliedDuration) {
+  EnergyMeter meter;
+  meter.charge_baseline(0, hours(1));
+  const double p = meter.average_power_w(hours(1));
+  EXPECT_NEAR(p, meter.profile().base_power_w, 1e-9);
+  const double duration = meter.implied_battery_duration_s(hours(1));
+  EXPECT_NEAR(duration, Battery{}.capacity_j / meter.profile().base_power_w, 1);
+  EXPECT_THROW(meter.average_power_w(0), std::invalid_argument);
+}
+
+TEST(EnergyMeter, SummaryMentionsCounts) {
+  EnergyMeter meter;
+  meter.charge_sample(Interface::Wifi, 0);
+  const std::string s = meter.summary();
+  EXPECT_NE(s.find("wifi 1"), std::string::npos);
+}
+
+TEST(InterfaceNames, AllDistinct) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kInterfaceCount; ++i)
+    names.insert(to_string(static_cast<Interface>(i)));
+  EXPECT_EQ(names.size(), kInterfaceCount);
+}
+
+struct IntervalCase {
+  SimDuration interval;
+};
+
+class Fig1IntervalSweep : public ::testing::TestWithParam<SimDuration> {};
+
+TEST_P(Fig1IntervalSweep, GsmAlwaysOutlastsGpsAtSameInterval) {
+  const PowerProfile profile;
+  const SimDuration interval = GetParam();
+  EXPECT_GT(continuous_sensing_duration_s(profile, Interface::Gsm, interval),
+            continuous_sensing_duration_s(profile, Interface::Gps, interval));
+  EXPECT_GT(continuous_sensing_duration_s(profile, Interface::Wifi, interval),
+            continuous_sensing_duration_s(profile, Interface::Gps, interval));
+  EXPECT_GT(continuous_sensing_duration_s(profile, Interface::Gsm, interval),
+            continuous_sensing_duration_s(profile, Interface::Wifi, interval));
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, Fig1IntervalSweep,
+                         ::testing::Values(10, 30, 60, 120, 300, 600));
+
+}  // namespace
+}  // namespace pmware::energy

@@ -1,0 +1,314 @@
+#include "algorithms/gca.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace pmware::algorithms {
+namespace {
+
+using world::CellId;
+
+CellId cell(std::uint32_t cid) {
+  return CellId{404, 10, 1, cid, world::Radio::Gsm2G};
+}
+
+/// Appends `duration/60` one-minute observations oscillating among `cells`.
+void append_dwell(std::vector<CellObservation>& log, SimTime& t,
+                  const std::vector<CellId>& cells, SimDuration duration,
+                  Rng& rng) {
+  for (SimDuration elapsed = 0; elapsed < duration; elapsed += 60) {
+    log.push_back({t, cells[rng.index(cells.size())]});
+    t += 60;
+  }
+}
+
+/// Appends a travel chain visiting each cell once (pass-through).
+void append_travel(std::vector<CellObservation>& log, SimTime& t,
+                   const std::vector<CellId>& chain) {
+  for (const CellId& c : chain) {
+    log.push_back({t, c});
+    t += 60;
+  }
+}
+
+TEST(MovementGraph, CountsDwellAndTransitions) {
+  MovementGraph graph;
+  const GcaConfig config;
+  graph.observe({0, cell(1)}, config);
+  graph.observe({60, cell(1)}, config);
+  graph.observe({120, cell(2)}, config);
+  graph.observe({180, cell(1)}, config);
+  EXPECT_EQ(graph.dwell().at(cell(1)), 120);  // [0,60)+[60,120)
+  EXPECT_EQ(graph.dwell().at(cell(2)), 60);
+  EXPECT_EQ(graph.edges().at(std::minmax(cell(1), cell(2))), 2);
+  EXPECT_EQ(graph.transitions(cell(1)), 2);
+  EXPECT_EQ(graph.transitions(cell(2)), 2);
+  EXPECT_EQ(graph.node_count(), 2u);
+}
+
+TEST(MovementGraph, OscillationRequiresBounceBack) {
+  MovementGraph graph;
+  const GcaConfig config;
+  // 1 -> 2 -> 1 within the window: one oscillation event.
+  graph.observe({0, cell(1)}, config);
+  graph.observe({60, cell(2)}, config);
+  graph.observe({120, cell(1)}, config);
+  // 1 -> 3 -> 4: travel, no oscillation.
+  graph.observe({180, cell(3)}, config);
+  graph.observe({240, cell(4)}, config);
+  const std::pair<CellId, CellId> key{cell(1), cell(2)};
+  EXPECT_EQ(graph.oscillations().at(key), 1);
+  const std::pair<CellId, CellId> travel_key{cell(3), cell(4)};
+  EXPECT_EQ(graph.oscillations().count(travel_key), 0u);
+}
+
+TEST(MovementGraph, BounceOutsideWindowNotCounted) {
+  MovementGraph graph;
+  GcaConfig config;
+  config.oscillation_window = minutes(5);
+  config.max_transition_gap = hours(1);
+  graph.observe({0, cell(1)}, config);
+  graph.observe({60, cell(2)}, config);
+  // Return transition 20 minutes later: outside the oscillation window.
+  graph.observe({60 + minutes(20), cell(1)}, config);
+  EXPECT_EQ(graph.oscillations().count(std::minmax(cell(1), cell(2))), 0u);
+}
+
+TEST(MovementGraph, GapBreaksAdjacency) {
+  MovementGraph graph;
+  const GcaConfig config;  // max gap 4 min
+  graph.observe({0, cell(1)}, config);
+  graph.observe({minutes(30), cell(2)}, config);  // 30-minute hole
+  EXPECT_TRUE(graph.edges().empty());
+  EXPECT_EQ(graph.dwell().at(cell(1)), 0);
+}
+
+TEST(MovementGraph, RejectsOutOfOrder) {
+  MovementGraph graph;
+  const GcaConfig config;
+  graph.observe({100, cell(1)}, config);
+  EXPECT_THROW(graph.observe({50, cell(1)}, config), std::invalid_argument);
+}
+
+TEST(RunGca, EmptyLogYieldsNothing) {
+  const GcaResult result = run_gca({});
+  EXPECT_TRUE(result.places.empty());
+  EXPECT_TRUE(result.visits.empty());
+}
+
+TEST(RunGca, SinglePlaceOscillationBecomesOneCluster) {
+  Rng rng(1);
+  std::vector<CellObservation> log;
+  SimTime t = 0;
+  const std::vector<CellId> home{cell(1), cell(2), cell(3)};
+  append_dwell(log, t, home, hours(8), rng);
+  const GcaResult result = run_gca(log);
+  ASSERT_EQ(result.places.size(), 1u);
+  EXPECT_EQ(result.places[0].signature.cells.size(), 3u);
+  EXPECT_GE(result.places[0].total_dwell, hours(7));
+  ASSERT_EQ(result.visits.size(), 1u);
+  EXPECT_LE(result.visits[0].window.begin, minutes(2));
+}
+
+TEST(RunGca, TwoPlacesWithCommuteStaySeparate) {
+  Rng rng(2);
+  std::vector<CellObservation> log;
+  SimTime t = 0;
+  const std::vector<CellId> home{cell(1), cell(2)};
+  const std::vector<CellId> work{cell(10), cell(11), cell(12)};
+  const std::vector<CellId> commute{cell(20), cell(21), cell(22), cell(23)};
+  std::vector<CellId> commute_back(commute.rbegin(), commute.rend());
+  // 10 days of home -> commute -> work -> commute -> home. The commute chain
+  // repeats 20 times; raw edge weights are high but there is no bouncing.
+  for (int day = 0; day < 10; ++day) {
+    append_dwell(log, t, home, hours(9), rng);
+    append_travel(log, t, commute);
+    append_dwell(log, t, work, hours(8), rng);
+    append_travel(log, t, commute_back);
+    append_dwell(log, t, home, hours(6), rng);
+  }
+  const GcaResult result = run_gca(log);
+  // Exactly two multi-cell clusters; commute cells must not merge them.
+  ASSERT_EQ(result.places.size(), 2u);
+  std::set<CellId> all;
+  for (const auto& p : result.places)
+    all.insert(p.signature.cells.begin(), p.signature.cells.end());
+  for (const auto& c : commute) EXPECT_EQ(all.count(c), 0u) << c.to_string();
+  // Home and work cells land in different clusters.
+  const auto& sig0 = result.places[0].signature.cells;
+  EXPECT_NE(sig0.count(cell(1)), sig0.count(cell(10)));
+}
+
+TEST(RunGca, VisitsAlternateBetweenPlaces) {
+  Rng rng(3);
+  std::vector<CellObservation> log;
+  SimTime t = 0;
+  const std::vector<CellId> home{cell(1), cell(2)};
+  const std::vector<CellId> work{cell(10), cell(11)};
+  const std::vector<CellId> commute{cell(20), cell(21)};
+  std::vector<CellId> back(commute.rbegin(), commute.rend());
+  for (int day = 0; day < 5; ++day) {
+    append_dwell(log, t, home, hours(10), rng);
+    append_travel(log, t, commute);
+    append_dwell(log, t, work, hours(8), rng);
+    append_travel(log, t, back);
+    append_dwell(log, t, home, hours(5), rng);
+  }
+  const GcaResult result = run_gca(log);
+  ASSERT_EQ(result.places.size(), 2u);
+  // 5 days x (home, work, home) minus merges at midnight: at least 10 visits.
+  EXPECT_GE(result.visits.size(), 10u);
+  for (std::size_t i = 1; i < result.visits.size(); ++i) {
+    EXPECT_GE(result.visits[i].window.begin, result.visits[i - 1].window.end);
+    EXPECT_NE(result.visits[i].place_index, result.visits[i - 1].place_index);
+  }
+}
+
+TEST(RunGca, ShortPassThroughIsNotAPlace) {
+  Rng rng(4);
+  std::vector<CellObservation> log;
+  SimTime t = 0;
+  append_dwell(log, t, {cell(1), cell(2)}, hours(4), rng);
+  append_travel(log, t, {cell(20), cell(21), cell(22)});
+  append_dwell(log, t, {cell(10), cell(11)}, hours(4), rng);
+  const GcaResult result = run_gca(log);
+  for (const auto& place : result.places) {
+    EXPECT_EQ(place.signature.cells.count(cell(20)), 0u);
+    EXPECT_EQ(place.signature.cells.count(cell(21)), 0u);
+  }
+}
+
+TEST(RunGca, SingleStableCellNeedsLongDwell) {
+  // One cell with no oscillation partners qualifies only via long dwell.
+  std::vector<CellObservation> shortlog;
+  SimTime t = 0;
+  for (; t < minutes(30); t += 60) shortlog.push_back({t, cell(5)});
+  EXPECT_TRUE(run_gca(shortlog).places.empty());
+
+  std::vector<CellObservation> longlog;
+  t = 0;
+  for (; t < hours(2); t += 60) longlog.push_back({t, cell(5)});
+  const GcaResult result = run_gca(longlog);
+  ASSERT_EQ(result.places.size(), 1u);
+  EXPECT_EQ(result.places[0].signature.cells.count(cell(5)), 1u);
+}
+
+TEST(RunGca, CellToPlaceMapsEveryClusterCell) {
+  Rng rng(5);
+  std::vector<CellObservation> log;
+  SimTime t = 0;
+  append_dwell(log, t, {cell(1), cell(2), cell(3)}, hours(6), rng);
+  const GcaResult result = run_gca(log);
+  ASSERT_EQ(result.places.size(), 1u);
+  for (const auto& c : result.places[0].signature.cells) {
+    ASSERT_TRUE(result.cell_to_place.count(c));
+    EXPECT_EQ(result.cell_to_place.at(c), 0u);
+  }
+}
+
+TEST(CellVisitTracker, ArrivalAfterMinDwellDepartureOnExit) {
+  std::map<CellId, std::size_t> mapping{{cell(1), 0}, {cell(2), 0}};
+  GcaConfig config;
+  config.min_visit_dwell = minutes(10);
+  config.visit_gap_tolerance = minutes(6);
+  CellVisitTracker tracker(mapping, config);
+
+  std::vector<CellVisitTracker::Event> events;
+  SimTime t = 0;
+  for (; t <= minutes(30); t += 60) {
+    auto evs = tracker.observe({t, t % 120 == 0 ? cell(1) : cell(2)});
+    events.insert(events.end(), evs.begin(), evs.end());
+  }
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, CellVisitTracker::Event::Kind::Arrival);
+  EXPECT_EQ(events[0].place_index, 0u);
+  EXPECT_EQ(events[0].t, 0);  // backdated to the first in-cluster reading
+
+  // Leave: unknown cells past the gap tolerance.
+  std::vector<CellVisitTracker::Event> depart;
+  const SimTime leave_start = t;
+  for (; t <= leave_start + minutes(8); t += 60) {
+    auto evs = tracker.observe({t, cell(99)});
+    depart.insert(depart.end(), evs.begin(), evs.end());
+  }
+  ASSERT_EQ(depart.size(), 1u);
+  EXPECT_EQ(depart[0].kind, CellVisitTracker::Event::Kind::Departure);
+  // Departure stamped at the last in-cluster observation.
+  EXPECT_LE(depart[0].t, leave_start);
+}
+
+TEST(CellVisitTracker, BriefExcursionDoesNotEndVisit) {
+  std::map<CellId, std::size_t> mapping{{cell(1), 0}};
+  GcaConfig config;
+  config.min_visit_dwell = minutes(10);
+  config.visit_gap_tolerance = minutes(6);
+  CellVisitTracker tracker(mapping, config);
+  int departures = 0;
+  SimTime t = 0;
+  for (int i = 0; i < 60; ++i, t += 60) {
+    // Every 10th sample flickers to an unknown cell for one minute.
+    const CellId c = (i % 10 == 9) ? cell(50) : cell(1);
+    for (const auto& ev : tracker.observe({t, c}))
+      if (ev.kind == CellVisitTracker::Event::Kind::Departure) ++departures;
+  }
+  EXPECT_EQ(departures, 0);
+  EXPECT_TRUE(tracker.current_place().has_value());
+}
+
+TEST(CellVisitTracker, TransientVisitNeverAnnounced) {
+  std::map<CellId, std::size_t> mapping{{cell(1), 0}};
+  GcaConfig config;
+  config.min_visit_dwell = minutes(10);
+  CellVisitTracker tracker(mapping, config);
+  std::vector<CellVisitTracker::Event> events;
+  // Only 5 minutes in the cluster, then away for good.
+  for (SimTime t = 0; t <= minutes(5); t += 60) {
+    auto evs = tracker.observe({t, cell(1)});
+    events.insert(events.end(), evs.begin(), evs.end());
+  }
+  for (SimTime t = minutes(6); t <= minutes(30); t += 60) {
+    auto evs = tracker.observe({t, cell(99)});
+    events.insert(events.end(), evs.begin(), evs.end());
+  }
+  auto evs = tracker.finish(minutes(30));
+  events.insert(events.end(), evs.begin(), evs.end());
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(CellVisitTracker, FinishClosesOpenVisit) {
+  std::map<CellId, std::size_t> mapping{{cell(1), 0}};
+  CellVisitTracker tracker(mapping, GcaConfig{});
+  for (SimTime t = 0; t <= minutes(20); t += 60) tracker.observe({t, cell(1)});
+  const auto events = tracker.finish(minutes(21));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, CellVisitTracker::Event::Kind::Departure);
+  EXPECT_FALSE(tracker.current_place().has_value());
+}
+
+class GcaNoiseSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GcaNoiseSweep, HomeWorkSeparationRobustToSeed) {
+  Rng rng(GetParam());
+  std::vector<CellObservation> log;
+  SimTime t = 0;
+  const std::vector<CellId> home{cell(1), cell(2), cell(3)};
+  const std::vector<CellId> work{cell(10), cell(11)};
+  const std::vector<CellId> commute{cell(20), cell(21), cell(22)};
+  std::vector<CellId> back(commute.rbegin(), commute.rend());
+  for (int day = 0; day < 7; ++day) {
+    append_dwell(log, t, home, hours(10), rng);
+    append_travel(log, t, commute);
+    append_dwell(log, t, work, hours(8), rng);
+    append_travel(log, t, back);
+    append_dwell(log, t, home, hours(5), rng);
+  }
+  const GcaResult result = run_gca(log);
+  EXPECT_EQ(result.places.size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GcaNoiseSweep,
+                         ::testing::Values(1ULL, 7ULL, 13ULL, 42ULL, 1234ULL));
+
+}  // namespace
+}  // namespace pmware::algorithms

@@ -1,0 +1,119 @@
+#include "core/intents.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmware::core {
+namespace {
+
+TEST(IntentBus, BroadcastReachesMatchingReceivers) {
+  IntentBus bus;
+  int enters = 0, exits = 0;
+  bus.register_receiver({{actions::kPlaceEnter}},
+                        [&enters](const Intent&) { ++enters; });
+  bus.register_receiver({{actions::kPlaceExit}},
+                        [&exits](const Intent&) { ++exits; });
+  EXPECT_EQ(bus.broadcast(Intent{actions::kPlaceEnter}), 1u);
+  EXPECT_EQ(enters, 1);
+  EXPECT_EQ(exits, 0);
+}
+
+TEST(IntentBus, MultiActionFilter) {
+  IntentBus bus;
+  int received = 0;
+  IntentFilter filter;
+  filter.actions = {actions::kPlaceEnter, actions::kPlaceExit};
+  bus.register_receiver(filter, [&received](const Intent&) { ++received; });
+  bus.broadcast(Intent{actions::kPlaceEnter});
+  bus.broadcast(Intent{actions::kPlaceExit});
+  bus.broadcast(Intent{actions::kNewPlace});
+  EXPECT_EQ(received, 2);
+}
+
+TEST(IntentBus, ExtrasArriveIntact) {
+  IntentBus bus;
+  Json seen;
+  bus.register_receiver({{actions::kPlaceEnter}},
+                        [&seen](const Intent& intent) { seen = intent.extras; });
+  Intent intent{actions::kPlaceEnter};
+  intent.put("place_uid", Json(std::uint64_t{42}))
+      .put("label", Json("home"));
+  bus.broadcast(intent);
+  EXPECT_EQ(seen.at("place_uid").as_int(), 42);
+  EXPECT_EQ(seen.at("label").as_string(), "home");
+}
+
+TEST(IntentBus, DirectedSendIgnoresFilter) {
+  IntentBus bus;
+  int received = 0;
+  const ReceiverId id = bus.register_receiver(
+      {{actions::kPlaceEnter}}, [&received](const Intent&) { ++received; });
+  EXPECT_TRUE(bus.send_to(id, Intent{actions::kRouteCompleted}));
+  EXPECT_EQ(received, 1);
+}
+
+TEST(IntentBus, SendToUnknownReceiverFails) {
+  IntentBus bus;
+  EXPECT_FALSE(bus.send_to(999, Intent{actions::kPlaceEnter}));
+}
+
+TEST(IntentBus, UnregisterStopsDelivery) {
+  IntentBus bus;
+  int received = 0;
+  const ReceiverId id = bus.register_receiver(
+      {{actions::kPlaceEnter}}, [&received](const Intent&) { ++received; });
+  bus.broadcast(Intent{actions::kPlaceEnter});
+  bus.unregister(id);
+  bus.broadcast(Intent{actions::kPlaceEnter});
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(bus.receiver_count(), 0u);
+}
+
+TEST(IntentBus, HandlerMayUnregisterDuringBroadcast) {
+  IntentBus bus;
+  int a_count = 0, b_count = 0;
+  ReceiverId b_id = 0;
+  bus.register_receiver({{actions::kPlaceEnter}}, [&](const Intent&) {
+    ++a_count;
+    bus.unregister(b_id);  // remove the other receiver mid-broadcast
+  });
+  b_id = bus.register_receiver({{actions::kPlaceEnter}},
+                               [&b_count](const Intent&) { ++b_count; });
+  // Must not crash; b may or may not receive this one, never later ones.
+  bus.broadcast(Intent{actions::kPlaceEnter});
+  bus.broadcast(Intent{actions::kPlaceEnter});
+  EXPECT_EQ(a_count, 2);
+  EXPECT_LE(b_count, 1);
+}
+
+TEST(IntentBus, HandlerMayRegisterDuringBroadcast) {
+  IntentBus bus;
+  int late_count = 0;
+  bus.register_receiver({{actions::kPlaceEnter}}, [&](const Intent&) {
+    if (bus.receiver_count() == 1) {
+      bus.register_receiver({{actions::kPlaceEnter}},
+                            [&late_count](const Intent&) { ++late_count; });
+    }
+  });
+  bus.broadcast(Intent{actions::kPlaceEnter});
+  bus.broadcast(Intent{actions::kPlaceEnter});
+  EXPECT_EQ(late_count, 1);  // receives only the second broadcast
+}
+
+TEST(IntentBus, BroadcastCountTracksAllBroadcasts) {
+  IntentBus bus;
+  bus.broadcast(Intent{actions::kPlaceEnter});
+  bus.broadcast(Intent{actions::kPlaceExit});
+  EXPECT_EQ(bus.broadcast_count(), 2u);
+}
+
+TEST(IntentFilter, MatchSemantics) {
+  IntentFilter filter;
+  filter.actions = {actions::kEncounter};
+  EXPECT_TRUE(filter.matches(Intent{actions::kEncounter}));
+  EXPECT_FALSE(filter.matches(Intent{actions::kPlaceEnter}));
+  const IntentFilter empty;
+  EXPECT_FALSE(empty.matches(Intent{actions::kPlaceEnter}));
+}
+
+}  // namespace
+}  // namespace pmware::core

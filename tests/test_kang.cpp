@@ -1,0 +1,176 @@
+#include "algorithms/kang.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmware::algorithms {
+namespace {
+
+constexpr geo::LatLng kBase{28.6139, 77.2090};
+
+sensing::GpsFix fix_at(SimTime t, geo::LatLng pos, bool valid = true) {
+  sensing::GpsFix fix;
+  fix.t = t;
+  fix.valid = valid;
+  fix.position = pos;
+  fix.accuracy_m = 8;
+  return fix;
+}
+
+int arrivals(const std::vector<GpsPlaceClusterer::Event>& events) {
+  int n = 0;
+  for (const auto& e : events)
+    if (e.kind == GpsPlaceClusterer::Event::Kind::Arrival) ++n;
+  return n;
+}
+
+TEST(Kang, DwellAtOneSpotBecomesAPlace) {
+  GpsPlaceClusterer clusterer;
+  SimTime t = 0;
+  std::vector<GpsPlaceClusterer::Event> all;
+  for (int i = 0; i < 15; ++i, t += 60) {
+    const geo::LatLng jittered = geo::destination(kBase, i * 24.0, 15.0);
+    auto evs = clusterer.on_fix(fix_at(t, jittered));
+    all.insert(all.end(), evs.begin(), evs.end());
+  }
+  EXPECT_EQ(arrivals(all), 1);
+  ASSERT_EQ(clusterer.places().size(), 1u);
+  EXPECT_LT(geo::distance_m(clusterer.places()[0].center, kBase), 30);
+}
+
+TEST(Kang, ArrivalIsRetrospective) {
+  GpsPlaceClusterer clusterer;
+  KangConfig config;
+  SimTime t = 0;
+  std::optional<SimTime> arrival_fired_at;
+  std::optional<SimTime> arrival_stamp;
+  for (int i = 0; i < 15; ++i, t += 60) {
+    for (const auto& ev : clusterer.on_fix(fix_at(t, kBase))) {
+      if (ev.kind == GpsPlaceClusterer::Event::Kind::Arrival) {
+        arrival_fired_at = t;
+        arrival_stamp = ev.t;
+      }
+    }
+  }
+  ASSERT_TRUE(arrival_fired_at.has_value());
+  // Fires only once min_dwell has elapsed, but is stamped at cluster start.
+  EXPECT_GE(*arrival_fired_at, config.min_dwell);
+  EXPECT_EQ(*arrival_stamp, 0);
+}
+
+TEST(Kang, PassThroughIsNotAPlace) {
+  GpsPlaceClusterer clusterer;
+  SimTime t = 0;
+  // Driving: each fix 300 m beyond the last.
+  for (int i = 0; i < 30; ++i, t += 60)
+    clusterer.on_fix(fix_at(t, geo::destination(kBase, 90, i * 300.0)));
+  clusterer.finish(t);
+  EXPECT_TRUE(clusterer.places().empty());
+  EXPECT_TRUE(clusterer.visits().empty());
+}
+
+TEST(Kang, InvalidFixesIgnored) {
+  GpsPlaceClusterer clusterer;
+  SimTime t = 0;
+  for (int i = 0; i < 15; ++i, t += 60) {
+    clusterer.on_fix(fix_at(t, kBase));
+    clusterer.on_fix(fix_at(t + 30, geo::destination(kBase, 0, 5000), false));
+  }
+  clusterer.finish(t);
+  EXPECT_EQ(clusterer.places().size(), 1u);
+}
+
+TEST(Kang, RevisitMergesWithinMergeDistance) {
+  KangConfig config;
+  GpsPlaceClusterer clusterer(config);
+  SimTime t = 0;
+  for (int i = 0; i < 15; ++i, t += 60) clusterer.on_fix(fix_at(t, kBase));
+  // Travel away.
+  for (int i = 0; i < 10; ++i, t += 60)
+    clusterer.on_fix(fix_at(t, geo::destination(kBase, 90, 500.0 + i * 300)));
+  // Come back, offset by less than merge_distance.
+  const geo::LatLng nearby = geo::destination(kBase, 45, 40);
+  for (int i = 0; i < 15; ++i, t += 60) clusterer.on_fix(fix_at(t, nearby));
+  clusterer.finish(t);
+  EXPECT_EQ(clusterer.places().size(), 1u);
+  EXPECT_EQ(clusterer.visits().size(), 2u);
+  EXPECT_EQ(clusterer.visits()[0].place_index,
+            clusterer.visits()[1].place_index);
+}
+
+TEST(Kang, DistinctSpotsBecomeDistinctPlaces) {
+  GpsPlaceClusterer clusterer;
+  SimTime t = 0;
+  const geo::LatLng second = geo::destination(kBase, 90, 2000);
+  for (int i = 0; i < 15; ++i, t += 60) clusterer.on_fix(fix_at(t, kBase));
+  for (int i = 0; i < 8; ++i, t += 60)
+    clusterer.on_fix(fix_at(t, geo::destination(kBase, 90, 250.0 * i)));
+  for (int i = 0; i < 15; ++i, t += 60) clusterer.on_fix(fix_at(t, second));
+  clusterer.finish(t);
+  EXPECT_EQ(clusterer.places().size(), 2u);
+  ASSERT_EQ(clusterer.visits().size(), 2u);
+  EXPECT_NE(clusterer.visits()[0].place_index,
+            clusterer.visits()[1].place_index);
+}
+
+TEST(Kang, FixGapBreaksPendingCluster) {
+  KangConfig config;
+  config.max_fix_gap = minutes(20);
+  GpsPlaceClusterer clusterer(config);
+  // 8 minutes of fixes (below min_dwell), then a long gap, then 8 more:
+  // neither burst alone qualifies, and the gap forbids joining them.
+  SimTime t = 0;
+  for (int i = 0; i < 8; ++i, t += 60) clusterer.on_fix(fix_at(t, kBase));
+  t += hours(2);
+  for (int i = 0; i < 8; ++i, t += 60) clusterer.on_fix(fix_at(t, kBase));
+  clusterer.finish(t);
+  EXPECT_TRUE(clusterer.places().empty());
+}
+
+TEST(Kang, FinishCommitsPendingCluster) {
+  GpsPlaceClusterer clusterer;
+  SimTime t = 0;
+  for (int i = 0; i < 15; ++i, t += 60) clusterer.on_fix(fix_at(t, kBase));
+  const auto evs = clusterer.finish(t);
+  bool departure = false;
+  for (const auto& e : evs)
+    if (e.kind == GpsPlaceClusterer::Event::Kind::Departure) departure = true;
+  EXPECT_TRUE(departure);
+  ASSERT_EQ(clusterer.visits().size(), 1u);
+  EXPECT_GE(clusterer.visits()[0].window.length(), minutes(10));
+}
+
+TEST(Kang, VisitWindowsMatchDwellTimes) {
+  GpsPlaceClusterer clusterer;
+  SimTime t = 0;
+  for (int i = 0; i <= 30; ++i, t += 60) clusterer.on_fix(fix_at(t, kBase));
+  // Leave decisively.
+  for (int i = 0; i < 5; ++i, t += 60)
+    clusterer.on_fix(fix_at(t, geo::destination(kBase, 0, 1000.0 + i * 500)));
+  clusterer.finish(t);
+  ASSERT_EQ(clusterer.visits().size(), 1u);
+  EXPECT_EQ(clusterer.visits()[0].window.begin, 0);
+  EXPECT_NEAR(static_cast<double>(clusterer.visits()[0].window.length()),
+              static_cast<double>(minutes(30)), 90.0);
+}
+
+class RadiusSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RadiusSweep, JitterWithinRadiusStaysOneCluster) {
+  KangConfig config;
+  config.cluster_radius_m = GetParam();
+  GpsPlaceClusterer clusterer(config);
+  SimTime t = 0;
+  for (int i = 0; i < 20; ++i, t += 60) {
+    const geo::LatLng p =
+        geo::destination(kBase, i * 37.0, config.cluster_radius_m * 0.45);
+    clusterer.on_fix(fix_at(t, p));
+  }
+  clusterer.finish(t);
+  EXPECT_EQ(clusterer.places().size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, RadiusSweep,
+                         ::testing::Values(50.0, 100.0, 150.0, 250.0));
+
+}  // namespace
+}  // namespace pmware::algorithms

@@ -1,0 +1,255 @@
+#include "mobility/participant.hpp"
+#include "mobility/schedule.hpp"
+#include "mobility/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace pmware::mobility {
+namespace {
+
+std::shared_ptr<const world::World> make_world(std::uint64_t seed = 1) {
+  world::WorldConfig config;
+  Rng rng(seed);
+  return world::generate_world(config, rng);
+}
+
+TEST(Participants, UniqueHomes) {
+  const auto world = make_world();
+  Rng rng(2);
+  const auto participants = make_participants(*world, 16, rng);
+  std::set<world::PlaceId> homes;
+  for (const auto& p : participants) homes.insert(p.home);
+  EXPECT_EQ(homes.size(), participants.size());
+}
+
+TEST(Participants, ThrowsWhenTooMany) {
+  const auto world = make_world();
+  Rng rng(2);
+  EXPECT_THROW(make_participants(*world, 1000, rng), std::invalid_argument);
+}
+
+TEST(Participants, ArchetypeMixIncludesStudents) {
+  const auto world = make_world();
+  Rng rng(2);
+  const auto participants = make_participants(*world, 16, rng);
+  int students = 0, office = 0, homemakers = 0;
+  for (const auto& p : participants) {
+    switch (p.archetype) {
+      case Archetype::Student: ++students; break;
+      case Archetype::OfficeWorker: ++office; break;
+      case Archetype::Homemaker: ++homemakers; break;
+    }
+  }
+  EXPECT_GE(students, 2);
+  EXPECT_GE(office, 8);
+  EXPECT_GE(homemakers, 1);
+}
+
+TEST(Participants, StudentsAnchorAtCampusWithLibraryAdjunct) {
+  const auto world = make_world();
+  Rng rng(2);
+  const auto participants = make_participants(*world, 16, rng);
+  const auto academic = world->find_category(world::PlaceCategory::AcademicBuilding);
+  const auto library = world->find_category(world::PlaceCategory::Library);
+  for (const auto& p : participants) {
+    if (p.archetype != Archetype::Student) continue;
+    EXPECT_EQ(p.anchor, *academic);
+    EXPECT_EQ(p.anchor_adjunct, *library);
+  }
+}
+
+TEST(Participants, LeisurePoolNonEmptyAndValid) {
+  const auto world = make_world();
+  Rng rng(2);
+  const auto participants = make_participants(*world, 16, rng);
+  for (const auto& p : participants) {
+    EXPECT_GE(p.leisure.size(), 3u);
+    for (world::PlaceId id : p.leisure) {
+      ASSERT_LT(id, world->places().size());
+      EXPECT_NE(world->place(id).category, world::PlaceCategory::Home);
+      EXPECT_NE(world->place(id).category, world::PlaceCategory::Workplace);
+    }
+  }
+}
+
+class TraceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = make_world();
+    Rng rng(2);
+    participants_ = make_participants(*world_, 8, rng);
+  }
+
+  Trace build(int participant, int days_n, std::uint64_t seed = 5) {
+    Rng rng(seed);
+    ScheduleConfig config;
+    config.days = days_n;
+    return build_trace(*world_, participants_[static_cast<std::size_t>(participant)],
+                       config, rng);
+  }
+
+  std::shared_ptr<const world::World> world_;
+  std::vector<Participant> participants_;
+};
+
+TEST_F(TraceFixture, VisitsAndTripsAlternateAndTile) {
+  const Trace trace = build(0, 3);
+  EXPECT_EQ(trace.period().begin, 0);
+  EXPECT_EQ(trace.period().end, days(3));
+  EXPECT_EQ(trace.visits().size(), trace.trips().size() + 1);
+  SimDuration total = 0;
+  for (const auto& v : trace.visits()) total += v.window.length();
+  for (const auto& t : trace.trips()) total += t.window.length();
+  EXPECT_EQ(total, days(3));
+}
+
+TEST_F(TraceFixture, StartsAndEndsAtHome) {
+  const Trace trace = build(0, 3);
+  EXPECT_EQ(trace.visits().front().place, participants_[0].home);
+  EXPECT_EQ(trace.visits().back().place, participants_[0].home);
+}
+
+TEST_F(TraceFixture, PositionDuringVisitIsInsidePlace) {
+  const Trace trace = build(1, 3);
+  for (const auto& v : trace.visits()) {
+    const SimTime mid = (v.window.begin + v.window.end) / 2;
+    const auto& place = world_->place(v.place);
+    EXPECT_LE(geo::distance_m(trace.position_at(mid), place.center),
+              place.radius_m + 1)
+        << place.name;
+    EXPECT_EQ(trace.place_at(mid), v.place);
+    EXPECT_EQ(trace.activity_at(mid), Activity::Still);
+  }
+}
+
+TEST_F(TraceFixture, TripsConnectVisitPlaces) {
+  const Trace trace = build(2, 3);
+  for (std::size_t i = 0; i < trace.trips().size(); ++i) {
+    const Trip& trip = trace.trips()[i];
+    EXPECT_EQ(trip.from, trace.visits()[i].place);
+    EXPECT_EQ(trip.to, trace.visits()[i + 1].place);
+    EXPECT_GE(trip.path.size(), 2u);
+    const SimTime mid = (trip.window.begin + trip.window.end) / 2;
+    EXPECT_FALSE(trace.place_at(mid).has_value());
+    EXPECT_NE(trace.activity_at(mid), Activity::Still);
+  }
+}
+
+TEST_F(TraceFixture, PositionIsContinuousAcrossBoundaries) {
+  const Trace trace = build(0, 2);
+  for (const auto& trip : trace.trips()) {
+    const geo::LatLng before = trace.position_at(trip.window.begin - 1);
+    const geo::LatLng at_start = trace.position_at(trip.window.begin);
+    EXPECT_LT(geo::distance_m(before, at_start), 60);
+    const geo::LatLng at_end = trace.position_at(trip.window.end - 1);
+    const geo::LatLng after = trace.position_at(trip.window.end);
+    EXPECT_LT(geo::distance_m(at_end, after), 120);
+  }
+}
+
+TEST_F(TraceFixture, OfficeWorkerReachesAnchorOnWeekdays) {
+  ASSERT_EQ(participants_[0].archetype, Archetype::OfficeWorker);
+  const Trace trace = build(0, 5);
+  int anchor_days = 0;
+  for (int day = 0; day < 5; ++day) {
+    if (trace.place_at(start_of_day(day) + hours(11)) == participants_[0].anchor)
+      ++anchor_days;
+  }
+  EXPECT_GE(anchor_days, 4);
+}
+
+TEST_F(TraceFixture, EveryoneIsHomeAtNight) {
+  for (int participant = 0; participant < 4; ++participant) {
+    const Trace trace = build(participant, 4);
+    for (int day = 1; day < 4; ++day) {
+      EXPECT_EQ(trace.place_at(start_of_day(day) + hours(3)),
+                participants_[static_cast<std::size_t>(participant)].home)
+          << "participant " << participant << " day " << day;
+    }
+  }
+}
+
+TEST_F(TraceFixture, SignificantVisitsFiltersShortStays) {
+  const Trace trace = build(0, 5);
+  const auto significant = trace.significant_visits(minutes(10));
+  EXPECT_LE(significant.size(), trace.visits().size());
+  for (const auto& v : significant)
+    EXPECT_GE(v.window.length(), minutes(10));
+}
+
+TEST_F(TraceFixture, TraceIsDeterministicForSeed) {
+  const Trace a = build(0, 3, 9);
+  const Trace b = build(0, 3, 9);
+  ASSERT_EQ(a.visits().size(), b.visits().size());
+  for (std::size_t i = 0; i < a.visits().size(); ++i) {
+    EXPECT_EQ(a.visits()[i].place, b.visits()[i].place);
+    EXPECT_EQ(a.visits()[i].window, b.visits()[i].window);
+  }
+}
+
+TEST_F(TraceFixture, DifferentSeedsDifferentTimings) {
+  const Trace a = build(0, 5, 1);
+  const Trace b = build(0, 5, 2);
+  bool any_difference = a.visits().size() != b.visits().size();
+  for (std::size_t i = 0; !any_difference && i < a.visits().size(); ++i)
+    any_difference = !(a.visits()[i].window == b.visits()[i].window);
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(TraceInvariants, ConstructorRejectsGaps) {
+  std::vector<Visit> visits{{0, TimeWindow{0, 100}}, {1, TimeWindow{200, 300}}};
+  std::vector<Trip> trips;  // missing trip between 100 and 200
+  std::vector<geo::LatLng> anchors{{28.6, 77.2}, {28.7, 77.3}};
+  EXPECT_THROW(Trace(visits, trips, anchors, TimeWindow{0, 300}),
+               std::invalid_argument);
+}
+
+TEST(TraceInvariants, ConstructorRejectsAnchorMismatch) {
+  std::vector<Visit> visits{{0, TimeWindow{0, 300}}};
+  EXPECT_THROW(Trace(visits, {}, {}, TimeWindow{0, 300}),
+               std::invalid_argument);
+}
+
+TEST(TraceInvariants, ConstructorRejectsWrongSpan) {
+  std::vector<Visit> visits{{0, TimeWindow{0, 200}}};
+  std::vector<geo::LatLng> anchors{{28.6, 77.2}};
+  EXPECT_THROW(Trace(visits, {}, anchors, TimeWindow{0, 300}),
+               std::invalid_argument);
+}
+
+TEST(BuildTrace, RejectsNonPositiveDays) {
+  world::WorldConfig config;
+  Rng rng(1);
+  const auto world = world::generate_world(config, rng);
+  auto participants = make_participants(*world, 1, rng);
+  ScheduleConfig schedule;
+  schedule.days = 0;
+  EXPECT_THROW(build_trace(*world, participants[0], schedule, rng),
+               std::invalid_argument);
+}
+
+class TraceDaySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TraceDaySweep, WindowsArePositive) {
+  world::WorldConfig config;
+  Rng rng(1);
+  const auto world = world::generate_world(config, rng);
+  Rng prng(2);
+  auto participants = make_participants(*world, 4, prng);
+  ScheduleConfig schedule;
+  schedule.days = GetParam();
+  for (const auto& p : participants) {
+    Rng trng(77);
+    const Trace trace = build_trace(*world, p, schedule, trng);
+    for (const auto& v : trace.visits()) EXPECT_GE(v.window.length(), 1);
+    for (const auto& t : trace.trips()) EXPECT_GE(t.window.length(), 60);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Days, TraceDaySweep, ::testing::Values(1, 2, 7, 14));
+
+}  // namespace
+}  // namespace pmware::mobility

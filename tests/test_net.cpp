@@ -1,0 +1,201 @@
+#include "net/client.hpp"
+#include "net/http.hpp"
+#include "net/router.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmware::net {
+namespace {
+
+Router echo_router() {
+  Router router;
+  router.add_route(Method::Get, "/ping",
+                   [](const HttpRequest&, const PathParams&) {
+                     Json body = Json::object();
+                     body.set("pong", true);
+                     return HttpResponse::json(std::move(body));
+                   });
+  router.add_route(Method::Get, "/users/:id/places/:uid",
+                   [](const HttpRequest&, const PathParams& params) {
+                     Json body = Json::object();
+                     body.set("id", params.at("id"));
+                     body.set("uid", params.at("uid"));
+                     return HttpResponse::json(std::move(body));
+                   });
+  router.add_route(Method::Post, "/echo",
+                   [](const HttpRequest& req, const PathParams&) {
+                     return HttpResponse::json(req.body);
+                   });
+  return router;
+}
+
+TEST(Router, ExactMatch) {
+  const Router router = echo_router();
+  HttpRequest request{Method::Get, "/ping", {}, {}, {}};
+  const HttpResponse response = router.handle(request);
+  EXPECT_TRUE(response.ok());
+  EXPECT_TRUE(response.body.at("pong").as_bool());
+}
+
+TEST(Router, PathParamsCaptured) {
+  const Router router = echo_router();
+  HttpRequest request{Method::Get, "/users/7/places/1234", {}, {}, {}};
+  const HttpResponse response = router.handle(request);
+  EXPECT_TRUE(response.ok());
+  EXPECT_EQ(response.body.at("id").as_string(), "7");
+  EXPECT_EQ(response.body.at("uid").as_string(), "1234");
+}
+
+TEST(Router, MethodMismatchIs404) {
+  const Router router = echo_router();
+  HttpRequest request{Method::Post, "/ping", {}, {}, {}};
+  EXPECT_EQ(router.handle(request).status, kStatusNotFound);
+}
+
+TEST(Router, UnknownPathIs404) {
+  const Router router = echo_router();
+  HttpRequest request{Method::Get, "/nope", {}, {}, {}};
+  const HttpResponse response = router.handle(request);
+  EXPECT_EQ(response.status, kStatusNotFound);
+  EXPECT_FALSE(response.ok());
+}
+
+TEST(Router, SegmentCountMustMatch) {
+  const Router router = echo_router();
+  HttpRequest request{Method::Get, "/users/7/places", {}, {}, {}};
+  EXPECT_EQ(router.handle(request).status, kStatusNotFound);
+  HttpRequest longer{Method::Get, "/users/7/places/1/extra", {}, {}, {}};
+  EXPECT_EQ(router.handle(longer).status, kStatusNotFound);
+}
+
+TEST(Router, TrailingSlashIsTolerated) {
+  const Router router = echo_router();
+  HttpRequest request{Method::Get, "/ping/", {}, {}, {}};
+  EXPECT_TRUE(router.handle(request).ok());
+}
+
+TEST(Router, PostBodyRoundTrips) {
+  const Router router = echo_router();
+  HttpRequest request{Method::Post, "/echo", {}, {}, {}};
+  request.body = Json::parse(R"({"x": 5, "y": [1,2]})");
+  const HttpResponse response = router.handle(request);
+  EXPECT_EQ(response.body, request.body);
+}
+
+TEST(Router, MiddlewareShortCircuits) {
+  Router router = echo_router();
+  router.add_middleware([](const HttpRequest& req) -> std::optional<HttpResponse> {
+    if (req.headers.count("Authorization")) return std::nullopt;
+    return HttpResponse::error(kStatusUnauthorized, "no token");
+  });
+  HttpRequest request{Method::Get, "/ping", {}, {}, {}};
+  EXPECT_EQ(router.handle(request).status, kStatusUnauthorized);
+  request.with_header("Authorization", "Bearer x");
+  EXPECT_TRUE(router.handle(request).ok());
+}
+
+TEST(Router, MiddlewareExemptPrefixes) {
+  Router router = echo_router();
+  router.add_middleware(
+      [](const HttpRequest&) -> std::optional<HttpResponse> {
+        return HttpResponse::error(kStatusUnauthorized, "always deny");
+      },
+      {"/ping"});
+  HttpRequest ping{Method::Get, "/ping", {}, {}, {}};
+  EXPECT_TRUE(router.handle(ping).ok());
+  HttpRequest other{Method::Get, "/users/1/places/2", {}, {}, {}};
+  EXPECT_EQ(router.handle(other).status, kStatusUnauthorized);
+}
+
+TEST(Client, DeliversAndCountsRequests) {
+  const Router router = echo_router();
+  RestClient client(&router, NetworkConditions{0.0, 2}, Rng(1));
+  HttpRequest request{Method::Get, "/ping", {}, {}, {}};
+  const HttpResponse response = client.send(request);
+  EXPECT_TRUE(response.ok());
+  EXPECT_EQ(client.stats().requests, 1u);
+  EXPECT_EQ(client.stats().failures, 0u);
+  EXPECT_EQ(client.stats().total_latency, 2);
+}
+
+TEST(Client, AttachesAuthToken) {
+  Router router;
+  router.add_route(Method::Get, "/whoami",
+                   [](const HttpRequest& req, const PathParams&) {
+                     Json body = Json::object();
+                     const auto it = req.headers.find("Authorization");
+                     body.set("auth", it == req.headers.end() ? "" : it->second);
+                     return HttpResponse::json(std::move(body));
+                   });
+  RestClient client(&router, NetworkConditions{}, Rng(1));
+  client.set_auth_token("tok-123");
+  HttpRequest request{Method::Get, "/whoami", {}, {}, {}};
+  const HttpResponse response = client.send(request);
+  EXPECT_EQ(response.body.at("auth").as_string(), "Bearer tok-123");
+}
+
+TEST(Client, ExplicitAuthHeaderWins) {
+  Router router;
+  router.add_route(Method::Get, "/whoami",
+                   [](const HttpRequest& req, const PathParams&) {
+                     Json body = Json::object();
+                     body.set("auth", req.headers.at("Authorization"));
+                     return HttpResponse::json(std::move(body));
+                   });
+  RestClient client(&router, NetworkConditions{}, Rng(1));
+  client.set_auth_token("tok-default");
+  HttpRequest request{Method::Get, "/whoami", {}, {}, {}};
+  request.with_header("Authorization", "Bearer tok-explicit");
+  EXPECT_EQ(client.send(request).body.at("auth").as_string(),
+            "Bearer tok-explicit");
+}
+
+TEST(Client, RetriesTransientFailures) {
+  const Router router = echo_router();
+  // 50% loss: with 2 retries most requests eventually succeed.
+  RestClient client(&router, NetworkConditions{0.5, 0}, Rng(3));
+  int ok = 0;
+  for (int i = 0; i < 200; ++i) {
+    HttpRequest request{Method::Get, "/ping", {}, {}, {}};
+    if (client.send(request, 2).ok()) ++ok;
+  }
+  EXPECT_GT(ok, 160);  // 1 - 0.5^3 = 87.5% expected
+  EXPECT_GT(client.stats().retries, 50u);
+  EXPECT_GT(client.stats().failures, 50u);
+}
+
+TEST(Client, TotalLossReturns503) {
+  const Router router = echo_router();
+  RestClient client(&router, NetworkConditions{1.0, 0}, Rng(3));
+  HttpRequest request{Method::Get, "/ping", {}, {}, {}};
+  const HttpResponse response = client.send(request, 2);
+  EXPECT_EQ(response.status, kStatusServiceUnavailable);
+  EXPECT_EQ(client.stats().requests, 3u);  // initial + 2 retries
+}
+
+TEST(Client, CountsBytesSent) {
+  const Router router = echo_router();
+  RestClient client(&router, NetworkConditions{}, Rng(1));
+  HttpRequest request{Method::Post, "/echo", {}, {}, {}};
+  request.body = Json::parse(R"({"payload": "0123456789"})");
+  client.send(request);
+  EXPECT_GE(client.stats().bytes_sent, 10u);
+}
+
+TEST(Http, StatusHelpers) {
+  EXPECT_TRUE(HttpResponse::json(Json::object()).ok());
+  EXPECT_TRUE(HttpResponse::json(Json::object(), kStatusCreated).ok());
+  const HttpResponse err = HttpResponse::error(kStatusBadRequest, "nope");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.body.at("error").as_string(), "nope");
+}
+
+TEST(Http, MethodNames) {
+  EXPECT_STREQ(to_string(Method::Get), "GET");
+  EXPECT_STREQ(to_string(Method::Post), "POST");
+  EXPECT_STREQ(to_string(Method::Put), "PUT");
+  EXPECT_STREQ(to_string(Method::Delete), "DELETE");
+}
+
+}  // namespace
+}  // namespace pmware::net

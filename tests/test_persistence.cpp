@@ -1,0 +1,142 @@
+#include "core/persistence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pmware::core {
+namespace {
+
+using algorithms::CellObservation;
+using world::CellId;
+
+CellId cell(std::uint32_t cid) {
+  return CellId{404, 10, 1, cid, world::Radio::Gsm2G};
+}
+
+TEST(Persistence, GsmLogRoundTrip) {
+  std::vector<CellObservation> log;
+  for (int i = 0; i < 50; ++i) log.push_back({i * 60, cell(100 + i % 3)});
+  std::stringstream stream;
+  write_gsm_log(stream, log);
+  const auto loaded = read_gsm_log(stream);
+  ASSERT_EQ(loaded.size(), log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(loaded[i].t, log[i].t);
+    EXPECT_EQ(loaded[i].cell, log[i].cell);
+  }
+}
+
+TEST(Persistence, GsmLogIsOneJsonPerLine) {
+  std::vector<CellObservation> log{{0, cell(1)}, {60, cell(2)}};
+  std::stringstream stream;
+  write_gsm_log(stream, log);
+  std::string line;
+  int lines = 0;
+  while (std::getline(stream, line)) {
+    ++lines;
+    EXPECT_NO_THROW(Json::parse(line));
+  }
+  EXPECT_EQ(lines, 2);
+}
+
+TEST(Persistence, VisitLogRoundTrip) {
+  std::vector<LoggedVisit> log{{1, TimeWindow{0, hours(8)}},
+                               {2, TimeWindow{hours(9), hours(17)}}};
+  std::stringstream stream;
+  write_visit_log(stream, log);
+  const auto loaded = read_visit_log(stream);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].uid, 1u);
+  EXPECT_EQ(loaded[1].window, (TimeWindow{hours(9), hours(17)}));
+}
+
+TEST(Persistence, PlaceRecordsRoundTrip) {
+  PlaceStore store;
+  const auto [uid1, c1] =
+      store.intern(algorithms::WifiSignature{{1, 2}}, Granularity::Building);
+  store.set_label(uid1, "home");
+  store.record_visit(uid1, hours(8));
+  const auto [uid2, c2] = store.intern(
+      algorithms::CellSignature{{cell(1), cell(2)}}, Granularity::Building);
+  (void)c1;
+  (void)c2;
+
+  std::stringstream stream;
+  write_place_records(stream, store);
+  const auto loaded = read_place_records(stream);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].uid, uid1);
+  EXPECT_EQ(loaded[0].label, "home");
+  EXPECT_EQ(loaded[0].visit_count, 1u);
+  EXPECT_EQ(loaded[1].uid, uid2);
+  EXPECT_TRUE(std::holds_alternative<algorithms::CellSignature>(
+      loaded[1].signature));
+}
+
+TEST(Persistence, ProfilesRoundTrip) {
+  std::vector<MobilityProfile> profiles(2);
+  profiles[0].user = 1;
+  profiles[0].day = 0;
+  profiles[0].places = {{5, hours(9), hours(17)}};
+  profiles[1].user = 1;
+  profiles[1].day = 1;
+  profiles[1].routes = {{3, hours(8), hours(9)}};
+  std::stringstream stream;
+  write_profiles(stream, profiles);
+  const auto loaded = read_profiles(stream);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].places.size(), 1u);
+  EXPECT_EQ(loaded[1].routes.size(), 1u);
+  EXPECT_EQ(loaded[1].day, 1);
+}
+
+TEST(Persistence, EmptyStreamsYieldEmptyVectors) {
+  std::stringstream empty;
+  EXPECT_TRUE(read_gsm_log(empty).empty());
+  std::stringstream empty2;
+  EXPECT_TRUE(read_visit_log(empty2).empty());
+  std::stringstream empty3;
+  EXPECT_TRUE(read_profiles(empty3).empty());
+}
+
+TEST(Persistence, BlankLinesAreSkipped) {
+  std::stringstream stream;
+  stream << "\n" << R"({"t": 60, "cell": {"mcc":404,"mnc":10,"lac":1,"cid":9,"radio":"2g"}})"
+         << "\n\n";
+  const auto log = read_gsm_log(stream);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].cell.cid, 9u);
+}
+
+TEST(Persistence, MalformedLineReportsLineNumber) {
+  std::stringstream stream;
+  stream << R"({"t": 0, "cell": {"mcc":404,"mnc":10,"lac":1,"cid":9,"radio":"2g"}})"
+         << "\n"
+         << "{not json}\n";
+  try {
+    read_gsm_log(stream);
+    FAIL() << "expected PersistenceError";
+  } catch (const PersistenceError& error) {
+    EXPECT_EQ(error.line(), 2u);
+  }
+}
+
+TEST(Persistence, MissingFieldReportsLineNumber) {
+  std::stringstream stream;
+  stream << R"({"t": 0})" << "\n";
+  EXPECT_THROW(read_gsm_log(stream), PersistenceError);
+}
+
+TEST(Persistence, AppendedLogsConcatenate) {
+  // Append-friendly format: writing twice and reading once yields the union.
+  std::stringstream stream;
+  std::vector<CellObservation> first{{0, cell(1)}};
+  std::vector<CellObservation> second{{60, cell(2)}};
+  write_gsm_log(stream, first);
+  write_gsm_log(stream, second);
+  EXPECT_EQ(read_gsm_log(stream).size(), 2u);
+}
+
+}  // namespace
+}  // namespace pmware::core

@@ -1,0 +1,133 @@
+#include "core/place_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmware::core {
+namespace {
+
+using algorithms::CellSignature;
+using algorithms::PlaceSignature;
+using algorithms::WifiSignature;
+using world::CellId;
+
+CellId cell(std::uint32_t cid) {
+  return CellId{404, 10, 1, cid, world::Radio::Gsm2G};
+}
+
+TEST(PlaceStore, InternCreatesThenReuses) {
+  PlaceStore store;
+  const PlaceSignature sig = WifiSignature{{1, 2, 3}};
+  const auto [uid1, created1] = store.intern(sig, Granularity::Building);
+  EXPECT_TRUE(created1);
+  EXPECT_NE(uid1, kNoPlaceUid);
+  const auto [uid2, created2] = store.intern(sig, Granularity::Building);
+  EXPECT_FALSE(created2);
+  EXPECT_EQ(uid1, uid2);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(PlaceStore, SimilarSignaturesReuse) {
+  PlaceStore store;
+  const auto [uid1, c1] =
+      store.intern(WifiSignature{{1, 2, 3}}, Granularity::Building);
+  // 3/4 Tanimoto with the stored signature — same place.
+  const auto [uid2, c2] =
+      store.intern(WifiSignature{{1, 2, 3, 4}}, Granularity::Building);
+  EXPECT_EQ(uid1, uid2);
+  EXPECT_FALSE(c2);
+  (void)c1;
+}
+
+TEST(PlaceStore, InternRefreshesSignature) {
+  PlaceStore store;
+  const auto [uid, created] =
+      store.intern(WifiSignature{{1, 2, 3}}, Granularity::Building);
+  store.intern(WifiSignature{{1, 2, 3, 4}}, Granularity::Building);
+  const PlaceRecord* record = store.get(uid);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(std::get<WifiSignature>(record->signature).aps.size(), 4u);
+  (void)created;
+}
+
+TEST(PlaceStore, DistinctSignaturesGetDistinctUids) {
+  PlaceStore store;
+  const auto [uid1, c1] =
+      store.intern(WifiSignature{{1, 2}}, Granularity::Building);
+  const auto [uid2, c2] =
+      store.intern(WifiSignature{{50, 51}}, Granularity::Building);
+  EXPECT_NE(uid1, uid2);
+  EXPECT_TRUE(c2);
+  (void)c1;
+}
+
+TEST(PlaceStore, DifferentKindsNeverCollide) {
+  PlaceStore store;
+  const auto [wifi_uid, cw] =
+      store.intern(WifiSignature{{1, 2}}, Granularity::Building);
+  const auto [cells_uid, cc] = store.intern(
+      CellSignature{{cell(1), cell(2)}}, Granularity::Building);
+  EXPECT_NE(wifi_uid, cells_uid);
+  EXPECT_EQ(store.size(), 2u);
+  (void)cw;
+  (void)cc;
+}
+
+TEST(PlaceStore, FindWithoutCreating) {
+  PlaceStore store;
+  EXPECT_FALSE(store.find(WifiSignature{{9}}).has_value());
+  const auto [uid, created] =
+      store.intern(WifiSignature{{9}}, Granularity::Building);
+  EXPECT_EQ(store.find(WifiSignature{{9}}), uid);
+  (void)created;
+}
+
+TEST(PlaceStore, GetUnknownIsNull) {
+  PlaceStore store;
+  EXPECT_EQ(store.get(77), nullptr);
+  EXPECT_EQ(store.get_mutable(77), nullptr);
+}
+
+TEST(PlaceStore, RecordVisitAccumulates) {
+  PlaceStore store;
+  const auto [uid, created] =
+      store.intern(WifiSignature{{1}}, Granularity::Building);
+  store.record_visit(uid, hours(2));
+  store.record_visit(uid, hours(3));
+  const PlaceRecord* record = store.get(uid);
+  EXPECT_EQ(record->visit_count, 2u);
+  EXPECT_EQ(record->total_dwell, hours(5));
+  // Unknown uid is a no-op, not a crash.
+  store.record_visit(9999, hours(1));
+  (void)created;
+}
+
+TEST(PlaceStore, Labels) {
+  PlaceStore store;
+  const auto [uid, created] =
+      store.intern(WifiSignature{{1}}, Granularity::Building);
+  EXPECT_TRUE(store.set_label(uid, "home"));
+  EXPECT_EQ(store.get(uid)->label, "home");
+  EXPECT_FALSE(store.set_label(777, "nope"));
+  const auto homes = store.with_label("home");
+  ASSERT_EQ(homes.size(), 1u);
+  EXPECT_EQ(homes[0], uid);
+  EXPECT_TRUE(store.with_label("gym").empty());
+  (void)created;
+}
+
+TEST(PlaceStore, UidsAreStableAndIncreasing) {
+  PlaceStore store;
+  PlaceUid prev = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto [uid, created] = store.intern(
+        WifiSignature{{static_cast<world::Bssid>(100 + i)}},
+        Granularity::Building);
+    EXPECT_TRUE(created);
+    EXPECT_GT(uid, prev);
+    prev = uid;
+  }
+  EXPECT_EQ(store.size(), 10u);
+}
+
+}  // namespace
+}  // namespace pmware::core

@@ -1,0 +1,235 @@
+// PMS-level tests: the full mobile service against an in-process cloud.
+#include "core/pms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cloud/cloud_instance.hpp"
+#include "mobility/participant.hpp"
+#include "mobility/schedule.hpp"
+
+namespace pmware::core {
+namespace {
+
+struct PmsHarness {
+  explicit PmsHarness(int days_n, net::NetworkConditions network = {0.0, 1},
+                      bool offload = true) {
+    Rng world_rng(1);
+    world::WorldConfig wc;
+    world = world::generate_world(wc, world_rng);
+    Rng prng(2);
+    participants = mobility::make_participants(*world, 1, prng);
+    Rng trng(5);
+    mobility::ScheduleConfig sc;
+    sc.days = days_n;
+    trace.emplace(mobility::build_trace(*world, participants[0], sc, trng));
+
+    cloud.emplace(cloud::CloudConfig{},
+                  cloud::GeoLocationService(world->cell_location_db()), Rng(3));
+
+    auto device = std::make_unique<sensing::Device>(
+        world, sensing::oracle_from_trace(*trace), sensing::DeviceConfig{},
+        Rng(7));
+    auto client = std::make_unique<net::RestClient>(&cloud->router(), network,
+                                                    Rng(11));
+    PmsConfig config;
+    config.offload_gca = offload;
+    pms.emplace(std::move(device), config, std::move(client), Rng(13));
+
+    // A building-level consumer so the full pipeline is active.
+    PlaceAlertRequest request;
+    request.app = "harness";
+    request.granularity = Granularity::Building;
+    apps_request_id = pms->apps().register_place_alerts(request);
+  }
+
+  std::shared_ptr<const world::World> world;
+  std::vector<mobility::Participant> participants;
+  std::optional<mobility::Trace> trace;
+  std::optional<cloud::CloudInstance> cloud;
+  std::optional<PmwareMobileService> pms;
+  RequestId apps_request_id = 0;
+};
+
+TEST(Pms, RegistrationSucceedsAndSetsUser) {
+  PmsHarness h(1);
+  EXPECT_FALSE(h.pms->registered());
+  EXPECT_TRUE(h.pms->register_with_cloud(0));
+  EXPECT_TRUE(h.pms->registered());
+  EXPECT_EQ(*h.pms->user_id(), 1u);
+}
+
+TEST(Pms, OfflinePmsWorksWithLocalGca) {
+  Rng world_rng(1);
+  world::WorldConfig wc;
+  auto world = world::generate_world(wc, world_rng);
+  Rng prng(2);
+  auto participants = mobility::make_participants(*world, 1, prng);
+  Rng trng(5);
+  mobility::ScheduleConfig sc;
+  sc.days = 1;
+  const mobility::Trace trace =
+      mobility::build_trace(*world, participants[0], sc, trng);
+  auto device = std::make_unique<sensing::Device>(
+      world, sensing::oracle_from_trace(trace), sensing::DeviceConfig{}, Rng(7));
+  PmwareMobileService pms(std::move(device), PmsConfig{}, nullptr, Rng(13));
+  EXPECT_FALSE(pms.register_with_cloud(0));
+
+  PlaceAlertRequest request;
+  request.app = "x";
+  pms.apps().register_place_alerts(request);
+  pms.run(TimeWindow{0, days(1)});
+  pms.shutdown(days(1));
+  EXPECT_GE(pms.inference().visit_log().size(), 2u);
+  EXPECT_GE(pms.stats().gca_local_runs, 1u);
+  EXPECT_EQ(pms.stats().gca_offloads, 0u);
+}
+
+TEST(Pms, OffloadsGcaToCloud) {
+  PmsHarness h(2);
+  h.pms->register_with_cloud(0);
+  h.pms->run(TimeWindow{0, days(2)});
+  h.pms->shutdown(days(2));
+  EXPECT_GE(h.pms->stats().gca_offloads, 2u);
+  EXPECT_EQ(h.pms->stats().gca_local_runs, 0u);
+}
+
+TEST(Pms, OffloadFallsBackToLocalWhenNetworkDead) {
+  PmsHarness h(1, net::NetworkConditions{1.0, 0});  // 100% loss
+  EXPECT_FALSE(h.pms->register_with_cloud(0));
+  h.pms->run(TimeWindow{0, days(1)});
+  h.pms->shutdown(days(1));
+  EXPECT_GE(h.pms->stats().gca_local_runs, 1u);
+  EXPECT_GE(h.pms->inference().visit_log().size(), 2u);
+}
+
+TEST(Pms, ProfilesSyncToCloud) {
+  PmsHarness h(2);
+  h.pms->register_with_cloud(0);
+  h.pms->run(TimeWindow{0, days(2)});
+  h.pms->shutdown(days(2));
+  EXPECT_GE(h.pms->stats().profile_syncs, 2u);
+  const auto* user_store = h.cloud->storage().find_user(1);
+  ASSERT_NE(user_store, nullptr);
+  EXPECT_GE(user_store->profiles.size(), 2u);
+  // Cloud profile matches the local one.
+  const MobilityProfile local = h.pms->profile_for(0);
+  const MobilityProfile& remote = user_store->profiles.at(0);
+  ASSERT_EQ(remote.places.size(), local.places.size());
+  for (std::size_t i = 0; i < local.places.size(); ++i) {
+    EXPECT_EQ(remote.places[i].place, local.places[i].place);
+    EXPECT_EQ(remote.places[i].arrival, local.places[i].arrival);
+  }
+}
+
+TEST(Pms, PlaceRecordsSyncWithResolvedLocations) {
+  PmsHarness h(2);
+  h.pms->register_with_cloud(0);
+  h.pms->run(TimeWindow{0, days(2)});
+  h.pms->shutdown(days(2));
+  const auto* user_store = h.cloud->storage().find_user(1);
+  ASSERT_NE(user_store, nullptr);
+  EXPECT_GE(user_store->places.size(), 2u);
+  // The cloud resolves approximate locations via the geo-location service.
+  std::size_t located = 0;
+  for (const auto& [uid, record] : user_store->places)
+    if (record.location) ++located;
+  EXPECT_GE(located, 1u);
+}
+
+TEST(Pms, TokenRefreshHappensAcrossDays) {
+  PmsHarness h(3);
+  h.pms->register_with_cloud(0);
+  h.pms->run(TimeWindow{0, days(3)});
+  h.pms->shutdown(days(3));
+  // Token TTL is 24h and housekeeping refreshes nightly.
+  EXPECT_GE(h.pms->stats().token_refreshes + 0u, 1u);
+  // All syncs kept working on day 3 (auth never went stale).
+  EXPECT_GE(h.pms->stats().profile_syncs, 3u);
+}
+
+TEST(Pms, TagPlacePropagatesToCloud) {
+  PmsHarness h(1);
+  h.pms->register_with_cloud(0);
+  h.pms->run(TimeWindow{0, days(1)});
+  ASSERT_GE(h.pms->places().size(), 1u);
+  const PlaceUid uid = h.pms->places().records().begin()->first;
+  EXPECT_TRUE(h.pms->tag_place(uid, "home", days(1)));
+  h.pms->shutdown(days(1));
+  EXPECT_EQ(h.pms->places().get(uid)->label, "home");
+  const auto* user_store = h.cloud->storage().find_user(1);
+  ASSERT_NE(user_store, nullptr);
+  ASSERT_TRUE(user_store->places.count(uid));
+  EXPECT_EQ(user_store->places.at(uid).label, "home");
+}
+
+TEST(Pms, TagUnknownPlaceFails) {
+  PmsHarness h(1);
+  EXPECT_FALSE(h.pms->tag_place(999, "nope", 0));
+}
+
+TEST(Pms, ProfileForSplitsAtMidnight) {
+  PmsHarness h(2);
+  h.pms->register_with_cloud(0);
+  h.pms->run(TimeWindow{0, days(2)});
+  h.pms->shutdown(days(2));
+  for (std::int64_t day = 0; day < 2; ++day) {
+    const MobilityProfile profile = h.pms->profile_for(day);
+    for (const auto& entry : profile.places) {
+      EXPECT_GE(entry.arrival, start_of_day(day));
+      EXPECT_LE(entry.departure, start_of_day(day + 1));
+      EXPECT_LT(entry.arrival, entry.departure);
+    }
+  }
+}
+
+TEST(Pms, EventsAreDeliveredToConnectedApps) {
+  PmsHarness h(2);
+  h.pms->register_with_cloud(0);
+  int received = 0;
+  IntentFilter filter;
+  filter.actions = {actions::kPlaceEnter, actions::kPlaceExit};
+  const ReceiverId receiver = h.pms->bus().register_receiver(
+      filter, [&received](const Intent&) { ++received; });
+  PlaceAlertRequest request;
+  request.app = "listener";
+  request.receiver = receiver;
+  h.pms->apps().register_place_alerts(request);
+  h.pms->run(TimeWindow{0, days(2)});
+  h.pms->shutdown(days(2));
+  EXPECT_GT(received, 4);
+  EXPECT_GT(h.pms->stats().place_events_delivered, 4u);
+}
+
+TEST(Pms, MasterSwitchSilencesAppsAndSensing) {
+  PmsHarness h(1);
+  h.pms->register_with_cloud(0);
+  h.pms->preferences().set_sharing_enabled(false);
+  int received = 0;
+  IntentFilter filter;
+  filter.actions = {actions::kPlaceEnter};
+  const ReceiverId receiver = h.pms->bus().register_receiver(
+      filter, [&received](const Intent&) { ++received; });
+  PlaceAlertRequest request;
+  request.app = "listener";
+  request.receiver = receiver;
+  h.pms->apps().register_place_alerts(request);
+  h.pms->run(TimeWindow{0, days(1)});
+  EXPECT_EQ(received, 0);
+  // Expensive interfaces idle while sharing is off.
+  EXPECT_EQ(h.pms->meter().sample_count(energy::Interface::Wifi), 0u);
+}
+
+TEST(Pms, EnergyStaysNearGsmBaseline) {
+  PmsHarness h(2);
+  h.pms->register_with_cloud(0);
+  h.pms->run(TimeWindow{0, days(2)});
+  h.pms->shutdown(days(2));
+  // Triggered sensing must land far below always-on GPS (~145 mW) —
+  // in the tens of milliwatts.
+  const double avg_w = h.pms->meter().average_power_w(days(2));
+  EXPECT_LT(avg_w, 0.05);
+  EXPECT_GT(avg_w, 0.012);  // above bare baseline: sensing did happen
+}
+
+}  // namespace
+}  // namespace pmware::core

@@ -1,0 +1,62 @@
+#include "core/preferences.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmware::core {
+namespace {
+
+TEST(Preferences, NoCapMeansRequestedGranularity) {
+  const UserPreferences prefs;
+  EXPECT_EQ(prefs.effective("ads", Granularity::Room), Granularity::Room);
+  EXPECT_EQ(prefs.effective("ads", Granularity::Area), Granularity::Area);
+  EXPECT_FALSE(prefs.app_cap("ads").has_value());
+}
+
+TEST(Preferences, CapCoarsensRequest) {
+  // The paper's example (§2.2.1): an advertisement app wants building-level
+  // data but the user permits only area level.
+  UserPreferences prefs;
+  prefs.set_app_cap("ads", Granularity::Area);
+  EXPECT_EQ(prefs.effective("ads", Granularity::Building), Granularity::Area);
+  EXPECT_EQ(prefs.effective("ads", Granularity::Room), Granularity::Area);
+  EXPECT_EQ(prefs.effective("ads", Granularity::Area), Granularity::Area);
+}
+
+TEST(Preferences, CapAboveRequestDoesNotRefine) {
+  UserPreferences prefs;
+  prefs.set_app_cap("todo", Granularity::Room);
+  EXPECT_EQ(prefs.effective("todo", Granularity::Building),
+            Granularity::Building);
+}
+
+TEST(Preferences, CapsArePerApp) {
+  UserPreferences prefs;
+  prefs.set_app_cap("ads", Granularity::Area);
+  EXPECT_EQ(prefs.effective("lifelog", Granularity::Room), Granularity::Room);
+  ASSERT_TRUE(prefs.app_cap("ads").has_value());
+  EXPECT_EQ(*prefs.app_cap("ads"), Granularity::Area);
+}
+
+TEST(Preferences, CapCanBeTightened) {
+  UserPreferences prefs;
+  prefs.set_app_cap("ads", Granularity::Building);
+  EXPECT_EQ(prefs.effective("ads", Granularity::Room), Granularity::Building);
+  prefs.set_app_cap("ads", Granularity::Area);
+  EXPECT_EQ(prefs.effective("ads", Granularity::Room), Granularity::Area);
+}
+
+TEST(Preferences, MasterSwitchDefaultsOn) {
+  const UserPreferences prefs;
+  EXPECT_TRUE(prefs.sharing_enabled());
+}
+
+TEST(Preferences, MasterSwitchToggles) {
+  UserPreferences prefs;
+  prefs.set_sharing_enabled(false);
+  EXPECT_FALSE(prefs.sharing_enabled());
+  prefs.set_sharing_enabled(true);
+  EXPECT_TRUE(prefs.sharing_enabled());
+}
+
+}  // namespace
+}  // namespace pmware::core

@@ -1,0 +1,167 @@
+#include "algorithms/routes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmware::algorithms {
+namespace {
+
+constexpr geo::LatLng kBase{28.6139, 77.2090};
+
+using world::CellId;
+
+CellId cell(std::uint32_t cid) {
+  return CellId{404, 10, 1, cid, world::Radio::Gsm2G};
+}
+
+GpsRoute straight_route(double bearing, double length_m, int points) {
+  GpsRoute route;
+  for (int i = 0; i < points; ++i) {
+    route.times.push_back(i * 60);
+    route.points.push_back(
+        geo::destination(kBase, bearing, length_m * i / (points - 1)));
+  }
+  return route;
+}
+
+CellRoute cell_route(std::initializer_list<std::uint32_t> cids) {
+  CellRoute route;
+  SimTime t = 0;
+  for (std::uint32_t cid : cids) {
+    route.times.push_back(t);
+    route.cells.push_back(cell(cid));
+    t += 60;
+  }
+  return route;
+}
+
+TEST(GpsRouteSimilarity, IdenticalRoutesAreOne) {
+  const GpsRoute r = straight_route(90, 2000, 20);
+  EXPECT_DOUBLE_EQ(gps_route_similarity(r, r), 1.0);
+}
+
+TEST(GpsRouteSimilarity, ParallelNearbyRoutesAreSimilar) {
+  const GpsRoute a = straight_route(90, 2000, 20);
+  GpsRoute b = straight_route(90, 2000, 20);
+  for (auto& p : b.points) p = geo::destination(p, 0, 80);  // 80 m offset
+  EXPECT_GT(gps_route_similarity(a, b, 150), 0.9);
+}
+
+TEST(GpsRouteSimilarity, DistantRoutesAreDissimilar) {
+  const GpsRoute a = straight_route(90, 2000, 20);
+  GpsRoute b = straight_route(90, 2000, 20);
+  for (auto& p : b.points) p = geo::destination(p, 0, 1000);
+  EXPECT_LT(gps_route_similarity(a, b, 150), 0.1);
+}
+
+TEST(GpsRouteSimilarity, PartialOverlapIsSymmetricMin) {
+  // b covers only half of a's corridor.
+  const GpsRoute a = straight_route(90, 2000, 21);
+  const GpsRoute b = straight_route(90, 1000, 11);
+  const double sim = gps_route_similarity(a, b, 150);
+  EXPECT_GT(sim, 0.3);
+  EXPECT_LT(sim, 0.8);
+  EXPECT_DOUBLE_EQ(sim, gps_route_similarity(b, a, 150));
+}
+
+TEST(GpsRouteSimilarity, DegenerateRoutesScoreZero) {
+  GpsRoute tiny;
+  tiny.times.push_back(0);
+  tiny.points.push_back(kBase);
+  const GpsRoute real = straight_route(90, 1000, 10);
+  EXPECT_DOUBLE_EQ(gps_route_similarity(tiny, real), 0.0);
+  EXPECT_DOUBLE_EQ(gps_route_similarity(GpsRoute{}, real), 0.0);
+}
+
+TEST(CellRouteSimilarity, IdenticalIsOne) {
+  const CellRoute r = cell_route({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(cell_route_similarity(r, r), 1.0);
+}
+
+TEST(CellRouteSimilarity, DisjointIsZero) {
+  EXPECT_DOUBLE_EQ(
+      cell_route_similarity(cell_route({1, 2, 3}), cell_route({7, 8, 9})), 0.0);
+}
+
+TEST(CellRouteSimilarity, ReversedRouteScoresLowerThanSameDirection) {
+  const CellRoute forward = cell_route({1, 2, 3, 4, 5});
+  const CellRoute reversed = cell_route({5, 4, 3, 2, 1});
+  EXPECT_LT(cell_route_similarity(forward, reversed),
+            cell_route_similarity(forward, forward));
+  // Same cells: Jaccard component is 1, order component small.
+  EXPECT_GT(cell_route_similarity(forward, reversed), 0.4);
+}
+
+TEST(CellRouteSimilarity, OscillationDuplicatesAreCollapsed) {
+  const CellRoute clean = cell_route({1, 2, 3});
+  const CellRoute noisy = cell_route({1, 1, 2, 2, 2, 3});
+  EXPECT_NEAR(cell_route_similarity(clean, noisy), 1.0, 1e-9);
+}
+
+TEST(CellRouteSimilarity, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(cell_route_similarity(CellRoute{}, cell_route({1})), 0.0);
+}
+
+RouteObservation gps_obs(std::size_t from, std::size_t to, double bearing,
+                         double offset_m = 0) {
+  RouteObservation obs;
+  obs.from_place = from;
+  obs.to_place = to;
+  obs.window = TimeWindow{0, minutes(20)};
+  obs.gps = straight_route(bearing, 2000, 20);
+  if (offset_m > 0)
+    for (auto& p : obs.gps.points) p = geo::destination(p, 0, offset_m);
+  return obs;
+}
+
+TEST(RouteStore, DeduplicatesSimilarRoutes) {
+  RouteStore store;
+  const std::size_t a = store.add(gps_obs(1, 2, 90));
+  const std::size_t b = store.add(gps_obs(1, 2, 90, 50));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(store.routes().size(), 1u);
+  EXPECT_EQ(store.routes()[0].use_count, 2u);
+}
+
+TEST(RouteStore, DifferentPathsAreDistinctRoutes) {
+  RouteStore store;
+  const std::size_t a = store.add(gps_obs(1, 2, 90));
+  const std::size_t b = store.add(gps_obs(1, 2, 90, 2000));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(store.routes().size(), 2u);
+}
+
+TEST(RouteStore, DifferentEndpointsNeverMerge) {
+  RouteStore store;
+  const std::size_t a = store.add(gps_obs(1, 2, 90));
+  const std::size_t b = store.add(gps_obs(1, 3, 90));
+  EXPECT_NE(a, b);
+}
+
+TEST(RouteStore, CellRoutesDeduplicate) {
+  RouteStore store;
+  RouteObservation obs1;
+  obs1.from_place = 5;
+  obs1.to_place = 6;
+  obs1.window = TimeWindow{0, 600};
+  obs1.cells = cell_route({1, 2, 3, 4});
+  RouteObservation obs2 = obs1;
+  obs2.cells = cell_route({1, 2, 2, 3, 4});
+  EXPECT_EQ(store.add(obs1), store.add(obs2));
+}
+
+TEST(RouteStore, BetweenOrdersByUsage) {
+  RouteStore store;
+  store.add(gps_obs(1, 2, 90));           // route 0
+  store.add(gps_obs(1, 2, 90, 3000));     // route 1 (alternate path)
+  store.add(gps_obs(1, 2, 90, 3000));     // boost route 1
+  store.add(gps_obs(1, 2, 90, 3000));
+  store.add(gps_obs(3, 4, 0));            // unrelated pair
+  const auto between = store.between(1, 2);
+  ASSERT_EQ(between.size(), 2u);
+  EXPECT_EQ(between[0], 1u);  // most used first
+  EXPECT_EQ(between[1], 0u);
+  EXPECT_TRUE(store.between(9, 9).empty());
+}
+
+}  // namespace
+}  // namespace pmware::algorithms

@@ -1,0 +1,215 @@
+#include "algorithms/sensloc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmware::algorithms {
+namespace {
+
+sensing::WifiScan scan_of(SimTime t, std::initializer_list<world::Bssid> aps) {
+  sensing::WifiScan scan;
+  scan.t = t;
+  for (world::Bssid b : aps) scan.aps.push_back({b, -60.0});
+  return scan;
+}
+
+int arrivals(const std::vector<WifiPlaceDetector::Event>& events) {
+  int n = 0;
+  for (const auto& e : events)
+    if (e.kind == WifiPlaceDetector::Event::Kind::Arrival) ++n;
+  return n;
+}
+
+int departures(const std::vector<WifiPlaceDetector::Event>& events) {
+  int n = 0;
+  for (const auto& e : events)
+    if (e.kind == WifiPlaceDetector::Event::Kind::Departure) ++n;
+  return n;
+}
+
+TEST(WifiDetector, ArrivalAfterStableScans) {
+  WifiPlaceDetector detector;
+  SimTime t = 0;
+  std::vector<WifiPlaceDetector::Event> all;
+  for (int i = 0; i < 3; ++i, t += 60) {
+    auto evs = detector.on_scan(scan_of(t, {1, 2, 3}));
+    all.insert(all.end(), evs.begin(), evs.end());
+  }
+  ASSERT_EQ(arrivals(all), 1);
+  EXPECT_EQ(all[0].place_index, 0u);
+  EXPECT_EQ(all[0].t, 0);  // backdated to the start of the stable run
+  EXPECT_TRUE(detector.current_place().has_value());
+  EXPECT_EQ(detector.places().size(), 1u);
+  EXPECT_EQ(detector.places()[0].aps, (std::set<world::Bssid>{1, 2, 3}));
+}
+
+TEST(WifiDetector, TwoStableScansAreNotEnough) {
+  WifiPlaceDetector detector;
+  auto e1 = detector.on_scan(scan_of(0, {1, 2}));
+  auto e2 = detector.on_scan(scan_of(60, {1, 2}));
+  EXPECT_TRUE(e1.empty());
+  EXPECT_TRUE(e2.empty());
+  EXPECT_FALSE(detector.current_place().has_value());
+}
+
+TEST(WifiDetector, DissimilarScansResetTheRun) {
+  WifiPlaceDetector detector;
+  detector.on_scan(scan_of(0, {1, 2}));
+  detector.on_scan(scan_of(60, {1, 2}));
+  detector.on_scan(scan_of(120, {8, 9}));  // reset
+  auto evs = detector.on_scan(scan_of(180, {8, 9}));
+  EXPECT_EQ(arrivals(evs), 0);
+  evs = detector.on_scan(scan_of(240, {8, 9}));
+  EXPECT_EQ(arrivals(evs), 1);  // new run of three
+}
+
+TEST(WifiDetector, EmptyScanWhileMovingIsIgnored) {
+  WifiPlaceDetector detector;
+  detector.on_scan(scan_of(0, {1, 2}));
+  detector.on_scan(scan_of(60, {}));  // no info, run survives
+  detector.on_scan(scan_of(120, {1, 2}));
+  auto evs = detector.on_scan(scan_of(180, {1, 2}));
+  EXPECT_EQ(arrivals(evs), 1);
+}
+
+TEST(WifiDetector, DepartureAfterMismatchStreak) {
+  SensLocConfig config;
+  WifiPlaceDetector detector(config);
+  SimTime t = 0;
+  for (int i = 0; i < 3; ++i, t += 60) detector.on_scan(scan_of(t, {1, 2}));
+  ASSERT_TRUE(detector.current_place().has_value());
+  const SimTime last_match = t - 60;
+  std::vector<WifiPlaceDetector::Event> all;
+  for (int i = 0; i < config.scans_to_exit; ++i, t += 60) {
+    auto evs = detector.on_scan(scan_of(t, {70, 71}));
+    all.insert(all.end(), evs.begin(), evs.end());
+  }
+  ASSERT_EQ(departures(all), 1);
+  EXPECT_EQ(all.back().t, last_match);
+  EXPECT_FALSE(detector.current_place().has_value());
+}
+
+TEST(WifiDetector, EmptyScansDoNotEvict) {
+  WifiPlaceDetector detector;
+  SimTime t = 0;
+  for (int i = 0; i < 3; ++i, t += 60) detector.on_scan(scan_of(t, {1, 2}));
+  // A night of empty scans must not end the stay.
+  for (int i = 0; i < 30; ++i, t += minutes(2)) {
+    auto evs = detector.on_scan(scan_of(t, {}));
+    EXPECT_EQ(departures(evs), 0);
+  }
+  EXPECT_TRUE(detector.current_place().has_value());
+}
+
+TEST(WifiDetector, MaxMatchGapClosesStaleVisit) {
+  SensLocConfig config;
+  config.max_match_gap = hours(2);
+  WifiPlaceDetector detector(config);
+  SimTime t = 0;
+  for (int i = 0; i < 20; ++i, t += 60) detector.on_scan(scan_of(t, {1, 2}));
+  const SimTime last_match = t - 60;
+  // Silence for 3 hours (no scans at all), then an empty scan arrives.
+  t += hours(3);
+  auto evs = detector.on_scan(scan_of(t, {}));
+  ASSERT_EQ(departures(evs), 1);
+  EXPECT_EQ(evs[0].t, last_match);
+  ASSERT_EQ(detector.visits().size(), 1u);
+  EXPECT_EQ(detector.visits()[0].window.end, last_match);
+}
+
+TEST(WifiDetector, RevisitMatchesExistingPlace) {
+  WifiPlaceDetector detector;
+  SimTime t = 0;
+  // First stay at place {1,2,3}.
+  for (int i = 0; i < 15; ++i, t += 60) detector.on_scan(scan_of(t, {1, 2, 3}));
+  // Leave for place {50,51}.
+  for (int i = 0; i < 10; ++i, t += 60) detector.on_scan(scan_of(t, {50, 51}));
+  // Come back; extra transient AP present.
+  std::vector<WifiPlaceDetector::Event> all;
+  for (int i = 0; i < 5; ++i, t += 60) {
+    auto evs = detector.on_scan(scan_of(t, {1, 2, 3, 99}));
+    all.insert(all.end(), evs.begin(), evs.end());
+  }
+  EXPECT_EQ(detector.places().size(), 2u);  // no third place minted
+  ASSERT_GE(arrivals(all), 1);
+  EXPECT_EQ(all.back().place_index, 0u);
+}
+
+TEST(WifiDetector, SubsetScanStillMatchesViaOverlap) {
+  // Signature {1,2,3,4}; later scans see only {1,2} (weak corner of the
+  // building) — the overlap coefficient keeps the stay alive.
+  WifiPlaceDetector detector;
+  SimTime t = 0;
+  for (int i = 0; i < 3; ++i, t += 60) detector.on_scan(scan_of(t, {1, 2, 3, 4}));
+  ASSERT_TRUE(detector.current_place().has_value());
+  for (int i = 0; i < 10; ++i, t += 60) {
+    detector.on_scan(scan_of(t, {1, 2}));
+    EXPECT_TRUE(detector.current_place().has_value());
+  }
+}
+
+TEST(WifiDetector, VisitLogFiltersShortStays) {
+  SensLocConfig config;
+  config.min_visit_dwell = minutes(10);
+  WifiPlaceDetector detector(config);
+  SimTime t = 0;
+  // 5-minute stay only.
+  for (int i = 0; i < 5; ++i, t += 60) detector.on_scan(scan_of(t, {1, 2}));
+  for (int i = 0; i < 5; ++i, t += 60) detector.on_scan(scan_of(t, {70, 71, 72}));
+  EXPECT_TRUE(detector.visits().empty());
+}
+
+TEST(WifiDetector, FinishFlushesOpenVisit) {
+  WifiPlaceDetector detector;
+  SimTime t = 0;
+  for (int i = 0; i < 20; ++i, t += 60) detector.on_scan(scan_of(t, {1, 2}));
+  const auto evs = detector.finish(t);
+  EXPECT_EQ(departures(evs), 1);
+  ASSERT_EQ(detector.visits().size(), 1u);
+  EXPECT_GE(detector.visits()[0].window.length(), minutes(15));
+}
+
+TEST(WifiDetector, AlternatingPlacesProduceAlternatingVisits) {
+  WifiPlaceDetector detector;
+  SimTime t = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 20; ++i, t += 60) detector.on_scan(scan_of(t, {1, 2}));
+    for (int i = 0; i < 20; ++i, t += 60) detector.on_scan(scan_of(t, {50, 51}));
+  }
+  detector.finish(t);
+  EXPECT_EQ(detector.places().size(), 2u);
+  ASSERT_GE(detector.visits().size(), 5u);
+  for (std::size_t i = 1; i < detector.visits().size(); ++i)
+    EXPECT_NE(detector.visits()[i].place_index,
+              detector.visits()[i - 1].place_index);
+}
+
+TEST(WifiDetector, FingerprintIsMajorityOfBurst) {
+  WifiPlaceDetector detector;
+  // AP 9 appears in only one of three scans: excluded from the fingerprint.
+  detector.on_scan(scan_of(0, {1, 2, 9}));
+  detector.on_scan(scan_of(60, {1, 2}));
+  detector.on_scan(scan_of(120, {1, 2}));
+  ASSERT_EQ(detector.places().size(), 1u);
+  EXPECT_EQ(detector.places()[0].aps, (std::set<world::Bssid>{1, 2}));
+}
+
+class StreakSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StreakSweep, ExitNeedsExactlyConfiguredStreak) {
+  SensLocConfig config;
+  config.scans_to_exit = GetParam();
+  WifiPlaceDetector detector(config);
+  SimTime t = 0;
+  for (int i = 0; i < 3; ++i, t += 60) detector.on_scan(scan_of(t, {1, 2}));
+  int total_departures = 0;
+  for (int i = 0; i < config.scans_to_exit - 1; ++i, t += 60)
+    total_departures += departures(detector.on_scan(scan_of(t, {80, 81})));
+  EXPECT_EQ(total_departures, 0);
+  total_departures += departures(detector.on_scan(scan_of(t, {80, 81})));
+  EXPECT_EQ(total_departures, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Streaks, StreakSweep, ::testing::Values(1, 2, 3, 5));
+
+}  // namespace
+}  // namespace pmware::algorithms

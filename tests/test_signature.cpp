@@ -1,0 +1,141 @@
+#include "algorithms/signature.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmware::algorithms {
+namespace {
+
+using world::CellId;
+
+CellId cell(std::uint32_t cid) { return CellId{404, 10, 1, cid, world::Radio::Gsm2G}; }
+
+TEST(Tanimoto, Identity) {
+  const std::set<int> a{1, 2, 3};
+  EXPECT_DOUBLE_EQ(tanimoto(a, a), 1.0);
+}
+
+TEST(Tanimoto, Disjoint) {
+  const std::set<int> a{1, 2};
+  const std::set<int> b{3, 4};
+  EXPECT_DOUBLE_EQ(tanimoto(a, b), 0.0);
+}
+
+TEST(Tanimoto, PartialOverlap) {
+  const std::set<int> a{1, 2, 3};
+  const std::set<int> b{2, 3, 4};
+  EXPECT_DOUBLE_EQ(tanimoto(a, b), 2.0 / 4.0);
+}
+
+TEST(Tanimoto, EmptySets) {
+  const std::set<int> empty;
+  const std::set<int> a{1};
+  EXPECT_DOUBLE_EQ(tanimoto(empty, empty), 0.0);
+  EXPECT_DOUBLE_EQ(tanimoto(empty, a), 0.0);
+}
+
+TEST(Tanimoto, Symmetry) {
+  const std::set<int> a{1, 2, 3, 7};
+  const std::set<int> b{2, 5};
+  EXPECT_DOUBLE_EQ(tanimoto(a, b), tanimoto(b, a));
+}
+
+TEST(OverlapCoefficient, SubsetIsOne) {
+  const std::set<int> small{1};
+  const std::set<int> big{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(overlap_coefficient(small, big), 1.0);
+  EXPECT_DOUBLE_EQ(overlap_coefficient(big, small), 1.0);
+}
+
+TEST(OverlapCoefficient, DominatesTanimoto) {
+  const std::set<int> a{1, 2, 3};
+  const std::set<int> b{2, 3, 4, 5, 6};
+  EXPECT_GE(overlap_coefficient(a, b), tanimoto(a, b));
+}
+
+TEST(OverlapCoefficient, EmptyIsZero) {
+  const std::set<int> empty;
+  const std::set<int> a{1};
+  EXPECT_DOUBLE_EQ(overlap_coefficient(empty, a), 0.0);
+}
+
+TEST(SignaturesMatch, DifferentKindsNeverMatch) {
+  const PlaceSignature cells = CellSignature{{cell(1), cell(2)}};
+  const PlaceSignature wifi = WifiSignature{{1, 2}};
+  const PlaceSignature gps = GpsSignature{{28.6, 77.2}, 75};
+  EXPECT_FALSE(signatures_match(cells, wifi));
+  EXPECT_FALSE(signatures_match(wifi, gps));
+  EXPECT_FALSE(signatures_match(gps, cells));
+}
+
+TEST(SignaturesMatch, CellSimilarityThreshold) {
+  const PlaceSignature a = CellSignature{{cell(1), cell(2), cell(3)}};
+  const PlaceSignature same = CellSignature{{cell(1), cell(2), cell(3)}};
+  const PlaceSignature near = CellSignature{{cell(1), cell(2), cell(4)}};
+  const PlaceSignature far = CellSignature{{cell(7), cell(8), cell(9)}};
+  EXPECT_TRUE(signatures_match(a, same));
+  EXPECT_TRUE(signatures_match(a, near, 0.45));  // 2/4 = 0.5
+  EXPECT_FALSE(signatures_match(a, far));
+  EXPECT_FALSE(signatures_match(a, near, 0.6));
+}
+
+TEST(SignaturesMatch, WifiSimilarityThreshold) {
+  const PlaceSignature a = WifiSignature{{10, 20}};
+  const PlaceSignature overlap = WifiSignature{{10, 20, 30}};  // 2/3
+  const PlaceSignature disjoint = WifiSignature{{40, 50}};
+  EXPECT_TRUE(signatures_match(a, overlap));
+  EXPECT_FALSE(signatures_match(a, disjoint));
+}
+
+TEST(SignaturesMatch, GpsDistanceRule) {
+  const PlaceSignature a = GpsSignature{{28.6139, 77.2090}, 100};
+  const PlaceSignature close =
+      GpsSignature{geo::destination({28.6139, 77.2090}, 0, 80), 50};
+  const PlaceSignature far =
+      GpsSignature{geo::destination({28.6139, 77.2090}, 0, 300), 50};
+  EXPECT_TRUE(signatures_match(a, close));
+  EXPECT_FALSE(signatures_match(a, far));
+}
+
+TEST(Describe, MentionsKind) {
+  EXPECT_NE(describe(CellSignature{{cell(1)}}).find("cells"), std::string::npos);
+  EXPECT_NE(describe(WifiSignature{{1}}).find("aps"), std::string::npos);
+  EXPECT_NE(describe(GpsSignature{{28.6, 77.2}, 75}).find("gps"),
+            std::string::npos);
+}
+
+struct SimilarityCase {
+  int shared;
+  int only_a;
+  int only_b;
+};
+
+class TanimotoSweep : public ::testing::TestWithParam<SimilarityCase> {};
+
+TEST_P(TanimotoSweep, MatchesFormula) {
+  const auto& c = GetParam();
+  std::set<int> a, b;
+  int next = 0;
+  for (int i = 0; i < c.shared; ++i) {
+    a.insert(next);
+    b.insert(next);
+    ++next;
+  }
+  for (int i = 0; i < c.only_a; ++i) a.insert(next++);
+  for (int i = 0; i < c.only_b; ++i) b.insert(next++);
+  const double expected =
+      (c.shared + c.only_a + c.only_b) == 0
+          ? 0.0
+          : static_cast<double>(c.shared) / (c.shared + c.only_a + c.only_b);
+  EXPECT_DOUBLE_EQ(tanimoto(a, b), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, TanimotoSweep,
+                         ::testing::Values(SimilarityCase{0, 0, 0},
+                                           SimilarityCase{5, 0, 0},
+                                           SimilarityCase{1, 1, 1},
+                                           SimilarityCase{3, 2, 0},
+                                           SimilarityCase{0, 4, 4},
+                                           SimilarityCase{10, 30, 5}));
+
+}  // namespace
+}  // namespace pmware::algorithms

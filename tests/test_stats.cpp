@@ -1,0 +1,159 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace pmware {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(7.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 7.5);
+  EXPECT_DOUBLE_EQ(s.max(), 7.5);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MatchesDirectComputationOnRandomData) {
+  Rng rng(3);
+  RunningStats s;
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(10, 3);
+    values.push_back(x);
+    s.add(x);
+  }
+  double mean = 0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-9);
+}
+
+TEST(Percentile, Basics) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 5);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.75), 7.5);
+}
+
+TEST(Percentile, UnsortedInputIsSorted) {
+  const std::vector<double> v{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3);
+  EXPECT_DOUBLE_EQ(median_of(v), 3);
+}
+
+TEST(Percentile, Errors) {
+  const std::vector<double> empty;
+  EXPECT_THROW(percentile(empty, 0.5), std::invalid_argument);
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(percentile(v, -0.1), std::invalid_argument);
+  EXPECT_THROW(percentile(v, 1.1), std::invalid_argument);
+}
+
+TEST(MeanOf, Works) {
+  const std::vector<double> v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(mean_of(v), 2.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0, 10, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(10, 10, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(10, 5, 4), std::invalid_argument);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0, 10, 5);
+  h.add(0.5);   // bucket 0
+  h.add(9.9);   // bucket 4
+  h.add(-5);    // clamped to 0
+  h.add(25);    // clamped to 4
+  h.add(5.0);   // bucket 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.count(1), 0u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(1), 4.0);
+}
+
+TEST(Histogram, RenderContainsBars) {
+  Histogram h(0, 4, 2);
+  h.add(1);
+  h.add(1);
+  h.add(3);
+  const std::string render = h.render(10);
+  EXPECT_NE(render.find('#'), std::string::npos);
+  EXPECT_NE(render.find('\n'), std::string::npos);
+}
+
+TEST(Tally, CountsAndFractions) {
+  Tally t;
+  t.add("correct", 3);
+  t.add("merged");
+  EXPECT_EQ(t.total(), 4u);
+  EXPECT_EQ(t.count("correct"), 3u);
+  EXPECT_EQ(t.count("merged"), 1u);
+  EXPECT_EQ(t.count("missing"), 0u);
+  EXPECT_DOUBLE_EQ(t.fraction("correct"), 0.75);
+  EXPECT_DOUBLE_EQ(t.fraction("absent"), 0.0);
+}
+
+TEST(Tally, EmptyFractionIsZero) {
+  Tally t;
+  EXPECT_DOUBLE_EQ(t.fraction("anything"), 0.0);
+  EXPECT_EQ(t.total(), 0u);
+}
+
+class PercentileMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(PercentileMonotone, NonDecreasingInQ) {
+  Rng rng(99);
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) v.push_back(rng.uniform(-50, 50));
+  const double q = GetParam();
+  EXPECT_LE(percentile(v, q), percentile(v, std::min(1.0, q + 0.1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Qs, PercentileMonotone,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9));
+
+}  // namespace
+}  // namespace pmware

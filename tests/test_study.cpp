@@ -1,0 +1,138 @@
+// Deployment-study harness tests (small configurations for speed; the full
+// 16x14 configuration runs in bench_deployment_study).
+#include "study/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmware::study {
+namespace {
+
+using algorithms::DiscoveredOutcome;
+
+StudyConfig small_config() {
+  StudyConfig config;
+  config.participants = 4;
+  config.days = 4;
+  return config;
+}
+
+TEST(Study, ProducesPlausibleAggregates) {
+  DeploymentStudy study(small_config());
+  const StudyResult result = study.run();
+  ASSERT_EQ(result.participants.size(), 4u);
+  EXPECT_GE(result.total_discovered(), 8u);
+  EXPECT_GT(result.total_tagged(), 0u);
+  EXPECT_LE(result.total_tagged(), result.total_discovered());
+  EXPECT_LE(result.total_evaluable(), result.total_tagged());
+  const std::size_t classified = result.total(DiscoveredOutcome::Correct) +
+                                 result.total(DiscoveredOutcome::Merged) +
+                                 result.total(DiscoveredOutcome::Divided) +
+                                 result.total(DiscoveredOutcome::Spurious);
+  EXPECT_EQ(classified, result.total_evaluable());
+}
+
+TEST(Study, CorrectDominates) {
+  DeploymentStudy study(small_config());
+  const StudyResult result = study.run();
+  EXPECT_GT(result.fraction(DiscoveredOutcome::Correct), 0.5);
+}
+
+TEST(Study, PlaceAdsProduceFeedbackSkewedTowardLikes) {
+  DeploymentStudy study(small_config());
+  const StudyResult result = study.run();
+  EXPECT_GT(result.total_likes() + result.total_dislikes(), 10u);
+  EXPECT_GT(result.total_likes(), result.total_dislikes());
+}
+
+TEST(Study, PlaceMapHasLocatedEntries) {
+  DeploymentStudy study(small_config());
+  const StudyResult result = study.run();
+  EXPECT_GE(result.place_map.size(), result.total_discovered());
+  std::size_t located = 0;
+  for (const auto& entry : result.place_map)
+    if (entry.location) ++located;
+  // The cloud geo-location service resolves cell signatures; the large
+  // majority of places get an approximate position (Figure 5b).
+  EXPECT_GT(static_cast<double>(located) /
+                static_cast<double>(result.place_map.size()),
+            0.7);
+}
+
+TEST(Study, EnergyBudgetIsTriggeredSensingShaped) {
+  DeploymentStudy study(small_config());
+  const StudyResult result = study.run();
+  for (const auto& p : result.participants) {
+    // Far better than always-on GPS (~31 h), well past 4 days.
+    EXPECT_GT(p.implied_battery_hours, 100.0);
+    EXPECT_GT(p.sensing_joules, 0.0);
+  }
+}
+
+TEST(Study, DeterministicForSameSeed) {
+  StudyConfig config = small_config();
+  config.seed = 777;
+  DeploymentStudy a(config);
+  DeploymentStudy b(config);
+  const StudyResult ra = a.run();
+  const StudyResult rb = b.run();
+  EXPECT_EQ(ra.total_discovered(), rb.total_discovered());
+  EXPECT_EQ(ra.total_tagged(), rb.total_tagged());
+  EXPECT_EQ(ra.total_likes(), rb.total_likes());
+  EXPECT_EQ(ra.total(DiscoveredOutcome::Correct),
+            rb.total(DiscoveredOutcome::Correct));
+}
+
+TEST(Study, DifferentSeedsDiffer) {
+  StudyConfig config_a = small_config();
+  config_a.seed = 1;
+  StudyConfig config_b = small_config();
+  config_b.seed = 2;
+  const StudyResult ra = DeploymentStudy(config_a).run();
+  const StudyResult rb = DeploymentStudy(config_b).run();
+  const bool differ = ra.total_discovered() != rb.total_discovered() ||
+                      ra.total_likes() != rb.total_likes() ||
+                      ra.total_tagged() != rb.total_tagged();
+  EXPECT_TRUE(differ);
+}
+
+TEST(Study, GsmOnlyAblationDegradesAccuracy) {
+  StudyConfig hybrid = small_config();
+  hybrid.days = 5;
+  StudyConfig gsm_only = hybrid;
+  gsm_only.use_wifi = false;
+  const StudyResult rh = DeploymentStudy(hybrid).run();
+  const StudyResult rg = DeploymentStudy(gsm_only).run();
+  // GSM-only merges nearby places: merged fraction must not shrink, and
+  // correct fraction must not grow.
+  EXPECT_GE(rg.fraction(DiscoveredOutcome::Merged) + 1e-9,
+            rh.fraction(DiscoveredOutcome::Merged));
+  EXPECT_LE(rg.fraction(DiscoveredOutcome::Correct),
+            rh.fraction(DiscoveredOutcome::Correct) + 0.05);
+}
+
+TEST(Study, NoPlaceAdsMeansNoImpressions) {
+  StudyConfig config = small_config();
+  config.run_placeads = false;
+  const StudyResult result = DeploymentStudy(config).run();
+  EXPECT_EQ(result.total_likes() + result.total_dislikes(), 0u);
+}
+
+TEST(Study, SummaryMentionsKeyRows) {
+  const StudyResult result = DeploymentStudy(small_config()).run();
+  const std::string summary = result.summary();
+  EXPECT_NE(summary.find("places discovered"), std::string::npos);
+  EXPECT_NE(summary.find("correct"), std::string::npos);
+  EXPECT_NE(summary.find("merged"), std::string::npos);
+  EXPECT_NE(summary.find("divided"), std::string::npos);
+  EXPECT_NE(summary.find("like:dislike"), std::string::npos);
+}
+
+TEST(Study, SwissRegionRunsAndKeepsAccuracy) {
+  StudyConfig config = small_config();
+  config.world.region = world::RegionProfile::switzerland();
+  const StudyResult result = DeploymentStudy(config).run();
+  EXPECT_GT(result.fraction(DiscoveredOutcome::Correct), 0.5);
+}
+
+}  // namespace
+}  // namespace pmware::study

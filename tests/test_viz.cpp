@@ -1,0 +1,126 @@
+#include "viz/map_render.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pmware::viz {
+namespace {
+
+const MapExtent kExtent{{28.6139, 77.2090}, 6000};
+
+geo::LatLng at(double east_m, double north_m) {
+  return geo::from_enu(kExtent.origin, {east_m, north_m});
+}
+
+TEST(AsciiMap, EmptyMapIsAllDots) {
+  const std::string map = render_ascii_map(kExtent, {}, 10, 4);
+  EXPECT_EQ(map, "..........\n..........\n..........\n..........\n");
+}
+
+TEST(AsciiMap, MarkerLandsInExpectedCell) {
+  // A marker in the exact south-west corner: bottom-left cell.
+  const std::string map =
+      render_ascii_map(kExtent, {{at(1, 1), "", 'o'}}, 10, 4);
+  const std::vector<std::string> rows = {map.substr(0, 10), map.substr(11, 10),
+                                         map.substr(22, 10), map.substr(33, 10)};
+  EXPECT_EQ(rows[3][0], 'o');
+  // North-east corner: top-right cell.
+  const std::string map2 =
+      render_ascii_map(kExtent, {{at(5999, 5999), "", 'x'}}, 10, 4);
+  EXPECT_EQ(map2[9], 'x');
+}
+
+TEST(AsciiMap, CollidingMarkersBecomeHash) {
+  // Both points sit comfortably inside the same grid cell (cells are
+  // 600 m x 1500 m for a 10x4 grid over 6 km).
+  const std::vector<MapMarker> markers{{at(3100, 3100), "", 'a'},
+                                       {at(3140, 3130), "", 'b'}};
+  const std::string map = render_ascii_map(kExtent, markers, 10, 4);
+  EXPECT_NE(map.find('#'), std::string::npos);
+  EXPECT_EQ(map.find('a'), std::string::npos);
+}
+
+TEST(AsciiMap, OutOfExtentMarkersDropped) {
+  const std::vector<MapMarker> markers{{at(-500, 3000), "", 'o'},
+                                       {at(3000, 9000), "", 'o'}};
+  const std::string map = render_ascii_map(kExtent, markers, 10, 4);
+  EXPECT_EQ(map.find('o'), std::string::npos);
+}
+
+TEST(AsciiMap, RejectsTinyGrid) {
+  EXPECT_THROW(render_ascii_map(kExtent, {}, 1, 10), std::invalid_argument);
+  EXPECT_THROW(render_ascii_map(kExtent, {}, 10, 1), std::invalid_argument);
+}
+
+TEST(SvgMap, ContainsMarkersAndTooltips) {
+  std::vector<MapMarker> markers{{at(3000, 3000), "Home & <hq>", 'o', "#ff0000", 5}};
+  const std::string svg = render_svg_map(kExtent, markers);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+  EXPECT_NE(svg.find("#ff0000"), std::string::npos);
+  // Label is XML-escaped.
+  EXPECT_NE(svg.find("Home &amp; &lt;hq&gt;"), std::string::npos);
+  EXPECT_EQ(svg.find("<hq>"), std::string::npos);
+}
+
+TEST(SvgMap, RendersPolylines) {
+  SvgPolyline line;
+  line.points = {at(1000, 1000), at(2000, 1000), at(2000, 2000)};
+  const std::string svg = render_svg_map(kExtent, {}, {line});
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+}
+
+TEST(SvgMap, SkipsOutOfExtentContent) {
+  std::vector<MapMarker> markers{{at(20000, 20000), "far", 'o'}};
+  const std::string svg = render_svg_map(kExtent, markers);
+  EXPECT_EQ(svg.find("<circle"), std::string::npos);
+}
+
+TEST(Timeline, RendersBlocksAndLegend) {
+  std::vector<TimelineEntry> entries{
+      {TimeWindow{start_of_day(2), start_of_day(2) + hours(9)}, "home", 'H'},
+      {TimeWindow{start_of_day(2) + hours(10), start_of_day(2) + hours(18)},
+       "work", 'W'},
+  };
+  const std::string timeline = render_day_timeline(2, entries);
+  EXPECT_NE(timeline.find("day 2"), std::string::npos);
+  EXPECT_NE(timeline.find('H'), std::string::npos);
+  EXPECT_NE(timeline.find('W'), std::string::npos);
+  EXPECT_NE(timeline.find("H = home"), std::string::npos);
+  EXPECT_NE(timeline.find("W = work"), std::string::npos);
+  // Gap between 9h and 10h stays unfilled.
+  EXPECT_NE(timeline.find('.'), std::string::npos);
+}
+
+TEST(Timeline, ClipsToDay) {
+  std::vector<TimelineEntry> entries{
+      {TimeWindow{start_of_day(1) + hours(20), start_of_day(2) + hours(8)},
+       "overnight", 'N'}};
+  const std::string day1 = render_day_timeline(1, entries);
+  const std::string day2 = render_day_timeline(2, entries);
+  const std::string day3 = render_day_timeline(3, entries);
+  EXPECT_NE(day1.find('N'), std::string::npos);
+  EXPECT_NE(day2.find('N'), std::string::npos);
+  EXPECT_EQ(day3.find('N'), std::string::npos);
+}
+
+TEST(Timeline, BucketControlsWidth) {
+  const std::string hourly = render_day_timeline(0, {}, hours(1));
+  // Bar line is "  " + 24 chars + "\n".
+  const std::size_t bar_start = hourly.find('\n', hourly.find('\n') + 1) + 1;
+  const std::size_t bar_end = hourly.find('\n', bar_start);
+  EXPECT_EQ(bar_end - bar_start, 2u + 24u);
+  EXPECT_THROW(render_day_timeline(0, {}, 0), std::invalid_argument);
+}
+
+TEST(Timeline, FullDayEntryFillsEverything) {
+  std::vector<TimelineEntry> entries{
+      {TimeWindow{start_of_day(0), start_of_day(1)}, "home", 'H'}};
+  const std::string timeline = render_day_timeline(0, entries, hours(1));
+  std::size_t count = 0;
+  for (char c : timeline)
+    if (c == 'H') ++count;
+  EXPECT_EQ(count, 24u + 1u);  // 24 buckets + the legend line
+}
+
+}  // namespace
+}  // namespace pmware::viz

@@ -1,0 +1,286 @@
+#include "world/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "world/spatial_index.hpp"
+
+namespace pmware::world {
+namespace {
+
+std::shared_ptr<const World> make_world(std::uint64_t seed = 1,
+                                        RegionProfile region = RegionProfile::india()) {
+  WorldConfig config;
+  config.region = region;
+  Rng rng(seed);
+  return generate_world(config, rng);
+}
+
+TEST(WorldGen, PoiCountsMatchMix) {
+  const auto world = make_world();
+  const PoiMix mix;
+  EXPECT_EQ(world->all_of_category(PlaceCategory::Home).size(),
+            static_cast<std::size_t>(mix.homes));
+  EXPECT_EQ(world->all_of_category(PlaceCategory::Workplace).size(),
+            static_cast<std::size_t>(mix.workplaces));
+  EXPECT_EQ(world->all_of_category(PlaceCategory::Market).size(),
+            static_cast<std::size_t>(mix.markets));
+  // Campus cluster adds exactly one academic building and one library.
+  EXPECT_EQ(world->all_of_category(PlaceCategory::AcademicBuilding).size(), 1u);
+  EXPECT_EQ(world->all_of_category(PlaceCategory::Library).size(), 1u);
+}
+
+TEST(WorldGen, PlaceIdsAreSequential) {
+  const auto world = make_world();
+  for (std::size_t i = 0; i < world->places().size(); ++i)
+    EXPECT_EQ(world->places()[i].id, static_cast<PlaceId>(i));
+}
+
+TEST(WorldGen, CampusClusterIsAdjacent) {
+  const auto world = make_world();
+  const auto academic = world->find_category(PlaceCategory::AcademicBuilding);
+  const auto library = world->find_category(PlaceCategory::Library);
+  ASSERT_TRUE(academic && library);
+  const double d = geo::distance_m(world->place(*academic).center,
+                                   world->place(*library).center);
+  EXPECT_NEAR(d, 90, 5);
+  EXPECT_TRUE(world->place(*academic).has_wifi);
+  EXPECT_TRUE(world->place(*library).has_wifi);
+}
+
+TEST(WorldGen, AdjacentPairsExist) {
+  const auto world = make_world();
+  const auto market = world->find_category(PlaceCategory::Market);
+  const auto restaurant = world->find_category(PlaceCategory::Restaurant);
+  ASSERT_TRUE(market && restaurant);
+  EXPECT_NEAR(geo::distance_m(world->place(*market).center,
+                              world->place(*restaurant).center),
+              75, 5);
+}
+
+TEST(WorldGen, WifiCoverageTracksRegionProfile) {
+  // Average over several seeds to smooth the Bernoulli draw.
+  int with_wifi = 0, total = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto world = make_world(seed);
+    for (const auto& p : world->places()) {
+      ++total;
+      if (p.has_wifi) ++with_wifi;
+    }
+  }
+  const double coverage = static_cast<double>(with_wifi) / total;
+  EXPECT_NEAR(coverage, RegionProfile::india().wifi_place_coverage, 0.12);
+}
+
+TEST(WorldGen, SwitzerlandHasMoreWifiAndDenserTowers) {
+  const auto india = make_world(3, RegionProfile::india());
+  const auto swiss = make_world(3, RegionProfile::switzerland());
+  EXPECT_GT(swiss->aps().size(), india->aps().size());
+  EXPECT_GT(swiss->towers().size(), india->towers().size());
+}
+
+TEST(WorldGen, TwoRadioLayersPresent) {
+  const auto world = make_world();
+  bool has_2g = false, has_3g = false;
+  for (const auto& t : world->towers()) {
+    if (t.cell.radio == Radio::Gsm2G) has_2g = true;
+    if (t.cell.radio == Radio::Umts3G) has_3g = true;
+  }
+  EXPECT_TRUE(has_2g);
+  EXPECT_TRUE(has_3g);
+}
+
+TEST(WorldGen, CellIdsAreUnique) {
+  const auto world = make_world();
+  std::set<CellId> ids;
+  for (const auto& t : world->towers()) ids.insert(t.cell);
+  EXPECT_EQ(ids.size(), world->towers().size());
+}
+
+TEST(WorldGen, BssidsAreUnique) {
+  const auto world = make_world();
+  std::set<Bssid> ids;
+  for (const auto& ap : world->aps()) ids.insert(ap.bssid);
+  EXPECT_EQ(ids.size(), world->aps().size());
+}
+
+TEST(WorldGen, PlaceApsBelongToWifiPlaces) {
+  const auto world = make_world();
+  for (const auto& ap : world->aps()) {
+    if (ap.place == kNoPlace) continue;
+    const Place& p = world->place(ap.place);
+    EXPECT_TRUE(p.has_wifi);
+    EXPECT_LE(geo::distance_m(ap.pos, p.center), p.radius_m + 1);
+  }
+}
+
+TEST(WorldGen, DeterministicForSameSeed) {
+  const auto a = make_world(7);
+  const auto b = make_world(7);
+  ASSERT_EQ(a->places().size(), b->places().size());
+  for (std::size_t i = 0; i < a->places().size(); ++i) {
+    EXPECT_EQ(a->places()[i].center.lat, b->places()[i].center.lat);
+    EXPECT_EQ(a->places()[i].has_wifi, b->places()[i].has_wifi);
+  }
+  ASSERT_EQ(a->towers().size(), b->towers().size());
+  EXPECT_EQ(a->towers()[5].cell, b->towers()[5].cell);
+}
+
+TEST(WorldQuery, HearableCellsSortedAndDetectable) {
+  const auto world = make_world();
+  const geo::LatLng pos = world->place(0).center;
+  const auto cells = world->hearable_cells(pos, 0);
+  ASSERT_FALSE(cells.empty());
+  for (std::size_t i = 1; i < cells.size(); ++i)
+    EXPECT_GE(cells[i - 1].rssi_dbm, cells[i].rssi_dbm);
+  for (const auto& c : cells) EXPECT_GE(c.rssi_dbm, kCellDetectionDbm);
+}
+
+TEST(WorldQuery, StrongestCellIsNearby) {
+  const auto world = make_world();
+  const geo::LatLng pos = world->place(3).center;
+  const auto cells = world->hearable_cells(pos);
+  ASSERT_FALSE(cells.empty());
+  const auto& tower = world->towers().at(cells.front().tower);
+  EXPECT_LT(geo::distance_m(pos, tower.pos), 2500);
+}
+
+TEST(WorldQuery, VisibleApsAtWifiPlace) {
+  const auto world = make_world();
+  for (const auto& p : world->places()) {
+    if (!p.has_wifi) continue;
+    const auto aps = world->visible_aps(p.center, 0);
+    // The place's own APs must be visible at its center.
+    bool own_visible = false;
+    for (const auto& ap : aps)
+      if (ap.place == p.id) own_visible = true;
+    EXPECT_TRUE(own_visible) << p.name;
+  }
+}
+
+TEST(WorldQuery, PlaceAtCenterAndOutside) {
+  const auto world = make_world();
+  const Place& p = world->place(5);
+  const auto at_center = world->place_at(p.center);
+  ASSERT_TRUE(at_center.has_value());
+  EXPECT_EQ(*at_center, p.id);
+  // 5 km straight up from the SW corner region is open space (outside any
+  // 150m-margin place footprint with high probability) — check far corner.
+  const geo::LatLng outside =
+      geo::destination(world->config().origin, 225, 2000);
+  EXPECT_FALSE(world->place_at(outside).has_value());
+}
+
+TEST(WorldQuery, PlacesNearFindsNeighbors) {
+  const auto world = make_world();
+  const auto market = world->find_category(PlaceCategory::Market);
+  ASSERT_TRUE(market);
+  const auto near = world->places_near(world->place(*market).center, 100);
+  // At least the market itself and its relocated restaurant neighbour.
+  EXPECT_GE(near.size(), 2u);
+}
+
+TEST(WorldQuery, CellLocationDbCoversAllTowers) {
+  const auto world = make_world();
+  const auto db = world->cell_location_db();
+  EXPECT_EQ(db.size(), world->towers().size());
+  for (const auto& t : world->towers()) {
+    ASSERT_TRUE(db.count(t.cell));
+    EXPECT_NEAR(geo::distance_m(db.at(t.cell), t.pos), 0, 0.1);
+  }
+}
+
+TEST(SpatialIndexTest, MatchesBruteForce) {
+  Rng rng(15);
+  std::vector<geo::LatLng> points;
+  const geo::LatLng origin{28.6139, 77.2090};
+  for (int i = 0; i < 400; ++i)
+    points.push_back(geo::from_enu(
+        origin, {rng.uniform(0, 6000), rng.uniform(0, 6000)}));
+
+  SpatialIndex<std::size_t> index(origin, 300.0, [&points](const std::size_t& i) {
+    return points[i];
+  });
+  for (std::size_t i = 0; i < points.size(); ++i) index.add(i);
+
+  for (int trial = 0; trial < 30; ++trial) {
+    const geo::LatLng q = geo::from_enu(
+        origin, {rng.uniform(0, 6000), rng.uniform(0, 6000)});
+    const double radius = rng.uniform(50, 1500);
+    auto got = index.query(q, radius);
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < points.size(); ++i)
+      if (geo::distance_m(q, points[i]) <= radius) expected.push_back(i);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+TEST(Radio, PathLossMonotoneInDistance) {
+  const PathLossModel model = cell_path_loss();
+  double prev = 1e9;
+  for (double d : {1.0, 10.0, 100.0, 1000.0, 3000.0}) {
+    const double rssi = model.rssi_dbm(43, d, 0);
+    EXPECT_LT(rssi, prev);
+    prev = rssi;
+  }
+}
+
+TEST(Radio, CellDetectionEdgeNearThreeKm) {
+  const PathLossModel model = cell_path_loss();
+  EXPECT_GT(model.rssi_dbm(43, 2500, 0), kCellDetectionDbm);
+  EXPECT_LT(model.rssi_dbm(43, 3500, 0), kCellDetectionDbm);
+}
+
+TEST(Radio, WifiDetectionEdgeNear130m) {
+  const PathLossModel model = wifi_path_loss();
+  EXPECT_GT(model.rssi_dbm(20, 100, 0), kWifiDetectionDbm);
+  EXPECT_LT(model.rssi_dbm(20, 200, 0), kWifiDetectionDbm);
+}
+
+TEST(Ids, CellIdKeyIsInjectiveOnFields) {
+  const CellId a{404, 10, 101, 1000, Radio::Gsm2G};
+  CellId b = a;
+  EXPECT_EQ(a.key(), b.key());
+  b.cid = 1001;
+  EXPECT_NE(a.key(), b.key());
+  b = a;
+  b.radio = Radio::Umts3G;
+  EXPECT_NE(a.key(), b.key());
+  b = a;
+  b.lac = 102;
+  EXPECT_NE(a.key(), b.key());
+}
+
+TEST(Ids, ToString) {
+  const CellId c{404, 10, 101, 1000, Radio::Umts3G};
+  EXPECT_EQ(c.to_string(), "404-10-101-1000/3G");
+  EXPECT_EQ(bssid_to_string(0x0123456789abULL), "01:23:45:67:89:ab");
+}
+
+class WorldSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WorldSeedSweep, GenerationInvariantsHold) {
+  const auto world = make_world(GetParam());
+  EXPECT_GT(world->towers().size(), 20u);
+  EXPECT_GT(world->aps().size(), 20u);
+  // Every place is inside the configured extent (with margin).
+  for (const auto& p : world->places()) {
+    const auto off = geo::to_enu(world->config().origin, p.center);
+    EXPECT_GE(off.east_m, -1);
+    EXPECT_LE(off.east_m, world->config().extent_m + 200);
+    EXPECT_GE(off.north_m, -1);
+    EXPECT_LE(off.north_m, world->config().extent_m + 200);
+    EXPECT_GT(p.radius_m, 0);
+  }
+  // Every place hears at least one cell (no dead POIs).
+  for (const auto& p : world->places())
+    EXPECT_FALSE(world->hearable_cells(p.center).empty()) << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorldSeedSweep,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 42ULL, 20141208ULL));
+
+}  // namespace
+}  // namespace pmware::world
