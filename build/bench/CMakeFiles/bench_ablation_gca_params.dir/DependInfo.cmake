@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_gca_params.cpp" "bench/CMakeFiles/bench_ablation_gca_params.dir/bench_ablation_gca_params.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_gca_params.dir/bench_ablation_gca_params.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/study/CMakeFiles/pmware_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/pmware_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/pmware_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pmware_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/pmware_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/pmware_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensing/CMakeFiles/pmware_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/pmware_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/pmware_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/pmware_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pmware_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/pmware_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pmware_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_interfaces.dir/bench_ablation_interfaces.cpp.o"
+  "CMakeFiles/bench_ablation_interfaces.dir/bench_ablation_interfaces.cpp.o.d"
+  "bench_ablation_interfaces"
+  "bench_ablation_interfaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_interfaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

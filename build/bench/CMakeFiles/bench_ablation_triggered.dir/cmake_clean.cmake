@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_triggered.dir/bench_ablation_triggered.cpp.o"
+  "CMakeFiles/bench_ablation_triggered.dir/bench_ablation_triggered.cpp.o.d"
+  "bench_ablation_triggered"
+  "bench_ablation_triggered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_triggered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

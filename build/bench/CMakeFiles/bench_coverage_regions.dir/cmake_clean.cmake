@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coverage_regions.dir/bench_coverage_regions.cpp.o"
+  "CMakeFiles/bench_coverage_regions.dir/bench_coverage_regions.cpp.o.d"
+  "bench_coverage_regions"
+  "bench_coverage_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coverage_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

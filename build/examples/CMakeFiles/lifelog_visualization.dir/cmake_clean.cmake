@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifelog_visualization.dir/lifelog_visualization.cpp.o"
+  "CMakeFiles/lifelog_visualization.dir/lifelog_visualization.cpp.o.d"
+  "lifelog_visualization"
+  "lifelog_visualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifelog_visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placeads_campaign.dir/placeads_campaign.cpp.o"
+  "CMakeFiles/placeads_campaign.dir/placeads_campaign.cpp.o.d"
+  "placeads_campaign"
+  "placeads_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placeads_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

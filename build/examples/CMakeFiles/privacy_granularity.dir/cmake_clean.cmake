@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_granularity.dir/privacy_granularity.cpp.o"
+  "CMakeFiles/privacy_granularity.dir/privacy_granularity.cpp.o.d"
+  "privacy_granularity"
+  "privacy_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_tracking.dir/route_tracking.cpp.o"
+  "CMakeFiles/route_tracking.dir/route_tracking.cpp.o.d"
+  "route_tracking"
+  "route_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

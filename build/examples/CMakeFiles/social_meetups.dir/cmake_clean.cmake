@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_meetups.dir/social_meetups.cpp.o"
+  "CMakeFiles/social_meetups.dir/social_meetups.cpp.o.d"
+  "social_meetups"
+  "social_meetups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_meetups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/studyctl.dir/studyctl.cpp.o"
+  "CMakeFiles/studyctl.dir/studyctl.cpp.o.d"
+  "studyctl"
+  "studyctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/studyctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geo")
+subdirs("world")
+subdirs("mobility")
+subdirs("energy")
+subdirs("sensing")
+subdirs("algorithms")
+subdirs("net")
+subdirs("cloud")
+subdirs("core")
+subdirs("apps")
+subdirs("study")
+subdirs("viz")

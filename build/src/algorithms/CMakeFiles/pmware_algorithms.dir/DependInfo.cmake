@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/evaluate.cpp" "src/algorithms/CMakeFiles/pmware_algorithms.dir/evaluate.cpp.o" "gcc" "src/algorithms/CMakeFiles/pmware_algorithms.dir/evaluate.cpp.o.d"
+  "/root/repo/src/algorithms/gca.cpp" "src/algorithms/CMakeFiles/pmware_algorithms.dir/gca.cpp.o" "gcc" "src/algorithms/CMakeFiles/pmware_algorithms.dir/gca.cpp.o.d"
+  "/root/repo/src/algorithms/kang.cpp" "src/algorithms/CMakeFiles/pmware_algorithms.dir/kang.cpp.o" "gcc" "src/algorithms/CMakeFiles/pmware_algorithms.dir/kang.cpp.o.d"
+  "/root/repo/src/algorithms/routes.cpp" "src/algorithms/CMakeFiles/pmware_algorithms.dir/routes.cpp.o" "gcc" "src/algorithms/CMakeFiles/pmware_algorithms.dir/routes.cpp.o.d"
+  "/root/repo/src/algorithms/sensloc.cpp" "src/algorithms/CMakeFiles/pmware_algorithms.dir/sensloc.cpp.o" "gcc" "src/algorithms/CMakeFiles/pmware_algorithms.dir/sensloc.cpp.o.d"
+  "/root/repo/src/algorithms/signature.cpp" "src/algorithms/CMakeFiles/pmware_algorithms.dir/signature.cpp.o" "gcc" "src/algorithms/CMakeFiles/pmware_algorithms.dir/signature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sensing/CMakeFiles/pmware_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/pmware_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/pmware_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pmware_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/pmware_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/pmware_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmware_algorithms.dir/evaluate.cpp.o"
+  "CMakeFiles/pmware_algorithms.dir/evaluate.cpp.o.d"
+  "CMakeFiles/pmware_algorithms.dir/gca.cpp.o"
+  "CMakeFiles/pmware_algorithms.dir/gca.cpp.o.d"
+  "CMakeFiles/pmware_algorithms.dir/kang.cpp.o"
+  "CMakeFiles/pmware_algorithms.dir/kang.cpp.o.d"
+  "CMakeFiles/pmware_algorithms.dir/routes.cpp.o"
+  "CMakeFiles/pmware_algorithms.dir/routes.cpp.o.d"
+  "CMakeFiles/pmware_algorithms.dir/sensloc.cpp.o"
+  "CMakeFiles/pmware_algorithms.dir/sensloc.cpp.o.d"
+  "CMakeFiles/pmware_algorithms.dir/signature.cpp.o"
+  "CMakeFiles/pmware_algorithms.dir/signature.cpp.o.d"
+  "libpmware_algorithms.a"
+  "libpmware_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmware_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmware_apps.dir/lifelog.cpp.o"
+  "CMakeFiles/pmware_apps.dir/lifelog.cpp.o.d"
+  "CMakeFiles/pmware_apps.dir/placeads.cpp.o"
+  "CMakeFiles/pmware_apps.dir/placeads.cpp.o.d"
+  "CMakeFiles/pmware_apps.dir/todo_reminder.cpp.o"
+  "CMakeFiles/pmware_apps.dir/todo_reminder.cpp.o.d"
+  "libpmware_apps.a"
+  "libpmware_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmware_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmware_cloud.dir/analytics.cpp.o"
+  "CMakeFiles/pmware_cloud.dir/analytics.cpp.o.d"
+  "CMakeFiles/pmware_cloud.dir/cloud_instance.cpp.o"
+  "CMakeFiles/pmware_cloud.dir/cloud_instance.cpp.o.d"
+  "CMakeFiles/pmware_cloud.dir/geolocation.cpp.o"
+  "CMakeFiles/pmware_cloud.dir/geolocation.cpp.o.d"
+  "CMakeFiles/pmware_cloud.dir/storage.cpp.o"
+  "CMakeFiles/pmware_cloud.dir/storage.cpp.o.d"
+  "CMakeFiles/pmware_cloud.dir/token_service.cpp.o"
+  "CMakeFiles/pmware_cloud.dir/token_service.cpp.o.d"
+  "libpmware_cloud.a"
+  "libpmware_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmware_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/codec.cpp" "src/core/CMakeFiles/pmware_core.dir/codec.cpp.o" "gcc" "src/core/CMakeFiles/pmware_core.dir/codec.cpp.o.d"
+  "/root/repo/src/core/connected_apps.cpp" "src/core/CMakeFiles/pmware_core.dir/connected_apps.cpp.o" "gcc" "src/core/CMakeFiles/pmware_core.dir/connected_apps.cpp.o.d"
+  "/root/repo/src/core/inference_engine.cpp" "src/core/CMakeFiles/pmware_core.dir/inference_engine.cpp.o" "gcc" "src/core/CMakeFiles/pmware_core.dir/inference_engine.cpp.o.d"
+  "/root/repo/src/core/intents.cpp" "src/core/CMakeFiles/pmware_core.dir/intents.cpp.o" "gcc" "src/core/CMakeFiles/pmware_core.dir/intents.cpp.o.d"
+  "/root/repo/src/core/persistence.cpp" "src/core/CMakeFiles/pmware_core.dir/persistence.cpp.o" "gcc" "src/core/CMakeFiles/pmware_core.dir/persistence.cpp.o.d"
+  "/root/repo/src/core/place_store.cpp" "src/core/CMakeFiles/pmware_core.dir/place_store.cpp.o" "gcc" "src/core/CMakeFiles/pmware_core.dir/place_store.cpp.o.d"
+  "/root/repo/src/core/pms.cpp" "src/core/CMakeFiles/pmware_core.dir/pms.cpp.o" "gcc" "src/core/CMakeFiles/pmware_core.dir/pms.cpp.o.d"
+  "/root/repo/src/core/preferences.cpp" "src/core/CMakeFiles/pmware_core.dir/preferences.cpp.o" "gcc" "src/core/CMakeFiles/pmware_core.dir/preferences.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algorithms/CMakeFiles/pmware_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensing/CMakeFiles/pmware_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/pmware_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pmware_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/pmware_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pmware_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/pmware_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/pmware_world.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmware_core.dir/codec.cpp.o"
+  "CMakeFiles/pmware_core.dir/codec.cpp.o.d"
+  "CMakeFiles/pmware_core.dir/connected_apps.cpp.o"
+  "CMakeFiles/pmware_core.dir/connected_apps.cpp.o.d"
+  "CMakeFiles/pmware_core.dir/inference_engine.cpp.o"
+  "CMakeFiles/pmware_core.dir/inference_engine.cpp.o.d"
+  "CMakeFiles/pmware_core.dir/intents.cpp.o"
+  "CMakeFiles/pmware_core.dir/intents.cpp.o.d"
+  "CMakeFiles/pmware_core.dir/persistence.cpp.o"
+  "CMakeFiles/pmware_core.dir/persistence.cpp.o.d"
+  "CMakeFiles/pmware_core.dir/place_store.cpp.o"
+  "CMakeFiles/pmware_core.dir/place_store.cpp.o.d"
+  "CMakeFiles/pmware_core.dir/pms.cpp.o"
+  "CMakeFiles/pmware_core.dir/pms.cpp.o.d"
+  "CMakeFiles/pmware_core.dir/preferences.cpp.o"
+  "CMakeFiles/pmware_core.dir/preferences.cpp.o.d"
+  "libpmware_core.a"
+  "libpmware_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmware_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

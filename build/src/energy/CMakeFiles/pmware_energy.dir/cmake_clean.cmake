@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmware_energy.dir/meter.cpp.o"
+  "CMakeFiles/pmware_energy.dir/meter.cpp.o.d"
+  "CMakeFiles/pmware_energy.dir/profile.cpp.o"
+  "CMakeFiles/pmware_energy.dir/profile.cpp.o.d"
+  "libpmware_energy.a"
+  "libpmware_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmware_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmware_geo.dir/latlng.cpp.o"
+  "CMakeFiles/pmware_geo.dir/latlng.cpp.o.d"
+  "CMakeFiles/pmware_geo.dir/polyline.cpp.o"
+  "CMakeFiles/pmware_geo.dir/polyline.cpp.o.d"
+  "libpmware_geo.a"
+  "libpmware_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmware_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/participant.cpp" "src/mobility/CMakeFiles/pmware_mobility.dir/participant.cpp.o" "gcc" "src/mobility/CMakeFiles/pmware_mobility.dir/participant.cpp.o.d"
+  "/root/repo/src/mobility/schedule.cpp" "src/mobility/CMakeFiles/pmware_mobility.dir/schedule.cpp.o" "gcc" "src/mobility/CMakeFiles/pmware_mobility.dir/schedule.cpp.o.d"
+  "/root/repo/src/mobility/trace.cpp" "src/mobility/CMakeFiles/pmware_mobility.dir/trace.cpp.o" "gcc" "src/mobility/CMakeFiles/pmware_mobility.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/world/CMakeFiles/pmware_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/pmware_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pmware_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

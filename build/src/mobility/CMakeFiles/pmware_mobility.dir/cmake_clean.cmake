@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmware_mobility.dir/participant.cpp.o"
+  "CMakeFiles/pmware_mobility.dir/participant.cpp.o.d"
+  "CMakeFiles/pmware_mobility.dir/schedule.cpp.o"
+  "CMakeFiles/pmware_mobility.dir/schedule.cpp.o.d"
+  "CMakeFiles/pmware_mobility.dir/trace.cpp.o"
+  "CMakeFiles/pmware_mobility.dir/trace.cpp.o.d"
+  "libpmware_mobility.a"
+  "libpmware_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmware_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

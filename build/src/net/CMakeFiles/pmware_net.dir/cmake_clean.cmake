@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmware_net.dir/client.cpp.o"
+  "CMakeFiles/pmware_net.dir/client.cpp.o.d"
+  "CMakeFiles/pmware_net.dir/router.cpp.o"
+  "CMakeFiles/pmware_net.dir/router.cpp.o.d"
+  "libpmware_net.a"
+  "libpmware_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmware_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

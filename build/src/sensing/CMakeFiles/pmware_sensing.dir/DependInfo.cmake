@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensing/device.cpp" "src/sensing/CMakeFiles/pmware_sensing.dir/device.cpp.o" "gcc" "src/sensing/CMakeFiles/pmware_sensing.dir/device.cpp.o.d"
+  "/root/repo/src/sensing/scheduler.cpp" "src/sensing/CMakeFiles/pmware_sensing.dir/scheduler.cpp.o" "gcc" "src/sensing/CMakeFiles/pmware_sensing.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/world/CMakeFiles/pmware_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/pmware_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/pmware_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/pmware_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pmware_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

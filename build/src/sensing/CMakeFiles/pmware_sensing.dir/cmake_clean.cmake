@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmware_sensing.dir/device.cpp.o"
+  "CMakeFiles/pmware_sensing.dir/device.cpp.o.d"
+  "CMakeFiles/pmware_sensing.dir/scheduler.cpp.o"
+  "CMakeFiles/pmware_sensing.dir/scheduler.cpp.o.d"
+  "libpmware_sensing.a"
+  "libpmware_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmware_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmware_study.dir/deployment.cpp.o"
+  "CMakeFiles/pmware_study.dir/deployment.cpp.o.d"
+  "libpmware_study.a"
+  "libpmware_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmware_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

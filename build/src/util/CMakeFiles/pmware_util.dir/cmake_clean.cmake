@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmware_util.dir/json.cpp.o"
+  "CMakeFiles/pmware_util.dir/json.cpp.o.d"
+  "CMakeFiles/pmware_util.dir/logging.cpp.o"
+  "CMakeFiles/pmware_util.dir/logging.cpp.o.d"
+  "CMakeFiles/pmware_util.dir/rng.cpp.o"
+  "CMakeFiles/pmware_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pmware_util.dir/simtime.cpp.o"
+  "CMakeFiles/pmware_util.dir/simtime.cpp.o.d"
+  "CMakeFiles/pmware_util.dir/stats.cpp.o"
+  "CMakeFiles/pmware_util.dir/stats.cpp.o.d"
+  "libpmware_util.a"
+  "libpmware_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmware_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

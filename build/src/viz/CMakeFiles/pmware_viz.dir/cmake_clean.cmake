@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmware_viz.dir/map_render.cpp.o"
+  "CMakeFiles/pmware_viz.dir/map_render.cpp.o.d"
+  "libpmware_viz.a"
+  "libpmware_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmware_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

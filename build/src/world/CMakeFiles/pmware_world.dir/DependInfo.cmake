@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/world/ids.cpp" "src/world/CMakeFiles/pmware_world.dir/ids.cpp.o" "gcc" "src/world/CMakeFiles/pmware_world.dir/ids.cpp.o.d"
+  "/root/repo/src/world/place.cpp" "src/world/CMakeFiles/pmware_world.dir/place.cpp.o" "gcc" "src/world/CMakeFiles/pmware_world.dir/place.cpp.o.d"
+  "/root/repo/src/world/radio.cpp" "src/world/CMakeFiles/pmware_world.dir/radio.cpp.o" "gcc" "src/world/CMakeFiles/pmware_world.dir/radio.cpp.o.d"
+  "/root/repo/src/world/roads.cpp" "src/world/CMakeFiles/pmware_world.dir/roads.cpp.o" "gcc" "src/world/CMakeFiles/pmware_world.dir/roads.cpp.o.d"
+  "/root/repo/src/world/world.cpp" "src/world/CMakeFiles/pmware_world.dir/world.cpp.o" "gcc" "src/world/CMakeFiles/pmware_world.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/pmware_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pmware_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

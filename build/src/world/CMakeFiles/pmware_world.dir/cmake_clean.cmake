@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmware_world.dir/ids.cpp.o"
+  "CMakeFiles/pmware_world.dir/ids.cpp.o.d"
+  "CMakeFiles/pmware_world.dir/place.cpp.o"
+  "CMakeFiles/pmware_world.dir/place.cpp.o.d"
+  "CMakeFiles/pmware_world.dir/radio.cpp.o"
+  "CMakeFiles/pmware_world.dir/radio.cpp.o.d"
+  "CMakeFiles/pmware_world.dir/roads.cpp.o"
+  "CMakeFiles/pmware_world.dir/roads.cpp.o.d"
+  "CMakeFiles/pmware_world.dir/world.cpp.o"
+  "CMakeFiles/pmware_world.dir/world.cpp.o.d"
+  "libpmware_world.a"
+  "libpmware_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmware_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

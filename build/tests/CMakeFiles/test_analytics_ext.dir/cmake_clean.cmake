@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analytics_ext.dir/test_analytics_ext.cpp.o"
+  "CMakeFiles/test_analytics_ext.dir/test_analytics_ext.cpp.o.d"
+  "test_analytics_ext"
+  "test_analytics_ext.pdb"
+  "test_analytics_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analytics_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_connected_apps.dir/test_connected_apps.cpp.o"
+  "CMakeFiles/test_connected_apps.dir/test_connected_apps.cpp.o.d"
+  "test_connected_apps"
+  "test_connected_apps.pdb"
+  "test_connected_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_connected_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

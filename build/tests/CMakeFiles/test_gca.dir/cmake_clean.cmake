@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gca.dir/test_gca.cpp.o"
+  "CMakeFiles/test_gca.dir/test_gca.cpp.o.d"
+  "test_gca"
+  "test_gca.pdb"
+  "test_gca[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intents.dir/test_intents.cpp.o"
+  "CMakeFiles/test_intents.dir/test_intents.cpp.o.d"
+  "test_intents"
+  "test_intents.pdb"
+  "test_intents[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kang.dir/test_kang.cpp.o"
+  "CMakeFiles/test_kang.dir/test_kang.cpp.o.d"
+  "test_kang"
+  "test_kang.pdb"
+  "test_kang[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_kang.
+# This may be replaced when dependencies are built.

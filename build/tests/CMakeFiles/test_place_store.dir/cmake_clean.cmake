@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_place_store.dir/test_place_store.cpp.o"
+  "CMakeFiles/test_place_store.dir/test_place_store.cpp.o.d"
+  "test_place_store"
+  "test_place_store.pdb"
+  "test_place_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_place_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

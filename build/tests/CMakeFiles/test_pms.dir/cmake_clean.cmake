@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pms.dir/test_pms.cpp.o"
+  "CMakeFiles/test_pms.dir/test_pms.cpp.o.d"
+  "test_pms"
+  "test_pms.pdb"
+  "test_pms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

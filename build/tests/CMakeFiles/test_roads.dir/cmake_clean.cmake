@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roads.dir/test_roads.cpp.o"
+  "CMakeFiles/test_roads.dir/test_roads.cpp.o.d"
+  "test_roads"
+  "test_roads.pdb"
+  "test_roads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sensloc.dir/test_sensloc.cpp.o"
+  "CMakeFiles/test_sensloc.dir/test_sensloc.cpp.o.d"
+  "test_sensloc"
+  "test_sensloc.pdb"
+  "test_sensloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sensloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
