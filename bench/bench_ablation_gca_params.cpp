@@ -16,6 +16,7 @@
 #include "mobility/participant.hpp"
 #include "mobility/schedule.hpp"
 #include "util/logging.hpp"
+#include "telemetry/export.hpp"
 
 using namespace pmware;
 using algorithms::DiscoveredOutcome;
@@ -98,7 +99,9 @@ void print_row(const char* label, const Row& row) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path =
+      telemetry::bench_json_path(argc, argv, "ablation_gca_params");
   set_log_level(LogLevel::Error);
   std::printf("=== A5: GCA sensitivity, GSM-only (%d participants x %d days) "
               "===\n\n",
@@ -128,5 +131,8 @@ int main() {
       "places go missing; a stricter bounce threshold does the same, while\n"
       "a looser one risks over-merging. The paper's 1-minute operating\n"
       "point buys clean clusters for ~2x the energy of 2-minute sampling.\n");
+  if (!json_path.empty() &&
+      !telemetry::write_bench_json(json_path, "ablation_gca_params"))
+    return 1;
   return 0;
 }

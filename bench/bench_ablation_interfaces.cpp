@@ -16,6 +16,7 @@
 #include "mobility/participant.hpp"
 #include "mobility/schedule.hpp"
 #include "util/logging.hpp"
+#include "telemetry/export.hpp"
 
 using namespace pmware;
 using algorithms::DiscoveredOutcome;
@@ -111,7 +112,9 @@ void print_row(const char* name, const Row& row) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path =
+      telemetry::bench_json_path(argc, argv, "ablation_interfaces");
   set_log_level(LogLevel::Error);
   Rng rng(20141208);
   Rng world_rng = rng.fork(1);
@@ -148,5 +151,8 @@ int main() {
       "adding opportunistic WiFi recovers most of them at a small energy\n"
       "cost; continuous GPS is accurate outdoors but costs an order of\n"
       "magnitude more energy and degrades indoors.\n");
+  if (!json_path.empty() &&
+      !telemetry::write_bench_json(json_path, "ablation_interfaces"))
+    return 1;
   return 0;
 }

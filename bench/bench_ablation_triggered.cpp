@@ -14,6 +14,7 @@
 #include "mobility/participant.hpp"
 #include "mobility/schedule.hpp"
 #include "util/logging.hpp"
+#include "telemetry/export.hpp"
 
 using namespace pmware;
 using energy::Interface;
@@ -96,7 +97,9 @@ void print_row(const Row& row) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path =
+      telemetry::bench_json_path(argc, argv, "ablation_triggered");
   set_log_level(LogLevel::Error);
   Fixture fixture;
 
@@ -137,5 +140,8 @@ int main() {
       "\nshape check: PMWare's battery life sits near the GSM-only bound and\n"
       "far above always-on GPS; isolated-stack energy grows linearly in N\n"
       "while the shared PMS stays flat (the paper's redundancy argument).\n");
+  if (!json_path.empty() &&
+      !telemetry::write_bench_json(json_path, "ablation_triggered"))
+    return 1;
   return 0;
 }

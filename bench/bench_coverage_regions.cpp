@@ -7,6 +7,7 @@
 
 #include "study/deployment.hpp"
 #include "util/logging.hpp"
+#include "telemetry/export.hpp"
 
 using namespace pmware;
 using algorithms::DiscoveredOutcome;
@@ -31,7 +32,9 @@ RegionRow run_region(const world::RegionProfile& region) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path =
+      telemetry::bench_json_path(argc, argv, "coverage_regions");
   set_log_level(LogLevel::Error);
   std::printf("=== A3: region profiles — WiFi coverage vs discovery accuracy "
               "(8 participants x 7 days) ===\n\n");
@@ -55,5 +58,8 @@ int main() {
       "a WiFi identity, so fewer adjacent places stay merged than in the\n"
       "~60%% coverage (India) deployment — the paper's argument for\n"
       "per-geography customization inside the middleware.\n");
+  if (!json_path.empty() &&
+      !telemetry::write_bench_json(json_path, "coverage_regions"))
+    return 1;
   return 0;
 }

@@ -10,13 +10,16 @@
 #include <cstdio>
 
 #include "study/deployment.hpp"
+#include "telemetry/export.hpp"
 #include "util/logging.hpp"
 #include "viz/map_render.hpp"
 
 using namespace pmware;
 using algorithms::DiscoveredOutcome;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path =
+      telemetry::bench_json_path(argc, argv, "deployment_study");
   set_log_level(LogLevel::Error);
   study::StudyConfig config;  // 16 participants x 14 days, GSM + opp. WiFi
   study::DeploymentStudy study(config);
@@ -88,5 +91,28 @@ int main() {
               "triggered sensing, all apps shared\n",
               battery_sum / static_cast<double>(result.participants.size()),
               battery_sum / static_cast<double>(result.participants.size()) / 24);
+
+  if (!json_path.empty()) {
+    Json extra = Json::object();
+    extra.set("participants", static_cast<std::uint64_t>(
+                                  result.participants.size()));
+    extra.set("days", config.days);
+    extra.set("places_discovered",
+              static_cast<std::uint64_t>(result.total_discovered()));
+    extra.set("places_tagged",
+              static_cast<std::uint64_t>(result.total_tagged()));
+    extra.set("evaluable", static_cast<std::uint64_t>(result.total_evaluable()));
+    extra.set("fraction_correct", result.fraction(DiscoveredOutcome::Correct));
+    extra.set("fraction_merged", result.fraction(DiscoveredOutcome::Merged));
+    extra.set("fraction_divided", result.fraction(DiscoveredOutcome::Divided));
+    extra.set("ad_likes", static_cast<std::uint64_t>(result.total_likes()));
+    extra.set("ad_dislikes",
+              static_cast<std::uint64_t>(result.total_dislikes()));
+    extra.set("fleet_avg_battery_h",
+              battery_sum / static_cast<double>(result.participants.size()));
+    if (!telemetry::write_bench_json(json_path, "deployment_study",
+                                     std::move(extra)))
+      return 1;
+  }
   return 0;
 }

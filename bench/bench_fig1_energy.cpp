@@ -13,7 +13,9 @@
 #include "energy/meter.hpp"
 #include "energy/profile.hpp"
 #include "sensing/scheduler.hpp"
+#include "telemetry/export.hpp"
 #include "util/simtime.hpp"
+#include "util/strfmt.hpp"
 
 using namespace pmware;
 using energy::Interface;
@@ -35,7 +37,9 @@ double simulated_duration_h(Interface interface, SimDuration interval) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path =
+      telemetry::bench_json_path(argc, argv, "fig1_energy");
   const energy::PowerProfile profile = energy::PowerProfile::htc_explorer();
 
   std::printf("=== Figure 1: continuous-sensing battery duration ===\n");
@@ -85,5 +89,23 @@ int main() {
   std::printf("  WiFi@1min: %6.1f h\n",
               continuous_sensing_duration_s(profile, Interface::Wifi, 60) / 3600);
   std::printf("  GPS@1min:  %6.1f h\n", gps_1min / 3600);
+
+  if (!json_path.empty()) {
+    Json durations = Json::object();
+    for (Interface i : kInterfaces) {
+      Json per_interval = Json::object();
+      for (SimDuration interval : kIntervals)
+        per_interval.set(
+            strfmt("%llds", static_cast<long long>(interval)),
+            continuous_sensing_duration_s(profile, i, interval) / 3600.0);
+      durations.set(to_string(i), std::move(per_interval));
+    }
+    Json extra = Json::object();
+    extra.set("battery_duration_h", std::move(durations));
+    extra.set("gsm_over_gps_at_1min", gsm_1min / gps_1min);
+    if (!telemetry::write_bench_json(json_path, "fig1_energy",
+                                     std::move(extra)))
+      return 1;
+  }
   return 0;
 }

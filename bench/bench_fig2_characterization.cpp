@@ -12,6 +12,7 @@
 #include "mobility/participant.hpp"
 #include "mobility/schedule.hpp"
 #include "util/logging.hpp"
+#include "telemetry/export.hpp"
 
 using namespace pmware;
 using energy::Interface;
@@ -82,7 +83,9 @@ RunResult run_class(const AppClass& app_class) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path =
+      telemetry::bench_json_path(argc, argv, "fig2_characterization");
   set_log_level(LogLevel::Error);
   std::printf("=== Figure 2: place-aware application classes and the sensing "
               "PMWare chooses ===\n\n");
@@ -104,5 +107,8 @@ int main() {
   std::printf(
       "\nshape check: finer granularity / route accuracy => more expensive\n"
       "interfaces are sampled, monotonically lower battery life.\n");
+  if (!json_path.empty() &&
+      !telemetry::write_bench_json(json_path, "fig2_characterization"))
+    return 1;
   return 0;
 }

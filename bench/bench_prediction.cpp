@@ -16,6 +16,7 @@
 #include "mobility/schedule.hpp"
 #include "util/logging.hpp"
 #include "util/stats.hpp"
+#include "telemetry/export.hpp"
 
 using namespace pmware;
 
@@ -38,7 +39,9 @@ std::vector<double> truth_home_arrivals(const mobility::Trace& trace,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path =
+      telemetry::bench_json_path(argc, argv, "prediction");
   set_log_level(LogLevel::Error);
   Rng rng(20141208);
   Rng world_rng = rng.fork(1);
@@ -171,5 +174,8 @@ int main() {
 
   std::printf("\nshape check: Q1 error within tens of minutes, Q2 hit rate\n"
               "well above half, Q3 within ~1 visit/week of truth.\n");
+  if (!json_path.empty() &&
+      !telemetry::write_bench_json(json_path, "prediction"))
+    return 1;
   return 0;
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification, twice: a plain build and an address+UB-sanitized one.
+# Usage: ./ci.sh [extra cmake args...]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  echo "=== configure + build: ${build_dir} ($*) ==="
+  cmake -B "${build_dir}" -S . "$@"
+  cmake --build "${build_dir}" -j "$(nproc)"
+  echo "=== ctest: ${build_dir} ==="
+  (cd "${build_dir}" && ctest --output-on-failure -j "$(nproc)")
+}
+
+run_suite build "$@"
+run_suite build-asan -DPMWARE_SANITIZE="address;undefined" "$@"
+
+echo "ci.sh: both suites passed"

@@ -12,6 +12,7 @@
 #include "core/pms.hpp"
 #include "mobility/schedule.hpp"
 #include "sensing/device.hpp"
+#include "telemetry/export.hpp"
 #include "util/logging.hpp"
 #include "world/world.hpp"
 
@@ -102,5 +103,11 @@ int main() {
                   3600.0);
   std::printf("cloud: %zu profile syncs, %zu GCA offloads\n",
               pms.stats().profile_syncs, pms.stats().gca_offloads);
+
+  // 7. Everything above was also recorded in the telemetry registry — the
+  //    same families the cloud serves on GET /metrics and benches dump with
+  //    --json. Printing it doubles as an exporter smoke test.
+  std::printf("\n--- telemetry registry (Prometheus exposition) ---\n%s",
+              telemetry::to_prometheus(telemetry::registry()).c_str());
   return 0;
 }

@@ -5,6 +5,9 @@
 
 #include "algorithms/gca.hpp"
 #include "core/codec.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/strfmt.hpp"
 
 namespace pmware::cloud {
 
@@ -19,6 +22,22 @@ CloudInstance::CloudInstance(CloudConfig config, GeoLocationService geoloc,
       tokens_(rng, config.token_ttl),
       analytics_(&storage_) {
   register_routes();
+  // Per-route request counters and handler-cost histograms. Patterns (not
+  // concrete paths) label the series, so cardinality stays bounded by the
+  // route table.
+  router_.set_observer([](net::Method method, const std::string& pattern,
+                          int status, double wall_us) {
+    auto& reg = telemetry::registry();
+    reg.counter("cloud_requests_total",
+                {{"method", net::to_string(method)},
+                 {"route", pattern},
+                 {"status", strfmt("%d", status)}},
+                "REST requests handled by the cloud instance")
+        .inc();
+    reg.histogram("cloud_handler_wall_us", {{"route", pattern}}, 0, 5000, 20,
+                  "wall-clock handler cost per request, microseconds")
+        .observe(wall_us);
+  });
 }
 
 SimTime CloudInstance::request_time(const HttpRequest& request) {
@@ -54,6 +73,24 @@ std::optional<HttpResponse> CloudInstance::require_user(
 
 void CloudInstance::register_routes() {
   using net::Method;
+
+  // --- Observability: the telemetry registry, for scraping (§ telemetry) ---
+  // Authenticated like every data endpoint (metrics leak usage patterns),
+  // but not user-scoped: any registered device may scrape. Default rendering
+  // is Prometheus exposition text carried in the JSON envelope's "text"
+  // field; ?format=json returns the structured export instead.
+  router_.add_route(Method::Get, "/metrics",
+                    [this](const HttpRequest& req, const PathParams&) {
+    if (!authed_user(req))
+      return HttpResponse::error(net::kStatusUnauthorized, "invalid token");
+    const auto format = req.query.find("format");
+    if (format != req.query.end() && format->second == "json")
+      return HttpResponse::json(telemetry::to_json(telemetry::registry()));
+    Json body = Json::object();
+    body.set("content_type", "text/plain; version=0.0.4");
+    body.set("text", telemetry::to_prometheus(telemetry::registry()));
+    return HttpResponse::json(std::move(body));
+  });
 
   // --- Registration API ---
   router_.add_route(Method::Post, "/api/register",

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/logging.hpp"
 
 namespace pmware::core {
@@ -264,7 +266,25 @@ PlaceUid InferenceEngine::area_of(PlaceUid uid) const {
   return it == wifi_area_.end() ? uid : it->second;
 }
 
+namespace {
+
+const char* place_event_kind(PlaceEvent::Kind kind) {
+  switch (kind) {
+    case PlaceEvent::Kind::Enter: return "enter";
+    case PlaceEvent::Kind::Exit: return "exit";
+    case PlaceEvent::Kind::NewPlace: return "new_place";
+  }
+  return "?";
+}
+
+}  // namespace
+
 void InferenceEngine::emit(const PlaceEvent& event) {
+  telemetry::registry()
+      .counter("core_place_events_total",
+               {{"kind", place_event_kind(event.kind)}},
+               "place events emitted by the inference engine")
+      .inc();
   if (place_sink_) place_sink_(event);
 }
 
@@ -314,6 +334,11 @@ void InferenceEngine::resolve_place(SimTime t) {
 }
 
 std::size_t InferenceEngine::recluster(SimTime now) {
+  telemetry::Span span(telemetry::tracer(), "inference.recluster", now);
+  telemetry::registry()
+      .counter("core_recluster_total", {},
+               "recluster passes (local or offloaded)")
+      .inc();
   const algorithms::GcaResult result =
       gca_runner_ ? gca_runner_(gsm_log_)
                   : algorithms::run_gca(gsm_log_, config_.gca);
@@ -375,6 +400,10 @@ std::size_t InferenceEngine::recluster(SimTime now) {
   cell_tracker_.emplace(result.cell_to_place, config_.gca);
   gsm_uid_.reset();
 
+  telemetry::registry()
+      .counter("core_new_places_total", {},
+               "places first discovered during recluster passes")
+      .inc(new_places);
   log_debug("inference", "recluster: %zu clusters, %zu new places, %zu visits",
             result.places.size(), new_places, visit_log_.size());
   return new_places;

@@ -3,10 +3,24 @@
 #include <algorithm>
 
 #include "core/codec.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/logging.hpp"
 #include "util/strfmt.hpp"
 
 namespace pmware::core {
+
+namespace {
+
+constexpr const char* kPlaceEvents = "pms_place_events_total";
+constexpr const char* kRouteEvents = "pms_route_events_total";
+constexpr const char* kEncounters = "pms_encounters_total";
+constexpr const char* kProfileSyncs = "pms_profile_syncs_total";
+constexpr const char* kTokenRefreshes = "pms_token_refreshes_total";
+constexpr const char* kGcaOffloads = "pms_gca_offloads_total";
+constexpr const char* kGcaLocal = "pms_gca_local_total";
+
+}  // namespace
 
 PmwareMobileService::PmwareMobileService(
     std::unique_ptr<sensing::Device> device, PmsConfig config,
@@ -18,24 +32,47 @@ PmwareMobileService::PmwareMobileService(
       apps_(&preferences_),
       engine_(device_.get(), &scheduler_, &place_store_, &apps_,
               config_.inference, rng.fork(1)),
-      client_(std::move(client)) {
+      client_(std::move(client)),
+      instance_(telemetry::registry().next_instance_label("pms")) {
   engine_.set_place_event_sink([this](const PlaceEvent& event) {
-    stats_.place_events_delivered +=
+    std::size_t delivered =
         apps_.deliver_place_event(event, place_store_, bus_);
-    stats_.place_events_delivered +=
-        apps_.deliver_geofence(event, place_store_, bus_);
+    delivered += apps_.deliver_geofence(event, place_store_, bus_);
+    counter(kPlaceEvents, "place events delivered to connected apps")
+        .inc(delivered);
   });
   engine_.set_route_event_sink([this](const RouteEvent& event) {
-    stats_.route_events_delivered += apps_.deliver_route_event(event, bus_);
+    counter(kRouteEvents, "route events delivered to connected apps")
+        .inc(apps_.deliver_route_event(event, bus_));
   });
   engine_.set_encounter_sink([this](const EncounterEvent& event) {
-    stats_.encounters_delivered += apps_.deliver_encounter(event, bus_);
+    counter(kEncounters, "encounter events delivered to connected apps")
+        .inc(apps_.deliver_encounter(event, bus_));
   });
   engine_.set_gca_runner(
       [this](std::span<const algorithms::CellObservation> observations) {
         return offloaded_gca(observations, scheduler_.now());
       });
   engine_.attach();
+}
+
+telemetry::Counter& PmwareMobileService::counter(const char* name,
+                                                 const char* help) const {
+  return telemetry::registry().counter(name, {{"instance", instance_}}, help);
+}
+
+PmsStats PmwareMobileService::stats() const {
+  const auto& reg = telemetry::registry();
+  const telemetry::LabelSet labels = {{"instance", instance_}};
+  PmsStats stats;
+  stats.place_events_delivered = reg.counter_value(kPlaceEvents, labels);
+  stats.route_events_delivered = reg.counter_value(kRouteEvents, labels);
+  stats.encounters_delivered = reg.counter_value(kEncounters, labels);
+  stats.profile_syncs = reg.counter_value(kProfileSyncs, labels);
+  stats.token_refreshes = reg.counter_value(kTokenRefreshes, labels);
+  stats.gca_offloads = reg.counter_value(kGcaOffloads, labels);
+  stats.gca_local_runs = reg.counter_value(kGcaLocal, labels);
+  return stats;
 }
 
 net::HttpRequest PmwareMobileService::make_request(net::Method method,
@@ -76,7 +113,7 @@ void PmwareMobileService::maybe_refresh_token(SimTime now) {
   if (response.ok()) {
     client_->set_auth_token(response.body.at("token").as_string());
     token_expires_ = response.body.at("expires_at").as_int();
-    ++stats_.token_refreshes;
+    counter(kTokenRefreshes, "successful bearer-token refreshes").inc();
   } else {
     // Expired beyond refresh: re-register (idempotent on imei/email).
     register_with_cloud(now);
@@ -86,6 +123,7 @@ void PmwareMobileService::maybe_refresh_token(SimTime now) {
 algorithms::GcaResult PmwareMobileService::offloaded_gca(
     std::span<const algorithms::CellObservation> observations, SimTime now) {
   if (config_.offload_gca && client_ != nullptr && user_id_) {
+    telemetry::Span span(telemetry::tracer(), "pms.gca_offload", now);
     net::HttpRequest request =
         make_request(net::Method::Post, "/api/places/discover", now);
     Json arr = Json::array();
@@ -99,7 +137,8 @@ algorithms::GcaResult PmwareMobileService::offloaded_gca(
     request.body.set("observations", std::move(arr));
     const net::HttpResponse response = client_->send(request);
     if (response.ok()) {
-      ++stats_.gca_offloads;
+      counter(kGcaOffloads, "GCA clustering passes offloaded to the cloud")
+          .inc();
       algorithms::GcaResult result;
       for (const auto& p : response.body.at("places").as_array()) {
         const auto sig = signature_from_json(p.at("signature"));
@@ -120,11 +159,14 @@ algorithms::GcaResult PmwareMobileService::offloaded_gca(
     }
     log_warn("pms", "GCA offload failed (%d); running locally", response.status);
   }
-  ++stats_.gca_local_runs;
+  counter(kGcaLocal, "GCA clustering passes run on-device").inc();
+  telemetry::Span span(telemetry::tracer(), "pms.gca_local", now);
   return algorithms::run_gca(observations, config_.inference.gca);
 }
 
 void PmwareMobileService::run(TimeWindow window) {
+  telemetry::ScopedTimer run_span(telemetry::tracer(), "pms.run",
+                                  [this] { return scheduler_.now(); });
   // Split at day boundaries so housekeeping runs between days.
   SimTime cursor = window.begin;
   while (cursor < window.end) {
@@ -138,6 +180,9 @@ void PmwareMobileService::run(TimeWindow window) {
 }
 
 void PmwareMobileService::housekeeping(SimTime now) {
+  // Sim time stands still during housekeeping — the span exists for its wall
+  // cost and to parent the GCA offload/local spans opened underneath.
+  telemetry::Span span(telemetry::tracer(), "pms.housekeeping", now);
   // Refresh credentials first: the recluster below may offload to the cloud.
   maybe_refresh_token(now);
   engine_.recluster(now);
@@ -239,7 +284,8 @@ void PmwareMobileService::sync_day(std::int64_t day, SimTime now) {
              static_cast<long long>(day)),
       now);
   request.body = to_json(profile);
-  if (client_->send(request).ok()) ++stats_.profile_syncs;
+  if (client_->send(request).ok())
+    counter(kProfileSyncs, "mobility-profile days synced to the cloud").inc();
 }
 
 MobilityProfile PmwareMobileService::profile_for(std::int64_t day) const {

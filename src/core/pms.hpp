@@ -17,6 +17,7 @@
 #include "net/client.hpp"
 #include "sensing/device.hpp"
 #include "sensing/scheduler.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace pmware::core {
 
@@ -32,6 +33,9 @@ struct PmsConfig {
   energy::PowerProfile power = energy::PowerProfile::htc_explorer();
 };
 
+/// Per-service counters. Since the telemetry subsystem landed this is a
+/// *view*: the source of truth is the process-wide metrics registry ("pms_*"
+/// families, labeled by service instance); stats() assembles it on demand.
 struct PmsStats {
   std::size_t place_events_delivered = 0;
   std::size_t route_events_delivered = 0;
@@ -91,7 +95,11 @@ class PmwareMobileService {
 
   energy::EnergyMeter& meter() { return meter_; }
   const energy::EnergyMeter& meter() const { return meter_; }
-  const PmsStats& stats() const { return stats_; }
+  /// Assembled from the metrics registry ("pms_*" families, this service's
+  /// instance label); zeros after telemetry::registry().reset().
+  PmsStats stats() const;
+  /// Value of this service's "instance" metric label, e.g. "pms2".
+  const std::string& instance_label() const { return instance_; }
   net::RestClient* client() { return client_.get(); }
   sensing::SamplingScheduler& scheduler() { return scheduler_; }
 
@@ -101,6 +109,9 @@ class PmwareMobileService {
   }
 
  private:
+  /// This service's series of the named pms_* counter family.
+  telemetry::Counter& counter(const char* name, const char* help) const;
+
   void housekeeping(SimTime now);
   void sync_day(std::int64_t day, SimTime now);
   void maybe_refresh_token(SimTime now);
@@ -119,7 +130,7 @@ class PmwareMobileService {
   IntentBus bus_;
   InferenceEngine engine_;
   std::unique_ptr<net::RestClient> client_;
-  PmsStats stats_;
+  std::string instance_;  ///< registry label isolating this service's series
 
   std::optional<world::DeviceId> user_id_;
   SimTime token_expires_ = 0;

@@ -1,10 +1,32 @@
 #include "net/client.hpp"
 
+#include "telemetry/metrics.hpp"
+
 namespace pmware::net {
+
+namespace {
+
+using telemetry::LabelSet;
+using telemetry::registry;
+
+constexpr const char* kRequests = "net_requests_total";
+constexpr const char* kFailures = "net_failures_total";
+constexpr const char* kRetries = "net_retries_total";
+constexpr const char* kBytesSent = "net_bytes_sent_total";
+constexpr const char* kLatency = "net_sim_latency_seconds_total";
+
+LabelSet instance_labels(const std::string& instance) {
+  return {{"instance", instance}};
+}
+
+}  // namespace
 
 RestClient::RestClient(const Router* server, NetworkConditions conditions,
                        Rng rng)
-    : server_(server), conditions_(conditions), rng_(rng) {}
+    : server_(server),
+      conditions_(conditions),
+      rng_(rng),
+      instance_(registry().next_instance_label("c")) {}
 
 HttpResponse RestClient::send(const HttpRequest& request, int max_retries) {
   HttpRequest outgoing = request;
@@ -12,21 +34,45 @@ HttpResponse RestClient::send(const HttpRequest& request, int max_retries) {
                              outgoing.headers.end())
     outgoing.headers["Authorization"] = "Bearer " + token_;
 
+  auto& reg = registry();
+  const LabelSet labels = instance_labels(instance_);
+  const std::size_t body_bytes = outgoing.body.dump().size();
+
   HttpResponse response =
       HttpResponse::error(kStatusServiceUnavailable, "network unreachable");
   for (int attempt = 0; attempt <= max_retries; ++attempt) {
-    ++stats_.requests;
-    if (attempt > 0) ++stats_.retries;
-    stats_.bytes_sent += outgoing.body.dump().size();
-    stats_.total_latency += conditions_.latency_s;
+    reg.counter(kRequests, labels, "REST requests attempted (incl. retries)")
+        .inc();
+    if (attempt > 0)
+      reg.counter(kRetries, labels, "REST retries after transport loss").inc();
+    reg.counter(kBytesSent, labels, "serialized JSON body bytes sent")
+        .inc(body_bytes);
+    reg.histogram("net_request_bytes", {}, 0, 4096, 16,
+                  "request body size distribution, bytes")
+        .observe(static_cast<double>(body_bytes));
+    reg.counter(kLatency, labels, "simulated round-trip seconds accumulated")
+        .inc(static_cast<std::uint64_t>(conditions_.latency_s));
     if (rng_.bernoulli(conditions_.failure_prob)) {
-      ++stats_.failures;
+      reg.counter(kFailures, labels, "transport-level losses observed").inc();
       continue;  // request lost; retry
     }
     response = server_->handle(outgoing);
     return response;
   }
   return response;
+}
+
+ClientStats RestClient::stats() const {
+  const auto& reg = registry();
+  const LabelSet labels = instance_labels(instance_);
+  ClientStats stats;
+  stats.requests = reg.counter_value(kRequests, labels);
+  stats.failures = reg.counter_value(kFailures, labels);
+  stats.retries = reg.counter_value(kRetries, labels);
+  stats.bytes_sent = reg.counter_value(kBytesSent, labels);
+  stats.total_latency =
+      static_cast<SimDuration>(reg.counter_value(kLatency, labels));
+  return stats;
 }
 
 }  // namespace pmware::net

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
 
 #include "net/http.hpp"
 #include "net/router.hpp"
@@ -18,6 +19,10 @@ struct NetworkConditions {
   SimDuration latency_s = 0;       ///< simulated round-trip, whole seconds
 };
 
+/// Per-client transport totals. Since the telemetry subsystem landed this is
+/// a *view*: the source of truth is the process-wide metrics registry
+/// (net_* families, labeled by client instance); stats() assembles it on
+/// demand.
 struct ClientStats {
   std::size_t requests = 0;
   std::size_t failures = 0;   ///< transport-level losses observed
@@ -36,7 +41,12 @@ class RestClient {
   /// were lost).
   HttpResponse send(const HttpRequest& request, int max_retries = 2);
 
-  const ClientStats& stats() const { return stats_; }
+  /// Assembled from the metrics registry (family "net_*", this client's
+  /// instance label); zeros after telemetry::registry().reset().
+  ClientStats stats() const;
+
+  /// Value of this client's "instance" metric label, e.g. "c3".
+  const std::string& instance_label() const { return instance_; }
 
   /// Default bearer token attached to every request (set after
   /// registration); empty disables.
@@ -47,7 +57,7 @@ class RestClient {
   const Router* server_;
   NetworkConditions conditions_;
   Rng rng_;
-  ClientStats stats_;
+  std::string instance_;  ///< registry label isolating this client's series
   std::string token_;
 };
 

@@ -1,5 +1,7 @@
 #include "net/router.hpp"
 
+#include <chrono>
+
 namespace pmware::net {
 
 const char* to_string(Method m) {
@@ -29,7 +31,7 @@ std::vector<std::string> Router::split(const std::string& path) {
 
 void Router::add_route(Method method, const std::string& pattern,
                        Handler handler) {
-  routes_.push_back({method, split(pattern), std::move(handler)});
+  routes_.push_back({method, pattern, split(pattern), std::move(handler)});
 }
 
 void Router::add_middleware(Middleware mw,
@@ -53,6 +55,16 @@ bool Router::match(const Route& route, const std::vector<std::string>& segments,
 }
 
 HttpResponse Router::handle(const HttpRequest& request) const {
+  const auto wall_begin = std::chrono::steady_clock::now();
+  auto observe = [&](const std::string& pattern, int status) {
+    if (!observer_) return;
+    const double wall_us =
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            std::chrono::steady_clock::now() - wall_begin)
+            .count();
+    observer_(request.method, pattern, status, wall_us);
+  };
+
   for (const Guard& guard : guards_) {
     bool exempt = false;
     for (const std::string& prefix : guard.exempt_prefixes) {
@@ -62,15 +74,23 @@ HttpResponse Router::handle(const HttpRequest& request) const {
       }
     }
     if (exempt) continue;
-    if (auto response = guard.mw(request)) return *response;
+    if (auto response = guard.mw(request)) {
+      observe("<middleware>", response->status);
+      return *response;
+    }
   }
 
   const auto segments = split(request.path);
   PathParams params;
   for (const Route& route : routes_) {
     if (route.method != request.method) continue;
-    if (match(route, segments, params)) return route.handler(request, params);
+    if (match(route, segments, params)) {
+      HttpResponse response = route.handler(request, params);
+      observe(route.pattern, response.status);
+      return response;
+    }
   }
+  observe("<unmatched>", kStatusNotFound);
   return HttpResponse::error(kStatusNotFound, "no route for " + request.path);
 }
 

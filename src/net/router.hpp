@@ -21,6 +21,14 @@ using Handler = std::function<HttpResponse(const HttpRequest&, const PathParams&
 /// nullopt) — used for the cloud's auth check.
 using Middleware = std::function<std::optional<HttpResponse>(const HttpRequest&)>;
 
+/// Called once per dispatched request with the matched route pattern (the
+/// registration string, so ":id" not the concrete id — bounded metric
+/// cardinality), the response status, and the wall-clock handler cost.
+/// Pattern is "<unmatched>" for 404s and "<middleware>" when a middleware
+/// short-circuited before routing.
+using Observer = std::function<void(Method method, const std::string& pattern,
+                                    int status, double wall_us)>;
+
 class Router {
  public:
   /// Registers a handler for `method` on `pattern`, where pattern segments
@@ -32,6 +40,9 @@ class Router {
   /// path does NOT start with one of `exempt_prefixes`.
   void add_middleware(Middleware mw, std::vector<std::string> exempt_prefixes = {});
 
+  /// Installs the per-request observer (telemetry); replaces any previous.
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
   /// Dispatches a request; 404 when no route matches.
   HttpResponse handle(const HttpRequest& request) const;
 
@@ -40,6 +51,7 @@ class Router {
  private:
   struct Route {
     Method method;
+    std::string pattern;                ///< as registered, for the observer
     std::vector<std::string> segments;  ///< pattern split on '/'
     Handler handler;
   };
@@ -54,6 +66,7 @@ class Router {
 
   std::vector<Route> routes_;
   std::vector<Guard> guards_;
+  Observer observer_;
 };
 
 }  // namespace pmware::net

@@ -3,7 +3,25 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace pmware::sensing {
+
+namespace {
+
+telemetry::LabelSet interface_labels(energy::Interface interface) {
+  return {{"interface", energy::to_string(interface)}};
+}
+
+void count_sample(energy::Interface interface) {
+  telemetry::registry()
+      .counter("sensing_samples_total", interface_labels(interface),
+               "sensor samples dispatched by the sampling scheduler")
+      .inc();
+}
+
+}  // namespace
 
 void SamplingScheduler::set_period(energy::Interface interface,
                                    std::optional<SimDuration> period) {
@@ -12,6 +30,16 @@ void SamplingScheduler::set_period(energy::Interface interface,
   const auto idx = static_cast<std::size_t>(interface);
   periods_[idx] = period;
   next_due_[idx] = period ? std::optional<SimTime>(now_ + *period) : std::nullopt;
+  // Duty-cycle view of the current policy: samples per second, 0 when the
+  // interface is off. Last writer wins across devices — the gauge reflects
+  // the most recently adjusted device, while the sample counters aggregate.
+  auto& reg = telemetry::registry();
+  reg.gauge("sensing_period_seconds", interface_labels(interface),
+            "configured sampling period, seconds (0 = disabled)")
+      .set(period ? static_cast<double>(*period) : 0.0);
+  reg.gauge("sensing_duty_cycle", interface_labels(interface),
+            "samples per simulated second under the current policy")
+      .set(period ? 1.0 / static_cast<double>(*period) : 0.0);
 }
 
 void SamplingScheduler::set_callback(energy::Interface interface, Callback cb) {
@@ -19,11 +47,17 @@ void SamplingScheduler::set_callback(energy::Interface interface, Callback cb) {
 }
 
 void SamplingScheduler::request_once(energy::Interface interface, SimTime at) {
+  telemetry::registry()
+      .counter("sensing_one_shots_total", interface_labels(interface),
+               "triggered (one-shot) samples requested")
+      .inc();
   one_shots_.push_back({interface, std::max(at, now_)});
 }
 
 void SamplingScheduler::run(TimeWindow window) {
   now_ = window.begin;
+  telemetry::ScopedTimer run_span(telemetry::tracer(), "scheduler.run",
+                                  [this] { return now_; });
   if (meter_ != nullptr) meter_->charge_baseline(window.begin, window.end);
 
   // Arm periodic interfaces to fire at the window start.
@@ -49,6 +83,7 @@ void SamplingScheduler::run(TimeWindow window) {
       next_due_[i] = periods_[i] ? std::optional<SimTime>(now_ + *periods_[i])
                                  : std::nullopt;
       if (meter_ != nullptr) meter_->charge_sample(interface, now_);
+      count_sample(interface);
       if (callbacks_[i]) callbacks_[i](now_);
     }
 
@@ -62,6 +97,7 @@ void SamplingScheduler::run(TimeWindow window) {
     for (const OneShot& shot : due_shots) {
       const auto idx = static_cast<std::size_t>(shot.interface);
       if (meter_ != nullptr) meter_->charge_sample(shot.interface, now_);
+      count_sample(shot.interface);
       if (callbacks_[idx]) callbacks_[idx](now_);
     }
   }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/logging.hpp"
 #include "util/strfmt.hpp"
 
@@ -82,6 +84,8 @@ void diary_session(core::PmwareMobileService& pms, const world::World& world,
 ParticipantResult DeploymentStudy::run_participant(
     const mobility::Participant& participant, cloud::CloudInstance& cloud,
     Rng& rng, std::vector<PlaceMapEntry>& place_map) {
+  telemetry::Span span(telemetry::tracer(),
+                       "study.participant." + participant.name, 0);
   Rng trace_rng = rng.fork(1);
   const mobility::Trace trace =
       mobility::build_trace(*world_, participant, config_.schedule, trace_rng);
@@ -163,6 +167,27 @@ ParticipantResult DeploymentStudy::run_participant(
       pms.meter().implied_battery_duration_s(days(config_.days)) / 3600.0;
   result.pms_stats = pms.stats();
 
+  auto& reg = telemetry::registry();
+  reg.counter("study_places_discovered_total", {},
+              "places with logged visits across all participants")
+      .inc(result.places_discovered);
+  reg.counter("study_places_tagged_total", {},
+              "places tagged in diary sessions across all participants")
+      .inc(result.places_tagged);
+  reg.counter("study_ad_impressions_total", {{"reaction", "like"}},
+              "PlaceADs reactions across all participants")
+      .inc(result.ad_likes);
+  reg.counter("study_ad_impressions_total", {{"reaction", "dislike"}},
+              "PlaceADs reactions across all participants")
+      .inc(result.ad_dislikes);
+  reg.histogram("study_sensing_joules", {}, 0, 4000, 20,
+                "per-participant sensing energy over the study, joules")
+      .observe(result.sensing_joules);
+  reg.histogram("study_battery_hours", {}, 0, 400, 20,
+                "per-participant implied battery life, hours")
+      .observe(result.implied_battery_hours);
+  span.finish(start_of_day(config_.days));
+
   // Figure 5b inventory: every discovered place with a resolvable position.
   for (const core::PlaceUid uid : discovered) {
     const core::PlaceRecord* record = pms.places().get(uid);
@@ -189,6 +214,10 @@ StudyResult DeploymentStudy::run() {
   geoloc.set_ap_db(world_->ap_location_db());
   cloud::CloudInstance cloud(cloud::CloudConfig{}, std::move(geoloc),
                              rng_.fork(3));
+
+  telemetry::registry()
+      .gauge("study_participants", {}, "participants in the deployment study")
+      .set(static_cast<double>(participants.size()));
 
   StudyResult result;
   for (const auto& participant : participants) {

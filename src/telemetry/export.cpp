@@ -1,0 +1,201 @@
+#include "telemetry/export.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/logging.hpp"
+#include "util/strfmt.hpp"
+
+namespace pmware::telemetry {
+
+namespace {
+
+/// Prometheus label values: escape backslash, double-quote, newline.
+std::string escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// {k="v",...} rendering; `extra` appends one more pair (used for le=).
+std::string label_block(const LabelSet& labels,
+                        const std::string& extra_key = "",
+                        const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + escape_label(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key + "=\"" + extra_value + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+std::string format_number(double v) {
+  std::string s = strfmt("%.10g", v);
+  return s;
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsRegistry& reg) {
+  std::string out;
+  for (const auto& [name, family] : reg.families()) {
+    if (!family.help.empty())
+      out += "# HELP " + name + " " + family.help + "\n";
+    out += "# TYPE " + name + " " + to_string(family.kind) + "\n";
+    switch (family.kind) {
+      case MetricKind::Counter:
+        for (const auto& [labels, series] : family.counters)
+          out += name + label_block(labels) + " " +
+                 strfmt("%llu", static_cast<unsigned long long>(
+                                    series->value())) +
+                 "\n";
+        break;
+      case MetricKind::Gauge:
+        for (const auto& [labels, series] : family.gauges)
+          out += name + label_block(labels) + " " +
+                 format_number(series->value()) + "\n";
+        break;
+      case MetricKind::Histogram:
+        for (const auto& [labels, series] : family.histograms) {
+          const Histogram& h = series->buckets();
+          std::size_t cumulative = 0;
+          for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+            cumulative += h.count(b);
+            out += name + "_bucket" +
+                   label_block(labels, "le", format_number(h.bucket_hi(b))) +
+                   " " + strfmt("%zu", cumulative) + "\n";
+          }
+          out += name + "_bucket" + label_block(labels, "le", "+Inf") + " " +
+                 strfmt("%zu", h.total()) + "\n";
+          out += name + "_sum" + label_block(labels) + " " +
+                 format_number(series->stats().sum()) + "\n";
+          out += name + "_count" + label_block(labels) + " " +
+                 strfmt("%zu", h.total()) + "\n";
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+Json to_json(const MetricsRegistry& reg) {
+  Json metrics = Json::object();
+  for (const auto& [name, family] : reg.families()) {
+    Json fam = Json::object();
+    fam.set("kind", to_string(family.kind));
+    if (!family.help.empty()) fam.set("help", family.help);
+    Json series_arr = Json::array();
+    auto labels_json = [](const LabelSet& labels) {
+      Json o = Json::object();
+      for (const auto& [k, v] : labels) o.set(k, v);
+      return o;
+    };
+    switch (family.kind) {
+      case MetricKind::Counter:
+        for (const auto& [labels, series] : family.counters) {
+          Json s = Json::object();
+          s.set("labels", labels_json(labels));
+          s.set("value", series->value());
+          series_arr.push_back(std::move(s));
+        }
+        break;
+      case MetricKind::Gauge:
+        for (const auto& [labels, series] : family.gauges) {
+          Json s = Json::object();
+          s.set("labels", labels_json(labels));
+          s.set("value", series->value());
+          series_arr.push_back(std::move(s));
+        }
+        break;
+      case MetricKind::Histogram:
+        for (const auto& [labels, series] : family.histograms) {
+          Json s = Json::object();
+          s.set("labels", labels_json(labels));
+          s.set("count", static_cast<std::uint64_t>(series->buckets().total()));
+          s.set("sum", series->stats().sum());
+          s.set("mean", series->stats().mean());
+          s.set("min", series->stats().min());
+          s.set("max", series->stats().max());
+          Json buckets = Json::array();
+          const Histogram& h = series->buckets();
+          for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+            Json bucket = Json::object();
+            bucket.set("lo", h.bucket_lo(b));
+            bucket.set("hi", h.bucket_hi(b));
+            bucket.set("count", static_cast<std::uint64_t>(h.count(b)));
+            buckets.push_back(std::move(bucket));
+          }
+          s.set("buckets", std::move(buckets));
+          series_arr.push_back(std::move(s));
+        }
+        break;
+    }
+    fam.set("series", std::move(series_arr));
+    metrics.set(name, std::move(fam));
+  }
+  Json out = Json::object();
+  out.set("metrics", std::move(metrics));
+  return out;
+}
+
+Json spans_to_json(const Tracer& tracer) {
+  Json arr = Json::array();
+  for (const SpanRecord& record : tracer.records()) {
+    Json s = Json::object();
+    s.set("name", record.name);
+    s.set("id", static_cast<std::uint64_t>(record.id));
+    if (record.parent != SpanRecord::kNoParent)
+      s.set("parent", static_cast<std::uint64_t>(record.parent));
+    s.set("depth", static_cast<std::uint64_t>(record.depth));
+    s.set("sim_begin", record.sim_begin);
+    s.set("sim_end", record.sim_end);
+    s.set("wall_ns", record.wall_ns);
+    s.set("finished", record.finished);
+    arr.push_back(std::move(s));
+  }
+  return arr;
+}
+
+std::string bench_json_path(int argc, char** argv,
+                            const std::string& bench_name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") != 0) continue;
+    if (i + 1 < argc && argv[i + 1][0] != '-') return argv[i + 1];
+    return "BENCH_" + bench_name + ".json";
+  }
+  return "";
+}
+
+bool write_bench_json(const std::string& path, const std::string& bench_name,
+                      Json extra) {
+  Json doc = to_json(registry());
+  doc.set("bench", bench_name);
+  doc.set("results", std::move(extra));
+  doc.set("spans", spans_to_json(tracer()));
+  std::ofstream out(path);
+  if (!out) {
+    log_warn("telemetry", "cannot open %s for writing", path.c_str());
+    return false;
+  }
+  out << doc.pretty() << "\n";
+  log_info("telemetry", "wrote %s", path.c_str());
+  return out.good();
+}
+
+}  // namespace pmware::telemetry

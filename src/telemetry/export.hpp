@@ -1,0 +1,42 @@
+// Exporters: render the metrics registry (and tracer) for machines.
+//
+//  * Prometheus text — what the cloud instance serves on GET /metrics.
+//  * JSON (util/json.hpp) — what benches dump with --json, producing the
+//    BENCH_*.json trajectory files; parses back via Json::parse.
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+#include "util/json.hpp"
+
+namespace pmware::telemetry {
+
+/// Prometheus exposition text: "# HELP"/"# TYPE" headers per family, one
+/// "name{label=\"v\"} value" line per series; histograms expand into
+/// cumulative _bucket{le=...} lines plus _sum and _count.
+std::string to_prometheus(const MetricsRegistry& reg);
+
+/// {"metrics": {name: {"kind":..., "help":..., "series":[{"labels":{...},
+/// "value"|"count"/"sum"/"buckets":...}]}}}
+Json to_json(const MetricsRegistry& reg);
+
+/// Finished spans as a JSON array (start order, parents before children).
+Json spans_to_json(const Tracer& tracer);
+
+// --- bench --json support -------------------------------------------------
+
+/// Parses "--json [path]" out of argv. Returns the explicit path, the
+/// default "BENCH_<bench_name>.json" when --json is given bare, or "" when
+/// the flag is absent.
+std::string bench_json_path(int argc, char** argv,
+                            const std::string& bench_name);
+
+/// Writes {"bench": name, "results": extra, "metrics": ..., "spans": [...]}
+/// from the process-wide registry/tracer to `path`. Returns false (with a
+/// log line) on I/O failure.
+bool write_bench_json(const std::string& path, const std::string& bench_name,
+                      Json extra = Json::object());
+
+}  // namespace pmware::telemetry

@@ -1,0 +1,124 @@
+#include "telemetry/metrics.hpp"
+
+#include "util/strfmt.hpp"
+
+namespace pmware::telemetry {
+
+const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+MetricFamily& MetricsRegistry::family_of(const std::string& name,
+                                         MetricKind kind,
+                                         const std::string& help) {
+  auto [it, inserted] = families_.try_emplace(name);
+  MetricFamily& family = it->second;
+  if (inserted) {
+    family.kind = kind;
+    family.help = help;
+  } else if (family.kind != kind) {
+    throw TelemetryError(strfmt("metric '%s' is a %s, requested as %s",
+                                name.c_str(), to_string(family.kind),
+                                to_string(kind)));
+  }
+  if (family.help.empty() && !help.empty()) family.help = help;
+  return family;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, LabelSet labels,
+                                  const std::string& help) {
+  MetricFamily& family = family_of(name, MetricKind::Counter, help);
+  auto [it, inserted] = family.counters.try_emplace(std::move(labels));
+  if (inserted) it->second = std::make_unique<Counter>();
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, LabelSet labels,
+                              const std::string& help) {
+  MetricFamily& family = family_of(name, MetricKind::Gauge, help);
+  auto [it, inserted] = family.gauges.try_emplace(std::move(labels));
+  if (inserted) it->second = std::make_unique<Gauge>();
+  return *it->second;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name,
+                                            LabelSet labels, double lo,
+                                            double hi, std::size_t bucket_count,
+                                            const std::string& help) {
+  MetricFamily& family = family_of(name, MetricKind::Histogram, help);
+  if (!family.histograms.empty()) {
+    const HistogramMetric& existing = *family.histograms.begin()->second;
+    if (existing.buckets().bucket_lo(0) != lo ||
+        existing.buckets().bucket_hi(existing.buckets().bucket_count() - 1) !=
+            hi ||
+        existing.buckets().bucket_count() != bucket_count) {
+      throw TelemetryError(
+          strfmt("histogram '%s' re-declared with different bounds",
+                 name.c_str()));
+    }
+  }
+  auto [it, inserted] = family.histograms.try_emplace(std::move(labels));
+  if (inserted)
+    it->second = std::make_unique<HistogramMetric>(lo, hi, bucket_count);
+  return *it->second;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name,
+                                             const LabelSet& labels) const {
+  const auto fit = families_.find(name);
+  if (fit == families_.end() || fit->second.kind != MetricKind::Counter)
+    return nullptr;
+  const auto sit = fit->second.counters.find(labels);
+  return sit == fit->second.counters.end() ? nullptr : sit->second.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name,
+                                         const LabelSet& labels) const {
+  const auto fit = families_.find(name);
+  if (fit == families_.end() || fit->second.kind != MetricKind::Gauge)
+    return nullptr;
+  const auto sit = fit->second.gauges.find(labels);
+  return sit == fit->second.gauges.end() ? nullptr : sit->second.get();
+}
+
+const HistogramMetric* MetricsRegistry::find_histogram(
+    const std::string& name, const LabelSet& labels) const {
+  const auto fit = families_.find(name);
+  if (fit == families_.end() || fit->second.kind != MetricKind::Histogram)
+    return nullptr;
+  const auto sit = fit->second.histograms.find(labels);
+  return sit == fit->second.histograms.end() ? nullptr : sit->second.get();
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name,
+                                             const LabelSet& labels) const {
+  const Counter* c = find_counter(name, labels);
+  return c == nullptr ? 0 : c->value();
+}
+
+std::uint64_t MetricsRegistry::family_total(const std::string& name) const {
+  const auto fit = families_.find(name);
+  if (fit == families_.end() || fit->second.kind != MetricKind::Counter)
+    return 0;
+  std::uint64_t total = 0;
+  for (const auto& [labels, series] : fit->second.counters)
+    total += series->value();
+  return total;
+}
+
+std::string MetricsRegistry::next_instance_label(const std::string& prefix) {
+  return strfmt("%s%llu", prefix.c_str(),
+                static_cast<unsigned long long>(next_instance_++));
+}
+
+MetricsRegistry& registry() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+}  // namespace pmware::telemetry

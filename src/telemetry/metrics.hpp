@@ -1,0 +1,149 @@
+// Telemetry metrics registry: the process-wide measurement substrate.
+//
+// Every layer of the middleware (net transport, sampling scheduler,
+// inference engine, PMS, cloud instance, deployment study) records labeled
+// counters, gauges, and histograms here instead of keeping ad-hoc stats
+// structs. Exporters (telemetry/export.hpp) render the registry as
+// Prometheus text — served by the cloud instance's GET /metrics — or as
+// JSON for the benches' --json mode.
+//
+// The registry is deliberately single-threaded, like the rest of the
+// simulation: no locks, deterministic iteration order (std::map keyed by
+// family name, then by label set).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace pmware::telemetry {
+
+/// Sorted key/value labels identifying one series within a family,
+/// e.g. {{"interface", "gsm"}}. The empty set is a valid (unlabeled) series.
+using LabelSet = std::map<std::string, std::string>;
+
+/// Thrown on kind mismatches (e.g. asking for a counter named like an
+/// existing gauge family) and histogram re-declarations with new bounds.
+class TelemetryError : public std::logic_error {
+ public:
+  explicit TelemetryError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Monotonically increasing count. Prometheus convention: name ends in
+/// "_total".
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time value that can move both ways.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Fixed-bucket distribution. Wraps util/stats.hpp: the Histogram supplies
+/// the bucket layout (values outside [lo, hi) clamp into the edge buckets),
+/// the RunningStats supply sum/mean/min/max for the exporters.
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, std::size_t buckets)
+      : hist_(lo, hi, buckets) {}
+
+  void observe(double x) {
+    hist_.add(x);
+    stats_.add(x);
+  }
+
+  const Histogram& buckets() const { return hist_; }
+  const RunningStats& stats() const { return stats_; }
+
+ private:
+  Histogram hist_;
+  RunningStats stats_;
+};
+
+enum class MetricKind { Counter, Gauge, Histogram };
+const char* to_string(MetricKind kind);
+
+/// All series sharing one metric name. Exactly one of the three maps is
+/// populated, matching `kind`.
+struct MetricFamily {
+  MetricKind kind = MetricKind::Counter;
+  std::string help;
+  std::map<LabelSet, std::unique_ptr<Counter>> counters;
+  std::map<LabelSet, std::unique_ptr<Gauge>> gauges;
+  std::map<LabelSet, std::unique_ptr<HistogramMetric>> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns the counter series for (name, labels), creating family and
+  /// series on first use. Throws TelemetryError if `name` already names a
+  /// family of a different kind. References stay valid until reset().
+  Counter& counter(const std::string& name, LabelSet labels = {},
+                   const std::string& help = "");
+
+  Gauge& gauge(const std::string& name, LabelSet labels = {},
+               const std::string& help = "");
+
+  /// Histogram bounds are a property of the family: the first declaration
+  /// wins and later calls must repeat it (mismatch throws TelemetryError).
+  HistogramMetric& histogram(const std::string& name, LabelSet labels,
+                             double lo, double hi, std::size_t bucket_count,
+                             const std::string& help = "");
+
+  /// Read-side lookups for the thin stats views (ClientStats, PmsStats):
+  /// null when the family or series does not exist (e.g. after reset()).
+  const Counter* find_counter(const std::string& name,
+                              const LabelSet& labels) const;
+  const Gauge* find_gauge(const std::string& name, const LabelSet& labels) const;
+  const HistogramMetric* find_histogram(const std::string& name,
+                                        const LabelSet& labels) const;
+  /// Value of a counter series, 0 when absent.
+  std::uint64_t counter_value(const std::string& name,
+                              const LabelSet& labels = {}) const;
+
+  /// Sum of every series in a counter family (0 when absent) — the fleet
+  /// aggregate across instance labels.
+  std::uint64_t family_total(const std::string& name) const;
+
+  const std::map<std::string, MetricFamily>& families() const {
+    return families_;
+  }
+  std::size_t family_count() const { return families_.size(); }
+
+  /// Drops every family and series. Instrument references obtained earlier
+  /// dangle afterwards — callers must re-fetch (the middleware re-fetches on
+  /// every use, so only tests caching references need care).
+  void reset() { families_.clear(); }
+
+  /// Fresh id for per-instance labels ("c3", "pms7"); never reused, not
+  /// affected by reset() so views of dead instances stay distinct.
+  std::string next_instance_label(const std::string& prefix);
+
+ private:
+  MetricFamily& family_of(const std::string& name, MetricKind kind,
+                          const std::string& help);
+
+  std::map<std::string, MetricFamily> families_;
+  std::uint64_t next_instance_ = 0;
+};
+
+/// The process-wide registry every middleware layer records into.
+MetricsRegistry& registry();
+
+}  // namespace pmware::telemetry

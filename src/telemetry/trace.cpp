@@ -1,0 +1,58 @@
+#include "telemetry/trace.hpp"
+
+namespace pmware::telemetry {
+
+std::size_t Tracer::open_span(std::string name, SimTime sim_now) {
+  if (records_.size() >= max_records_) {
+    ++dropped_;
+    return SpanRecord::kNoParent;
+  }
+  SpanRecord record;
+  record.name = std::move(name);
+  record.id = records_.size();
+  record.parent = open_.empty() ? SpanRecord::kNoParent : open_.back();
+  record.depth = open_.size();
+  record.sim_begin = sim_now;
+  record.sim_end = sim_now;
+  records_.push_back(std::move(record));
+  open_.push_back(records_.size() - 1);
+  return records_.size() - 1;
+}
+
+void Tracer::close_span(std::size_t index, SimTime sim_now,
+                        std::int64_t wall_ns) {
+  if (index == SpanRecord::kNoParent) return;
+  SpanRecord& record = records_[index];
+  record.sim_end = sim_now;
+  record.wall_ns = wall_ns;
+  record.finished = true;
+  // Spans are RAII, so the one being closed is the innermost open one; a
+  // dropped (at-capacity) child never made it onto the stack.
+  if (!open_.empty() && open_.back() == index) open_.pop_back();
+}
+
+Span::Span(Tracer& tracer, std::string name, SimTime sim_now)
+    : tracer_(tracer),
+      index_(tracer.open_span(std::move(name), sim_now)),
+      sim_begin_(sim_now),
+      wall_begin_(std::chrono::steady_clock::now()) {}
+
+void Span::finish(SimTime sim_now) {
+  if (finished_) return;
+  finished_ = true;
+  const auto wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - wall_begin_)
+                           .count();
+  tracer_.close_span(index_, sim_now, wall_ns);
+}
+
+Span::~Span() {
+  if (!finished_) finish(sim_begin_);
+}
+
+Tracer& tracer() {
+  static Tracer instance;
+  return instance;
+}
+
+}  // namespace pmware::telemetry

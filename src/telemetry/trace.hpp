@@ -1,0 +1,115 @@
+// Sim-time-aware tracing: spans record *both* clocks.
+//
+// The middleware runs on SimTime (reproducible, advanced by the sampling
+// scheduler), but the cost of running the middleware itself — a GCA
+// recluster, a JSON encode, a routed cloud handler — is wall-clock work.
+// A Span therefore captures a [sim_begin, sim_end] interval (how much
+// simulated life it covered) and a wall_ns duration (how long the
+// implementation took). Spans nest: a PMS housekeeping pass shows its
+// GCA-offload RPC as a child, so traces answer "where did the wall time of
+// this simulated day go?".
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/simtime.hpp"
+
+namespace pmware::telemetry {
+
+struct SpanRecord {
+  std::string name;
+  std::size_t id = 0;
+  /// Index of the enclosing span's record, or kNoParent for roots.
+  std::size_t parent = kNoParent;
+  std::size_t depth = 0;       ///< 0 for roots
+  SimTime sim_begin = 0;
+  SimTime sim_end = 0;
+  std::int64_t wall_ns = 0;
+  bool finished = false;
+
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+
+  SimDuration sim_duration() const { return sim_end - sim_begin; }
+};
+
+/// Collects finished spans in start order (parents before children). A hard
+/// cap bounds memory on long runs; spans opened past it are dropped and
+/// counted.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t max_records = 65536)
+      : max_records_(max_records) {}
+
+  const std::vector<SpanRecord>& records() const { return records_; }
+  std::size_t dropped() const { return dropped_; }
+  std::size_t open_depth() const { return open_.size(); }
+
+  void reset() {
+    records_.clear();
+    open_.clear();
+    dropped_ = 0;
+  }
+
+ private:
+  friend class Span;
+
+  /// Returns the record index, or SpanRecord::kNoParent when at capacity.
+  std::size_t open_span(std::string name, SimTime sim_now);
+  void close_span(std::size_t index, SimTime sim_now, std::int64_t wall_ns);
+
+  std::size_t max_records_;
+  std::vector<SpanRecord> records_;
+  std::vector<std::size_t> open_;  ///< stack of open record indices
+  std::size_t dropped_ = 0;
+};
+
+/// RAII span. Opens on construction; finish(sim_now) closes with an explicit
+/// simulation end time. The destructor closes an unfinished span at its own
+/// sim_begin (zero simulated duration) — right for work that happens "between
+/// ticks" like housekeeping, where only the wall clock advances.
+class Span {
+ public:
+  Span(Tracer& tracer, std::string name, SimTime sim_now);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void finish(SimTime sim_now);
+  bool finished() const { return finished_; }
+
+ private:
+  Tracer& tracer_;
+  std::size_t index_;
+  SimTime sim_begin_;
+  std::chrono::steady_clock::time_point wall_begin_;
+  bool finished_ = false;
+};
+
+/// Span that reads the simulation clock itself, at open and at end of scope
+/// — for scopes where sim time advances while they run (e.g. a scheduler
+/// window), so callers need not thread the end time out by hand.
+class ScopedTimer {
+ public:
+  using SimClock = std::function<SimTime()>;
+
+  ScopedTimer(Tracer& tracer, std::string name, SimClock clock)
+      : clock_(std::move(clock)), span_(tracer, std::move(name), clock_()) {}
+  ~ScopedTimer() { span_.finish(clock_()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  SimClock clock_;
+  Span span_;
+};
+
+/// The process-wide tracer, sibling of telemetry::registry().
+Tracer& tracer();
+
+}  // namespace pmware::telemetry

@@ -81,6 +81,44 @@ TEST_F(CloudFixture, EndpointsRejectForeignUser) {
   EXPECT_EQ(res.status, net::kStatusUnauthorized);
 }
 
+TEST_F(CloudFixture, MetricsEndpointRequiresAuth) {
+  register_device();
+  token_.clear();
+  const HttpResponse res =
+      cloud_.router().handle(request(Method::Get, "/metrics"));
+  EXPECT_EQ(res.status, net::kStatusUnauthorized);
+}
+
+TEST_F(CloudFixture, MetricsEndpointServesPrometheusText) {
+  register_device();
+  const HttpResponse res =
+      cloud_.router().handle(request(Method::Get, "/metrics"));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.body.at("content_type").as_string(),
+            "text/plain; version=0.0.4");
+  const std::string& text = res.body.at("text").as_string();
+  // The register request itself went through the observer, so the cloud's
+  // own families are present in the scrape.
+  EXPECT_NE(text.find("# TYPE cloud_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE cloud_handler_wall_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("route=\"/api/register\""), std::string::npos);
+}
+
+TEST_F(CloudFixture, MetricsEndpointServesJsonFormat) {
+  register_device();
+  HttpRequest req = request(Method::Get, "/metrics");
+  req.query["format"] = "json";
+  const HttpResponse res = cloud_.router().handle(req);
+  ASSERT_TRUE(res.ok());
+  const Json& metrics = res.body.at("metrics");
+  ASSERT_TRUE(metrics.contains("cloud_requests_total"));
+  EXPECT_EQ(metrics.at("cloud_requests_total").at("kind").as_string(),
+            "counter");
+  EXPECT_GE(metrics.at("cloud_requests_total").at("series").size(), 1u);
+}
+
 TEST_F(CloudFixture, TokenExpiresAfterTtl) {
   register_device();
   const SimTime later = hours(29);  // past the 28h default TTL

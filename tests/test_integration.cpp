@@ -179,6 +179,44 @@ TEST(EndToEnd, CloudHoldsConsistentStateAfterStudyDays) {
   }
 }
 
+TEST(EndToEnd, MetricsScrapeCoversEveryMiddlewareLayer) {
+  // The acceptance bar for the telemetry subsystem: after a full-stack run,
+  // GET /metrics on the cloud serves families recorded by the net transport,
+  // the sampling scheduler, the inference core, the PMS, and the cloud
+  // itself — one registry, every layer.
+  Stack stack(2);
+  for (int day = 0; day < 2; ++day)
+    stack.pms->run(TimeWindow{start_of_day(day), start_of_day(day + 1)});
+  stack.pms->shutdown(days(2));
+
+  // Scrape as a second registered device (any authenticated user may).
+  net::HttpRequest reg;
+  reg.method = net::Method::Post;
+  reg.path = "/api/register";
+  reg.headers[cloud::CloudInstance::kSimTimeHeader] = "0";
+  reg.body = Json::object();
+  reg.body.set("imei", "scraper-imei");
+  reg.body.set("email", "scraper@ops.example");
+  const net::HttpResponse registered = stack.cloud->router().handle(reg);
+  ASSERT_TRUE(registered.ok());
+
+  net::HttpRequest scrape;
+  scrape.method = net::Method::Get;
+  scrape.path = "/metrics";
+  scrape.headers[cloud::CloudInstance::kSimTimeHeader] = "0";
+  scrape.headers["Authorization"] =
+      "Bearer " + registered.body.at("token").as_string();
+  const net::HttpResponse res = stack.cloud->router().handle(scrape);
+  ASSERT_TRUE(res.ok());
+
+  const std::string& text = res.body.at("text").as_string();
+  for (const char* family :
+       {"net_requests_total", "sensing_samples_total", "core_recluster_total",
+        "pms_profile_syncs_total", "cloud_requests_total"})
+    EXPECT_NE(text.find(family), std::string::npos)
+        << "family missing from scrape: " << family;
+}
+
 TEST(EndToEnd, DiscoveredPlacesMatchGroundTruthWell) {
   Stack stack(5);
   apps::LifeLog lifelog;

@@ -114,6 +114,41 @@ TEST(Histogram, BucketsAndClamping) {
   EXPECT_DOUBLE_EQ(h.bucket_hi(1), 4.0);
 }
 
+TEST(Histogram, ExactBoundariesLandInEdgeBuckets) {
+  Histogram h(0, 10, 5);
+  h.add(0.0);   // exactly lo -> first bucket
+  h.add(10.0);  // exactly hi (outside [lo, hi)) -> clamped into last bucket
+  h.add(2.0);   // exactly an interior edge -> bucket that starts there
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, FarOutsideValuesClampWithoutLoss) {
+  Histogram h(-5, 5, 4);
+  h.add(-1e9);
+  h.add(1e9);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Percentile, SingleElementIsThatElementForAnyQ) {
+  const std::vector<double> v{42.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 42.0);
+  EXPECT_DOUBLE_EQ(median_of(v), 42.0);
+}
+
+TEST(Percentile, EmptyInputThrowsEvenAtValidQ) {
+  const std::vector<double> empty;
+  EXPECT_THROW(percentile(empty, 0.0), std::invalid_argument);
+  EXPECT_THROW(percentile(empty, 1.0), std::invalid_argument);
+  EXPECT_THROW(median_of(empty), std::invalid_argument);
+}
+
 TEST(Histogram, RenderContainsBars) {
   Histogram h(0, 4, 2);
   h.add(1);

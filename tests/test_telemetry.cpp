@@ -1,0 +1,350 @@
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/client.hpp"
+#include "net/http.hpp"
+#include "net/router.hpp"
+#include "util/json.hpp"
+
+namespace pmware::telemetry {
+namespace {
+
+// ---------------------------------------------------------------- counters
+
+TEST(MetricsRegistry, CounterStartsAtZeroAndAccumulates) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("requests_total");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(reg.counter("requests_total").value(), 5u);
+}
+
+TEST(MetricsRegistry, SameNameAndLabelsIsTheSameSeries) {
+  MetricsRegistry reg;
+  reg.counter("hits_total", {{"route", "/a"}}).inc();
+  reg.counter("hits_total", {{"route", "/a"}}).inc();
+  EXPECT_EQ(reg.counter_value("hits_total", {{"route", "/a"}}), 2u);
+}
+
+TEST(MetricsRegistry, DifferentLabelsAreDistinctSeries) {
+  MetricsRegistry reg;
+  reg.counter("hits_total", {{"route", "/a"}}).inc(1);
+  reg.counter("hits_total", {{"route", "/b"}}).inc(10);
+  reg.counter("hits_total").inc(100);
+  EXPECT_EQ(reg.counter_value("hits_total", {{"route", "/a"}}), 1u);
+  EXPECT_EQ(reg.counter_value("hits_total", {{"route", "/b"}}), 10u);
+  EXPECT_EQ(reg.counter_value("hits_total"), 100u);
+  EXPECT_EQ(reg.family_total("hits_total"), 111u);
+}
+
+TEST(MetricsRegistry, LabelOrderDoesNotMatter) {
+  // LabelSet is a sorted map, so insertion order cannot create duplicates.
+  MetricsRegistry reg;
+  reg.counter("x_total", {{"a", "1"}, {"b", "2"}}).inc();
+  reg.counter("x_total", {{"b", "2"}, {"a", "1"}}).inc();
+  EXPECT_EQ(reg.counter_value("x_total", {{"b", "2"}, {"a", "1"}}), 2u);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("thing");
+  EXPECT_THROW(reg.gauge("thing"), TelemetryError);
+  EXPECT_THROW(reg.histogram("thing", {}, 0, 1, 4), TelemetryError);
+  reg.gauge("level");
+  EXPECT_THROW(reg.counter("level"), TelemetryError);
+}
+
+TEST(MetricsRegistry, FindersReturnNullForMissingSeries) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.find_counter("nope", {}), nullptr);
+  EXPECT_EQ(reg.counter_value("nope"), 0u);
+  reg.counter("present", {{"k", "v"}});
+  EXPECT_EQ(reg.find_counter("present", {}), nullptr);
+  EXPECT_NE(reg.find_counter("present", {{"k", "v"}}), nullptr);
+}
+
+// ------------------------------------------------------------------ gauges
+
+TEST(MetricsRegistry, GaugeSetAndAdd) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("battery_pct", {{"device", "d0"}});
+  g.set(80);
+  g.add(-12.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("battery_pct", {{"device", "d0"}}).value(), 67.5);
+}
+
+// -------------------------------------------------------------- histograms
+
+TEST(MetricsRegistry, HistogramObservationsLandInBuckets) {
+  MetricsRegistry reg;
+  HistogramMetric& h = reg.histogram("latency_s", {}, 0, 10, 5);
+  h.observe(1);    // bucket 0 ([0,2))
+  h.observe(3);    // bucket 1
+  h.observe(9.5);  // bucket 4
+  h.observe(42);   // clamped into bucket 4
+  EXPECT_EQ(h.buckets().total(), 4u);
+  EXPECT_EQ(h.buckets().count(0), 1u);
+  EXPECT_EQ(h.buckets().count(1), 1u);
+  EXPECT_EQ(h.buckets().count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.stats().sum(), 55.5);
+  EXPECT_DOUBLE_EQ(h.stats().max(), 42.0);
+}
+
+TEST(MetricsRegistry, HistogramRedeclarationWithNewBoundsThrows) {
+  MetricsRegistry reg;
+  reg.histogram("h", {{"i", "a"}}, 0, 10, 5);
+  // Same bounds, new labels: fine.
+  reg.histogram("h", {{"i", "b"}}, 0, 10, 5);
+  EXPECT_THROW(reg.histogram("h", {{"i", "c"}}, 0, 20, 5), TelemetryError);
+  EXPECT_THROW(reg.histogram("h", {{"i", "d"}}, 0, 10, 8), TelemetryError);
+}
+
+// ------------------------------------------------------------------- reset
+
+TEST(MetricsRegistry, ResetClearsFamiliesAndKeepsInstanceLabelsFresh) {
+  MetricsRegistry reg;
+  reg.counter("a_total").inc(3);
+  const std::string first = reg.next_instance_label("c");
+  reg.reset();
+  EXPECT_EQ(reg.family_count(), 0u);
+  EXPECT_EQ(reg.counter_value("a_total"), 0u);
+  // Instance ids survive reset, so pre-reset instances never collide with
+  // post-reset ones.
+  EXPECT_NE(reg.next_instance_label("c"), first);
+}
+
+TEST(MetricsRegistry, GlobalRegistryResetIsolatesTests) {
+  registry().reset();
+  registry().counter("isolation_probe_total").inc();
+  EXPECT_EQ(registry().counter_value("isolation_probe_total"), 1u);
+  registry().reset();
+  EXPECT_EQ(registry().counter_value("isolation_probe_total"), 0u);
+}
+
+// ------------------------------------------------------------------- spans
+
+TEST(Tracer, SpansNestParentChild) {
+  Tracer tracer;
+  {
+    Span outer(tracer, "housekeeping", 100);
+    {
+      Span inner(tracer, "gca_offload", 100);
+      inner.finish(100);
+    }
+    outer.finish(100);
+  }
+  ASSERT_EQ(tracer.records().size(), 2u);
+  const SpanRecord& outer = tracer.records()[0];
+  const SpanRecord& inner = tracer.records()[1];
+  EXPECT_EQ(outer.name, "housekeeping");
+  EXPECT_EQ(outer.parent, SpanRecord::kNoParent);
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(inner.name, "gca_offload");
+  EXPECT_EQ(inner.parent, outer.id);
+  EXPECT_EQ(inner.depth, 1u);
+  EXPECT_TRUE(outer.finished);
+  EXPECT_TRUE(inner.finished);
+  // The parent's wall clock ran strictly longer than (or as long as) the
+  // child's: it opened earlier and closed later.
+  EXPECT_GE(outer.wall_ns, inner.wall_ns);
+}
+
+TEST(Tracer, SimAndWallClocksAreAccountedSeparately) {
+  Tracer tracer;
+  {
+    Span span(tracer, "pms.run", hours(9));
+    span.finish(hours(18));
+  }
+  const SpanRecord& record = tracer.records()[0];
+  EXPECT_EQ(record.sim_begin, hours(9));
+  EXPECT_EQ(record.sim_end, hours(18));
+  EXPECT_EQ(record.sim_duration(), hours(9));
+  // Wall time is real elapsed time — nanoseconds, not nine hours.
+  EXPECT_GE(record.wall_ns, 0);
+  EXPECT_LT(record.wall_ns, 1'000'000'000);
+}
+
+TEST(Tracer, UnfinishedSpanClosesAtItsOwnSimBegin) {
+  Tracer tracer;
+  { Span span(tracer, "zero_sim_work", 500); }
+  const SpanRecord& record = tracer.records()[0];
+  EXPECT_TRUE(record.finished);
+  EXPECT_EQ(record.sim_begin, 500);
+  EXPECT_EQ(record.sim_end, 500);
+}
+
+TEST(Tracer, ScopedTimerReadsTheSimClockAtBothEnds) {
+  Tracer tracer;
+  SimTime now = minutes(5);
+  {
+    ScopedTimer timer(tracer, "scheduler.run", [&now] { return now; });
+    now = minutes(30);  // sim time advances while the scope runs
+  }
+  const SpanRecord& record = tracer.records()[0];
+  EXPECT_EQ(record.sim_begin, minutes(5));
+  EXPECT_EQ(record.sim_end, minutes(30));
+  EXPECT_EQ(record.sim_duration(), minutes(25));
+}
+
+TEST(Tracer, CapDropsSpansInsteadOfGrowing) {
+  Tracer tracer(/*max_records=*/2);
+  { Span a(tracer, "a", 0); }
+  { Span b(tracer, "b", 0); }
+  { Span c(tracer, "c", 0); }
+  EXPECT_EQ(tracer.records().size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 1u);
+  EXPECT_EQ(tracer.open_depth(), 0u);
+}
+
+// --------------------------------------------------------------- exporters
+
+MetricsRegistry exporter_fixture() {
+  MetricsRegistry reg;
+  reg.counter("net_requests_total", {{"instance", "c0"}},
+              "requests attempted")
+      .inc(7);
+  reg.gauge("sensing_duty_cycle", {{"interface", "gsm"}}).set(1.0 / 60.0);
+  reg.histogram("cloud_handler_wall_us", {{"route", "/metrics"}}, 0, 100, 4)
+      .observe(25);
+  return reg;
+}
+
+TEST(Exporters, PrometheusTextShape) {
+  const MetricsRegistry reg = exporter_fixture();
+  const std::string text = to_prometheus(reg);
+  EXPECT_NE(text.find("# TYPE net_requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# HELP net_requests_total requests attempted"),
+            std::string::npos);
+  EXPECT_NE(text.find("net_requests_total{instance=\"c0\"} 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE sensing_duty_cycle gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cloud_handler_wall_us histogram"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("cloud_handler_wall_us_bucket{route=\"/metrics\",le=\"50\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("cloud_handler_wall_us_bucket{route=\"/metrics\",le=\"+Inf\"} 1"),
+      std::string::npos);
+  EXPECT_NE(text.find("cloud_handler_wall_us_count{route=\"/metrics\"} 1"),
+            std::string::npos);
+}
+
+TEST(Exporters, PrometheusEscapesLabelValues) {
+  MetricsRegistry reg;
+  reg.counter("odd_total", {{"k", "a\"b\\c\nd"}}).inc();
+  const std::string text = to_prometheus(reg);
+  EXPECT_NE(text.find("odd_total{k=\"a\\\"b\\\\c\\nd\"} 1"),
+            std::string::npos);
+}
+
+TEST(Exporters, JsonRoundTripsThroughTheParser) {
+  const MetricsRegistry reg = exporter_fixture();
+  const Json exported = to_json(reg);
+  const Json reparsed = Json::parse(exported.dump());
+  EXPECT_EQ(reparsed, exported);
+
+  const Json& metrics = reparsed.at("metrics");
+  EXPECT_EQ(metrics.at("net_requests_total").at("kind").as_string(),
+            "counter");
+  const Json& series =
+      metrics.at("net_requests_total").at("series")[0];
+  EXPECT_EQ(series.at("labels").at("instance").as_string(), "c0");
+  EXPECT_EQ(series.at("value").as_int(), 7);
+
+  const Json& hist = metrics.at("cloud_handler_wall_us").at("series")[0];
+  EXPECT_EQ(hist.at("count").as_int(), 1);
+  EXPECT_DOUBLE_EQ(hist.at("sum").as_double(), 25.0);
+  EXPECT_EQ(hist.at("buckets").size(), 4u);
+  EXPECT_EQ(hist.at("buckets")[1].at("count").as_int(), 1);
+}
+
+TEST(Exporters, SpansExportParentLinks) {
+  Tracer tracer;
+  {
+    Span outer(tracer, "outer", 10);
+    Span inner(tracer, "inner", 20);
+    inner.finish(30);
+    outer.finish(40);
+  }
+  const Json spans = Json::parse(spans_to_json(tracer).dump());
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].at("name").as_string(), "outer");
+  EXPECT_FALSE(spans[0].contains("parent"));
+  EXPECT_EQ(spans[1].at("name").as_string(), "inner");
+  EXPECT_EQ(spans[1].at("parent").as_int(), spans[0].at("id").as_int());
+  EXPECT_EQ(spans[1].at("sim_begin").as_int(), 20);
+  EXPECT_EQ(spans[1].at("sim_end").as_int(), 30);
+}
+
+// ------------------------------------------------- middleware-facing views
+
+TEST(TelemetryViews, ClientStatsIsAViewOverTheRegistry) {
+  registry().reset();
+  net::Router router;
+  router.add_route(net::Method::Get, "/ping",
+                   [](const net::HttpRequest&, const net::PathParams&) {
+                     return net::HttpResponse::json(Json::object());
+                   });
+  net::RestClient client(&router, net::NetworkConditions{0.0, 3}, Rng(1));
+  net::HttpRequest request;
+  request.path = "/ping";
+  client.send(request);
+  client.send(request);
+
+  EXPECT_EQ(client.stats().requests, 2u);
+  EXPECT_EQ(client.stats().total_latency, 6);
+  EXPECT_EQ(registry().counter_value(
+                "net_requests_total", {{"instance", client.instance_label()}}),
+            2u);
+  // Reset wipes the series; the view reads zeros rather than dangling.
+  registry().reset();
+  EXPECT_EQ(client.stats().requests, 0u);
+}
+
+TEST(TelemetryViews, TwoClientsKeepSeparateSeries) {
+  registry().reset();
+  net::Router router;
+  router.add_route(net::Method::Get, "/ping",
+                   [](const net::HttpRequest&, const net::PathParams&) {
+                     return net::HttpResponse::json(Json::object());
+                   });
+  net::RestClient a(&router, net::NetworkConditions{}, Rng(1));
+  net::RestClient b(&router, net::NetworkConditions{}, Rng(2));
+  net::HttpRequest request;
+  request.path = "/ping";
+  a.send(request);
+  a.send(request);
+  b.send(request);
+  EXPECT_EQ(a.stats().requests, 2u);
+  EXPECT_EQ(b.stats().requests, 1u);
+  EXPECT_EQ(registry().family_total("net_requests_total"), 3u);
+}
+
+TEST(TelemetryViews, RouterObserverSeesPatternsNotConcretePaths) {
+  registry().reset();
+  net::Router router;
+  router.add_route(net::Method::Get, "/users/:id/places",
+                   [](const net::HttpRequest&, const net::PathParams&) {
+                     return net::HttpResponse::json(Json::object());
+                   });
+  std::vector<std::string> seen;
+  router.set_observer([&seen](net::Method, const std::string& pattern,
+                              int status, double wall_us) {
+    seen.push_back(pattern);
+    EXPECT_EQ(status, 200);
+    EXPECT_GE(wall_us, 0.0);
+  });
+  net::HttpRequest request;
+  request.path = "/users/7/places";
+  router.handle(request);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "/users/:id/places");
+}
+
+}  // namespace
+}  // namespace pmware::telemetry
