@@ -7,8 +7,12 @@
 //       79.03% correct, 14.52% merged, 6.45% divided
 //   - PlaceADs like:dislike = 17:3
 //   - Figure 5b: map of all places visited by the participants
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
+#include "algorithms/gca.hpp"
 #include "study/deployment.hpp"
 #include "telemetry/export.hpp"
 #include "util/logging.hpp"
@@ -17,13 +21,114 @@
 using namespace pmware;
 using algorithms::DiscoveredOutcome;
 
+namespace {
+
+double wall_seconds_since(std::chrono::steady_clock::time_point begin) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - begin)
+      .count();
+}
+
+/// Aggregates that must be identical across thread counts.
+struct StudyFingerprint {
+  std::size_t discovered = 0, tagged = 0, evaluable = 0;
+  std::size_t correct = 0, merged = 0, divided = 0;
+  std::size_t likes = 0, dislikes = 0, map_entries = 0;
+  double joules = 0;
+
+  static StudyFingerprint of(const study::StudyResult& r) {
+    StudyFingerprint f;
+    f.discovered = r.total_discovered();
+    f.tagged = r.total_tagged();
+    f.evaluable = r.total_evaluable();
+    f.correct = r.total(DiscoveredOutcome::Correct);
+    f.merged = r.total(DiscoveredOutcome::Merged);
+    f.divided = r.total(DiscoveredOutcome::Divided);
+    f.likes = r.total_likes();
+    f.dislikes = r.total_dislikes();
+    f.map_entries = r.place_map.size();
+    for (const auto& p : r.participants) f.joules += p.sensing_joules;
+    return f;
+  }
+  bool operator==(const StudyFingerprint&) const = default;
+};
+
+/// Synthetic multi-day GSM stream for the recluster microbenchmark: home
+/// oscillation overnight, a commute chain, work oscillation during the day
+/// — the shape that makes GCA's movement graph cluster. 1-minute cadence.
+std::vector<algorithms::CellObservation> synthetic_day(int day) {
+  auto cell = [](std::uint32_t cid) {
+    world::CellId c;
+    c.mcc = 262;
+    c.mnc = 1;
+    c.lac = 100;
+    c.cid = cid;
+    return c;
+  };
+  std::vector<algorithms::CellObservation> obs;
+  const SimTime day_start = start_of_day(day);
+  for (int m = 0; m < 24 * 60; m += 1) {
+    const SimTime t = day_start + minutes(m);
+    const int hour = m / 60;
+    std::uint32_t cid = 0;
+    if (hour < 8 || hour >= 19) {
+      cid = (m % 2 == 0) ? 10 : 11;  // home pair oscillating
+    } else if (hour == 8) {
+      cid = 20 + static_cast<std::uint32_t>(m % 60) / 12;  // commute chain
+    } else if (hour < 18) {
+      cid = (m % 2 == 0) ? 30 : 31;  // work pair oscillating
+    } else {
+      cid = 25 - static_cast<std::uint32_t>(m % 60) / 12;  // commute home
+    }
+    obs.push_back({t, cell(cid)});
+  }
+  return obs;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const std::string json_path =
       telemetry::bench_json_path(argc, argv, "deployment_study");
+  int fixed_threads = 0;  // 0 = sweep 1/2/4/8
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--threads") == 0)
+      fixed_threads = std::atoi(argv[i + 1]);
   set_log_level(LogLevel::Error);
   study::StudyConfig config;  // 16 participants x 14 days, GSM + opp. WiFi
+
+  // --- Thread-scaling sweep: same study at each worker count. Results must
+  // be identical; wall-clock shows the parallel speedup (bounded by the
+  // machine's core count).
+  std::vector<int> thread_counts;
+  if (fixed_threads > 0) thread_counts = {fixed_threads};
+  else thread_counts = {1, 2, 4, 8};
+
+  struct SweepEntry {
+    int threads = 0;
+    double wall_s = 0;
+  };
+  std::vector<SweepEntry> sweep;
+  std::vector<study::StudyResult> results;
+  for (const int threads : thread_counts) {
+    // Fresh registry/tracer per run so study_* counters and spans reflect
+    // one study; the final run's telemetry lands in the JSON dump.
+    telemetry::registry().reset();
+    telemetry::tracer().reset();
+    config.threads = threads;
+    study::DeploymentStudy study_run(config);
+    const auto begin = std::chrono::steady_clock::now();
+    results.push_back(study_run.run());
+    sweep.push_back({threads, wall_seconds_since(begin)});
+  }
+  const study::StudyResult& result = results.front();
+  const StudyFingerprint baseline_fp = StudyFingerprint::of(result);
+  bool identical = true;
+  for (const auto& r : results)
+    identical = identical && (StudyFingerprint::of(r) == baseline_fp);
+
+  // World geometry for the Figure-5b map (same config -> same world).
   study::DeploymentStudy study(config);
-  const study::StudyResult result = study.run();
 
   std::printf("=== Deployment study (paper S4): %d participants x %d days ===\n\n",
               config.participants, config.days);
@@ -92,6 +197,48 @@ int main(int argc, char** argv) {
               battery_sum / static_cast<double>(result.participants.size()),
               battery_sum / static_cast<double>(result.participants.size()) / 24);
 
+  // --- Thread-scaling report.
+  std::printf("\n--- thread scaling (%zu participants, identical results: %s) ---\n",
+              result.participants.size(), identical ? "yes" : "NO");
+  std::printf("%8s %10s %10s\n", "threads", "wall s", "speedup");
+  for (const auto& entry : sweep)
+    std::printf("%8d %10.2f %9.2fx\n", entry.threads, entry.wall_s,
+                sweep.front().wall_s / entry.wall_s);
+
+  // --- Sequential-vs-incremental recluster cost: daily recluster passes
+  // over a growing synthetic trace, full rebuild each day vs GcaState.
+  const int recluster_days = 14;
+  std::vector<algorithms::CellObservation> stream;
+  double full_s = 0, incremental_s = 0;
+  bool recluster_identical = true;
+  {
+    algorithms::GcaState state;
+    for (int day = 0; day < recluster_days; ++day) {
+      const auto day_obs = synthetic_day(day);
+      stream.insert(stream.end(), day_obs.begin(), day_obs.end());
+      auto begin = std::chrono::steady_clock::now();
+      const algorithms::GcaResult full = algorithms::run_gca(stream);
+      full_s += wall_seconds_since(begin);
+      begin = std::chrono::steady_clock::now();
+      const algorithms::GcaResult inc = state.run(stream);
+      incremental_s += wall_seconds_since(begin);
+      recluster_identical =
+          recluster_identical && full.cell_to_place == inc.cell_to_place &&
+          full.places.size() == inc.places.size() &&
+          full.visits.size() == inc.visits.size();
+    }
+    std::printf("\n--- recluster cost (%d daily passes, %zu observations, "
+                "identical: %s) ---\n",
+                recluster_days, stream.size(),
+                recluster_identical ? "yes" : "NO");
+    std::printf("  full rebuild each pass: %8.1f ms\n", full_s * 1e3);
+    std::printf("  incremental (GcaState): %8.1f ms (%.1fx, %zu of %zu "
+                "passes incremental)\n",
+                incremental_s * 1e3,
+                incremental_s > 0 ? full_s / incremental_s : 0.0,
+                state.incremental_passes(), state.passes());
+  }
+
   if (!json_path.empty()) {
     Json extra = Json::object();
     extra.set("participants", static_cast<std::uint64_t>(
@@ -110,6 +257,25 @@ int main(int argc, char** argv) {
               static_cast<std::uint64_t>(result.total_dislikes()));
     extra.set("fleet_avg_battery_h",
               battery_sum / static_cast<double>(result.participants.size()));
+    Json scaling = Json::array();
+    for (const auto& entry : sweep) {
+      Json e = Json::object();
+      e.set("threads", entry.threads);
+      e.set("wall_s", entry.wall_s);
+      e.set("speedup_vs_1", sweep.front().wall_s / entry.wall_s);
+      scaling.push_back(std::move(e));
+    }
+    extra.set("thread_scaling", std::move(scaling));
+    extra.set("results_identical_across_threads", identical);
+    Json recluster = Json::object();
+    recluster.set("passes", recluster_days);
+    recluster.set("observations", static_cast<std::uint64_t>(stream.size()));
+    recluster.set("full_rebuild_s", full_s);
+    recluster.set("incremental_s", incremental_s);
+    recluster.set("speedup",
+                  incremental_s > 0 ? full_s / incremental_s : 0.0);
+    recluster.set("identical", recluster_identical);
+    extra.set("recluster", std::move(recluster));
     if (!telemetry::write_bench_json(json_path, "deployment_study",
                                      std::move(extra)))
       return 1;

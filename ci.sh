@@ -1,20 +1,27 @@
 #!/usr/bin/env bash
-# Tier-1 verification, twice: a plain build and an address+UB-sanitized one.
+# Tier-1 verification, three times: a plain build, an address+UB-sanitized
+# one, and a thread-sanitized build that runs the concurrency tests (the
+# telemetry registry/tracer hammer and the parallel deployment study).
 # Usage: ./ci.sh [extra cmake args...]
 set -euo pipefail
 cd "$(dirname "$0")"
 
 run_suite() {
   local build_dir="$1"
-  shift
+  local test_filter="$2"
+  shift 2
   echo "=== configure + build: ${build_dir} ($*) ==="
   cmake -B "${build_dir}" -S . "$@"
   cmake --build "${build_dir}" -j "$(nproc)"
   echo "=== ctest: ${build_dir} ==="
-  (cd "${build_dir}" && ctest --output-on-failure -j "$(nproc)")
+  (cd "${build_dir}" &&
+   ctest --output-on-failure -j "$(nproc)" ${test_filter:+-R "${test_filter}"})
 }
 
-run_suite build "$@"
-run_suite build-asan -DPMWARE_SANITIZE="address;undefined" "$@"
+run_suite build "" "$@"
+run_suite build-asan "" -DPMWARE_SANITIZE="address;undefined" "$@"
+# tsan cannot combine with asan; a third build runs just the tests that
+# exercise threads (everything else is single-threaded by design).
+run_suite build-tsan "Concurrency" -DPMWARE_SANITIZE="thread" "$@"
 
-echo "ci.sh: both suites passed"
+echo "ci.sh: all three suites passed"

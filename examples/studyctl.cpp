@@ -3,7 +3,7 @@
 // Runs a configurable PMWare deployment study and writes a JSON report plus
 // an SVG place map, so parameter sweeps can be scripted without recompiling:
 //
-//   studyctl [--participants N] [--days D] [--seed S]
+//   studyctl [--participants N] [--days D] [--seed S] [--threads T]
 //            [--region india|switzerland] [--no-wifi] [--no-ads]
 //            [--report FILE.json] [--map FILE.svg]
 #include <cstdio>
@@ -23,7 +23,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--participants N] [--days D] [--seed S]\n"
-               "          [--region india|switzerland] [--no-wifi] [--no-ads]\n"
+               "          [--threads T] [--region india|switzerland]\n"
+               "          [--no-wifi] [--no-ads]\n"
                "          [--report FILE.json] [--map FILE.svg]\n",
                argv0);
   return 2;
@@ -54,6 +55,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       config.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      config.threads = std::atoi(v);
     } else if (arg == "--region") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -79,7 +84,8 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (config.participants < 1 || config.days < 1) return usage(argv[0]);
+  if (config.participants < 1 || config.days < 1 || config.threads < 1)
+    return usage(argv[0]);
 
   std::printf("running study: %d participants x %d days, region %s, "
               "wifi %s, seed %llu\n",

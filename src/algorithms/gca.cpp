@@ -4,6 +4,9 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace pmware::algorithms {
 
 void MovementGraph::observe(const CellObservation& obs,
@@ -74,13 +77,10 @@ class DisjointSets {
   std::map<world::CellId, world::CellId> parent_;
 };
 
-}  // namespace
-
-GcaResult run_gca(std::span<const CellObservation> observations,
-                  const GcaConfig& config) {
-  MovementGraph graph;
-  for (const auto& obs : observations) graph.observe(obs, config);
-
+/// Clusters the current movement graph into places. Shared by the batch
+/// entry point and GcaState so both produce identical clusterings.
+void cluster_graph(const MovementGraph& graph, const GcaConfig& config,
+                   GcaResult& result) {
   // Keep only edges with enough oscillation evidence and union their
   // endpoints. Raw transition counts are deliberately ignored here: repeated
   // commutes inflate them without the user ever dwelling.
@@ -95,7 +95,6 @@ GcaResult run_gca(std::span<const CellObservation> observations,
   for (const auto& [cell, dwell] : graph.dwell())
     groups[sets.find(cell)].push_back(cell);
 
-  GcaResult result;
   for (const auto& [root, cells] : groups) {
     SimDuration total = 0;
     for (const auto& c : cells) total += graph.dwell().at(c);
@@ -112,19 +111,11 @@ GcaResult run_gca(std::span<const CellObservation> observations,
     for (const auto& c : cells) result.cell_to_place[c] = index;
     result.places.push_back(std::move(cluster));
   }
+}
 
-  // Replay the stream through the visit tracker to reconstruct stays.
-  CellVisitTracker tracker(result.cell_to_place, config);
-  std::vector<CellVisitTracker::Event> events;
-  for (const auto& obs : observations) {
-    auto evs = tracker.observe(obs);
-    events.insert(events.end(), evs.begin(), evs.end());
-  }
-  if (!observations.empty()) {
-    auto evs = tracker.finish(observations.back().t);
-    events.insert(events.end(), evs.begin(), evs.end());
-  }
-
+/// Pairs arrival/departure events into closed visit windows.
+void pair_events_into_visits(
+    const std::vector<CellVisitTracker::Event>& events, GcaResult& result) {
   std::optional<std::pair<std::size_t, SimTime>> open;
   for (const auto& ev : events) {
     if (ev.kind == CellVisitTracker::Event::Kind::Arrival) {
@@ -134,6 +125,98 @@ GcaResult run_gca(std::span<const CellObservation> observations,
       open.reset();
     }
   }
+}
+
+}  // namespace
+
+GcaResult run_gca(std::span<const CellObservation> observations,
+                  const GcaConfig& config) {
+  // A fresh state runs exactly one full pass; GcaState is the single
+  // implementation of the algorithm, so batch and incremental cannot drift.
+  GcaState state(config);
+  return state.run(observations);
+}
+
+GcaState::GcaState(GcaConfig config) : config_(config) {}
+
+void GcaState::reset_state() {
+  graph_ = MovementGraph{};
+  fed_ = 0;
+  last_fed_t_ = 0;
+  mapping_.clear();
+  tracker_.reset();
+  events_.clear();
+}
+
+GcaResult GcaState::run(std::span<const CellObservation> observations) {
+  ++passes_;
+  last_incremental_ = false;
+  const SimTime end_t = observations.empty() ? last_fed_t_
+                                             : observations.back().t;
+
+  // The log must be append-only for the graph suffix feed to be exact; a
+  // shrunk log or a rewritten prefix (detected via the last fed timestamp)
+  // means this is a different stream — start over.
+  if (observations.size() < fed_ ||
+      (fed_ > 0 && observations[fed_ - 1].t != last_fed_t_))
+    reset_state();
+
+  const std::size_t prev_fed = fed_;
+  {
+    telemetry::Span span(telemetry::tracer(), "gca.feed", end_t);
+    for (std::size_t i = prev_fed; i < observations.size(); ++i)
+      graph_.observe(observations[i], config_);
+    span.finish(end_t);
+  }
+  fed_ = observations.size();
+  if (fed_ > 0) last_fed_t_ = observations[fed_ - 1].t;
+
+  GcaResult result;
+  cluster_graph(graph_, config_, result);
+
+  // Continue the visit tracker incrementally only while the cell→place
+  // mapping is stable; otherwise replay the whole stream against the new
+  // mapping (exact fallback).
+  const bool incremental = tracker_.has_value() &&
+                           result.cell_to_place == mapping_;
+  {
+    telemetry::Span span(telemetry::tracer(),
+                         incremental ? "gca.replay_incremental"
+                                     : "gca.replay_full",
+                         end_t);
+    std::size_t replay_from = 0;
+    if (incremental) {
+      replay_from = prev_fed;
+    } else {
+      tracker_.emplace(result.cell_to_place, config_);
+      events_.clear();
+    }
+    for (std::size_t i = replay_from; i < observations.size(); ++i) {
+      auto evs = tracker_->observe(observations[i]);
+      events_.insert(events_.end(), evs.begin(), evs.end());
+    }
+    span.finish(end_t);
+  }
+  mapping_ = result.cell_to_place;
+  if (incremental) {
+    last_incremental_ = true;
+    ++incremental_passes_;
+    telemetry::registry()
+        .counter("core_recluster_incremental_total", {},
+                 "recluster passes that reused graph and visit state")
+        .inc();
+  }
+
+  // Batch semantics close the still-open visit at the last timestamp; flush
+  // it on a throwaway copy so the persistent tracker keeps the visit open
+  // for the next pass.
+  std::vector<CellVisitTracker::Event> events = events_;
+  if (!observations.empty()) {
+    CellVisitTracker preview = *tracker_;
+    auto evs = preview.finish(observations.back().t);
+    events.insert(events.end(), evs.begin(), evs.end());
+  }
+  pair_events_into_visits(events, result);
   return result;
 }
 

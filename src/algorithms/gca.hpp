@@ -149,4 +149,50 @@ class CellVisitTracker {
   std::vector<Event> close_if_needed(SimTime t);
 };
 
+/// Incremental GCA: persistent clustering state across recluster passes.
+///
+/// The engine's GSM log is append-only, so each pass only needs to feed the
+/// *new suffix* into the movement graph instead of replaying the whole
+/// history (the graph is an online structure already). Clustering the graph
+/// is cheap — it is bounded by the number of distinct cells, not by trace
+/// length. Visit reconstruction is also continued incrementally when the
+/// cell→place mapping is unchanged since the last pass; when clustering
+/// shifts the mapping (new place discovered, clusters merged) the tracker
+/// falls back to an exact full replay, so every pass returns byte-identical
+/// results to a from-scratch run_gca() over the same log.
+///
+/// Not thread-safe; each owner (inference engine, per-user cloud state)
+/// keeps its own instance.
+class GcaState {
+ public:
+  explicit GcaState(GcaConfig config = {});
+
+  /// Reclusters over `observations`, which must extend the log seen by the
+  /// previous run() call (append-only). A shrunk or rewritten log is
+  /// detected and triggers an exact full rebuild.
+  GcaResult run(std::span<const CellObservation> observations);
+
+  std::size_t passes() const { return passes_; }
+  /// Passes that reused graph + visit state (no full replay).
+  std::size_t incremental_passes() const { return incremental_passes_; }
+  bool last_pass_incremental() const { return last_incremental_; }
+
+ private:
+  void reset_state();
+
+  GcaConfig config_;
+  MovementGraph graph_;
+  std::size_t fed_ = 0;      ///< observations already in the graph
+  SimTime last_fed_t_ = 0;   ///< timestamp of the last fed observation
+  /// Cell→place mapping of the previous pass; the visit tracker continues
+  /// incrementally only while it is unchanged.
+  std::map<world::CellId, std::size_t> mapping_;
+  std::optional<CellVisitTracker> tracker_;
+  /// Arrival/departure events accumulated by the persistent tracker.
+  std::vector<CellVisitTracker::Event> events_;
+  std::size_t passes_ = 0;
+  std::size_t incremental_passes_ = 0;
+  bool last_incremental_ = false;
+};
+
 }  // namespace pmware::algorithms

@@ -134,7 +134,11 @@ void CloudInstance::register_routes() {
       observations.push_back(
           {o.at("t").as_int(), core::cell_from_json(o.at("cell"))});
     }
-    const algorithms::GcaResult result = algorithms::run_gca(observations);
+    // Per-user incremental clustering state: the mobile service uploads its
+    // append-only GSM log each pass, so the suffix feed applies here too.
+    // Results stay identical to a stateless run_gca over the same upload.
+    auto [it, inserted] = gca_states_.try_emplace(user);
+    const algorithms::GcaResult result = it->second.run(observations);
     Json places = Json::array();
     for (const auto& cluster : result.places) {
       Json p = Json::object();
@@ -329,6 +333,7 @@ void CloudInstance::register_routes() {
     world::DeviceId user = 0;
     if (auto err = require_user(req, params, user)) return *err;
     storage_.erase_user(user);
+    gca_states_.erase(user);
     return HttpResponse::json(Json::object());
   });
 

@@ -7,8 +7,10 @@
 // "Authorization" for everything except registration.
 #pragma once
 
+#include <map>
 #include <memory>
 
+#include "algorithms/gca.hpp"
 #include "cloud/analytics.hpp"
 #include "cloud/geolocation.hpp"
 #include "cloud/storage.hpp"
@@ -61,6 +63,10 @@ class CloudInstance {
   TokenService tokens_;
   CloudStorage storage_;
   AnalyticsEngine analytics_;
+  /// Per-user incremental GCA state for POST /api/places/discover. Default
+  /// GcaConfig, matching the previous stateless run_gca behavior. Erased
+  /// with the user (privacy: account deletion drops clustering state too).
+  std::map<world::DeviceId, algorithms::GcaState> gca_states_;
   net::Router router_;
 };
 

@@ -31,6 +31,7 @@ InferenceEngine::InferenceEngine(sensing::Device* device,
       apps_(apps),
       config_(config),
       rng_(rng),
+      gca_state_(config.gca),
       wifi_detector_(config.sensloc) {}
 
 void InferenceEngine::attach() {
@@ -340,8 +341,7 @@ std::size_t InferenceEngine::recluster(SimTime now) {
                "recluster passes (local or offloaded)")
       .inc();
   const algorithms::GcaResult result =
-      gca_runner_ ? gca_runner_(gsm_log_)
-                  : algorithms::run_gca(gsm_log_, config_.gca);
+      gca_runner_ ? gca_runner_(gsm_log_) : gca_state_.run(gsm_log_);
 
   std::size_t new_places = 0;
   cluster_to_uid_.clear();

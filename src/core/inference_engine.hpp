@@ -184,6 +184,10 @@ class InferenceEngine {
 
   // --- GSM / GCA state ---
   std::vector<algorithms::CellObservation> gsm_log_;
+  /// Persistent incremental clustering state for local (non-offloaded)
+  /// recluster passes; gsm_log_ is append-only, which is exactly the
+  /// contract GcaState::run needs.
+  algorithms::GcaState gca_state_;
   std::optional<algorithms::CellVisitTracker> cell_tracker_;
   std::map<std::size_t, PlaceUid> cluster_to_uid_;  ///< cluster idx -> uid
   std::optional<PlaceUid> gsm_uid_;

@@ -32,6 +32,7 @@ PmwareMobileService::PmwareMobileService(
       apps_(&preferences_),
       engine_(device_.get(), &scheduler_, &place_store_, &apps_,
               config_.inference, rng.fork(1)),
+      local_gca_(config_.inference.gca),
       client_(std::move(client)),
       instance_(telemetry::registry().next_instance_label("pms")) {
   engine_.set_place_event_sink([this](const PlaceEvent& event) {
@@ -161,7 +162,7 @@ algorithms::GcaResult PmwareMobileService::offloaded_gca(
   }
   counter(kGcaLocal, "GCA clustering passes run on-device").inc();
   telemetry::Span span(telemetry::tracer(), "pms.gca_local", now);
-  return algorithms::run_gca(observations, config_.inference.gca);
+  return local_gca_.run(observations);
 }
 
 void PmwareMobileService::run(TimeWindow window) {

@@ -129,6 +129,9 @@ class PmwareMobileService {
   PlaceStore place_store_;
   IntentBus bus_;
   InferenceEngine engine_;
+  /// Incremental clustering state for local (offload-disabled or offload-
+  /// failed) GCA passes; fed the engine's append-only GSM log each pass.
+  algorithms::GcaState local_gca_;
   std::unique_ptr<net::RestClient> client_;
   std::string instance_;  ///< registry label isolating this service's series
 

@@ -55,6 +55,7 @@ bool Router::match(const Route& route, const std::vector<std::string>& segments,
 }
 
 HttpResponse Router::handle(const HttpRequest& request) const {
+  const std::scoped_lock lock(dispatch_mu_);
   const auto wall_begin = std::chrono::steady_clock::now();
   auto observe = [&](const std::string& pattern, int status) {
     if (!observer_) return;

@@ -4,6 +4,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -44,6 +45,13 @@ class Router {
   void set_observer(Observer observer) { observer_ = std::move(observer); }
 
   /// Dispatches a request; 404 when no route matches.
+  ///
+  /// Dispatch is serialized by an internal mutex: the parallel deployment
+  /// study drives many REST clients into one cloud instance from worker
+  /// threads, and handlers mutate cloud state (storage, tokens, per-user
+  /// GCA state) without internal locking. The cloud is the simulated
+  /// remote end, so serializing it models a single-writer backend and
+  /// keeps its state transitions deterministic per user.
   HttpResponse handle(const HttpRequest& request) const;
 
   std::size_t route_count() const { return routes_.size(); }
@@ -67,6 +75,9 @@ class Router {
   std::vector<Route> routes_;
   std::vector<Guard> guards_;
   Observer observer_;
+  /// Serializes handle(); registration (add_route/add_middleware) stays
+  /// single-threaded setup and is not guarded.
+  mutable std::mutex dispatch_mu_;
 };
 
 }  // namespace pmware::net

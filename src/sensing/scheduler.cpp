@@ -1,6 +1,5 @@
 #include "sensing/scheduler.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 #include "telemetry/metrics.hpp"
@@ -23,21 +22,38 @@ void count_sample(energy::Interface interface) {
 
 }  // namespace
 
+SamplingScheduler::SamplingScheduler(energy::EnergyMeter* meter)
+    : meter_(meter),
+      instance_(telemetry::registry().next_instance_label("dev")) {}
+
+void SamplingScheduler::arm(std::size_t index, SimTime at) {
+  ++generation_[index];
+  next_due_[index] = at;
+  queue_.push({at, false, index, generation_[index]});
+}
+
 void SamplingScheduler::set_period(energy::Interface interface,
                                    std::optional<SimDuration> period) {
   if (period && *period <= 0)
     throw std::invalid_argument("set_period: period <= 0");
   const auto idx = static_cast<std::size_t>(interface);
   periods_[idx] = period;
-  next_due_[idx] = period ? std::optional<SimTime>(now_ + *period) : std::nullopt;
+  if (period) {
+    arm(idx, now_ + *period);
+  } else {
+    ++generation_[idx];
+    next_due_[idx] = std::nullopt;
+  }
   // Duty-cycle view of the current policy: samples per second, 0 when the
-  // interface is off. Last writer wins across devices — the gauge reflects
-  // the most recently adjusted device, while the sample counters aggregate.
+  // interface is off. The instance label keeps each device's policy its own
+  // series — without it, concurrent devices would race last-writer-wins.
+  telemetry::LabelSet labels = interface_labels(interface);
+  labels.emplace("instance", instance_);
   auto& reg = telemetry::registry();
-  reg.gauge("sensing_period_seconds", interface_labels(interface),
+  reg.gauge("sensing_period_seconds", labels,
             "configured sampling period, seconds (0 = disabled)")
       .set(period ? static_cast<double>(*period) : 0.0);
-  reg.gauge("sensing_duty_cycle", interface_labels(interface),
+  reg.gauge("sensing_duty_cycle", std::move(labels),
             "samples per simulated second under the current policy")
       .set(period ? 1.0 / static_cast<double>(*period) : 0.0);
 }
@@ -51,7 +67,8 @@ void SamplingScheduler::request_once(energy::Interface interface, SimTime at) {
       .counter("sensing_one_shots_total", interface_labels(interface),
                "triggered (one-shot) samples requested")
       .inc();
-  one_shots_.push_back({interface, std::max(at, now_)});
+  queue_.push({std::max(at, now_), true,
+               static_cast<std::size_t>(interface), one_shot_seq_++});
 }
 
 void SamplingScheduler::run(TimeWindow window) {
@@ -62,43 +79,63 @@ void SamplingScheduler::run(TimeWindow window) {
 
   // Arm periodic interfaces to fire at the window start.
   for (std::size_t i = 0; i < periods_.size(); ++i)
-    if (periods_[i]) next_due_[i] = window.begin;
+    if (periods_[i]) arm(i, window.begin);
 
-  while (true) {
-    // Earliest due event across periodic interfaces and one-shots.
-    std::optional<SimTime> due;
-    for (std::size_t i = 0; i < next_due_.size(); ++i)
-      if (next_due_[i] && (!due || *next_due_[i] < *due)) due = next_due_[i];
-    for (const OneShot& shot : one_shots_)
-      if (!due || shot.at < *due) due = shot.at;
-    if (!due || *due >= window.end) break;
+  while (!queue_.empty()) {
+    // Discard stale periodic hints so the top is a real event.
+    const HeapEntry top = queue_.top();
+    if (!top.one_shot && !live_periodic(top)) {
+      queue_.pop();
+      continue;
+    }
+    if (top.at >= window.end) break;
+    now_ = top.at;
 
-    now_ = *due;
-
-    // Dispatch every periodic interface due now (stable order by index).
-    for (std::size_t i = 0; i < next_due_.size(); ++i) {
-      if (!next_due_[i] || *next_due_[i] != now_) continue;
+    // Periodic interfaces due now: the comparator sorts them before
+    // one-shots at equal time and by ascending index, so popping until the
+    // top moves on yields them in the stable dispatch order.
+    std::vector<HeapEntry> due_periodic;
+    while (!queue_.empty() && queue_.top().at == now_ &&
+           !queue_.top().one_shot) {
+      const HeapEntry entry = queue_.top();
+      queue_.pop();
+      if (live_periodic(entry)) due_periodic.push_back(entry);
+    }
+    for (const HeapEntry& entry : due_periodic) {
+      const std::size_t i = entry.index;
+      // Revalidate: an earlier callback this tick may have re-armed or
+      // disabled this interface.
+      if (!live_periodic(entry)) continue;
       const auto interface = static_cast<energy::Interface>(i);
       // Reschedule before dispatch so a callback changing the period wins.
-      next_due_[i] = periods_[i] ? std::optional<SimTime>(now_ + *periods_[i])
-                                 : std::nullopt;
+      if (periods_[i]) {
+        arm(i, now_ + *periods_[i]);
+      } else {
+        ++generation_[i];
+        next_due_[i] = std::nullopt;
+      }
       if (meter_ != nullptr) meter_->charge_sample(interface, now_);
       count_sample(interface);
       if (callbacks_[i]) callbacks_[i](now_);
     }
 
-    // Dispatch due one-shots. Callbacks may enqueue more one-shots, so work
-    // on a drained copy.
-    std::vector<OneShot> due_shots;
-    auto split = std::partition(one_shots_.begin(), one_shots_.end(),
-                                [&](const OneShot& s) { return s.at > now_; });
-    due_shots.assign(split, one_shots_.end());
-    one_shots_.erase(split, one_shots_.end());
-    for (const OneShot& shot : due_shots) {
-      const auto idx = static_cast<std::size_t>(shot.interface);
-      if (meter_ != nullptr) meter_->charge_sample(shot.interface, now_);
-      count_sample(shot.interface);
-      if (callbacks_[idx]) callbacks_[idx](now_);
+    // Due one-shots, drained as a snapshot (periodic callbacks above may
+    // have requested some at `now_`; one-shot callbacks requesting more at
+    // `now_` see them dispatched in the next loop iteration, still at the
+    // same simulated time).
+    std::vector<HeapEntry> due_shots;
+    while (!queue_.empty() && queue_.top().at <= now_) {
+      const HeapEntry entry = queue_.top();
+      queue_.pop();
+      if (entry.one_shot) due_shots.push_back(entry);
+      // A periodic entry here is necessarily stale: live ones at `now_`
+      // were drained above and callbacks only arm into the future.
+    }
+    for (const HeapEntry& shot : due_shots) {
+      const auto interface = static_cast<energy::Interface>(shot.index);
+      if (meter_ != nullptr) meter_->charge_sample(interface, now_);
+      count_sample(interface);
+      if (callbacks_[shot.index]) callbacks_[shot.index](now_);
     }
   }
   now_ = window.end;

@@ -4,11 +4,21 @@
 // PMWare (paper §2.2): N connected applications share one sensing pipeline
 // instead of N redundant ones. The inference engine adjusts periods and
 // requests one-shot samples; every sample is charged to the energy meter.
+//
+// The event loop is a min-heap of due events (periodic firings and
+// one-shots), so advancing to the next event costs O(log n) instead of a
+// linear scan over interfaces + pending one-shots per event. Periodic
+// entries are invalidated lazily via per-interface generation counters:
+// set_period() bumps the generation and pushes a fresh entry; stale heap
+// entries are discarded when popped.
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <functional>
 #include <optional>
+#include <queue>
+#include <string>
 #include <vector>
 
 #include "energy/meter.hpp"
@@ -20,7 +30,7 @@ class SamplingScheduler {
  public:
   using Callback = std::function<void(SimTime)>;
 
-  explicit SamplingScheduler(energy::EnergyMeter* meter) : meter_(meter) {}
+  explicit SamplingScheduler(energy::EnergyMeter* meter);
 
   /// Sets the periodic sampling interval for an interface; nullopt disables
   /// periodic sampling. Takes effect from the current simulation time.
@@ -41,21 +51,53 @@ class SamplingScheduler {
   /// Runs the loop over [window.begin, window.end), dispatching samples in
   /// time order and charging the meter (samples + baseline). Callbacks may
   /// call set_period/request_once to adapt sensing while running.
+  ///
+  /// Dispatch order at equal times: periodic interfaces first (ascending
+  /// interface index), then one-shots in (interface index, request order).
   void run(TimeWindow window);
 
   SimTime now() const { return now_; }
 
+  /// Value of this scheduler's "instance" metric label, e.g. "dev3" —
+  /// isolates the per-device policy gauges.
+  const std::string& instance_label() const { return instance_; }
+
  private:
-  struct OneShot {
-    energy::Interface interface;
-    SimTime at;
+  /// A heap entry is a *hint* that something may be due at `at`. One-shot
+  /// entries are always live; a periodic entry is live only while the
+  /// interface's generation still matches `seq` and next_due_ equals `at`
+  /// (set_period and window re-arming bump the generation, orphaning any
+  /// entries already in the heap).
+  struct HeapEntry {
+    SimTime at = 0;
+    bool one_shot = false;
+    std::size_t index = 0;  ///< interface index
+    std::uint64_t seq = 0;  ///< periodic: generation; one-shot: FIFO ticket
+  };
+  struct EntryLater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      if (a.one_shot != b.one_shot) return a.one_shot;  // periodic first
+      if (a.index != b.index) return a.index > b.index;
+      return a.seq > b.seq;
+    }
   };
 
+  /// True while `entry` (periodic) still reflects the interface's schedule.
+  bool live_periodic(const HeapEntry& entry) const {
+    return generation_[entry.index] == entry.seq &&
+           next_due_[entry.index] && *next_due_[entry.index] == entry.at;
+  }
+  void arm(std::size_t index, SimTime at);
+
   energy::EnergyMeter* meter_;
+  std::string instance_;  ///< registry label isolating this device's gauges
   std::array<std::optional<SimDuration>, energy::kInterfaceCount> periods_{};
   std::array<std::optional<SimTime>, energy::kInterfaceCount> next_due_{};
+  std::array<std::uint64_t, energy::kInterfaceCount> generation_{};
   std::array<Callback, energy::kInterfaceCount> callbacks_{};
-  std::vector<OneShot> one_shots_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, EntryLater> queue_;
+  std::uint64_t one_shot_seq_ = 0;
   SimTime now_ = 0;
 };
 

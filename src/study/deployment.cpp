@@ -1,7 +1,11 @@
 #include "study/deployment.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 #include <map>
+#include <mutex>
+#include <thread>
 
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -219,15 +223,57 @@ StudyResult DeploymentStudy::run() {
       .gauge("study_participants", {}, "participants in the deployment study")
       .set(static_cast<double>(participants.size()));
 
+  // Fork every participant's RNG up front, in participant order: forking
+  // draws from rng_, so doing it on workers would make the streams depend
+  // on scheduling. After this loop workers never touch rng_.
+  std::vector<Rng> rngs;
+  rngs.reserve(participants.size());
+  for (const auto& participant : participants)
+    rngs.push_back(rng_.fork(1000 + participant.id));
+
   StudyResult result;
-  for (const auto& participant : participants) {
-    Rng prng = rng_.fork(1000 + participant.id);
-    result.participants.push_back(
-        run_participant(participant, cloud, prng, result.place_map));
-    const auto& r = result.participants.back();
+  result.participants.resize(participants.size());
+  // Per-participant place-map segments, merged in participant order below
+  // so the final map is independent of completion order.
+  std::vector<std::vector<PlaceMapEntry>> maps(participants.size());
+
+  const int threads =
+      std::clamp(config_.threads, 1, static_cast<int>(participants.size()));
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < participants.size(); ++i)
+      result.participants[i] =
+          run_participant(participants[i], cloud, rngs[i], maps[i]);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr failure;
+    std::mutex failure_mu;
+    auto worker = [&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= participants.size()) return;
+        try {
+          result.participants[i] =
+              run_participant(participants[i], cloud, rngs[i], maps[i]);
+        } catch (...) {
+          const std::scoped_lock lock(failure_mu);
+          if (!failure) failure = std::current_exception();
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+    if (failure) std::rethrow_exception(failure);
+  }
+
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    const ParticipantResult& r = result.participants[i];
+    result.place_map.insert(result.place_map.end(), maps[i].begin(),
+                            maps[i].end());
     log_info("study", "%s: %zu places, %zu tagged, %s",
-             participant.name.c_str(), r.places_discovered, r.places_tagged,
-             r.eval.summary().c_str());
+             participants[i].name.c_str(), r.places_discovered,
+             r.places_tagged, r.eval.summary().c_str());
   }
   return result;
 }

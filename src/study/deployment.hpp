@@ -40,6 +40,11 @@ struct StudyConfig {
   bool offload_gca = true;
   /// Run PlaceADs on every device.
   bool run_placeads = true;
+  /// Worker threads simulating participants concurrently (1 = sequential).
+  /// Results are identical for every value: participants are independent
+  /// except for the cloud instance (whose dispatch is serialized), and all
+  /// per-participant RNGs are forked before workers start.
+  int threads = 1;
 };
 
 /// One entry of the Figure-5b place map.

@@ -53,50 +53,63 @@ std::string format_number(double v) {
 }  // namespace
 
 std::string to_prometheus(const MetricsRegistry& reg) {
-  std::string out;
-  for (const auto& [name, family] : reg.families()) {
-    if (!family.help.empty())
-      out += "# HELP " + name + " " + family.help + "\n";
-    out += "# TYPE " + name + " " + to_string(family.kind) + "\n";
-    switch (family.kind) {
-      case MetricKind::Counter:
-        for (const auto& [labels, series] : family.counters)
-          out += name + label_block(labels) + " " +
-                 strfmt("%llu", static_cast<unsigned long long>(
-                                    series->value())) +
-                 "\n";
-        break;
-      case MetricKind::Gauge:
-        for (const auto& [labels, series] : family.gauges)
-          out += name + label_block(labels) + " " +
-                 format_number(series->value()) + "\n";
-        break;
-      case MetricKind::Histogram:
-        for (const auto& [labels, series] : family.histograms) {
-          const Histogram& h = series->buckets();
-          std::size_t cumulative = 0;
-          for (std::size_t b = 0; b < h.bucket_count(); ++b) {
-            cumulative += h.count(b);
-            out += name + "_bucket" +
-                   label_block(labels, "le", format_number(h.bucket_hi(b))) +
-                   " " + strfmt("%zu", cumulative) + "\n";
+  // Iterate under the registry lock so concurrent series registration (the
+  // parallel study's worker threads) cannot invalidate the maps mid-scrape.
+  return reg.with_families([](const std::map<std::string, MetricFamily>&
+                                  families) {
+    std::string out;
+    for (const auto& [name, family] : families) {
+      if (!family.help.empty())
+        out += "# HELP " + name + " " + family.help + "\n";
+      out += "# TYPE " + name + " " + to_string(family.kind) + "\n";
+      switch (family.kind) {
+        case MetricKind::Counter:
+          for (const auto& [labels, series] : family.counters)
+            out += name + label_block(labels) + " " +
+                   strfmt("%llu", static_cast<unsigned long long>(
+                                      series->value())) +
+                   "\n";
+          break;
+        case MetricKind::Gauge:
+          for (const auto& [labels, series] : family.gauges)
+            out += name + label_block(labels) + " " +
+                   format_number(series->value()) + "\n";
+          break;
+        case MetricKind::Histogram:
+          for (const auto& [labels, series] : family.histograms) {
+            const HistogramMetric::Snapshot snap = series->snapshot();
+            const Histogram& h = snap.buckets;
+            // Lazily materialize bucket series: only buckets that have
+            // seen observations get a line (cumulative counts stay exact
+            // because skipped buckets contribute nothing), plus the
+            // mandatory +Inf. A zero-count route costs 3 lines, not 23.
+            std::size_t cumulative = 0;
+            for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+              if (h.count(b) == 0) continue;
+              cumulative += h.count(b);
+              out += name + "_bucket" +
+                     label_block(labels, "le", format_number(h.bucket_hi(b))) +
+                     " " + strfmt("%zu", cumulative) + "\n";
+            }
+            out += name + "_bucket" + label_block(labels, "le", "+Inf") + " " +
+                   strfmt("%zu", h.total()) + "\n";
+            out += name + "_sum" + label_block(labels) + " " +
+                   format_number(snap.stats.sum()) + "\n";
+            out += name + "_count" + label_block(labels) + " " +
+                   strfmt("%zu", h.total()) + "\n";
           }
-          out += name + "_bucket" + label_block(labels, "le", "+Inf") + " " +
-                 strfmt("%zu", h.total()) + "\n";
-          out += name + "_sum" + label_block(labels) + " " +
-                 format_number(series->stats().sum()) + "\n";
-          out += name + "_count" + label_block(labels) + " " +
-                 strfmt("%zu", h.total()) + "\n";
-        }
-        break;
+          break;
+      }
     }
-  }
-  return out;
+    return out;
+  });
 }
 
 Json to_json(const MetricsRegistry& reg) {
   Json metrics = Json::object();
-  for (const auto& [name, family] : reg.families()) {
+  reg.with_families([&metrics](
+                        const std::map<std::string, MetricFamily>& families) {
+    for (const auto& [name, family] : families) {
     Json fam = Json::object();
     fam.set("kind", to_string(family.kind));
     if (!family.help.empty()) fam.set("help", family.help);
@@ -125,16 +138,20 @@ Json to_json(const MetricsRegistry& reg) {
         break;
       case MetricKind::Histogram:
         for (const auto& [labels, series] : family.histograms) {
+          const HistogramMetric::Snapshot snap = series->snapshot();
+          const Histogram& h = snap.buckets;
           Json s = Json::object();
           s.set("labels", labels_json(labels));
-          s.set("count", static_cast<std::uint64_t>(series->buckets().total()));
-          s.set("sum", series->stats().sum());
-          s.set("mean", series->stats().mean());
-          s.set("min", series->stats().min());
-          s.set("max", series->stats().max());
+          s.set("count", static_cast<std::uint64_t>(h.total()));
+          s.set("sum", snap.stats.sum());
+          s.set("mean", snap.stats.mean());
+          s.set("min", snap.stats.min());
+          s.set("max", snap.stats.max());
+          // Sparse buckets: empty ones are implicit (lo/hi identify each
+          // emitted bucket), so zero-count routes carry no bucket payload.
           Json buckets = Json::array();
-          const Histogram& h = series->buckets();
           for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+            if (h.count(b) == 0) continue;
             Json bucket = Json::object();
             bucket.set("lo", h.bucket_lo(b));
             bucket.set("hi", h.bucket_hi(b));
@@ -148,7 +165,8 @@ Json to_json(const MetricsRegistry& reg) {
     }
     fam.set("series", std::move(series_arr));
     metrics.set(name, std::move(fam));
-  }
+    }
+  });
   Json out = Json::object();
   out.set("metrics", std::move(metrics));
   return out;
@@ -156,7 +174,7 @@ Json to_json(const MetricsRegistry& reg) {
 
 Json spans_to_json(const Tracer& tracer) {
   Json arr = Json::array();
-  for (const SpanRecord& record : tracer.records()) {
+  for (const SpanRecord& record : tracer.snapshot()) {
     Json s = Json::object();
     s.set("name", record.name);
     s.set("id", static_cast<std::uint64_t>(record.id));

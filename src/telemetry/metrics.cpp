@@ -32,6 +32,7 @@ MetricFamily& MetricsRegistry::family_of(const std::string& name,
 
 Counter& MetricsRegistry::counter(const std::string& name, LabelSet labels,
                                   const std::string& help) {
+  const std::scoped_lock lock(mu_);
   MetricFamily& family = family_of(name, MetricKind::Counter, help);
   auto [it, inserted] = family.counters.try_emplace(std::move(labels));
   if (inserted) it->second = std::make_unique<Counter>();
@@ -40,6 +41,7 @@ Counter& MetricsRegistry::counter(const std::string& name, LabelSet labels,
 
 Gauge& MetricsRegistry::gauge(const std::string& name, LabelSet labels,
                               const std::string& help) {
+  const std::scoped_lock lock(mu_);
   MetricFamily& family = family_of(name, MetricKind::Gauge, help);
   auto [it, inserted] = family.gauges.try_emplace(std::move(labels));
   if (inserted) it->second = std::make_unique<Gauge>();
@@ -50,8 +52,11 @@ HistogramMetric& MetricsRegistry::histogram(const std::string& name,
                                             LabelSet labels, double lo,
                                             double hi, std::size_t bucket_count,
                                             const std::string& help) {
+  const std::scoped_lock lock(mu_);
   MetricFamily& family = family_of(name, MetricKind::Histogram, help);
   if (!family.histograms.empty()) {
+    // Bucket layout is immutable after construction, so reading it without
+    // the metric's own lock is safe.
     const HistogramMetric& existing = *family.histograms.begin()->second;
     if (existing.buckets().bucket_lo(0) != lo ||
         existing.buckets().bucket_hi(existing.buckets().bucket_count() - 1) !=
@@ -70,6 +75,7 @@ HistogramMetric& MetricsRegistry::histogram(const std::string& name,
 
 const Counter* MetricsRegistry::find_counter(const std::string& name,
                                              const LabelSet& labels) const {
+  const std::scoped_lock lock(mu_);
   const auto fit = families_.find(name);
   if (fit == families_.end() || fit->second.kind != MetricKind::Counter)
     return nullptr;
@@ -79,6 +85,7 @@ const Counter* MetricsRegistry::find_counter(const std::string& name,
 
 const Gauge* MetricsRegistry::find_gauge(const std::string& name,
                                          const LabelSet& labels) const {
+  const std::scoped_lock lock(mu_);
   const auto fit = families_.find(name);
   if (fit == families_.end() || fit->second.kind != MetricKind::Gauge)
     return nullptr;
@@ -88,6 +95,7 @@ const Gauge* MetricsRegistry::find_gauge(const std::string& name,
 
 const HistogramMetric* MetricsRegistry::find_histogram(
     const std::string& name, const LabelSet& labels) const {
+  const std::scoped_lock lock(mu_);
   const auto fit = families_.find(name);
   if (fit == families_.end() || fit->second.kind != MetricKind::Histogram)
     return nullptr;
@@ -102,6 +110,7 @@ std::uint64_t MetricsRegistry::counter_value(const std::string& name,
 }
 
 std::uint64_t MetricsRegistry::family_total(const std::string& name) const {
+  const std::scoped_lock lock(mu_);
   const auto fit = families_.find(name);
   if (fit == families_.end() || fit->second.kind != MetricKind::Counter)
     return 0;
@@ -113,7 +122,8 @@ std::uint64_t MetricsRegistry::family_total(const std::string& name) const {
 
 std::string MetricsRegistry::next_instance_label(const std::string& prefix) {
   return strfmt("%s%llu", prefix.c_str(),
-                static_cast<unsigned long long>(next_instance_++));
+                static_cast<unsigned long long>(
+                    next_instance_.fetch_add(1, std::memory_order_relaxed)));
 }
 
 MetricsRegistry& registry() {

@@ -7,16 +7,26 @@
 // Prometheus text — served by the cloud instance's GET /metrics — or as
 // JSON for the benches' --json mode.
 //
-// The registry is deliberately single-threaded, like the rest of the
-// simulation: no locks, deterministic iteration order (std::map keyed by
-// family name, then by label set).
+// Thread-safety: the deployment study simulates participants on a worker
+// pool, so the registry is shared mutable state. Counter and Gauge cells
+// are atomics (relaxed — they are statistics, not synchronization), each
+// HistogramMetric guards its buckets with its own mutex, and the registry
+// serializes family/series map lookups with a registry-wide mutex.
+// Instrument references returned by counter()/gauge()/histogram() stay
+// valid until reset() and may be used concurrently without further
+// locking. Exporters iterate under the registry lock via with_families().
+// Iteration order stays deterministic (std::map keyed by family name,
+// then by label set).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "util/stats.hpp"
 
@@ -37,41 +47,66 @@ class TelemetryError : public std::logic_error {
 /// "_total".
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Point-in-time value that can move both ways.
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  void add(double d) { value_ += d; }
-  double value() const { return value_; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0;
+  std::atomic<double> value_{0};
 };
 
 /// Fixed-bucket distribution. Wraps util/stats.hpp: the Histogram supplies
 /// the bucket layout (values outside [lo, hi) clamp into the edge buckets),
-/// the RunningStats supply sum/mean/min/max for the exporters.
+/// the RunningStats supply sum/mean/min/max for the exporters. Buckets and
+/// stats must move together, so a per-metric mutex guards both; concurrent
+/// readers take snapshot() rather than holding references across updates.
 class HistogramMetric {
  public:
+  /// Coherent copy of buckets + stats taken under the metric's lock.
+  struct Snapshot {
+    Histogram buckets;
+    RunningStats stats;
+  };
+
   HistogramMetric(double lo, double hi, std::size_t buckets)
       : hist_(lo, hi, buckets) {}
 
   void observe(double x) {
+    const std::scoped_lock lock(mu_);
     hist_.add(x);
     stats_.add(x);
   }
 
+  Snapshot snapshot() const {
+    const std::scoped_lock lock(mu_);
+    return Snapshot{hist_, stats_};
+  }
+
+  /// Unsynchronized views for single-threaded readers (tests, the stats
+  /// views once workers have joined). Bucket *layout* is immutable, so
+  /// bucket_lo/hi/count-of-buckets are always safe; live counts are not.
   const Histogram& buckets() const { return hist_; }
   const RunningStats& stats() const { return stats_; }
 
  private:
+  mutable std::mutex mu_;
   Histogram hist_;
   RunningStats stats_;
 };
@@ -121,26 +156,45 @@ class MetricsRegistry {
   /// aggregate across instance labels.
   std::uint64_t family_total(const std::string& name) const;
 
+  /// Runs `fn(families)` with the registry lock held so exporters see a
+  /// coherent family/series table even while writers register new series.
+  /// `fn` must not call back into the registry (non-reentrant lock).
+  template <typename Fn>
+  auto with_families(Fn&& fn) const {
+    const std::scoped_lock lock(mu_);
+    return fn(families_);
+  }
+
+  /// Unsynchronized view for single-threaded callers; concurrent-safe
+  /// readers go through with_families().
   const std::map<std::string, MetricFamily>& families() const {
     return families_;
   }
-  std::size_t family_count() const { return families_.size(); }
+  std::size_t family_count() const {
+    const std::scoped_lock lock(mu_);
+    return families_.size();
+  }
 
   /// Drops every family and series. Instrument references obtained earlier
   /// dangle afterwards — callers must re-fetch (the middleware re-fetches on
   /// every use, so only tests caching references need care).
-  void reset() { families_.clear(); }
+  void reset() {
+    const std::scoped_lock lock(mu_);
+    families_.clear();
+  }
 
   /// Fresh id for per-instance labels ("c3", "pms7"); never reused, not
   /// affected by reset() so views of dead instances stay distinct.
   std::string next_instance_label(const std::string& prefix);
 
  private:
+  /// Caller must hold mu_.
   MetricFamily& family_of(const std::string& name, MetricKind kind,
                           const std::string& help);
 
+  mutable std::mutex mu_;
   std::map<std::string, MetricFamily> families_;
-  std::uint64_t next_instance_ = 0;
+  std::atomic<std::uint64_t> next_instance_{0};
 };
 
 /// The process-wide registry every middleware layer records into.

@@ -3,32 +3,40 @@
 namespace pmware::telemetry {
 
 std::size_t Tracer::open_span(std::string name, SimTime sim_now) {
+  const std::scoped_lock lock(mu_);
   if (records_.size() >= max_records_) {
     ++dropped_;
     return SpanRecord::kNoParent;
   }
+  std::vector<std::size_t>& stack = open_[std::this_thread::get_id()];
   SpanRecord record;
   record.name = std::move(name);
   record.id = records_.size();
-  record.parent = open_.empty() ? SpanRecord::kNoParent : open_.back();
-  record.depth = open_.size();
+  record.parent = stack.empty() ? SpanRecord::kNoParent : stack.back();
+  record.depth = stack.size();
   record.sim_begin = sim_now;
   record.sim_end = sim_now;
   records_.push_back(std::move(record));
-  open_.push_back(records_.size() - 1);
+  stack.push_back(records_.size() - 1);
   return records_.size() - 1;
 }
 
 void Tracer::close_span(std::size_t index, SimTime sim_now,
                         std::int64_t wall_ns) {
   if (index == SpanRecord::kNoParent) return;
+  const std::scoped_lock lock(mu_);
   SpanRecord& record = records_[index];
   record.sim_end = sim_now;
   record.wall_ns = wall_ns;
   record.finished = true;
-  // Spans are RAII, so the one being closed is the innermost open one; a
-  // dropped (at-capacity) child never made it onto the stack.
-  if (!open_.empty() && open_.back() == index) open_.pop_back();
+  // Spans are RAII, so the one being closed is the innermost open one on
+  // this thread; a dropped (at-capacity) child never made it onto the stack.
+  const auto it = open_.find(std::this_thread::get_id());
+  if (it != open_.end()) {
+    if (!it->second.empty() && it->second.back() == index)
+      it->second.pop_back();
+    if (it->second.empty()) open_.erase(it);
+  }
 }
 
 Span::Span(Tracer& tracer, std::string name, SimTime sim_now)

@@ -13,7 +13,10 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/simtime.hpp"
@@ -39,16 +42,43 @@ struct SpanRecord {
 /// Collects finished spans in start order (parents before children). A hard
 /// cap bounds memory on long runs; spans opened past it are dropped and
 /// counted.
+///
+/// Thread-safety: the tracer is a locked sink. One mutex guards the record
+/// vector and the per-thread open-span stacks, so worker threads of the
+/// parallel deployment study can open and close spans concurrently.
+/// Parent/depth come from the *calling thread's* stack — each worker's
+/// spans nest among themselves, never across threads. Within one thread a
+/// parent's record index is always below its children's, so exporters can
+/// keep assuming parents-before-children.
 class Tracer {
  public:
   explicit Tracer(std::size_t max_records = 65536)
       : max_records_(max_records) {}
 
+  /// Unsynchronized view for single-threaded callers (tests, post-join
+  /// reads); concurrent readers use snapshot().
   const std::vector<SpanRecord>& records() const { return records_; }
-  std::size_t dropped() const { return dropped_; }
-  std::size_t open_depth() const { return open_.size(); }
+
+  /// Coherent copy of the finished-and-open records, taken under the lock.
+  std::vector<SpanRecord> snapshot() const {
+    const std::scoped_lock lock(mu_);
+    return records_;
+  }
+
+  std::size_t dropped() const {
+    const std::scoped_lock lock(mu_);
+    return dropped_;
+  }
+
+  /// Open-span stack depth of the *calling* thread.
+  std::size_t open_depth() const {
+    const std::scoped_lock lock(mu_);
+    const auto it = open_.find(std::this_thread::get_id());
+    return it == open_.end() ? 0 : it->second.size();
+  }
 
   void reset() {
+    const std::scoped_lock lock(mu_);
     records_.clear();
     open_.clear();
     dropped_ = 0;
@@ -61,9 +91,14 @@ class Tracer {
   std::size_t open_span(std::string name, SimTime sim_now);
   void close_span(std::size_t index, SimTime sim_now, std::int64_t wall_ns);
 
+  mutable std::mutex mu_;
   std::size_t max_records_;
   std::vector<SpanRecord> records_;
-  std::vector<std::size_t> open_;  ///< stack of open record indices
+  /// Per-thread stacks of open record indices. Keyed by thread id (not
+  /// thread_local) so test-local Tracer instances stay independent; an
+  /// entry is erased when its stack empties, bounding the map by the
+  /// number of threads with spans currently open.
+  std::map<std::thread::id, std::vector<std::size_t>> open_;
   std::size_t dropped_ = 0;
 };
 

@@ -1,0 +1,208 @@
+// Concurrency tests: hammer the telemetry registry and tracer from many
+// threads and run the deployment study on a worker pool. These are the
+// tests ci.sh re-runs under ThreadSanitizer (PMWARE_SANITIZE=thread,
+// ctest -R Concurrency); the assertions below catch lost updates, the
+// sanitizer catches the races assertions cannot see.
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "study/deployment.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace pmware::telemetry {
+namespace {
+
+constexpr std::size_t kThreads = 8;
+constexpr std::size_t kOpsPerThread = 2000;
+
+/// Start gate so all workers enter the hot section together instead of
+/// running mostly sequentially on a loaded machine.
+class StartGate {
+ public:
+  void wait() {
+    ready_.fetch_add(1);
+    while (!go_.load()) std::this_thread::yield();
+  }
+  void open(std::size_t expected) {
+    while (ready_.load() < expected) std::this_thread::yield();
+    go_.store(true);
+  }
+
+ private:
+  std::atomic<std::size_t> ready_{0};
+  std::atomic<bool> go_{false};
+};
+
+TEST(TelemetryConcurrency, RegistryCountsExactlyUnderHammering) {
+  MetricsRegistry reg;
+  StartGate gate;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, &gate, t] {
+      gate.wait();
+      // Every thread hits one shared series, one per-thread series, a
+      // shared gauge, and a shared histogram — mixing contended and
+      // uncontended paths plus first-use series creation.
+      const std::string mine = "t" + std::to_string(t);
+      for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+        reg.counter("hammer_shared_total").inc();
+        reg.counter("hammer_per_thread_total", {{"thread", mine}}).inc();
+        reg.gauge("hammer_gauge").add(1.0);
+        reg.histogram("hammer_hist", {}, 0.0, 100.0, 10)
+            .observe(static_cast<double>(i % 100));
+        if (i % 64 == 0) {
+          // Exercise reader paths concurrently with writers.
+          (void)reg.counter_value("hammer_shared_total");
+          (void)reg.family_total("hammer_per_thread_total");
+        }
+      }
+    });
+  }
+  gate.open(kThreads);
+  for (auto& w : workers) w.join();
+
+  const std::uint64_t expected = kThreads * kOpsPerThread;
+  EXPECT_EQ(reg.counter_value("hammer_shared_total"), expected);
+  EXPECT_EQ(reg.family_total("hammer_per_thread_total"), expected);
+  for (std::size_t t = 0; t < kThreads; ++t)
+    EXPECT_EQ(reg.counter_value("hammer_per_thread_total",
+                                {{"thread", "t" + std::to_string(t)}}),
+              kOpsPerThread);
+  EXPECT_DOUBLE_EQ(reg.gauge("hammer_gauge").value(),
+                   static_cast<double>(expected));
+  const HistogramMetric::Snapshot h = reg.histogram("hammer_hist", {}, 0.0,
+                                                    100.0, 10)
+                                          .snapshot();
+  EXPECT_EQ(h.stats.count(), expected);
+}
+
+TEST(TelemetryConcurrency, ExportersStayCoherentWhileWritersRun) {
+  MetricsRegistry reg;
+  // Register the families up front so every render can assert on them;
+  // the writers still churn fresh *series* into both families below.
+  reg.counter("churn_total", {{"series", "seed"}}).inc();
+  reg.histogram("churn_hist", {{"w", "seed"}}, 0.0, 50.0, 5).observe(1.0);
+  std::atomic<bool> stop{false};
+  StartGate gate;
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < 4; ++t) {
+    writers.emplace_back([&reg, &gate, &stop, t] {
+      gate.wait();
+      std::size_t i = 0;
+      while (!stop.load()) {
+        // Keep registering fresh series so exporters race against map
+        // growth, not just cell updates.
+        reg.counter("churn_total",
+                    {{"series", "s" + std::to_string((t * 131 + i) % 97)}})
+            .inc();
+        reg.histogram("churn_hist", {{"w", std::to_string(t)}}, 0.0, 50.0, 5)
+            .observe(static_cast<double>(i % 50));
+        ++i;
+      }
+    });
+  }
+  gate.open(4);
+  // Export repeatedly while the writers churn; the exporters lock the
+  // registry, so each render must parse/shape coherently.
+  for (int round = 0; round < 50; ++round) {
+    const std::string text = to_prometheus(reg);
+    EXPECT_NE(text.find("# TYPE churn_total counter"), std::string::npos);
+    const Json json = to_json(reg);
+    ASSERT_TRUE(json.contains("metrics"));
+  }
+  stop.store(true);
+  for (auto& w : writers) w.join();
+}
+
+TEST(TelemetryConcurrency, TracerNestsSpansPerThread) {
+  Tracer trc(1u << 16);
+  StartGate gate;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&trc, &gate, t] {
+      gate.wait();
+      const std::string name = "worker" + std::to_string(t);
+      for (std::size_t i = 0; i < 200; ++i) {
+        Span outer(trc, name + ".outer", static_cast<SimTime>(i));
+        {
+          Span inner(trc, name + ".inner", static_cast<SimTime>(i));
+          inner.finish(static_cast<SimTime>(i + 1));
+        }
+        (void)trc.open_depth();  // reader racing the sink
+        outer.finish(static_cast<SimTime>(i + 2));
+      }
+    });
+  }
+  gate.open(kThreads);
+  for (auto& w : workers) w.join();
+
+  const std::vector<SpanRecord> spans = trc.snapshot();
+  ASSERT_EQ(spans.size(), kThreads * 200 * 2);
+  EXPECT_EQ(trc.dropped(), 0u);
+  EXPECT_EQ(trc.open_depth(), 0u);
+  for (const SpanRecord& s : spans) {
+    EXPECT_TRUE(s.finished);
+    if (s.depth == 0) {
+      EXPECT_EQ(s.parent, SpanRecord::kNoParent);
+      continue;
+    }
+    // Nesting never crosses threads: a child's parent is the same
+    // worker's outer span, and parents precede children in the record
+    // vector.
+    ASSERT_LT(s.parent, spans.size());
+    const SpanRecord& p = spans[s.parent];
+    EXPECT_LT(s.parent, s.id);
+    EXPECT_EQ(s.depth, p.depth + 1);
+    EXPECT_EQ(s.name.substr(0, s.name.find('.')),
+              p.name.substr(0, p.name.find('.')));
+  }
+}
+
+TEST(TelemetryConcurrency, TracerCapDropsInsteadOfGrowing) {
+  Tracer trc(64);
+  StartGate gate;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&trc, &gate] {
+      gate.wait();
+      for (std::size_t i = 0; i < 100; ++i)
+        Span span(trc, "overflow", static_cast<SimTime>(i));
+    });
+  }
+  gate.open(kThreads);
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(trc.snapshot().size(), 64u);
+  EXPECT_EQ(trc.dropped(), kThreads * 100 - 64);
+}
+
+}  // namespace
+}  // namespace pmware::telemetry
+
+namespace pmware::study {
+namespace {
+
+// End-to-end: the worker pool drives real PMS/cloud traffic through the
+// process-wide registry and tracer. Small enough for the tsan build.
+TEST(StudyConcurrency, ParallelSmallStudyRuns) {
+  StudyConfig config;
+  config.participants = 4;
+  config.days = 2;
+  config.threads = 4;
+  const StudyResult result = DeploymentStudy(config).run();
+  ASSERT_EQ(result.participants.size(), 4u);
+  EXPECT_GT(result.total_discovered(), 0u);
+  for (const auto& p : result.participants)
+    EXPECT_GT(p.sensing_joules, 0.0);
+}
+
+}  // namespace
+}  // namespace pmware::study

@@ -286,6 +286,99 @@ TEST(CellVisitTracker, FinishClosesOpenVisit) {
   EXPECT_FALSE(tracker.current_place().has_value());
 }
 
+/// Two results agree when their externally visible shape is identical:
+/// clusters (cells + dwell), visit sequence, and the cell->place mapping.
+void expect_same_result(const GcaResult& a, const GcaResult& b,
+                        const std::string& context) {
+  ASSERT_EQ(a.places.size(), b.places.size()) << context;
+  for (std::size_t i = 0; i < a.places.size(); ++i) {
+    EXPECT_EQ(a.places[i].signature.cells, b.places[i].signature.cells)
+        << context << " place " << i;
+    EXPECT_EQ(a.places[i].total_dwell, b.places[i].total_dwell)
+        << context << " place " << i;
+  }
+  ASSERT_EQ(a.visits.size(), b.visits.size()) << context;
+  for (std::size_t i = 0; i < a.visits.size(); ++i) {
+    EXPECT_EQ(a.visits[i].place_index, b.visits[i].place_index)
+        << context << " visit " << i;
+    EXPECT_EQ(a.visits[i].window.begin, b.visits[i].window.begin)
+        << context << " visit " << i;
+    EXPECT_EQ(a.visits[i].window.end, b.visits[i].window.end)
+        << context << " visit " << i;
+  }
+  EXPECT_EQ(a.cell_to_place, b.cell_to_place) << context;
+}
+
+TEST(GcaState, IncrementalReclusterMatchesFullRebuild) {
+  // A growing multi-day trace reclustered once per day — the PMS
+  // housekeeping pattern. Day 4 introduces a brand-new place (gym), which
+  // changes the cell->place mapping and forces the exact full-replay
+  // fallback; the surrounding days extend existing places and should take
+  // the incremental path.
+  Rng rng(11);
+  std::vector<CellObservation> log;
+  SimTime t = 0;
+  const std::vector<CellId> home{cell(1), cell(2)};
+  const std::vector<CellId> work{cell(10), cell(11), cell(12)};
+  const std::vector<CellId> gym{cell(40), cell(41)};
+  const std::vector<CellId> commute{cell(20), cell(21), cell(22)};
+  std::vector<CellId> back(commute.rbegin(), commute.rend());
+
+  GcaState state;
+  for (int day = 0; day < 7; ++day) {
+    append_dwell(log, t, home, hours(9), rng);
+    append_travel(log, t, commute);
+    append_dwell(log, t, work, hours(8), rng);
+    if (day >= 3) {
+      append_travel(log, t, {cell(30)});
+      append_dwell(log, t, gym, hours(2), rng);
+    }
+    append_travel(log, t, back);
+    append_dwell(log, t, home, hours(4), rng);
+
+    const GcaResult incremental = state.run(log);
+    const GcaResult full = run_gca(log);
+    expect_same_result(incremental, full, "day " + std::to_string(day));
+  }
+  EXPECT_EQ(state.passes(), 7u);
+  // Most daily passes only extend known places; at least one must have
+  // taken the incremental path, and the gym's first appearance must not
+  // have (mapping changed).
+  EXPECT_GT(state.incremental_passes(), 0u);
+  EXPECT_LT(state.incremental_passes(), state.passes());
+}
+
+TEST(GcaState, RewrittenHistoryForcesFullReset) {
+  Rng rng(12);
+  std::vector<CellObservation> log;
+  SimTime t = 0;
+  append_dwell(log, t, {cell(1), cell(2)}, hours(6), rng);
+
+  GcaState state;
+  (void)state.run(log);
+
+  // A *different* log (not an extension of the fed prefix) must be
+  // detected and reclustered from scratch, matching run_gca exactly.
+  Rng rng2(99);
+  std::vector<CellObservation> other;
+  SimTime t2 = 0;
+  append_dwell(other, t2, {cell(7), cell(8)}, hours(5), rng2);
+  const GcaResult incremental = state.run(other);
+  const GcaResult full = run_gca(other);
+  expect_same_result(incremental, full, "rewritten history");
+  EXPECT_FALSE(state.last_pass_incremental());
+}
+
+TEST(GcaState, EmptyThenGrowingLogIsSafe) {
+  GcaState state;
+  EXPECT_TRUE(state.run({}).places.empty());
+  Rng rng(13);
+  std::vector<CellObservation> log;
+  SimTime t = 0;
+  append_dwell(log, t, {cell(1), cell(2), cell(3)}, hours(6), rng);
+  expect_same_result(state.run(log), run_gca(log), "after empty pass");
+}
+
 class GcaNoiseSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(GcaNoiseSweep, HomeWorkSeparationRobustToSeed) {

@@ -7,8 +7,7 @@
 namespace pmware::net {
 namespace {
 
-Router echo_router() {
-  Router router;
+void fill_echo_router(Router& router) {
   router.add_route(Method::Get, "/ping",
                    [](const HttpRequest&, const PathParams&) {
                      Json body = Json::object();
@@ -26,11 +25,11 @@ Router echo_router() {
                    [](const HttpRequest& req, const PathParams&) {
                      return HttpResponse::json(req.body);
                    });
-  return router;
 }
 
 TEST(Router, ExactMatch) {
-  const Router router = echo_router();
+  Router router;
+  fill_echo_router(router);
   HttpRequest request{Method::Get, "/ping", {}, {}, {}};
   const HttpResponse response = router.handle(request);
   EXPECT_TRUE(response.ok());
@@ -38,7 +37,8 @@ TEST(Router, ExactMatch) {
 }
 
 TEST(Router, PathParamsCaptured) {
-  const Router router = echo_router();
+  Router router;
+  fill_echo_router(router);
   HttpRequest request{Method::Get, "/users/7/places/1234", {}, {}, {}};
   const HttpResponse response = router.handle(request);
   EXPECT_TRUE(response.ok());
@@ -47,13 +47,15 @@ TEST(Router, PathParamsCaptured) {
 }
 
 TEST(Router, MethodMismatchIs404) {
-  const Router router = echo_router();
+  Router router;
+  fill_echo_router(router);
   HttpRequest request{Method::Post, "/ping", {}, {}, {}};
   EXPECT_EQ(router.handle(request).status, kStatusNotFound);
 }
 
 TEST(Router, UnknownPathIs404) {
-  const Router router = echo_router();
+  Router router;
+  fill_echo_router(router);
   HttpRequest request{Method::Get, "/nope", {}, {}, {}};
   const HttpResponse response = router.handle(request);
   EXPECT_EQ(response.status, kStatusNotFound);
@@ -61,7 +63,8 @@ TEST(Router, UnknownPathIs404) {
 }
 
 TEST(Router, SegmentCountMustMatch) {
-  const Router router = echo_router();
+  Router router;
+  fill_echo_router(router);
   HttpRequest request{Method::Get, "/users/7/places", {}, {}, {}};
   EXPECT_EQ(router.handle(request).status, kStatusNotFound);
   HttpRequest longer{Method::Get, "/users/7/places/1/extra", {}, {}, {}};
@@ -69,13 +72,15 @@ TEST(Router, SegmentCountMustMatch) {
 }
 
 TEST(Router, TrailingSlashIsTolerated) {
-  const Router router = echo_router();
+  Router router;
+  fill_echo_router(router);
   HttpRequest request{Method::Get, "/ping/", {}, {}, {}};
   EXPECT_TRUE(router.handle(request).ok());
 }
 
 TEST(Router, PostBodyRoundTrips) {
-  const Router router = echo_router();
+  Router router;
+  fill_echo_router(router);
   HttpRequest request{Method::Post, "/echo", {}, {}, {}};
   request.body = Json::parse(R"({"x": 5, "y": [1,2]})");
   const HttpResponse response = router.handle(request);
@@ -83,7 +88,8 @@ TEST(Router, PostBodyRoundTrips) {
 }
 
 TEST(Router, MiddlewareShortCircuits) {
-  Router router = echo_router();
+  Router router;
+  fill_echo_router(router);
   router.add_middleware([](const HttpRequest& req) -> std::optional<HttpResponse> {
     if (req.headers.count("Authorization")) return std::nullopt;
     return HttpResponse::error(kStatusUnauthorized, "no token");
@@ -95,7 +101,8 @@ TEST(Router, MiddlewareShortCircuits) {
 }
 
 TEST(Router, MiddlewareExemptPrefixes) {
-  Router router = echo_router();
+  Router router;
+  fill_echo_router(router);
   router.add_middleware(
       [](const HttpRequest&) -> std::optional<HttpResponse> {
         return HttpResponse::error(kStatusUnauthorized, "always deny");
@@ -108,7 +115,8 @@ TEST(Router, MiddlewareExemptPrefixes) {
 }
 
 TEST(Client, DeliversAndCountsRequests) {
-  const Router router = echo_router();
+  Router router;
+  fill_echo_router(router);
   RestClient client(&router, NetworkConditions{0.0, 2}, Rng(1));
   HttpRequest request{Method::Get, "/ping", {}, {}, {}};
   const HttpResponse response = client.send(request);
@@ -151,7 +159,8 @@ TEST(Client, ExplicitAuthHeaderWins) {
 }
 
 TEST(Client, RetriesTransientFailures) {
-  const Router router = echo_router();
+  Router router;
+  fill_echo_router(router);
   // 50% loss: with 2 retries most requests eventually succeed.
   RestClient client(&router, NetworkConditions{0.5, 0}, Rng(3));
   int ok = 0;
@@ -165,7 +174,8 @@ TEST(Client, RetriesTransientFailures) {
 }
 
 TEST(Client, TotalLossReturns503) {
-  const Router router = echo_router();
+  Router router;
+  fill_echo_router(router);
   RestClient client(&router, NetworkConditions{1.0, 0}, Rng(3));
   HttpRequest request{Method::Get, "/ping", {}, {}, {}};
   const HttpResponse response = client.send(request, 2);
@@ -174,7 +184,8 @@ TEST(Client, TotalLossReturns503) {
 }
 
 TEST(Client, CountsBytesSent) {
-  const Router router = echo_router();
+  Router router;
+  fill_echo_router(router);
   RestClient client(&router, NetworkConditions{}, Rng(1));
   HttpRequest request{Method::Post, "/echo", {}, {}, {}};
   request.body = Json::parse(R"({"payload": "0123456789"})");

@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "telemetry/metrics.hpp"
+
 namespace pmware::sensing {
 namespace {
 
@@ -49,6 +51,30 @@ TEST(Scheduler, DisabledInterfaceNeverFires) {
   scheduler.set_callback(Interface::Gps, [&fired](SimTime) { ++fired; });
   scheduler.run(TimeWindow{0, hours(1)});
   EXPECT_EQ(fired, 0);
+}
+
+TEST(Scheduler, PolicyGaugesAreScopedPerDeviceInstance) {
+  // Two devices with different policies must not clobber each other's
+  // sensing_period_seconds / sensing_duty_cycle series (the old unlabeled
+  // gauges raced last-writer-wins across the fleet).
+  SamplingScheduler a(nullptr);
+  SamplingScheduler b(nullptr);
+  a.set_period(Interface::Gsm, 60);
+  b.set_period(Interface::Gsm, 300);
+  auto& reg = telemetry::registry();
+  const telemetry::LabelSet la{{"instance", a.instance_label()},
+                               {"interface", "gsm"}};
+  const telemetry::LabelSet lb{{"instance", b.instance_label()},
+                               {"interface", "gsm"}};
+  const telemetry::Gauge* ga = reg.find_gauge("sensing_period_seconds", la);
+  const telemetry::Gauge* gb = reg.find_gauge("sensing_period_seconds", lb);
+  ASSERT_NE(ga, nullptr);
+  ASSERT_NE(gb, nullptr);
+  EXPECT_DOUBLE_EQ(ga->value(), 60.0);
+  EXPECT_DOUBLE_EQ(gb->value(), 300.0);
+  const telemetry::Gauge* da = reg.find_gauge("sensing_duty_cycle", la);
+  ASSERT_NE(da, nullptr);
+  EXPECT_DOUBLE_EQ(da->value(), 1.0 / 60.0);
 }
 
 TEST(Scheduler, SetPeriodRejectsNonPositive) {

@@ -82,6 +82,61 @@ TEST(Study, DeterministicForSameSeed) {
             rb.total(DiscoveredOutcome::Correct));
 }
 
+// The tentpole determinism guarantee: a parallel run is byte-identical to a
+// sequential one. Everything shared is either immutable (world), serialized
+// (cloud dispatch), or forked before workers start (per-participant RNGs).
+TEST(Study, ThreadedRunMatchesSequentialExactly) {
+  StudyConfig sequential_config = small_config();
+  sequential_config.threads = 1;
+  StudyConfig parallel_config = small_config();
+  parallel_config.threads = 4;
+  const StudyResult rs = DeploymentStudy(sequential_config).run();
+  const StudyResult rp = DeploymentStudy(parallel_config).run();
+
+  ASSERT_EQ(rs.participants.size(), rp.participants.size());
+  for (std::size_t i = 0; i < rs.participants.size(); ++i) {
+    const ParticipantResult& a = rs.participants[i];
+    const ParticipantResult& b = rp.participants[i];
+    EXPECT_EQ(a.profile.id, b.profile.id);
+    EXPECT_EQ(a.places_discovered, b.places_discovered);
+    EXPECT_EQ(a.places_tagged, b.places_tagged);
+    EXPECT_EQ(a.places_evaluable, b.places_evaluable);
+    EXPECT_EQ(a.eval.outcomes, b.eval.outcomes);
+    EXPECT_EQ(a.ad_likes, b.ad_likes);
+    EXPECT_EQ(a.ad_dislikes, b.ad_dislikes);
+    EXPECT_EQ(a.sensing_joules, b.sensing_joules);  // bitwise, not approx
+    EXPECT_EQ(a.implied_battery_hours, b.implied_battery_hours);
+    EXPECT_EQ(a.pms_stats.place_events_delivered,
+              b.pms_stats.place_events_delivered);
+    EXPECT_EQ(a.pms_stats.route_events_delivered,
+              b.pms_stats.route_events_delivered);
+    EXPECT_EQ(a.pms_stats.encounters_delivered,
+              b.pms_stats.encounters_delivered);
+    EXPECT_EQ(a.pms_stats.profile_syncs, b.pms_stats.profile_syncs);
+    EXPECT_EQ(a.pms_stats.token_refreshes, b.pms_stats.token_refreshes);
+    EXPECT_EQ(a.pms_stats.gca_offloads, b.pms_stats.gca_offloads);
+    EXPECT_EQ(a.pms_stats.gca_local_runs, b.pms_stats.gca_local_runs);
+  }
+  ASSERT_EQ(rs.place_map.size(), rp.place_map.size());
+  for (std::size_t i = 0; i < rs.place_map.size(); ++i) {
+    EXPECT_EQ(rs.place_map[i].participant, rp.place_map[i].participant);
+    EXPECT_EQ(rs.place_map[i].uid, rp.place_map[i].uid);
+    EXPECT_EQ(rs.place_map[i].label, rp.place_map[i].label);
+    EXPECT_EQ(rs.place_map[i].location, rp.place_map[i].location);
+  }
+}
+
+// Oversubscription (more workers than participants) must not change
+// anything either — the pool clamps to the participant count.
+TEST(Study, ThreadCountBeyondParticipantsIsClamped) {
+  StudyConfig config = small_config();
+  config.days = 2;
+  config.threads = 64;
+  const StudyResult result = DeploymentStudy(config).run();
+  EXPECT_EQ(result.participants.size(), 4u);
+  EXPECT_GT(result.total_discovered(), 0u);
+}
+
 TEST(Study, DifferentSeedsDiffer) {
   StudyConfig config_a = small_config();
   config_a.seed = 1;

@@ -202,19 +202,18 @@ TEST(Tracer, CapDropsSpansInsteadOfGrowing) {
 
 // --------------------------------------------------------------- exporters
 
-MetricsRegistry exporter_fixture() {
-  MetricsRegistry reg;
+void fill_exporter_fixture(MetricsRegistry& reg) {
   reg.counter("net_requests_total", {{"instance", "c0"}},
               "requests attempted")
       .inc(7);
   reg.gauge("sensing_duty_cycle", {{"interface", "gsm"}}).set(1.0 / 60.0);
   reg.histogram("cloud_handler_wall_us", {{"route", "/metrics"}}, 0, 100, 4)
       .observe(25);
-  return reg;
 }
 
 TEST(Exporters, PrometheusTextShape) {
-  const MetricsRegistry reg = exporter_fixture();
+  MetricsRegistry reg;
+  fill_exporter_fixture(reg);
   const std::string text = to_prometheus(reg);
   EXPECT_NE(text.find("# TYPE net_requests_total counter"), std::string::npos);
   EXPECT_NE(text.find("# HELP net_requests_total requests attempted"),
@@ -243,7 +242,8 @@ TEST(Exporters, PrometheusEscapesLabelValues) {
 }
 
 TEST(Exporters, JsonRoundTripsThroughTheParser) {
-  const MetricsRegistry reg = exporter_fixture();
+  MetricsRegistry reg;
+  fill_exporter_fixture(reg);
   const Json exported = to_json(reg);
   const Json reparsed = Json::parse(exported.dump());
   EXPECT_EQ(reparsed, exported);
@@ -259,8 +259,30 @@ TEST(Exporters, JsonRoundTripsThroughTheParser) {
   const Json& hist = metrics.at("cloud_handler_wall_us").at("series")[0];
   EXPECT_EQ(hist.at("count").as_int(), 1);
   EXPECT_DOUBLE_EQ(hist.at("sum").as_double(), 25.0);
-  EXPECT_EQ(hist.at("buckets").size(), 4u);
-  EXPECT_EQ(hist.at("buckets")[1].at("count").as_int(), 1);
+  // Buckets are sparse: only the [25, 50) bucket saw the observation.
+  ASSERT_EQ(hist.at("buckets").size(), 1u);
+  EXPECT_DOUBLE_EQ(hist.at("buckets")[0].at("lo").as_double(), 25.0);
+  EXPECT_DOUBLE_EQ(hist.at("buckets")[0].at("hi").as_double(), 50.0);
+  EXPECT_EQ(hist.at("buckets")[0].at("count").as_int(), 1);
+}
+
+TEST(Exporters, ZeroCountHistogramEmitsNoBucketSeries) {
+  MetricsRegistry reg;
+  reg.histogram("cloud_handler_wall_us", {{"route", "/cold"}}, 0, 5000, 20);
+  const std::string text = to_prometheus(reg);
+  // Lazily materialized: no per-bucket lines for an untouched series, just
+  // the mandatory +Inf / _sum / _count.
+  EXPECT_EQ(text.find("route=\"/cold\",le=\"250\""), std::string::npos);
+  EXPECT_NE(
+      text.find("cloud_handler_wall_us_bucket{route=\"/cold\",le=\"+Inf\"} 0"),
+      std::string::npos);
+  EXPECT_NE(text.find("cloud_handler_wall_us_count{route=\"/cold\"} 0"),
+            std::string::npos);
+
+  const Json exported = to_json(reg);
+  const Json& hist =
+      exported.at("metrics").at("cloud_handler_wall_us").at("series")[0];
+  EXPECT_EQ(hist.at("buckets").size(), 0u);
 }
 
 TEST(Exporters, SpansExportParentLinks) {
