@@ -17,6 +17,7 @@
 #include "mobility/schedule.hpp"
 #include "util/logging.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/log.hpp"
 
 using namespace pmware;
 using algorithms::DiscoveredOutcome;
@@ -103,6 +104,7 @@ int main(int argc, char** argv) {
   const std::string json_path =
       telemetry::bench_json_path(argc, argv, "ablation_gca_params");
   set_log_level(LogLevel::Error);
+  telemetry::apply_log_level_flag(argc, argv);
   std::printf("=== A5: GCA sensitivity, GSM-only (%d participants x %d days) "
               "===\n\n",
               kParticipants, kDays);
@@ -132,7 +134,8 @@ int main(int argc, char** argv) {
       "a looser one risks over-merging. The paper's 1-minute operating\n"
       "point buys clean clusters for ~2x the energy of 2-minute sampling.\n");
   if (!json_path.empty() &&
-      !telemetry::write_bench_json(json_path, "ablation_gca_params"))
+      !telemetry::write_bench_json(json_path, "ablation_gca_params",
+                                   Json::object(), {0, 1, kDays}))
     return 1;
   return 0;
 }

@@ -17,6 +17,7 @@
 #include "mobility/schedule.hpp"
 #include "util/logging.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/log.hpp"
 
 using namespace pmware;
 using algorithms::DiscoveredOutcome;
@@ -116,6 +117,7 @@ int main(int argc, char** argv) {
   const std::string json_path =
       telemetry::bench_json_path(argc, argv, "ablation_interfaces");
   set_log_level(LogLevel::Error);
+  telemetry::apply_log_level_flag(argc, argv);
   Rng rng(20141208);
   Rng world_rng = rng.fork(1);
   world::WorldConfig wc;
@@ -152,7 +154,8 @@ int main(int argc, char** argv) {
       "cost; continuous GPS is accurate outdoors but costs an order of\n"
       "magnitude more energy and degrades indoors.\n");
   if (!json_path.empty() &&
-      !telemetry::write_bench_json(json_path, "ablation_interfaces"))
+      !telemetry::write_bench_json(json_path, "ablation_interfaces",
+                                   Json::object(), {0, 1, kDays}))
     return 1;
   return 0;
 }

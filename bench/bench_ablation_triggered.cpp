@@ -15,6 +15,7 @@
 #include "mobility/schedule.hpp"
 #include "util/logging.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/log.hpp"
 
 using namespace pmware;
 using energy::Interface;
@@ -101,6 +102,7 @@ int main(int argc, char** argv) {
   const std::string json_path =
       telemetry::bench_json_path(argc, argv, "ablation_triggered");
   set_log_level(LogLevel::Error);
+  telemetry::apply_log_level_flag(argc, argv);
   Fixture fixture;
 
   std::printf("=== A1: triggered sensing vs always-on, and sensing sharing "
@@ -141,7 +143,8 @@ int main(int argc, char** argv) {
       "far above always-on GPS; isolated-stack energy grows linearly in N\n"
       "while the shared PMS stays flat (the paper's redundancy argument).\n");
   if (!json_path.empty() &&
-      !telemetry::write_bench_json(json_path, "ablation_triggered"))
+      !telemetry::write_bench_json(json_path, "ablation_triggered",
+                                   Json::object(), {0, 1, kDays}))
     return 1;
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "study/deployment.hpp"
 #include "util/logging.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/log.hpp"
 
 using namespace pmware;
 using algorithms::DiscoveredOutcome;
@@ -36,6 +37,7 @@ int main(int argc, char** argv) {
   const std::string json_path =
       telemetry::bench_json_path(argc, argv, "coverage_regions");
   set_log_level(LogLevel::Error);
+  telemetry::apply_log_level_flag(argc, argv);
   std::printf("=== A3: region profiles — WiFi coverage vs discovery accuracy "
               "(8 participants x 7 days) ===\n\n");
   std::printf("%-14s %9s | %8s %8s %8s | %8s %8s\n", "region", "coverage",
@@ -59,7 +61,8 @@ int main(int argc, char** argv) {
       "~60%% coverage (India) deployment — the paper's argument for\n"
       "per-geography customization inside the middleware.\n");
   if (!json_path.empty() &&
-      !telemetry::write_bench_json(json_path, "coverage_regions"))
+      !telemetry::write_bench_json(json_path, "coverage_regions",
+                                   Json::object(), {0, 1, 7}))
     return 1;
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "algorithms/gca.hpp"
 #include "study/deployment.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/log.hpp"
 #include "util/logging.hpp"
 #include "viz/map_render.hpp"
 
@@ -95,6 +96,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--threads") == 0)
       fixed_threads = std::atoi(argv[i + 1]);
   set_log_level(LogLevel::Error);
+  telemetry::apply_log_level_flag(argc, argv);
   study::StudyConfig config;  // 16 participants x 14 days, GSM + opp. WiFi
 
   // --- Thread-scaling sweep: same study at each worker count. Results must
@@ -276,8 +278,12 @@ int main(int argc, char** argv) {
                   incremental_s > 0 ? full_s / incremental_s : 0.0);
     recluster.set("identical", recluster_identical);
     extra.set("recluster", std::move(recluster));
+    // Telemetry in the dump is from the sweep's last run, so the metadata
+    // records that run's thread count.
+    const telemetry::RunMeta meta{config.seed, thread_counts.back(),
+                                  config.days};
     if (!telemetry::write_bench_json(json_path, "deployment_study",
-                                     std::move(extra)))
+                                     std::move(extra), meta))
       return 1;
   }
   return 0;

@@ -14,6 +14,7 @@
 #include "energy/profile.hpp"
 #include "sensing/scheduler.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/log.hpp"
 #include "util/simtime.hpp"
 #include "util/strfmt.hpp"
 
@@ -40,6 +41,7 @@ double simulated_duration_h(Interface interface, SimDuration interval) {
 int main(int argc, char** argv) {
   const std::string json_path =
       telemetry::bench_json_path(argc, argv, "fig1_energy");
+  telemetry::apply_log_level_flag(argc, argv);
   const energy::PowerProfile profile = energy::PowerProfile::htc_explorer();
 
   std::printf("=== Figure 1: continuous-sensing battery duration ===\n");

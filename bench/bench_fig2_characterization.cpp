@@ -13,6 +13,7 @@
 #include "mobility/schedule.hpp"
 #include "util/logging.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/log.hpp"
 
 using namespace pmware;
 using energy::Interface;
@@ -87,6 +88,7 @@ int main(int argc, char** argv) {
   const std::string json_path =
       telemetry::bench_json_path(argc, argv, "fig2_characterization");
   set_log_level(LogLevel::Error);
+  telemetry::apply_log_level_flag(argc, argv);
   std::printf("=== Figure 2: place-aware application classes and the sensing "
               "PMWare chooses ===\n\n");
   std::printf("%-24s %-10s %-6s | %6s %6s %6s %6s | %9s %9s\n", "app class",
@@ -108,7 +110,8 @@ int main(int argc, char** argv) {
       "\nshape check: finer granularity / route accuracy => more expensive\n"
       "interfaces are sampled, monotonically lower battery life.\n");
   if (!json_path.empty() &&
-      !telemetry::write_bench_json(json_path, "fig2_characterization"))
+      !telemetry::write_bench_json(json_path, "fig2_characterization",
+                                   Json::object(), {0, 1, 1}))
     return 1;
   return 0;
 }

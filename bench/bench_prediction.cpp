@@ -17,6 +17,7 @@
 #include "util/logging.hpp"
 #include "util/stats.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/log.hpp"
 
 using namespace pmware;
 
@@ -43,6 +44,7 @@ int main(int argc, char** argv) {
   const std::string json_path =
       telemetry::bench_json_path(argc, argv, "prediction");
   set_log_level(LogLevel::Error);
+  telemetry::apply_log_level_flag(argc, argv);
   Rng rng(20141208);
   Rng world_rng = rng.fork(1);
   world::WorldConfig wc;
@@ -175,7 +177,8 @@ int main(int argc, char** argv) {
   std::printf("\nshape check: Q1 error within tens of minutes, Q2 hit rate\n"
               "well above half, Q3 within ~1 visit/week of truth.\n");
   if (!json_path.empty() &&
-      !telemetry::write_bench_json(json_path, "prediction"))
+      !telemetry::write_bench_json(json_path, "prediction",
+                                   Json::object(), {0, 1, kDays}))
     return 1;
   return 0;
 }

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification, three times: a plain build, an address+UB-sanitized
-# one, and a thread-sanitized build that runs the concurrency tests (the
-# telemetry registry/tracer hammer and the parallel deployment study).
+# Tier-1 verification, four times: a plain build, a warnings-as-errors
+# build, an address+UB-sanitized one, and a thread-sanitized build that runs
+# the concurrency tests (the telemetry registry/tracer hammer and the
+# parallel deployment study).
 # Usage: ./ci.sh [extra cmake args...]
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -19,6 +20,9 @@ run_suite() {
 }
 
 run_suite build "" "$@"
+# -Wall -Wextra are always on; this build promotes them to errors so new
+# warnings fail CI instead of scrolling by.
+run_suite build-werror "" -DPMWARE_WERROR=ON "$@"
 run_suite build-asan "" -DPMWARE_SANITIZE="address;undefined" "$@"
 # tsan cannot combine with asan; a third build runs just the tests that
 # exercise threads (everything else is single-threaded by design).

@@ -13,6 +13,7 @@
 #include "mobility/schedule.hpp"
 #include "sensing/device.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/trace.hpp"
 #include "util/logging.hpp"
 #include "world/world.hpp"
 
@@ -104,10 +105,11 @@ int main() {
   std::printf("cloud: %zu profile syncs, %zu GCA offloads\n",
               pms.stats().profile_syncs, pms.stats().gca_offloads);
 
-  // 7. Everything above was also recorded in the telemetry registry — the
-  //    same families the cloud serves on GET /metrics and benches dump with
-  //    --json. Printing it doubles as an exporter smoke test.
-  std::printf("\n--- telemetry registry (Prometheus exposition) ---\n%s",
-              telemetry::to_prometheus(telemetry::registry()).c_str());
+  // 7. Everything above was also traced and metered: the diagnostics digest
+  //    is the human-readable view of what the cloud serves on GET /healthz
+  //    and GET /tracez (the full registry is one GET /metrics away).
+  std::printf("\n%s", telemetry::diagnostics_summary(telemetry::tracer(),
+                                                     telemetry::registry())
+                          .c_str());
   return 0;
 }

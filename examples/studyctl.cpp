@@ -5,6 +5,7 @@
 //
 //   studyctl [--participants N] [--days D] [--seed S] [--threads T]
 //            [--region india|switzerland] [--no-wifi] [--no-ads]
+//            [--log-level debug|info|warn|error|off]
 //            [--report FILE.json] [--map FILE.svg]
 #include <cstdio>
 #include <cstring>
@@ -12,7 +13,10 @@
 #include <string>
 
 #include "study/deployment.hpp"
-#include "util/logging.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/log.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "viz/map_render.hpp"
 
 using namespace pmware;
@@ -25,6 +29,7 @@ int usage(const char* argv0) {
                "usage: %s [--participants N] [--days D] [--seed S]\n"
                "          [--threads T] [--region india|switzerland]\n"
                "          [--no-wifi] [--no-ads]\n"
+               "          [--log-level debug|info|warn|error|off]\n"
                "          [--report FILE.json] [--map FILE.svg]\n",
                argv0);
   return 2;
@@ -80,6 +85,12 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       map_path = v;
+    } else if (arg == "--log-level") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      const auto level = telemetry::parse_log_level(v);
+      if (!level) return usage(argv[0]);
+      set_log_level(*level);
     } else {
       return usage(argv[0]);
     }
@@ -97,6 +108,9 @@ int main(int argc, char** argv) {
   study::DeploymentStudy study(config);
   const study::StudyResult result = study.run();
   std::printf("%s", result.summary().c_str());
+  std::printf("%s", telemetry::diagnostics_summary(telemetry::tracer(),
+                                                   telemetry::registry())
+                        .c_str());
 
   // --- JSON report ---
   Json report = Json::object();

@@ -1,12 +1,15 @@
 #include "cloud/cloud_instance.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
 #include "algorithms/gca.hpp"
 #include "core/codec.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/log.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/strfmt.hpp"
 
 namespace pmware::cloud {
@@ -25,8 +28,8 @@ CloudInstance::CloudInstance(CloudConfig config, GeoLocationService geoloc,
   // Per-route request counters and handler-cost histograms. Patterns (not
   // concrete paths) label the series, so cardinality stays bounded by the
   // route table.
-  router_.set_observer([](net::Method method, const std::string& pattern,
-                          int status, double wall_us) {
+  router_.set_observer([this](net::Method method, const std::string& pattern,
+                              int status, double wall_us) {
     auto& reg = telemetry::registry();
     reg.counter("cloud_requests_total",
                 {{"method", net::to_string(method)},
@@ -37,13 +40,22 @@ CloudInstance::CloudInstance(CloudConfig config, GeoLocationService geoloc,
     reg.histogram("cloud_handler_wall_us", {{"route", pattern}}, 0, 5000, 20,
                   "wall-clock handler cost per request, microseconds")
         .observe(wall_us);
+    if (wall_us > config_.slo_wall_us) {
+      reg.counter("cloud_slo_violations_total", {{"route", pattern}},
+                  "requests whose wall-clock handler cost exceeded the SLO")
+          .inc();
+      // Debug, not warn: a loaded study violates the SLO often enough that
+      // per-event stderr lines would drown everything; the counter (and
+      // /tracez) is the actionable surface.
+      telemetry::slog_debug(
+          "cloud", 0, "SLO violation: %s took %.0f us (threshold %.0f us)",
+          pattern.c_str(), wall_us, config_.slo_wall_us);
+    }
   });
 }
 
 SimTime CloudInstance::request_time(const HttpRequest& request) {
-  const auto it = request.headers.find(kSimTimeHeader);
-  if (it == request.headers.end()) return 0;
-  return std::atoll(it->second.c_str());
+  return request.sim_time();
 }
 
 std::optional<world::DeviceId> CloudInstance::authed_user(
@@ -89,6 +101,99 @@ void CloudInstance::register_routes() {
     Json body = Json::object();
     body.set("content_type", "text/plain; version=0.0.4");
     body.set("text", telemetry::to_prometheus(telemetry::registry()));
+    return HttpResponse::json(std::move(body));
+  });
+
+  // --- Diagnostics: liveness + storage/error overview (§ tracing) ---
+  // Authenticated like /metrics: uptime and per-route error counts profile
+  // the deployment, so they are not anonymous surface.
+  router_.add_route(Method::Get, "/healthz",
+                    [this](const HttpRequest& req, const PathParams&) {
+    if (!authed_user(req))
+      return HttpResponse::error(net::kStatusUnauthorized, "invalid token");
+    Json body = Json::object();
+    body.set("status", "ok");
+    body.set("uptime_wall_s",
+             std::chrono::duration_cast<std::chrono::duration<double>>(
+                 std::chrono::steady_clock::now() - started_)
+                 .count());
+    body.set("sim_time", request_time(req));
+    body.set("routes", static_cast<std::uint64_t>(router_.route_count()));
+
+    const CloudStorage::Stats stats = storage_.stats();
+    Json storage = Json::object();
+    storage.set("users", static_cast<std::uint64_t>(stats.users));
+    storage.set("places", static_cast<std::uint64_t>(stats.places));
+    storage.set("profiles", static_cast<std::uint64_t>(stats.profiles));
+    storage.set("routes", static_cast<std::uint64_t>(stats.routes));
+    storage.set("encounters", static_cast<std::uint64_t>(stats.encounters));
+    body.set("storage", std::move(storage));
+
+    // Per-route error totals: every cloud_requests_total series whose
+    // status label is 4xx/5xx, folded by route. Read under the registry
+    // lock; with_families is non-reentrant so only aggregation happens
+    // inside.
+    Json errors = Json::object();
+    telemetry::registry().with_families(
+        [&errors](const std::map<std::string, telemetry::MetricFamily>&
+                      families) {
+          const auto it = families.find("cloud_requests_total");
+          if (it == families.end()) return;
+          std::map<std::string, std::uint64_t> by_route;
+          for (const auto& [labels, series] : it->second.counters) {
+            const auto status = labels.find("status");
+            const auto route = labels.find("route");
+            if (status == labels.end() || route == labels.end()) continue;
+            if (std::atoi(status->second.c_str()) < 400) continue;
+            by_route[route->second] += series->value();
+          }
+          for (const auto& [route, count] : by_route)
+            errors.set(route, count);
+        });
+    body.set("errors_by_route", std::move(errors));
+
+    Json tracing = Json::object();
+    tracing.set("spans",
+                static_cast<std::uint64_t>(telemetry::tracer().snapshot().size()));
+    tracing.set("dropped",
+                static_cast<std::uint64_t>(telemetry::tracer().dropped()));
+    body.set("tracing", std::move(tracing));
+
+    Json logs = Json::object();
+    logs.set("total", static_cast<std::uint64_t>(telemetry::logger().total()));
+    logs.set("retained",
+             static_cast<std::uint64_t>(telemetry::logger().recent().size()));
+    body.set("logs", std::move(logs));
+    return HttpResponse::json(std::move(body));
+  });
+
+  // --- Diagnostics: slowest traces + SLO counters (§ tracing) ---
+  router_.add_route(Method::Get, "/tracez",
+                    [this](const HttpRequest& req, const PathParams&) {
+    if (!authed_user(req))
+      return HttpResponse::error(net::kStatusUnauthorized, "invalid token");
+    std::size_t n = 5;
+    if (const auto it = req.query.find("n"); it != req.query.end()) {
+      const long long parsed = std::atoll(it->second.c_str());
+      if (parsed > 0) n = static_cast<std::size_t>(parsed);
+    }
+    Json body = Json::object();
+    body.set("slo_threshold_us", config_.slo_wall_us);
+    Json violations = Json::object();
+    telemetry::registry().with_families(
+        [&violations](const std::map<std::string, telemetry::MetricFamily>&
+                          families) {
+          const auto it = families.find("cloud_slo_violations_total");
+          if (it == families.end()) return;
+          for (const auto& [labels, series] : it->second.counters) {
+            const auto route = labels.find("route");
+            if (route == labels.end()) continue;
+            violations.set(route->second, series->value());
+          }
+        });
+    body.set("slo_violations_by_route", std::move(violations));
+    body.set("slowest_traces", telemetry::slowest_traces_json(
+                                   telemetry::tracer().snapshot(), n));
     return HttpResponse::json(std::move(body));
   });
 

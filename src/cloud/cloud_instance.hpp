@@ -7,6 +7,7 @@
 // "Authorization" for everything except registration.
 #pragma once
 
+#include <chrono>
 #include <map>
 #include <memory>
 
@@ -24,6 +25,11 @@ struct CloudConfig {
   // 28h: long enough that the nightly housekeeping refresh runs
   // with >4h of validity to spare, short enough to be exercised daily.
   SimDuration token_ttl = hours(28);
+  /// Per-request wall-clock SLO: handlers slower than this increment
+  /// cloud_slo_violations_total{route=...}. Default 1 ms — generous for
+  /// in-process handlers, so violations flag real regressions (a GCA
+  /// recluster blowing up, a pathological JSON body), not noise.
+  double slo_wall_us = 1000.0;
 };
 
 class CloudInstance {
@@ -40,8 +46,9 @@ class CloudInstance {
   const AnalyticsEngine& analytics() const { return analytics_; }
   const GeoLocationService& geolocation() const { return geoloc_; }
 
-  /// Header names of the simulated transport.
-  static constexpr const char* kSimTimeHeader = "X-Sim-Time";
+  /// Header names of the simulated transport (canonical names live with the
+  /// HTTP model in net/http.hpp; this alias keeps existing callers working).
+  static constexpr const char* kSimTimeHeader = net::kSimTimeHeader;
 
  private:
   void register_routes();
@@ -59,6 +66,10 @@ class CloudInstance {
       world::DeviceId& user_out) const;
 
   CloudConfig config_;
+  /// Process start, for /healthz uptime (wall clock — the one clock the
+  /// simulated transport does not fake).
+  std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
   GeoLocationService geoloc_;
   TokenService tokens_;
   CloudStorage storage_;

@@ -27,6 +27,26 @@ class CloudStorage {
   }
   std::size_t user_count() const { return users_.size(); }
 
+  /// Aggregate record counts across users — the storage block of /healthz.
+  struct Stats {
+    std::size_t users = 0;
+    std::size_t places = 0;
+    std::size_t profiles = 0;
+    std::size_t routes = 0;
+    std::size_t encounters = 0;
+  };
+  Stats stats() const {
+    Stats s;
+    s.users = users_.size();
+    for (const auto& [id, store] : users_) {
+      s.places += store.places.size();
+      s.profiles += store.profiles.size();
+      s.routes += store.routes.routes().size();
+      s.encounters += store.encounters.size();
+    }
+    return s;
+  }
+
   /// Deletes everything stored for `id` (privacy wipe, paper §6 future
   /// work). Returns true if the user had any data.
   bool erase_user(world::DeviceId id) { return users_.erase(id) > 0; }

@@ -5,7 +5,7 @@
 
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
-#include "util/logging.hpp"
+#include "telemetry/log.hpp"
 
 namespace pmware::core {
 
@@ -404,8 +404,9 @@ std::size_t InferenceEngine::recluster(SimTime now) {
       .counter("core_new_places_total", {},
                "places first discovered during recluster passes")
       .inc(new_places);
-  log_debug("inference", "recluster: %zu clusters, %zu new places, %zu visits",
-            result.places.size(), new_places, visit_log_.size());
+  telemetry::slog_debug("inference", now,
+                        "recluster: %zu clusters, %zu new places, %zu visits",
+                        result.places.size(), new_places, visit_log_.size());
   return new_places;
 }
 

@@ -5,7 +5,7 @@
 #include "core/codec.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
-#include "util/logging.hpp"
+#include "telemetry/log.hpp"
 #include "util/strfmt.hpp"
 
 namespace pmware::core {
@@ -94,13 +94,14 @@ bool PmwareMobileService::register_with_cloud(SimTime now) {
   request.body.set("email", config_.email);
   const net::HttpResponse response = client_->send(request);
   if (!response.ok()) {
-    log_warn("pms", "registration failed: %d", response.status);
+    telemetry::slog_warn("pms", now, "registration failed: %d",
+                         response.status);
     return false;
   }
   user_id_ = static_cast<world::DeviceId>(response.body.at("user").as_int());
   client_->set_auth_token(response.body.at("token").as_string());
   token_expires_ = response.body.at("expires_at").as_int();
-  log_info("pms", "registered as user %u", *user_id_);
+  telemetry::slog_info("pms", now, "registered as user %u", *user_id_);
   return true;
 }
 
@@ -158,7 +159,8 @@ algorithms::GcaResult PmwareMobileService::offloaded_gca(
       }
       return result;
     }
-    log_warn("pms", "GCA offload failed (%d); running locally", response.status);
+    telemetry::slog_warn("pms", now, "GCA offload failed (%d); running locally",
+                         response.status);
   }
   counter(kGcaLocal, "GCA clustering passes run on-device").inc();
   telemetry::Span span(telemetry::tracer(), "pms.gca_local", now);

@@ -1,6 +1,9 @@
 #include "net/client.hpp"
 
+#include <algorithm>
+
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace pmware::net {
 
@@ -19,6 +22,30 @@ LabelSet instance_labels(const std::string& instance) {
   return {{"instance", instance}};
 }
 
+/// Path with all-digit segments collapsed to ":n", so client span names
+/// aggregate per endpoint in flame output instead of fragmenting per user
+/// ("/api/users/7/places" -> "/api/users/:n/places").
+std::string generalized_path(const std::string& path) {
+  std::string out;
+  out.reserve(path.size());
+  std::size_t i = 0;
+  while (i < path.size()) {
+    if (path[i] != '/') {
+      out += path[i++];
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < path.size() && path[j] != '/') ++j;
+    const bool numeric =
+        j > i + 1 && std::all_of(path.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                                 path.begin() + static_cast<std::ptrdiff_t>(j),
+                                 [](char c) { return c >= '0' && c <= '9'; });
+    out += numeric ? std::string("/:n") : path.substr(i, j - i);
+    i = j;
+  }
+  return out;
+}
+
 }  // namespace
 
 RestClient::RestClient(const Router* server, NetworkConditions conditions,
@@ -34,12 +61,28 @@ HttpResponse RestClient::send(const HttpRequest& request, int max_retries) {
                              outgoing.headers.end())
     outgoing.headers["Authorization"] = "Bearer " + token_;
 
+  // One client span covers the request including retries. It nests under
+  // whatever span the calling thread has open (pms.housekeeping, a GCA
+  // offload, ...) or roots a fresh trace, and its context rides the
+  // trace-context headers so the server-side handler span joins the same
+  // tree — the device↔cloud boundary stays one causal trace.
+  const SimTime sim_now = outgoing.sim_time();
+  telemetry::Span span(telemetry::tracer(),
+                       std::string("net.send ") + to_string(outgoing.method) +
+                           " " + generalized_path(outgoing.path),
+                       sim_now);
+  outgoing.set_trace_context(telemetry::tracer().current_context());
+
   auto& reg = registry();
   const LabelSet labels = instance_labels(instance_);
   const std::size_t body_bytes = outgoing.body.dump().size();
 
   HttpResponse response =
       HttpResponse::error(kStatusServiceUnavailable, "network unreachable");
+  // In simulated time the request costs one round-trip per attempt.
+  auto finish_span = [&](int attempts) {
+    span.finish(sim_now + conditions_.latency_s * attempts);
+  };
   for (int attempt = 0; attempt <= max_retries; ++attempt) {
     reg.counter(kRequests, labels, "REST requests attempted (incl. retries)")
         .inc();
@@ -57,8 +100,10 @@ HttpResponse RestClient::send(const HttpRequest& request, int max_retries) {
       continue;  // request lost; retry
     }
     response = server_->handle(outgoing);
+    finish_span(attempt + 1);
     return response;
   }
+  finish_span(max_retries + 1);
   return response;
 }
 

@@ -5,15 +5,25 @@
 // tokens, retries, offloading — is exercised for real.
 #pragma once
 
+#include <cstdlib>
 #include <map>
 #include <string>
 
+#include "telemetry/trace.hpp"
 #include "util/json.hpp"
 
 namespace pmware::net {
 
 enum class Method { Get, Post, Put, Delete };
 const char* to_string(Method m);
+
+/// Caller's simulation clock, the in-process stand-in for wall-clock.
+inline constexpr const char* kSimTimeHeader = "X-Sim-Time";
+/// Trace-context propagation (contract documented in DESIGN.md): the trace
+/// the request belongs to and the client span the handler span must parent
+/// under. Decimal-rendered; absent means "not traced".
+inline constexpr const char* kTraceIdHeader = "X-PMWare-Trace-Id";
+inline constexpr const char* kParentSpanHeader = "X-PMWare-Parent-Span";
 
 struct HttpRequest {
   Method method = Method::Get;
@@ -25,6 +35,33 @@ struct HttpRequest {
   HttpRequest& with_header(std::string key, std::string value) {
     headers[std::move(key)] = std::move(value);
     return *this;
+  }
+
+  /// Simulation time as reported by the caller (0 if absent).
+  SimTime sim_time() const {
+    const auto it = headers.find(kSimTimeHeader);
+    return it == headers.end() ? 0 : std::atoll(it->second.c_str());
+  }
+
+  /// Stamps the trace-context headers from `ctx`; no-op when invalid.
+  void set_trace_context(const telemetry::TraceContext& ctx) {
+    if (!ctx.valid()) return;
+    headers[kTraceIdHeader] = std::to_string(ctx.trace_id);
+    headers[kParentSpanHeader] = std::to_string(ctx.span_id);
+  }
+
+  /// Parses the trace-context headers; invalid (default) context when the
+  /// request carries none.
+  telemetry::TraceContext trace_context() const {
+    telemetry::TraceContext ctx;
+    const auto trace = headers.find(kTraceIdHeader);
+    const auto parent = headers.find(kParentSpanHeader);
+    if (trace == headers.end() || parent == headers.end()) return ctx;
+    ctx.trace_id = static_cast<std::uint64_t>(
+        std::strtoull(trace->second.c_str(), nullptr, 10));
+    ctx.span_id = static_cast<std::size_t>(
+        std::strtoull(parent->second.c_str(), nullptr, 10));
+    return ctx;
   }
 };
 

@@ -1,6 +1,9 @@
 #include "net/router.hpp"
 
 #include <chrono>
+#include <optional>
+
+#include "telemetry/trace.hpp"
 
 namespace pmware::net {
 
@@ -86,7 +89,20 @@ HttpResponse Router::handle(const HttpRequest& request) const {
   for (const Route& route : routes_) {
     if (route.method != request.method) continue;
     if (match(route, segments, params)) {
+      // Trace-context propagation: a request that arrived with trace
+      // headers gets a handler span parented under the *client's* span (the
+      // remote context wins over this thread's stack), so the device↔cloud
+      // request is one causal tree. Untraced requests (tests poking the
+      // router directly) record no span. The span covers the handler only;
+      // routing overhead stays in the observer's wall_us.
+      const telemetry::TraceContext ctx = request.trace_context();
+      const SimTime sim_now = request.sim_time();
+      std::optional<telemetry::Span> span;
+      if (ctx.valid())
+        span.emplace(telemetry::tracer(), "cloud." + route.pattern, sim_now,
+                     ctx);
       HttpResponse response = route.handler(request, params);
+      if (span) span->finish(sim_now);
       observe(route.pattern, response.status);
       return response;
     }

@@ -9,7 +9,7 @@
 
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
-#include "util/logging.hpp"
+#include "telemetry/log.hpp"
 #include "util/strfmt.hpp"
 
 namespace pmware::study {
@@ -271,7 +271,8 @@ StudyResult DeploymentStudy::run() {
     const ParticipantResult& r = result.participants[i];
     result.place_map.insert(result.place_map.end(), maps[i].begin(),
                             maps[i].end());
-    log_info("study", "%s: %zu places, %zu tagged, %s",
+    telemetry::slog_info("study", start_of_day(config_.days),
+                         "%s: %zu places, %zu tagged, %s",
              participants[i].name.c_str(), r.places_discovered,
              r.places_tagged, r.eval.summary().c_str());
   }

@@ -1,9 +1,11 @@
 #include "telemetry/export.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
-#include "util/logging.hpp"
+#include "telemetry/log.hpp"
 #include "util/strfmt.hpp"
 
 namespace pmware::telemetry {
@@ -25,6 +27,21 @@ std::string escape_label(const std::string& value) {
   return out;
 }
 
+/// Prometheus HELP text: the exposition format escapes backslash and
+/// newline there (double quotes stay literal — help is not quoted).
+std::string escape_help(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 /// {k="v",...} rendering; `extra` appends one more pair (used for le=).
 std::string label_block(const LabelSet& labels,
                         const std::string& extra_key = "",
@@ -39,7 +56,7 @@ std::string label_block(const LabelSet& labels,
   }
   if (!extra_key.empty()) {
     if (!first) out += ',';
-    out += extra_key + "=\"" + extra_value + "\"";
+    out += extra_key + "=\"" + escape_label(extra_value) + "\"";
   }
   out += '}';
   return out;
@@ -60,7 +77,7 @@ std::string to_prometheus(const MetricsRegistry& reg) {
     std::string out;
     for (const auto& [name, family] : families) {
       if (!family.help.empty())
-        out += "# HELP " + name + " " + family.help + "\n";
+        out += "# HELP " + name + " " + escape_help(family.help) + "\n";
       out += "# TYPE " + name + " " + to_string(family.kind) + "\n";
       switch (family.kind) {
         case MetricKind::Counter:
@@ -172,22 +189,151 @@ Json to_json(const MetricsRegistry& reg) {
   return out;
 }
 
+namespace {
+
+Json span_record_json(const SpanRecord& record) {
+  Json s = Json::object();
+  s.set("name", record.name);
+  s.set("id", static_cast<std::uint64_t>(record.id));
+  if (record.parent != SpanRecord::kNoParent)
+    s.set("parent", static_cast<std::uint64_t>(record.parent));
+  s.set("depth", static_cast<std::uint64_t>(record.depth));
+  s.set("trace_id", record.trace_id);
+  s.set("sim_begin", record.sim_begin);
+  s.set("sim_end", record.sim_end);
+  s.set("wall_ns", record.wall_ns);
+  s.set("finished", record.finished);
+  return s;
+}
+
+}  // namespace
+
 Json spans_to_json(const Tracer& tracer) {
   Json arr = Json::array();
-  for (const SpanRecord& record : tracer.snapshot()) {
-    Json s = Json::object();
-    s.set("name", record.name);
-    s.set("id", static_cast<std::uint64_t>(record.id));
-    if (record.parent != SpanRecord::kNoParent)
-      s.set("parent", static_cast<std::uint64_t>(record.parent));
-    s.set("depth", static_cast<std::uint64_t>(record.depth));
-    s.set("sim_begin", record.sim_begin);
-    s.set("sim_end", record.sim_end);
-    s.set("wall_ns", record.wall_ns);
-    s.set("finished", record.finished);
-    arr.push_back(std::move(s));
-  }
+  for (const SpanRecord& record : tracer.snapshot())
+    arr.push_back(span_record_json(record));
   return arr;
+}
+
+Json flame_by_day(const std::vector<SpanRecord>& spans) {
+  // Children subtract from their parent so every stack carries *self* wall
+  // time; a parent's record index is always below its children's, so one
+  // forward pass can both accumulate child costs (backward below) and build
+  // semicolon-joined name paths.
+  std::vector<std::int64_t> child_wall(spans.size(), 0);
+  for (const SpanRecord& s : spans)
+    if (s.parent != SpanRecord::kNoParent && s.parent < s.id)
+      child_wall[s.parent] += s.wall_ns;
+
+  std::vector<std::string> paths(spans.size());
+  std::map<std::int64_t, std::map<std::string, double>> days;
+  for (const SpanRecord& s : spans) {
+    const bool parented = s.parent != SpanRecord::kNoParent && s.parent < s.id;
+    paths[s.id] = parented ? paths[s.parent] + ";" + s.name : s.name;
+    const std::int64_t self_ns = std::max<std::int64_t>(
+        0, s.wall_ns - child_wall[s.id]);
+    days[day_of(s.sim_begin)][paths[s.id]] +=
+        static_cast<double>(self_ns) / 1000.0;
+  }
+
+  Json out = Json::array();
+  for (const auto& [day, stacks] : days) {
+    Json entry = Json::object();
+    entry.set("day", day);
+    Json folded = Json::object();
+    for (const auto& [path, us] : stacks) folded.set(path, us);
+    entry.set("stacks", std::move(folded));
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+Json slowest_traces_json(const std::vector<SpanRecord>& spans, std::size_t n,
+                         std::size_t max_spans_per_trace) {
+  // Group record indices by trace; the first (lowest-index) root of a trace
+  // is its defining span, and its wall cost ranks the trace.
+  struct TraceGroup {
+    std::size_t root = SpanRecord::kNoParent;
+    std::vector<std::size_t> members;
+  };
+  std::map<std::uint64_t, TraceGroup> traces;
+  for (const SpanRecord& s : spans) {
+    TraceGroup& group = traces[s.trace_id];
+    group.members.push_back(s.id);
+    if (s.parent == SpanRecord::kNoParent &&
+        group.root == SpanRecord::kNoParent)
+      group.root = s.id;
+  }
+
+  std::vector<const std::pair<const std::uint64_t, TraceGroup>*> ranked;
+  ranked.reserve(traces.size());
+  for (const auto& entry : traces) {
+    if (entry.second.root == SpanRecord::kNoParent) continue;  // orphans
+    ranked.push_back(&entry);
+  }
+  std::sort(ranked.begin(), ranked.end(), [&spans](const auto* a, const auto* b) {
+    const std::int64_t wa = spans[a->second.root].wall_ns;
+    const std::int64_t wb = spans[b->second.root].wall_ns;
+    if (wa != wb) return wa > wb;
+    return a->first < b->first;  // deterministic tie-break
+  });
+  if (ranked.size() > n) ranked.resize(n);
+
+  Json out = Json::array();
+  for (const auto* entry : ranked) {
+    const SpanRecord& root = spans[entry->second.root];
+    Json t = Json::object();
+    t.set("trace_id", entry->first);
+    t.set("root", root.name);
+    t.set("wall_us", static_cast<double>(root.wall_ns) / 1000.0);
+    t.set("sim_begin", root.sim_begin);
+    t.set("sim_duration_s", root.sim_duration());
+    t.set("span_count",
+          static_cast<std::uint64_t>(entry->second.members.size()));
+    Json members = Json::array();
+    for (std::size_t i = 0;
+         i < entry->second.members.size() && i < max_spans_per_trace; ++i)
+      members.push_back(span_record_json(spans[entry->second.members[i]]));
+    if (entry->second.members.size() > max_spans_per_trace)
+      t.set("spans_truncated", true);
+    t.set("spans", std::move(members));
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::string diagnostics_summary(const Tracer& tracer,
+                                const MetricsRegistry& reg) {
+  const std::vector<SpanRecord> spans = tracer.snapshot();
+  std::map<std::uint64_t, std::size_t> trace_sizes;
+  const SpanRecord* slowest = nullptr;
+  for (const SpanRecord& s : spans) {
+    ++trace_sizes[s.trace_id];
+    if (s.parent != SpanRecord::kNoParent) continue;
+    if (slowest == nullptr || s.wall_ns > slowest->wall_ns) slowest = &s;
+  }
+
+  std::string out = "--- diagnostics ---\n";
+  out += strfmt("traces: %zu spans across %zu traces (%zu dropped at cap)\n",
+                spans.size(), trace_sizes.size(), tracer.dropped());
+  if (slowest != nullptr) {
+    out += strfmt("slowest trace: %s — %.2f ms wall, %s sim, %zu spans "
+                  "(trace %llu)\n",
+                  slowest->name.c_str(),
+                  static_cast<double>(slowest->wall_ns) / 1e6,
+                  format_duration(slowest->sim_duration()).c_str(),
+                  trace_sizes[slowest->trace_id],
+                  static_cast<unsigned long long>(slowest->trace_id));
+  }
+  const std::uint64_t violations = reg.family_total("cloud_slo_violations_total");
+  const std::uint64_t requests = reg.family_total("cloud_requests_total");
+  out += strfmt("cloud SLO violations: %llu of %llu requests\n",
+                static_cast<unsigned long long>(violations),
+                static_cast<unsigned long long>(requests));
+  const Logger& lg = logger();
+  out += strfmt("log ring: %zu records retained (%zu logged, capacity %zu)\n",
+                lg.recent().size(), lg.total(), lg.capacity());
+  return out;
 }
 
 std::string bench_json_path(int argc, char** argv,
@@ -200,19 +346,53 @@ std::string bench_json_path(int argc, char** argv,
   return "";
 }
 
+std::string git_describe() {
+#if defined(_WIN32)
+  return "";
+#else
+  FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
+  if (pipe == nullptr) return "";
+  char buf[256];
+  std::string out;
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+  ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+    out.pop_back();
+  return out;
+#endif
+}
+
 bool write_bench_json(const std::string& path, const std::string& bench_name,
-                      Json extra) {
-  Json doc = to_json(registry());
+                      Json extra, RunMeta meta) {
+  Json doc = Json::object();
+  doc.set("schema_version",
+          static_cast<std::int64_t>(kBenchSchemaVersion));
   doc.set("bench", bench_name);
+
+  Json run = Json::object();
+  run.set("seed", meta.seed);
+  run.set("threads", static_cast<std::int64_t>(meta.threads));
+  run.set("sim_days", static_cast<std::int64_t>(meta.sim_days));
+  const std::string describe = git_describe();
+  if (!describe.empty()) run.set("git_describe", describe);
+  doc.set("run", std::move(run));
+
   doc.set("results", std::move(extra));
-  doc.set("spans", spans_to_json(tracer()));
+  doc.set("metrics", to_json(registry()).at("metrics"));
+  const std::vector<SpanRecord> spans = tracer().snapshot();
+  Json span_arr = Json::array();
+  for (const SpanRecord& record : spans)
+    span_arr.push_back(span_record_json(record));
+  doc.set("spans", std::move(span_arr));
+  doc.set("flame", flame_by_day(spans));
+
   std::ofstream out(path);
   if (!out) {
-    log_warn("telemetry", "cannot open %s for writing", path.c_str());
+    slog_warn("telemetry", 0, "cannot open %s for writing", path.c_str());
     return false;
   }
   out << doc.pretty() << "\n";
-  log_info("telemetry", "wrote %s", path.c_str());
+  slog_info("telemetry", 0, "wrote %s", path.c_str());
   return out.good();
 }
 

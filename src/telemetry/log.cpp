@@ -1,0 +1,151 @@
+#include "telemetry/log.hpp"
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace pmware::telemetry {
+
+namespace {
+
+const char* level_label(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+
+std::int64_t wall_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void Logger::write(LogLevel level, std::string_view component,
+                   SimTime sim_time, std::string message) {
+  if (level < log_level()) return;
+  LogRecord record;
+  record.level = level;
+  record.component = std::string(component);
+  record.message = std::move(message);
+  record.sim_time = sim_time;
+  record.wall_us = wall_now_us();
+  // Correlate with the calling thread's innermost open span (if any) before
+  // taking our own lock — the tracer's and the ring's mutexes never nest.
+  const TraceContext ctx = tracer().current_context();
+  if (ctx.valid()) {
+    record.trace_id = ctx.trace_id;
+    record.span_id = ctx.span_id;
+  }
+  registry()
+      .counter("log_records_total", {{"level", level_label(level)}},
+               "structured log records accepted, by level")
+      .inc();
+  bool echo;
+  {
+    const std::scoped_lock lock(mu_);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(record);
+    } else if (capacity_ > 0) {
+      ring_[next_ % capacity_] = record;
+    }
+    ++next_;
+    ++total_;
+    echo = echo_;
+  }
+  if (echo) log_line(level, record.component, record.message);
+}
+
+std::vector<LogRecord> Logger::recent() const {
+  const std::scoped_lock lock(mu_);
+  if (ring_.size() < capacity_ || capacity_ == 0) return ring_;
+  // Full ring: slot next_ % capacity_ holds the oldest retained record.
+  std::vector<LogRecord> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(next_ + i) % capacity_]);
+  return out;
+}
+
+std::size_t Logger::total() const {
+  const std::scoped_lock lock(mu_);
+  return total_;
+}
+
+void Logger::reset() {
+  const std::scoped_lock lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+Logger& logger() {
+  static Logger instance;
+  return instance;
+}
+
+namespace {
+
+void vslog(LogLevel level, const char* component, SimTime sim_time,
+           const char* fmt, va_list args) {
+  if (level < log_level()) return;  // skip formatting below threshold
+  char msg[1024];
+  std::vsnprintf(msg, sizeof(msg), fmt, args);
+  logger().write(level, component, sim_time, msg);
+}
+
+}  // namespace
+
+#define PMWARE_DEFINE_SLOG(name, level)                                     \
+  void name(const char* component, SimTime sim_time, const char* fmt, ...) { \
+    va_list args;                                                           \
+    va_start(args, fmt);                                                    \
+    vslog(level, component, sim_time, fmt, args);                           \
+    va_end(args);                                                           \
+  }
+
+PMWARE_DEFINE_SLOG(slog_debug, LogLevel::Debug)
+PMWARE_DEFINE_SLOG(slog_info, LogLevel::Info)
+PMWARE_DEFINE_SLOG(slog_warn, LogLevel::Warn)
+PMWARE_DEFINE_SLOG(slog_error, LogLevel::Error)
+
+#undef PMWARE_DEFINE_SLOG
+
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name)
+    lower += static_cast<char>(c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off" || lower == "none") return LogLevel::Off;
+  return std::nullopt;
+}
+
+bool apply_log_level_flag(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--log-level") != 0) continue;
+    if (const auto level = parse_log_level(argv[i + 1])) {
+      set_log_level(*level);
+      return true;
+    }
+    std::fprintf(stderr, "unknown --log-level '%s' "
+                 "(debug|info|warn|error|off)\n", argv[i + 1]);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pmware::telemetry

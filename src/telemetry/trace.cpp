@@ -2,7 +2,8 @@
 
 namespace pmware::telemetry {
 
-std::size_t Tracer::open_span(std::string name, SimTime sim_now) {
+std::size_t Tracer::open_span(std::string name, SimTime sim_now,
+                              TraceContext remote_parent) {
   const std::scoped_lock lock(mu_);
   if (records_.size() >= max_records_) {
     ++dropped_;
@@ -12,8 +13,24 @@ std::size_t Tracer::open_span(std::string name, SimTime sim_now) {
   SpanRecord record;
   record.name = std::move(name);
   record.id = records_.size();
-  record.parent = stack.empty() ? SpanRecord::kNoParent : stack.back();
-  record.depth = stack.size();
+  if (remote_parent.valid() && remote_parent.span_id < records_.size()) {
+    // Propagated context wins over the local stack: the handler span is a
+    // child of the client span even if the serving thread has unrelated
+    // spans open (it never does in-process, but the contract is the header).
+    const SpanRecord& parent = records_[remote_parent.span_id];
+    record.parent = remote_parent.span_id;
+    record.depth = parent.depth + 1;
+    record.trace_id = remote_parent.trace_id;
+  } else if (!stack.empty()) {
+    const SpanRecord& parent = records_[stack.back()];
+    record.parent = stack.back();
+    record.depth = parent.depth + 1;
+    record.trace_id = parent.trace_id;
+  } else {
+    record.parent = SpanRecord::kNoParent;
+    record.depth = 0;
+    record.trace_id = next_trace_id_++;
+  }
   record.sim_begin = sim_now;
   record.sim_end = sim_now;
   records_.push_back(std::move(record));
@@ -42,6 +59,13 @@ void Tracer::close_span(std::size_t index, SimTime sim_now,
 Span::Span(Tracer& tracer, std::string name, SimTime sim_now)
     : tracer_(tracer),
       index_(tracer.open_span(std::move(name), sim_now)),
+      sim_begin_(sim_now),
+      wall_begin_(std::chrono::steady_clock::now()) {}
+
+Span::Span(Tracer& tracer, std::string name, SimTime sim_now,
+           TraceContext parent)
+    : tracer_(tracer),
+      index_(tracer.open_span(std::move(name), sim_now, parent)),
       sim_begin_(sim_now),
       wall_begin_(std::chrono::steady_clock::now()) {}
 

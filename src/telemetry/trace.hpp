@@ -8,6 +8,14 @@
 // implementation took). Spans nest: a PMS housekeeping pass shows its
 // GCA-offload RPC as a child, so traces answer "where did the wall time of
 // this simulated day go?".
+//
+// Trace context: every span carries a trace_id identifying the causal tree
+// it belongs to. Roots draw a fresh id; children inherit their parent's.
+// The context of the innermost open span (current_context()) can be carried
+// across a process boundary — the REST client stamps it into
+// X-PMWare-Trace-Id / X-PMWare-Parent-Span headers and the router opens the
+// handler span with that *remote* parent — so one PMS-originated request
+// yields a single tree spanning device and cloud.
 #pragma once
 
 #include <chrono>
@@ -29,6 +37,9 @@ struct SpanRecord {
   /// Index of the enclosing span's record, or kNoParent for roots.
   std::size_t parent = kNoParent;
   std::size_t depth = 0;       ///< 0 for roots
+  /// Causal tree this span belongs to; roots allocate, children inherit.
+  /// Never 0 for a recorded span.
+  std::uint64_t trace_id = 0;
   SimTime sim_begin = 0;
   SimTime sim_end = 0;
   std::int64_t wall_ns = 0;
@@ -37,6 +48,18 @@ struct SpanRecord {
   static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
 
   SimDuration sim_duration() const { return sim_end - sim_begin; }
+};
+
+/// The portable identity of an open span: enough to parent a child span
+/// opened on another thread or "process" (the simulated REST boundary).
+/// Default-constructed context is invalid (= no active trace).
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::size_t span_id = SpanRecord::kNoParent;
+
+  bool valid() const {
+    return trace_id != 0 && span_id != SpanRecord::kNoParent;
+  }
 };
 
 /// Collects finished spans in start order (parents before children). A hard
@@ -77,6 +100,17 @@ class Tracer {
     return it == open_.end() ? 0 : it->second.size();
   }
 
+  /// Context of the calling thread's innermost open span — what the REST
+  /// client stamps into the trace-context headers. Invalid when the thread
+  /// has no span open (or the innermost one was dropped at capacity).
+  TraceContext current_context() const {
+    const std::scoped_lock lock(mu_);
+    const auto it = open_.find(std::this_thread::get_id());
+    if (it == open_.end() || it->second.empty()) return {};
+    const SpanRecord& record = records_[it->second.back()];
+    return {record.trace_id, record.id};
+  }
+
   void reset() {
     const std::scoped_lock lock(mu_);
     records_.clear();
@@ -88,7 +122,11 @@ class Tracer {
   friend class Span;
 
   /// Returns the record index, or SpanRecord::kNoParent when at capacity.
-  std::size_t open_span(std::string name, SimTime sim_now);
+  /// A valid `remote_parent` (carried in from the other side of a request
+  /// boundary) overrides the calling thread's stack for parent/trace-id
+  /// resolution; it must reference a record of *this* tracer.
+  std::size_t open_span(std::string name, SimTime sim_now,
+                        TraceContext remote_parent = {});
   void close_span(std::size_t index, SimTime sim_now, std::int64_t wall_ns);
 
   mutable std::mutex mu_;
@@ -100,6 +138,9 @@ class Tracer {
   /// number of threads with spans currently open.
   std::map<std::thread::id, std::vector<std::size_t>> open_;
   std::size_t dropped_ = 0;
+  /// Fresh trace ids for root spans; monotonic across reset() so ids from
+  /// different runs never collide in exported artifacts.
+  std::uint64_t next_trace_id_ = 1;
 };
 
 /// RAII span. Opens on construction; finish(sim_now) closes with an explicit
@@ -109,6 +150,9 @@ class Tracer {
 class Span {
  public:
   Span(Tracer& tracer, std::string name, SimTime sim_now);
+  /// Opens with an explicit remote parent (trace-context propagation): the
+  /// span joins `parent`'s trace instead of the calling thread's stack top.
+  Span(Tracer& tracer, std::string name, SimTime sim_now, TraceContext parent);
   ~Span();
 
   Span(const Span&) = delete;

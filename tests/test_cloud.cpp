@@ -3,6 +3,11 @@
 #include <gtest/gtest.h>
 
 #include "core/codec.hpp"
+#include "net/client.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/log.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace pmware::cloud {
 namespace {
@@ -430,6 +435,94 @@ TEST(TokenServiceUnit, ValidateExpiryBoundary) {
   EXPECT_TRUE(tokens.validate(grant.token, hours(23)).has_value());
   EXPECT_FALSE(tokens.validate(grant.token, hours(24)).has_value());
   EXPECT_FALSE(tokens.validate("garbage", 0).has_value());
+}
+
+
+// ------------------------------------------------- diagnostics endpoints
+
+TEST_F(CloudFixture, DiagnosticsEndpointsRequireAuth) {
+  // Unlike /metrics, the diagnostics pages expose per-user storage counts
+  // and trace trees — bearer-token territory.
+  EXPECT_EQ(cloud_.router().handle(request(Method::Get, "/healthz")).status,
+            net::kStatusUnauthorized);
+  EXPECT_EQ(cloud_.router().handle(request(Method::Get, "/tracez")).status,
+            net::kStatusUnauthorized);
+  register_device();
+  EXPECT_EQ(cloud_.router().handle(request(Method::Get, "/healthz")).status,
+            net::kStatusOk);
+  EXPECT_EQ(cloud_.router().handle(request(Method::Get, "/tracez")).status,
+            net::kStatusOk);
+}
+
+TEST_F(CloudFixture, HealthzReportsStorageAndErrorCounts) {
+  const world::DeviceId user = register_device();
+  cloud_.storage().user(user).places[7] = core::PlaceRecord{};
+  // A foreign-user probe: 401, which must show up in errors_by_route.
+  EXPECT_EQ(cloud_.router()
+                .handle(request(Method::Get, "/api/users/999/places"))
+                .status,
+            net::kStatusUnauthorized);
+
+  const HttpResponse res =
+      cloud_.router().handle(request(Method::Get, "/healthz", hours(5)));
+  ASSERT_EQ(res.status, net::kStatusOk);
+  EXPECT_EQ(res.body.at("status").as_string(), "ok");
+  EXPECT_EQ(res.body.at("sim_time").as_int(), hours(5));
+  EXPECT_GE(res.body.at("uptime_wall_s").as_double(), 0.0);
+  EXPECT_GE(res.body.at("routes").as_int(), 20);
+
+  const Json& storage = res.body.at("storage");
+  EXPECT_EQ(storage.at("users").as_int(), 1);
+  EXPECT_EQ(storage.at("places").as_int(), 1);
+  EXPECT_EQ(storage.at("profiles").as_int(), 0);
+
+  // The registry is process-wide, so other routes may have errors from
+  // earlier tests; the probe's route must be present with at least one.
+  const Json& errors = res.body.at("errors_by_route");
+  ASSERT_TRUE(errors.contains("/api/users/:id/places"));
+  EXPECT_GE(errors.at("/api/users/:id/places").as_int(), 1);
+
+  EXPECT_TRUE(res.body.at("tracing").contains("spans"));
+  EXPECT_TRUE(res.body.at("tracing").contains("dropped"));
+  EXPECT_TRUE(res.body.at("logs").contains("total"));
+  EXPECT_TRUE(res.body.at("logs").contains("retained"));
+}
+
+TEST_F(CloudFixture, TracezServesSlowestTracesWithSloCounters) {
+  register_device();
+  telemetry::tracer().reset();
+
+  // Drive two traced requests through the REST client so /tracez has trace
+  // trees to rank (direct router calls carry no trace context).
+  net::RestClient client(&cloud_.router(), net::NetworkConditions{0.0, 1},
+                         Rng(9));
+  for (int i = 0; i < 2; ++i) {
+    HttpRequest traced = request(Method::Get, "/api/users/1/places");
+    ASSERT_TRUE(client.send(traced).ok());
+  }
+
+  const HttpResponse res =
+      cloud_.router().handle(request(Method::Get, "/tracez"));
+  ASSERT_EQ(res.status, net::kStatusOk);
+  EXPECT_DOUBLE_EQ(res.body.at("slo_threshold_us").as_double(), 1000.0);
+  EXPECT_TRUE(res.body.at("slo_violations_by_route").is_object());
+
+  const Json& traces = res.body.at("slowest_traces");
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].at("root").as_string(),
+            "net.send GET /api/users/:n/places");
+  EXPECT_EQ(traces[0].at("span_count").as_int(), 2);
+  EXPECT_GE(traces[0].at("wall_us").as_double(),
+            traces[1].at("wall_us").as_double());
+  // Each embedded tree carries the cloud handler span under the client span.
+  EXPECT_EQ(traces[0].at("spans")[1].at("name").as_string(),
+            "cloud./api/users/:id/places");
+
+  // ?n caps the list.
+  HttpRequest capped = request(Method::Get, "/tracez");
+  capped.query["n"] = "1";
+  EXPECT_EQ(cloud_.router().handle(capped).body.at("slowest_traces").size(),
+            1u);
 }
 
 }  // namespace

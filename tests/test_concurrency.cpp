@@ -14,6 +14,7 @@
 
 #include "study/deployment.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/log.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -165,6 +166,40 @@ TEST(TelemetryConcurrency, TracerNestsSpansPerThread) {
     EXPECT_EQ(s.name.substr(0, s.name.find('.')),
               p.name.substr(0, p.name.find('.')));
   }
+}
+
+TEST(TelemetryConcurrency, LoggerAcceptsWritesFromAllThreads) {
+  // The structured logger is the one telemetry sink every worker of the
+  // parallel study hits on warnings; hammer the ring, the counters, and the
+  // concurrent reader paths. Echo is off so tsan runs stay quiet.
+  const LogLevel prev = log_level();
+  set_log_level(LogLevel::Debug);
+  Logger log(/*capacity=*/128);
+  log.set_echo(false);
+  StartGate gate;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&log, &gate, t] {
+      gate.wait();
+      const std::string who = "w" + std::to_string(t);
+      for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+        log.write(i % 2 ? LogLevel::Info : LogLevel::Warn, who,
+                  static_cast<SimTime>(i), who + " op " + std::to_string(i));
+        if (i % 64 == 0) (void)log.recent();  // reader racing the ring
+      }
+    });
+  }
+  gate.open(kThreads);
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(log.total(), kThreads * kOpsPerThread);
+  const std::vector<LogRecord> recent = log.recent();
+  ASSERT_EQ(recent.size(), 128u);
+  for (const LogRecord& r : recent) {
+    EXPECT_FALSE(r.message.empty());
+    EXPECT_EQ(r.message.substr(0, r.message.find(' ')), r.component);
+  }
+  set_log_level(prev);
 }
 
 TEST(TelemetryConcurrency, TracerCapDropsInsteadOfGrowing) {
