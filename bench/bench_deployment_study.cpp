@@ -30,12 +30,14 @@ double wall_seconds_since(std::chrono::steady_clock::time_point begin) {
       .count();
 }
 
-/// Aggregates that must be identical across thread counts.
+/// Aggregates that must be identical across thread AND shard counts.
 struct StudyFingerprint {
   std::size_t discovered = 0, tagged = 0, evaluable = 0;
   std::size_t correct = 0, merged = 0, divided = 0;
   std::size_t likes = 0, dislikes = 0, map_entries = 0;
   double joules = 0;
+  cloud::CloudStorage::Stats storage;
+  std::uint64_t storage_digest = 0;
 
   static StudyFingerprint of(const study::StudyResult& r) {
     StudyFingerprint f;
@@ -49,6 +51,8 @@ struct StudyFingerprint {
     f.dislikes = r.total_dislikes();
     f.map_entries = r.place_map.size();
     for (const auto& p : r.participants) f.joules += p.sensing_joules;
+    f.storage = r.storage_stats;
+    f.storage_digest = r.storage_digest;
     return f;
   }
   bool operator==(const StudyFingerprint&) const = default;
@@ -92,42 +96,76 @@ int main(int argc, char** argv) {
   const std::string json_path =
       telemetry::bench_json_path(argc, argv, "deployment_study");
   int fixed_threads = 0;  // 0 = sweep 1/2/4/8
-  for (int i = 1; i + 1 < argc; ++i)
+  int fixed_shards = 0;   // 0 = sweep 1/4/16
+  for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0)
       fixed_threads = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--shards") == 0)
+      fixed_shards = std::atoi(argv[i + 1]);
+  }
   set_log_level(LogLevel::Error);
   telemetry::apply_log_level_flag(argc, argv);
   study::StudyConfig config;  // 16 participants x 14 days, GSM + opp. WiFi
 
-  // --- Thread-scaling sweep: same study at each worker count. Results must
-  // be identical; wall-clock shows the parallel speedup (bounded by the
-  // machine's core count).
-  std::vector<int> thread_counts;
-  if (fixed_threads > 0) thread_counts = {fixed_threads};
-  else thread_counts = {1, 2, 4, 8};
+  // --- Shard x thread sweep: the same study at every (shards, threads)
+  // configuration. Results must be byte-identical everywhere; wall-clock and
+  // the shard lock-wait telemetry show how sharding removes the old global
+  // dispatch bottleneck as workers are added.
+  std::vector<int> thread_counts =
+      fixed_threads > 0 ? std::vector<int>{fixed_threads}
+                        : std::vector<int>{1, 2, 4, 8};
+  std::vector<int> shard_counts =
+      fixed_shards > 0 ? std::vector<int>{fixed_shards}
+                       : std::vector<int>{1, 4, 16};
 
   struct SweepEntry {
+    int shards = 0;
     int threads = 0;
     double wall_s = 0;
+    std::uint64_t shard_ops = 0;       ///< cloud_shard_requests_total, summed
+    double lock_wait_sum_us = 0;       ///< cloud_shard_lock_wait_us total
+    double lock_wait_max_us = 0;
+    std::uint64_t lock_wait_count = 0;
   };
   std::vector<SweepEntry> sweep;
   std::vector<study::StudyResult> results;
-  for (const int threads : thread_counts) {
-    // Fresh registry/tracer per run so study_* counters and spans reflect
-    // one study; the final run's telemetry lands in the JSON dump.
-    telemetry::registry().reset();
-    telemetry::tracer().reset();
-    config.threads = threads;
-    study::DeploymentStudy study_run(config);
-    const auto begin = std::chrono::steady_clock::now();
-    results.push_back(study_run.run());
-    sweep.push_back({threads, wall_seconds_since(begin)});
+  for (const int shards : shard_counts) {
+    for (const int threads : thread_counts) {
+      // Fresh registry/tracer per run so study_* counters and spans reflect
+      // one study; the final run's telemetry lands in the JSON dump.
+      telemetry::registry().reset();
+      telemetry::tracer().reset();
+      config.shards = shards;
+      config.threads = threads;
+      study::DeploymentStudy study_run(config);
+      const auto begin = std::chrono::steady_clock::now();
+      results.push_back(study_run.run());
+      SweepEntry entry;
+      entry.shards = shards;
+      entry.threads = threads;
+      entry.wall_s = wall_seconds_since(begin);
+      const auto& reg = telemetry::registry();
+      entry.shard_ops = reg.family_total("cloud_shard_requests_total");
+      if (const auto* hist =
+              reg.find_histogram("cloud_shard_lock_wait_us", {})) {
+        const auto snap = hist->snapshot();
+        entry.lock_wait_sum_us = snap.stats.sum();
+        entry.lock_wait_max_us = snap.stats.max();
+        entry.lock_wait_count = static_cast<std::uint64_t>(snap.stats.count());
+      }
+      sweep.push_back(entry);
+    }
   }
   const study::StudyResult& result = results.front();
   const StudyFingerprint baseline_fp = StudyFingerprint::of(result);
   bool identical = true;
   for (const auto& r : results)
     identical = identical && (StudyFingerprint::of(r) == baseline_fp);
+  // Thread-scaling view: the rows at the largest shard count (the default
+  // configuration), so speedups compare like with like.
+  std::vector<SweepEntry> scaling;
+  for (const auto& entry : sweep)
+    if (entry.shards == shard_counts.back()) scaling.push_back(entry);
 
   // World geometry for the Figure-5b map (same config -> same world).
   study::DeploymentStudy study(config);
@@ -199,13 +237,27 @@ int main(int argc, char** argv) {
               battery_sum / static_cast<double>(result.participants.size()),
               battery_sum / static_cast<double>(result.participants.size()) / 24);
 
-  // --- Thread-scaling report.
-  std::printf("\n--- thread scaling (%zu participants, identical results: %s) ---\n",
-              result.participants.size(), identical ? "yes" : "NO");
+  // --- Thread-scaling report (at the default shard count).
+  std::printf("\n--- thread scaling (%zu participants, %d shards, "
+              "identical results: %s) ---\n",
+              result.participants.size(), shard_counts.back(),
+              identical ? "yes" : "NO");
   std::printf("%8s %10s %10s\n", "threads", "wall s", "speedup");
-  for (const auto& entry : sweep)
+  for (const auto& entry : scaling)
     std::printf("%8d %10.2f %9.2fx\n", entry.threads, entry.wall_s,
-                sweep.front().wall_s / entry.wall_s);
+                scaling.front().wall_s / entry.wall_s);
+
+  // --- Shard contention report: total time spent waiting on shard locks
+  // per configuration. shards=1 reproduces the old global-mutex cloud;
+  // the wait total collapsing as shards grow is the point of the redesign.
+  std::printf("\n--- shard contention (cloud_shard_lock_wait_us) ---\n");
+  std::printf("%8s %8s %10s %12s %14s %12s\n", "shards", "threads", "wall s",
+              "shard ops", "wait sum ms", "wait max us");
+  for (const auto& entry : sweep)
+    std::printf("%8d %8d %10.2f %12llu %14.2f %12.0f\n", entry.shards,
+                entry.threads, entry.wall_s,
+                static_cast<unsigned long long>(entry.shard_ops),
+                entry.lock_wait_sum_us / 1e3, entry.lock_wait_max_us);
 
   // --- Sequential-vs-incremental recluster cost: daily recluster passes
   // over a growing synthetic trace, full rebuild each day vs GcaState.
@@ -259,16 +311,36 @@ int main(int argc, char** argv) {
               static_cast<std::uint64_t>(result.total_dislikes()));
     extra.set("fleet_avg_battery_h",
               battery_sum / static_cast<double>(result.participants.size()));
-    Json scaling = Json::array();
-    for (const auto& entry : sweep) {
+    Json scaling_arr = Json::array();
+    for (const auto& entry : scaling) {
       Json e = Json::object();
       e.set("threads", entry.threads);
       e.set("wall_s", entry.wall_s);
-      e.set("speedup_vs_1", sweep.front().wall_s / entry.wall_s);
-      scaling.push_back(std::move(e));
+      e.set("speedup_vs_1", scaling.front().wall_s / entry.wall_s);
+      scaling_arr.push_back(std::move(e));
     }
-    extra.set("thread_scaling", std::move(scaling));
+    extra.set("thread_scaling", std::move(scaling_arr));
     extra.set("results_identical_across_threads", identical);
+    // schema_version 3: per-configuration contention telemetry from the
+    // sharded cloud storage.
+    Json shard_sweep = Json::object();
+    Json shard_runs = Json::array();
+    for (const auto& entry : sweep) {
+      Json e = Json::object();
+      e.set("shards", entry.shards);
+      e.set("threads", entry.threads);
+      e.set("wall_s", entry.wall_s);
+      e.set("shard_ops", entry.shard_ops);
+      e.set("lock_wait_sum_us", entry.lock_wait_sum_us);
+      e.set("lock_wait_max_us", entry.lock_wait_max_us);
+      e.set("lock_wait_count", entry.lock_wait_count);
+      shard_runs.push_back(std::move(e));
+    }
+    shard_sweep.set("runs", std::move(shard_runs));
+    shard_sweep.set("identical_across_configs", identical);
+    shard_sweep.set("storage_digest",
+                    static_cast<std::uint64_t>(result.storage_digest));
+    extra.set("shard_sweep", std::move(shard_sweep));
     Json recluster = Json::object();
     recluster.set("passes", recluster_days);
     recluster.set("observations", static_cast<std::uint64_t>(stream.size()));

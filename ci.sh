@@ -1,22 +1,25 @@
 #!/usr/bin/env bash
 # Tier-1 verification, four times: a plain build, a warnings-as-errors
 # build, an address+UB-sanitized one, and a thread-sanitized build that runs
-# the concurrency tests (the telemetry registry/tracer hammer and the
-# parallel deployment study).
+# the Sharding-labeled tests (the telemetry registry/tracer hammer, the
+# sharded-cloud hammer, the router/cloud suites, and the parallel
+# deployment study).
 # Usage: ./ci.sh [extra cmake args...]
 set -euo pipefail
 cd "$(dirname "$0")"
 
 run_suite() {
   local build_dir="$1"
-  local test_filter="$2"
+  # Extra ctest selection args, e.g. "-L Sharding" (label) or "-R Foo"
+  # (name regex); empty runs everything.
+  local test_selector="$2"
   shift 2
   echo "=== configure + build: ${build_dir} ($*) ==="
   cmake -B "${build_dir}" -S . "$@"
   cmake --build "${build_dir}" -j "$(nproc)"
   echo "=== ctest: ${build_dir} ==="
   (cd "${build_dir}" &&
-   ctest --output-on-failure -j "$(nproc)" ${test_filter:+-R "${test_filter}"})
+   ctest --output-on-failure -j "$(nproc)" ${test_selector})
 }
 
 run_suite build "" "$@"
@@ -26,6 +29,6 @@ run_suite build-werror "" -DPMWARE_WERROR=ON "$@"
 run_suite build-asan "" -DPMWARE_SANITIZE="address;undefined" "$@"
 # tsan cannot combine with asan; a third build runs just the tests that
 # exercise threads (everything else is single-threaded by design).
-run_suite build-tsan "Concurrency" -DPMWARE_SANITIZE="thread" "$@"
+run_suite build-tsan "-L Sharding" -DPMWARE_SANITIZE="thread" "$@"
 
-echo "ci.sh: all three suites passed"
+echo "ci.sh: all four suites passed"

@@ -4,7 +4,7 @@
 // an SVG place map, so parameter sweeps can be scripted without recompiling:
 //
 //   studyctl [--participants N] [--days D] [--seed S] [--threads T]
-//            [--region india|switzerland] [--no-wifi] [--no-ads]
+//            [--shards N] [--region india|switzerland] [--no-wifi] [--no-ads]
 //            [--log-level debug|info|warn|error|off]
 //            [--report FILE.json] [--map FILE.svg]
 #include <cstdio>
@@ -27,7 +27,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--participants N] [--days D] [--seed S]\n"
-               "          [--threads T] [--region india|switzerland]\n"
+               "          [--threads T] [--shards N]\n"
+               "          [--region india|switzerland]\n"
                "          [--no-wifi] [--no-ads]\n"
                "          [--log-level debug|info|warn|error|off]\n"
                "          [--report FILE.json] [--map FILE.svg]\n",
@@ -64,6 +65,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       config.threads = std::atoi(v);
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      config.shards = std::atoi(v);
     } else if (arg == "--region") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -95,7 +100,8 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (config.participants < 1 || config.days < 1 || config.threads < 1)
+  if (config.participants < 1 || config.days < 1 || config.threads < 1 ||
+      config.shards < 1)
     return usage(argv[0]);
 
   std::printf("running study: %d participants x %d days, region %s, "

@@ -84,14 +84,18 @@ std::optional<SimDuration> AnalyticsEngine::typical_departure_tod(
 
 std::optional<AnalyticsEngine::NextPlace> AnalyticsEngine::predict_next_place(
     world::DeviceId user, core::PlaceUid current) const {
-  const UserStore* store = storage_->find_user(user);
-  if (store == nullptr) return std::nullopt;
-
-  // Flatten all profile entries into one time-ordered sequence of stays.
+  // Flatten all profile entries into one time-ordered sequence of stays —
+  // copied out under the owning shard's lock, analyzed outside it.
   std::vector<core::PlaceVisitEntry> sequence;
-  for (const auto& [day, profile] : store->profiles)
-    sequence.insert(sequence.end(), profile.places.begin(),
-                    profile.places.end());
+  const bool known =
+      storage_->with_user(user, [&sequence](const UserStore* store) {
+        if (store == nullptr) return false;
+        for (const auto& [day, profile] : store->profiles)
+          sequence.insert(sequence.end(), profile.places.begin(),
+                          profile.places.end());
+        return true;
+      });
+  if (!known) return std::nullopt;
   std::sort(sequence.begin(), sequence.end(),
             [](const core::PlaceVisitEntry& a, const core::PlaceVisitEntry& b) {
               return a.arrival < b.arrival;
@@ -121,9 +125,10 @@ std::optional<AnalyticsEngine::NextPlace> AnalyticsEngine::predict_next_place(
 }
 
 std::int64_t AnalyticsEngine::observed_days(world::DeviceId user) const {
-  const UserStore* store = storage_->find_user(user);
-  if (store == nullptr || store->profiles.empty()) return 1;
-  return static_cast<std::int64_t>(store->profiles.size());
+  return storage_->with_user(user, [](const UserStore* store) -> std::int64_t {
+    if (store == nullptr || store->profiles.empty()) return 1;
+    return static_cast<std::int64_t>(store->profiles.size());
+  });
 }
 
 double AnalyticsEngine::visit_frequency_per_week(

@@ -23,6 +23,7 @@ CloudInstance::CloudInstance(CloudConfig config, GeoLocationService geoloc,
     : config_(config),
       geoloc_(std::move(geoloc)),
       tokens_(rng, config.token_ttl),
+      storage_(config.shards),
       analytics_(&storage_) {
   register_routes();
   // Per-route request counters and handler-cost histograms. Patterns (not
@@ -122,6 +123,7 @@ void CloudInstance::register_routes() {
 
     const CloudStorage::Stats stats = storage_.stats();
     Json storage = Json::object();
+    storage.set("shards", static_cast<std::uint64_t>(storage_.shard_count()));
     storage.set("users", static_cast<std::uint64_t>(stats.users));
     storage.set("places", static_cast<std::uint64_t>(stats.places));
     storage.set("profiles", static_cast<std::uint64_t>(stats.profiles));
@@ -242,8 +244,11 @@ void CloudInstance::register_routes() {
     // Per-user incremental clustering state: the mobile service uploads its
     // append-only GSM log each pass, so the suffix feed applies here too.
     // Results stay identical to a stateless run_gca over the same upload.
-    auto [it, inserted] = gca_states_.try_emplace(user);
-    const algorithms::GcaResult result = it->second.run(observations);
+    algorithms::GcaResult result;
+    {
+      const auto locked = storage_.locked_user(user);
+      result = locked->gca.run(observations);
+    }
     Json places = Json::array();
     for (const auto& cluster : result.places) {
       Json p = Json::object();
@@ -272,8 +277,11 @@ void CloudInstance::register_routes() {
     world::DeviceId user = 0;
     if (auto err = require_user(req, params, user)) return *err;
     Json arr = Json::array();
-    for (const auto& [uid, record] : storage_.user(user).places)
-      arr.push_back(core::to_json(record));
+    {
+      const auto locked = storage_.locked_user(user);
+      for (const auto& [uid, record] : locked->places)
+        arr.push_back(core::to_json(record));
+    }
     Json body = Json::object();
     body.set("places", std::move(arr));
     return HttpResponse::json(std::move(body));
@@ -289,7 +297,7 @@ void CloudInstance::register_routes() {
     // Resolve an approximate position server-side when the client has none.
     if (!record.location)
       record.location = geoloc_.locate_signature(record.signature);
-    storage_.user(user).places[record.uid] = record;
+    storage_.locked_user(user)->places[record.uid] = record;
     Json body = Json::object();
     body.set("uid", static_cast<std::uint64_t>(record.uid));
     // Echo the resolved position so the mobile service can cache it locally
@@ -304,7 +312,8 @@ void CloudInstance::register_routes() {
     if (auto err = require_user(req, params, user)) return *err;
     const auto uid = static_cast<core::PlaceUid>(
         std::atoll(params.at("uid").c_str()));
-    auto& places = storage_.user(user).places;
+    const auto locked = storage_.locked_user(user);
+    auto& places = locked->places;
     const auto it = places.find(uid);
     if (it == places.end())
       return HttpResponse::error(net::kStatusNotFound, "unknown place");
@@ -321,7 +330,7 @@ void CloudInstance::register_routes() {
     const std::int64_t day = std::atoll(params.at("day").c_str());
     profile.day = day;
     profile.user = user;
-    storage_.user(user).profiles[day] = std::move(profile);
+    storage_.locked_user(user)->profiles[day] = std::move(profile);
     return HttpResponse::json(Json::object(), net::kStatusCreated);
   });
 
@@ -330,7 +339,8 @@ void CloudInstance::register_routes() {
     world::DeviceId user = 0;
     if (auto err = require_user(req, params, user)) return *err;
     const std::int64_t day = std::atoll(params.at("day").c_str());
-    const auto& profiles = storage_.user(user).profiles;
+    const auto locked = storage_.locked_user(user);
+    const auto& profiles = locked->profiles;
     const auto it = profiles.find(day);
     if (it == profiles.end())
       return HttpResponse::error(net::kStatusNotFound, "no profile for day");
@@ -359,7 +369,7 @@ void CloudInstance::register_routes() {
         obs.gps.points.push_back(core::latlng_from_json(g));
       }
     }
-    const std::size_t uid = storage_.user(user).routes.add(std::move(obs));
+    const std::size_t uid = storage_.locked_user(user)->routes.add(std::move(obs));
     Json body = Json::object();
     body.set("route_uid", static_cast<std::uint64_t>(uid));
     return HttpResponse::json(std::move(body), net::kStatusCreated);
@@ -369,7 +379,8 @@ void CloudInstance::register_routes() {
                     [this](const HttpRequest& req, const PathParams& params) {
     world::DeviceId user = 0;
     if (auto err = require_user(req, params, user)) return *err;
-    const auto& store = storage_.user(user).routes;
+    const auto locked = storage_.locked_user(user);
+    const auto& store = locked->routes;
     Json arr = Json::array();
     auto emit = [&arr](std::size_t uid, const algorithms::CanonicalRoute& r) {
       Json e = Json::object();
@@ -400,8 +411,9 @@ void CloudInstance::register_routes() {
                     [this](const HttpRequest& req, const PathParams& params) {
     world::DeviceId user = 0;
     if (auto err = require_user(req, params, user)) return *err;
+    const auto locked = storage_.locked_user(user);
     for (const auto& e : req.body.at("encounters").as_array()) {
-      storage_.user(user).encounters.push_back(
+      locked->encounters.push_back(
           {static_cast<world::DeviceId>(e.at("contact").as_int()),
            static_cast<core::PlaceUid>(e.at("place").as_int()),
            e.at("start").as_int(), e.at("end").as_int()});
@@ -417,7 +429,8 @@ void CloudInstance::register_routes() {
     if (const auto it = req.query.find("place"); it != req.query.end())
       place_filter = static_cast<core::PlaceUid>(std::atoll(it->second.c_str()));
     Json arr = Json::array();
-    for (const auto& e : storage_.user(user).encounters) {
+    const auto locked = storage_.locked_user(user);
+    for (const auto& e : locked->encounters) {
       if (place_filter && e.place != *place_filter) continue;
       Json o = Json::object();
       o.set("contact", static_cast<std::uint64_t>(e.contact));
@@ -437,8 +450,9 @@ void CloudInstance::register_routes() {
                     [this](const HttpRequest& req, const PathParams& params) {
     world::DeviceId user = 0;
     if (auto err = require_user(req, params, user)) return *err;
+    // The GCA state lives in the user's store, so one erase drops
+    // everything — data and clustering state alike.
     storage_.erase_user(user);
-    gca_states_.erase(user);
     return HttpResponse::json(Json::object());
   });
 
@@ -459,7 +473,8 @@ void CloudInstance::register_routes() {
     world::DeviceId user = 0;
     if (auto err = require_user(req, params, user)) return *err;
     const std::int64_t day = std::atoll(params.at("day").c_str());
-    const auto& profiles = storage_.user(user).profiles;
+    const auto locked = storage_.locked_user(user);
+    const auto& profiles = locked->profiles;
     const auto it = profiles.find(day);
     if (it == profiles.end() || it->second.activity.empty())
       return HttpResponse::error(net::kStatusNotFound, "no activity for day");
@@ -549,9 +564,15 @@ void CloudInstance::register_routes() {
     if (auto err = require_user(req, params, user)) return *err;
     const auto it = req.query.find("label");
     std::vector<core::PlaceUid> matching;
-    for (const auto& [uid, record] : storage_.user(user).places) {
-      if (it == req.query.end() || record.label == it->second)
-        matching.push_back(uid);
+    {
+      // Collect the matching uids and RELEASE the shard lock before asking
+      // the analytics engine: it re-enters the storage (visits_at) and the
+      // shard mutex is non-recursive.
+      const auto locked = storage_.locked_user(user);
+      for (const auto& [uid, record] : locked->places) {
+        if (it == req.query.end() || record.label == it->second)
+          matching.push_back(uid);
+      }
     }
     Json body = Json::object();
     body.set("visits_per_week",

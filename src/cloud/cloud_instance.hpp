@@ -5,13 +5,16 @@
 // Requests carry the simulation clock in an "X-Sim-Time" header (the
 // in-process stand-in for wall-clock), and a bearer token in
 // "Authorization" for everything except registration.
+//
+// Dispatch is concurrent: the router takes no lock, per-user handlers lock
+// only the owning storage shard, and cross-user routes (/healthz, /metrics,
+// /tracez) read all-shards snapshots or the thread-safe telemetry registry
+// (see DESIGN.md "Concurrency model").
 #pragma once
 
 #include <chrono>
-#include <map>
 #include <memory>
 
-#include "algorithms/gca.hpp"
 #include "cloud/analytics.hpp"
 #include "cloud/geolocation.hpp"
 #include "cloud/storage.hpp"
@@ -30,6 +33,10 @@ struct CloudConfig {
   /// in-process handlers, so violations flag real regressions (a GCA
   /// recluster blowing up, a pathological JSON body), not noise.
   double slo_wall_us = 1000.0;
+  /// Storage shard count: requests for different users contend only when
+  /// their ids hash to the same shard. 1 degenerates to the old fully
+  /// serialized cloud (useful as a determinism baseline).
+  std::size_t shards = CloudStorage::kDefaultShards;
 };
 
 class CloudInstance {
@@ -74,10 +81,6 @@ class CloudInstance {
   TokenService tokens_;
   CloudStorage storage_;
   AnalyticsEngine analytics_;
-  /// Per-user incremental GCA state for POST /api/places/discover. Default
-  /// GcaConfig, matching the previous stateless run_gca behavior. Erased
-  /// with the user (privacy: account deletion drops clustering state too).
-  std::map<world::DeviceId, algorithms::GcaState> gca_states_;
   net::Router router_;
 };
 

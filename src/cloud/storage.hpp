@@ -1,11 +1,29 @@
 // Cloud-side persistent stores: per-user places, day-keyed mobility
-// profiles, canonical routes, and social contacts (paper §2.3).
+// profiles, canonical routes, social contacts, and incremental GCA state
+// (paper §2.3) — sharded by user so concurrent requests for different
+// users never contend on one lock.
+//
+// Concurrency model (DESIGN.md "Concurrency model"):
+//  * The user space is split into N shards by `shard_of(id)`; each shard
+//    owns its user map plus its own mutex. A per-user operation takes
+//    exactly one shard lock (locked_user / with_user / erase_user / ...).
+//  * Cross-user operations (stats, content_digest, copies) take the
+//    all-shards snapshot path: every shard lock in ascending shard order,
+//    released together. Lock ordering rule: never take a second shard lock
+//    while holding one — per-user ops hold one, snapshot ops take all
+//    ascending, so the orders can never invert.
+//  * The bare user()/find_user() accessors are unsynchronized conveniences
+//    for single-threaded callers (tests, examples, post-join reads); the
+//    request path goes through the locking accessors only.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "algorithms/gca.hpp"
 #include "algorithms/routes.hpp"
 #include "core/model.hpp"
 
@@ -16,16 +34,75 @@ struct UserStore {
   std::map<std::int64_t, core::MobilityProfile> profiles;  ///< by day
   algorithms::RouteStore routes;
   std::vector<core::EncounterEntry> encounters;
+  /// Incremental clustering state for POST /api/places/discover: the device
+  /// uploads its append-only GSM log each pass, so the suffix feed applies
+  /// server-side too. Lives with the user's data so one shard lock covers a
+  /// discover request and account deletion drops it with everything else.
+  algorithms::GcaState gca;
 };
 
 class CloudStorage {
  public:
-  UserStore& user(world::DeviceId id) { return users_[id]; }
-  const UserStore* find_user(world::DeviceId id) const {
-    const auto it = users_.find(id);
-    return it == users_.end() ? nullptr : &it->second;
+  static constexpr std::size_t kDefaultShards = 16;
+
+  explicit CloudStorage(std::size_t shards = kDefaultShards);
+
+  /// Copies move the user data, not the mutexes; the destination keeps its
+  /// own shard count and redistributes (tests assign prebuilt fixtures into
+  /// live instances).
+  CloudStorage(const CloudStorage& other);
+  CloudStorage& operator=(const CloudStorage& other);
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Owning shard of `id`: mix(id) % shard_count. The mix is a fixed
+  /// splitmix64 finalizer so the distribution (and therefore every sharded
+  /// run) is identical across platforms and standard libraries.
+  std::size_t shard_of(world::DeviceId id) const;
+
+  /// RAII view of one user's store holding the owning shard's lock; the
+  /// request path's only write door.
+  class UserLock {
+   public:
+    UserStore& operator*() const { return *store_; }
+    UserStore* operator->() const { return store_; }
+
+   private:
+    friend class CloudStorage;
+    UserLock(std::unique_lock<std::mutex> lock, UserStore* store)
+        : lock_(std::move(lock)), store_(store) {}
+    std::unique_lock<std::mutex> lock_;
+    UserStore* store_;
+  };
+
+  /// Locks the owning shard and returns the user's store, creating it on
+  /// first use (mirrors the historical user() semantics).
+  UserLock locked_user(world::DeviceId id);
+
+  /// Runs `fn(store)` under the owning shard's lock; `store` is null when
+  /// the user has no data. `fn` must not touch the storage again (the shard
+  /// mutex is non-recursive) and must not block.
+  template <typename Fn>
+  auto with_user(world::DeviceId id, Fn&& fn) const {
+    const std::size_t s = shard_of(id);
+    const auto lock = lock_shard(s);
+    const auto& users = shards_[s].users;
+    const auto it = users.find(id);
+    return fn(it == users.end() ? nullptr : &it->second);
   }
-  std::size_t user_count() const { return users_.size(); }
+
+  /// Unsynchronized accessors for single-threaded callers (tests, examples,
+  /// analytics fixtures). Never used on the concurrent request path.
+  UserStore& user(world::DeviceId id) {
+    return shards_[shard_of(id)].users[id];
+  }
+  const UserStore* find_user(world::DeviceId id) const {
+    const auto& users = shards_[shard_of(id)].users;
+    const auto it = users.find(id);
+    return it == users.end() ? nullptr : &it->second;
+  }
+
+  std::size_t user_count() const;
 
   /// Aggregate record counts across users — the storage block of /healthz.
   struct Stats {
@@ -34,29 +111,30 @@ class CloudStorage {
     std::size_t profiles = 0;
     std::size_t routes = 0;
     std::size_t encounters = 0;
+
+    bool operator==(const Stats&) const = default;
   };
-  Stats stats() const {
-    Stats s;
-    s.users = users_.size();
-    for (const auto& [id, store] : users_) {
-      s.places += store.places.size();
-      s.profiles += store.profiles.size();
-      s.routes += store.routes.routes().size();
-      s.encounters += store.encounters.size();
-    }
-    return s;
-  }
+  /// All-shards snapshot: a coherent aggregate even while writers run.
+  Stats stats() const;
+
+  /// Order-independent digest of every user's stored content (places,
+  /// profiles, routes, encounters; the GCA cache is internal and excluded).
+  /// Cloud-assigned user ids are normalized out and per-user digests
+  /// combine commutatively, so the digest is invariant under shard count
+  /// and registration order — the study's determinism fingerprint.
+  std::uint64_t content_digest() const;
 
   /// Deletes everything stored for `id` (privacy wipe, paper §6 future
-  /// work). Returns true if the user had any data.
-  bool erase_user(world::DeviceId id) { return users_.erase(id) > 0; }
+  /// work), including its GCA state. Returns true if the user had any data.
+  bool erase_user(world::DeviceId id);
 
   /// Deletes one place and every profile entry referencing it. Returns true
   /// if the place existed.
   bool erase_place(world::DeviceId id, core::PlaceUid place);
 
   /// All visits of `user` at `place` across all stored profiles, in day
-  /// order — the analytics engine's raw material.
+  /// order — the analytics engine's raw material. Takes the owning shard's
+  /// lock internally.
   std::vector<core::PlaceVisitEntry> visits_at(world::DeviceId user,
                                                core::PlaceUid place) const;
 
@@ -69,7 +147,19 @@ class CloudStorage {
       world::DeviceId user, core::PlaceUid place) const;
 
  private:
-  std::map<world::DeviceId, UserStore> users_;
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<world::DeviceId, UserStore> users;
+  };
+
+  /// Locks one shard, recording the per-shard request counter and the
+  /// lock-wait histogram (contention visibility for the shard sweep).
+  std::unique_lock<std::mutex> lock_shard(std::size_t s) const;
+
+  /// Every shard lock, ascending — the cross-shard snapshot path.
+  std::vector<std::unique_lock<std::mutex>> lock_all() const;
+
+  std::vector<Shard> shards_;
 };
 
 }  // namespace pmware::cloud

@@ -16,6 +16,7 @@ std::string TokenService::mint_token() {
 TokenGrant TokenService::register_device(const std::string& imei,
                                          const std::string& email,
                                          SimTime now) {
+  const std::scoped_lock lock(mu_);
   const auto key = std::make_pair(imei, email);
   auto it = devices_.find(key);
   if (it == devices_.end())
@@ -31,6 +32,7 @@ TokenGrant TokenService::register_device(const std::string& imei,
 
 std::optional<TokenGrant> TokenService::refresh(const std::string& token,
                                                 SimTime now) {
+  const std::scoped_lock lock(mu_);
   const auto it = tokens_.find(token);
   if (it == tokens_.end() || it->second.expires_at <= now) return std::nullopt;
   TokenGrant grant;
@@ -44,6 +46,7 @@ std::optional<TokenGrant> TokenService::refresh(const std::string& token,
 
 std::optional<world::DeviceId> TokenService::validate(const std::string& token,
                                                       SimTime now) const {
+  const std::scoped_lock lock(mu_);
   const auto it = tokens_.find(token);
   if (it == tokens_.end() || it->second.expires_at <= now) return std::nullopt;
   return it->second.user;

@@ -1,9 +1,16 @@
 // Registration and authentication (paper §2.2.1/§2.3.3): a device is
 // identified by IMEI + account email; a one-time registration yields a
 // bearer token which expires and is refreshed periodically.
+//
+// Thread-safe: with the cloud's dispatch sharded per user, registration
+// and token validation are the one cross-user choke point left on the
+// request path, so the service serializes itself with an internal mutex
+// (the critical section is a couple of map lookups — orders of magnitude
+// shorter than a handler).
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -37,11 +44,16 @@ class TokenService {
                                           SimTime now) const;
 
   SimDuration token_ttl() const { return ttl_; }
-  std::size_t registered_devices() const { return devices_.size(); }
+  std::size_t registered_devices() const {
+    const std::scoped_lock lock(mu_);
+    return devices_.size();
+  }
 
  private:
+  /// Caller must hold mu_ (mint draws from the shared RNG).
   std::string mint_token();
 
+  mutable std::mutex mu_;
   Rng rng_;
   SimDuration ttl_;
   std::map<std::pair<std::string, std::string>, world::DeviceId> devices_;

@@ -18,23 +18,34 @@ const char* to_string(Method m) {
 }
 
 std::vector<std::string> Router::split(const std::string& path) {
+  // Interior empty segments are preserved ("/a//b" -> [a, "", b]) so they
+  // can be rejected at match time instead of silently collapsing into a
+  // shorter — and wrongly matchable — path. The leading empty segment of an
+  // absolute path and a single trailing one ("/metrics/") are dropped.
   std::vector<std::string> out;
   std::string cur;
   for (char c : path) {
     if (c == '/') {
-      if (!cur.empty()) out.push_back(std::move(cur));
+      out.push_back(std::move(cur));
       cur.clear();
     } else {
       cur += c;
     }
   }
-  if (!cur.empty()) out.push_back(std::move(cur));
+  out.push_back(std::move(cur));
+  if (!out.empty() && out.front().empty()) out.erase(out.begin());
+  if (!out.empty() && out.back().empty()) out.pop_back();
   return out;
 }
 
 void Router::add_route(Method method, const std::string& pattern,
                        Handler handler) {
-  routes_.push_back({method, pattern, split(pattern), std::move(handler)});
+  auto segments = split(pattern);
+  std::size_t params = 0;
+  for (const std::string& seg : segments)
+    if (!seg.empty() && seg[0] == ':') ++params;
+  routes_.push_back(
+      {method, pattern, std::move(segments), params, std::move(handler)});
 }
 
 void Router::add_middleware(Middleware mw,
@@ -49,6 +60,7 @@ bool Router::match(const Route& route, const std::vector<std::string>& segments,
   for (std::size_t i = 0; i < segments.size(); ++i) {
     const std::string& pat = route.segments[i];
     if (!pat.empty() && pat[0] == ':') {
+      if (segments[i].empty()) return false;  // ":id" never binds ""
       params[pat.substr(1)] = segments[i];
     } else if (pat != segments[i]) {
       return false;
@@ -58,7 +70,6 @@ bool Router::match(const Route& route, const std::vector<std::string>& segments,
 }
 
 HttpResponse Router::handle(const HttpRequest& request) const {
-  const std::scoped_lock lock(dispatch_mu_);
   const auto wall_begin = std::chrono::steady_clock::now();
   auto observe = [&](const std::string& pattern, int status) {
     if (!observer_) return;
@@ -85,27 +96,38 @@ HttpResponse Router::handle(const HttpRequest& request) const {
   }
 
   const auto segments = split(request.path);
+  // Most-specific match wins: among routes that accept the path, the one
+  // with the fewest ":param" captures (i.e. the most literal segments) is
+  // chosen, with registration order breaking ties — so "/api/users/all"
+  // beats "/api/users/:id" however the cloud registered them.
+  const Route* best = nullptr;
+  PathParams best_params;
   PathParams params;
   for (const Route& route : routes_) {
     if (route.method != request.method) continue;
-    if (match(route, segments, params)) {
-      // Trace-context propagation: a request that arrived with trace
-      // headers gets a handler span parented under the *client's* span (the
-      // remote context wins over this thread's stack), so the device↔cloud
-      // request is one causal tree. Untraced requests (tests poking the
-      // router directly) record no span. The span covers the handler only;
-      // routing overhead stays in the observer's wall_us.
-      const telemetry::TraceContext ctx = request.trace_context();
-      const SimTime sim_now = request.sim_time();
-      std::optional<telemetry::Span> span;
-      if (ctx.valid())
-        span.emplace(telemetry::tracer(), "cloud." + route.pattern, sim_now,
-                     ctx);
-      HttpResponse response = route.handler(request, params);
-      if (span) span->finish(sim_now);
-      observe(route.pattern, response.status);
-      return response;
+    if (!match(route, segments, params)) continue;
+    if (best == nullptr || route.params < best->params) {
+      best = &route;
+      best_params = std::move(params);
+      if (best->params == 0) break;  // fully literal: nothing beats it
     }
+  }
+  if (best != nullptr) {
+    // Trace-context propagation: a request that arrived with trace
+    // headers gets a handler span parented under the *client's* span (the
+    // remote context wins over this thread's stack), so the device↔cloud
+    // request is one causal tree. Untraced requests (tests poking the
+    // router directly) record no span. The span covers the handler only;
+    // routing overhead stays in the observer's wall_us.
+    const telemetry::TraceContext ctx = request.trace_context();
+    const SimTime sim_now = request.sim_time();
+    std::optional<telemetry::Span> span;
+    if (ctx.valid())
+      span.emplace(telemetry::tracer(), "cloud." + best->pattern, sim_now, ctx);
+    HttpResponse response = best->handler(request, best_params);
+    if (span) span->finish(sim_now);
+    observe(best->pattern, response.status);
+    return response;
   }
   observe("<unmatched>", kStatusNotFound);
   return HttpResponse::error(kStatusNotFound, "no route for " + request.path);

@@ -4,7 +4,6 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -46,12 +45,21 @@ class Router {
 
   /// Dispatches a request; 404 when no route matches.
   ///
-  /// Dispatch is serialized by an internal mutex: the parallel deployment
-  /// study drives many REST clients into one cloud instance from worker
-  /// threads, and handlers mutate cloud state (storage, tokens, per-user
-  /// GCA state) without internal locking. The cloud is the simulated
-  /// remote end, so serializing it models a single-writer backend and
-  /// keeps its state transitions deterministic per user.
+  /// Matching rules:
+  ///  * a single trailing slash is tolerated ("/metrics/" == "/metrics");
+  ///  * an empty segment never binds a ":param" capture
+  ///    ("/api/users//places" is a 404, not id="");
+  ///  * among overlapping patterns the most specific wins — fewest ":param"
+  ///    captures first, registration order as the tie-break — so a literal
+  ///    "/api/users/all" beats "/api/users/:id" regardless of registration
+  ///    order.
+  ///
+  /// handle() itself takes no lock and is safe to call concurrently: the
+  /// route/middleware tables are immutable after single-threaded setup
+  /// (add_route/add_middleware must not race handle()), and synchronization
+  /// of shared backend state is the handlers' job — the cloud instance
+  /// routes each request to its per-user shard lock (DESIGN.md
+  /// "Concurrency model").
   HttpResponse handle(const HttpRequest& request) const;
 
   std::size_t route_count() const { return routes_.size(); }
@@ -61,6 +69,7 @@ class Router {
     Method method;
     std::string pattern;                ///< as registered, for the observer
     std::vector<std::string> segments;  ///< pattern split on '/'
+    std::size_t params;                 ///< ':' captures, for specificity
     Handler handler;
   };
   struct Guard {
@@ -75,9 +84,6 @@ class Router {
   std::vector<Route> routes_;
   std::vector<Guard> guards_;
   Observer observer_;
-  /// Serializes handle(); registration (add_route/add_middleware) stays
-  /// single-threaded setup and is not guarded.
-  mutable std::mutex dispatch_mu_;
 };
 
 }  // namespace pmware::net

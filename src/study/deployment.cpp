@@ -216,8 +216,9 @@ StudyResult DeploymentStudy::run() {
 
   cloud::GeoLocationService geoloc(world_->cell_location_db());
   geoloc.set_ap_db(world_->ap_location_db());
-  cloud::CloudInstance cloud(cloud::CloudConfig{}, std::move(geoloc),
-                             rng_.fork(3));
+  cloud::CloudConfig cloud_config;
+  cloud_config.shards = static_cast<std::size_t>(std::max(config_.shards, 1));
+  cloud::CloudInstance cloud(cloud_config, std::move(geoloc), rng_.fork(3));
 
   telemetry::registry()
       .gauge("study_participants", {}, "participants in the deployment study")
@@ -266,6 +267,11 @@ StudyResult DeploymentStudy::run() {
     for (std::thread& t : pool) t.join();
     if (failure) std::rethrow_exception(failure);
   }
+
+  // Workers have joined; snapshot the cloud's end state for the
+  // determinism fingerprint.
+  result.storage_stats = cloud.storage().stats();
+  result.storage_digest = cloud.storage().content_digest();
 
   for (std::size_t i = 0; i < participants.size(); ++i) {
     const ParticipantResult& r = result.participants[i];

@@ -42,9 +42,14 @@ struct StudyConfig {
   bool run_placeads = true;
   /// Worker threads simulating participants concurrently (1 = sequential).
   /// Results are identical for every value: participants are independent
-  /// except for the cloud instance (whose dispatch is serialized), and all
+  /// except for the cloud instance (whose storage is sharded per user, so
+  /// concurrent requests only synchronize on their own shard), and all
   /// per-participant RNGs are forked before workers start.
   int threads = 1;
+  /// Cloud storage shards (CloudConfig::shards). Results are identical for
+  /// every value; more shards just means less lock contention when
+  /// threads > 1.
+  int shards = static_cast<int>(cloud::CloudStorage::kDefaultShards);
 };
 
 /// One entry of the Figure-5b place map.
@@ -71,6 +76,11 @@ struct ParticipantResult {
 struct StudyResult {
   std::vector<ParticipantResult> participants;
   std::vector<PlaceMapEntry> place_map;
+  /// Post-join snapshot of the cloud storage: aggregate record counts and
+  /// the order-independent content digest — the determinism fingerprint
+  /// that must match across thread and shard counts.
+  cloud::CloudStorage::Stats storage_stats;
+  std::uint64_t storage_digest = 0;
 
   std::size_t total_discovered() const;
   std::size_t total_tagged() const;

@@ -55,8 +55,10 @@ std::string diagnostics_summary(const Tracer& tracer,
 
 /// Current layout of the BENCH_*.json documents ("schema_version"). History:
 /// 1 = PR 1/2 (bench/results/metrics/spans), 2 = adds schema_version, the
-/// "run" metadata block, per-day "flame" folds, and span trace_ids.
-inline constexpr int kBenchSchemaVersion = 2;
+/// "run" metadata block, per-day "flame" folds, and span trace_ids, 3 =
+/// adds the deployment-study "shard_sweep" block (per-configuration
+/// contention telemetry from the sharded cloud storage).
+inline constexpr int kBenchSchemaVersion = 3;
 
 /// Reproducibility metadata embedded in every BENCH_*.json, so the perf
 /// trajectory stays comparable across PRs. Zero fields mean "not

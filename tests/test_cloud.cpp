@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+
 #include "core/codec.hpp"
 #include "net/client.hpp"
 #include "telemetry/export.hpp"
@@ -523,6 +526,161 @@ TEST_F(CloudFixture, TracezServesSlowestTracesWithSloCounters) {
   capped.query["n"] = "1";
   EXPECT_EQ(cloud_.router().handle(capped).body.at("slowest_traces").size(),
             1u);
+}
+
+// --- Sharded storage -------------------------------------------------------
+
+/// Deterministic multi-user content: `users` users, each with a couple of
+/// places, profiles, one route, and encounters, written through the
+/// unsynchronized accessor (single-threaded seeding).
+void seed_storage(CloudStorage& storage, world::DeviceId users) {
+  for (world::DeviceId id = 1; id <= users; ++id) {
+    UserStore& store = storage.user(id);
+    for (core::PlaceUid uid = 1; uid <= 1 + id % 3; ++uid) {
+      core::PlaceRecord record;
+      record.uid = uid;
+      record.label = "place-" + std::to_string(uid);
+      record.visit_count = static_cast<std::size_t>(id);
+      store.places[uid] = record;
+    }
+    for (std::int64_t day = 0; day < 1 + static_cast<std::int64_t>(id % 2);
+         ++day) {
+      core::MobilityProfile profile;
+      profile.user = id;
+      profile.day = day;
+      profile.places.push_back({1, start_of_day(day) + hours(8),
+                                start_of_day(day) + hours(17)});
+      store.profiles[day] = profile;
+    }
+    algorithms::RouteObservation obs;
+    obs.from_place = 1;
+    obs.to_place = 2;
+    obs.window = TimeWindow{hours(8), hours(9)};
+    store.routes.add(std::move(obs));
+    store.encounters.push_back({id + 1000, 1, hours(9), hours(10)});
+  }
+}
+
+TEST(ShardedStorage, StatsEqualSumOfPerUserTruth) {
+  CloudStorage storage(16);
+  const world::DeviceId users = 40;
+  seed_storage(storage, users);
+
+  CloudStorage::Stats expected;
+  for (world::DeviceId id = 1; id <= users; ++id) {
+    const UserStore* store = storage.find_user(id);
+    ASSERT_NE(store, nullptr);
+    ++expected.users;
+    expected.places += store->places.size();
+    expected.profiles += store->profiles.size();
+    expected.routes += store->routes.routes().size();
+    expected.encounters += store->encounters.size();
+  }
+  EXPECT_EQ(storage.stats(), expected);
+  EXPECT_EQ(storage.user_count(), users);
+}
+
+TEST(ShardedStorage, ShardPlacementIsStableAndCoversAllShards) {
+  CloudStorage storage(16);
+  std::set<std::size_t> seen;
+  for (world::DeviceId id = 1; id <= 200; ++id) {
+    const std::size_t s = storage.shard_of(id);
+    EXPECT_LT(s, storage.shard_count());
+    EXPECT_EQ(s, storage.shard_of(id));  // stable
+    seen.insert(s);
+  }
+  // splitmix64 spreads 200 sequential ids across all 16 shards.
+  EXPECT_EQ(seen.size(), storage.shard_count());
+}
+
+TEST(ShardedStorage, EraseUserLeavesOtherShardsUntouched) {
+  CloudStorage storage(8);
+  seed_storage(storage, 24);
+  const world::DeviceId victim = 7;
+
+  // Per-user digests of everyone else, plus a same-shard neighbor check:
+  // at 24 users over 8 shards, some user shares the victim's shard.
+  std::map<world::DeviceId, CloudStorage::Stats> before;
+  for (world::DeviceId id = 1; id <= 24; ++id) {
+    if (id == victim) continue;
+    const UserStore* store = storage.find_user(id);
+    CloudStorage::Stats s;
+    s.places = store->places.size();
+    s.profiles = store->profiles.size();
+    s.routes = store->routes.routes().size();
+    s.encounters = store->encounters.size();
+    before[id] = s;
+  }
+
+  EXPECT_TRUE(storage.erase_user(victim));
+  EXPECT_FALSE(storage.erase_user(victim));  // already gone
+  EXPECT_EQ(storage.find_user(victim), nullptr);
+  EXPECT_EQ(storage.user_count(), 23u);
+
+  for (const auto& [id, expected] : before) {
+    const UserStore* store = storage.find_user(id);
+    ASSERT_NE(store, nullptr) << "user " << id << " lost by erase";
+    EXPECT_EQ(store->places.size(), expected.places);
+    EXPECT_EQ(store->profiles.size(), expected.profiles);
+    EXPECT_EQ(store->routes.routes().size(), expected.routes);
+    EXPECT_EQ(store->encounters.size(), expected.encounters);
+  }
+}
+
+TEST(ShardedStorage, DigestAndStatsInvariantUnderShardCount) {
+  CloudStorage one(1), four(4), sixteen(16);
+  seed_storage(one, 30);
+  seed_storage(four, 30);
+  seed_storage(sixteen, 30);
+  EXPECT_EQ(one.content_digest(), sixteen.content_digest());
+  EXPECT_EQ(four.content_digest(), sixteen.content_digest());
+  EXPECT_EQ(one.stats(), sixteen.stats());
+  EXPECT_EQ(four.stats(), sixteen.stats());
+  EXPECT_NE(one.content_digest(), 0u);
+}
+
+TEST(ShardedStorage, CopyAssignRedistributesAcrossLayouts) {
+  CloudStorage source(1);
+  seed_storage(source, 20);
+  CloudStorage dest(16);
+  dest = source;  // the fixture-injection path used by analytics tests
+  EXPECT_EQ(dest.shard_count(), 16u);
+  EXPECT_EQ(dest.stats(), source.stats());
+  EXPECT_EQ(dest.content_digest(), source.content_digest());
+  // Copies are independent.
+  dest.erase_user(3);
+  EXPECT_NE(dest.stats(), source.stats());
+  EXPECT_NE(source.find_user(3), nullptr);
+}
+
+TEST_F(CloudFixture, MetricsExposeShardTelemetry) {
+  register_device();
+  // A per-user write routes through the owning shard's lock, which records
+  // the per-shard counter and the lock-wait histogram.
+  HttpRequest put = request(Method::Put, "/api/users/1/places/5");
+  core::PlaceRecord record;
+  record.uid = 5;
+  put.body = core::to_json(record);
+  ASSERT_EQ(cloud_.router().handle(put).status, net::kStatusCreated);
+
+  const HttpResponse res =
+      cloud_.router().handle(request(Method::Get, "/metrics"));
+  ASSERT_TRUE(res.ok());
+  const std::string& text = res.body.at("text").as_string();
+  EXPECT_NE(text.find("# TYPE cloud_shard_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("cloud_shard_requests_total{shard="), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cloud_shard_lock_wait_us histogram"),
+            std::string::npos);
+}
+
+TEST_F(CloudFixture, HealthzReportsShardCount) {
+  register_device();
+  const HttpResponse res =
+      cloud_.router().handle(request(Method::Get, "/healthz"));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.body.at("storage").at("shards").as_int(),
+            static_cast<std::int64_t>(CloudStorage::kDefaultShards));
 }
 
 }  // namespace

@@ -1,17 +1,20 @@
-// Concurrency tests: hammer the telemetry registry and tracer from many
-// threads and run the deployment study on a worker pool. These are the
-// tests ci.sh re-runs under ThreadSanitizer (PMWARE_SANITIZE=thread,
-// ctest -R Concurrency); the assertions below catch lost updates, the
+// Concurrency tests: hammer the telemetry registry, the tracer, and the
+// sharded cloud from many threads, and run the deployment study on a worker
+// pool. These run under ThreadSanitizer in ci.sh (PMWARE_SANITIZE=thread,
+// ctest -L Sharding); the assertions below catch lost updates, the
 // sanitizer catches the races assertions cannot see.
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "cloud/cloud_instance.hpp"
+#include "core/codec.hpp"
 #include "study/deployment.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/log.hpp"
@@ -221,6 +224,156 @@ TEST(TelemetryConcurrency, TracerCapDropsInsteadOfGrowing) {
 
 }  // namespace
 }  // namespace pmware::telemetry
+
+namespace pmware::cloud {
+namespace {
+
+using net::HttpRequest;
+using net::HttpResponse;
+using net::Method;
+
+HttpRequest make_request(Method method, std::string path,
+                         const std::string& token, SimTime now) {
+  HttpRequest req;
+  req.method = method;
+  req.path = std::move(path);
+  req.headers[CloudInstance::kSimTimeHeader] = std::to_string(now);
+  if (!token.empty()) req.headers["Authorization"] = "Bearer " + token;
+  return req;
+}
+
+/// One worker's deterministic traffic: per-user writes (places, profiles,
+/// routes, contacts) plus, when `with_reads`, cross-user reads (/healthz
+/// takes the all-shards snapshot, analytics re-enters the storage from a
+/// handler). Returns the number of non-2xx responses.
+int drive_user(const net::Router& router, world::DeviceId user,
+               const std::string& token, std::size_t index, bool with_reads) {
+  int failures = 0;
+  auto check = [&failures](const HttpResponse& res) {
+    if (!res.ok()) ++failures;
+  };
+  const std::string base = "/api/users/" + std::to_string(user);
+  for (int i = 0; i < 40; ++i) {
+    const SimTime now = minutes(i);  // stays far inside the token TTL
+
+    core::PlaceRecord record;
+    record.uid = static_cast<core::PlaceUid>(1 + i % 5);
+    record.label = "u" + std::to_string(index) + "-p" + std::to_string(i % 5);
+    record.visit_count = static_cast<std::size_t>(i);
+    HttpRequest put = make_request(
+        Method::Put, base + "/places/" + std::to_string(record.uid), token, now);
+    put.body = core::to_json(record);
+    check(router.handle(put));
+
+    core::MobilityProfile profile;
+    profile.day = i % 7;
+    profile.places.push_back({record.uid, start_of_day(i % 7) + hours(8),
+                              start_of_day(i % 7) + hours(9 + i % 3)});
+    HttpRequest prof = make_request(
+        Method::Put, base + "/profiles/" + std::to_string(i % 7), token, now);
+    prof.body = core::to_json(profile);
+    check(router.handle(prof));
+
+    HttpRequest route = make_request(Method::Post, base + "/routes", token, now);
+    route.body = Json::object();
+    route.body.set("from", 1 + i % 3);
+    route.body.set("to", 2 + i % 3);
+    route.body.set("start", hours(8) + minutes(i));
+    route.body.set("end", hours(9) + minutes(i));
+    check(router.handle(route));
+
+    HttpRequest contacts =
+        make_request(Method::Post, base + "/contacts", token, now);
+    Json encounter = Json::object();
+    encounter.set("contact", static_cast<std::uint64_t>(9000 + index));
+    encounter.set("place", static_cast<std::uint64_t>(record.uid));
+    encounter.set("start", hours(i));
+    encounter.set("end", hours(i) + minutes(30));
+    Json encounters = Json::array();
+    encounters.push_back(std::move(encounter));
+    contacts.body = Json::object();
+    contacts.body.set("encounters", std::move(encounters));
+    check(router.handle(contacts));
+
+    if (with_reads && i % 4 == 0) {
+      check(router.handle(make_request(Method::Get, "/healthz", token, now)));
+      check(router.handle(make_request(
+          Method::Get, base + "/analytics/frequency", token, now)));
+    }
+  }
+  return failures;
+}
+
+// The sharding correctness battery's centerpiece: 8 threads hammer a
+// 4-shard cloud with mixed per-user writes and cross-user reads, then the
+// exact same traffic replays serially into a 1-shard cloud. The stored
+// content must come out identical — same aggregate stats, same
+// order-independent digest. Run under tsan via ci.sh (-L Sharding) to catch
+// the races the equality assertions cannot see.
+TEST(CloudConcurrency, ShardedHammerMatchesSerialReplay) {
+  constexpr std::size_t kUsers = 8;
+  auto register_all = [](CloudInstance& cloud) {
+    std::vector<std::pair<world::DeviceId, std::string>> creds;
+    for (std::size_t u = 0; u < kUsers; ++u) {
+      HttpRequest req = make_request(Method::Post, "/api/register", "", 0);
+      req.body = Json::object();
+      req.body.set("imei", "imei-" + std::to_string(u));
+      req.body.set("email", "u" + std::to_string(u) + "@study.pmware.org");
+      const HttpResponse res = cloud.router().handle(req);
+      EXPECT_EQ(res.status, net::kStatusCreated);
+      creds.emplace_back(
+          static_cast<world::DeviceId>(res.body.at("user").as_int()),
+          res.body.at("token").as_string());
+    }
+    return creds;
+  };
+
+  CloudConfig hammer_config;
+  hammer_config.shards = 4;
+  CloudInstance hammer(hammer_config, GeoLocationService({}), Rng(42));
+  const auto creds = register_all(hammer);
+
+  telemetry::StartGate gate;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kUsers);
+  for (std::size_t u = 0; u < kUsers; ++u) {
+    workers.emplace_back([&hammer, &gate, &failures, &creds, u] {
+      gate.wait();
+      failures += drive_user(hammer.router(), creds[u].first, creds[u].second,
+                             u, /*with_reads=*/true);
+    });
+  }
+  gate.open(kUsers);
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Serial replay: same registrations (same RNG seed, same order, so same
+  // user ids and tokens), same per-user traffic, one thread, one shard.
+  CloudConfig replay_config;
+  replay_config.shards = 1;
+  CloudInstance replay(replay_config, GeoLocationService({}), Rng(42));
+  const auto replay_creds = register_all(replay);
+  int replay_failures = 0;
+  for (std::size_t u = 0; u < kUsers; ++u)
+    replay_failures += drive_user(replay.router(), replay_creds[u].first,
+                                  replay_creds[u].second, u,
+                                  /*with_reads=*/true);
+  EXPECT_EQ(replay_failures, 0);
+
+  const CloudStorage::Stats hammered = hammer.storage().stats();
+  EXPECT_EQ(hammered, replay.storage().stats());
+  EXPECT_EQ(hammer.storage().content_digest(),
+            replay.storage().content_digest());
+  // Sanity: the hammer actually stored things.
+  EXPECT_EQ(hammered.users, kUsers);
+  EXPECT_EQ(hammered.places, kUsers * 5);
+  EXPECT_EQ(hammered.profiles, kUsers * 7);
+  EXPECT_EQ(hammered.encounters, kUsers * 40);
+}
+
+}  // namespace
+}  // namespace pmware::cloud
 
 namespace pmware::study {
 namespace {

@@ -78,6 +78,89 @@ TEST(Router, TrailingSlashIsTolerated) {
   EXPECT_TRUE(router.handle(request).ok());
 }
 
+TEST(Router, OnlyOneTrailingSlashIsTolerated) {
+  Router router;
+  fill_echo_router(router);
+  // "/ping//" has an interior empty segment after the first slash is
+  // trimmed; it must not collapse into "/ping".
+  HttpRequest request{Method::Get, "/ping//", {}, {}, {}};
+  EXPECT_EQ(router.handle(request).status, kStatusNotFound);
+}
+
+TEST(Router, EmptySegmentNeverBindsParam) {
+  Router router;
+  fill_echo_router(router);
+  // Historically split() dropped empty segments, so "/users//places/9"
+  // collapsed to three segments and could never hit the 4-segment route —
+  // but "/users/7/places/" bound uid="" via the trailing-slash trim. Both
+  // must 404: a ":param" capture is never empty.
+  HttpRequest interior{Method::Get, "/users//places/9", {}, {}, {}};
+  EXPECT_EQ(router.handle(interior).status, kStatusNotFound);
+  HttpRequest double_interior{Method::Get, "/users///9", {}, {}, {}};
+  EXPECT_EQ(router.handle(double_interior).status, kStatusNotFound);
+  // With the trailing slash trimmed this is 3 segments, not a 4-segment
+  // path with uid="".
+  HttpRequest trailing{Method::Get, "/users/7/places/", {}, {}, {}};
+  EXPECT_EQ(router.handle(trailing).status, kStatusNotFound);
+}
+
+TEST(Router, OverlappingPatternsPreferLiteral) {
+  Router router;
+  int id_hits = 0, literal_hits = 0;
+  // Param route registered FIRST: specificity, not registration order,
+  // must pick the literal route for "/api/users/all".
+  router.add_route(Method::Get, "/api/users/:id",
+                   [&id_hits](const HttpRequest&, const PathParams&) {
+                     ++id_hits;
+                     return HttpResponse::json(Json::object());
+                   });
+  router.add_route(Method::Get, "/api/users/all",
+                   [&literal_hits](const HttpRequest&, const PathParams&) {
+                     ++literal_hits;
+                     return HttpResponse::json(Json::object());
+                   });
+  EXPECT_TRUE(router.handle({Method::Get, "/api/users/all", {}, {}, {}}).ok());
+  EXPECT_EQ(literal_hits, 1);
+  EXPECT_EQ(id_hits, 0);
+  EXPECT_TRUE(router.handle({Method::Get, "/api/users/7", {}, {}, {}}).ok());
+  EXPECT_EQ(id_hits, 1);
+}
+
+TEST(Router, OverlappingPatternsDifferentArity) {
+  Router router;
+  fill_echo_router(router);
+  std::string seen;
+  router.add_route(Method::Get, "/users/:id",
+                   [&seen](const HttpRequest&, const PathParams& params) {
+                     seen = params.at("id");
+                     return HttpResponse::json(Json::object());
+                   });
+  // "/users/:id" and "/users/:id/places/:uid" overlap by prefix only;
+  // segment count keeps them apart.
+  EXPECT_TRUE(router.handle({Method::Get, "/users/42", {}, {}, {}}).ok());
+  EXPECT_EQ(seen, "42");
+  const auto deep = router.handle({Method::Get, "/users/42/places/7", {}, {}, {}});
+  EXPECT_TRUE(deep.ok());
+  EXPECT_EQ(deep.body.at("uid").as_string(), "7");
+}
+
+TEST(Router, TieBreaksByRegistrationOrder) {
+  Router router;
+  std::string winner;
+  router.add_route(Method::Get, "/a/:x/b",
+                   [&winner](const HttpRequest&, const PathParams&) {
+                     winner = "first";
+                     return HttpResponse::json(Json::object());
+                   });
+  router.add_route(Method::Get, "/a/:y/b",
+                   [&winner](const HttpRequest&, const PathParams&) {
+                     winner = "second";
+                     return HttpResponse::json(Json::object());
+                   });
+  EXPECT_TRUE(router.handle({Method::Get, "/a/1/b", {}, {}, {}}).ok());
+  EXPECT_EQ(winner, "first");  // equal specificity: first registered wins
+}
+
 TEST(Router, PostBodyRoundTrips) {
   Router router;
   fill_echo_router(router);

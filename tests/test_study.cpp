@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 namespace pmware::study {
 namespace {
 
@@ -82,17 +84,12 @@ TEST(Study, DeterministicForSameSeed) {
             rb.total(DiscoveredOutcome::Correct));
 }
 
-// The tentpole determinism guarantee: a parallel run is byte-identical to a
-// sequential one. Everything shared is either immutable (world), serialized
-// (cloud dispatch), or forked before workers start (per-participant RNGs).
-TEST(Study, ThreadedRunMatchesSequentialExactly) {
-  StudyConfig sequential_config = small_config();
-  sequential_config.threads = 1;
-  StudyConfig parallel_config = small_config();
-  parallel_config.threads = 4;
-  const StudyResult rs = DeploymentStudy(sequential_config).run();
-  const StudyResult rp = DeploymentStudy(parallel_config).run();
-
+/// Byte-identical comparison of two study runs: every per-participant
+/// field, the place map, and the cloud storage's post-join fingerprint.
+/// `what` names the run under test in failure output.
+void expect_identical_runs(const StudyResult& rs, const StudyResult& rp,
+                           const std::string& what) {
+  SCOPED_TRACE(what);
   ASSERT_EQ(rs.participants.size(), rp.participants.size());
   for (std::size_t i = 0; i < rs.participants.size(); ++i) {
     const ParticipantResult& a = rs.participants[i];
@@ -123,6 +120,55 @@ TEST(Study, ThreadedRunMatchesSequentialExactly) {
     EXPECT_EQ(rs.place_map[i].uid, rp.place_map[i].uid);
     EXPECT_EQ(rs.place_map[i].label, rp.place_map[i].label);
     EXPECT_EQ(rs.place_map[i].location, rp.place_map[i].location);
+  }
+  // Cloud-side truth: same places, profiles, routes, and encounters ended
+  // up stored, independent of which worker/shard got them there.
+  EXPECT_EQ(rs.storage_stats, rp.storage_stats);
+  EXPECT_EQ(rs.storage_digest, rp.storage_digest);
+}
+
+// The tentpole determinism guarantee: a parallel run is byte-identical to a
+// sequential one. Everything shared is either immutable (world), locked per
+// user (cloud storage shards), or forked before workers start
+// (per-participant RNGs).
+TEST(Study, ThreadedRunMatchesSequentialExactly) {
+  StudyConfig sequential_config = small_config();
+  sequential_config.threads = 1;
+  StudyConfig parallel_config = small_config();
+  parallel_config.threads = 4;
+  const StudyResult rs = DeploymentStudy(sequential_config).run();
+  const StudyResult rp = DeploymentStudy(parallel_config).run();
+  expect_identical_runs(rs, rp, "threads=4 vs threads=1");
+}
+
+// Shard-equivalence over a full 14-day study: every (shards, threads)
+// configuration must reproduce the 1-shard sequential run byte-for-byte —
+// places, routes, profiles, and the storage content digest. shards=1 is
+// the old fully-serialized cloud, so this pins the sharded backend to the
+// pre-sharding behavior.
+TEST(Study, ShardCountNeverChangesResults) {
+  StudyConfig base = small_config();
+  base.participants = 3;  // keeps six 14-day runs affordable
+  base.days = 14;
+  base.shards = 1;
+  base.threads = 1;
+  const StudyResult baseline = DeploymentStudy(base).run();
+  EXPECT_GT(baseline.storage_stats.users, 0u);
+  EXPECT_GT(baseline.storage_stats.profiles, 0u);
+  EXPECT_NE(baseline.storage_digest, 0u);
+
+  for (const int shards : {1, 4, 16}) {
+    for (const int threads : {1, 8}) {
+      if (shards == 1 && threads == 1) continue;  // the baseline itself
+      StudyConfig config = base;
+      config.shards = shards;
+      config.threads = threads;
+      const StudyResult run = DeploymentStudy(config).run();
+      expect_identical_runs(baseline, run,
+                            "shards=" + std::to_string(shards) +
+                                " threads=" + std::to_string(threads) +
+                                " vs shards=1 threads=1");
+    }
   }
 }
 
