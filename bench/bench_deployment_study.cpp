@@ -97,11 +97,20 @@ int main(int argc, char** argv) {
       telemetry::bench_json_path(argc, argv, "deployment_study");
   int fixed_threads = 0;  // 0 = sweep 1/2/4/8
   int fixed_shards = 0;   // 0 = sweep 1/4/16
+  // Default fault scenarios: a mid-study blackout, a lossy user API, and a
+  // slow-but-healthy cloud. --fault-plan replaces the list with one plan.
+  std::vector<std::string> fault_specs = {
+      "outage=5d..8d",
+      "route=/api/users,error=0.25,from=2d,to=12d",
+      "latency=2,from=0,to=12d",
+  };
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0)
       fixed_threads = std::atoi(argv[i + 1]);
     if (std::strcmp(argv[i], "--shards") == 0)
       fixed_shards = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--fault-plan") == 0)
+      fault_specs = {argv[i + 1]};
   }
   set_log_level(LogLevel::Error);
   telemetry::apply_log_level_flag(argc, argv);
@@ -166,6 +175,53 @@ int main(int argc, char** argv) {
   std::vector<SweepEntry> scaling;
   for (const auto& entry : sweep)
     if (entry.shards == shard_counts.back()) scaling.push_back(entry);
+
+  // --- Fault sweep: the same study under scripted cloud-side fault plans.
+  // Recovery equivalence is the headline assertion: after outage + outbox
+  // drain, the cloud content digest must be byte-identical to the no-fault
+  // baseline (results.front() — every sweep run above was fault-free).
+  struct FaultEntry {
+    std::string plan;
+    double wall_s = 0;
+    std::uint64_t digest = 0;
+    bool matches_baseline = false;
+    std::uint64_t sync_failures = 0;
+    std::uint64_t outbox_recovered = 0;
+    std::uint64_t outbox_evicted = 0;
+    std::uint64_t outbox_pending = 0;
+    std::uint64_t breaker_opens = 0;
+    std::uint64_t faults_injected = 0;
+  };
+  std::vector<FaultEntry> fault_sweep;
+  for (const std::string& spec : fault_specs) {
+    telemetry::registry().reset();
+    telemetry::tracer().reset();
+    study::StudyConfig faulted = config;
+    faulted.shards = shard_counts.back();
+    faulted.threads = thread_counts.back();
+    faulted.fault_plan = net::FaultPlan::parse(spec);
+    const auto begin = std::chrono::steady_clock::now();
+    const study::StudyResult run = study::DeploymentStudy(faulted).run();
+    FaultEntry entry;
+    entry.plan = spec;
+    entry.wall_s = wall_seconds_since(begin);
+    entry.digest = run.storage_digest;
+    StudyFingerprint fp = StudyFingerprint::of(run);
+    entry.matches_baseline = fp == baseline_fp;
+    const auto& reg = telemetry::registry();
+    entry.sync_failures = reg.family_total("pms_sync_failures_total");
+    entry.outbox_recovered = reg.family_total("pms_outbox_recovered_total");
+    entry.outbox_evicted = reg.family_total("pms_outbox_evicted_total");
+    entry.breaker_opens = reg.family_total("net_breaker_open_total");
+    entry.faults_injected = reg.family_total("cloud_faults_injected_total");
+    for (const auto& p : run.participants)
+      entry.outbox_pending += p.pms_stats.outbox_pending;
+    fault_sweep.push_back(std::move(entry));
+  }
+  bool all_recovered = true;
+  for (const auto& entry : fault_sweep)
+    all_recovered =
+        all_recovered && entry.matches_baseline && entry.outbox_pending == 0;
 
   // World geometry for the Figure-5b map (same config -> same world).
   study::DeploymentStudy study(config);
@@ -259,6 +315,22 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(entry.shard_ops),
                 entry.lock_wait_sum_us / 1e3, entry.lock_wait_max_us);
 
+  // --- Fault-sweep report: every plan must end byte-identical to the
+  // no-fault baseline with an empty outbox — zero records lost.
+  std::printf("\n--- fault sweep (recovery equivalence, all recovered: %s) ---\n",
+              all_recovered ? "yes" : "NO");
+  std::printf("%-44s %8s %7s %6s %6s %6s %7s %8s\n", "plan", "wall s",
+              "match", "fails", "recov", "evict", "pending", "injected");
+  for (const auto& entry : fault_sweep)
+    std::printf("%-44s %8.2f %7s %6llu %6llu %6llu %7llu %8llu\n",
+                entry.plan.c_str(), entry.wall_s,
+                entry.matches_baseline ? "yes" : "NO",
+                static_cast<unsigned long long>(entry.sync_failures),
+                static_cast<unsigned long long>(entry.outbox_recovered),
+                static_cast<unsigned long long>(entry.outbox_evicted),
+                static_cast<unsigned long long>(entry.outbox_pending),
+                static_cast<unsigned long long>(entry.faults_injected));
+
   // --- Sequential-vs-incremental recluster cost: daily recluster passes
   // over a growing synthetic trace, full rebuild each day vs GcaState.
   const int recluster_days = 14;
@@ -341,6 +413,29 @@ int main(int argc, char** argv) {
     shard_sweep.set("storage_digest",
                     static_cast<std::uint64_t>(result.storage_digest));
     extra.set("shard_sweep", std::move(shard_sweep));
+    // schema_version 4: recovery-equivalence digests and sync-reliability
+    // counters under scripted cloud fault plans.
+    Json fault_block = Json::object();
+    Json fault_runs = Json::array();
+    for (const auto& entry : fault_sweep) {
+      Json e = Json::object();
+      e.set("plan", entry.plan);
+      e.set("wall_s", entry.wall_s);
+      e.set("storage_digest", entry.digest);
+      e.set("matches_baseline", entry.matches_baseline);
+      e.set("sync_failures", entry.sync_failures);
+      e.set("outbox_recovered", entry.outbox_recovered);
+      e.set("outbox_evicted", entry.outbox_evicted);
+      e.set("outbox_pending", entry.outbox_pending);
+      e.set("breaker_opens", entry.breaker_opens);
+      e.set("faults_injected", entry.faults_injected);
+      fault_runs.push_back(std::move(e));
+    }
+    fault_block.set("runs", std::move(fault_runs));
+    fault_block.set("baseline_digest",
+                    static_cast<std::uint64_t>(result.storage_digest));
+    fault_block.set("all_recovered", all_recovered);
+    extra.set("fault_sweep", std::move(fault_block));
     Json recluster = Json::object();
     recluster.set("passes", recluster_days);
     recluster.set("observations", static_cast<std::uint64_t>(stream.size()));
@@ -350,8 +445,8 @@ int main(int argc, char** argv) {
                   incremental_s > 0 ? full_s / incremental_s : 0.0);
     recluster.set("identical", recluster_identical);
     extra.set("recluster", std::move(recluster));
-    // Telemetry in the dump is from the sweep's last run, so the metadata
-    // records that run's thread count.
+    // Telemetry in the dump is from the fault sweep's last run (registry
+    // reset per run); it used the sweep's final thread count.
     const telemetry::RunMeta meta{config.seed, thread_counts.back(),
                                   config.days};
     if (!telemetry::write_bench_json(json_path, "deployment_study",

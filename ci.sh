@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verification, four times: a plain build, a warnings-as-errors
-# build, an address+UB-sanitized one, and a thread-sanitized build that runs
+# Tier-1 verification, five legs: a plain build, a warnings-as-errors
+# build, an address+UB-sanitized one, a thread-sanitized build that runs
 # the Sharding-labeled tests (the telemetry registry/tracer hammer, the
 # sharded-cloud hammer, the router/cloud suites, and the parallel
-# deployment study).
+# deployment study), and a chaos leg that re-runs the Robustness-labeled
+# fault/outbox/breaker tests under asan.
 # Usage: ./ci.sh [extra cmake args...]
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -30,5 +31,10 @@ run_suite build-asan "" -DPMWARE_SANITIZE="address;undefined" "$@"
 # tsan cannot combine with asan; a third build runs just the tests that
 # exercise threads (everything else is single-threaded by design).
 run_suite build-tsan "-L Sharding" -DPMWARE_SANITIZE="thread" "$@"
+# Chaos leg: the fault-injection / outbox / circuit-breaker battery again
+# under asan+ubsan, isolated so failures point straight at the recovery
+# machinery. Reuses the sanitized build from above.
+echo "=== ctest: build-asan chaos (-L Robustness) ==="
+(cd build-asan && ctest --output-on-failure -j "$(nproc)" -L Robustness)
 
-echo "ci.sh: all four suites passed"
+echo "ci.sh: all five suites passed"

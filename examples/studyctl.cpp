@@ -5,8 +5,14 @@
 //
 //   studyctl [--participants N] [--days D] [--seed S] [--threads T]
 //            [--shards N] [--region india|switzerland] [--no-wifi] [--no-ads]
-//            [--log-level debug|info|warn|error|off]
+//            [--fault-plan SPEC] [--log-level debug|info|warn|error|off]
 //            [--report FILE.json] [--map FILE.svg]
+//
+// --fault-plan scripts cloud-side failures (see DESIGN.md "Failure model &
+// recovery"), e.g. "outage=5d..8d" or
+// "route=/api/users,error=0.3,from=2d,to=11d;latency=1". The sync
+// reliability digest printed after the run shows how much traffic failed,
+// what the outbox recovered, and whether anything was lost.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -30,6 +36,7 @@ int usage(const char* argv0) {
                "          [--threads T] [--shards N]\n"
                "          [--region india|switzerland]\n"
                "          [--no-wifi] [--no-ads]\n"
+               "          [--fault-plan SPEC]  (e.g. \"outage=5d..8d\")\n"
                "          [--log-level debug|info|warn|error|off]\n"
                "          [--report FILE.json] [--map FILE.svg]\n",
                argv0);
@@ -78,6 +85,15 @@ int main(int argc, char** argv) {
         config.world.region = world::RegionProfile::switzerland();
       else
         return usage(argv[0]);
+    } else if (arg == "--fault-plan") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      try {
+        config.fault_plan = net::FaultPlan::parse(v);
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return usage(argv[0]);
+      }
     } else if (arg == "--no-wifi") {
       config.use_wifi = false;
     } else if (arg == "--no-ads") {
@@ -105,11 +121,12 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
 
   std::printf("running study: %d participants x %d days, region %s, "
-              "wifi %s, seed %llu\n",
+              "wifi %s, seed %llu, faults: %s\n",
               config.participants, config.days,
               config.world.region.name.c_str(),
               config.use_wifi ? "on" : "off",
-              static_cast<unsigned long long>(config.seed));
+              static_cast<unsigned long long>(config.seed),
+              config.fault_plan.describe().c_str());
 
   study::DeploymentStudy study(config);
   const study::StudyResult result = study.run();
@@ -117,6 +134,38 @@ int main(int argc, char** argv) {
   std::printf("%s", telemetry::diagnostics_summary(telemetry::tracer(),
                                                    telemetry::registry())
                         .c_str());
+
+  // --- Sync reliability digest: what failed, what the outbox recovered,
+  // and whether anything was actually lost (evicted or still pending).
+  std::size_t sync_failures = 0, enqueued = 0, delivered = 0, recovered = 0,
+              evicted = 0, pending = 0;
+  for (const auto& p : result.participants) {
+    sync_failures += p.pms_stats.sync_failures;
+    enqueued += p.pms_stats.outbox_enqueued;
+    delivered += p.pms_stats.outbox_delivered;
+    recovered += p.pms_stats.outbox_recovered;
+    evicted += p.pms_stats.outbox_evicted;
+    pending += p.pms_stats.outbox_pending;
+  }
+  const auto& reg = telemetry::registry();
+  std::printf("\n--- sync reliability ---\n");
+  std::printf("  sync failures:     %zu\n", sync_failures);
+  std::printf("  outbox enqueued:   %zu (delivered %zu, recovered after "
+              "retry %zu)\n",
+              enqueued, delivered, recovered);
+  std::printf("  breaker opens:     %llu (fast fails %llu)\n",
+              static_cast<unsigned long long>(
+                  reg.family_total("net_breaker_open_total")),
+              static_cast<unsigned long long>(
+                  reg.family_total("net_breaker_fast_fail_total")));
+  std::printf("  faults injected:   %llu\n",
+              static_cast<unsigned long long>(
+                  reg.family_total("cloud_faults_injected_total")));
+  const std::size_t lost = evicted + pending;
+  std::printf("  recovered vs lost: %zu recovered, %zu lost (%zu evicted, "
+              "%zu still pending)%s\n",
+              recovered, lost, evicted, pending,
+              lost == 0 ? " — no records lost" : "");
 
   // --- JSON report ---
   Json report = Json::object();
@@ -146,6 +195,14 @@ int main(int argc, char** argv) {
     per_participant.push_back(std::move(row));
   }
   report.set("per_participant", std::move(per_participant));
+  Json sync = Json::object();
+  sync.set("fault_plan", config.fault_plan.describe());
+  sync.set("sync_failures", static_cast<std::uint64_t>(sync_failures));
+  sync.set("outbox_recovered", static_cast<std::uint64_t>(recovered));
+  sync.set("outbox_evicted", static_cast<std::uint64_t>(evicted));
+  sync.set("outbox_pending", static_cast<std::uint64_t>(pending));
+  sync.set("storage_digest", static_cast<std::uint64_t>(result.storage_digest));
+  report.set("sync", std::move(sync));
   std::ofstream(report_path) << report.pretty() << '\n';
   std::printf("report written to %s\n", report_path.c_str());
 

@@ -53,6 +53,28 @@ CloudInstance::CloudInstance(CloudConfig config, GeoLocationService geoloc,
           pattern.c_str(), wall_us, config_.slo_wall_us);
     }
   });
+  // Scripted server-side chaos (outages, error rates, latency): evaluated
+  // by the router before guards and handlers, so injected failures never
+  // mutate state. The plan's decisions are deterministic per request
+  // (net/fault.hpp), keeping faulted studies reproducible across thread
+  // and shard counts.
+  if (!config_.fault_plan.empty()) {
+    telemetry::slog_info("cloud", 0, "fault plan active: %s",
+                         config_.fault_plan.describe().c_str());
+    router_.set_fault_injector([this](const HttpRequest& request) {
+      const net::FaultOutcome outcome = config_.fault_plan.evaluate(request);
+      auto& reg = telemetry::registry();
+      if (outcome.reject)
+        reg.counter("cloud_faults_injected_total", {{"kind", "error"}},
+                    "fault-plan interventions (errors injected, latency added)")
+            .inc();
+      if (outcome.added_latency_s > 0)
+        reg.counter("cloud_faults_injected_total", {{"kind", "latency"}},
+                    "fault-plan interventions (errors injected, latency added)")
+            .inc();
+      return outcome;
+    });
+  }
 }
 
 SimTime CloudInstance::request_time(const HttpRequest& request) {
@@ -369,7 +391,23 @@ void CloudInstance::register_routes() {
         obs.gps.points.push_back(core::latlng_from_json(g));
       }
     }
-    const std::size_t uid = storage_.locked_user(user)->routes.add(std::move(obs));
+    // Replay guard: the device stamps each upload with its route-log index.
+    // A "seq" below the high-water mark was already applied — an outbox
+    // replay whose original response was lost must not double-count the
+    // journey in the canonical route's use_count. Requests without "seq"
+    // (legacy callers, tests) always apply.
+    const bool has_seq = req.body.contains("seq");
+    const auto seq =
+        static_cast<std::uint64_t>(req.body.get_int("seq", 0));
+    const auto locked = storage_.locked_user(user);
+    if (has_seq && seq < locked->route_seq_high_water) {
+      Json body = Json::object();
+      body.set("duplicate", true);
+      return HttpResponse::json(std::move(body));
+    }
+    const std::size_t uid = locked->routes.add(std::move(obs));
+    if (has_seq)
+      locked->route_seq_high_water = seq + 1;
     Json body = Json::object();
     body.set("route_uid", static_cast<std::uint64_t>(uid));
     return HttpResponse::json(std::move(body), net::kStatusCreated);
@@ -412,7 +450,23 @@ void CloudInstance::register_routes() {
     world::DeviceId user = 0;
     if (auto err = require_user(req, params, user)) return *err;
     const auto locked = storage_.locked_user(user);
-    for (const auto& e : req.body.at("encounters").as_array()) {
+    // Replay guard mirroring the routes "seq": the batch declares the
+    // device-side log index of its first entry, and entries below the
+    // high-water mark were already applied by an earlier attempt.
+    const auto& batch = req.body.at("encounters").as_array();
+    std::size_t skip = 0;
+    if (req.body.contains("first_index")) {
+      const auto first =
+          static_cast<std::uint64_t>(req.body.get_int("first_index", 0));
+      if (first < locked->encounter_high_water)
+        skip = static_cast<std::size_t>(
+            std::min<std::uint64_t>(locked->encounter_high_water - first,
+                                    batch.size()));
+      locked->encounter_high_water =
+          std::max(locked->encounter_high_water, first + batch.size());
+    }
+    for (std::size_t i = skip; i < batch.size(); ++i) {
+      const auto& e = batch[i];
       locked->encounters.push_back(
           {static_cast<world::DeviceId>(e.at("contact").as_int()),
            static_cast<core::PlaceUid>(e.at("place").as_int()),

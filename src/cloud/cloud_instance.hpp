@@ -37,6 +37,11 @@ struct CloudConfig {
   /// their ids hash to the same shard. 1 degenerates to the old fully
   /// serialized cloud (useful as a determinism baseline).
   std::size_t shards = CloudStorage::kDefaultShards;
+  /// Scripted server-side failures (outage windows, per-route error rates,
+  /// added latency); empty = healthy cloud. Injected in front of auth and
+  /// handlers, so a rejected request never mutates state — see
+  /// net/fault.hpp and `FaultPlan::parse` for the --fault-plan grammar.
+  net::FaultPlan fault_plan;
 };
 
 class CloudInstance {

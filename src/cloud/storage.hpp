@@ -39,6 +39,13 @@ struct UserStore {
   /// server-side too. Lives with the user's data so one shard lock covers a
   /// discover request and account deletion drops it with everything else.
   algorithms::GcaState gca;
+  /// Idempotent-replay high-water marks for the append-only uploads: the
+  /// device stamps each route POST with its log index ("seq") and each
+  /// encounter batch with its starting index ("first_index"); entries below
+  /// the mark were already applied and are skipped on replay. Bookkeeping,
+  /// not content — excluded from content_digest() like the GCA cache.
+  std::uint64_t route_seq_high_water = 0;
+  std::uint64_t encounter_high_water = 0;
 };
 
 class CloudStorage {

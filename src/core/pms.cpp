@@ -19,6 +19,37 @@ constexpr const char* kProfileSyncs = "pms_profile_syncs_total";
 constexpr const char* kTokenRefreshes = "pms_token_refreshes_total";
 constexpr const char* kGcaOffloads = "pms_gca_offloads_total";
 constexpr const char* kGcaLocal = "pms_gca_local_total";
+constexpr const char* kSyncFailures = "pms_sync_failures_total";
+constexpr const char* kOutboxEnqueued = "pms_outbox_enqueued_total";
+constexpr const char* kOutboxDelivered = "pms_outbox_delivered_total";
+constexpr const char* kOutboxRecovered = "pms_outbox_recovered_total";
+constexpr const char* kOutboxEvicted = "pms_outbox_evicted_total";
+constexpr const char* kOutboxDepth = "pms_outbox_depth";
+
+/// Sync-failure kinds beyond the outbox's SyncKinds (direct sends).
+constexpr const char* kKindLabel = "label";
+constexpr const char* kKindWipe = "wipe";
+/// All kind labels pms_sync_failures_total is emitted under, for
+/// PmsStats::sync_failures aggregation.
+constexpr const char* kFailureKinds[] = {"profile", "place", "place_delete",
+                                         "route",   "encounter", "label",
+                                         "wipe"};
+
+/// Digest folding for dirty detection: order-dependent accumulate, seeded
+/// with the FNV offset basis so "never folded anything" is distinguishable.
+constexpr std::uint64_t kDigestBasis = 1469598103934665603ull;
+void fold(std::uint64_t& h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = kDigestBasis;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 
 }  // namespace
 
@@ -34,7 +65,8 @@ PmwareMobileService::PmwareMobileService(
               config_.inference, rng.fork(1)),
       local_gca_(config_.inference.gca),
       client_(std::move(client)),
-      instance_(telemetry::registry().next_instance_label("pms")) {
+      instance_(telemetry::registry().next_instance_label("pms")),
+      outbox_(config_.outbox) {
   engine_.set_place_event_sink([this](const PlaceEvent& event) {
     std::size_t delivered =
         apps_.deliver_place_event(event, place_store_, bus_);
@@ -73,6 +105,14 @@ PmsStats PmwareMobileService::stats() const {
   stats.token_refreshes = reg.counter_value(kTokenRefreshes, labels);
   stats.gca_offloads = reg.counter_value(kGcaOffloads, labels);
   stats.gca_local_runs = reg.counter_value(kGcaLocal, labels);
+  for (const char* kind : kFailureKinds)
+    stats.sync_failures += reg.counter_value(
+        kSyncFailures, {{"instance", instance_}, {"kind", kind}});
+  stats.outbox_enqueued = reg.counter_value(kOutboxEnqueued, labels);
+  stats.outbox_delivered = reg.counter_value(kOutboxDelivered, labels);
+  stats.outbox_recovered = reg.counter_value(kOutboxRecovered, labels);
+  stats.outbox_evicted = reg.counter_value(kOutboxEvicted, labels);
+  stats.outbox_pending = outbox_.size();
   return stats;
 }
 
@@ -88,6 +128,10 @@ net::HttpRequest PmwareMobileService::make_request(net::Method method,
 
 bool PmwareMobileService::register_with_cloud(SimTime now) {
   if (client_ == nullptr) return false;
+  // Remember that the caller wants this device registered: if this attempt
+  // fails (outage at study start), housekeeping keeps retrying — the
+  // /api/register endpoint is idempotent on (imei, email).
+  registration_wanted_ = true;
   net::HttpRequest request = make_request(net::Method::Post, "/api/register", now);
   request.body = Json::object();
   request.body.set("imei", config_.imei);
@@ -186,50 +230,177 @@ void PmwareMobileService::housekeeping(SimTime now) {
   // Sim time stands still during housekeeping — the span exists for its wall
   // cost and to parent the GCA offload/local spans opened underneath.
   telemetry::Span span(telemetry::tracer(), "pms.housekeeping", now);
-  // Refresh credentials first: the recluster below may offload to the cloud.
+  // A wanted-but-failed registration (outage at study start) retries here;
+  // everything downstream needs the user id and token it produces.
+  if (client_ != nullptr && registration_wanted_ && !user_id_)
+    register_with_cloud(now);
+  // Refresh credentials next: the recluster below may offload to the cloud.
   maybe_refresh_token(now);
   engine_.recluster(now);
   if (config_.cloud_sync && client_ != nullptr && user_id_) {
-    // Sync every completed day. Days already synced are re-PUT because each
-    // recluster can refine earlier days' visit logs; the PUT is idempotent.
     const std::int64_t up_to = day_of(now) - (time_of_day(now) == 0 ? 1 : 0);
-    for (std::int64_t day = 0; day <= up_to; ++day) sync_day(day, now);
+    enqueue_sync_work(up_to, now);
+    drain_outbox(now);
+  }
+}
 
-    // Sync place records (signatures may have shifted after recluster).
-    // The cloud resolves approximate coordinates via its geo-location
-    // service and echoes them back; cache them locally — geofencing and the
-    // map UI need positions on-device.
-    std::vector<std::pair<PlaceUid, geo::LatLng>> resolved;
-    for (const auto& [uid, record] : place_store_.records()) {
+void PmwareMobileService::enqueue_sync_work(std::int64_t up_to, SimTime now) {
+  // Dirty profile days. Each recluster can refine earlier days' visit logs,
+  // so completed days are re-checked — but only days whose content digest
+  // actually changed are re-PUT, not every day from 0 (the digests come
+  // from one pass over the logs, so a steady-state tick costs O(logs),
+  // not O(days * logs)).
+  day_digest_cache_ = day_digests(up_to);
+  for (std::int64_t day = 0; day <= up_to; ++day) {
+    const auto& [digest, any] = day_digest_cache_[static_cast<std::size_t>(day)];
+    if (!any) continue;  // empty profile: nothing to PUT (matches old skip)
+    const auto it = synced_day_digest_.find(day);
+    if (it != synced_day_digest_.end() && it->second == digest) continue;
+    enqueue(SyncKind::ProfileDay, static_cast<std::uint64_t>(day), 0, now);
+  }
+
+  // Dirty place records (signatures may have shifted after recluster, the
+  // user may have tagged a label). Dirtiness is the digest of the exact
+  // body deliver() would PUT.
+  for (const auto& [uid, record] : place_store_.records()) {
+    PlaceRecord stripped = record;
+    stripped.location.reset();
+    const std::uint64_t digest = fnv1a(to_json(stripped).dump());
+    const auto it = synced_place_digest_.find(uid);
+    if (it != synced_place_digest_.end() && it->second == digest) continue;
+    enqueue(SyncKind::PlaceUpsert, static_cast<std::uint64_t>(uid), 0, now);
+  }
+
+  // Journeys completed since the last tick; the log index doubles as the
+  // replay sequence number the cloud dedups on.
+  const auto& route_log = engine_.route_log();
+  for (; routes_enqueued_ < route_log.size(); ++routes_enqueued_)
+    enqueue(SyncKind::Route, static_cast<std::uint64_t>(routes_enqueued_), 0,
+            now);
+
+  // New social encounters, as one batch entry per drain backlog.
+  const auto& encounter_log = engine_.encounter_log();
+  if (encounters_enqueued_ < encounter_log.size()) {
+    enqueue(SyncKind::EncounterBatch,
+            static_cast<std::uint64_t>(encounters_enqueued_),
+            static_cast<std::uint64_t>(encounter_log.size()), now);
+    encounters_enqueued_ = encounter_log.size();
+  }
+}
+
+void PmwareMobileService::enqueue(SyncKind kind, std::uint64_t key,
+                                  std::uint64_t key2, SimTime now) {
+  const SyncOutbox::EnqueueResult result = outbox_.enqueue(kind, key, key2, now);
+  if (result.appended)
+    counter(kOutboxEnqueued, "sync work items queued in the outbox").inc();
+  if (result.evicted) {
+    counter(kOutboxEvicted,
+            "outbox entries dropped to capacity (oldest first)")
+        .inc();
+    // A dropped day/place re-detects as dirty next tick (its synced digest
+    // was never updated); dropped routes/encounters are honest data loss.
+    telemetry::slog_warn(
+        "pms", now, "outbox full (%zu): evicted %s key=%llu queued at %lld",
+        outbox_.config().capacity, kind_name(result.evicted->kind),
+        static_cast<unsigned long long>(result.evicted->key),
+        static_cast<long long>(result.evicted->enqueued_at));
+  }
+}
+
+void PmwareMobileService::drain_outbox(SimTime now) {
+  outbox_.drain([&](const OutboxEntry& entry) {
+    if (!deliver(entry, now)) {
+      record_sync_failure(entry.kind, 0, now);
+      return false;
+    }
+    counter(kOutboxDelivered, "outbox work items delivered to the cloud")
+        .inc();
+    if (entry.attempts > 0)
+      counter(kOutboxRecovered,
+              "outbox items delivered after one or more failed attempts")
+          .inc();
+    return true;
+  });
+  telemetry::registry()
+      .gauge(kOutboxDepth, {{"instance", instance_}},
+             "sync work items currently queued")
+      .set(static_cast<double>(outbox_.size()));
+}
+
+bool PmwareMobileService::deliver(const OutboxEntry& entry, SimTime now) {
+  switch (entry.kind) {
+    case SyncKind::ProfileDay: {
+      const auto day = static_cast<std::int64_t>(entry.key);
+      const MobilityProfile profile = profile_for(day);
+      if (profile.empty()) return true;  // refined away since enqueue
+      net::HttpRequest request = make_request(
+          net::Method::Put,
+          strfmt("/api/users/%u/profiles/%lld", *user_id_,
+                 static_cast<long long>(day)),
+          now);
+      request.body = to_json(profile);
+      if (!client_->send(request).ok()) return false;
+      counter(kProfileSyncs, "mobility-profile days synced to the cloud").inc();
+      if (static_cast<std::size_t>(day) < day_digest_cache_.size())
+        synced_day_digest_[day] =
+            day_digest_cache_[static_cast<std::size_t>(day)].first;
+      return true;
+    }
+    case SyncKind::PlaceUpsert: {
+      const auto uid = static_cast<PlaceUid>(entry.key);
+      const PlaceRecord* record = place_store_.get(uid);
+      if (record == nullptr) return true;  // forgotten since enqueue
+      // The body never carries the locally cached location: the cloud
+      // resolves coordinates from the signature in the body on every PUT,
+      // so cloud state is a pure function of the record content — a
+      // replayed upsert after an outage converges to the same bytes as the
+      // never-failed run (DESIGN.md "Failure model & recovery").
+      PlaceRecord stripped = *record;
+      stripped.location.reset();
       net::HttpRequest request = make_request(
           net::Method::Put,
           strfmt("/api/users/%u/places/%llu", *user_id_,
                  static_cast<unsigned long long>(uid)),
           now);
-      request.body = to_json(record);
+      request.body = to_json(stripped);
+      const std::uint64_t digest = fnv1a(request.body.dump());
       const net::HttpResponse response = client_->send(request);
-      if (response.ok() && response.body.contains("location") &&
-          !record.location)
-        resolved.emplace_back(uid,
-                              latlng_from_json(response.body.at("location")));
+      if (!response.ok()) return false;
+      // Cache the echoed resolution (geofencing and the map UI need
+      // positions on-device) — from every echo, so the local view follows
+      // the cloud's current resolution instead of pinning the first one.
+      if (response.body.contains("location")) {
+        if (PlaceRecord* mut = place_store_.get_mutable(uid))
+          mut->location = latlng_from_json(response.body.at("location"));
+      }
+      synced_place_digest_[uid] = digest;
+      return true;
     }
-    for (const auto& [uid, location] : resolved) {
-      if (PlaceRecord* record = place_store_.get_mutable(uid))
-        record->location = location;
+    case SyncKind::PlaceDelete: {
+      const auto uid = static_cast<PlaceUid>(entry.key);
+      const net::HttpResponse response = client_->send(make_request(
+          net::Method::Delete,
+          strfmt("/api/users/%u/places/%llu", *user_id_,
+                 static_cast<unsigned long long>(uid)),
+          now));
+      // 404 means an earlier attempt (or never-synced place) already left
+      // the cloud without it: done.
+      return response.ok() || response.status == net::kStatusNotFound;
     }
-
-    // Upload journeys completed since the last sync; the cloud's route
-    // store deduplicates repeats into canonical routes (paper §2.3.3).
-    const auto& route_log = engine_.route_log();
-    for (; routes_synced_ < route_log.size(); ++routes_synced_) {
-      const RouteEvent& event = route_log[routes_synced_];
+    case SyncKind::Route: {
+      const auto index = static_cast<std::size_t>(entry.key);
+      const auto& route_log = engine_.route_log();
+      if (index >= route_log.size()) return true;
+      const RouteEvent& event = route_log[index];
       const auto& canonical = engine_.routes().routes();
-      if (event.route_uid >= canonical.size()) continue;
+      if (event.route_uid >= canonical.size()) return true;  // not canonical
       const algorithms::RouteObservation& rep =
           canonical[event.route_uid].representative;
       net::HttpRequest request = make_request(
           net::Method::Post, strfmt("/api/users/%u/routes", *user_id_), now);
       request.body = Json::object();
+      // Replay guard: the cloud skips sequence numbers it already applied.
+      request.body.set("seq", entry.key);
       request.body.set("from", static_cast<std::uint64_t>(event.from));
       request.body.set("to", static_cast<std::uint64_t>(event.to));
       request.body.set("start", event.window.begin);
@@ -253,17 +424,19 @@ void PmwareMobileService::housekeeping(SimTime now) {
         }
         request.body.set("gps", std::move(gps));
       }
-      client_->send(request);
+      return client_->send(request).ok();
     }
-
-    // Upload new social encounters to the contacts endpoint.
-    const auto& encounter_log = engine_.encounter_log();
-    if (encounters_synced_ < encounter_log.size()) {
+    case SyncKind::EncounterBatch: {
+      const auto& encounter_log = engine_.encounter_log();
+      const std::size_t first = static_cast<std::size_t>(entry.key);
+      const std::size_t last =
+          std::min(static_cast<std::size_t>(entry.key2), encounter_log.size());
+      if (first >= last) return true;
       net::HttpRequest request = make_request(
           net::Method::Post, strfmt("/api/users/%u/contacts", *user_id_), now);
       Json encounters = Json::array();
-      for (; encounters_synced_ < encounter_log.size(); ++encounters_synced_) {
-        const EncounterEvent& event = encounter_log[encounters_synced_];
+      for (std::size_t i = first; i < last; ++i) {
+        const EncounterEvent& event = encounter_log[i];
         Json e = Json::object();
         e.set("contact", static_cast<std::uint64_t>(event.contact));
         e.set("place", static_cast<std::uint64_t>(event.place));
@@ -272,23 +445,93 @@ void PmwareMobileService::housekeeping(SimTime now) {
         encounters.push_back(std::move(e));
       }
       request.body = Json::object();
+      // Replay guard: the cloud trims entries below its high-water mark.
+      request.body.set("first_index", entry.key);
       request.body.set("encounters", std::move(encounters));
-      client_->send(request);
+      return client_->send(request).ok();
     }
   }
+  return true;
 }
 
-void PmwareMobileService::sync_day(std::int64_t day, SimTime now) {
-  const MobilityProfile profile = profile_for(day);
-  if (profile.empty()) return;
-  net::HttpRequest request = make_request(
-      net::Method::Put,
-      strfmt("/api/users/%u/profiles/%lld", *user_id_,
-             static_cast<long long>(day)),
-      now);
-  request.body = to_json(profile);
-  if (client_->send(request).ok())
-    counter(kProfileSyncs, "mobility-profile days synced to the cloud").inc();
+void PmwareMobileService::record_sync_failure(SyncKind kind, int status,
+                                              SimTime now) {
+  telemetry::registry()
+      .counter(kSyncFailures,
+               {{"instance", instance_}, {"kind", kind_name(kind)}},
+               "sync sends that failed (parked in the outbox for replay)")
+      .inc();
+  telemetry::slog_warn("pms", now, "%s sync failed (status %d); outbox holds %zu",
+                       kind_name(kind), status, outbox_.size());
+}
+
+std::vector<std::pair<std::uint64_t, bool>> PmwareMobileService::day_digests(
+    std::int64_t up_to) const {
+  std::vector<std::pair<std::uint64_t, bool>> digests(
+      up_to < 0 ? 0 : static_cast<std::size_t>(up_to) + 1,
+      {kDigestBasis, false});
+  if (digests.empty()) return digests;
+  // One pass over each log, folding every entry into the digests of the
+  // days it contributes to — the same inclusion rules as profile_for():
+  // visits clamp to the day and must meet the dwell minimum; routes and
+  // encounters contribute their unclamped windows to every day they
+  // overlap. Day windows are half-open, so an event's last touched day is
+  // day_of(end - 1) — except zero-length windows, which overlaps() counts
+  // on their single day.
+  const auto touched_days = [&](const TimeWindow& w,
+                                const auto& per_day) {
+    const std::int64_t first = std::max<std::int64_t>(0, day_of(w.begin));
+    const std::int64_t last =
+        std::min(up_to, day_of(std::max(w.end - 1, w.begin)));
+    for (std::int64_t day = first; day <= last; ++day)
+      per_day(day, TimeWindow{start_of_day(day), start_of_day(day + 1)});
+  };
+  for (const auto& visit : engine_.visit_log()) {
+    touched_days(visit.window, [&](std::int64_t day, const TimeWindow& dw) {
+      if (visit.window.overlap_length(dw) < config_.inference.min_visit_dwell)
+        return;
+      auto& [h, any] = digests[static_cast<std::size_t>(day)];
+      fold(h, 1);  // domain tag: visit
+      fold(h, static_cast<std::uint64_t>(visit.uid));
+      fold(h, static_cast<std::uint64_t>(std::max(visit.window.begin, dw.begin)));
+      fold(h, static_cast<std::uint64_t>(std::min(visit.window.end, dw.end)));
+      any = true;
+    });
+  }
+  for (const auto& route : engine_.route_log()) {
+    touched_days(route.window, [&](std::int64_t day, const TimeWindow& dw) {
+      if (!route.window.overlaps(dw)) return;
+      auto& [h, any] = digests[static_cast<std::size_t>(day)];
+      fold(h, 2);  // domain tag: route
+      fold(h, static_cast<std::uint64_t>(route.route_uid));
+      fold(h, static_cast<std::uint64_t>(route.window.begin));
+      fold(h, static_cast<std::uint64_t>(route.window.end));
+      any = true;
+    });
+  }
+  for (const auto& enc : engine_.encounter_log()) {
+    touched_days(enc.window, [&](std::int64_t day, const TimeWindow& dw) {
+      if (!enc.window.overlaps(dw)) return;
+      auto& [h, any] = digests[static_cast<std::size_t>(day)];
+      fold(h, 3);  // domain tag: encounter
+      fold(h, static_cast<std::uint64_t>(enc.contact));
+      fold(h, static_cast<std::uint64_t>(enc.place));
+      fold(h, static_cast<std::uint64_t>(enc.window.begin));
+      fold(h, static_cast<std::uint64_t>(enc.window.end));
+      any = true;
+    });
+  }
+  for (std::int64_t day = 0; day <= up_to; ++day) {
+    const ActivitySummary activity = engine_.activity_for(day);
+    if (activity.empty()) continue;
+    auto& [h, any] = digests[static_cast<std::size_t>(day)];
+    fold(h, 4);  // domain tag: activity
+    fold(h, static_cast<std::uint64_t>(activity.still));
+    fold(h, static_cast<std::uint64_t>(activity.walking));
+    fold(h, static_cast<std::uint64_t>(activity.vehicle));
+    any = true;
+  }
+  return digests;
 }
 
 MobilityProfile PmwareMobileService::profile_for(std::int64_t day) const {
@@ -329,7 +572,19 @@ bool PmwareMobileService::tag_place(PlaceUid uid, const std::string& label,
         now);
     request.body = Json::object();
     request.body.set("label", label);
-    client_->send(request);
+    const net::HttpResponse response = client_->send(request);
+    if (!response.ok()) {
+      // No outbox entry needed: the label rides the place record, whose
+      // digest just changed — the next housekeeping tick re-upserts it.
+      telemetry::registry()
+          .counter(kSyncFailures,
+                   {{"instance", instance_}, {"kind", kKindLabel}},
+                   "sync sends that failed (parked in the outbox for replay)")
+          .inc();
+      telemetry::slog_warn("pms", now, "label sync for place %llu failed (%d)",
+                           static_cast<unsigned long long>(uid),
+                           response.status);
+    }
   }
   return true;
 }
@@ -338,12 +593,20 @@ bool PmwareMobileService::forget_place(PlaceUid uid, SimTime now) {
   if (place_store_.get(uid) == nullptr) return false;
   place_store_.erase(uid);
   engine_.forget_place(uid);
+  // A queued upsert must not resurrect the place on replay, and the stale
+  // digest must not suppress a future re-discovery's upsert.
+  outbox_.remove(SyncKind::PlaceUpsert, static_cast<std::uint64_t>(uid));
+  synced_place_digest_.erase(uid);
   if (client_ != nullptr && user_id_) {
-    client_->send(make_request(
+    const net::HttpResponse response = client_->send(make_request(
         net::Method::Delete,
         strfmt("/api/users/%u/places/%llu", *user_id_,
                static_cast<unsigned long long>(uid)),
         now));
+    if (!response.ok() && response.status != net::kStatusNotFound) {
+      record_sync_failure(SyncKind::PlaceDelete, response.status, now);
+      enqueue(SyncKind::PlaceDelete, static_cast<std::uint64_t>(uid), 0, now);
+    }
   }
   return true;
 }
@@ -352,6 +615,13 @@ bool PmwareMobileService::wipe_cloud_data(SimTime now) {
   if (client_ == nullptr || !user_id_) return false;
   const net::HttpResponse response = client_->send(
       make_request(net::Method::Delete, strfmt("/api/users/%u", *user_id_), now));
+  if (!response.ok()) {
+    telemetry::registry()
+        .counter(kSyncFailures, {{"instance", instance_}, {"kind", kKindWipe}},
+                 "sync sends that failed (parked in the outbox for replay)")
+        .inc();
+    telemetry::slog_warn("pms", now, "cloud wipe failed (%d)", response.status);
+  }
   return response.ok();
 }
 
@@ -359,8 +629,10 @@ void PmwareMobileService::shutdown(SimTime now) {
   engine_.flush(now);
   housekeeping(now);
   if (config_.cloud_sync && client_ != nullptr && user_id_) {
-    // Final day may be partial; sync it too.
-    sync_day(day_of(now), now);
+    // The final day may be partial (housekeeping above only covered
+    // completed days); queue it plus anything still parked, and drain.
+    enqueue_sync_work(day_of(now), now);
+    drain_outbox(now);
   }
 }
 

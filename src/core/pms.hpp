@@ -4,13 +4,18 @@
 // connected-apps module, and the REST link to the cloud instance.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/connected_apps.hpp"
 #include "core/inference_engine.hpp"
 #include "core/intents.hpp"
+#include "core/outbox.hpp"
 #include "core/place_store.hpp"
 #include "core/preferences.hpp"
 #include "energy/meter.hpp"
@@ -30,6 +35,9 @@ struct PmsConfig {
   bool offload_gca = true;
   /// Sync profiles/places to the cloud during housekeeping.
   bool cloud_sync = true;
+  /// Store-and-forward queue for failed syncs (DESIGN.md "Failure model &
+  /// recovery").
+  OutboxConfig outbox;
   energy::PowerProfile power = energy::PowerProfile::htc_explorer();
 };
 
@@ -44,6 +52,12 @@ struct PmsStats {
   std::size_t token_refreshes = 0;
   std::size_t gca_offloads = 0;
   std::size_t gca_local_runs = 0;
+  std::size_t sync_failures = 0;     ///< failed sync sends, all kinds
+  std::size_t outbox_enqueued = 0;   ///< work items queued for delivery
+  std::size_t outbox_delivered = 0;  ///< work items drained successfully
+  std::size_t outbox_recovered = 0;  ///< delivered after >= 1 failed attempt
+  std::size_t outbox_evicted = 0;    ///< dropped to capacity (data at risk)
+  std::size_t outbox_pending = 0;    ///< still queued (lost if never drained)
 };
 
 class PmwareMobileService {
@@ -102,6 +116,8 @@ class PmwareMobileService {
   const std::string& instance_label() const { return instance_; }
   net::RestClient* client() { return client_.get(); }
   sensing::SamplingScheduler& scheduler() { return scheduler_; }
+  /// Pending store-and-forward sync work (empty once the cloud caught up).
+  const SyncOutbox& outbox() const { return outbox_; }
 
   /// Supplies peer positions for Bluetooth social discovery.
   void set_peer_provider(InferenceEngine::PeerProvider provider) {
@@ -113,12 +129,28 @@ class PmwareMobileService {
   telemetry::Counter& counter(const char* name, const char* help) const;
 
   void housekeeping(SimTime now);
-  void sync_day(std::int64_t day, SimTime now);
   void maybe_refresh_token(SimTime now);
   net::HttpRequest make_request(net::Method method, std::string path,
                                 SimTime now) const;
   algorithms::GcaResult offloaded_gca(
       std::span<const algorithms::CellObservation> observations, SimTime now);
+
+  // --- Fault-tolerant sync pipeline (DESIGN.md "Failure model & recovery").
+  /// Detects dirty state (changed profile days / place records, new routes
+  /// and encounters) and queues it; refreshes day_digest_cache_.
+  void enqueue_sync_work(std::int64_t up_to, SimTime now);
+  /// Enqueue with eviction/telemetry bookkeeping.
+  void enqueue(SyncKind kind, std::uint64_t key, std::uint64_t key2,
+               SimTime now);
+  /// FIFO-delivers queued work until the first failure.
+  void drain_outbox(SimTime now);
+  /// Sends one outbox entry, serializing CURRENT local state.
+  bool deliver(const OutboxEntry& entry, SimTime now);
+  void record_sync_failure(SyncKind kind, int status, SimTime now);
+  /// Per-day content digests for days [0, up_to], one pass over the logs;
+  /// .second is false for days whose profile would be empty.
+  std::vector<std::pair<std::uint64_t, bool>> day_digests(
+      std::int64_t up_to) const;
 
   PmsConfig config_;
   std::unique_ptr<sensing::Device> device_;
@@ -137,8 +169,21 @@ class PmwareMobileService {
 
   std::optional<world::DeviceId> user_id_;
   SimTime token_expires_ = 0;
-  std::size_t routes_synced_ = 0;      ///< route_log entries already uploaded
-  std::size_t encounters_synced_ = 0;  ///< encounter_log entries uploaded
+  /// Set by an explicit register_with_cloud() call; housekeeping retries
+  /// registration only when it is wanted but failed — a PMS whose caller
+  /// never registered must not register itself.
+  bool registration_wanted_ = false;
+
+  SyncOutbox outbox_;
+  std::size_t routes_enqueued_ = 0;      ///< route_log entries queued so far
+  std::size_t encounters_enqueued_ = 0;  ///< encounter_log entries queued
+  /// Content digest of each day's profile / place record as last
+  /// successfully PUT; differences drive re-sync (replaces the old
+  /// "re-PUT everything from day 0 every tick" loop).
+  std::map<std::int64_t, std::uint64_t> synced_day_digest_;
+  std::map<PlaceUid, std::uint64_t> synced_place_digest_;
+  /// Refreshed by enqueue_sync_work each tick; deliver() records from it.
+  std::vector<std::pair<std::uint64_t, bool>> day_digest_cache_;
 };
 
 }  // namespace pmware::core

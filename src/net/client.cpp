@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/fault.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -17,77 +18,131 @@ constexpr const char* kFailures = "net_failures_total";
 constexpr const char* kRetries = "net_retries_total";
 constexpr const char* kBytesSent = "net_bytes_sent_total";
 constexpr const char* kLatency = "net_sim_latency_seconds_total";
+constexpr const char* kBackoff = "net_backoff_seconds_total";
+constexpr const char* kBreakerOpens = "net_breaker_open_total";
+constexpr const char* kBreakerFastFails = "net_breaker_fast_fail_total";
+constexpr const char* kBreakerState = "net_breaker_state";
 
 LabelSet instance_labels(const std::string& instance) {
   return {{"instance", instance}};
 }
 
-/// Path with all-digit segments collapsed to ":n", so client span names
-/// aggregate per endpoint in flame output instead of fragmenting per user
-/// ("/api/users/7/places" -> "/api/users/:n/places").
-std::string generalized_path(const std::string& path) {
-  std::string out;
-  out.reserve(path.size());
-  std::size_t i = 0;
-  while (i < path.size()) {
-    if (path[i] != '/') {
-      out += path[i++];
-      continue;
-    }
-    std::size_t j = i + 1;
-    while (j < path.size() && path[j] != '/') ++j;
-    const bool numeric =
-        j > i + 1 && std::all_of(path.begin() + static_cast<std::ptrdiff_t>(i) + 1,
-                                 path.begin() + static_cast<std::ptrdiff_t>(j),
-                                 [](char c) { return c >= '0' && c <= '9'; });
-    out += numeric ? std::string("/:n") : path.substr(i, j - i);
-    i = j;
-  }
-  return out;
-}
-
 }  // namespace
+
+const char* to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::Closed: return "closed";
+    case BreakerState::Open: return "open";
+    case BreakerState::HalfOpen: return "half-open";
+  }
+  return "?";
+}
 
 RestClient::RestClient(const Router* server, NetworkConditions conditions,
                        Rng rng)
     : server_(server),
       conditions_(conditions),
       rng_(rng),
-      instance_(registry().next_instance_label("c")) {}
+      instance_(registry().next_instance_label("c")) {
+  enter_state(BreakerState::Closed);
+}
+
+void RestClient::enter_state(BreakerState state) {
+  state_ = state;
+  registry()
+      .gauge(kBreakerState, instance_labels(instance_),
+             "circuit breaker state: 0 closed, 1 open, 2 half-open")
+      .set(static_cast<double>(state));
+}
+
+void RestClient::record_outcome(bool delivered, SimTime sim_now) {
+  if (breaker_.failure_threshold <= 0) return;  // breaker disabled
+  if (delivered) {
+    consecutive_failures_ = 0;
+    if (state_ != BreakerState::Closed) enter_state(BreakerState::Closed);
+    return;
+  }
+  ++consecutive_failures_;
+  // A failed half-open probe re-opens immediately; a closed breaker opens
+  // once the consecutive-failure threshold is met.
+  if (state_ == BreakerState::HalfOpen ||
+      consecutive_failures_ >= breaker_.failure_threshold) {
+    enter_state(BreakerState::Open);
+    open_until_ = sim_now + breaker_.cooldown_s;
+    registry()
+        .counter(kBreakerOpens, instance_labels(instance_),
+                 "circuit breaker transitions to open")
+        .inc();
+  }
+}
 
 HttpResponse RestClient::send(const HttpRequest& request, int max_retries) {
+  const SimTime sim_now = request.sim_time();
+  auto& reg = registry();
+  const LabelSet labels = instance_labels(instance_);
+
+  // Breaker gate: while open and inside the cooldown, fail fast without
+  // consuming RNG draws or network counters — callers see an ordinary 503
+  // and fall back (GCA runs locally, PMS parks work in its outbox). Once
+  // the cooldown elapses the next send() becomes the half-open probe.
+  if (breaker_.failure_threshold > 0 && state_ == BreakerState::Open) {
+    if (sim_now < open_until_) {
+      reg.counter(kBreakerFastFails, labels,
+                  "sends rejected while the circuit breaker was open")
+          .inc();
+      return HttpResponse::error(kStatusServiceUnavailable,
+                                 "circuit breaker open");
+    }
+    enter_state(BreakerState::HalfOpen);
+  }
+
   HttpRequest outgoing = request;
   if (!token_.empty() && outgoing.headers.find("Authorization") ==
                              outgoing.headers.end())
     outgoing.headers["Authorization"] = "Bearer " + token_;
 
-  // One client span covers the request including retries. It nests under
-  // whatever span the calling thread has open (pms.housekeeping, a GCA
-  // offload, ...) or roots a fresh trace, and its context rides the
+  // A half-open breaker admits exactly one probe: no retries, so a dead
+  // server costs one round-trip per cooldown instead of a full retry burst.
+  int retries = max_retries >= 0 ? max_retries : retry_.max_retries;
+  if (state_ == BreakerState::HalfOpen) retries = 0;
+
+  // One client span covers the request including retries and backoff. It
+  // nests under whatever span the calling thread has open (pms.housekeeping,
+  // a GCA offload, ...) or roots a fresh trace, and its context rides the
   // trace-context headers so the server-side handler span joins the same
   // tree — the device↔cloud boundary stays one causal trace.
-  const SimTime sim_now = outgoing.sim_time();
   telemetry::Span span(telemetry::tracer(),
                        std::string("net.send ") + to_string(outgoing.method) +
                            " " + generalized_path(outgoing.path),
                        sim_now);
   outgoing.set_trace_context(telemetry::tracer().current_context());
 
-  auto& reg = registry();
-  const LabelSet labels = instance_labels(instance_);
   const std::size_t body_bytes = outgoing.body.dump().size();
 
   HttpResponse response =
       HttpResponse::error(kStatusServiceUnavailable, "network unreachable");
-  // In simulated time the request costs one round-trip per attempt.
-  auto finish_span = [&](int attempts) {
-    span.finish(sim_now + conditions_.latency_s * attempts);
-  };
-  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+  // Simulated elapsed time: one round-trip per attempt, plus backoff waits,
+  // plus any server-injected latency.
+  SimDuration elapsed = 0;
+  for (int attempt = 0; attempt <= retries; ++attempt) {
+    if (attempt > 0) {
+      SimDuration backoff = retry_.backoff_base_s;
+      for (int i = 1; i < attempt && backoff < retry_.backoff_cap_s; ++i)
+        backoff *= 2;
+      backoff = std::min(backoff, retry_.backoff_cap_s);
+      if (retry_.jitter > 0.0 && backoff > 0) {
+        const auto max_jitter =
+            static_cast<SimDuration>(retry_.jitter * static_cast<double>(backoff));
+        if (max_jitter > 0) backoff += rng_.uniform_int(0, max_jitter);
+      }
+      elapsed += backoff;
+      reg.counter(kBackoff, labels,
+                  "simulated seconds spent in retry backoff waits")
+          .inc(static_cast<std::uint64_t>(backoff));
+      reg.counter(kRetries, labels, "REST retries after transport loss").inc();
+    }
     reg.counter(kRequests, labels, "REST requests attempted (incl. retries)")
         .inc();
-    if (attempt > 0)
-      reg.counter(kRetries, labels, "REST retries after transport loss").inc();
     reg.counter(kBytesSent, labels, "serialized JSON body bytes sent")
         .inc(body_bytes);
     reg.histogram("net_request_bytes", {}, 0, 4096, 16,
@@ -95,15 +150,27 @@ HttpResponse RestClient::send(const HttpRequest& request, int max_retries) {
         .observe(static_cast<double>(body_bytes));
     reg.counter(kLatency, labels, "simulated round-trip seconds accumulated")
         .inc(static_cast<std::uint64_t>(conditions_.latency_s));
+    elapsed += conditions_.latency_s;
+    // Sim-time is frozen across this loop, so retries of one logical request
+    // are byte-identical; the attempt header is what lets a deterministic
+    // server-side fault roll (net/fault.hpp) treat each retry as fresh.
+    outgoing.headers[kAttemptHeader] = std::to_string(attempt);
     if (rng_.bernoulli(conditions_.failure_prob)) {
       reg.counter(kFailures, labels, "transport-level losses observed").inc();
       continue;  // request lost; retry
     }
     response = server_->handle(outgoing);
-    finish_span(attempt + 1);
-    return response;
+    if (response.sim_latency_s > 0) {
+      reg.counter(kLatency, labels, "simulated round-trip seconds accumulated")
+          .inc(static_cast<std::uint64_t>(response.sim_latency_s));
+      elapsed += response.sim_latency_s;
+    }
+    // A server 503 (outage window, injected error) is as retryable as a
+    // transport loss; any other status means the service answered.
+    if (response.status != kStatusServiceUnavailable) break;
   }
-  finish_span(max_retries + 1);
+  span.finish(sim_now + elapsed);
+  record_outcome(response.status != kStatusServiceUnavailable, sim_now);
   return response;
 }
 
@@ -117,6 +184,9 @@ ClientStats RestClient::stats() const {
   stats.bytes_sent = reg.counter_value(kBytesSent, labels);
   stats.total_latency =
       static_cast<SimDuration>(reg.counter_value(kLatency, labels));
+  stats.backoff_s = static_cast<SimDuration>(reg.counter_value(kBackoff, labels));
+  stats.breaker_opens = reg.counter_value(kBreakerOpens, labels);
+  stats.breaker_fast_fails = reg.counter_value(kBreakerFastFails, labels);
   return stats;
 }
 

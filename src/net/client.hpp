@@ -1,6 +1,8 @@
 // REST client with simulated network conditions: latency, transient
-// failures, and retry with backoff — the PMS communication-management
-// module's transport (paper §2.2.5).
+// failures, deterministic exponential backoff with jitter, and a per-client
+// circuit breaker — the PMS communication-management module's transport
+// (paper §2.2.5). Breaker state machine and backoff semantics are
+// documented in DESIGN.md "Failure model & recovery".
 #pragma once
 
 #include <cstddef>
@@ -19,6 +21,30 @@ struct NetworkConditions {
   SimDuration latency_s = 0;       ///< simulated round-trip, whole seconds
 };
 
+/// Retry schedule: attempt k (1-based retry) waits
+/// min(backoff_base_s * 2^(k-1), backoff_cap_s) plus a uniform jitter draw
+/// in [0, jitter * backoff] simulated seconds. All waits are sim-time only
+/// (accumulated into latency accounting), never wall-clock.
+struct RetryPolicy {
+  int max_retries = 2;
+  SimDuration backoff_base_s = 2;
+  SimDuration backoff_cap_s = 60;
+  double jitter = 0.5;  ///< fraction of the backoff drawn as jitter; 0 = none
+};
+
+/// Circuit breaker: after `failure_threshold` consecutive failed send()
+/// calls (final status 503) the breaker opens and send() fast-fails without
+/// touching the network until `cooldown_s` of sim-time has passed; the next
+/// send() then runs as a single half-open probe that closes the breaker on
+/// success or re-opens it for another cooldown on failure.
+struct BreakerPolicy {
+  int failure_threshold = 5;   ///< <= 0 disables the breaker
+  SimDuration cooldown_s = minutes(5);
+};
+
+enum class BreakerState { Closed = 0, Open = 1, HalfOpen = 2 };
+const char* to_string(BreakerState s);
+
 /// Per-client transport totals. Since the telemetry subsystem landed this is
 /// a *view*: the source of truth is the process-wide metrics registry
 /// (net_* families, labeled by client instance); stats() assembles it on
@@ -29,6 +55,9 @@ struct ClientStats {
   std::size_t retries = 0;
   std::size_t bytes_sent = 0; ///< serialized JSON body bytes
   SimDuration total_latency = 0;
+  SimDuration backoff_s = 0;         ///< sim-seconds spent waiting to retry
+  std::size_t breaker_opens = 0;     ///< closed/half-open -> open transitions
+  std::size_t breaker_fast_fails = 0;///< sends rejected while open
 };
 
 class RestClient {
@@ -36,10 +65,12 @@ class RestClient {
   /// `server` must outlive the client.
   RestClient(const Router* server, NetworkConditions conditions, Rng rng);
 
-  /// Sends a request; transparently retries transport failures up to
-  /// `max_retries` times. Returns the final response (503 if all attempts
-  /// were lost).
-  HttpResponse send(const HttpRequest& request, int max_retries = 2);
+  /// Sends a request; transparently retries transport failures and server
+  /// 503s with capped exponential backoff. `max_retries` = -1 (default)
+  /// uses the RetryPolicy; an explicit value overrides the attempt budget
+  /// for this call only. Returns the final response (503 if every attempt
+  /// failed, or immediately if the circuit breaker is open).
+  HttpResponse send(const HttpRequest& request, int max_retries = -1);
 
   /// Assembled from the metrics registry (family "net_*", this client's
   /// instance label); zeros after telemetry::registry().reset().
@@ -53,12 +84,31 @@ class RestClient {
   void set_auth_token(std::string token) { token_ = std::move(token); }
   const std::string& auth_token() const { return token_; }
 
+  void set_network_conditions(NetworkConditions conditions) {
+    conditions_ = conditions;
+  }
+  const NetworkConditions& network_conditions() const { return conditions_; }
+  void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+  void set_breaker_policy(BreakerPolicy policy) { breaker_ = policy; }
+  const BreakerPolicy& breaker_policy() const { return breaker_; }
+
+  BreakerState breaker_state() const { return state_; }
+
  private:
+  void enter_state(BreakerState state);
+  void record_outcome(bool delivered, SimTime sim_now);
+
   const Router* server_;
   NetworkConditions conditions_;
   Rng rng_;
   std::string instance_;  ///< registry label isolating this client's series
   std::string token_;
+  RetryPolicy retry_;
+  BreakerPolicy breaker_;
+  BreakerState state_ = BreakerState::Closed;
+  int consecutive_failures_ = 0;
+  SimTime open_until_ = 0;  ///< sim-time the open breaker admits a probe
 };
 
 }  // namespace pmware::net

@@ -1,0 +1,213 @@
+#include "net/fault.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace pmware::net {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Deterministic per-(request, attempt, rule) roll in [0, 1). The inputs are
+/// everything that distinguishes one logical request from another WITHOUT
+/// being thread-schedule dependent: sim-time, the generalized path (concrete
+/// user ids are registration-order-assigned, so they must not participate),
+/// the body bytes (distinguish same-route requests within one frozen
+/// housekeeping tick), the client's attempt counter (so retries re-roll),
+/// and the rule index (so overlapping rules roll independently).
+double fault_roll(std::uint64_t seed, const HttpRequest& request,
+                  const std::string& gpath, std::size_t rule_index) {
+  std::uint64_t h = seed;
+  h = splitmix64(h ^ static_cast<std::uint64_t>(request.sim_time()));
+  h = splitmix64(h ^ fnv1a(gpath));
+  h = splitmix64(h ^ fnv1a(request.body.dump()));
+  const auto it = request.headers.find(kAttemptHeader);
+  const std::uint64_t attempt =
+      it == request.headers.end()
+          ? 0
+          : static_cast<std::uint64_t>(std::atoll(it->second.c_str()));
+  h = splitmix64(h ^ attempt);
+  h = splitmix64(h ^ static_cast<std::uint64_t>(rule_index));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Parses "90", "30s", "5m", "6h", "2d" into seconds.
+SimDuration parse_duration(const std::string& text) {
+  if (text.empty()) throw std::invalid_argument("fault plan: empty time");
+  std::size_t suffix = 0;
+  SimDuration scale = 1;
+  switch (text.back()) {
+    case 's': suffix = 1; scale = 1; break;
+    case 'm': suffix = 1; scale = 60; break;
+    case 'h': suffix = 1; scale = 3600; break;
+    case 'd': suffix = 1; scale = 86400; break;
+    default: break;
+  }
+  const std::string digits = text.substr(0, text.size() - suffix);
+  if (digits.empty() ||
+      !std::all_of(digits.begin(), digits.end(),
+                   [](char c) { return c >= '0' && c <= '9'; }))
+    throw std::invalid_argument("fault plan: bad time '" + text + "'");
+  return static_cast<SimDuration>(std::strtoll(digits.c_str(), nullptr, 10)) *
+         scale;
+}
+
+std::string render_time(SimTime t) {
+  if (t == std::numeric_limits<SimTime>::max()) return "inf";
+  if (t != 0 && t % 86400 == 0) return std::to_string(t / 86400) + "d";
+  return std::to_string(t) + "s";
+}
+
+}  // namespace
+
+std::string generalized_path(const std::string& path) {
+  std::string out;
+  out.reserve(path.size());
+  std::size_t i = 0;
+  while (i < path.size()) {
+    if (path[i] != '/') {
+      out += path[i++];
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < path.size() && path[j] != '/') ++j;
+    const bool numeric =
+        j > i + 1 && std::all_of(path.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                                 path.begin() + static_cast<std::ptrdiff_t>(j),
+                                 [](char c) { return c >= '0' && c <= '9'; });
+    out += numeric ? std::string("/:n") : path.substr(i, j - i);
+    i = j;
+  }
+  return out;
+}
+
+FaultOutcome FaultPlan::evaluate(const HttpRequest& request) const {
+  FaultOutcome outcome;
+  if (rules.empty()) return outcome;
+  const SimTime now = request.sim_time();
+  const std::string gpath = generalized_path(request.path);
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const FaultRule& rule = rules[i];
+    if (now < rule.from || now >= rule.to) continue;
+    if (!rule.route.empty() && gpath.find(rule.route) == std::string::npos)
+      continue;
+    outcome.added_latency_s += rule.added_latency_s;
+    if (outcome.reject || rule.error_prob <= 0.0) continue;
+    // error=1 short-circuits the roll: hard outages must not depend on the
+    // hash, and skipping it keeps full-outage plans cheap.
+    if (rule.error_prob >= 1.0 ||
+        fault_roll(seed, request, gpath, i) < rule.error_prob)
+      outcome.reject = HttpResponse::error(rule.status, "injected fault");
+  }
+  return outcome;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::string trimmed;
+  for (char c : spec)
+    if (!std::isspace(static_cast<unsigned char>(c))) trimmed += c;
+  if (trimmed.empty()) return plan;
+
+  std::stringstream rules_in(trimmed);
+  std::string rule_text;
+  while (std::getline(rules_in, rule_text, ';')) {
+    if (rule_text.empty()) continue;
+    FaultRule rule;
+    bool rule_has_fields = false;  // a "seed=N" segment is not a rule
+    std::stringstream fields_in(rule_text);
+    std::string field;
+    while (std::getline(fields_in, field, ',')) {
+      const std::size_t eq = field.find('=');
+      if (eq == std::string::npos)
+        throw std::invalid_argument("fault plan: expected key=value in '" +
+                                    field + "'");
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      rule_has_fields |= key != "seed";
+      if (key == "outage") {
+        const std::size_t dots = value.find("..");
+        if (dots == std::string::npos)
+          throw std::invalid_argument("fault plan: outage wants A..B, got '" +
+                                      value + "'");
+        rule.from = parse_duration(value.substr(0, dots));
+        rule.to = parse_duration(value.substr(dots + 2));
+        rule.error_prob = 1.0;
+      } else if (key == "route") {
+        rule.route = value;
+      } else if (key == "from") {
+        rule.from = parse_duration(value);
+      } else if (key == "to") {
+        rule.to = parse_duration(value);
+      } else if (key == "error") {
+        char* end = nullptr;
+        rule.error_prob = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0' || rule.error_prob < 0.0 ||
+            rule.error_prob > 1.0)
+          throw std::invalid_argument("fault plan: error wants 0..1, got '" +
+                                      value + "'");
+      } else if (key == "status") {
+        rule.status = static_cast<int>(parse_duration(value));
+        if (rule.status < 400 || rule.status > 599)
+          throw std::invalid_argument("fault plan: status wants 4xx/5xx, got '" +
+                                      value + "'");
+      } else if (key == "latency") {
+        rule.added_latency_s = parse_duration(value);
+      } else if (key == "seed") {
+        plan.seed = static_cast<std::uint64_t>(parse_duration(value));
+      } else {
+        throw std::invalid_argument("fault plan: unknown field '" + key + "'");
+      }
+    }
+    if (!rule_has_fields) continue;
+    if (rule.from >= rule.to)
+      throw std::invalid_argument("fault plan: empty window in '" + rule_text +
+                                  "'");
+    plan.rules.push_back(std::move(rule));
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  if (rules.empty()) return "none";
+  std::string out;
+  for (const FaultRule& rule : rules) {
+    if (!out.empty()) out += "; ";
+    if (rule.error_prob >= 1.0) {
+      out += "outage";
+    } else if (rule.error_prob > 0.0) {
+      std::ostringstream prob;
+      prob << rule.error_prob;
+      out += "error=" + prob.str();
+    } else {
+      out += "latency-only";
+    }
+    if (!rule.route.empty()) out += " route~" + rule.route;
+    out += " [" + render_time(rule.from) + ".." + render_time(rule.to) + ")";
+    if (rule.added_latency_s > 0)
+      out += " +" + std::to_string(rule.added_latency_s) + "s";
+    if (rule.status != kStatusServiceUnavailable)
+      out += " status=" + std::to_string(rule.status);
+  }
+  return out;
+}
+
+}  // namespace pmware::net

@@ -1,0 +1,85 @@
+// Scriptable server-side fault injection for the simulated REST transport:
+// outage windows, per-route error rates, and added latency. Failures
+// originate at the cloud's router (before auth and handlers run), so a
+// client-observed injected error implies the handler never executed —
+// retrying is always safe.
+//
+// Decisions are DETERMINISTIC: an error-rate rule rolls a hash of
+// (plan seed, request sim-time, generalized path, body bytes, attempt
+// number, rule index), never a shared RNG, so fault outcomes are identical
+// across thread and shard counts (DESIGN.md "Failure model & recovery").
+// Retries carry an incrementing X-PMWare-Attempt header, so a retry within
+// one frozen-sim-time housekeeping tick re-rolls instead of re-losing.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/http.hpp"
+
+namespace pmware::net {
+
+/// One fault rule. A rule applies when the request's sim-time lies in
+/// [from, to) AND `route` (if non-empty) is a substring of the request's
+/// generalized path ("/api/users/7/places/12" -> "/api/users/:n/places/:n").
+struct FaultRule {
+  std::string route;  ///< substring of the generalized path; empty = all
+  SimTime from = 0;   ///< active window, inclusive
+  SimTime to = std::numeric_limits<SimTime>::max();  ///< exclusive
+  double error_prob = 0.0;   ///< 1.0 = hard outage, 0.0 = latency-only rule
+  int status = kStatusServiceUnavailable;  ///< status of injected errors
+  SimDuration added_latency_s = 0;  ///< extra simulated seconds per request
+};
+
+/// What the router's fault injector decided for one request: either pass
+/// the request through (possibly with added simulated latency stamped on
+/// the eventual response) or short-circuit with an injected error.
+struct FaultOutcome {
+  std::optional<HttpResponse> reject;
+  SimDuration added_latency_s = 0;
+};
+
+/// An ordered set of fault rules plus the roll seed. Matching rules all
+/// contribute latency; the first matching rule whose error roll hits
+/// produces the injected response.
+struct FaultPlan {
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  std::vector<FaultRule> rules;
+
+  bool empty() const { return rules.empty(); }
+
+  /// Evaluates the plan against one request (deterministic; thread-safe —
+  /// the plan is immutable after setup).
+  FaultOutcome evaluate(const HttpRequest& request) const;
+
+  /// Parses a plan spec. Grammar (times/durations take an optional
+  /// s/m/h/d suffix, default seconds):
+  ///
+  ///   plan  := rule (';' rule)*
+  ///   rule  := field (',' field)*
+  ///   field := 'outage=' TIME '..' TIME   — shorthand for from/to + error=1
+  ///          | 'route=' SUBSTRING         — match on the generalized path
+  ///          | 'from=' TIME | 'to=' TIME
+  ///          | 'error=' PROB | 'status=' CODE
+  ///          | 'latency=' DURATION
+  ///          | 'seed=' N                  — plan-level roll seed
+  ///
+  /// Examples: "outage=5d..8d"
+  ///           "route=/api/users,error=0.25,from=2d,to=12d;latency=2"
+  /// Empty spec -> empty plan. Throws std::invalid_argument on bad specs.
+  static FaultPlan parse(const std::string& spec);
+
+  /// One-line human-readable form, for logs and bench JSON.
+  std::string describe() const;
+};
+
+/// Path with all-digit segments collapsed to ":n", shared by the client's
+/// span naming and the fault roll (user ids must not leak into fault
+/// decisions: cloud-assigned ids depend on registration order, the roll
+/// must not).
+std::string generalized_path(const std::string& path);
+
+}  // namespace pmware::net

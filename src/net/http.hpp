@@ -24,6 +24,12 @@ inline constexpr const char* kSimTimeHeader = "X-Sim-Time";
 /// under. Decimal-rendered; absent means "not traced".
 inline constexpr const char* kTraceIdHeader = "X-PMWare-Trace-Id";
 inline constexpr const char* kParentSpanHeader = "X-PMWare-Parent-Span";
+/// 0-based retry counter stamped by RestClient. Sim-time is frozen while PMS
+/// housekeeping runs, so without this a retried request would be
+/// byte-identical to the original and a deterministic server-side fault roll
+/// (net/fault.hpp) would fail it forever; the attempt number makes each
+/// retry a fresh roll.
+inline constexpr const char* kAttemptHeader = "X-PMWare-Attempt";
 
 struct HttpRequest {
   Method method = Method::Get;
@@ -68,6 +74,10 @@ struct HttpRequest {
 struct HttpResponse {
   int status = 200;
   Json body;
+  /// Extra simulated seconds this response cost beyond the client's base
+  /// round-trip — stamped by the router when a fault plan adds latency, and
+  /// folded into the client's sim-latency accounting.
+  SimDuration sim_latency_s = 0;
 
   bool ok() const { return status >= 200 && status < 300; }
 

@@ -80,6 +80,21 @@ HttpResponse Router::handle(const HttpRequest& request) const {
     observer_(request.method, pattern, status, wall_us);
   };
 
+  // The fault injector models a failure in front of the service (load
+  // balancer, network partition), so it runs before auth guards and
+  // handlers: an injected failure guarantees no server-side state changed,
+  // which is what makes client retries and outbox replay safe.
+  SimDuration added_latency_s = 0;
+  if (fault_injector_) {
+    FaultOutcome outcome = fault_injector_(request);
+    added_latency_s = outcome.added_latency_s;
+    if (outcome.reject) {
+      outcome.reject->sim_latency_s = added_latency_s;
+      observe("<fault>", outcome.reject->status);
+      return *std::move(outcome.reject);
+    }
+  }
+
   for (const Guard& guard : guards_) {
     bool exempt = false;
     for (const std::string& prefix : guard.exempt_prefixes) {
@@ -90,6 +105,7 @@ HttpResponse Router::handle(const HttpRequest& request) const {
     }
     if (exempt) continue;
     if (auto response = guard.mw(request)) {
+      response->sim_latency_s = added_latency_s;
       observe("<middleware>", response->status);
       return *response;
     }
@@ -125,12 +141,16 @@ HttpResponse Router::handle(const HttpRequest& request) const {
     if (ctx.valid())
       span.emplace(telemetry::tracer(), "cloud." + best->pattern, sim_now, ctx);
     HttpResponse response = best->handler(request, best_params);
+    response.sim_latency_s += added_latency_s;
     if (span) span->finish(sim_now);
     observe(best->pattern, response.status);
     return response;
   }
   observe("<unmatched>", kStatusNotFound);
-  return HttpResponse::error(kStatusNotFound, "no route for " + request.path);
+  HttpResponse not_found =
+      HttpResponse::error(kStatusNotFound, "no route for " + request.path);
+  not_found.sim_latency_s = added_latency_s;
+  return not_found;
 }
 
 }  // namespace pmware::net

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/http.hpp"
 
 namespace pmware::net {
@@ -29,6 +30,11 @@ using Middleware = std::function<std::optional<HttpResponse>(const HttpRequest&)
 using Observer = std::function<void(Method method, const std::string& pattern,
                                     int status, double wall_us)>;
 
+/// Decides per request whether to inject a failure or added latency before
+/// any guard or handler runs (an injected failure means the handler never
+/// executed). Must be deterministic and thread-safe; see net/fault.hpp.
+using FaultInjector = std::function<FaultOutcome(const HttpRequest&)>;
+
 class Router {
  public:
   /// Registers a handler for `method` on `pattern`, where pattern segments
@@ -42,6 +48,13 @@ class Router {
 
   /// Installs the per-request observer (telemetry); replaces any previous.
   void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  /// Installs the fault injector (scripted outages / error rates / latency,
+  /// see net/fault.hpp); replaces any previous. Like add_route, setup-time
+  /// only — must not race handle().
+  void set_fault_injector(FaultInjector injector) {
+    fault_injector_ = std::move(injector);
+  }
 
   /// Dispatches a request; 404 when no route matches.
   ///
@@ -84,6 +97,7 @@ class Router {
   std::vector<Route> routes_;
   std::vector<Guard> guards_;
   Observer observer_;
+  FaultInjector fault_injector_;
 };
 
 }  // namespace pmware::net

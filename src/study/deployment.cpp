@@ -100,6 +100,8 @@ ParticipantResult DeploymentStudy::run_participant(
       world_, sensing::oracle_from_trace(trace), config_.device, rng.fork(2));
   auto client = std::make_unique<net::RestClient>(
       &cloud.router(), config_.network, rng.fork(3));
+  client->set_retry_policy(config_.retry);
+  client->set_breaker_policy(config_.breaker);
 
   core::PmsConfig pms_config;
   pms_config.imei = strfmt("35824005%07u", participant.id + 1);
@@ -107,6 +109,7 @@ ParticipantResult DeploymentStudy::run_participant(
   pms_config.inference = config_.inference;
   pms_config.inference.wifi_enabled = config_.use_wifi;
   pms_config.offload_gca = config_.offload_gca;
+  pms_config.outbox = config_.outbox;
 
   core::PmwareMobileService pms(std::move(device), pms_config,
                                 std::move(client), rng.fork(4));
@@ -218,6 +221,7 @@ StudyResult DeploymentStudy::run() {
   geoloc.set_ap_db(world_->ap_location_db());
   cloud::CloudConfig cloud_config;
   cloud_config.shards = static_cast<std::size_t>(std::max(config_.shards, 1));
+  cloud_config.fault_plan = config_.fault_plan;
   cloud::CloudInstance cloud(cloud_config, std::move(geoloc), rng_.fork(3));
 
   telemetry::registry()

@@ -50,6 +50,16 @@ struct StudyConfig {
   /// every value; more shards just means less lock contention when
   /// threads > 1.
   int shards = static_cast<int>(cloud::CloudStorage::kDefaultShards);
+  /// Scripted cloud-side failures (CloudConfig::fault_plan; --fault-plan in
+  /// studyctl/bench). Science results and the final cloud content digest
+  /// are identical to a no-fault run once the outbox drains — that
+  /// recovery-equivalence invariant is asserted in tests/test_study.cpp.
+  net::FaultPlan fault_plan;
+  /// Client resilience knobs, applied to every participant's RestClient.
+  net::RetryPolicy retry;
+  net::BreakerPolicy breaker;
+  /// Per-participant store-and-forward outbox bound.
+  core::OutboxConfig outbox;
 };
 
 /// One entry of the Figure-5b place map.

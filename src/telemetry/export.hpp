@@ -57,8 +57,10 @@ std::string diagnostics_summary(const Tracer& tracer,
 /// 1 = PR 1/2 (bench/results/metrics/spans), 2 = adds schema_version, the
 /// "run" metadata block, per-day "flame" folds, and span trace_ids, 3 =
 /// adds the deployment-study "shard_sweep" block (per-configuration
-/// contention telemetry from the sharded cloud storage).
-inline constexpr int kBenchSchemaVersion = 3;
+/// contention telemetry from the sharded cloud storage), 4 = adds the
+/// deployment-study "fault_sweep" block (recovery-equivalence digests and
+/// sync-reliability counters under scripted cloud fault plans).
+inline constexpr int kBenchSchemaVersion = 4;
 
 /// Reproducibility metadata embedded in every BENCH_*.json, so the perf
 /// trajectory stays comparable across PRs. Zero fields mean "not

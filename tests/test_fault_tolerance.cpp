@@ -1,0 +1,497 @@
+// Fault-tolerance battery: fault-plan parsing and deterministic evaluation,
+// router-level injection, client backoff + circuit breaker, the PMS
+// store-and-forward outbox, and end-to-end outage recovery for a single
+// participant (the multi-participant recovery-equivalence proof lives in
+// test_study.cpp).
+#include "net/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cloud/cloud_instance.hpp"
+#include "core/outbox.hpp"
+#include "core/pms.hpp"
+#include "mobility/participant.hpp"
+#include "mobility/schedule.hpp"
+#include "net/client.hpp"
+#include "net/router.hpp"
+
+namespace pmware::net {
+namespace {
+
+HttpRequest at_time(Method method, std::string path, SimTime now) {
+  HttpRequest request;
+  request.method = method;
+  request.path = std::move(path);
+  request.headers[kSimTimeHeader] = std::to_string(now);
+  return request;
+}
+
+TEST(FaultPlan, ParsesOutageShorthand) {
+  const FaultPlan plan = FaultPlan::parse("outage=5d..8d");
+  ASSERT_EQ(plan.rules.size(), 1u);
+  EXPECT_EQ(plan.rules[0].from, days(5));
+  EXPECT_EQ(plan.rules[0].to, days(8));
+  EXPECT_DOUBLE_EQ(plan.rules[0].error_prob, 1.0);
+  EXPECT_EQ(plan.rules[0].status, kStatusServiceUnavailable);
+}
+
+TEST(FaultPlan, ParsesRuleFieldsAndMultipleRules) {
+  const FaultPlan plan = FaultPlan::parse(
+      "route=/api/users,error=0.25,from=2d,to=12d,status=500;"
+      "latency=30s;seed=42");
+  ASSERT_EQ(plan.rules.size(), 2u);
+  EXPECT_EQ(plan.rules[0].route, "/api/users");
+  EXPECT_DOUBLE_EQ(plan.rules[0].error_prob, 0.25);
+  EXPECT_EQ(plan.rules[0].from, days(2));
+  EXPECT_EQ(plan.rules[0].to, days(12));
+  EXPECT_EQ(plan.rules[0].status, 500);
+  EXPECT_EQ(plan.rules[1].added_latency_s, 30);
+  EXPECT_DOUBLE_EQ(plan.rules[1].error_prob, 0.0);
+  EXPECT_EQ(plan.seed, 42u);
+}
+
+TEST(FaultPlan, EmptySpecIsEmptyPlan) {
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+  EXPECT_TRUE(FaultPlan::parse("  ").empty());
+  EXPECT_EQ(FaultPlan::parse("").describe(), "none");
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("bogus"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("frequency=2"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("error=2"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("outage=5d"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("from=3d,to=2d"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("from=xyz"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("status=200"), std::invalid_argument);
+}
+
+TEST(FaultPlan, OutageRejectsOnlyInsideWindow) {
+  const FaultPlan plan = FaultPlan::parse("outage=1d..2d");
+  EXPECT_FALSE(
+      plan.evaluate(at_time(Method::Get, "/ping", days(1) - 1)).reject);
+  EXPECT_TRUE(plan.evaluate(at_time(Method::Get, "/ping", days(1))).reject);
+  EXPECT_TRUE(plan.evaluate(at_time(Method::Get, "/ping", days(2) - 1)).reject);
+  EXPECT_FALSE(plan.evaluate(at_time(Method::Get, "/ping", days(2))).reject);
+}
+
+TEST(FaultPlan, RouteFilterMatchesGeneralizedPath) {
+  // Concrete user ids generalize to ":n", so the filter matches the route
+  // shape, never a specific user.
+  const FaultPlan plan = FaultPlan::parse("route=/api/users,error=1");
+  EXPECT_TRUE(
+      plan.evaluate(at_time(Method::Post, "/api/users/7/routes", 0)).reject);
+  EXPECT_TRUE(
+      plan.evaluate(at_time(Method::Post, "/api/users/12345/contacts", 0)).reject);
+  EXPECT_FALSE(plan.evaluate(at_time(Method::Post, "/api/register", 0)).reject);
+}
+
+TEST(FaultPlan, LatencyRuleAddsLatencyWithoutRejecting) {
+  const FaultPlan plan = FaultPlan::parse("latency=5,from=0,to=1d");
+  const FaultOutcome outcome =
+      plan.evaluate(at_time(Method::Get, "/ping", 100));
+  EXPECT_FALSE(outcome.reject);
+  EXPECT_EQ(outcome.added_latency_s, 5);
+  EXPECT_EQ(plan.evaluate(at_time(Method::Get, "/ping", days(2))).added_latency_s,
+            0);
+}
+
+TEST(FaultPlan, EvaluationIsDeterministic) {
+  const FaultPlan plan = FaultPlan::parse("error=0.5");
+  int rejects = 0;
+  for (SimTime t = 0; t < 200; ++t) {
+    const HttpRequest request = at_time(Method::Get, "/ping", t);
+    const bool first = plan.evaluate(request).reject.has_value();
+    for (int repeat = 0; repeat < 3; ++repeat)
+      EXPECT_EQ(plan.evaluate(request).reject.has_value(), first);
+    rejects += first ? 1 : 0;
+  }
+  // The rolls hash (time, path, body, attempt) — roughly half should hit.
+  EXPECT_GT(rejects, 60);
+  EXPECT_LT(rejects, 140);
+}
+
+TEST(FaultPlan, RetryAttemptsRollIndependently) {
+  // Sim-time freezes during PMS housekeeping, so a retry differs from the
+  // original request only by the attempt header — which must be enough to
+  // re-roll, or one unlucky request would fail forever.
+  const FaultPlan plan = FaultPlan::parse("error=0.5");
+  bool saw_reject = false, saw_pass = false;
+  HttpRequest request = at_time(Method::Post, "/api/users/3/routes", 1234);
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    request.headers[kAttemptHeader] = std::to_string(attempt);
+    (plan.evaluate(request).reject ? saw_reject : saw_pass) = true;
+  }
+  EXPECT_TRUE(saw_reject);
+  EXPECT_TRUE(saw_pass);
+}
+
+Router make_ping_router(int* handler_calls = nullptr) {
+  Router router;
+  router.add_route(Method::Get, "/ping",
+                   [handler_calls](const HttpRequest&, const PathParams&) {
+                     if (handler_calls != nullptr) ++*handler_calls;
+                     Json body = Json::object();
+                     body.set("pong", true);
+                     return HttpResponse::json(std::move(body));
+                   });
+  return router;
+}
+
+TEST(RouterFaults, InjectedErrorShortCircuitsHandler) {
+  int handler_calls = 0;
+  Router router = make_ping_router(&handler_calls);
+  const FaultPlan plan = FaultPlan::parse("outage=0..1d");
+  router.set_fault_injector(
+      [&plan](const HttpRequest& request) { return plan.evaluate(request); });
+
+  const HttpResponse rejected = router.handle(at_time(Method::Get, "/ping", 0));
+  EXPECT_EQ(rejected.status, kStatusServiceUnavailable);
+  EXPECT_EQ(handler_calls, 0);
+
+  const HttpResponse healthy =
+      router.handle(at_time(Method::Get, "/ping", days(1)));
+  EXPECT_TRUE(healthy.ok());
+  EXPECT_EQ(handler_calls, 1);
+}
+
+TEST(RouterFaults, AddedLatencyRidesTheResponse) {
+  Router router = make_ping_router();
+  const FaultPlan plan = FaultPlan::parse("latency=7");
+  router.set_fault_injector(
+      [&plan](const HttpRequest& request) { return plan.evaluate(request); });
+  const HttpResponse response = router.handle(at_time(Method::Get, "/ping", 0));
+  EXPECT_TRUE(response.ok());
+  EXPECT_EQ(response.sim_latency_s, 7);
+}
+
+/// Server whose health is switchable mid-test.
+struct FlakyServer {
+  Router router;
+  bool healthy = true;
+
+  FlakyServer() {
+    router.add_route(Method::Get, "/ping",
+                     [this](const HttpRequest&, const PathParams&) {
+                       if (!healthy)
+                         return HttpResponse::error(kStatusServiceUnavailable,
+                                                    "down");
+                       return HttpResponse::json(Json::object());
+                     });
+  }
+};
+
+TEST(Backoff, DeterministicScheduleWithoutJitter) {
+  FlakyServer server;
+  server.healthy = false;
+  RestClient client(&server.router, NetworkConditions{0.0, 1}, Rng(3));
+  client.set_retry_policy({/*max_retries=*/3, /*backoff_base_s=*/2,
+                           /*backoff_cap_s=*/60, /*jitter=*/0.0});
+  client.set_breaker_policy({0, 0});  // isolate backoff from the breaker
+
+  const HttpResponse response = client.send(at_time(Method::Get, "/ping", 0));
+  EXPECT_EQ(response.status, kStatusServiceUnavailable);
+  const ClientStats stats = client.stats();
+  EXPECT_EQ(stats.requests, 4u);
+  EXPECT_EQ(stats.retries, 3u);
+  // 2, 4, 8 simulated seconds before retries 1..3.
+  EXPECT_EQ(stats.backoff_s, 14);
+}
+
+TEST(Backoff, CapBoundsTheSchedule) {
+  FlakyServer server;
+  server.healthy = false;
+  RestClient client(&server.router, NetworkConditions{0.0, 0}, Rng(3));
+  client.set_retry_policy({3, 10, 15, 0.0});
+  client.set_breaker_policy({0, 0});
+  client.send(at_time(Method::Get, "/ping", 0));
+  // 10, then 20 capped to 15, then 15 again.
+  EXPECT_EQ(client.stats().backoff_s, 40);
+}
+
+TEST(Backoff, JitterStaysWithinFraction) {
+  FlakyServer server;
+  server.healthy = false;
+  RestClient client(&server.router, NetworkConditions{0.0, 0}, Rng(3));
+  client.set_retry_policy({3, 2, 60, 0.5});
+  client.set_breaker_policy({0, 0});
+  client.send(at_time(Method::Get, "/ping", 0));
+  const SimDuration backoff = client.stats().backoff_s;
+  EXPECT_GE(backoff, 14);      // deterministic floor: 2 + 4 + 8
+  EXPECT_LE(backoff, 14 + 7);  // + at most 50% jitter per wait
+}
+
+TEST(Backoff, RetryCountersMatchAttemptsUnderLoss) {
+  FlakyServer server;
+  RestClient client(&server.router, NetworkConditions{1.0, 0}, Rng(3));
+  client.set_retry_policy({2, 1, 4, 0.0});
+  client.set_breaker_policy({0, 0});
+  const HttpResponse response = client.send(at_time(Method::Get, "/ping", 0));
+  EXPECT_EQ(response.status, kStatusServiceUnavailable);
+  const ClientStats stats = client.stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.failures, 3u);
+  EXPECT_EQ(stats.retries, 2u);
+}
+
+TEST(Breaker, OpensAfterConsecutiveFailuresAndFastFails) {
+  FlakyServer server;
+  server.healthy = false;
+  RestClient client(&server.router, NetworkConditions{0.0, 0}, Rng(3));
+  client.set_retry_policy({0, 1, 4, 0.0});
+  client.set_breaker_policy({/*failure_threshold=*/3, /*cooldown_s=*/100});
+
+  for (int i = 0; i < 3; ++i)
+    client.send(at_time(Method::Get, "/ping", 10));
+  EXPECT_EQ(client.breaker_state(), BreakerState::Open);
+  EXPECT_EQ(client.stats().breaker_opens, 1u);
+  EXPECT_EQ(client.stats().requests, 3u);
+
+  // Inside the cooldown: rejected locally, no network traffic at all.
+  const HttpResponse fast = client.send(at_time(Method::Get, "/ping", 50));
+  EXPECT_EQ(fast.status, kStatusServiceUnavailable);
+  EXPECT_EQ(client.stats().requests, 3u);
+  EXPECT_EQ(client.stats().breaker_fast_fails, 1u);
+}
+
+TEST(Breaker, HalfOpenProbeClosesOnSuccess) {
+  FlakyServer server;
+  server.healthy = false;
+  RestClient client(&server.router, NetworkConditions{0.0, 0}, Rng(3));
+  client.set_retry_policy({5, 1, 4, 0.0});
+  client.set_breaker_policy({3, 100});
+  for (int i = 0; i < 3; ++i)
+    client.send(at_time(Method::Get, "/ping", 10), 0);
+  ASSERT_EQ(client.breaker_state(), BreakerState::Open);
+
+  server.healthy = true;
+  const std::size_t before = client.stats().requests;
+  // Past the cooldown the next send is a single half-open probe — exactly
+  // one attempt even though the retry policy allows five.
+  const HttpResponse probe = client.send(at_time(Method::Get, "/ping", 200));
+  EXPECT_TRUE(probe.ok());
+  EXPECT_EQ(client.stats().requests, before + 1);
+  EXPECT_EQ(client.breaker_state(), BreakerState::Closed);
+}
+
+TEST(Breaker, HalfOpenProbeReopensOnFailure) {
+  FlakyServer server;
+  server.healthy = false;
+  RestClient client(&server.router, NetworkConditions{0.0, 0}, Rng(3));
+  client.set_retry_policy({5, 1, 4, 0.0});
+  client.set_breaker_policy({3, 100});
+  for (int i = 0; i < 3; ++i)
+    client.send(at_time(Method::Get, "/ping", 10), 0);
+  ASSERT_EQ(client.breaker_state(), BreakerState::Open);
+
+  const std::size_t before = client.stats().requests;
+  const HttpResponse probe = client.send(at_time(Method::Get, "/ping", 200));
+  EXPECT_EQ(probe.status, kStatusServiceUnavailable);
+  EXPECT_EQ(client.stats().requests, before + 1);  // probe, no retries
+  EXPECT_EQ(client.breaker_state(), BreakerState::Open);
+  EXPECT_EQ(client.stats().breaker_opens, 2u);
+
+  // The re-opened cooldown starts at the probe's time.
+  client.send(at_time(Method::Get, "/ping", 250));
+  EXPECT_EQ(client.stats().breaker_fast_fails, 1u);
+}
+
+TEST(Breaker, SuccessResetsConsecutiveFailureCount) {
+  FlakyServer server;
+  RestClient client(&server.router, NetworkConditions{0.0, 0}, Rng(3));
+  client.set_retry_policy({0, 1, 4, 0.0});
+  client.set_breaker_policy({3, 100});
+  for (int round = 0; round < 4; ++round) {
+    server.healthy = false;
+    client.send(at_time(Method::Get, "/ping", 10));
+    client.send(at_time(Method::Get, "/ping", 10));
+    server.healthy = true;
+    EXPECT_TRUE(client.send(at_time(Method::Get, "/ping", 10)).ok());
+  }
+  EXPECT_EQ(client.breaker_state(), BreakerState::Closed);
+  EXPECT_EQ(client.stats().breaker_opens, 0u);
+}
+
+}  // namespace
+}  // namespace pmware::net
+
+namespace pmware::core {
+namespace {
+
+TEST(Outbox, DrainsFifoAndStopsAtFirstFailure) {
+  SyncOutbox outbox;
+  outbox.enqueue(SyncKind::ProfileDay, 0, 0, 10);
+  outbox.enqueue(SyncKind::Route, 5, 0, 11);
+  outbox.enqueue(SyncKind::ProfileDay, 1, 0, 12);
+
+  std::vector<std::uint64_t> delivered;
+  const std::size_t n = outbox.drain([&](const OutboxEntry& entry) {
+    if (entry.kind == SyncKind::ProfileDay && entry.key == 1) return false;
+    delivered.push_back(entry.key);
+    return true;
+  });
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(delivered, (std::vector<std::uint64_t>{0, 5}));
+  ASSERT_EQ(outbox.size(), 1u);
+  EXPECT_EQ(outbox.entries().front().attempts, 1);
+
+  // Next drain retries the failed entry first; attempts accumulate.
+  outbox.drain([](const OutboxEntry&) { return false; });
+  EXPECT_EQ(outbox.entries().front().attempts, 2);
+  EXPECT_EQ(outbox.drain([](const OutboxEntry&) { return true; }), 1u);
+  EXPECT_TRUE(outbox.empty());
+}
+
+TEST(Outbox, DedupsByKindAndKey) {
+  SyncOutbox outbox;
+  EXPECT_TRUE(outbox.enqueue(SyncKind::ProfileDay, 3, 0, 0).appended);
+  EXPECT_FALSE(outbox.enqueue(SyncKind::ProfileDay, 3, 0, 1).appended);
+  EXPECT_TRUE(outbox.enqueue(SyncKind::PlaceUpsert, 3, 0, 2).appended);
+  EXPECT_EQ(outbox.size(), 2u);
+}
+
+TEST(Outbox, EncounterBatchesMergeIntoOneRange) {
+  SyncOutbox outbox;
+  EXPECT_TRUE(outbox.enqueue(SyncKind::EncounterBatch, 4, 7, 0).appended);
+  EXPECT_FALSE(outbox.enqueue(SyncKind::EncounterBatch, 7, 12, 1).appended);
+  ASSERT_EQ(outbox.size(), 1u);
+  EXPECT_EQ(outbox.entries().front().key, 4u);
+  EXPECT_EQ(outbox.entries().front().key2, 12u);
+}
+
+TEST(Outbox, OverflowEvictsOldest) {
+  SyncOutbox outbox(OutboxConfig{2});
+  outbox.enqueue(SyncKind::ProfileDay, 0, 0, 0);
+  outbox.enqueue(SyncKind::ProfileDay, 1, 0, 1);
+  const auto result = outbox.enqueue(SyncKind::ProfileDay, 2, 0, 2);
+  EXPECT_TRUE(result.appended);
+  ASSERT_TRUE(result.evicted.has_value());
+  EXPECT_EQ(result.evicted->key, 0u);
+  EXPECT_EQ(outbox.size(), 2u);
+  EXPECT_EQ(outbox.entries().front().key, 1u);
+}
+
+TEST(Outbox, RemoveDropsPendingEntry) {
+  SyncOutbox outbox;
+  outbox.enqueue(SyncKind::PlaceUpsert, 9, 0, 0);
+  outbox.enqueue(SyncKind::PlaceDelete, 9, 0, 0);
+  EXPECT_TRUE(outbox.remove(SyncKind::PlaceUpsert, 9));
+  EXPECT_FALSE(outbox.remove(SyncKind::PlaceUpsert, 9));
+  EXPECT_EQ(outbox.size(), 1u);
+  EXPECT_EQ(outbox.entries().front().kind, SyncKind::PlaceDelete);
+}
+
+/// One participant, full stack, optional cloud fault plan.
+struct FaultHarness {
+  explicit FaultHarness(int days_n, const std::string& fault_spec = "",
+                        std::size_t outbox_capacity = 256) {
+    Rng world_rng(1);
+    world::WorldConfig wc;
+    world = world::generate_world(wc, world_rng);
+    Rng prng(2);
+    participants = mobility::make_participants(*world, 1, prng);
+    Rng trng(5);
+    mobility::ScheduleConfig sc;
+    sc.days = days_n;
+    trace.emplace(mobility::build_trace(*world, participants[0], sc, trng));
+
+    cloud::CloudConfig cc;
+    cc.fault_plan = net::FaultPlan::parse(fault_spec);
+    cloud.emplace(cc, cloud::GeoLocationService(world->cell_location_db()),
+                  Rng(3));
+
+    auto device = std::make_unique<sensing::Device>(
+        world, sensing::oracle_from_trace(*trace), sensing::DeviceConfig{},
+        Rng(7));
+    auto client = std::make_unique<net::RestClient>(
+        &cloud->router(), net::NetworkConditions{0.0, 1}, Rng(11));
+    PmsConfig config;
+    config.outbox.capacity = outbox_capacity;
+    pms.emplace(std::move(device), config, std::move(client), Rng(13));
+  }
+
+  void run_study(int days_n) {
+    pms->register_with_cloud(0);
+    pms->run(TimeWindow{0, days(days_n)});
+    pms->shutdown(days(days_n));
+  }
+
+  std::shared_ptr<const world::World> world;
+  std::vector<mobility::Participant> participants;
+  std::optional<mobility::Trace> trace;
+  std::optional<cloud::CloudInstance> cloud;
+  std::optional<PmwareMobileService> pms;
+};
+
+TEST(FaultRecovery, OutageDrainsToIdenticalCloudState) {
+  constexpr int kDays = 3;
+  FaultHarness clean(kDays);
+  clean.run_study(kDays);
+  const std::uint64_t clean_digest = clean.cloud->storage().content_digest();
+  ASSERT_NE(clean_digest, 0u);
+  EXPECT_EQ(clean.pms->stats().sync_failures, 0u);
+
+  // Same seeds, but the cloud is down across the day-1 housekeeping tick
+  // (and day 1's GCA offloads). Everything parks in the outbox and replays
+  // at the day-2 tick — the final cloud bytes must match the clean run.
+  FaultHarness faulted(kDays, "outage=1d..2d");
+  faulted.run_study(kDays);
+  const PmsStats stats = faulted.pms->stats();
+  EXPECT_GT(stats.sync_failures, 0u);
+  EXPECT_GT(stats.outbox_recovered, 0u);
+  EXPECT_EQ(stats.outbox_pending, 0u);
+  EXPECT_EQ(stats.outbox_evicted, 0u);
+  EXPECT_EQ(faulted.cloud->storage().content_digest(), clean_digest);
+  EXPECT_EQ(faulted.cloud->storage().stats(), clean.cloud->storage().stats());
+}
+
+TEST(FaultRecovery, PerRouteErrorsDrainToIdenticalCloudState) {
+  constexpr int kDays = 3;
+  FaultHarness clean(kDays);
+  clean.run_study(kDays);
+
+  FaultHarness faulted(kDays,
+                       "route=/api/users,error=0.6,from=12h,to=2d;"
+                       "latency=2,from=12h,to=2d");
+  faulted.run_study(kDays);
+  EXPECT_EQ(faulted.pms->stats().outbox_pending, 0u);
+  EXPECT_EQ(faulted.cloud->storage().content_digest(),
+            clean.cloud->storage().content_digest());
+}
+
+TEST(FaultRecovery, TinyOutboxEvictsOldestAndCounts) {
+  constexpr int kDays = 3;
+  // Cloud dead for the whole run after registration: every sync parks, and
+  // a 2-entry outbox must overflow.
+  FaultHarness faulted(kDays, "outage=1s..30d", /*outbox_capacity=*/2);
+  faulted.run_study(kDays);
+  const PmsStats stats = faulted.pms->stats();
+  EXPECT_GT(stats.outbox_evicted, 0u);
+  EXPECT_LE(stats.outbox_pending, 2u);
+  EXPECT_GT(stats.sync_failures, 0u);
+}
+
+TEST(FaultRecovery, SteadyStateHousekeepingSkipsCleanDays) {
+  // Dirty-day tracking: after a clean run, profile PUTs must be far fewer
+  // than the old "every day from 0, every tick" quadratic schedule, yet
+  // every non-empty day must exist on the cloud.
+  constexpr int kDays = 4;
+  FaultHarness h(kDays);
+  h.run_study(kDays);
+  const PmsStats stats = h.pms->stats();
+  EXPECT_EQ(stats.outbox_pending, 0u);
+  const auto* user = h.cloud->storage().find_user(*h.pms->user_id());
+  ASSERT_NE(user, nullptr);
+  std::size_t non_empty_days = 0;
+  for (std::int64_t day = 0; day < kDays; ++day)
+    if (!h.pms->profile_for(day).empty()) ++non_empty_days;
+  EXPECT_EQ(user->profiles.size(), non_empty_days);
+  // Old behavior: every housekeeping tick re-PUT every day so far —
+  // dozens of PUTs per day. New behavior: one PUT per day plus the
+  // occasional recluster-refined re-PUT.
+  EXPECT_LT(stats.profile_syncs, static_cast<std::size_t>(kDays) * 4);
+  EXPECT_GE(stats.profile_syncs, non_empty_days);
+}
+
+}  // namespace
+}  // namespace pmware::core

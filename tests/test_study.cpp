@@ -86,9 +86,13 @@ TEST(Study, DeterministicForSameSeed) {
 
 /// Byte-identical comparison of two study runs: every per-participant
 /// field, the place map, and the cloud storage's post-join fingerprint.
-/// `what` names the run under test in failure output.
+/// `what` names the run under test in failure output. Pass
+/// `network_counters = false` when one run saw injected faults: retries,
+/// offload fallbacks, and re-sent profiles legitimately change the traffic
+/// counters, while science results and final cloud bytes must still match.
 void expect_identical_runs(const StudyResult& rs, const StudyResult& rp,
-                           const std::string& what) {
+                           const std::string& what,
+                           bool network_counters = true) {
   SCOPED_TRACE(what);
   ASSERT_EQ(rs.participants.size(), rp.participants.size());
   for (std::size_t i = 0; i < rs.participants.size(); ++i) {
@@ -109,10 +113,12 @@ void expect_identical_runs(const StudyResult& rs, const StudyResult& rp,
               b.pms_stats.route_events_delivered);
     EXPECT_EQ(a.pms_stats.encounters_delivered,
               b.pms_stats.encounters_delivered);
-    EXPECT_EQ(a.pms_stats.profile_syncs, b.pms_stats.profile_syncs);
-    EXPECT_EQ(a.pms_stats.token_refreshes, b.pms_stats.token_refreshes);
-    EXPECT_EQ(a.pms_stats.gca_offloads, b.pms_stats.gca_offloads);
-    EXPECT_EQ(a.pms_stats.gca_local_runs, b.pms_stats.gca_local_runs);
+    if (network_counters) {
+      EXPECT_EQ(a.pms_stats.profile_syncs, b.pms_stats.profile_syncs);
+      EXPECT_EQ(a.pms_stats.token_refreshes, b.pms_stats.token_refreshes);
+      EXPECT_EQ(a.pms_stats.gca_offloads, b.pms_stats.gca_offloads);
+      EXPECT_EQ(a.pms_stats.gca_local_runs, b.pms_stats.gca_local_runs);
+    }
   }
   ASSERT_EQ(rs.place_map.size(), rp.place_map.size());
   for (std::size_t i = 0; i < rs.place_map.size(); ++i) {
@@ -169,6 +175,44 @@ TEST(Study, ShardCountNeverChangesResults) {
                                 " threads=" + std::to_string(threads) +
                                 " vs shards=1 threads=1");
     }
+  }
+}
+
+// The robustness tentpole: a 14-day study that loses its cloud entirely for
+// days 5..8, or suffers per-route error rates plus added latency for most
+// of the study, must end byte-identical to the undisturbed run — same
+// science table, same place map, same cloud content digest — once the
+// store-and-forward outbox drains. Zero records lost.
+TEST(Study, OutageRecoveryMatchesNoFaultRun) {
+  StudyConfig base = small_config();
+  base.participants = 3;
+  base.days = 14;
+  const StudyResult baseline = DeploymentStudy(base).run();
+  EXPECT_NE(baseline.storage_digest, 0u);
+
+  const struct {
+    const char* name;
+    const char* plan;
+  } kScenarios[] = {
+      {"full outage days 5..8", "outage=5d..8d"},
+      {"per-route errors + latency",
+       "route=/api/users,error=0.3,from=2d,to=11d;latency=1,from=2d,to=11d"},
+  };
+  for (const auto& scenario : kScenarios) {
+    StudyConfig faulted = base;
+    faulted.fault_plan = net::FaultPlan::parse(scenario.plan);
+    const StudyResult run = DeploymentStudy(faulted).run();
+    expect_identical_runs(baseline, run,
+                          std::string(scenario.name) + " vs no faults",
+                          /*network_counters=*/false);
+    std::size_t sync_failures = 0, pending = 0;
+    for (const ParticipantResult& p : run.participants) {
+      sync_failures += p.pms_stats.sync_failures;
+      pending += p.pms_stats.outbox_pending;
+    }
+    SCOPED_TRACE(scenario.name);
+    EXPECT_GT(sync_failures, 0u);  // the plan actually bit
+    EXPECT_EQ(pending, 0u);        // ...and everything drained
   }
 }
 
