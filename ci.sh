@@ -29,12 +29,15 @@ run_suite build "" "$@"
 run_suite build-werror "" -DPMWARE_WERROR=ON "$@"
 run_suite build-asan "" -DPMWARE_SANITIZE="address;undefined" "$@"
 # tsan cannot combine with asan; a third build runs just the tests that
-# exercise threads (everything else is single-threaded by design).
-run_suite build-tsan "-L Sharding" -DPMWARE_SANITIZE="thread" "$@"
+# exercise threads (everything else is single-threaded by design). The
+# Caching label rides along: the content caches sit on the concurrent
+# request path (shared shard write marks, per-cache mutexes).
+run_suite build-tsan "-L Sharding|Caching" -DPMWARE_SANITIZE="thread" "$@"
 # Chaos leg: the fault-injection / outbox / circuit-breaker battery again
 # under asan+ubsan, isolated so failures point straight at the recovery
-# machinery. Reuses the sanitized build from above.
-echo "=== ctest: build-asan chaos (-L Robustness) ==="
-(cd build-asan && ctest --output-on-failure -j "$(nproc)" -L Robustness)
+# machinery, plus the cache battery (conditional transfer under faults,
+# digest invalidation). Reuses the sanitized build from above.
+echo "=== ctest: build-asan chaos (-L Robustness|Caching) ==="
+(cd build-asan && ctest --output-on-failure -j "$(nproc)" -L "Robustness|Caching")
 
 echo "ci.sh: all five suites passed"

@@ -5,7 +5,8 @@
 //
 //   studyctl [--participants N] [--days D] [--seed S] [--threads T]
 //            [--shards N] [--region india|switzerland] [--no-wifi] [--no-ads]
-//            [--fault-plan SPEC] [--log-level debug|info|warn|error|off]
+//            [--cache on|off] [--fault-plan SPEC]
+//            [--log-level debug|info|warn|error|off]
 //            [--report FILE.json] [--map FILE.svg]
 //
 // --fault-plan scripts cloud-side failures (see DESIGN.md "Failure model &
@@ -35,7 +36,7 @@ int usage(const char* argv0) {
                "usage: %s [--participants N] [--days D] [--seed S]\n"
                "          [--threads T] [--shards N]\n"
                "          [--region india|switzerland]\n"
-               "          [--no-wifi] [--no-ads]\n"
+               "          [--no-wifi] [--no-ads] [--cache on|off]\n"
                "          [--fault-plan SPEC]  (e.g. \"outage=5d..8d\")\n"
                "          [--log-level debug|info|warn|error|off]\n"
                "          [--report FILE.json] [--map FILE.svg]\n",
@@ -94,6 +95,15 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s\n", e.what());
         return usage(argv[0]);
       }
+    } else if (arg == "--cache") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      if (std::strcmp(v, "on") == 0)
+        config.cache = true;
+      else if (std::strcmp(v, "off") == 0)
+        config.cache = false;
+      else
+        return usage(argv[0]);
     } else if (arg == "--no-wifi") {
       config.use_wifi = false;
     } else if (arg == "--no-ads") {
@@ -121,10 +131,10 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
 
   std::printf("running study: %d participants x %d days, region %s, "
-              "wifi %s, seed %llu, faults: %s\n",
+              "wifi %s, cache %s, seed %llu, faults: %s\n",
               config.participants, config.days,
               config.world.region.name.c_str(),
-              config.use_wifi ? "on" : "off",
+              config.use_wifi ? "on" : "off", config.cache ? "on" : "off",
               static_cast<unsigned long long>(config.seed),
               config.fault_plan.describe().c_str());
 
@@ -167,6 +177,31 @@ int main(int argc, char** argv) {
               recovered, lost, evicted, pending,
               lost == 0 ? " — no records lost" : "");
 
+  // --- Caching digest: the ccache-style hit taxonomy per cache instance,
+  // plus what the conditional-GET cache saved on the wire.
+  const auto outcome_total = [&](const char* cache,
+                                 const char* outcome) -> unsigned long long {
+    const auto* c = reg.find_counter(
+        "cache_outcomes_total", {{"cache", cache}, {"outcome", outcome}});
+    return c ? static_cast<unsigned long long>(c->value()) : 0;
+  };
+  std::printf("\n--- caching (%s) ---\n", config.cache ? "on" : "off");
+  for (const char* cache :
+       {"pms_gca", "cloud_gca", "cloud_analytics", "net_conditional"}) {
+    std::printf("  %-16s local_hit %llu, cloud_hit %llu, recompute %llu, "
+                "miss %llu\n",
+                cache, outcome_total(cache, "local_hit"),
+                outcome_total(cache, "cloud_hit"),
+                outcome_total(cache, "recompute"),
+                outcome_total(cache, "miss"));
+  }
+  std::printf("  conditional GETs:  %llu not-modified, %llu body bytes "
+              "saved\n",
+              static_cast<unsigned long long>(
+                  reg.family_total("net_not_modified_total")),
+              static_cast<unsigned long long>(
+                  reg.family_total("net_bytes_saved_total")));
+
   // --- JSON report ---
   Json report = Json::object();
   report.set("participants", config.participants);
@@ -174,6 +209,7 @@ int main(int argc, char** argv) {
   report.set("seed", static_cast<std::uint64_t>(config.seed));
   report.set("region", config.world.region.name);
   report.set("wifi", config.use_wifi);
+  report.set("cache", config.cache);
   report.set("discovered", static_cast<std::uint64_t>(result.total_discovered()));
   report.set("tagged", static_cast<std::uint64_t>(result.total_tagged()));
   report.set("evaluable", static_cast<std::uint64_t>(result.total_evaluable()));

@@ -1,0 +1,36 @@
+#include "cache/content_cache.hpp"
+
+#include "telemetry/metrics.hpp"
+
+namespace pmware::cache {
+
+const char* to_string(CacheOutcome outcome) {
+  switch (outcome) {
+    case CacheOutcome::LocalHit:
+      return "local_hit";
+    case CacheOutcome::CloudHit:
+      return "cloud_hit";
+    case CacheOutcome::Recompute:
+      return "recompute";
+    case CacheOutcome::Miss:
+      return "miss";
+  }
+  return "unknown";
+}
+
+void record_outcome(const std::string& cache_name, CacheOutcome outcome) {
+  telemetry::registry()
+      .counter("cache_outcomes_total",
+               {{"cache", cache_name}, {"outcome", to_string(outcome)}},
+               "Content-cache lookups by ccache-style outcome taxonomy")
+      .inc();
+}
+
+void record_eviction(const std::string& cache_name) {
+  telemetry::registry()
+      .counter("cache_evictions_total", {{"cache", cache_name}},
+               "Content-cache entries evicted by the LRU capacity bound")
+      .inc();
+}
+
+}  // namespace pmware::cache

@@ -1,0 +1,69 @@
+#include "cache/etag.hpp"
+
+#include <array>
+#include <cstdint>
+
+#include "cache/digest.hpp"
+
+namespace pmware::cache {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Opaque-tag payload of one entity tag: weak prefix and surrounding
+/// quotes stripped. "W/\"abc\"" -> abc, "\"abc\"" -> abc, "abc" -> abc.
+std::string_view opaque_tag(std::string_view tag) {
+  tag = trim(tag);
+  if (tag.size() >= 2 && (tag[0] == 'W' || tag[0] == 'w') && tag[1] == '/') {
+    tag.remove_prefix(2);
+    tag = trim(tag);
+  }
+  if (tag.size() >= 2 && tag.front() == '"' && tag.back() == '"') {
+    tag = tag.substr(1, tag.size() - 2);
+  }
+  return tag;
+}
+
+}  // namespace
+
+std::string strong_etag(std::string_view body) {
+  const std::uint64_t h = fnv1a(body);
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::array<char, 16> hex;
+  for (std::size_t i = 0; i < hex.size(); ++i) {
+    hex[i] = kHex[(h >> (60 - 4 * i)) & 0xF];
+  }
+  std::string out;
+  out.reserve(hex.size() + 2);
+  out.push_back('"');
+  out.append(hex.data(), hex.size());
+  out.push_back('"');
+  return out;
+}
+
+bool etag_matches(std::string_view if_none_match, std::string_view etag) {
+  if (trim(if_none_match).empty()) return false;
+  const std::string_view target = opaque_tag(etag);
+  std::string_view rest = if_none_match;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view candidate =
+        comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    const std::string_view trimmed = trim(candidate);
+    if (trimmed == "*") return true;
+    if (!trimmed.empty() && opaque_tag(trimmed) == target) return true;
+  }
+  return false;
+}
+
+}  // namespace pmware::cache

@@ -1,0 +1,28 @@
+// ETag generation and If-None-Match evaluation for the conditional-transfer
+// half of the cache subsystem (RFC 7232 semantics, scoped to what the
+// simulated REST transport exercises). The cloud stamps a strong ETag —
+// the quoted hex FNV-1a of the serialized response body — on cacheable GET
+// responses; RestClient replays it in If-None-Match, and a match collapses
+// the exchange to a bodyless 304. Strong ETags require response bytes to
+// be a pure function of stored state, which the place PUT/GET purity
+// regression test pins down.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace pmware::cache {
+
+/// Strong ETag for a response body: `"` + zero-padded 16-digit lowercase
+/// hex of fnv1a(body) + `"`. Deterministic across processes and runs.
+std::string strong_etag(std::string_view body);
+
+/// True when `if_none_match` matches `etag` under the weak comparison RFC
+/// 7232 §3.2 prescribes for If-None-Match: `W/` prefixes are ignored on
+/// both sides, the header may carry a comma-separated list of (optionally
+/// weak) entity tags, and `*` matches any current representation.
+/// Unquoted candidates are tolerated and compared against the unquoted
+/// tag. Empty header never matches.
+bool etag_matches(std::string_view if_none_match, std::string_view etag);
+
+}  // namespace pmware::cache

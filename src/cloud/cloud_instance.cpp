@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "algorithms/gca.hpp"
+#include "cache/etag.hpp"
 #include "core/codec.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/log.hpp"
@@ -18,6 +19,15 @@ using net::HttpRequest;
 using net::HttpResponse;
 using net::PathParams;
 
+namespace {
+
+/// Metric-series names of the two cloud-side content caches.
+constexpr const char* kGcaCacheName = "cloud_gca";
+constexpr const char* kAnalyticsCacheName = "cloud_analytics";
+constexpr std::size_t kAnalyticsCacheCapacity = 1024;
+
+}  // namespace
+
 CloudInstance::CloudInstance(CloudConfig config, GeoLocationService geoloc,
                              Rng rng)
     : config_(config),
@@ -25,6 +35,11 @@ CloudInstance::CloudInstance(CloudConfig config, GeoLocationService geoloc,
       tokens_(rng, config.token_ttl),
       storage_(config.shards),
       analytics_(&storage_) {
+  if (config_.cache) {
+    analytics_cache_ =
+        std::make_unique<cache::ContentCache<std::string, CachedResponse>>(
+            kAnalyticsCacheName, kAnalyticsCacheCapacity);
+  }
   register_routes();
   // Per-route request counters and handler-cost histograms. Patterns (not
   // concrete paths) label the series, so cardinality stays bounded by the
@@ -89,6 +104,54 @@ std::optional<world::DeviceId> CloudInstance::authed_user(
   constexpr const char* kPrefix = "Bearer ";
   if (value.rfind(kPrefix, 0) != 0) return std::nullopt;
   return tokens_.validate(value.substr(7), request_time(request));
+}
+
+HttpResponse CloudInstance::conditional(const HttpRequest& request,
+                                        HttpResponse response) {
+  if (!response.ok()) return response;
+  // Strong ETag over the serialized body: valid because these responses
+  // are pure functions of the last writes (the place PUT/GET purity
+  // regression test pins the riskiest case).
+  const std::string etag = cache::strong_etag(response.body.dump());
+  response.headers[net::kETagHeader] = etag;
+  const auto inm = request.headers.find(net::kIfNoneMatchHeader);
+  if (inm == request.headers.end() || !cache::etag_matches(inm->second, etag))
+    return response;
+  HttpResponse not_modified;
+  not_modified.status = net::kStatusNotModified;  // body stays null
+  not_modified.headers[net::kETagHeader] = etag;
+  return not_modified;
+}
+
+HttpResponse CloudInstance::analytics_cached(
+    const HttpRequest& request, world::DeviceId user, bool time_sensitive,
+    const std::function<HttpResponse()>& compute) {
+  if (!analytics_cache_) return compute();
+  std::string key = request.path;
+  for (const auto& [k, v] : request.query) {
+    key += '&';
+    key += k;
+    key += '=';
+    key += v;
+  }
+  if (time_sensitive) {
+    key += "@t";
+    key += std::to_string(request_time(request));
+  }
+  // Sample the mark BEFORE computing: if a write lands mid-compute its
+  // note_write makes the current mark newer than this tag, so a possibly
+  // half-updated result can be cached but never served again.
+  const std::uint64_t version = storage_.write_mark(user);
+  auto found = analytics_cache_->lookup(key, version);
+  if (found.value) {
+    analytics_cache_->record(cache::CacheOutcome::CloudHit);
+    return HttpResponse::json(found.value->body, found.value->status);
+  }
+  analytics_cache_->record(found.stale ? cache::CacheOutcome::Recompute
+                                       : cache::CacheOutcome::Miss);
+  HttpResponse response = compute();
+  analytics_cache_->put(key, {response.status, response.body}, version);
+  return response;
 }
 
 std::optional<HttpResponse> CloudInstance::require_user(
@@ -263,33 +326,52 @@ void CloudInstance::register_routes() {
       observations.push_back(
           {o.at("t").as_int(), core::cell_from_json(o.at("cell"))});
     }
+    // Content-addressed elision: the digest of the uploaded movement graph
+    // is computed HERE, never sent on the wire — request bodies stay
+    // byte-identical whether the device caches or not. The upload is
+    // append-only, so an equal digest means an identical graph and the
+    // remembered response (byte-identical by construction) short-circuits
+    // the clustering.
+    const std::uint64_t digest = core::movement_digest(observations);
     // Per-user incremental clustering state: the mobile service uploads its
     // append-only GSM log each pass, so the suffix feed applies here too.
     // Results stay identical to a stateless run_gca over the same upload.
-    algorithms::GcaResult result;
+    Json body;
     {
       const auto locked = storage_.locked_user(user);
-      result = locked->gca.run(observations);
+      if (config_.cache && locked->gca_response_digest == digest) {
+        cache::record_outcome(kGcaCacheName, cache::CacheOutcome::CloudHit);
+        return HttpResponse::json(locked->gca_response);
+      }
+      const bool had_cached = locked->gca_response_digest.has_value();
+      const algorithms::GcaResult result = locked->gca.run(observations);
+      Json places = Json::array();
+      for (const auto& cluster : result.places) {
+        Json p = Json::object();
+        p.set("signature",
+              core::to_json(algorithms::PlaceSignature(cluster.signature)));
+        p.set("total_dwell", static_cast<std::int64_t>(cluster.total_dwell));
+        places.push_back(std::move(p));
+      }
+      Json visits = Json::array();
+      for (const auto& v : result.visits) {
+        Json e = Json::object();
+        e.set("place", static_cast<std::uint64_t>(v.place_index));
+        e.set("arrival", v.window.begin);
+        e.set("departure", v.window.end);
+        visits.push_back(std::move(e));
+      }
+      body = Json::object();
+      body.set("places", std::move(places));
+      body.set("visits", std::move(visits));
+      if (config_.cache) {
+        cache::record_outcome(kGcaCacheName,
+                              had_cached ? cache::CacheOutcome::Recompute
+                                         : cache::CacheOutcome::Miss);
+        locked->gca_response_digest = digest;
+        locked->gca_response = body;
+      }
     }
-    Json places = Json::array();
-    for (const auto& cluster : result.places) {
-      Json p = Json::object();
-      p.set("signature",
-            core::to_json(algorithms::PlaceSignature(cluster.signature)));
-      p.set("total_dwell", static_cast<std::int64_t>(cluster.total_dwell));
-      places.push_back(std::move(p));
-    }
-    Json visits = Json::array();
-    for (const auto& v : result.visits) {
-      Json e = Json::object();
-      e.set("place", static_cast<std::uint64_t>(v.place_index));
-      e.set("arrival", v.window.begin);
-      e.set("departure", v.window.end);
-      visits.push_back(std::move(e));
-    }
-    Json body = Json::object();
-    body.set("places", std::move(places));
-    body.set("visits", std::move(visits));
     return HttpResponse::json(std::move(body));
   });
 
@@ -306,7 +388,7 @@ void CloudInstance::register_routes() {
     }
     Json body = Json::object();
     body.set("places", std::move(arr));
-    return HttpResponse::json(std::move(body));
+    return conditional(req, HttpResponse::json(std::move(body)));
   });
 
   router_.add_route(Method::Put, "/api/users/:id/places/:uid",
@@ -320,6 +402,7 @@ void CloudInstance::register_routes() {
     if (!record.location)
       record.location = geoloc_.locate_signature(record.signature);
     storage_.locked_user(user)->places[record.uid] = record;
+    storage_.note_write(user);
     Json body = Json::object();
     body.set("uid", static_cast<std::uint64_t>(record.uid));
     // Echo the resolved position so the mobile service can cache it locally
@@ -334,12 +417,15 @@ void CloudInstance::register_routes() {
     if (auto err = require_user(req, params, user)) return *err;
     const auto uid = static_cast<core::PlaceUid>(
         std::atoll(params.at("uid").c_str()));
-    const auto locked = storage_.locked_user(user);
-    auto& places = locked->places;
-    const auto it = places.find(uid);
-    if (it == places.end())
-      return HttpResponse::error(net::kStatusNotFound, "unknown place");
-    it->second.label = req.body.get_string("label", "");
+    {
+      const auto locked = storage_.locked_user(user);
+      auto& places = locked->places;
+      const auto it = places.find(uid);
+      if (it == places.end())
+        return HttpResponse::error(net::kStatusNotFound, "unknown place");
+      it->second.label = req.body.get_string("label", "");
+    }
+    storage_.note_write(user);
     return HttpResponse::json(Json::object());
   });
 
@@ -353,6 +439,7 @@ void CloudInstance::register_routes() {
     profile.day = day;
     profile.user = user;
     storage_.locked_user(user)->profiles[day] = std::move(profile);
+    storage_.note_write(user);
     return HttpResponse::json(Json::object(), net::kStatusCreated);
   });
 
@@ -366,7 +453,7 @@ void CloudInstance::register_routes() {
     const auto it = profiles.find(day);
     if (it == profiles.end())
       return HttpResponse::error(net::kStatusNotFound, "no profile for day");
-    return HttpResponse::json(core::to_json(it->second));
+    return conditional(req, HttpResponse::json(core::to_json(it->second)));
   });
 
   // --- Routes API ---
@@ -399,15 +486,20 @@ void CloudInstance::register_routes() {
     const bool has_seq = req.body.contains("seq");
     const auto seq =
         static_cast<std::uint64_t>(req.body.get_int("seq", 0));
-    const auto locked = storage_.locked_user(user);
-    if (has_seq && seq < locked->route_seq_high_water) {
-      Json body = Json::object();
-      body.set("duplicate", true);
-      return HttpResponse::json(std::move(body));
+    std::size_t uid = 0;
+    {
+      const auto locked = storage_.locked_user(user);
+      if (has_seq && seq < locked->route_seq_high_water) {
+        // Already applied — nothing changed, so no write-mark bump either.
+        Json body = Json::object();
+        body.set("duplicate", true);
+        return HttpResponse::json(std::move(body));
+      }
+      uid = locked->routes.add(std::move(obs));
+      if (has_seq)
+        locked->route_seq_high_water = seq + 1;
     }
-    const std::size_t uid = locked->routes.add(std::move(obs));
-    if (has_seq)
-      locked->route_seq_high_water = seq + 1;
+    storage_.note_write(user);
     Json body = Json::object();
     body.set("route_uid", static_cast<std::uint64_t>(uid));
     return HttpResponse::json(std::move(body), net::kStatusCreated);
@@ -441,7 +533,7 @@ void CloudInstance::register_routes() {
     }
     Json body = Json::object();
     body.set("routes", std::move(arr));
-    return HttpResponse::json(std::move(body));
+    return conditional(req, HttpResponse::json(std::move(body)));
   });
 
   // --- Social contacts API ---
@@ -472,6 +564,9 @@ void CloudInstance::register_routes() {
            static_cast<core::PlaceUid>(e.at("place").as_int()),
            e.at("start").as_int(), e.at("end").as_int()});
     }
+    // Bumped while still holding the shard lock: a reader that samples the
+    // new mark can only read state after this lock is released.
+    storage_.note_write(user);
     return HttpResponse::json(Json::object(), net::kStatusCreated);
   });
 
@@ -527,16 +622,18 @@ void CloudInstance::register_routes() {
     world::DeviceId user = 0;
     if (auto err = require_user(req, params, user)) return *err;
     const std::int64_t day = std::atoll(params.at("day").c_str());
-    const auto locked = storage_.locked_user(user);
-    const auto& profiles = locked->profiles;
-    const auto it = profiles.find(day);
-    if (it == profiles.end() || it->second.activity.empty())
-      return HttpResponse::error(net::kStatusNotFound, "no activity for day");
-    Json body = Json::object();
-    body.set("still", it->second.activity.still);
-    body.set("walking", it->second.activity.walking);
-    body.set("vehicle", it->second.activity.vehicle);
-    return HttpResponse::json(std::move(body));
+    return analytics_cached(req, user, /*time_sensitive=*/false, [&] {
+      const auto locked = storage_.locked_user(user);
+      const auto& profiles = locked->profiles;
+      const auto it = profiles.find(day);
+      if (it == profiles.end() || it->second.activity.empty())
+        return HttpResponse::error(net::kStatusNotFound, "no activity for day");
+      Json body = Json::object();
+      body.set("still", it->second.activity.still);
+      body.set("walking", it->second.activity.walking);
+      body.set("vehicle", it->second.activity.vehicle);
+      return HttpResponse::json(std::move(body));
+    });
   });
 
   // --- Geo-location API (§2.3.3 "miscellaneous services") ---
@@ -565,11 +662,13 @@ void CloudInstance::register_routes() {
     if (auto err = require_user(req, params, user)) return *err;
     const auto uid = static_cast<core::PlaceUid>(
         std::atoll(params.at("uid").c_str()));
-    const auto tod = analytics_.typical_arrival_tod(user, uid);
-    if (!tod) return HttpResponse::error(net::kStatusNotFound, "no history");
-    Json body = Json::object();
-    body.set("typical_arrival_tod", *tod);
-    return HttpResponse::json(std::move(body));
+    return analytics_cached(req, user, /*time_sensitive=*/false, [&] {
+      const auto tod = analytics_.typical_arrival_tod(user, uid);
+      if (!tod) return HttpResponse::error(net::kStatusNotFound, "no history");
+      Json body = Json::object();
+      body.set("typical_arrival_tod", *tod);
+      return HttpResponse::json(std::move(body));
+    });
   });
 
   router_.add_route(Method::Get, "/api/users/:id/analytics/next_visit/:uid",
@@ -578,11 +677,17 @@ void CloudInstance::register_routes() {
     if (auto err = require_user(req, params, user)) return *err;
     const auto uid = static_cast<core::PlaceUid>(
         std::atoll(params.at("uid").c_str()));
-    const auto t = analytics_.predict_next_visit(user, uid, request_time(req));
-    if (!t) return HttpResponse::error(net::kStatusNotFound, "no prediction");
-    Json body = Json::object();
-    body.set("predicted_at", *t);
-    return HttpResponse::json(std::move(body));
+    // Time-sensitive: the prediction depends on the request's sim-time, so
+    // the cache key carries it (same instant + unchanged shard = same
+    // answer; a new instant is a new entry).
+    return analytics_cached(req, user, /*time_sensitive=*/true, [&] {
+      const auto t =
+          analytics_.predict_next_visit(user, uid, request_time(req));
+      if (!t) return HttpResponse::error(net::kStatusNotFound, "no prediction");
+      Json body = Json::object();
+      body.set("predicted_at", *t);
+      return HttpResponse::json(std::move(body));
+    });
   });
 
   router_.add_route(Method::Get, "/api/users/:id/analytics/departure/:uid",
@@ -591,11 +696,13 @@ void CloudInstance::register_routes() {
     if (auto err = require_user(req, params, user)) return *err;
     const auto uid = static_cast<core::PlaceUid>(
         std::atoll(params.at("uid").c_str()));
-    const auto tod = analytics_.typical_departure_tod(user, uid);
-    if (!tod) return HttpResponse::error(net::kStatusNotFound, "no history");
-    Json body = Json::object();
-    body.set("typical_departure_tod", *tod);
-    return HttpResponse::json(std::move(body));
+    return analytics_cached(req, user, /*time_sensitive=*/false, [&] {
+      const auto tod = analytics_.typical_departure_tod(user, uid);
+      if (!tod) return HttpResponse::error(net::kStatusNotFound, "no history");
+      Json body = Json::object();
+      body.set("typical_departure_tod", *tod);
+      return HttpResponse::json(std::move(body));
+    });
   });
 
   router_.add_route(Method::Get, "/api/users/:id/analytics/next_place/:uid",
@@ -604,12 +711,14 @@ void CloudInstance::register_routes() {
     if (auto err = require_user(req, params, user)) return *err;
     const auto uid = static_cast<core::PlaceUid>(
         std::atoll(params.at("uid").c_str()));
-    const auto next = analytics_.predict_next_place(user, uid);
-    if (!next) return HttpResponse::error(net::kStatusNotFound, "no history");
-    Json body = Json::object();
-    body.set("place", static_cast<std::uint64_t>(next->place));
-    body.set("probability", next->probability);
-    return HttpResponse::json(std::move(body));
+    return analytics_cached(req, user, /*time_sensitive=*/false, [&] {
+      const auto next = analytics_.predict_next_place(user, uid);
+      if (!next) return HttpResponse::error(net::kStatusNotFound, "no history");
+      Json body = Json::object();
+      body.set("place", static_cast<std::uint64_t>(next->place));
+      body.set("probability", next->probability);
+      return HttpResponse::json(std::move(body));
+    });
   });
 
   router_.add_route(Method::Get, "/api/users/:id/analytics/frequency",
@@ -617,21 +726,23 @@ void CloudInstance::register_routes() {
     world::DeviceId user = 0;
     if (auto err = require_user(req, params, user)) return *err;
     const auto it = req.query.find("label");
-    std::vector<core::PlaceUid> matching;
-    {
-      // Collect the matching uids and RELEASE the shard lock before asking
-      // the analytics engine: it re-enters the storage (visits_at) and the
-      // shard mutex is non-recursive.
-      const auto locked = storage_.locked_user(user);
-      for (const auto& [uid, record] : locked->places) {
-        if (it == req.query.end() || record.label == it->second)
-          matching.push_back(uid);
+    return analytics_cached(req, user, /*time_sensitive=*/false, [&] {
+      std::vector<core::PlaceUid> matching;
+      {
+        // Collect the matching uids and RELEASE the shard lock before
+        // asking the analytics engine: it re-enters the storage (visits_at)
+        // and the shard mutex is non-recursive.
+        const auto locked = storage_.locked_user(user);
+        for (const auto& [uid, record] : locked->places) {
+          if (it == req.query.end() || record.label == it->second)
+            matching.push_back(uid);
+        }
       }
-    }
-    Json body = Json::object();
-    body.set("visits_per_week",
-             analytics_.visit_frequency_per_week(user, matching));
-    return HttpResponse::json(std::move(body));
+      Json body = Json::object();
+      body.set("visits_per_week",
+               analytics_.visit_frequency_per_week(user, matching));
+      return HttpResponse::json(std::move(body));
+    });
   });
 }
 

@@ -4,12 +4,15 @@
 #include <chrono>
 #include <string>
 
+#include "cache/digest.hpp"
 #include "core/codec.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace pmware::cloud {
 
 namespace {
+
+using cache::fnv1a;
 
 /// splitmix64 finalizer: fixed mixing so shard placement is identical
 /// across platforms (std::hash would not be).
@@ -18,14 +21,6 @@ std::uint64_t mix64(std::uint64_t x) {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
   return x ^ (x >> 31);
-}
-
-std::uint64_t fnv1a(const std::string& s, std::uint64_t h = 1469598103934665603ull) {
-  for (const unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ull;
-  }
-  return h;
 }
 
 /// Canonical content blob of one user's store with the cloud-assigned user
@@ -105,6 +100,11 @@ CloudStorage& CloudStorage::operator=(const CloudStorage& other) {
   for (Shard& shard : shards_) shard.users.clear();
   for (auto& [id, store] : users)
     shards_[shard_of(id)].users[id] = std::move(store);
+  // Wholesale replacement mutates every shard: advance the write marks so
+  // analytics cache entries tagged against the old content can never
+  // validate against the new.
+  for (Shard& shard : shards_)
+    shard.writes.fetch_add(1, std::memory_order_release);
   return *this;
 }
 
@@ -184,26 +184,35 @@ std::uint64_t CloudStorage::content_digest() const {
 }
 
 bool CloudStorage::erase_user(world::DeviceId id) {
-  const std::size_t s = shard_of(id);
-  const auto lock = lock_shard(s);
-  return shards_[s].users.erase(id) > 0;
+  bool erased = false;
+  {
+    const std::size_t s = shard_of(id);
+    const auto lock = lock_shard(s);
+    erased = shards_[s].users.erase(id) > 0;
+  }
+  if (erased) note_write(id);
+  return erased;
 }
 
 bool CloudStorage::erase_place(world::DeviceId id, core::PlaceUid place) {
-  const std::size_t s = shard_of(id);
-  const auto lock = lock_shard(s);
-  auto& users = shards_[s].users;
-  const auto it = users.find(id);
-  if (it == users.end()) return false;
-  const bool existed = it->second.places.erase(place) > 0;
-  for (auto& [day, profile] : it->second.profiles) {
-    std::erase_if(profile.places, [place](const core::PlaceVisitEntry& e) {
+  bool existed = false;
+  {
+    const std::size_t s = shard_of(id);
+    const auto lock = lock_shard(s);
+    auto& users = shards_[s].users;
+    const auto it = users.find(id);
+    if (it == users.end()) return false;
+    existed = it->second.places.erase(place) > 0;
+    for (auto& [day, profile] : it->second.profiles) {
+      std::erase_if(profile.places, [place](const core::PlaceVisitEntry& e) {
+        return e.place == place;
+      });
+    }
+    std::erase_if(it->second.encounters, [place](const core::EncounterEntry& e) {
       return e.place == place;
     });
   }
-  std::erase_if(it->second.encounters, [place](const core::EncounterEntry& e) {
-    return e.place == place;
-  });
+  note_write(id);
   return existed;
 }
 

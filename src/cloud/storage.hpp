@@ -17,6 +17,7 @@
 //    request path goes through the locking accessors only.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -26,6 +27,7 @@
 #include "algorithms/gca.hpp"
 #include "algorithms/routes.hpp"
 #include "core/model.hpp"
+#include "util/json.hpp"
 
 namespace pmware::cloud {
 
@@ -46,6 +48,14 @@ struct UserStore {
   /// not content — excluded from content_digest() like the GCA cache.
   std::uint64_t route_seq_high_water = 0;
   std::uint64_t encounter_high_water = 0;
+  /// Offload response cache for POST /api/places/discover: the serialized
+  /// response body last computed, versioned by the movement-graph digest
+  /// of the request that produced it (core::movement_digest). The upload
+  /// is append-only, so an equal digest means an identical graph and the
+  /// clustering can be skipped wholesale. Derived state like the GCA cache
+  /// — excluded from content_digest().
+  std::optional<std::uint64_t> gca_response_digest;
+  Json gca_response;
 };
 
 class CloudStorage {
@@ -101,6 +111,10 @@ class CloudStorage {
   /// Unsynchronized accessors for single-threaded callers (tests, examples,
   /// analytics fixtures). Never used on the concurrent request path.
   UserStore& user(world::DeviceId id) {
+    // Possibly mutating (tests build fixtures through it), so count it
+    // toward the shard's write mark — a stale analytics cache entry is
+    // worse than a spurious invalidation.
+    note_write(id);
     return shards_[shard_of(id)].users[id];
   }
   const UserStore* find_user(world::DeviceId id) const {
@@ -131,6 +145,22 @@ class CloudStorage {
   /// and registration order — the study's determinism fingerprint.
   std::uint64_t content_digest() const;
 
+  /// Write high-water mark of the shard owning `id` — the version every
+  /// cloud-side analytics cache entry for this shard's users is tagged
+  /// with. Mutating REST handlers bump it AFTER their write completes
+  /// (note_write), so any cache entry tagged with a mark that includes the
+  /// bump was computed after the write landed; entries computed mid-write
+  /// carry the pre-bump mark and miss on the next lookup.
+  std::uint64_t write_mark(world::DeviceId id) const {
+    return shards_[shard_of(id)].writes.load(std::memory_order_acquire);
+  }
+  /// Records a completed mutation of `id`'s shard. Call after the write,
+  /// either still holding the shard lock (readers sampling the new mark
+  /// then serialize behind the lock) or after releasing it.
+  void note_write(world::DeviceId id) const {
+    shards_[shard_of(id)].writes.fetch_add(1, std::memory_order_release);
+  }
+
   /// Deletes everything stored for `id` (privacy wipe, paper §6 future
   /// work), including its GCA state. Returns true if the user had any data.
   bool erase_user(world::DeviceId id);
@@ -157,6 +187,9 @@ class CloudStorage {
   struct Shard {
     mutable std::mutex mu;
     std::map<world::DeviceId, UserStore> users;
+    /// Monotonic completed-write counter (see write_mark); mutable so the
+    /// const bookkeeping accessors work, like the mutex above.
+    mutable std::atomic<std::uint64_t> writes{0};
   };
 
   /// Locks one shard, recording the per-shard request counter and the

@@ -2,13 +2,17 @@
 // identified by IMEI + account email; a one-time registration yields a
 // bearer token which expires and is refreshed periodically.
 //
-// Thread-safe: with the cloud's dispatch sharded per user, registration
-// and token validation are the one cross-user choke point left on the
-// request path, so the service serializes itself with an internal mutex
-// (the critical section is a couple of map lookups — orders of magnitude
-// shorter than a handler).
+// Thread-safe, and sharded so the request path has no cross-user choke
+// point left: the token table is split into kTokenShards buckets by token
+// hash, each behind its own mutex, so validate() — run by every
+// authenticated request — only contends with requests whose tokens hash
+// to the same bucket. The registration table (device→user, user-id
+// assignment, the minting RNG) keeps a separate mutex; it is touched only
+// by register/refresh, never by validate, and no operation ever holds
+// both a token-shard lock and the registration lock at once.
 #pragma once
 
+#include <array>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -28,6 +32,8 @@ struct TokenGrant {
 
 class TokenService {
  public:
+  static constexpr std::size_t kTokenShards = 16;
+
   explicit TokenService(Rng rng, SimDuration token_ttl = hours(24));
 
   /// Registers (or re-registers) a device; idempotent on (imei, email) —
@@ -39,30 +45,43 @@ class TokenService {
   /// Expired or unknown tokens are refused.
   std::optional<TokenGrant> refresh(const std::string& token, SimTime now);
 
-  /// Validates a bearer token; returns the user id if current.
+  /// Validates a bearer token; returns the user id if current. Takes only
+  /// the owning token shard's lock — the per-request hot path.
   std::optional<world::DeviceId> validate(const std::string& token,
                                           SimTime now) const;
 
   SimDuration token_ttl() const { return ttl_; }
   std::size_t registered_devices() const {
-    const std::scoped_lock lock(mu_);
+    const std::scoped_lock lock(reg_mu_);
     return devices_.size();
   }
+  /// Live tokens across all shards (tests/diagnostics).
+  std::size_t token_count() const;
 
  private:
-  /// Caller must hold mu_ (mint draws from the shared RNG).
-  std::string mint_token();
-
-  mutable std::mutex mu_;
-  Rng rng_;
-  SimDuration ttl_;
-  std::map<std::pair<std::string, std::string>, world::DeviceId> devices_;
   struct TokenInfo {
     world::DeviceId user;
     SimTime expires_at;
   };
-  std::map<std::string, TokenInfo> tokens_;
+  struct TokenShard {
+    mutable std::mutex mu;
+    std::map<std::string, TokenInfo> tokens;
+  };
+
+  /// Owning shard of a token string (FNV-1a, platform-independent).
+  TokenShard& shard_of(const std::string& token) const;
+
+  /// Caller must hold reg_mu_ (mint draws from the shared RNG).
+  std::string mint_token();
+
+  /// Guards devices_, next_user_, and rng_ — registration-path state only.
+  mutable std::mutex reg_mu_;
+  Rng rng_;
+  SimDuration ttl_;
+  std::map<std::pair<std::string, std::string>, world::DeviceId> devices_;
   world::DeviceId next_user_ = 1;
+
+  mutable std::array<TokenShard, kTokenShards> token_shards_;
 };
 
 }  // namespace pmware::cloud

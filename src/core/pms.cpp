@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cache/digest.hpp"
 #include "core/codec.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -35,21 +36,17 @@ constexpr const char* kFailureKinds[] = {"profile", "place", "place_delete",
                                          "route",   "encounter", "label",
                                          "wipe"};
 
-/// Digest folding for dirty detection: order-dependent accumulate, seeded
-/// with the FNV offset basis so "never folded anything" is distinguishable.
-constexpr std::uint64_t kDigestBasis = 1469598103934665603ull;
-void fold(std::uint64_t& h, std::uint64_t v) {
-  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-}
+// Digest primitives (dirty detection, offload cache keys) come from the
+// cache subsystem so device and cloud derive identical values.
+using cache::fnv1a;
+using cache::fold;
+constexpr std::uint64_t kDigestBasis = cache::kDigestBasis;
 
-std::uint64_t fnv1a(const std::string& s) {
-  std::uint64_t h = kDigestBasis;
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ull;
-  }
-  return h;
-}
+/// Metric-series name of every PMS-side GCA offload cache.
+constexpr const char* kGcaCacheName = "pms_gca";
+/// The offload cache holds one entry — the result for the current movement
+/// graph; any growth of the graph changes the digest and recomputes.
+constexpr int kGcaCacheKey = 0;
 
 }  // namespace
 
@@ -67,6 +64,7 @@ PmwareMobileService::PmwareMobileService(
       client_(std::move(client)),
       instance_(telemetry::registry().next_instance_label("pms")),
       outbox_(config_.outbox) {
+  if (config_.cache) gca_cache_.emplace(kGcaCacheName, 1);
   engine_.set_place_event_sink([this](const PlaceEvent& event) {
     std::size_t delivered =
         apps_.deliver_place_event(event, place_store_, bus_);
@@ -168,6 +166,19 @@ void PmwareMobileService::maybe_refresh_token(SimTime now) {
 
 algorithms::GcaResult PmwareMobileService::offloaded_gca(
     std::span<const algorithms::CellObservation> observations, SimTime now) {
+  // Content-addressed elision: an unchanged movement graph means an
+  // identical clustering result (local, offloaded, or replayed — all equal
+  // by design), so serve it from the cache without touching the wire.
+  const std::uint64_t graph_digest = movement_digest(observations);
+  bool had_cached = false;
+  if (gca_cache_) {
+    auto found = gca_cache_->lookup(kGcaCacheKey, graph_digest);
+    if (found.value) {
+      gca_cache_->record(cache::CacheOutcome::LocalHit);
+      return *std::move(found.value);
+    }
+    had_cached = found.stale;
+  }
   if (config_.offload_gca && client_ != nullptr && user_id_) {
     telemetry::Span span(telemetry::tracer(), "pms.gca_offload", now);
     net::HttpRequest request =
@@ -201,6 +212,9 @@ algorithms::GcaResult PmwareMobileService::offloaded_gca(
             {static_cast<std::size_t>(v.at("place").as_int()),
              TimeWindow{v.at("arrival").as_int(), v.at("departure").as_int()}});
       }
+      // The cloud already recorded its own hit/recompute/miss for this
+      // round trip; device-side we only remember the result.
+      if (gca_cache_) gca_cache_->put(kGcaCacheKey, result, graph_digest);
       return result;
     }
     telemetry::slog_warn("pms", now, "GCA offload failed (%d); running locally",
@@ -208,7 +222,16 @@ algorithms::GcaResult PmwareMobileService::offloaded_gca(
   }
   counter(kGcaLocal, "GCA clustering passes run on-device").inc();
   telemetry::Span span(telemetry::tracer(), "pms.gca_local", now);
-  return local_gca_.run(observations);
+  algorithms::GcaResult result = local_gca_.run(observations);
+  if (gca_cache_) {
+    // A failed offload never reached the cloud handler (client-side loss
+    // and fault injection both fire before it), so recording the local
+    // outcome here cannot double-count against the cloud's taxonomy.
+    gca_cache_->record(had_cached ? cache::CacheOutcome::Recompute
+                                  : cache::CacheOutcome::Miss);
+    gca_cache_->put(kGcaCacheKey, result, graph_digest);
+  }
+  return result;
 }
 
 void PmwareMobileService::run(TimeWindow window) {

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/content_cache.hpp"
 #include "core/connected_apps.hpp"
 #include "core/inference_engine.hpp"
 #include "core/intents.hpp"
@@ -35,6 +36,11 @@ struct PmsConfig {
   bool offload_gca = true;
   /// Sync profiles/places to the cloud during housekeeping.
   bool cloud_sync = true;
+  /// Content-addressed GCA offload cache: remember the clustering result
+  /// for the current movement-graph digest, so a recluster over an
+  /// unchanged graph neither re-sends the graph nor re-runs GCA (results
+  /// are identical either way, so this is pure work elision).
+  bool cache = true;
   /// Store-and-forward queue for failed syncs (DESIGN.md "Failure model &
   /// recovery").
   OutboxConfig outbox;
@@ -164,6 +170,9 @@ class PmwareMobileService {
   /// Incremental clustering state for local (offload-disabled or offload-
   /// failed) GCA passes; fed the engine's append-only GSM log each pass.
   algorithms::GcaState local_gca_;
+  /// Engaged iff config_.cache: the last GCA result, versioned by the
+  /// movement-graph digest (core::movement_digest).
+  std::optional<cache::ContentCache<int, algorithms::GcaResult>> gca_cache_;
   std::unique_ptr<net::RestClient> client_;
   std::string instance_;  ///< registry label isolating this service's series
 

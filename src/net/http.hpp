@@ -30,6 +30,11 @@ inline constexpr const char* kParentSpanHeader = "X-PMWare-Parent-Span";
 /// (net/fault.hpp) would fail it forever; the attempt number makes each
 /// retry a fresh roll.
 inline constexpr const char* kAttemptHeader = "X-PMWare-Attempt";
+/// Conditional transfer (cache subsystem, RFC 7232 shapes): the cloud
+/// stamps a strong ETag on cacheable GET responses; RestClient replays it
+/// in If-None-Match and a match collapses the exchange to a bodyless 304.
+inline constexpr const char* kETagHeader = "ETag";
+inline constexpr const char* kIfNoneMatchHeader = "If-None-Match";
 
 struct HttpRequest {
   Method method = Method::Get;
@@ -74,6 +79,9 @@ struct HttpRequest {
 struct HttpResponse {
   int status = 200;
   Json body;
+  /// Response headers (ETag today). Not part of the fault injector's roll
+  /// inputs and excluded from response-body digests.
+  std::map<std::string, std::string> headers;
   /// Extra simulated seconds this response cost beyond the client's base
   /// round-trip — stamped by the router when a fault plan adds latency, and
   /// folded into the client's sim-latency accounting.
@@ -82,17 +90,21 @@ struct HttpResponse {
   bool ok() const { return status >= 200 && status < 300; }
 
   static HttpResponse json(Json body, int status = 200) {
-    return {status, std::move(body)};
+    HttpResponse response;
+    response.status = status;
+    response.body = std::move(body);
+    return response;
   }
   static HttpResponse error(int status, const std::string& message) {
     Json b = Json::object();
     b.set("error", message);
-    return {status, std::move(b)};
+    return json(std::move(b), status);
   }
 };
 
 inline constexpr int kStatusOk = 200;
 inline constexpr int kStatusCreated = 201;
+inline constexpr int kStatusNotModified = 304;
 inline constexpr int kStatusBadRequest = 400;
 inline constexpr int kStatusUnauthorized = 401;
 inline constexpr int kStatusNotFound = 404;

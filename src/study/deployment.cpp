@@ -102,6 +102,7 @@ ParticipantResult DeploymentStudy::run_participant(
       &cloud.router(), config_.network, rng.fork(3));
   client->set_retry_policy(config_.retry);
   client->set_breaker_policy(config_.breaker);
+  client->set_cache_policy({config_.cache, 64});
 
   core::PmsConfig pms_config;
   pms_config.imei = strfmt("35824005%07u", participant.id + 1);
@@ -110,6 +111,7 @@ ParticipantResult DeploymentStudy::run_participant(
   pms_config.inference.wifi_enabled = config_.use_wifi;
   pms_config.offload_gca = config_.offload_gca;
   pms_config.outbox = config_.outbox;
+  pms_config.cache = config_.cache;
 
   core::PmwareMobileService pms(std::move(device), pms_config,
                                 std::move(client), rng.fork(4));
@@ -222,6 +224,7 @@ StudyResult DeploymentStudy::run() {
   cloud::CloudConfig cloud_config;
   cloud_config.shards = static_cast<std::size_t>(std::max(config_.shards, 1));
   cloud_config.fault_plan = config_.fault_plan;
+  cloud_config.cache = config_.cache;
   cloud::CloudInstance cloud(cloud_config, std::move(geoloc), rng_.fork(3));
 
   telemetry::registry()

@@ -60,6 +60,13 @@ struct StudyConfig {
   net::BreakerPolicy breaker;
   /// Per-participant store-and-forward outbox bound.
   core::OutboxConfig outbox;
+  /// Content-addressed caching on both sides of the wire (--cache in
+  /// studyctl/bench): device + cloud GCA offload caches, the cloud-side
+  /// analytics result cache, and the client's conditional-GET (ETag /
+  /// If-None-Match) cache. Science results and the cloud content digest
+  /// are byte-identical on/off — caching only removes work — which the
+  /// cache_sweep bench and tests/test_cache.cpp assert.
+  bool cache = true;
 };
 
 /// One entry of the Figure-5b place map.

@@ -59,8 +59,11 @@ std::string diagnostics_summary(const Tracer& tracer,
 /// adds the deployment-study "shard_sweep" block (per-configuration
 /// contention telemetry from the sharded cloud storage), 4 = adds the
 /// deployment-study "fault_sweep" block (recovery-equivalence digests and
-/// sync-reliability counters under scripted cloud fault plans).
-inline constexpr int kBenchSchemaVersion = 4;
+/// sync-reliability counters under scripted cloud fault plans), 5 = adds
+/// the deployment-study "cache_sweep" block (cache-on vs cache-off digests,
+/// request/recluster collapse, hit taxonomy, and the conditional-transfer
+/// microbenchmarks).
+inline constexpr int kBenchSchemaVersion = 5;
 
 /// Reproducibility metadata embedded in every BENCH_*.json, so the perf
 /// trajectory stays comparable across PRs. Zero fields mean "not
