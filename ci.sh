@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification, five legs: a plain build, a warnings-as-errors
-# build, an address+UB-sanitized one, a thread-sanitized build that runs
-# the Sharding-labeled tests (the telemetry registry/tracer hammer, the
-# sharded-cloud hammer, the router/cloud suites, and the parallel
-# deployment study), and a chaos leg that re-runs the Robustness-labeled
+# Tier-1 verification, five legs: a plain build (plus the golden study
+# digest assertion), a warnings-as-errors build, an address+UB-sanitized
+# one, a thread-sanitized build that runs the Sharding-labeled tests (the
+# telemetry registry/tracer hammer, the sharded-cloud hammer, the
+# router/cloud suites, and the parallel deployment study) together with the
+# SchedulerPerf battery (the batched sensing hot loop raced across 8
+# workers), and a chaos leg that re-runs the Robustness-labeled
 # fault/outbox/breaker tests under asan.
 # Usage: ./ci.sh [extra cmake args...]
 set -euo pipefail
@@ -24,6 +26,23 @@ run_suite() {
 }
 
 run_suite build "" "$@"
+
+# Golden-digest gate: the deployment study must stay byte-identical to the
+# digest captured at the pre-change baseline and committed with each
+# hot-path PR (tests/golden/study_digest.txt). Catches any perf change that
+# quietly reorders RNG draws or drops samples.
+echo "=== golden study digest ==="
+golden_digest="$(cat tests/golden/study_digest.txt)"
+actual_digest="$(./build/examples/studyctl --participants 4 --days 3 \
+    --threads 2 --shards 4 |
+  sed -n 's/^cloud content digest: //p')"
+if [[ "${actual_digest}" != "${golden_digest}" ]]; then
+  echo "golden digest mismatch: got '${actual_digest}'," \
+       "expected '${golden_digest}'" >&2
+  exit 1
+fi
+echo "study digest ${actual_digest} matches golden"
+
 # -Wall -Wextra are always on; this build promotes them to errors so new
 # warnings fail CI instead of scrolling by.
 run_suite build-werror "" -DPMWARE_WERROR=ON "$@"
@@ -31,8 +50,9 @@ run_suite build-asan "" -DPMWARE_SANITIZE="address;undefined" "$@"
 # tsan cannot combine with asan; a third build runs just the tests that
 # exercise threads (everything else is single-threaded by design). The
 # Caching label rides along: the content caches sit on the concurrent
-# request path (shared shard write marks, per-cache mutexes).
-run_suite build-tsan "-L Sharding|Caching" -DPMWARE_SANITIZE="thread" "$@"
+# request path (shared shard write marks, per-cache mutexes). SchedulerPerf
+# races the batched dispatch loop and the device env cache under tsan.
+run_suite build-tsan "-L Sharding|Caching|SchedulerPerf" -DPMWARE_SANITIZE="thread" "$@"
 # Chaos leg: the fault-injection / outbox / circuit-breaker battery again
 # under asan+ubsan, isolated so failures point straight at the recovery
 # machinery, plus the cache battery (conditional transfer under faults,

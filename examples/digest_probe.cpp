@@ -1,0 +1,59 @@
+// Digest probe: prints the deployment study's cloud content digest (exact
+// uint64) plus per-participant energy bits across the shard/thread/cache
+// matrix and the default fault plans. Used to assert byte-identical results
+// across code changes (run on two builds, diff the output).
+#include <cstdio>
+
+#include "net/fault.hpp"
+#include "study/deployment.hpp"
+
+using namespace pmware;
+
+namespace {
+
+void report(const char* tag, const study::StudyResult& r) {
+  unsigned long long joules_hash = 1469598103934665603ull;  // FNV-1a
+  for (const auto& p : r.participants) {
+    unsigned long long bits;
+    static_assert(sizeof(bits) == sizeof(p.sensing_joules));
+    __builtin_memcpy(&bits, &p.sensing_joules, sizeof(bits));
+    joules_hash = (joules_hash ^ bits) * 1099511628211ull;
+  }
+  std::printf("%s digest=%llu discovered=%zu joules_hash=%llu\n", tag,
+              static_cast<unsigned long long>(r.storage_digest),
+              r.total_discovered(), joules_hash);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  for (const int shards : {1, 16}) {
+    for (const int threads : {1, 8}) {
+      for (const bool cache : {true, false}) {
+        study::StudyConfig config;
+        config.shards = shards;
+        config.threads = threads;
+        config.cache = cache;
+        char tag[64];
+        std::snprintf(tag, sizeof(tag), "shards=%d threads=%d cache=%d",
+                      shards, threads, cache ? 1 : 0);
+        report(tag, study::DeploymentStudy(config).run());
+      }
+    }
+  }
+  const char* plans[] = {
+      "outage=5d..8d",
+      "route=/api/users,error=0.25,from=2d,to=12d",
+      "latency=2,from=0,to=12d",
+  };
+  for (const char* plan : plans) {
+    study::StudyConfig config;
+    config.threads = 8;
+    config.fault_plan = net::FaultPlan::parse(plan);
+    char tag[96];
+    std::snprintf(tag, sizeof(tag), "fault=%s", plan);
+    report(tag, study::DeploymentStudy(config).run());
+  }
+  return 0;
+}

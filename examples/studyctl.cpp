@@ -177,6 +177,11 @@ int main(int argc, char** argv) {
               recovered, lost, evicted, pending,
               lost == 0 ? " — no records lost" : "");
 
+  // Exact (non-lossy) digest line: ci.sh greps this to assert the study is
+  // byte-identical to the golden digest committed with each perf PR.
+  std::printf("cloud content digest: %llu\n",
+              static_cast<unsigned long long>(result.storage_digest));
+
   // --- Caching digest: the ccache-style hit taxonomy per cache instance,
   // plus what the conditional-GET cache saved on the wire.
   const auto outcome_total = [&](const char* cache,

@@ -32,16 +32,56 @@ InferenceEngine::InferenceEngine(sensing::Device* device,
       config_(config),
       rng_(rng),
       gca_state_(config.gca),
+      events_enter_("core_place_events_total", {{"kind", "enter"}},
+                    "place events emitted by the inference engine"),
+      events_exit_("core_place_events_total", {{"kind", "exit"}},
+                   "place events emitted by the inference engine"),
+      events_new_place_("core_place_events_total", {{"kind", "new_place"}},
+                        "place events emitted by the inference engine"),
       wifi_detector_(config.sensloc) {}
 
+std::size_t InferenceEngine::consume_run(
+    std::span<const SimTime> run, void (InferenceEngine::*handler)(SimTime)) {
+  std::size_t consumed = 0;
+  for (const SimTime t : run) {
+    const std::uint64_t before = scheduler_->change_epoch();
+    (this->*handler)(t);
+    ++consumed;
+    if (scheduler_->change_epoch() != before) break;
+  }
+  return consumed;
+}
+
 void InferenceEngine::attach() {
-  scheduler_->set_callback(Interface::Gsm, [this](SimTime t) { on_gsm(t); });
-  scheduler_->set_callback(Interface::Wifi, [this](SimTime t) { on_wifi(t); });
-  scheduler_->set_callback(Interface::Gps, [this](SimTime t) { on_gps(t); });
-  scheduler_->set_callback(Interface::Accelerometer,
-                           [this](SimTime t) { on_accel(t); });
-  scheduler_->set_callback(Interface::Bluetooth,
-                           [this](SimTime t) { on_bluetooth(t); });
+  // Run-oriented dispatch: the scheduler hands each interface a whole run
+  // of fire times; the adapters process samples in order and truncate the
+  // run on any schedule change, which keeps adaptive sensing byte-identical
+  // to per-sample dispatch.
+  scheduler_->set_batch_callback(
+      Interface::Gsm, [this](std::span<const SimTime> run) {
+        return device_->read_gsm_run(
+            run, [this](const sensing::GsmReading& reading) {
+              const std::uint64_t before = scheduler_->change_epoch();
+              on_gsm_reading(reading);
+              return scheduler_->change_epoch() == before;
+            });
+      });
+  scheduler_->set_batch_callback(
+      Interface::Wifi, [this](std::span<const SimTime> run) {
+        return consume_run(run, &InferenceEngine::on_wifi);
+      });
+  scheduler_->set_batch_callback(
+      Interface::Gps, [this](std::span<const SimTime> run) {
+        return consume_run(run, &InferenceEngine::on_gps);
+      });
+  scheduler_->set_batch_callback(
+      Interface::Accelerometer, [this](std::span<const SimTime> run) {
+        return consume_run(run, &InferenceEngine::on_accel);
+      });
+  scheduler_->set_batch_callback(
+      Interface::Bluetooth, [this](std::span<const SimTime> run) {
+        return consume_run(run, &InferenceEngine::on_bluetooth);
+      });
   // GSM runs continuously from the start (paper §2.2.2); everything else is
   // armed on demand by refresh_policy().
   scheduler_->set_period(Interface::Gsm, config_.gsm_period);
@@ -54,8 +94,11 @@ void InferenceEngine::refresh_policy(SimTime t) {
   const bool social = apps_->social_required(t, emitted_uid_);
   const bool moving = activity_ != Activity::Still;
 
-  auto set_if_changed = [this](Interface i, std::optional<SimDuration> p) {
-    if (scheduler_->period(i) != p) scheduler_->set_period(i, p);
+  // Explicit `from = t`: during batch dispatch the scheduler's clock only
+  // advances at run granularity, so period changes anchor to the sample
+  // that caused them.
+  auto set_if_changed = [this, t](Interface i, std::optional<SimDuration> p) {
+    if (scheduler_->period(i) != p) scheduler_->set_period(i, p, t);
   };
 
   // Accelerometer: the trigger source; needed for building/room place
@@ -88,7 +131,12 @@ void InferenceEngine::refresh_policy(SimTime t) {
 }
 
 void InferenceEngine::on_gsm(SimTime t) {
-  const sensing::GsmReading reading = device_->read_gsm(t);
+  device_->read_gsm_into(t, gsm_scratch_);
+  on_gsm_reading(gsm_scratch_);
+}
+
+void InferenceEngine::on_gsm_reading(const sensing::GsmReading& reading) {
+  const SimTime t = reading.t;
   if (reading.serving.mcc == 0) return;  // dead zone, nothing heard yet
   gsm_log_.push_back({t, reading.serving});
 
@@ -156,8 +204,8 @@ void InferenceEngine::handle_wifi_events(
 void InferenceEngine::on_wifi(SimTime t) {
   if (t == last_wifi_scan_) return;  // collapse duplicate triggers
   last_wifi_scan_ = t;
-  const sensing::WifiScan scan = device_->scan_wifi(t);
-  handle_wifi_events(wifi_detector_.on_scan(scan));
+  device_->scan_wifi_into(t, wifi_scratch_);
+  handle_wifi_events(wifi_detector_.on_scan(wifi_scratch_));
   resolve_place(t);
 }
 
@@ -267,25 +315,14 @@ PlaceUid InferenceEngine::area_of(PlaceUid uid) const {
   return it == wifi_area_.end() ? uid : it->second;
 }
 
-namespace {
-
-const char* place_event_kind(PlaceEvent::Kind kind) {
-  switch (kind) {
-    case PlaceEvent::Kind::Enter: return "enter";
-    case PlaceEvent::Kind::Exit: return "exit";
-    case PlaceEvent::Kind::NewPlace: return "new_place";
-  }
-  return "?";
-}
-
-}  // namespace
-
 void InferenceEngine::emit(const PlaceEvent& event) {
-  telemetry::registry()
-      .counter("core_place_events_total",
-               {{"kind", place_event_kind(event.kind)}},
-               "place events emitted by the inference engine")
-      .inc();
+  // Pre-resolved handles: emit() runs inside the sensing hot loop, so no
+  // per-event LabelSet build or registry lookup.
+  switch (event.kind) {
+    case PlaceEvent::Kind::Enter: events_enter_.get().inc(); break;
+    case PlaceEvent::Kind::Exit: events_exit_.get().inc(); break;
+    case PlaceEvent::Kind::NewPlace: events_new_place_.get().inc(); break;
+  }
   if (place_sink_) place_sink_(event);
 }
 

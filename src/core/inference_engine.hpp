@@ -34,6 +34,7 @@
 #include "core/place_store.hpp"
 #include "sensing/device.hpp"
 #include "sensing/scheduler.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace pmware::core {
@@ -155,10 +156,20 @@ class InferenceEngine {
  private:
   // Sensor callbacks.
   void on_gsm(SimTime t);
+  /// GSM handling after the modem read — shared by the single-sample path
+  /// and the run-oriented batch path (which reads via Device::read_gsm_run
+  /// into a reusable scratch reading).
+  void on_gsm_reading(const sensing::GsmReading& reading);
   void on_wifi(SimTime t);
   void on_gps(SimTime t);
   void on_accel(SimTime t);
   void on_bluetooth(SimTime t);
+
+  /// Batch-dispatch adapter: runs `handler` per sample and truncates the
+  /// run as soon as the handler changed the sampling schedule (observed via
+  /// the scheduler's change epoch), returning the consumed count.
+  std::size_t consume_run(std::span<const SimTime> run,
+                          void (InferenceEngine::*handler)(SimTime));
 
   /// Re-evaluates aggregated app requirements and adjusts periods.
   void refresh_policy(SimTime t);
@@ -191,6 +202,13 @@ class InferenceEngine {
   std::optional<algorithms::CellVisitTracker> cell_tracker_;
   std::map<std::size_t, PlaceUid> cluster_to_uid_;  ///< cluster idx -> uid
   std::optional<PlaceUid> gsm_uid_;
+
+  // --- hot-loop scratch & pre-resolved telemetry handles ---
+  sensing::GsmReading gsm_scratch_;
+  sensing::WifiScan wifi_scratch_;
+  telemetry::CachedCounter events_enter_;
+  telemetry::CachedCounter events_exit_;
+  telemetry::CachedCounter events_new_place_;
 
   // --- WiFi state ---
   algorithms::WifiPlaceDetector wifi_detector_;

@@ -65,20 +65,38 @@ PmwareMobileService::PmwareMobileService(
       instance_(telemetry::registry().next_instance_label("pms")),
       outbox_(config_.outbox) {
   if (config_.cache) gca_cache_.emplace(kGcaCacheName, 1);
+  place_events_counter_.emplace(kPlaceEvents,
+                                telemetry::LabelSet{{"instance", instance_}},
+                                "place events delivered to connected apps");
+  route_events_counter_.emplace(kRouteEvents,
+                                telemetry::LabelSet{{"instance", instance_}},
+                                "route events delivered to connected apps");
+  encounters_counter_.emplace(kEncounters,
+                              telemetry::LabelSet{{"instance", instance_}},
+                              "encounter events delivered to connected apps");
+  outbox_enqueued_counter_.emplace(
+      kOutboxEnqueued, telemetry::LabelSet{{"instance", instance_}},
+      "sync work items queued in the outbox");
+  outbox_evicted_counter_.emplace(
+      kOutboxEvicted, telemetry::LabelSet{{"instance", instance_}},
+      "outbox entries dropped to capacity (oldest first)");
+  outbox_delivered_counter_.emplace(
+      kOutboxDelivered, telemetry::LabelSet{{"instance", instance_}},
+      "outbox work items delivered to the cloud");
+  outbox_recovered_counter_.emplace(
+      kOutboxRecovered, telemetry::LabelSet{{"instance", instance_}},
+      "outbox items delivered after one or more failed attempts");
   engine_.set_place_event_sink([this](const PlaceEvent& event) {
     std::size_t delivered =
         apps_.deliver_place_event(event, place_store_, bus_);
     delivered += apps_.deliver_geofence(event, place_store_, bus_);
-    counter(kPlaceEvents, "place events delivered to connected apps")
-        .inc(delivered);
+    place_events_counter_->get().inc(delivered);
   });
   engine_.set_route_event_sink([this](const RouteEvent& event) {
-    counter(kRouteEvents, "route events delivered to connected apps")
-        .inc(apps_.deliver_route_event(event, bus_));
+    route_events_counter_->get().inc(apps_.deliver_route_event(event, bus_));
   });
   engine_.set_encounter_sink([this](const EncounterEvent& event) {
-    counter(kEncounters, "encounter events delivered to connected apps")
-        .inc(apps_.deliver_encounter(event, bus_));
+    encounters_counter_->get().inc(apps_.deliver_encounter(event, bus_));
   });
   engine_.set_gca_runner(
       [this](std::span<const algorithms::CellObservation> observations) {
@@ -314,12 +332,9 @@ void PmwareMobileService::enqueue_sync_work(std::int64_t up_to, SimTime now) {
 void PmwareMobileService::enqueue(SyncKind kind, std::uint64_t key,
                                   std::uint64_t key2, SimTime now) {
   const SyncOutbox::EnqueueResult result = outbox_.enqueue(kind, key, key2, now);
-  if (result.appended)
-    counter(kOutboxEnqueued, "sync work items queued in the outbox").inc();
+  if (result.appended) outbox_enqueued_counter_->get().inc();
   if (result.evicted) {
-    counter(kOutboxEvicted,
-            "outbox entries dropped to capacity (oldest first)")
-        .inc();
+    outbox_evicted_counter_->get().inc();
     // A dropped day/place re-detects as dirty next tick (its synced digest
     // was never updated); dropped routes/encounters are honest data loss.
     telemetry::slog_warn(
@@ -336,12 +351,8 @@ void PmwareMobileService::drain_outbox(SimTime now) {
       record_sync_failure(entry.kind, 0, now);
       return false;
     }
-    counter(kOutboxDelivered, "outbox work items delivered to the cloud")
-        .inc();
-    if (entry.attempts > 0)
-      counter(kOutboxRecovered,
-              "outbox items delivered after one or more failed attempts")
-          .inc();
+    outbox_delivered_counter_->get().inc();
+    if (entry.attempts > 0) outbox_recovered_counter_->get().inc();
     return true;
   });
   telemetry::registry()

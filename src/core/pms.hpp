@@ -176,6 +176,19 @@ class PmwareMobileService {
   std::unique_ptr<net::RestClient> client_;
   std::string instance_;  ///< registry label isolating this service's series
 
+  // Pre-resolved delivery counters: the event sinks fire inside the sensing
+  // hot loop, so no per-event LabelSet build or registry lookup. Engaged in
+  // the constructor body once instance_ is known.
+  std::optional<telemetry::CachedCounter> place_events_counter_;
+  std::optional<telemetry::CachedCounter> route_events_counter_;
+  std::optional<telemetry::CachedCounter> encounters_counter_;
+  // Same treatment for the per-work-item outbox counters (enqueue and drain
+  // loop over entries every housekeeping tick).
+  std::optional<telemetry::CachedCounter> outbox_enqueued_counter_;
+  std::optional<telemetry::CachedCounter> outbox_evicted_counter_;
+  std::optional<telemetry::CachedCounter> outbox_delivered_counter_;
+  std::optional<telemetry::CachedCounter> outbox_recovered_counter_;
+
   std::optional<world::DeviceId> user_id_;
   SimTime token_expires_ = 0;
   /// Set by an explicit register_with_cloud() call; housekeeping retries

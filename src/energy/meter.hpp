@@ -19,6 +19,12 @@ class EnergyMeter {
   /// Charges one sample of `interface` at time `t`.
   void charge_sample(Interface interface, SimTime t);
 
+  /// Charges `n` samples of `interface` in one call — the batch-dispatch
+  /// path charges a whole run at once. Accumulates with the same per-sample
+  /// floating-point additions as n charge_sample() calls so batched and
+  /// per-sample runs report bit-identical joules.
+  void charge_samples(Interface interface, std::size_t n, SimTime t);
+
   /// Charges baseline drain for the span [from, to).
   void charge_baseline(SimTime from, SimTime to);
 

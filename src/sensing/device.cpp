@@ -19,19 +19,49 @@ Device::Device(std::shared_ptr<const world::World> world, PositionOracle oracle,
       config_(config),
       rng_(rng) {}
 
-GsmReading Device::read_gsm(SimTime t) {
-  const geo::LatLng pos = oracle_.position(t);
-  auto heard = world_->hearable_cells(pos, config_.fading_sigma_db * 2);
+const std::vector<world::HeardCell>& Device::cell_env(const geo::LatLng& pos) {
+  ++env_queries_;
+  if (config_.reuse_world_env && cell_env_pos_ && *cell_env_pos_ == pos) {
+    ++env_hits_;
+    return cell_env_;
+  }
+  world_->hearable_cells_into(pos, cell_env_, config_.fading_sigma_db * 2);
+  cell_env_pos_ = pos;
+  return cell_env_;
+}
 
+const std::vector<world::HeardAp>& Device::ap_env(const geo::LatLng& pos) {
+  ++env_queries_;
+  if (config_.reuse_world_env && ap_env_pos_ && *ap_env_pos_ == pos) {
+    ++env_hits_;
+    return ap_env_;
+  }
+  world_->visible_aps_into(pos, ap_env_, 4.0);
+  ap_env_pos_ = pos;
+  return ap_env_;
+}
+
+GsmReading Device::read_gsm(SimTime t) {
   GsmReading reading;
+  read_gsm_into(t, reading);
+  return reading;
+}
+
+void Device::read_gsm_into(SimTime t, GsmReading& reading) {
+  const geo::LatLng pos = oracle_.position(t);
+  const std::vector<world::HeardCell>& heard = cell_env(pos);
+
   reading.t = t;
+  reading.serving = world::CellId{};
+  reading.serving_rssi_dbm = 0;
+  reading.neighbors.clear();
   if (heard.empty()) {
     // Dead zone: report the last serving cell (phones hold on to it).
     if (last_serving_) {
       reading.serving = *last_serving_;
       reading.serving_rssi_dbm = -110;
     }
-    return reading;
+    return;
   }
 
   // Occasional preferred-RAT flip models 2G<->3G handoff (load balancing,
@@ -42,19 +72,16 @@ GsmReading Device::read_gsm(SimTime t) {
                          : world::Radio::Gsm2G;
 
   // Add per-sample fading and pick the strongest cell in the preferred RAT;
-  // fall back to any RAT when the preferred layer is silent.
-  struct Candidate {
-    world::CellId cell;
-    double rssi;
-  };
-  std::vector<Candidate> faded;
-  faded.reserve(heard.size());
+  // fall back to any RAT when the preferred layer is silent. The fading
+  // normals are drawn in heard order — the order the cached environment
+  // preserves — so cached and uncached reads consume identical RNG streams.
+  faded_.clear();
   for (const auto& h : heard)
-    faded.push_back({h.cell, h.rssi_dbm + rng_.normal(0, config_.fading_sigma_db)});
+    faded_.push_back({h.cell, h.rssi_dbm + rng_.normal(0, config_.fading_sigma_db)});
 
   auto best_in = [&](std::optional<world::Radio> rat) -> const Candidate* {
     const Candidate* best = nullptr;
-    for (const auto& c : faded) {
+    for (const auto& c : faded_) {
       if (rat && c.cell.radio != *rat) continue;
       if (c.rssi < world::kCellDetectionDbm) continue;
       if (!best || c.rssi > best->rssi) best = &c;
@@ -69,7 +96,7 @@ GsmReading Device::read_gsm(SimTime t) {
       reading.serving = *last_serving_;
       reading.serving_rssi_dbm = -110;
     }
-    return reading;
+    return;
   }
 
   // Reselection hysteresis: keep the previous serving cell unless the
@@ -77,7 +104,7 @@ GsmReading Device::read_gsm(SimTime t) {
   bool keep_previous = false;
   if (last_serving_ && last_serving_->radio == best->cell.radio &&
       *last_serving_ != best->cell) {
-    for (const auto& c : faded) {
+    for (const auto& c : faded_) {
       if (c.cell == *last_serving_ &&
           c.rssi + config_.reselect_hysteresis_db >= best->rssi &&
           c.rssi >= world::kCellDetectionDbm) {
@@ -96,29 +123,57 @@ GsmReading Device::read_gsm(SimTime t) {
   last_serving_rssi_ = reading.serving_rssi_dbm;
 
   // Neighbor list: strongest other cells, any RAT.
-  std::sort(faded.begin(), faded.end(),
+  std::sort(faded_.begin(), faded_.end(),
             [](const Candidate& a, const Candidate& b) { return a.rssi > b.rssi; });
-  for (const auto& c : faded) {
+  for (const auto& c : faded_) {
     if (c.cell == reading.serving) continue;
     if (c.rssi < world::kCellDetectionDbm) continue;
     reading.neighbors.push_back(c.cell);
     if (static_cast<int>(reading.neighbors.size()) >= config_.max_neighbors)
       break;
   }
-  return reading;
+}
+
+std::size_t Device::read_gsm_run(
+    std::span<const SimTime> times,
+    const std::function<bool(const GsmReading&)>& sink) {
+  std::size_t n = 0;
+  for (const SimTime t : times) {
+    read_gsm_into(t, gsm_scratch_);
+    ++n;
+    if (!sink(gsm_scratch_)) break;
+  }
+  return n;
 }
 
 WifiScan Device::scan_wifi(SimTime t) {
-  const geo::LatLng pos = oracle_.position(t);
   WifiScan scan;
+  scan_wifi_into(t, scan);
+  return scan;
+}
+
+void Device::scan_wifi_into(SimTime t, WifiScan& scan) {
+  const geo::LatLng pos = oracle_.position(t);
   scan.t = t;
-  for (const auto& ap : world_->visible_aps(pos, 4.0)) {
+  scan.aps.clear();
+  for (const auto& ap : ap_env(pos)) {
     if (rng_.bernoulli(config_.wifi_miss_prob)) continue;
     const double rssi = ap.rssi_dbm + rng_.normal(0, 2.0);
     if (rssi < world::kWifiDetectionDbm) continue;
     scan.aps.push_back({ap.bssid, rssi});
   }
-  return scan;
+}
+
+std::size_t Device::scan_wifi_run(
+    std::span<const SimTime> times,
+    const std::function<bool(const WifiScan&)>& sink) {
+  std::size_t n = 0;
+  for (const SimTime t : times) {
+    scan_wifi_into(t, wifi_scratch_);
+    ++n;
+    if (!sink(wifi_scratch_)) break;
+  }
+  return n;
 }
 
 GpsFix Device::read_gps(SimTime t) {

@@ -5,12 +5,26 @@
 // instead of N redundant ones. The inference engine adjusts periods and
 // requests one-shot samples; every sample is charged to the energy meter.
 //
-// The event loop is a min-heap of due events (periodic firings and
-// one-shots), so advancing to the next event costs O(log n) instead of a
-// linear scan over interfaces + pending one-shots per event. Periodic
-// entries are invalidated lazily via per-interface generation counters:
-// set_period() bumps the generation and pushes a fresh entry; stale heap
-// entries are discarded when popped.
+// The event loop is run-oriented: periodic interfaces live in small
+// fixed-size next-due arrays (finding the earliest of kInterfaceCount
+// entries is a handful of compares — cheaper than any heap or timing wheel
+// at this fan-in), and for the earliest interface the scheduler computes the
+// *run* of consecutive fire times up to the next foreign event (another
+// interface, a one-shot, or the window end) and dispatches the whole run
+// through one batch callback into a pre-sized reusable buffer. Only
+// one-shots still go through a min-heap, because their arrival order is
+// data-dependent. Schedule changes are tracked with per-interface
+// generation counters plus a global change epoch: a set_period/request_once
+// from inside a run truncates it — the batch consumer stops consuming, the
+// scheduler re-plans from the last consumed sample — so adaptive-sensing
+// semantics are identical to per-sample dispatch (fuzz-verified against
+// ReferenceScheduler, the retired heap implementation).
+//
+// Determinism contract (unchanged): dispatch is time-ordered; at equal
+// times periodic interfaces fire before one-shots, periodic in ascending
+// interface index, one-shots in (interface index, request order). Batching
+// never reorders callbacks, so RNG draw order — and therefore every study
+// digest — is byte-identical to per-sample dispatch.
 #pragma once
 
 #include <array>
@@ -18,10 +32,12 @@
 #include <functional>
 #include <optional>
 #include <queue>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "energy/meter.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/simtime.hpp"
 
 namespace pmware::sensing {
@@ -30,12 +46,29 @@ class SamplingScheduler {
  public:
   using Callback = std::function<void(SimTime)>;
 
+  /// Batch handler: receives a run of fire times for one interface (always
+  /// non-empty, strictly increasing, one period apart) and returns how many
+  /// it consumed, in order, from the front. Consuming fewer than the full
+  /// run tells the scheduler the sampling schedule changed mid-run (the
+  /// consumer called set_period/request_once); the scheduler re-plans the
+  /// remainder. Contract for in-run schedule changes: stop consuming right
+  /// after the sample that made the change, and pass explicit times —
+  /// set_period(i, p, /*from=*/t) and request_once(i, /*at>=*/t) — because
+  /// now() only advances at run granularity during batch dispatch.
+  using BatchCallback = std::function<std::size_t(std::span<const SimTime>)>;
+
+  /// Longest run handed to a batch callback in one call; bounds the reusable
+  /// dispatch buffer.
+  static constexpr std::size_t kMaxRunLength = 256;
+
   explicit SamplingScheduler(energy::EnergyMeter* meter);
 
   /// Sets the periodic sampling interval for an interface; nullopt disables
-  /// periodic sampling. Takes effect from the current simulation time.
-  void set_period(energy::Interface interface,
-                  std::optional<SimDuration> period);
+  /// periodic sampling. Takes effect from `from` when given, otherwise from
+  /// the current simulation time. Batch consumers changing the schedule
+  /// mid-run must pass the triggering sample's time as `from`.
+  void set_period(energy::Interface interface, std::optional<SimDuration> period,
+                  std::optional<SimTime> from = std::nullopt);
 
   std::optional<SimDuration> period(energy::Interface interface) const {
     return periods_[static_cast<std::size_t>(interface)];
@@ -43,6 +76,11 @@ class SamplingScheduler {
 
   /// Installs the handler invoked on each sample of `interface`.
   void set_callback(energy::Interface interface, Callback cb);
+
+  /// Installs a run-oriented handler for `interface`; takes precedence over
+  /// the per-sample callback when both are set. One-shots arrive as runs of
+  /// length 1.
+  void set_batch_callback(energy::Interface interface, BatchCallback cb);
 
   /// Requests a single extra sample at time `at` (>= now); used for
   /// triggered sensing (e.g. "scan WiFi now, movement started").
@@ -58,37 +96,40 @@ class SamplingScheduler {
 
   SimTime now() const { return now_; }
 
+  /// Bumped by every set_period/request_once. Batch consumers compare it
+  /// around each sample to detect that they changed the schedule and must
+  /// stop consuming the current run.
+  std::uint64_t change_epoch() const { return change_epoch_; }
+
   /// Value of this scheduler's "instance" metric label, e.g. "dev3" —
   /// isolates the per-device policy gauges.
   const std::string& instance_label() const { return instance_; }
 
  private:
-  /// A heap entry is a *hint* that something may be due at `at`. One-shot
-  /// entries are always live; a periodic entry is live only while the
-  /// interface's generation still matches `seq` and next_due_ equals `at`
-  /// (set_period and window re-arming bump the generation, orphaning any
-  /// entries already in the heap).
-  struct HeapEntry {
+  /// Pending one-shot request. `seq` is the FIFO ticket breaking ties among
+  /// equal-time requests for the same interface.
+  struct OneShot {
     SimTime at = 0;
-    bool one_shot = false;
     std::size_t index = 0;  ///< interface index
-    std::uint64_t seq = 0;  ///< periodic: generation; one-shot: FIFO ticket
+    std::uint64_t seq = 0;
   };
-  struct EntryLater {
-    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+  struct ShotLater {
+    bool operator()(const OneShot& a, const OneShot& b) const {
       if (a.at != b.at) return a.at > b.at;
-      if (a.one_shot != b.one_shot) return a.one_shot;  // periodic first
       if (a.index != b.index) return a.index > b.index;
       return a.seq > b.seq;
     }
   };
 
-  /// True while `entry` (periodic) still reflects the interface's schedule.
-  bool live_periodic(const HeapEntry& entry) const {
-    return generation_[entry.index] == entry.seq &&
-           next_due_[entry.index] && *next_due_[entry.index] == entry.at;
-  }
-  void arm(std::size_t index, SimTime at);
+  /// Dispatches the run of interface `index` starting at `t0`, bounded by
+  /// the earliest foreign event (`horizon`, exclusive).
+  void dispatch_periodic_run(std::size_t index, SimTime t0, SimTime horizon,
+                             TimeWindow window);
+  /// Dispatches the snapshot of one-shots due at <= t (all at time t).
+  void dispatch_due_one_shots(SimTime t);
+  /// Fires one sample of `index` at `t` through the batch callback (span of
+  /// one) or the per-sample callback.
+  void dispatch_single(std::size_t index, SimTime t);
 
   energy::EnergyMeter* meter_;
   std::string instance_;  ///< registry label isolating this device's gauges
@@ -96,9 +137,29 @@ class SamplingScheduler {
   std::array<std::optional<SimTime>, energy::kInterfaceCount> next_due_{};
   std::array<std::uint64_t, energy::kInterfaceCount> generation_{};
   std::array<Callback, energy::kInterfaceCount> callbacks_{};
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, EntryLater> queue_;
+  std::array<BatchCallback, energy::kInterfaceCount> batch_callbacks_{};
+  std::priority_queue<OneShot, std::vector<OneShot>, ShotLater> shots_;
   std::uint64_t one_shot_seq_ = 0;
+  std::uint64_t change_epoch_ = 0;
   SimTime now_ = 0;
+
+  // Reusable hot-loop buffers: the run handed to batch callbacks and the
+  // snapshot of due one-shots. Sized once, never reallocated per sample.
+  std::vector<SimTime> run_buffer_;
+  std::vector<OneShot> due_shots_;
+
+  // Wall time spent inside consumer callbacks this window, per interface.
+  // run() folds each accumulator into one "scheduler.sampling.<interface>"
+  // child span per window (Tracer::record_span), so flame folds separate the
+  // sampling work the scheduler *drives* from the dispatch machinery itself
+  // (scheduler.run self time) without a per-run span blowing the tracer cap.
+  std::array<std::int64_t, energy::kInterfaceCount> callback_ns_{};
+
+  // Pre-resolved per-interface sample/one-shot counters: the hot loop does
+  // one relaxed atomic add per dispatch instead of a LabelSet build + a
+  // locked registry lookup per sample.
+  std::array<telemetry::CachedCounter, energy::kInterfaceCount> samples_total_;
+  std::array<telemetry::CachedCounter, energy::kInterfaceCount> one_shots_total_;
 };
 
 }  // namespace pmware::sensing

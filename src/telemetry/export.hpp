@@ -62,8 +62,10 @@ std::string diagnostics_summary(const Tracer& tracer,
 /// sync-reliability counters under scripted cloud fault plans), 5 = adds
 /// the deployment-study "cache_sweep" block (cache-on vs cache-off digests,
 /// request/recluster collapse, hit taxonomy, and the conditional-transfer
-/// microbenchmarks).
-inline constexpr int kBenchSchemaVersion = 5;
+/// microbenchmarks), 6 = adds the deployment-study "scheduler_sweep" block
+/// (run-generation dispatch microbench and before/after scheduler.run
+/// flame self-time).
+inline constexpr int kBenchSchemaVersion = 6;
 
 /// Reproducibility metadata embedded in every BENCH_*.json, so the perf
 /// trajectory stays comparable across PRs. Zero fields mean "not

@@ -32,6 +32,7 @@ MetricFamily& MetricsRegistry::family_of(const std::string& name,
 
 Counter& MetricsRegistry::counter(const std::string& name, LabelSet labels,
                                   const std::string& help) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
   const std::scoped_lock lock(mu_);
   MetricFamily& family = family_of(name, MetricKind::Counter, help);
   auto [it, inserted] = family.counters.try_emplace(std::move(labels));
@@ -41,6 +42,7 @@ Counter& MetricsRegistry::counter(const std::string& name, LabelSet labels,
 
 Gauge& MetricsRegistry::gauge(const std::string& name, LabelSet labels,
                               const std::string& help) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
   const std::scoped_lock lock(mu_);
   MetricFamily& family = family_of(name, MetricKind::Gauge, help);
   auto [it, inserted] = family.gauges.try_emplace(std::move(labels));
@@ -52,6 +54,7 @@ HistogramMetric& MetricsRegistry::histogram(const std::string& name,
                                             LabelSet labels, double lo,
                                             double hi, std::size_t bucket_count,
                                             const std::string& help) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
   const std::scoped_lock lock(mu_);
   MetricFamily& family = family_of(name, MetricKind::Histogram, help);
   if (!family.histograms.empty()) {

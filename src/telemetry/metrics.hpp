@@ -50,6 +50,9 @@ class Counter {
   void inc(std::uint64_t n = 1) {
     value_.fetch_add(n, std::memory_order_relaxed);
   }
+  /// Batch increment for run-oriented hot loops: one atomic add covers a
+  /// whole dispatched run of samples.
+  void add(std::uint64_t n) { inc(n); }
   std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
@@ -176,11 +179,26 @@ class MetricsRegistry {
   }
 
   /// Drops every family and series. Instrument references obtained earlier
-  /// dangle afterwards — callers must re-fetch (the middleware re-fetches on
-  /// every use, so only tests caching references need care).
+  /// dangle afterwards — callers must re-fetch. Hot paths cache handles via
+  /// CachedCounter below, which revalidates against reset_epoch() so a
+  /// reset invalidates every cached handle instead of leaving it dangling.
   void reset() {
     const std::scoped_lock lock(mu_);
     families_.clear();
+    reset_epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Bumped on every reset(); cached instrument handles compare it to
+  /// decide whether a re-lookup is needed (one relaxed load per use).
+  std::uint64_t reset_epoch() const {
+    return reset_epoch_.load(std::memory_order_relaxed);
+  }
+
+  /// Total counter()/gauge()/histogram() lookups served. The sensing hot
+  /// loop must not take the registry lock per sample; the scheduler
+  /// microbench asserts this stays flat across a dispatch run.
+  std::uint64_t lookup_count() const {
+    return lookups_.load(std::memory_order_relaxed);
   }
 
   /// Fresh id for per-instance labels ("c3", "pms7"); never reused, not
@@ -195,9 +213,41 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::map<std::string, MetricFamily> families_;
   std::atomic<std::uint64_t> next_instance_{0};
+  std::atomic<std::uint64_t> reset_epoch_{0};
+  std::atomic<std::uint64_t> lookups_{0};
 };
 
 /// The process-wide registry every middleware layer records into.
 MetricsRegistry& registry();
+
+/// Pre-resolved counter handle for hot loops. Resolves the (name, labels)
+/// series once and reuses the reference — the per-use cost is one relaxed
+/// epoch load and a compare, no map lookups, no string building, no
+/// registry lock. Safe across registry().reset(): the epoch mismatch
+/// triggers a re-resolve instead of writing through a dangling pointer.
+class CachedCounter {
+ public:
+  CachedCounter(std::string name, LabelSet labels, std::string help)
+      : name_(std::move(name)),
+        labels_(std::move(labels)),
+        help_(std::move(help)) {}
+
+  Counter& get() {
+    auto& reg = registry();
+    const std::uint64_t epoch = reg.reset_epoch();
+    if (cached_ == nullptr || epoch_ != epoch) {
+      cached_ = &reg.counter(name_, labels_, help_);
+      epoch_ = epoch;
+    }
+    return *cached_;
+  }
+
+ private:
+  std::string name_;
+  LabelSet labels_;
+  std::string help_;
+  Counter* cached_ = nullptr;
+  std::uint64_t epoch_ = ~std::uint64_t{0};
+};
 
 }  // namespace pmware::telemetry

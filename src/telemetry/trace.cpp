@@ -38,6 +38,35 @@ std::size_t Tracer::open_span(std::string name, SimTime sim_now,
   return records_.size() - 1;
 }
 
+std::size_t Tracer::record_span(std::string name, SimTime sim_begin,
+                                SimTime sim_end, std::int64_t wall_ns) {
+  const std::scoped_lock lock(mu_);
+  if (records_.size() >= max_records_) {
+    ++dropped_;
+    return SpanRecord::kNoParent;
+  }
+  const auto it = open_.find(std::this_thread::get_id());
+  SpanRecord record;
+  record.name = std::move(name);
+  record.id = records_.size();
+  if (it != open_.end() && !it->second.empty()) {
+    const SpanRecord& parent = records_[it->second.back()];
+    record.parent = it->second.back();
+    record.depth = parent.depth + 1;
+    record.trace_id = parent.trace_id;
+  } else {
+    record.parent = SpanRecord::kNoParent;
+    record.depth = 0;
+    record.trace_id = next_trace_id_++;
+  }
+  record.sim_begin = sim_begin;
+  record.sim_end = sim_end;
+  record.wall_ns = wall_ns;
+  record.finished = true;
+  records_.push_back(std::move(record));
+  return records_.size() - 1;
+}
+
 void Tracer::close_span(std::size_t index, SimTime sim_now,
                         std::int64_t wall_ns) {
   if (index == SpanRecord::kNoParent) return;

@@ -118,6 +118,16 @@ class Tracer {
     dropped_ = 0;
   }
 
+  /// Records an already-measured, finished span as a child of the calling
+  /// thread's innermost open span (a root when none is open) — for callers
+  /// that accumulate the wall cost of many scattered slices and report them
+  /// as one frame, where per-slice RAII spans would blow the record cap
+  /// (e.g. the sampling scheduler attributing per-interface callback time
+  /// once per window instead of once per run). Returns the record index, or
+  /// SpanRecord::kNoParent when dropped at capacity.
+  std::size_t record_span(std::string name, SimTime sim_begin, SimTime sim_end,
+                          std::int64_t wall_ns);
+
  private:
   friend class Span;
 

@@ -34,10 +34,13 @@ class SpatialIndex {
   const std::vector<T>& items() const { return items_; }
   const T& item(std::size_t i) const { return items_.at(i); }
 
-  /// All items within `radius_m` of `p`, as indices into items().
-  /// Results are sorted by index, so iteration order is deterministic.
-  std::vector<std::size_t> query(const geo::LatLng& p, double radius_m) const {
-    std::vector<std::size_t> out;
+  /// Visits every item within `radius_m` of `p` as `fn(index, distance_m)`,
+  /// in the same deterministic cell-major order query() returns. The
+  /// allocation-free form of query(): hot paths reuse their own output
+  /// buffers and get the already-computed distance for free instead of
+  /// recomputing it from the returned index.
+  template <typename Fn>
+  void for_each_in(const geo::LatLng& p, double radius_m, Fn&& fn) const {
     const auto [ci, cj] = cell_of(p);
     const auto span = static_cast<std::int64_t>(
         std::ceil(radius_m / cell_size_m_));
@@ -46,11 +49,19 @@ class SpatialIndex {
         const auto it = grid_.find({ci + di, cj + dj});
         if (it == grid_.end()) continue;
         for (std::size_t idx : it->second) {
-          if (geo::distance_m(p, position_(items_[idx])) <= radius_m)
-            out.push_back(idx);
+          const double d = geo::distance_m(p, position_(items_[idx]));
+          if (d <= radius_m) fn(idx, d);
         }
       }
     }
+  }
+
+  /// All items within `radius_m` of `p`, as indices into items(), in
+  /// deterministic cell-major order.
+  std::vector<std::size_t> query(const geo::LatLng& p, double radius_m) const {
+    std::vector<std::size_t> out;
+    for_each_in(p, radius_m,
+                [&out](std::size_t idx, double) { out.push_back(idx); });
     return out;
   }
 

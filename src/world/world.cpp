@@ -47,8 +47,9 @@ World::World(WorldConfig config, std::vector<Place> places,
   for (std::size_t i = 0; i < places_.size(); ++i) place_index_->add(i);
 }
 
-std::vector<HeardCell> World::hearable_cells(const geo::LatLng& pos,
-                                             double fading_margin_db) const {
+void World::hearable_cells_into(const geo::LatLng& pos,
+                                std::vector<HeardCell>& out,
+                                double fading_margin_db) const {
   const PathLossModel model = cell_path_loss();
   // Search radius: distance at which even a +fading-margin +max-shadowing
   // tower drops below the detection threshold.
@@ -56,54 +57,63 @@ std::vector<HeardCell> World::hearable_cells(const geo::LatLng& pos,
                         fading_margin_db + 12.0;
   const double radius = std::pow(10.0, budget / (10.0 * model.exponent));
 
-  std::vector<HeardCell> out;
-  for (std::size_t idx : tower_index_->query(pos, radius)) {
+  out.clear();
+  tower_index_->for_each_in(pos, radius, [&](std::size_t idx, double dist) {
     const CellTower& t = towers_[idx];
-    const double rssi = model.rssi_dbm(
-        t.tx_power_dbm, geo::distance_m(pos, t.pos), t.shadowing_db);
+    const double rssi = model.rssi_dbm(t.tx_power_dbm, dist, t.shadowing_db);
     if (rssi >= kCellDetectionDbm - fading_margin_db)
       out.push_back({t.id, t.cell, rssi});
-  }
+  });
   std::sort(out.begin(), out.end(), [](const HeardCell& a, const HeardCell& b) {
     if (a.rssi_dbm != b.rssi_dbm) return a.rssi_dbm > b.rssi_dbm;
     return a.tower < b.tower;
   });
+}
+
+std::vector<HeardCell> World::hearable_cells(const geo::LatLng& pos,
+                                             double fading_margin_db) const {
+  std::vector<HeardCell> out;
+  hearable_cells_into(pos, out, fading_margin_db);
   return out;
 }
 
-std::vector<HeardAp> World::visible_aps(const geo::LatLng& pos,
-                                        double fading_margin_db) const {
+void World::visible_aps_into(const geo::LatLng& pos, std::vector<HeardAp>& out,
+                             double fading_margin_db) const {
   const PathLossModel model = wifi_path_loss();
   const double budget = 20.0 - model.reference_loss_db - kWifiDetectionDbm +
                         fading_margin_db + 8.0;
   const double radius = std::pow(10.0, budget / (10.0 * model.exponent));
 
-  std::vector<HeardAp> out;
-  for (std::size_t idx : ap_index_->query(pos, radius)) {
+  out.clear();
+  ap_index_->for_each_in(pos, radius, [&](std::size_t idx, double dist) {
     const WifiAp& ap = aps_[idx];
-    const double rssi = model.rssi_dbm(
-        ap.tx_power_dbm, geo::distance_m(pos, ap.pos), ap.shadowing_db);
+    const double rssi = model.rssi_dbm(ap.tx_power_dbm, dist, ap.shadowing_db);
     if (rssi >= kWifiDetectionDbm - fading_margin_db)
       out.push_back({ap.bssid, rssi, ap.place});
-  }
+  });
   std::sort(out.begin(), out.end(), [](const HeardAp& a, const HeardAp& b) {
     if (a.rssi_dbm != b.rssi_dbm) return a.rssi_dbm > b.rssi_dbm;
     return a.bssid < b.bssid;
   });
+}
+
+std::vector<HeardAp> World::visible_aps(const geo::LatLng& pos,
+                                        double fading_margin_db) const {
+  std::vector<HeardAp> out;
+  visible_aps_into(pos, out, fading_margin_db);
   return out;
 }
 
 std::optional<PlaceId> World::place_at(const geo::LatLng& pos) const {
   std::optional<PlaceId> best;
   double best_dist = std::numeric_limits<double>::infinity();
-  for (std::size_t idx : place_index_->query(pos, 400.0)) {
+  place_index_->for_each_in(pos, 400.0, [&](std::size_t idx, double d) {
     const Place& p = places_[idx];
-    const double d = geo::distance_m(pos, p.center);
     if (d <= p.radius_m && d < best_dist) {
       best = p.id;
       best_dist = d;
     }
-  }
+  });
   return best;
 }
 

@@ -94,9 +94,18 @@ class World {
   std::vector<HeardCell> hearable_cells(const geo::LatLng& pos,
                                         double fading_margin_db = 6.0) const;
 
+  /// Allocation-free form of hearable_cells(): clears and refills `out`
+  /// (capacity is reused across calls). Same results, same order.
+  void hearable_cells_into(const geo::LatLng& pos, std::vector<HeardCell>& out,
+                           double fading_margin_db = 6.0) const;
+
   /// APs visible at `pos`, strongest first.
   std::vector<HeardAp> visible_aps(const geo::LatLng& pos,
                                    double fading_margin_db = 4.0) const;
+
+  /// Allocation-free form of visible_aps(): clears and refills `out`.
+  void visible_aps_into(const geo::LatLng& pos, std::vector<HeardAp>& out,
+                        double fading_margin_db = 4.0) const;
 
   /// Place whose footprint contains `pos` (closest center wins on overlap).
   std::optional<PlaceId> place_at(const geo::LatLng& pos) const;

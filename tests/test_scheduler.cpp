@@ -203,5 +203,124 @@ TEST(Scheduler, ConsecutiveWindowsKeepCadence) {
   EXPECT_EQ(fired, expected);
 }
 
+TEST(Scheduler, OneShotCarriesOverToNextWindow) {
+  // A one-shot requested at/after the current window's end stays queued and
+  // fires in the next run() window (the study runs day-sized windows).
+  SamplingScheduler scheduler(nullptr);
+  std::vector<SimTime> fired;
+  scheduler.set_callback(Interface::Wifi,
+                         [&fired](SimTime t) { fired.push_back(t); });
+  scheduler.set_callback(Interface::Gsm, [&scheduler](SimTime t) {
+    if (t == 60) {
+      scheduler.request_once(Interface::Wifi, 300);  // == window.end
+      scheduler.request_once(Interface::Wifi, 410);  // beyond window.end
+    }
+  });
+  scheduler.set_period(Interface::Gsm, 60);
+  scheduler.run(TimeWindow{0, 300});
+  EXPECT_TRUE(fired.empty());
+  scheduler.set_period(Interface::Gsm, std::nullopt);
+  scheduler.run(TimeWindow{300, 600});
+  const std::vector<SimTime> expected{300, 410};
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(Scheduler, BatchCallbackReceivesRuns) {
+  // With no competing interfaces or one-shots, a periodic interface's whole
+  // window arrives as one run of consecutive fire times.
+  energy::EnergyMeter meter;
+  SamplingScheduler scheduler(&meter);
+  std::vector<std::vector<SimTime>> runs;
+  scheduler.set_batch_callback(
+      Interface::Gsm, [&runs](std::span<const SimTime> run) {
+        runs.emplace_back(run.begin(), run.end());
+        return run.size();
+      });
+  scheduler.set_period(Interface::Gsm, 60);
+  scheduler.run(TimeWindow{0, minutes(10)});
+  ASSERT_EQ(runs.size(), 1u);
+  ASSERT_EQ(runs[0].size(), 10u);
+  for (std::size_t i = 0; i < runs[0].size(); ++i)
+    EXPECT_EQ(runs[0][i], static_cast<SimTime>(i) * 60);
+  EXPECT_EQ(meter.sample_count(Interface::Gsm), 10u);
+}
+
+TEST(Scheduler, BatchConsumerTruncationMatchesPerSampleSemantics) {
+  // The batch consumer changes its own period mid-run: it stops consuming
+  // after the triggering sample and passes the explicit time, and the fire
+  // times match the per-sample callback exactly (see
+  // Scheduler.CallbackCanChangePeriodMidRun).
+  SamplingScheduler scheduler(nullptr);
+  std::vector<SimTime> fired;
+  scheduler.set_batch_callback(
+      Interface::Gsm, [&](std::span<const SimTime> run) {
+        std::size_t consumed = 0;
+        for (const SimTime t : run) {
+          fired.push_back(t);
+          ++consumed;
+          if (t == 120) {
+            scheduler.set_period(Interface::Gsm, 300, /*from=*/t);
+            break;
+          }
+        }
+        return consumed;
+      });
+  scheduler.set_period(Interface::Gsm, 60);
+  scheduler.run(TimeWindow{0, minutes(20)});
+  const std::vector<SimTime> expected{0, 60, 120, 420, 720, 1020};
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(Scheduler, BatchAndSingleCallbacksAgree) {
+  // Same policy storm driven through the per-sample and the batch interface
+  // produces identical dispatch logs and identical metered energy.
+  const auto drive = [](auto&& install) {
+    energy::EnergyMeter meter;
+    SamplingScheduler scheduler(&meter);
+    std::vector<std::pair<int, SimTime>> log;
+    install(scheduler, log);
+    scheduler.set_period(Interface::Gsm, 60);
+    scheduler.set_period(Interface::Accelerometer, 90);
+    scheduler.run(TimeWindow{0, hours(1)});
+    scheduler.run(TimeWindow{hours(1), hours(2)});
+    return std::pair(log, meter.total_j());
+  };
+
+  const auto single = drive([](SamplingScheduler& s,
+                               std::vector<std::pair<int, SimTime>>& log) {
+    s.set_callback(Interface::Gsm, [&s, &log](SimTime t) {
+      log.push_back({0, t});
+      if (t == 300) s.request_once(Interface::Wifi, t + 30);
+    });
+    s.set_callback(Interface::Accelerometer,
+                   [&log](SimTime t) { log.push_back({1, t}); });
+    s.set_callback(Interface::Wifi,
+                   [&log](SimTime t) { log.push_back({2, t}); });
+  });
+  const auto batched = drive([](SamplingScheduler& s,
+                                std::vector<std::pair<int, SimTime>>& log) {
+    const auto consume = [&s](int kind, auto& log_ref) {
+      return [&s, kind, &log_ref](std::span<const SimTime> run) {
+        std::size_t consumed = 0;
+        for (const SimTime t : run) {
+          log_ref.push_back({kind, t});
+          ++consumed;
+          if (kind == 0 && t == 300) {
+            s.request_once(Interface::Wifi, t + 30);
+            break;
+          }
+        }
+        return consumed;
+      };
+    };
+    s.set_batch_callback(Interface::Gsm, consume(0, log));
+    s.set_batch_callback(Interface::Accelerometer, consume(1, log));
+    s.set_batch_callback(Interface::Wifi, consume(2, log));
+  });
+
+  EXPECT_EQ(single.first, batched.first);
+  EXPECT_EQ(single.second, batched.second);
+}
+
 }  // namespace
 }  // namespace pmware::sensing

@@ -679,10 +679,10 @@ TEST(Exporters, BenchJsonCarriesSchemaVersionRunMetaAndFlame) {
   buffer << in.rdbuf();
   const Json doc = Json::parse(buffer.str());
   EXPECT_EQ(doc.at("schema_version").as_int(), kBenchSchemaVersion);
-  // Pin the current version: 5 added the deployment study's cache_sweep
+  // Pin the current version: 6 added the deployment study's scheduler_sweep
   // results block. Bumping kBenchSchemaVersion means updating this test and
   // the history comment in export.hpp together.
-  EXPECT_EQ(kBenchSchemaVersion, 5);
+  EXPECT_EQ(kBenchSchemaVersion, 6);
   EXPECT_EQ(doc.at("bench").as_string(), "unit");
   EXPECT_EQ(doc.at("run").at("seed").as_int(), 20141208);
   EXPECT_EQ(doc.at("run").at("threads").as_int(), 8);
