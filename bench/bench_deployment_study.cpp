@@ -22,6 +22,7 @@
 #include "study/deployment.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/log.hpp"
+#include "telemetry/process.hpp"
 #include "util/logging.hpp"
 #include "viz/map_render.hpp"
 
@@ -893,9 +894,33 @@ int main(int argc, char** argv) {
                   incremental_s > 0 ? full_s / incremental_s : 0.0);
     recluster.set("identical", recluster_identical);
     extra.set("recluster", std::move(recluster));
+    // schema_version 7: fleet throughput per sweep configuration plus the
+    // process high-water marks — the capacity-planning view of the study.
+    {
+      const telemetry::ProcessStats proc = telemetry::read_process_stats();
+      const double fleet_days =
+          static_cast<double>(result.participants.size()) *
+          static_cast<double>(config.days);
+      Json throughput = Json::object();
+      Json tp_runs = Json::array();
+      for (const auto& entry : sweep) {
+        Json e = Json::object();
+        e.set("shards", entry.shards);
+        e.set("threads", entry.threads);
+        e.set("participant_days_per_s",
+              entry.wall_s > 0 ? fleet_days / entry.wall_s : 0.0);
+        tp_runs.push_back(std::move(e));
+      }
+      throughput.set("runs", std::move(tp_runs));
+      throughput.set("peak_rss_bytes", proc.peak_rss_bytes);
+      throughput.set("cpu_seconds", proc.cpu_seconds);
+      extra.set("throughput", std::move(throughput));
+    }
     // Telemetry in the dump is from the conditional-transfer microbench
     // (the last section to reset the registry); the sweep blocks above
-    // carry their own per-run counters.
+    // carry their own per-run counters. The "timeseries" block
+    // write_bench_json embeds is the recorder ring from the most recent
+    // study run — one point per sim-day.
     const telemetry::RunMeta meta{config.seed, thread_counts.back(),
                                   config.days};
     if (!telemetry::write_bench_json(json_path, "deployment_study",

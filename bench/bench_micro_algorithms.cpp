@@ -7,8 +7,13 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <new>
+#include <thread>
+#include <vector>
 
 #include "algorithms/gca.hpp"
 #include "algorithms/signature.hpp"
@@ -304,6 +309,143 @@ void BM_DeviceReadGsm(benchmark::State& state) {
 }
 BENCHMARK(BM_DeviceReadGsm)->Arg(1)->Arg(0);
 
+// --- Telemetry recording: pre-resolved handles vs registry lookups ---
+
+/// One striped-counter inc through a pre-resolved reference — the steady
+/// state of every MetricHandle call site.
+void BM_CounterIncHandle(benchmark::State& state) {
+  telemetry::registry().reset();
+  telemetry::Counter& c =
+      telemetry::registry().counter("bench_handle_total", {}, "bench");
+  for (auto _ : state) c.inc();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CounterIncHandle);
+
+/// The pre-handle idiom: name + labels looked up in the registry map (under
+/// the registry mutex, building label strings) on every inc.
+void BM_CounterIncRegistryLookup(benchmark::State& state) {
+  telemetry::registry().reset();
+  for (auto _ : state) {
+    telemetry::registry()
+        .counter("bench_lookup_total", {{"instance", "b0"}}, "bench")
+        .inc();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CounterIncRegistryLookup);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  telemetry::registry().reset();
+  telemetry::HistogramMetric& h = telemetry::registry().histogram(
+      "bench_observe", {}, 0, 4096, 16, "bench");
+  double x = 0;
+  for (auto _ : state) h.observe(x += 1);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramObserve);
+
+// --- --assert-telemetry-budget: the ci.sh gate ------------------------------
+//
+// Hand-rolled (not google-benchmark) so it can return a process exit code:
+// 8 threads hammer the same fleet-shared instruments and the gate asserts
+// (a) totals are exact — no lost increments under contention, (b) the
+// pre-resolved handle path beats the per-op registry-lookup path, and
+// (c) absolute ns/op budgets with ~10x headroom over measured values, so
+// the gate catches regressions (a mutex on the inc path, a lookup snuck
+// into a handle) without flaking on a loaded CI container.
+
+/// Wall ns/op of `op(thread_index, op_index)` across kThreads * ops_per_thread
+/// calls, all threads released together.
+template <typename Op>
+double threaded_ns_per_op(int threads, std::uint64_t ops_per_thread, Op op) {
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&go, &op, t, ops_per_thread] {
+      while (!go.load(std::memory_order_acquire)) {}
+      for (std::uint64_t i = 0; i < ops_per_thread; ++i) op(t, i);
+    });
+  }
+  const auto begin = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& t : pool) t.join();
+  const auto wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - begin)
+                        .count();
+  return static_cast<double>(wall) /
+         static_cast<double>(static_cast<std::uint64_t>(threads) *
+                             ops_per_thread);
+}
+
+int run_telemetry_budget_selfcheck() {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kOps = 100000;
+  // Container-safe budgets: measured cold-cache debug-build numbers are
+  // well under a tenth of these.
+  constexpr double kCounterBudgetNs = 1000;
+  constexpr double kObserveBudgetNs = 5000;
+  auto& reg = telemetry::registry();
+  int failures = 0;
+  const auto check = [&failures](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what);
+    if (!ok) ++failures;
+  };
+
+  std::printf("telemetry budget selfcheck: %d threads x %llu ops\n", kThreads,
+              static_cast<unsigned long long>(kOps));
+
+  reg.reset();
+  telemetry::Counter& shared =
+      reg.counter("budget_handle_total", {}, "selfcheck");
+  const double handle_ns = threaded_ns_per_op(
+      kThreads, kOps, [&shared](int, std::uint64_t) { shared.inc(); });
+  std::printf("  counter inc, pre-resolved handle: %8.1f ns/op\n", handle_ns);
+  check(shared.value() == static_cast<std::uint64_t>(kThreads) * kOps,
+        "striped counter total exact under 8-thread contention");
+
+  const double lookup_ns =
+      threaded_ns_per_op(kThreads, kOps, [&reg](int, std::uint64_t) {
+        reg.counter("budget_lookup_total", {{"instance", "b0"}}, "selfcheck")
+            .inc();
+      });
+  std::printf("  counter inc, registry lookup:     %8.1f ns/op\n", lookup_ns);
+
+  telemetry::HistogramMetric& hist =
+      reg.histogram("budget_observe", {}, 0, 4096, 16, "selfcheck");
+  const double observe_ns = threaded_ns_per_op(
+      kThreads, kOps, [&hist](int t, std::uint64_t i) {
+        hist.observe(static_cast<double>((i + static_cast<std::uint64_t>(t)) %
+                                         4096));
+      });
+  std::printf("  histogram observe, sharded:       %8.1f ns/op\n", observe_ns);
+  const auto snap = hist.snapshot();
+  check(snap.stats.count() == static_cast<std::uint64_t>(kThreads) * kOps &&
+            snap.buckets.total() == snap.stats.count(),
+        "histogram shards merge coherently (bucket total == stats count)");
+
+  check(handle_ns < lookup_ns,
+        "lock-free handle path faster than locked registry-lookup path");
+  check(handle_ns <= kCounterBudgetNs, "counter-inc within ns/op budget");
+  check(observe_ns <= kObserveBudgetNs,
+        "histogram-observe within ns/op budget");
+
+  std::printf("telemetry budget selfcheck: %s\n",
+              failures == 0 ? "PASS" : "FAIL");
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--assert-telemetry-budget") == 0)
+      return run_telemetry_budget_selfcheck();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 verification, five legs: a plain build (plus the golden study
-# digest assertion), a warnings-as-errors build, an address+UB-sanitized
-# one, a thread-sanitized build that runs the Sharding-labeled tests (the
-# telemetry registry/tracer hammer, the sharded-cloud hammer, the
-# router/cloud suites, and the parallel deployment study) together with the
-# SchedulerPerf battery (the batched sensing hot loop raced across 8
-# workers), and a chaos leg that re-runs the Robustness-labeled
-# fault/outbox/breaker tests under asan.
+# digest assertion and the telemetry ns/op budget gate), a
+# warnings-as-errors build, an address+UB-sanitized one, a thread-sanitized
+# build that runs the Sharding-labeled tests (the telemetry registry/tracer
+# hammer, the sharded-cloud hammer, the router/cloud suites, and the
+# parallel deployment study) together with the SchedulerPerf battery (the
+# batched sensing hot loop raced across 8 workers), the Concurrency battery
+# (striped counters / sharded histograms / metric handles), and the
+# Alerting battery (recorder + alert engine), and a chaos leg that re-runs
+# the Robustness-labeled fault/outbox/breaker tests under asan together
+# with Caching and Alerting.
 # Usage: ./ci.sh [extra cmake args...]
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -30,11 +33,13 @@ run_suite build "" "$@"
 # Golden-digest gate: the deployment study must stay byte-identical to the
 # digest captured at the pre-change baseline and committed with each
 # hot-path PR (tests/golden/study_digest.txt). Catches any perf change that
-# quietly reorders RNG draws or drops samples.
-echo "=== golden study digest ==="
+# quietly reorders RNG draws or drops samples. Runs with --progress and the
+# timeseries recorder + alert engine at defaults (fully on), so the gate
+# also proves telemetry never perturbs the study.
+echo "=== golden study digest (telemetry fully enabled) ==="
 golden_digest="$(cat tests/golden/study_digest.txt)"
 actual_digest="$(./build/examples/studyctl --participants 4 --days 3 \
-    --threads 2 --shards 4 |
+    --threads 2 --shards 4 --progress 2>/dev/null |
   sed -n 's/^cloud content digest: //p')"
 if [[ "${actual_digest}" != "${golden_digest}" ]]; then
   echo "golden digest mismatch: got '${actual_digest}'," \
@@ -42,6 +47,12 @@ if [[ "${actual_digest}" != "${golden_digest}" ]]; then
   exit 1
 fi
 echo "study digest ${actual_digest} matches golden"
+
+# Telemetry budget gate: 8 threads hammer the metric hot paths; asserts
+# exact totals, the lock-free handle path beating the registry-lookup path,
+# and absolute ns/op ceilings (see bench_micro_algorithms.cpp).
+echo "=== telemetry ns/op budget ==="
+./build/bench/bench_micro_algorithms --assert-telemetry-budget
 
 # -Wall -Wextra are always on; this build promotes them to errors so new
 # warnings fail CI instead of scrolling by.
@@ -52,12 +63,16 @@ run_suite build-asan "" -DPMWARE_SANITIZE="address;undefined" "$@"
 # Caching label rides along: the content caches sit on the concurrent
 # request path (shared shard write marks, per-cache mutexes). SchedulerPerf
 # races the batched dispatch loop and the device env cache under tsan.
-run_suite build-tsan "-L Sharding|Caching|SchedulerPerf" -DPMWARE_SANITIZE="thread" "$@"
+# Concurrency races the striped-counter / sharded-histogram / handle hot
+# paths; Alerting races the recorder + engine through the parallel study's
+# determinism guard.
+run_suite build-tsan "-L Sharding|Caching|SchedulerPerf|Concurrency|Alerting" -DPMWARE_SANITIZE="thread" "$@"
 # Chaos leg: the fault-injection / outbox / circuit-breaker battery again
 # under asan+ubsan, isolated so failures point straight at the recovery
 # machinery, plus the cache battery (conditional transfer under faults,
-# digest invalidation). Reuses the sanitized build from above.
-echo "=== ctest: build-asan chaos (-L Robustness|Caching) ==="
-(cd build-asan && ctest --output-on-failure -j "$(nproc)" -L "Robustness|Caching")
+# digest invalidation) and the alerting battery (rule evaluation over the
+# failure counters those faults drive). Reuses the sanitized build above.
+echo "=== ctest: build-asan chaos (-L Robustness|Caching|Alerting) ==="
+(cd build-asan && ctest --output-on-failure -j "$(nproc)" -L "Robustness|Caching|Alerting")
 
 echo "ci.sh: all five suites passed"

@@ -6,20 +6,31 @@
 //   studyctl [--participants N] [--days D] [--seed S] [--threads T]
 //            [--shards N] [--region india|switzerland] [--no-wifi] [--no-ads]
 //            [--cache on|off] [--fault-plan SPEC]
+//            [--progress] [--no-timeseries] [--no-alerts]
 //            [--log-level debug|info|warn|error|off]
 //            [--report FILE.json] [--map FILE.svg]
+//
+// --progress prints a live line to stderr while the study runs:
+// participant-days done, throughput, ETA, and how many alert rules are
+// firing. The sim-time series recorder and SLO alert engine are on by
+// default (they never perturb results — the content digest is identical
+// with them off); --no-timeseries / --no-alerts disable them.
 //
 // --fault-plan scripts cloud-side failures (see DESIGN.md "Failure model &
 // recovery"), e.g. "outage=5d..8d" or
 // "route=/api/users,error=0.3,from=2d,to=11d;latency=1". The sync
 // reliability digest printed after the run shows how much traffic failed,
 // what the outbox recovered, and whether anything was lost.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "study/deployment.hpp"
+#include "telemetry/alerts.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/log.hpp"
 #include "telemetry/metrics.hpp"
@@ -38,6 +49,7 @@ int usage(const char* argv0) {
                "          [--region india|switzerland]\n"
                "          [--no-wifi] [--no-ads] [--cache on|off]\n"
                "          [--fault-plan SPEC]  (e.g. \"outage=5d..8d\")\n"
+               "          [--progress] [--no-timeseries] [--no-alerts]\n"
                "          [--log-level debug|info|warn|error|off]\n"
                "          [--report FILE.json] [--map FILE.svg]\n",
                argv0);
@@ -51,6 +63,7 @@ int main(int argc, char** argv) {
   study::StudyConfig config;
   std::string report_path = "study_report.json";
   std::string map_path;
+  bool progress = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -108,6 +121,12 @@ int main(int argc, char** argv) {
       config.use_wifi = false;
     } else if (arg == "--no-ads") {
       config.run_placeads = false;
+    } else if (arg == "--progress") {
+      progress = true;
+    } else if (arg == "--no-timeseries") {
+      config.timeseries.enabled = false;
+    } else if (arg == "--no-alerts") {
+      config.alerts = false;
     } else if (arg == "--report") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -139,7 +158,41 @@ int main(int argc, char** argv) {
               config.fault_plan.describe().c_str());
 
   study::DeploymentStudy study(config);
+
+  // --progress reporter: polls the study's progress counter on a wall-clock
+  // cadence and repaints one stderr line. Read-only observers of telemetry
+  // state — never touches science state, so the digest is unaffected.
+  std::atomic<bool> study_done{false};
+  std::thread reporter;
+  if (progress) {
+    reporter = std::thread([&study, &study_done] {
+      using clock = std::chrono::steady_clock;
+      const auto t0 = clock::now();
+      const std::uint64_t total = study.participant_days_total();
+      while (!study_done.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        const std::uint64_t done = study.participant_days_done();
+        const double wall =
+            std::chrono::duration_cast<std::chrono::duration<double>>(
+                clock::now() - t0)
+                .count();
+        const double rate = wall > 0 ? static_cast<double>(done) / wall : 0;
+        const double eta =
+            rate > 0 ? static_cast<double>(total - done) / rate : 0;
+        std::fprintf(stderr,
+                     "\rprogress: %llu/%llu participant-days  "
+                     "%.1f pd/s  eta %.0fs  alerts firing: %zu   ",
+                     static_cast<unsigned long long>(done),
+                     static_cast<unsigned long long>(total), rate, eta,
+                     telemetry::alerts().firing_count());
+      }
+      std::fprintf(stderr, "\n");
+    });
+  }
+
   const study::StudyResult result = study.run();
+  study_done.store(true, std::memory_order_relaxed);
+  if (reporter.joinable()) reporter.join();
   std::printf("%s", result.summary().c_str());
   std::printf("%s", telemetry::diagnostics_summary(telemetry::tracer(),
                                                    telemetry::registry())
@@ -181,6 +234,26 @@ int main(int argc, char** argv) {
   // byte-identical to the golden digest committed with each perf PR.
   std::printf("cloud content digest: %llu\n",
               static_cast<unsigned long long>(result.storage_digest));
+
+  // --- Telemetry digest: what the recorder sampled and how the alert
+  // rules ended the run.
+  if (config.timeseries.enabled || config.alerts) {
+    std::printf("\n--- telemetry ---\n");
+    if (config.timeseries.enabled) {
+      const auto& ts = telemetry::timeseries();
+      std::printf("  timeseries:        %zu points @ %llds interval"
+                  " (%zu evicted)\n",
+                  ts.points().size(),
+                  static_cast<long long>(ts.config().interval), ts.dropped());
+    }
+    if (config.alerts) {
+      for (const auto& [rule, state] : telemetry::alerts().snapshot())
+        std::printf("  alert %-16s %s (fired %llu time%s)\n",
+                    rule.name.c_str(), state.firing ? "FIRING" : "ok",
+                    static_cast<unsigned long long>(state.fire_count),
+                    state.fire_count == 1 ? "" : "s");
+    }
+  }
 
   // --- Caching digest: the ccache-style hit taxonomy per cache instance,
   // plus what the conditional-GET cache saved on the wire.

@@ -7,8 +7,10 @@
 #include "algorithms/gca.hpp"
 #include "cache/etag.hpp"
 #include "core/codec.hpp"
+#include "telemetry/alerts.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/log.hpp"
+#include "telemetry/timeseries.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "util/strfmt.hpp"
@@ -181,6 +183,7 @@ void CloudInstance::register_routes() {
                     [this](const HttpRequest& req, const PathParams&) {
     if (!authed_user(req))
       return HttpResponse::error(net::kStatusUnauthorized, "invalid token");
+    telemetry::ensure_build_info(telemetry::registry());
     const auto format = req.query.find("format");
     if (format != req.query.end() && format->second == "json")
       return HttpResponse::json(telemetry::to_json(telemetry::registry()));
@@ -188,6 +191,24 @@ void CloudInstance::register_routes() {
     body.set("content_type", "text/plain; version=0.0.4");
     body.set("text", telemetry::to_prometheus(telemetry::registry()));
     return HttpResponse::json(std::move(body));
+  });
+
+  // --- Observability: sim-time series + alert state (§ telemetry) ---
+  // Same auth posture as /metrics. /timeseries serves the recorder ring
+  // (per-sim-interval counter deltas and gauge values); /alertz serves the
+  // live rule table of the SLO alert engine.
+  router_.add_route(Method::Get, "/timeseries",
+                    [this](const HttpRequest& req, const PathParams&) {
+    if (!authed_user(req))
+      return HttpResponse::error(net::kStatusUnauthorized, "invalid token");
+    return HttpResponse::json(telemetry::timeseries().to_json());
+  });
+
+  router_.add_route(Method::Get, "/alertz",
+                    [this](const HttpRequest& req, const PathParams&) {
+    if (!authed_user(req))
+      return HttpResponse::error(net::kStatusUnauthorized, "invalid token");
+    return HttpResponse::json(telemetry::alerts().to_json());
   });
 
   // --- Diagnostics: liveness + storage/error overview (§ tracing) ---

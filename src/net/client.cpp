@@ -51,7 +51,31 @@ RestClient::RestClient(const Router* server, NetworkConditions conditions,
     : server_(server),
       conditions_(conditions),
       rng_(rng),
-      instance_(registry().next_instance_label("c")) {
+      instance_(registry().next_instance_label("c")),
+      requests_(kRequests, instance_labels(instance_),
+                "REST requests attempted (incl. retries)"),
+      failures_(kFailures, instance_labels(instance_),
+                "transport-level losses observed"),
+      retries_(kRetries, instance_labels(instance_),
+               "REST retries after transport loss"),
+      bytes_sent_(kBytesSent, instance_labels(instance_),
+                  "serialized JSON body bytes sent"),
+      latency_(kLatency, instance_labels(instance_),
+               "simulated round-trip seconds accumulated"),
+      backoff_(kBackoff, instance_labels(instance_),
+               "simulated seconds spent in retry backoff waits"),
+      breaker_opens_(kBreakerOpens, instance_labels(instance_),
+                     "circuit breaker transitions to open"),
+      breaker_fast_fails_(kBreakerFastFails, instance_labels(instance_),
+                          "sends rejected while the circuit breaker was open"),
+      not_modified_(kNotModified, instance_labels(instance_),
+                    "conditional GETs resolved as 304 Not Modified"),
+      bytes_saved_(kBytesSaved, instance_labels(instance_),
+                   "response body bytes 304s did not re-transfer"),
+      breaker_state_gauge_(kBreakerState, instance_labels(instance_),
+                           "circuit breaker state: 0 closed, 1 open, 2 half-open"),
+      request_bytes_("net_request_bytes", {}, 0, 4096, 16,
+                     "request body size distribution, bytes") {
   enter_state(BreakerState::Closed);
 }
 
@@ -68,10 +92,7 @@ void RestClient::set_cache_policy(CachePolicy policy) {
 
 void RestClient::enter_state(BreakerState state) {
   state_ = state;
-  registry()
-      .gauge(kBreakerState, instance_labels(instance_),
-             "circuit breaker state: 0 closed, 1 open, 2 half-open")
-      .set(static_cast<double>(state));
+  breaker_state_gauge_.set(static_cast<double>(state));
 }
 
 void RestClient::record_outcome(bool delivered, SimTime sim_now) {
@@ -88,17 +109,12 @@ void RestClient::record_outcome(bool delivered, SimTime sim_now) {
       consecutive_failures_ >= breaker_.failure_threshold) {
     enter_state(BreakerState::Open);
     open_until_ = sim_now + breaker_.cooldown_s;
-    registry()
-        .counter(kBreakerOpens, instance_labels(instance_),
-                 "circuit breaker transitions to open")
-        .inc();
+    breaker_opens_.inc();
   }
 }
 
 HttpResponse RestClient::send(const HttpRequest& request, int max_retries) {
   const SimTime sim_now = request.sim_time();
-  auto& reg = registry();
-  const LabelSet labels = instance_labels(instance_);
 
   // Breaker gate: while open and inside the cooldown, fail fast without
   // consuming RNG draws or network counters — callers see an ordinary 503
@@ -106,9 +122,7 @@ HttpResponse RestClient::send(const HttpRequest& request, int max_retries) {
   // the cooldown elapses the next send() becomes the half-open probe.
   if (breaker_.failure_threshold > 0 && state_ == BreakerState::Open) {
     if (sim_now < open_until_) {
-      reg.counter(kBreakerFastFails, labels,
-                  "sends rejected while the circuit breaker was open")
-          .inc();
+      breaker_fast_fails_.inc();
       return HttpResponse::error(kStatusServiceUnavailable,
                                  "circuit breaker open");
     }
@@ -175,33 +189,25 @@ HttpResponse RestClient::send(const HttpRequest& request, int max_retries) {
         if (max_jitter > 0) backoff += rng_.uniform_int(0, max_jitter);
       }
       elapsed += backoff;
-      reg.counter(kBackoff, labels,
-                  "simulated seconds spent in retry backoff waits")
-          .inc(static_cast<std::uint64_t>(backoff));
-      reg.counter(kRetries, labels, "REST retries after transport loss").inc();
+      backoff_.inc(static_cast<std::uint64_t>(backoff));
+      retries_.inc();
     }
-    reg.counter(kRequests, labels, "REST requests attempted (incl. retries)")
-        .inc();
-    reg.counter(kBytesSent, labels, "serialized JSON body bytes sent")
-        .inc(body_bytes);
-    reg.histogram("net_request_bytes", {}, 0, 4096, 16,
-                  "request body size distribution, bytes")
-        .observe(static_cast<double>(body_bytes));
-    reg.counter(kLatency, labels, "simulated round-trip seconds accumulated")
-        .inc(static_cast<std::uint64_t>(conditions_.latency_s));
+    requests_.inc();
+    bytes_sent_.inc(body_bytes);
+    request_bytes_.observe(static_cast<double>(body_bytes));
+    latency_.inc(static_cast<std::uint64_t>(conditions_.latency_s));
     elapsed += conditions_.latency_s;
     // Sim-time is frozen across this loop, so retries of one logical request
     // are byte-identical; the attempt header is what lets a deterministic
     // server-side fault roll (net/fault.hpp) treat each retry as fresh.
     outgoing.headers[kAttemptHeader] = std::to_string(attempt);
     if (rng_.bernoulli(conditions_.failure_prob)) {
-      reg.counter(kFailures, labels, "transport-level losses observed").inc();
+      failures_.inc();
       continue;  // request lost; retry
     }
     response = server_->handle(outgoing);
     if (response.sim_latency_s > 0) {
-      reg.counter(kLatency, labels, "simulated round-trip seconds accumulated")
-          .inc(static_cast<std::uint64_t>(response.sim_latency_s));
+      latency_.inc(static_cast<std::uint64_t>(response.sim_latency_s));
       elapsed += response.sim_latency_s;
     }
     // A server 503 (outage window, injected error) is as retryable as a
@@ -213,12 +219,8 @@ HttpResponse RestClient::send(const HttpRequest& request, int max_retries) {
       // The server validated our tag: resolve the 304 from the cached body
       // so the caller sees an ordinary 200 — a cloud_hit that moved headers
       // instead of the representation.
-      reg.counter(kNotModified, labels,
-                  "conditional GETs resolved as 304 Not Modified")
-          .inc();
-      reg.counter(kBytesSaved, labels,
-                  "response body bytes 304s did not re-transfer")
-          .inc(remembered->body.dump().size());
+      not_modified_.inc();
+      bytes_saved_.inc(remembered->body.dump().size());
       conditional_cache_->record(cache::CacheOutcome::CloudHit);
       response.status = kStatusOk;
       response.body = remembered->body;

@@ -13,6 +13,7 @@
 #include "cache/content_cache.hpp"
 #include "net/http.hpp"
 #include "net/router.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/simtime.hpp"
 
@@ -128,6 +129,21 @@ class RestClient {
   NetworkConditions conditions_;
   Rng rng_;
   std::string instance_;  ///< registry label isolating this client's series
+  // Pre-resolved metric handles (telemetry/metrics.hpp): send() records
+  // through these so the per-attempt hot path is one relaxed atomic add,
+  // never a registry map lookup. Handles revalidate after registry reset.
+  telemetry::CounterHandle requests_;
+  telemetry::CounterHandle failures_;
+  telemetry::CounterHandle retries_;
+  telemetry::CounterHandle bytes_sent_;
+  telemetry::CounterHandle latency_;
+  telemetry::CounterHandle backoff_;
+  telemetry::CounterHandle breaker_opens_;
+  telemetry::CounterHandle breaker_fast_fails_;
+  telemetry::CounterHandle not_modified_;
+  telemetry::CounterHandle bytes_saved_;
+  telemetry::GaugeHandle breaker_state_gauge_;
+  telemetry::HistogramHandle request_bytes_;  ///< unlabeled: fleet-shared
   std::string token_;
   RetryPolicy retry_;
   BreakerPolicy breaker_;

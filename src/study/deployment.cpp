@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "telemetry/alerts.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "telemetry/log.hpp"
@@ -132,6 +133,7 @@ ParticipantResult DeploymentStudy::run_participant(
     pms.run(TimeWindow{start_of_day(day), start_of_day(day + 1)});
     diary_session(pms, *world_, truth_visits, config_, start_of_day(day + 1),
                   diary_rng, diary);
+    note_participant_day();
   }
   pms.shutdown(start_of_day(config_.days));
   diary_session(pms, *world_, truth_visits, config_, start_of_day(config_.days),
@@ -213,7 +215,47 @@ ParticipantResult DeploymentStudy::run_participant(
   return result;
 }
 
+void DeploymentStudy::note_participant_day() {
+  telemetry::registry()
+      .counter("study_participant_days_total", {},
+               "completed participant-days across the fleet")
+      .inc();
+  // Fleet sim-time: completed participant-days scaled to seconds and
+  // divided by fleet size. Monotone in completion count, so a D-day study
+  // crosses exactly D interval boundaries no matter how workers interleave
+  // — that is what keeps sample counts (and alert trajectories) identical
+  // between sequential and parallel runs.
+  const std::uint64_t done = days_done_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const auto fleet_t = static_cast<SimTime>(
+      done * static_cast<std::uint64_t>(kSecondsPerDay) /
+      static_cast<std::uint64_t>(std::max(config_.participants, 1)));
+  if (telemetry::timeseries().advance(fleet_t) && config_.alerts)
+    telemetry::alerts().evaluate(fleet_t);
+}
+
 StudyResult DeploymentStudy::run() {
+  days_done_.store(0, std::memory_order_relaxed);
+  auto& recorder = telemetry::timeseries();
+  recorder.configure(config_.timeseries);
+  if (config_.timeseries.enabled) {
+    // The default dashboard: study progress, traffic, and every failure
+    // family the default alert rules watch, plus the process gauges.
+    recorder.track_counter("study_participant_days_total");
+    recorder.track_counter("net_requests_total");
+    recorder.track_counter("cloud_requests_total");
+    recorder.track_counter("net_retries_total");
+    recorder.track_counter("net_breaker_open_total");
+    recorder.track_counter("pms_sync_failures_total");
+    recorder.track_counter("pms_outbox_evicted_total");
+    recorder.track_counter("cloud_slo_violations_total");
+    recorder.track_counter("alerts_fired_total");
+    recorder.track_gauge("process_rss_bytes");
+    recorder.track_gauge("process_peak_rss_bytes");
+    recorder.track_gauge("process_cpu_seconds");
+  }
+  telemetry::alerts().clear();
+  if (config_.alerts) telemetry::alerts().install_default_rules();
+
   Rng participants_rng = rng_.fork(2);
   const std::vector<mobility::Participant> participants =
       mobility::make_participants(*world_, config_.participants,

@@ -6,6 +6,8 @@
 // ratio.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,6 +18,7 @@
 #include "cloud/cloud_instance.hpp"
 #include "core/pms.hpp"
 #include "mobility/schedule.hpp"
+#include "telemetry/timeseries.hpp"
 #include "world/world.hpp"
 
 namespace pmware::study {
@@ -67,6 +70,17 @@ struct StudyConfig {
   /// are byte-identical on/off — caching only removes work — which the
   /// cache_sweep bench and tests/test_cache.cpp assert.
   bool cache = true;
+  /// Sim-time series recorder settings (--no-timeseries in studyctl). The
+  /// study samples the default counter/gauge families once per interval of
+  /// *fleet* sim-time (completed participant-days / participants, in
+  /// seconds), so a D-day study yields exactly D samples regardless of
+  /// thread count or participant interleaving. Telemetry never touches
+  /// science state or RNG streams, so the content digest is byte-identical
+  /// on/off — the determinism guard in tests/test_alerting.cpp asserts it.
+  telemetry::TimeSeriesConfig timeseries;
+  /// Evaluate the default SLO alert rules at every timeseries sample
+  /// (--no-alerts in studyctl). Same determinism guarantee as above.
+  bool alerts = true;
 };
 
 /// One entry of the Figure-5b place map.
@@ -120,14 +134,29 @@ class DeploymentStudy {
 
   const world::World& world() const { return *world_; }
 
+  /// Completed participant-days across all workers — the study's progress
+  /// axis. studyctl's --progress reporter polls this.
+  std::uint64_t participant_days_done() const {
+    return days_done_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t participant_days_total() const {
+    return static_cast<std::uint64_t>(config_.participants) *
+           static_cast<std::uint64_t>(config_.days);
+  }
+
  private:
   ParticipantResult run_participant(const mobility::Participant& participant,
                                     cloud::CloudInstance& cloud, Rng& rng,
                                     std::vector<PlaceMapEntry>& place_map);
+  /// Called by workers after each completed participant-day: bumps the
+  /// progress counter, advances fleet sim-time, and lets the recorder /
+  /// alert engine sample at most once per crossed interval.
+  void note_participant_day();
 
   StudyConfig config_;
   std::shared_ptr<const world::World> world_;
   Rng rng_;
+  std::atomic<std::uint64_t> days_done_{0};
 };
 
 }  // namespace pmware::study

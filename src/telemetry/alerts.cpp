@@ -1,0 +1,200 @@
+#include "telemetry/alerts.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "telemetry/metrics.hpp"
+
+namespace pmware::telemetry {
+
+namespace {
+
+/// Sentinel timestamp for the burn-rate install baseline: old enough to
+/// fall at-or-before any real window horizon, far from SimTime overflow.
+constexpr SimTime kInstallTime = -(std::int64_t{1} << 60);
+
+}  // namespace
+
+const char* to_string(AlertKind kind) {
+  switch (kind) {
+    case AlertKind::Threshold: return "threshold";
+    case AlertKind::BurnRate: return "burn_rate";
+    case AlertKind::Staleness: return "staleness";
+  }
+  return "?";
+}
+
+void AlertEngine::clear() {
+  const std::scoped_lock lock(mu_);
+  rules_.clear();
+}
+
+void AlertEngine::add_rule(AlertRule rule) {
+  const std::scoped_lock lock(mu_);
+  RuleState rs;
+  rs.rule = std::move(rule);
+  if (rs.rule.window <= 0) rs.rule.window = kSecondsPerDay;
+  // Seed burn-rate history with the install-time value at the dawn of
+  // time, so increments between install and the first evaluation count
+  // toward the first window instead of vanishing into the baseline.
+  if (rs.rule.kind == AlertKind::BurnRate)
+    rs.history.emplace_back(kInstallTime, current_value(rs.rule));
+  rules_.push_back(std::move(rs));
+}
+
+void AlertEngine::install_default_rules() {
+  // Any breaker open within the trailing day: a participant's cloud sync is
+  // degraded enough to trip the failure threshold.
+  add_rule({"breaker-open", AlertKind::BurnRate, "net_breaker_open_total",
+            0.0, kSecondsPerDay,
+            "a circuit breaker opened within the trailing sim-day"});
+  // Any outbox eviction ever is data loss; page immediately and latch.
+  add_rule({"outbox-overflow", AlertKind::Threshold,
+            "pms_outbox_evicted_total", 1.0, kSecondsPerDay,
+            "outbox records evicted — durable sync lost data"});
+  // SLO violations accumulating faster than ~1 per 10 sim-seconds across
+  // the fleet burns the error budget.
+  add_rule({"slo-burn", AlertKind::BurnRate, "cloud_slo_violations_total",
+            0.1, kSecondsPerDay,
+            "handler SLO violations exceed the error-budget burn rate"});
+  // More than one wall-second of shard lock waiting per sim-day means the
+  // shard count no longer matches the fan-in.
+  add_rule({"shard-lock-wait", AlertKind::BurnRate,
+            "cloud_shard_lock_wait_us", 1e6 / kSecondsPerDay, kSecondsPerDay,
+            "cloud storage shard lock wait exceeds 1s per sim-day"});
+  // No participant-day completed for a sim-day: the study stalled.
+  add_rule({"study-progress", AlertKind::Staleness,
+            "study_participant_days_total", 0.0, kSecondsPerDay,
+            "no participant-day completed within the trailing sim-day"});
+}
+
+double AlertEngine::current_value(const AlertRule& rule) const {
+  return registry().with_families(
+      [&rule](const std::map<std::string, MetricFamily>& families) {
+        const auto it = families.find(rule.family);
+        if (it == families.end()) return 0.0;
+        double total = 0;
+        switch (it->second.kind) {
+          case MetricKind::Counter:
+            for (const auto& [labels, series] : it->second.counters)
+              total += static_cast<double>(series->value());
+            break;
+          case MetricKind::Gauge:
+            for (const auto& [labels, series] : it->second.gauges)
+              total += series->value();
+            break;
+          case MetricKind::Histogram:
+            for (const auto& [labels, series] : it->second.histograms)
+              total += series->snapshot().stats.sum();
+            break;
+        }
+        return total;
+      });
+}
+
+void AlertEngine::evaluate_rule(RuleState& rs, SimTime now) {
+  const AlertRule& rule = rs.rule;
+  const double value = current_value(rule);
+  bool firing = false;
+
+  switch (rule.kind) {
+    case AlertKind::Threshold:
+      rs.state.value = value;
+      firing = value >= rule.threshold;
+      break;
+    case AlertKind::BurnRate: {
+      rs.history.emplace_back(now, value);
+      // Baseline: the newest point at or before the window start; early in
+      // a run the oldest point stands in (the fixed-window denominator
+      // keeps that conservative).
+      const SimTime horizon = now - rule.window;
+      double baseline = rs.history.front().second;
+      for (const auto& [t, v] : rs.history) {
+        if (t > horizon) break;
+        baseline = v;
+      }
+      // Prune strictly-older points, keeping one at/before the horizon so
+      // the next evaluation still has its baseline.
+      while (rs.history.size() > 1 && rs.history[1].first <= horizon)
+        rs.history.pop_front();
+      const double rate =
+          (value - baseline) / static_cast<double>(rule.window);
+      rs.state.value = rate;
+      firing = rate > rule.threshold;
+      break;
+    }
+    case AlertKind::Staleness: {
+      if (!rs.seen || value > rs.last_value) rs.last_progress = now;
+      const SimDuration age = now - rs.last_progress;
+      rs.state.value = static_cast<double>(age);
+      firing = rs.seen && age >= rule.window;
+      break;
+    }
+  }
+  rs.last_value = value;
+  rs.seen = true;
+
+  if (firing && !rs.state.firing) {
+    rs.state.since = now;
+    ++rs.state.fire_count;
+    registry()
+        .counter("alerts_fired_total", {{"rule", rule.name}},
+                 "alert rule rising edges (resolved -> firing)")
+        .inc();
+  }
+  rs.state.firing = firing;
+  rs.state.last_eval = now;
+}
+
+void AlertEngine::evaluate(SimTime now) {
+  const std::scoped_lock lock(mu_);
+  for (RuleState& rs : rules_) evaluate_rule(rs, now);
+}
+
+std::vector<std::pair<AlertRule, AlertState>> AlertEngine::snapshot() const {
+  const std::scoped_lock lock(mu_);
+  std::vector<std::pair<AlertRule, AlertState>> out;
+  out.reserve(rules_.size());
+  for (const RuleState& rs : rules_) out.emplace_back(rs.rule, rs.state);
+  return out;
+}
+
+std::size_t AlertEngine::firing_count() const {
+  const std::scoped_lock lock(mu_);
+  return static_cast<std::size_t>(
+      std::count_if(rules_.begin(), rules_.end(),
+                    [](const RuleState& rs) { return rs.state.firing; }));
+}
+
+Json AlertEngine::to_json() const {
+  const std::scoped_lock lock(mu_);
+  Json rules = Json::array();
+  std::size_t firing = 0;
+  for (const RuleState& rs : rules_) {
+    Json r = Json::object();
+    r.set("name", rs.rule.name);
+    r.set("kind", to_string(rs.rule.kind));
+    r.set("family", rs.rule.family);
+    r.set("threshold", rs.rule.threshold);
+    r.set("window_s", rs.rule.window);
+    r.set("firing", rs.state.firing);
+    r.set("value", rs.state.value);
+    r.set("since", rs.state.since);
+    r.set("fire_count", rs.state.fire_count);
+    r.set("last_eval", rs.state.last_eval);
+    if (!rs.rule.help.empty()) r.set("help", rs.rule.help);
+    rules.push_back(std::move(r));
+    if (rs.state.firing) ++firing;
+  }
+  Json out = Json::object();
+  out.set("rules", std::move(rules));
+  out.set("firing", static_cast<std::uint64_t>(firing));
+  return out;
+}
+
+AlertEngine& alerts() {
+  static AlertEngine instance;
+  return instance;
+}
+
+}  // namespace pmware::telemetry

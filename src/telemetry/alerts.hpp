@@ -1,0 +1,108 @@
+// Declarative SLO alerting over the metrics registry.
+//
+// Rules watch one metric family each and are evaluated at every timeseries
+// sample boundary (the deployment study calls evaluate() whenever the
+// recorder takes a sample), in three kinds:
+//
+//  * Threshold — fires while the family's current value (counter family
+//    total, gauge family sum, or histogram family sum) is >= threshold.
+//    "outbox-overflow: any eviction ever is data loss."
+//  * BurnRate — fires while the family's increase over the trailing
+//    `window` of sim-time, divided by the window, exceeds `threshold`
+//    (units: value per sim-second). "slo-burn: violations accumulating
+//    faster than the error budget."
+//  * Staleness — fires when the family has not increased for at least
+//    `window` sim-seconds (and had at least one prior evaluation).
+//    "study-progress: no participant-day finished in a sim-day."
+//
+// Each rising edge (resolved -> firing) increments
+// alerts_fired_total{rule=<name>}; GET /alertz serves the live state.
+//
+// Determinism: evaluation points are sim-time slot boundaries and every
+// window is sim-time, so for a given metric history the alert trajectory
+// is reproducible — wall-clock never enters, and evaluating never mutates
+// anything the study reads (the determinism guard asserts digests are
+// unchanged with the engine on).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/simtime.hpp"
+
+namespace pmware::telemetry {
+
+enum class AlertKind { Threshold, BurnRate, Staleness };
+const char* to_string(AlertKind kind);
+
+struct AlertRule {
+  std::string name;     ///< label value in alerts_fired_total{rule=...}
+  AlertKind kind = AlertKind::Threshold;
+  std::string family;   ///< watched metric family (any kind)
+  /// Threshold: fire at value >= threshold. BurnRate: fire at
+  /// delta/window > threshold (per sim-second). Staleness: unused.
+  double threshold = 0;
+  /// Trailing sim-time window for BurnRate and Staleness.
+  SimDuration window = kSecondsPerDay;
+  std::string help;
+};
+
+struct AlertState {
+  bool firing = false;
+  double value = 0;          ///< last evaluated value / burn rate / age
+  SimTime since = 0;         ///< sim-time the current firing started
+  std::uint64_t fire_count = 0;  ///< rising edges since configure
+  SimTime last_eval = 0;
+};
+
+class AlertEngine {
+ public:
+  /// Drops every rule and its state. Each study run re-adds its rules.
+  void clear();
+  void add_rule(AlertRule rule);
+  /// The default PMWare rule set: breaker-open, outbox-overflow, slo-burn,
+  /// shard-lock-wait, study-progress (staleness).
+  void install_default_rules();
+
+  /// Evaluates every rule against the process-wide registry at sim-time
+  /// `now`. Rising edges increment alerts_fired_total{rule}. Thread-safe;
+  /// the study calls this from whichever worker took the timeseries
+  /// sample.
+  void evaluate(SimTime now);
+
+  std::vector<std::pair<AlertRule, AlertState>> snapshot() const;
+  std::size_t firing_count() const;
+
+  /// {"rules": [{"name", "kind", "family", "threshold", "window_s",
+  ///  "firing", "value", "since", "fire_count"}], "firing": N} — the
+  ///  GET /alertz payload.
+  Json to_json() const;
+
+ private:
+  struct RuleState {
+    AlertRule rule;
+    AlertState state;
+    /// (sim_time, family value) history for BurnRate windows; Staleness
+    /// keeps the last time the value increased in `last_progress`.
+    std::deque<std::pair<SimTime, double>> history;
+    double last_value = 0;
+    SimTime last_progress = 0;
+    bool seen = false;
+  };
+
+  double current_value(const AlertRule& rule) const;
+  void evaluate_rule(RuleState& rs, SimTime now);
+
+  mutable std::mutex mu_;
+  std::vector<RuleState> rules_;
+};
+
+/// The process-wide alert engine, evaluated by the deployment study and
+/// served by the cloud's GET /alertz.
+AlertEngine& alerts();
+
+}  // namespace pmware::telemetry

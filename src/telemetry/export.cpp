@@ -6,6 +6,8 @@
 #include <fstream>
 
 #include "telemetry/log.hpp"
+#include "telemetry/process.hpp"
+#include "telemetry/timeseries.hpp"
 #include "util/strfmt.hpp"
 
 namespace pmware::telemetry {
@@ -362,8 +364,47 @@ std::string git_describe() {
 #endif
 }
 
+void ensure_build_info(MetricsRegistry& reg) {
+#if defined(__SANITIZE_ADDRESS__)
+  const char* sanitizer = "address";
+#elif defined(__SANITIZE_THREAD__)
+  const char* sanitizer = "thread";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  const char* sanitizer = "address";
+#elif __has_feature(thread_sanitizer)
+  const char* sanitizer = "thread";
+#else
+  const char* sanitizer = "none";
+#endif
+#else
+  const char* sanitizer = "none";
+#endif
+#if defined(__VERSION__)
+  const char* compiler = __VERSION__;
+#else
+  const char* compiler = "unknown";
+#endif
+  // git_describe shells out; compute the label set once and reuse it.
+  // After a reset() the family is simply re-registered on the next call.
+  static const LabelSet labels = [sanitizer, compiler] {
+    LabelSet l;
+    l["version"] = "PMWare/1.0";
+    const std::string describe = git_describe();
+    l["git_describe"] = describe.empty() ? "unknown" : describe;
+    l["compiler"] = compiler;
+    l["sanitizer"] = sanitizer;
+    return l;
+  }();
+  reg.gauge("pmware_build_info", labels,
+            "build identity (always 1; the labels carry the information)")
+      .set(1.0);
+}
+
 bool write_bench_json(const std::string& path, const std::string& bench_name,
                       Json extra, RunMeta meta) {
+  ensure_build_info(registry());
+  const ProcessStats proc = sample_process_stats(registry());
   Json doc = Json::object();
   doc.set("schema_version",
           static_cast<std::int64_t>(kBenchSchemaVersion));
@@ -379,6 +420,12 @@ bool write_bench_json(const std::string& path, const std::string& bench_name,
 
   doc.set("results", std::move(extra));
   doc.set("metrics", to_json(registry()).at("metrics"));
+  doc.set("timeseries", timeseries().to_json());
+  Json process = Json::object();
+  process.set("rss_bytes", proc.rss_bytes);
+  process.set("peak_rss_bytes", proc.peak_rss_bytes);
+  process.set("cpu_seconds", proc.cpu_seconds);
+  doc.set("process", std::move(process));
   const std::vector<SpanRecord> spans = tracer().snapshot();
   Json span_arr = Json::array();
   for (const SpanRecord& record : spans)

@@ -64,8 +64,11 @@ std::string diagnostics_summary(const Tracer& tracer,
 /// request/recluster collapse, hit taxonomy, and the conditional-transfer
 /// microbenchmarks), 6 = adds the deployment-study "scheduler_sweep" block
 /// (run-generation dispatch microbench and before/after scheduler.run
-/// flame self-time).
-inline constexpr int kBenchSchemaVersion = 6;
+/// flame self-time), 7 = adds the "timeseries" block (per-sim-interval
+/// counter deltas and gauge values from the sim-time series recorder), the
+/// "process" block (RSS / peak RSS / CPU sampled at export), and the
+/// pmware_build_info gauge in "metrics".
+inline constexpr int kBenchSchemaVersion = 7;
 
 /// Reproducibility metadata embedded in every BENCH_*.json, so the perf
 /// trajectory stays comparable across PRs. Zero fields mean "not
@@ -80,6 +83,13 @@ struct RunMeta {
 /// the repo) is unavailable.
 std::string git_describe();
 
+/// Registers the pmware_build_info gauge (value 1; labels: version,
+/// git_describe, compiler, sanitizer) in `reg` if absent, so every
+/// /metrics scrape and bench JSON self-identifies the build. Idempotent;
+/// called by the cloud's /metrics handler and write_bench_json. Survives
+/// reset() by re-registering on the next scrape.
+void ensure_build_info(MetricsRegistry& reg);
+
 /// Parses "--json [path]" out of argv. Returns the explicit path, the
 /// default "BENCH_<bench_name>.json" when --json is given bare, or "" when
 /// the flag is absent.
@@ -87,8 +97,9 @@ std::string bench_json_path(int argc, char** argv,
                             const std::string& bench_name);
 
 /// Writes {"schema_version": ..., "bench": name, "run": {...}, "results":
-/// extra, "metrics": ..., "spans": [...], "flame": [...]} from the
-/// process-wide registry/tracer to `path`. Returns false (with a log line)
+/// extra, "metrics": ..., "timeseries": {...}, "process": {...},
+/// "spans": [...], "flame": [...]} from the process-wide
+/// registry/tracer/recorder to `path`. Returns false (with a log line)
 /// on I/O failure.
 bool write_bench_json(const std::string& path, const std::string& bench_name,
                       Json extra = Json::object(), RunMeta meta = {});

@@ -4,6 +4,13 @@
 
 namespace pmware::telemetry {
 
+unsigned thread_stripe_id() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 const char* to_string(MetricKind kind) {
   switch (kind) {
     case MetricKind::Counter: return "counter";
@@ -61,10 +68,8 @@ HistogramMetric& MetricsRegistry::histogram(const std::string& name,
     // Bucket layout is immutable after construction, so reading it without
     // the metric's own lock is safe.
     const HistogramMetric& existing = *family.histograms.begin()->second;
-    if (existing.buckets().bucket_lo(0) != lo ||
-        existing.buckets().bucket_hi(existing.buckets().bucket_count() - 1) !=
-            hi ||
-        existing.buckets().bucket_count() != bucket_count) {
+    if (existing.lo() != lo || existing.hi() != hi ||
+        existing.bucket_count() != bucket_count) {
       throw TelemetryError(
           strfmt("histogram '%s' re-declared with different bounds",
                  name.c_str()));

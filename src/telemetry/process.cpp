@@ -1,0 +1,74 @@
+#include "telemetry/process.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+#include "telemetry/metrics.hpp"
+
+namespace pmware::telemetry {
+
+namespace {
+
+/// Parses "VmRSS:    1234 kB" style lines out of /proc/self/status.
+std::uint64_t status_kb(const char* buf, const char* key) {
+  const char* line = std::strstr(buf, key);
+  if (line == nullptr) return 0;
+  unsigned long long kb = 0;
+  if (std::sscanf(line + std::strlen(key), " %llu", &kb) != 1) return 0;
+  return static_cast<std::uint64_t>(kb) * 1024;
+}
+
+}  // namespace
+
+ProcessStats read_process_stats() {
+  ProcessStats stats;
+#if defined(__linux__)
+  if (FILE* f = std::fopen("/proc/self/status", "r")) {
+    char buf[8192];
+    const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    buf[n] = '\0';
+    std::fclose(f);
+    stats.rss_bytes = status_kb(buf, "VmRSS:");
+    stats.peak_rss_bytes = status_kb(buf, "VmHWM:");
+  }
+  if (FILE* f = std::fopen("/proc/self/stat", "r")) {
+    char buf[2048];
+    const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    buf[n] = '\0';
+    std::fclose(f);
+    // Field 2 (comm) may contain spaces; skip past its closing paren, then
+    // utime/stime are fields 14/15 (1-based), i.e. 11 fields after state.
+    if (const char* p = std::strrchr(buf, ')')) {
+      unsigned long long utime = 0, stime = 0;
+      if (std::sscanf(p + 1,
+                      " %*c %*d %*d %*d %*d %*d %*u %*u %*u %*u %*u %llu %llu",
+                      &utime, &stime) == 2) {
+        const long hz = ::sysconf(_SC_CLK_TCK);
+        if (hz > 0)
+          stats.cpu_seconds = static_cast<double>(utime + stime) /
+                              static_cast<double>(hz);
+      }
+    }
+  }
+#endif
+  return stats;
+}
+
+ProcessStats sample_process_stats(MetricsRegistry& reg) {
+  const ProcessStats stats = read_process_stats();
+  reg.gauge("process_rss_bytes", {}, "resident set size of this process")
+      .set(static_cast<double>(stats.rss_bytes));
+  reg.gauge("process_peak_rss_bytes", {},
+            "high-water resident set size of this process")
+      .set(static_cast<double>(stats.peak_rss_bytes));
+  reg.gauge("process_cpu_seconds", {},
+            "user + system CPU seconds consumed by this process")
+      .set(stats.cpu_seconds);
+  return stats;
+}
+
+}  // namespace pmware::telemetry

@@ -1,0 +1,31 @@
+// Process resource gauges: what this run costs the machine.
+//
+// Reads /proc/self (Linux; zeros elsewhere) and publishes
+// process_rss_bytes / process_peak_rss_bytes / process_cpu_seconds gauges,
+// so a population-scale study reports its memory envelope and CPU burn in
+// every /metrics scrape, timeseries sample, and BENCH_*.json — the
+// ROADMAP's "peak RSS in the bench JSON" requirement.
+#pragma once
+
+#include <cstdint>
+
+namespace pmware::telemetry {
+
+class MetricsRegistry;
+
+struct ProcessStats {
+  std::uint64_t rss_bytes = 0;       ///< current resident set (VmRSS)
+  std::uint64_t peak_rss_bytes = 0;  ///< high-water resident set (VmHWM)
+  double cpu_seconds = 0;            ///< user + system CPU consumed
+};
+
+/// Point-in-time read of /proc/self/status + /proc/self/stat. All-zero on
+/// platforms without procfs or if the files cannot be parsed.
+ProcessStats read_process_stats();
+
+/// Reads the process stats and publishes them as gauges in `reg`
+/// (process_rss_bytes, process_peak_rss_bytes, process_cpu_seconds).
+/// Returns the sampled values.
+ProcessStats sample_process_stats(MetricsRegistry& reg);
+
+}  // namespace pmware::telemetry

@@ -1,0 +1,135 @@
+#include "telemetry/timeseries.hpp"
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/process.hpp"
+
+namespace pmware::telemetry {
+
+namespace {
+
+/// Sum of every series in a gauge family (0 when absent) — mirrors
+/// MetricsRegistry::family_total for counters.
+double gauge_family_sum(const MetricsRegistry& reg, const std::string& name) {
+  return reg.with_families(
+      [&name](const std::map<std::string, MetricFamily>& families) {
+        const auto it = families.find(name);
+        if (it == families.end() || it->second.kind != MetricKind::Gauge)
+          return 0.0;
+        double total = 0;
+        for (const auto& [labels, series] : it->second.gauges)
+          total += series->value();
+        return total;
+      });
+}
+
+}  // namespace
+
+void TimeSeriesRecorder::configure(const TimeSeriesConfig& config) {
+  const std::scoped_lock lock(mu_);
+  config_ = config;
+  if (config_.interval <= 0) config_.interval = kSecondsPerDay;
+  if (config_.capacity == 0) config_.capacity = 1;
+  tracked_.clear();
+  points_.clear();
+  last_slot_ = 0;
+  dropped_ = 0;
+}
+
+TimeSeriesConfig TimeSeriesRecorder::config() const {
+  const std::scoped_lock lock(mu_);
+  return config_;
+}
+
+void TimeSeriesRecorder::track_counter(const std::string& family) {
+  const std::scoped_lock lock(mu_);
+  tracked_.push_back({family, /*is_counter=*/true,
+                      registry().family_total(family)});
+}
+
+void TimeSeriesRecorder::track_gauge(const std::string& family) {
+  const std::scoped_lock lock(mu_);
+  tracked_.push_back({family, /*is_counter=*/false, 0});
+}
+
+bool TimeSeriesRecorder::advance(SimTime now) {
+  const std::scoped_lock lock(mu_);
+  if (!config_.enabled) return false;
+  const std::int64_t slot = now / config_.interval;
+  if (slot <= last_slot_) return false;
+  last_slot_ = slot;
+  sample_locked(slot * config_.interval);
+  return true;
+}
+
+void TimeSeriesRecorder::sample_locked(SimTime stamp) {
+  // Refresh process gauges first so a tracked process_* family carries the
+  // value as of this sample. Registry calls are safe here: mu_ and the
+  // registry lock are only ever taken in this order.
+  sample_process_stats(registry());
+
+  TimeSeriesPoint point;
+  point.sim_time = stamp;
+  point.values.reserve(tracked_.size());
+  for (Tracked& t : tracked_) {
+    if (t.is_counter) {
+      const std::uint64_t total = registry().family_total(t.family);
+      point.values.push_back(
+          static_cast<double>(total - t.prev_total));
+      t.prev_total = total;
+    } else {
+      point.values.push_back(gauge_family_sum(registry(), t.family));
+    }
+  }
+  points_.push_back(std::move(point));
+  while (points_.size() > config_.capacity) {
+    points_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::vector<std::string> TimeSeriesRecorder::series_names() const {
+  const std::scoped_lock lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tracked_.size());
+  for (const Tracked& t : tracked_) names.push_back(t.family);
+  return names;
+}
+
+std::vector<TimeSeriesPoint> TimeSeriesRecorder::points() const {
+  const std::scoped_lock lock(mu_);
+  return {points_.begin(), points_.end()};
+}
+
+std::size_t TimeSeriesRecorder::dropped() const {
+  const std::scoped_lock lock(mu_);
+  return dropped_;
+}
+
+Json TimeSeriesRecorder::to_json() const {
+  const std::scoped_lock lock(mu_);
+  Json out = Json::object();
+  out.set("interval_s", config_.interval);
+  out.set("capacity", static_cast<std::uint64_t>(config_.capacity));
+  out.set("dropped", static_cast<std::uint64_t>(dropped_));
+  Json series = Json::array();
+  for (const Tracked& t : tracked_) series.push_back(t.family);
+  out.set("series", std::move(series));
+  Json points = Json::array();
+  for (const TimeSeriesPoint& p : points_) {
+    Json point = Json::object();
+    point.set("t", p.sim_time);
+    Json values = Json::array();
+    for (double v : p.values) values.push_back(v);
+    point.set("values", std::move(values));
+    points.push_back(std::move(point));
+  }
+  out.set("points", std::move(points));
+  return out;
+}
+
+TimeSeriesRecorder& timeseries() {
+  static TimeSeriesRecorder instance;
+  return instance;
+}
+
+}  // namespace pmware::telemetry

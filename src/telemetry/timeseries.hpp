@@ -1,0 +1,107 @@
+// Sim-time series recorder: how the metrics evolve over a study.
+//
+// The registry answers "what are the totals now"; this recorder answers
+// "how did we get there". At a configurable sim-interval (default one
+// sim-day) it samples a tracked set of counter families (as deltas since
+// the previous sample) and gauge families (as point-in-time values) into a
+// bounded ring, so a 100k-participant, multi-week study keeps a fixed
+// memory footprint no matter how long it runs. Process gauges
+// (telemetry/process.hpp) are refreshed on every sample, so RSS/CPU ride
+// along for free.
+//
+// Time axis: samples are keyed to *sim* time, never wall-clock. The
+// deployment study advances the recorder with fleet-progress time
+// (completed participant-days scaled to sim-seconds), which crosses each
+// interval boundary exactly once per simulated fleet-day regardless of
+// thread count or participant interleaving. Crossing detection is
+// thread-safe and at-most-once per slot: whichever worker crosses first
+// takes the sample.
+//
+// Determinism: the recorder only *reads* metrics — it never touches RNG
+// streams or sim-time ordering, so enabling it cannot perturb study
+// results (the determinism guard in tests/test_alerting.cpp and the ci.sh
+// golden-digest gate both assert the content digest is byte-identical
+// with the recorder on).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/simtime.hpp"
+
+namespace pmware::telemetry {
+
+struct TimeSeriesConfig {
+  bool enabled = true;
+  /// Sim-seconds between samples. Finer than the study's progress quantum
+  /// (one participant-day) still samples at most once per quantum.
+  SimDuration interval = kSecondsPerDay;
+  /// Ring bound: oldest points are evicted once this many are retained.
+  std::size_t capacity = 512;
+};
+
+/// One sampled point: counter deltas over the preceding interval plus
+/// gauge values at the boundary, in tracked-series order.
+struct TimeSeriesPoint {
+  SimTime sim_time = 0;
+  std::vector<double> values;
+};
+
+class TimeSeriesRecorder {
+ public:
+  /// Applies config and clears all points, tracked series, and slot state —
+  /// each study run starts a fresh series. Thread-safe.
+  void configure(const TimeSeriesConfig& config);
+  TimeSeriesConfig config() const;
+
+  /// Tracks a counter family: each sample records family_total() minus the
+  /// total at the previous sample (the per-interval rate numerator).
+  void track_counter(const std::string& family);
+  /// Tracks a gauge family: each sample records the sum of the family's
+  /// series values at the sample boundary.
+  void track_gauge(const std::string& family);
+
+  /// Crossing detection: samples once per interval boundary passed since
+  /// the last sample, stamped at the boundary. Returns true iff this call
+  /// took a sample (the caller that advanced the clock past the boundary —
+  /// the study uses that to trigger alert evaluation exactly once per
+  /// sample). No-op while disabled.
+  bool advance(SimTime now);
+
+  /// Tracked series names, in recorded-value order.
+  std::vector<std::string> series_names() const;
+  std::vector<TimeSeriesPoint> points() const;
+  std::size_t dropped() const;
+
+  /// {"interval_s": ..., "capacity": ..., "dropped": ..., "series": [names],
+  ///  "points": [{"t": sim_time, "values": [...]}]} — the GET /timeseries
+  ///  payload and the bench JSON "timeseries" block.
+  Json to_json() const;
+
+ private:
+  struct Tracked {
+    std::string family;
+    bool is_counter = true;
+    std::uint64_t prev_total = 0;  ///< counter total at the previous sample
+  };
+
+  void sample_locked(SimTime stamp);
+
+  mutable std::mutex mu_;
+  TimeSeriesConfig config_;
+  std::vector<Tracked> tracked_;
+  std::deque<TimeSeriesPoint> points_;
+  std::int64_t last_slot_ = 0;  ///< highest interval index already sampled
+  std::size_t dropped_ = 0;     ///< points evicted at the ring bound
+};
+
+/// The process-wide recorder, sampled by the deployment study and served
+/// by the cloud's GET /timeseries.
+TimeSeriesRecorder& timeseries();
+
+}  // namespace pmware::telemetry

@@ -21,6 +21,24 @@ void RunningStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n_a = static_cast<double>(count_);
+  const double n_b = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n_a + n_b;
+  mean_ += delta * n_b / n;
+  m2_ += other.m2_ + delta * delta * n_a * n_b / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double RunningStats::variance() const {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);
@@ -63,6 +81,14 @@ void Histogram::add(double x) {
                                  static_cast<std::int64_t>(counts_.size()) - 1);
   ++counts_[static_cast<std::size_t>(idx)];
   ++total_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ ||
+      other.counts_.size() != counts_.size())
+    throw std::invalid_argument("Histogram::merge: layout mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
 }
 
 double Histogram::bucket_lo(std::size_t bucket) const {

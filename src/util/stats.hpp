@@ -14,6 +14,11 @@ class RunningStats {
  public:
   void add(double x);
 
+  /// Folds another accumulator in, as if every sample it saw had been
+  /// add()ed here (parallel Welford combination: Chan et al.). Used by the
+  /// telemetry layer to merge per-thread histogram shards at snapshot time.
+  void merge(const RunningStats& other);
+
   std::size_t count() const { return count_; }
   double mean() const { return count_ ? mean_ : 0.0; }
   /// Sample variance (n-1 denominator); 0 when fewer than 2 samples.
@@ -46,7 +51,12 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t buckets);
 
   void add(double x);
+  /// Adds another histogram's bucket counts; layouts must match exactly
+  /// (same lo/hi/bucket_count) or std::invalid_argument is thrown.
+  void merge(const Histogram& other);
   std::size_t bucket_count() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
   std::size_t count(std::size_t bucket) const { return counts_.at(bucket); }
   std::size_t total() const { return total_; }
   double bucket_lo(std::size_t bucket) const;

@@ -679,10 +679,14 @@ TEST(Exporters, BenchJsonCarriesSchemaVersionRunMetaAndFlame) {
   buffer << in.rdbuf();
   const Json doc = Json::parse(buffer.str());
   EXPECT_EQ(doc.at("schema_version").as_int(), kBenchSchemaVersion);
-  // Pin the current version: 6 added the deployment study's scheduler_sweep
-  // results block. Bumping kBenchSchemaVersion means updating this test and
-  // the history comment in export.hpp together.
-  EXPECT_EQ(kBenchSchemaVersion, 6);
+  // Pin the current version: 7 added the "timeseries" and "process" blocks
+  // plus the pmware_build_info gauge. Bumping kBenchSchemaVersion means
+  // updating this test and the history comment in export.hpp together.
+  EXPECT_EQ(kBenchSchemaVersion, 7);
+  EXPECT_TRUE(doc.contains("timeseries"));
+  EXPECT_TRUE(doc.at("timeseries").contains("points"));
+  EXPECT_GT(doc.at("process").at("peak_rss_bytes").as_int(), 0);
+  EXPECT_TRUE(doc.at("metrics").contains("pmware_build_info"));
   EXPECT_EQ(doc.at("bench").as_string(), "unit");
   EXPECT_EQ(doc.at("run").at("seed").as_int(), 20141208);
   EXPECT_EQ(doc.at("run").at("threads").as_int(), 8);
