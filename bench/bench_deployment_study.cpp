@@ -247,6 +247,9 @@ int main(int argc, char** argv) {
       "latency=2,from=0,to=12d",
   };
   bool cache_for_sweeps = true;  // --cache on|off: main sweeps' cache setting
+  // --max-pop caps the population_sweep's largest row (default 100k; the
+  // committed battery runs the full ladder, smoke runs can pass 1000).
+  int max_population = 100000;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0)
       fixed_threads = std::atoi(argv[i + 1]);
@@ -256,6 +259,8 @@ int main(int argc, char** argv) {
       fault_specs = {argv[i + 1]};
     if (std::strcmp(argv[i], "--cache") == 0)
       cache_for_sweeps = std::strcmp(argv[i + 1], "off") != 0;
+    if (std::strcmp(argv[i], "--max-pop") == 0)
+      max_population = std::atoi(argv[i + 1]);
   }
   set_log_level(LogLevel::Error);
   telemetry::apply_log_level_flag(argc, argv);
@@ -752,6 +757,93 @@ int main(int argc, char** argv) {
                 state.incremental_passes(), state.passes());
   }
 
+  // --- Population sweep: the streaming runner's scale battery. Each row
+  // runs a study at the next population decade in aggregate mode and
+  // records wall time, participant-day throughput, the process RSS
+  // high-water mark, cloud request rate, and per-shard request heat. The
+  // sim-day count per row shrinks as N grows so the ladder stays runnable
+  // on a single core (throughput and memory per participant-day are
+  // day-count-invariant; EXPERIMENTS.md documents the cadence).
+  struct PopulationEntry {
+    int participants = 0;
+    int days = 0;
+    double wall_s = 0;
+    double pd_per_s = 0;
+    std::uint64_t cloud_requests = 0;
+    double cloud_req_per_s = 0;
+    std::uint64_t peak_rss_bytes = 0;
+    std::uint64_t storage_digest = 0;
+    std::vector<std::uint64_t> shard_heat;  ///< requests per storage shard
+  };
+  std::vector<PopulationEntry> population_sweep;
+  {
+    const struct {
+      int participants, days;
+    } kLadder[] = {{16, 14}, {1000, 2}, {10000, 1}, {100000, 1}};
+    study::StudyConfig pop_config;
+    pop_config.cache = cache_for_sweeps;
+    pop_config.runner = study::RunnerMode::Streaming;
+    pop_config.threads = fixed_threads > 0 ? fixed_threads : 2;
+    pop_config.shards = fixed_shards > 0
+                            ? fixed_shards
+                            : static_cast<int>(
+                                  cloud::CloudStorage::kDefaultShards);
+    std::printf("\n--- population sweep (streaming runner, %d threads, %d "
+                "shards) ---\n",
+                pop_config.threads, pop_config.shards);
+    for (const auto& rung : kLadder) {
+      if (rung.participants > max_population) break;
+      telemetry::registry().reset();
+      telemetry::tracer().reset();
+      pop_config.participants = rung.participants;
+      pop_config.days = rung.days;
+      std::printf("  running %d x %dd...\n", rung.participants, rung.days);
+      std::fflush(stdout);
+      study::DeploymentStudy study_run(pop_config);
+      const auto begin = std::chrono::steady_clock::now();
+      const study::StudyResult run = study_run.run();
+      PopulationEntry entry;
+      entry.participants = rung.participants;
+      entry.days = rung.days;
+      entry.wall_s = wall_seconds_since(begin);
+      const double pd = static_cast<double>(rung.participants) *
+                        static_cast<double>(rung.days);
+      entry.pd_per_s = entry.wall_s > 0 ? pd / entry.wall_s : 0.0;
+      const auto& reg = telemetry::registry();
+      entry.cloud_requests = reg.family_total("cloud_requests_total");
+      entry.cloud_req_per_s =
+          entry.wall_s > 0
+              ? static_cast<double>(entry.cloud_requests) / entry.wall_s
+              : 0.0;
+      entry.peak_rss_bytes = telemetry::read_process_stats().peak_rss_bytes;
+      entry.storage_digest = run.storage_digest;
+      for (int s = 0; s < pop_config.shards; ++s)
+        entry.shard_heat.push_back(reg.counter_value(
+            "cloud_shard_requests_total", {{"shard", std::to_string(s)}}));
+      population_sweep.push_back(std::move(entry));
+    }
+    std::printf("%12s %5s %10s %10s %12s %12s %11s %20s\n", "participants",
+                "days", "wall s", "pd/s", "cloud req/s", "peak rss MB",
+                "shard skew", "digest");
+    for (const auto& entry : population_sweep) {
+      std::uint64_t heat_min = ~0ull, heat_max = 0;
+      for (const std::uint64_t h : entry.shard_heat) {
+        heat_min = std::min(heat_min, h);
+        heat_max = std::max(heat_max, h);
+      }
+      const double skew =
+          heat_min > 0 ? static_cast<double>(heat_max) /
+                             static_cast<double>(heat_min)
+                       : 0.0;
+      std::printf("%12d %5d %10.1f %10.1f %12.1f %12.1f %10.2fx %20llu\n",
+                  entry.participants, entry.days, entry.wall_s,
+                  entry.pd_per_s, entry.cloud_req_per_s,
+                  static_cast<double>(entry.peak_rss_bytes) / (1024.0 * 1024.0),
+                  skew,
+                  static_cast<unsigned long long>(entry.storage_digest));
+    }
+  }
+
   if (!json_path.empty()) {
     Json extra = Json::object();
     extra.set("participants", static_cast<std::uint64_t>(
@@ -915,6 +1007,32 @@ int main(int argc, char** argv) {
       throughput.set("peak_rss_bytes", proc.peak_rss_bytes);
       throughput.set("cpu_seconds", proc.cpu_seconds);
       extra.set("throughput", std::move(throughput));
+    }
+    // schema_version 8: the "population_sweep" block — the streaming
+    // runner's scale ladder (throughput, memory high-water, cloud request
+    // rate, per-shard heat at each population decade).
+    {
+      Json pop_block = Json::object();
+      Json pop_runs = Json::array();
+      for (const auto& entry : population_sweep) {
+        Json e = Json::object();
+        e.set("participants", entry.participants);
+        e.set("days", entry.days);
+        e.set("wall_s", entry.wall_s);
+        e.set("participant_days_per_s", entry.pd_per_s);
+        e.set("cloud_requests", entry.cloud_requests);
+        e.set("cloud_requests_per_s", entry.cloud_req_per_s);
+        e.set("peak_rss_bytes", entry.peak_rss_bytes);
+        e.set("storage_digest", entry.storage_digest);
+        Json heat = Json::array();
+        for (const std::uint64_t h : entry.shard_heat)
+          heat.push_back(Json(h));
+        e.set("shard_heat", std::move(heat));
+        pop_runs.push_back(std::move(e));
+      }
+      pop_block.set("runs", std::move(pop_runs));
+      pop_block.set("runner", std::string("streaming"));
+      extra.set("population_sweep", std::move(pop_block));
     }
     // Telemetry in the dump is from the conditional-transfer microbench
     // (the last section to reset the registry); the sweep blocks above

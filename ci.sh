@@ -9,7 +9,9 @@
 # (striped counters / sharded histograms / metric handles), and the
 # Alerting battery (recorder + alert engine), and a chaos leg that re-runs
 # the Robustness-labeled fault/outbox/breaker tests under asan together
-# with Caching and Alerting.
+# with Caching, Alerting, and the Population streaming-runner battery.
+# The golden-digest gate runs both study runners (materialized and
+# streaming) against tests/golden/study_digest.txt.
 # Usage: ./ci.sh [extra cmake args...]
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -38,15 +40,19 @@ run_suite build "" "$@"
 # also proves telemetry never perturbs the study.
 echo "=== golden study digest (telemetry fully enabled) ==="
 golden_digest="$(cat tests/golden/study_digest.txt)"
-actual_digest="$(./build/examples/studyctl --participants 4 --days 3 \
-    --threads 2 --shards 4 --progress 2>/dev/null |
-  sed -n 's/^cloud content digest: //p')"
-if [[ "${actual_digest}" != "${golden_digest}" ]]; then
-  echo "golden digest mismatch: got '${actual_digest}'," \
-       "expected '${golden_digest}'" >&2
-  exit 1
-fi
-echo "study digest ${actual_digest} matches golden"
+# Both runners must reproduce the committed digest: materialized is the
+# historical reference, streaming is the bounded-memory production path.
+for runner in materialized streaming; do
+  actual_digest="$(./build/examples/studyctl --participants 4 --days 3 \
+      --threads 2 --shards 4 --runner "${runner}" --progress 2>/dev/null |
+    sed -n 's/^cloud content digest: //p')"
+  if [[ "${actual_digest}" != "${golden_digest}" ]]; then
+    echo "golden digest mismatch (${runner} runner): got" \
+         "'${actual_digest}', expected '${golden_digest}'" >&2
+    exit 1
+  fi
+  echo "study digest ${actual_digest} matches golden (${runner} runner)"
+done
 
 # Telemetry budget gate: 8 threads hammer the metric hot paths; asserts
 # exact totals, the lock-free handle path beating the registry-lookup path,
@@ -65,14 +71,17 @@ run_suite build-asan "" -DPMWARE_SANITIZE="address;undefined" "$@"
 # races the batched dispatch loop and the device env cache under tsan.
 # Concurrency races the striped-counter / sharded-histogram / handle hot
 # paths; Alerting races the recorder + engine through the parallel study's
-# determinism guard.
-run_suite build-tsan "-L Sharding|Caching|SchedulerPerf|Concurrency|Alerting" -DPMWARE_SANITIZE="thread" "$@"
+# determinism guard. Population races the streaming wave scheduler's
+# workers against the shared fold state and slot arenas.
+run_suite build-tsan "-L Sharding|Caching|SchedulerPerf|Concurrency|Alerting|Population" -DPMWARE_SANITIZE="thread" "$@"
 # Chaos leg: the fault-injection / outbox / circuit-breaker battery again
 # under asan+ubsan, isolated so failures point straight at the recovery
 # machinery, plus the cache battery (conditional transfer under faults,
 # digest invalidation) and the alerting battery (rule evaluation over the
 # failure counters those faults drive). Reuses the sanitized build above.
-echo "=== ctest: build-asan chaos (-L Robustness|Caching|Alerting) ==="
-(cd build-asan && ctest --output-on-failure -j "$(nproc)" -L "Robustness|Caching|Alerting")
+# Population rides along so the bounded-memory guarantee is asserted under
+# asan (every engine-log allocation routed through the slot arenas).
+echo "=== ctest: build-asan chaos (-L Robustness|Caching|Alerting|Population) ==="
+(cd build-asan && ctest --output-on-failure -j "$(nproc)" -L "Robustness|Caching|Alerting|Population")
 
 echo "ci.sh: all five suites passed"

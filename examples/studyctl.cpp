@@ -46,6 +46,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--participants N] [--days D] [--seed S]\n"
                "          [--threads T] [--shards N]\n"
+               "          [--runner auto|materialized|streaming] [--wave N]\n"
                "          [--region india|switzerland]\n"
                "          [--no-wifi] [--no-ads] [--cache on|off]\n"
                "          [--fault-plan SPEC]  (e.g. \"outage=5d..8d\")\n"
@@ -117,6 +118,21 @@ int main(int argc, char** argv) {
         config.cache = false;
       else
         return usage(argv[0]);
+    } else if (arg == "--runner") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      if (std::strcmp(v, "auto") == 0)
+        config.runner = study::RunnerMode::Auto;
+      else if (std::strcmp(v, "materialized") == 0)
+        config.runner = study::RunnerMode::Materialized;
+      else if (std::strcmp(v, "streaming") == 0)
+        config.runner = study::RunnerMode::Streaming;
+      else
+        return usage(argv[0]);
+    } else if (arg == "--wave") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      config.wave_size = std::atoi(v);
     } else if (arg == "--no-wifi") {
       config.use_wifi = false;
     } else if (arg == "--no-ads") {
@@ -202,15 +218,26 @@ int main(int argc, char** argv) {
   // and whether anything was actually lost (evicted or still pending).
   std::size_t sync_failures = 0, enqueued = 0, delivered = 0, recovered = 0,
               evicted = 0, pending = 0;
-  for (const auto& p : result.participants) {
-    sync_failures += p.pms_stats.sync_failures;
-    enqueued += p.pms_stats.outbox_enqueued;
-    delivered += p.pms_stats.outbox_delivered;
-    recovered += p.pms_stats.outbox_recovered;
-    evicted += p.pms_stats.outbox_evicted;
-    pending += p.pms_stats.outbox_pending;
-  }
   const auto& reg = telemetry::registry();
+  if (!result.participants.empty()) {
+    for (const auto& p : result.participants) {
+      sync_failures += p.pms_stats.sync_failures;
+      enqueued += p.pms_stats.outbox_enqueued;
+      delivered += p.pms_stats.outbox_delivered;
+      recovered += p.pms_stats.outbox_recovered;
+      evicted += p.pms_stats.outbox_evicted;
+      pending += p.pms_stats.outbox_pending;
+    }
+  } else {
+    // Aggregate-only streaming run: per-participant results were folded
+    // away, so read the study-wide registry families instead.
+    sync_failures = reg.family_total("pms_sync_failures_total");
+    enqueued = reg.family_total("pms_outbox_enqueued_total");
+    delivered = reg.family_total("pms_outbox_delivered_total");
+    recovered = reg.family_total("pms_outbox_recovered_total");
+    evicted = reg.family_total("pms_outbox_evicted_total");
+    pending = enqueued - delivered - evicted;
+  }
   std::printf("\n--- sync reliability ---\n");
   std::printf("  sync failures:     %zu\n", sync_failures);
   std::printf("  outbox enqueued:   %zu (delivered %zu, recovered after "
@@ -309,6 +336,17 @@ int main(int argc, char** argv) {
     per_participant.push_back(std::move(row));
   }
   report.set("per_participant", std::move(per_participant));
+  Json cohorts = Json::object();
+  for (const auto& [arch, stats] : result.cohorts) {
+    Json row = Json::object();
+    row.set("participants", stats.participants);
+    row.set("places_discovered", stats.places_discovered);
+    row.set("places_tagged", stats.places_tagged);
+    row.set("sensing_joules", stats.sensing_joules);
+    row.set("battery_hours", stats.battery_hours);
+    cohorts.set(to_string(arch), std::move(row));
+  }
+  report.set("cohorts", std::move(cohorts));
   Json sync = Json::object();
   sync.set("fault_plan", config.fault_plan.describe());
   sync.set("sync_failures", static_cast<std::uint64_t>(sync_failures));

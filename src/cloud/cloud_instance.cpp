@@ -347,25 +347,62 @@ void CloudInstance::register_routes() {
       observations.push_back(
           {o.at("t").as_int(), core::cell_from_json(o.at("cell"))});
     }
-    // Content-addressed elision: the digest of the uploaded movement graph
-    // is computed HERE, never sent on the wire — request bodies stay
-    // byte-identical whether the device caches or not. The upload is
-    // append-only, so an equal digest means an identical graph and the
-    // remembered response (byte-identical by construction) short-circuits
-    // the clustering.
-    const std::uint64_t digest = core::movement_digest(observations);
-    // Per-user incremental clustering state: the mobile service uploads its
-    // append-only GSM log each pass, so the suffix feed applies here too.
-    // Results stay identical to a stateless run_gca over the same upload.
     Json body;
     {
       const auto locked = storage_.locked_user(user);
+      // Suffix-upload protocol: the device's GSM log is append-only and the
+      // cloud retains the stream it has already been fed, so a request may
+      // carry only the new observations plus a claim about the prefix
+      // (length + rolling movement digest). A claim that matches neither
+      // the retained stream nor a replay of the last applied suffix means
+      // the two sides disagree about history — 409 tells the device to
+      // fall back to a full upload this pass.
+      if (req.body.contains("prefix_len")) {
+        const auto prefix_len =
+            static_cast<std::size_t>(req.body.at("prefix_len").as_int());
+        const std::uint64_t prefix_digest = std::strtoull(
+            req.body.at("prefix_digest").as_string().c_str(), nullptr, 16);
+        if (prefix_len == locked->gca_log.size() &&
+            prefix_digest == locked->gca_log_digest) {
+          locked->gca_log.insert(locked->gca_log.end(), observations.begin(),
+                                 observations.end());
+          for (const auto& obs : observations) {
+            cache::fold(locked->gca_log_digest,
+                        static_cast<std::uint64_t>(obs.t));
+            cache::fold(locked->gca_log_digest, obs.cell.key());
+          }
+        } else {
+          // Replay (client retry after a lost response): the claimed prefix
+          // plus this suffix IS the retained stream — nothing to apply.
+          std::uint64_t replay_digest = prefix_digest;
+          for (const auto& obs : observations) {
+            cache::fold(replay_digest, static_cast<std::uint64_t>(obs.t));
+            cache::fold(replay_digest, obs.cell.key());
+          }
+          const bool replay =
+              prefix_len + observations.size() == locked->gca_log.size() &&
+              replay_digest == locked->gca_log_digest;
+          if (!replay)
+            return HttpResponse::error(409, "gca log out of sync; resync");
+        }
+      } else {
+        // Full upload: authoritative replacement of the retained stream.
+        // GcaState::run detects a rewritten prefix itself and rebuilds.
+        locked->gca_log = std::move(observations);
+        locked->gca_log_digest = core::movement_digest(locked->gca_log);
+      }
+      // Content-addressed elision: the digest of the movement graph is
+      // derived HERE from the retained stream, never sent as a cache key on
+      // the wire. The stream is append-only, so an equal digest means an
+      // identical graph and the remembered response (byte-identical by
+      // construction) short-circuits the clustering.
+      const std::uint64_t digest = locked->gca_log_digest;
       if (config_.cache && locked->gca_response_digest == digest) {
         cache::record_outcome(kGcaCacheName, cache::CacheOutcome::CloudHit);
         return HttpResponse::json(locked->gca_response);
       }
       const bool had_cached = locked->gca_response_digest.has_value();
-      const algorithms::GcaResult result = locked->gca.run(observations);
+      const algorithms::GcaResult result = locked->gca.run(locked->gca_log);
       Json places = Json::array();
       for (const auto& cluster : result.places) {
         Json p = Json::object();

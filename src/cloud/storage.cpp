@@ -84,6 +84,7 @@ CloudStorage::CloudStorage(const CloudStorage& other)
   const auto locks = other.lock_all();
   for (std::size_t s = 0; s < shards_.size(); ++s)
     shards_[s].users = other.shards_[s].users;
+  archived_.copy_from(other.archived_);
 }
 
 CloudStorage& CloudStorage::operator=(const CloudStorage& other) {
@@ -105,6 +106,7 @@ CloudStorage& CloudStorage::operator=(const CloudStorage& other) {
   // validate against the new.
   for (Shard& shard : shards_)
     shard.writes.fetch_add(1, std::memory_order_release);
+  archived_.copy_from(other.archived_);
   return *this;
 }
 
@@ -158,7 +160,14 @@ std::size_t CloudStorage::user_count() const {
 }
 
 CloudStorage::Stats CloudStorage::stats() const {
+  // Archived (retired) users still count: the accumulators were folded at
+  // archive time, so the aggregate is invariant under mid-run retirement.
   Stats s;
+  s.users = archived_.users.load(std::memory_order_relaxed);
+  s.places = archived_.places.load(std::memory_order_relaxed);
+  s.profiles = archived_.profiles.load(std::memory_order_relaxed);
+  s.routes = archived_.routes.load(std::memory_order_relaxed);
+  s.encounters = archived_.encounters.load(std::memory_order_relaxed);
   const auto locks = lock_all();
   for (const Shard& shard : shards_) {
     s.users += shard.users.size();
@@ -174,13 +183,42 @@ CloudStorage::Stats CloudStorage::stats() const {
 
 std::uint64_t CloudStorage::content_digest() const {
   // Per-user digests combine by addition (commutative): the digest is the
-  // same whatever shard layout or registration order put the users where
-  // they are.
-  std::uint64_t digest = 0;
+  // same whatever shard layout, registration order, or archive schedule put
+  // the users where they are.
+  std::uint64_t digest = archived_.digest.load(std::memory_order_relaxed);
   const auto locks = lock_all();
   for (const Shard& shard : shards_)
     for (const auto& [id, store] : shard.users) digest += user_digest(store);
   return digest;
+}
+
+bool CloudStorage::archive_user(world::DeviceId id) {
+  bool archived = false;
+  {
+    const std::size_t s = shard_of(id);
+    const auto lock = lock_shard(s);
+    auto& users = shards_[s].users;
+    const auto it = users.find(id);
+    if (it == users.end()) return false;
+    const UserStore& store = it->second;
+    archived_.users.fetch_add(1, std::memory_order_relaxed);
+    archived_.places.fetch_add(store.places.size(), std::memory_order_relaxed);
+    archived_.profiles.fetch_add(store.profiles.size(),
+                                 std::memory_order_relaxed);
+    archived_.routes.fetch_add(store.routes.routes().size(),
+                               std::memory_order_relaxed);
+    archived_.encounters.fetch_add(store.encounters.size(),
+                                   std::memory_order_relaxed);
+    archived_.digest.fetch_add(user_digest(store), std::memory_order_relaxed);
+    users.erase(it);
+    archived = true;
+  }
+  note_write(id);
+  telemetry::registry()
+      .counter("cloud_users_archived_total", {},
+               "users retired into the archived accumulators")
+      .inc();
+  return archived;
 }
 
 bool CloudStorage::erase_user(world::DeviceId id) {

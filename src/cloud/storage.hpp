@@ -26,6 +26,7 @@
 
 #include "algorithms/gca.hpp"
 #include "algorithms/routes.hpp"
+#include "cache/digest.hpp"
 #include "core/model.hpp"
 #include "util/json.hpp"
 
@@ -56,6 +57,17 @@ struct UserStore {
   /// — excluded from content_digest().
   std::optional<std::uint64_t> gca_response_digest;
   Json gca_response;
+  /// The observation stream fed to `gca` so far, retained server-side so
+  /// the device can upload only the suffix each pass (POST
+  /// /api/places/discover with prefix_len/prefix_digest): a mapping-change
+  /// recluster must replay the whole stream, so the cloud keeps it instead
+  /// of receiving it again every day. `gca_log_digest` is the rolling
+  /// core::movement_digest of the stream — what a full upload's digest
+  /// would be — and verifies the device's prefix claim. Bookkeeping, not
+  /// content: excluded from content_digest() like the rest of the GCA
+  /// state, and dropped with the user on archive/erase.
+  std::vector<algorithms::CellObservation> gca_log;
+  std::uint64_t gca_log_digest = cache::kDigestBasis;
 };
 
 class CloudStorage {
@@ -165,6 +177,21 @@ class CloudStorage {
   /// work), including its GCA state. Returns true if the user had any data.
   bool erase_user(world::DeviceId id);
 
+  /// Retires `id` from the live store: the user's content digest and record
+  /// counts are folded into the archived accumulators, then the live entry
+  /// (including GCA bookkeeping) is erased. Because per-user digests
+  /// combine by commutative addition, content_digest() and stats() report
+  /// the same values whether or not users were archived mid-run — this is
+  /// what lets the streaming study runner hold only its active wave in
+  /// memory while keeping the determinism fingerprint byte-identical to the
+  /// materialize-everything runner. Returns false if the user had no data.
+  bool archive_user(world::DeviceId id);
+
+  /// Users retired via archive_user (still counted in stats().users).
+  std::uint64_t archived_users() const {
+    return archived_.users.load(std::memory_order_relaxed);
+  }
+
   /// Deletes one place and every profile entry referencing it. Returns true
   /// if the place existed.
   bool erase_place(world::DeviceId id, core::PlaceUid place);
@@ -192,6 +219,33 @@ class CloudStorage {
     mutable std::atomic<std::uint64_t> writes{0};
   };
 
+  /// Accumulators for archived (retired) users, folded into stats() and
+  /// content_digest(). Atomics because different shards archive
+  /// concurrently; all folds are commutative additions.
+  struct Archived {
+    std::atomic<std::uint64_t> users{0};
+    std::atomic<std::uint64_t> places{0};
+    std::atomic<std::uint64_t> profiles{0};
+    std::atomic<std::uint64_t> routes{0};
+    std::atomic<std::uint64_t> encounters{0};
+    std::atomic<std::uint64_t> digest{0};  ///< sum of per-user digests
+
+    void copy_from(const Archived& o) {
+      users.store(o.users.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+      places.store(o.places.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+      profiles.store(o.profiles.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+      routes.store(o.routes.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+      encounters.store(o.encounters.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      digest.store(o.digest.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    }
+  };
+
   /// Locks one shard, recording the per-shard request counter and the
   /// lock-wait histogram (contention visibility for the shard sweep).
   std::unique_lock<std::mutex> lock_shard(std::size_t s) const;
@@ -200,6 +254,7 @@ class CloudStorage {
   std::vector<std::unique_lock<std::mutex>> lock_all() const;
 
   std::vector<Shard> shards_;
+  Archived archived_;
 };
 
 }  // namespace pmware::cloud

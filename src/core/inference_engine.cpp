@@ -24,13 +24,15 @@ InferenceEngine::InferenceEngine(sensing::Device* device,
                                  sensing::SamplingScheduler* scheduler,
                                  PlaceStore* store,
                                  const ConnectedAppsModule* apps,
-                                 InferenceConfig config, Rng rng)
+                                 InferenceConfig config, Rng rng,
+                                 util::Arena* arena)
     : device_(device),
       scheduler_(scheduler),
       store_(store),
       apps_(apps),
       config_(config),
       rng_(rng),
+      gsm_log_(util::ArenaAllocator<algorithms::CellObservation>(arena)),
       gca_state_(config.gca),
       events_enter_("core_place_events_total", {{"kind", "enter"}},
                     "place events emitted by the inference engine"),
@@ -38,7 +40,8 @@ InferenceEngine::InferenceEngine(sensing::Device* device,
                    "place events emitted by the inference engine"),
       events_new_place_("core_place_events_total", {{"kind", "new_place"}},
                         "place events emitted by the inference engine"),
-      wifi_detector_(config.sensloc) {}
+      wifi_detector_(config.sensloc),
+      visit_log_(util::ArenaAllocator<LoggedVisit>(arena)) {}
 
 std::size_t InferenceEngine::consume_run(
     std::span<const SimTime> run, void (InferenceEngine::*handler)(SimTime)) {

@@ -35,6 +35,7 @@
 #include "sensing/device.hpp"
 #include "sensing/scheduler.hpp"
 #include "telemetry/metrics.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 
 namespace pmware::core {
@@ -83,6 +84,14 @@ struct LoggedVisit {
   TimeWindow window;
 };
 
+/// The engine's append-only logs, parameterized on the per-worker-slot
+/// arena so the streaming study runner recycles one warm allocation
+/// footprint per slot. With a null arena (the default everywhere else)
+/// these behave exactly like plain vectors.
+using ObsLog = std::vector<algorithms::CellObservation,
+                           util::ArenaAllocator<algorithms::CellObservation>>;
+using VisitLog = std::vector<LoggedVisit, util::ArenaAllocator<LoggedVisit>>;
+
 class InferenceEngine {
  public:
   using PlaceEventSink = std::function<void(const PlaceEvent&)>;
@@ -96,9 +105,13 @@ class InferenceEngine {
   using PeerProvider = std::function<
       std::vector<std::pair<world::DeviceId, geo::LatLng>>(SimTime)>;
 
+  /// `arena` (optional) backs the append-only GSM/visit logs; it must
+  /// outlive the engine and is reset by the streaming runner only after
+  /// the engine is destroyed.
   InferenceEngine(sensing::Device* device, sensing::SamplingScheduler* scheduler,
                   PlaceStore* store, const ConnectedAppsModule* apps,
-                  InferenceConfig config, Rng rng);
+                  InferenceConfig config, Rng rng,
+                  util::Arena* arena = nullptr);
 
   /// Wires the scheduler callbacks and arms the baseline GSM sampling.
   /// Call once before the scheduler runs.
@@ -118,7 +131,7 @@ class InferenceEngine {
 
   /// Authoritative visit log (GSM visits refined by WiFi), filtered to
   /// min_visit_dwell. Valid after recluster().
-  const std::vector<LoggedVisit>& visit_log() const { return visit_log_; }
+  const VisitLog& visit_log() const { return visit_log_; }
 
   /// Completed routes (between consecutive stays).
   const std::vector<RouteEvent>& route_log() const { return route_log_; }
@@ -130,9 +143,7 @@ class InferenceEngine {
   }
 
   /// Raw GSM observation log (what gets offloaded).
-  const std::vector<algorithms::CellObservation>& gsm_log() const {
-    return gsm_log_;
-  }
+  const ObsLog& gsm_log() const { return gsm_log_; }
 
   /// Area-level identity of a place: its covering GSM cluster if known.
   PlaceUid area_of(PlaceUid uid) const;
@@ -194,7 +205,7 @@ class InferenceEngine {
   PeerProvider peers_;
 
   // --- GSM / GCA state ---
-  std::vector<algorithms::CellObservation> gsm_log_;
+  ObsLog gsm_log_;
   /// Persistent incremental clustering state for local (non-offloaded)
   /// recluster passes; gsm_log_ is append-only, which is exactly the
   /// contract GcaState::run needs.
@@ -227,7 +238,7 @@ class InferenceEngine {
   // --- emitted place / visit log ---
   std::optional<PlaceUid> emitted_uid_;
   SimTime emitted_since_ = 0;
-  std::vector<LoggedVisit> visit_log_;
+  VisitLog visit_log_;
 
   // --- route capture ---
   struct PendingRoute {

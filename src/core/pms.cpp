@@ -20,6 +20,7 @@ constexpr const char* kProfileSyncs = "pms_profile_syncs_total";
 constexpr const char* kTokenRefreshes = "pms_token_refreshes_total";
 constexpr const char* kGcaOffloads = "pms_gca_offloads_total";
 constexpr const char* kGcaLocal = "pms_gca_local_total";
+constexpr const char* kGcaResyncs = "pms_gca_resyncs_total";
 constexpr const char* kSyncFailures = "pms_sync_failures_total";
 constexpr const char* kOutboxEnqueued = "pms_outbox_enqueued_total";
 constexpr const char* kOutboxDelivered = "pms_outbox_delivered_total";
@@ -184,10 +185,26 @@ void PmwareMobileService::maybe_refresh_token(SimTime now) {
 
 algorithms::GcaResult PmwareMobileService::offloaded_gca(
     std::span<const algorithms::CellObservation> observations, SimTime now) {
+  // Rolling movement digest: the GSM log is append-only, so extend the
+  // digest over just the new observations instead of re-folding the whole
+  // log every pass. A shrunk log (a different stream) resets the fold —
+  // the same guard GcaState applies.
+  if (observations.size() < digest_fed_) {
+    digest_fed_ = 0;
+    digest_ = cache::kDigestBasis;
+    upload_acked_ = 0;
+    upload_digest_ = cache::kDigestBasis;
+  }
+  for (std::size_t i = digest_fed_; i < observations.size(); ++i) {
+    cache::fold(digest_, static_cast<std::uint64_t>(observations[i].t));
+    cache::fold(digest_, observations[i].cell.key());
+  }
+  digest_fed_ = observations.size();
+  const std::uint64_t graph_digest = digest_;
+
   // Content-addressed elision: an unchanged movement graph means an
   // identical clustering result (local, offloaded, or replayed — all equal
   // by design), so serve it from the cache without touching the wire.
-  const std::uint64_t graph_digest = movement_digest(observations);
   bool had_cached = false;
   if (gca_cache_) {
     auto found = gca_cache_->lookup(kGcaCacheKey, graph_digest);
@@ -199,19 +216,42 @@ algorithms::GcaResult PmwareMobileService::offloaded_gca(
   }
   if (config_.offload_gca && client_ != nullptr && user_id_) {
     telemetry::Span span(telemetry::tracer(), "pms.gca_offload", now);
-    net::HttpRequest request =
-        make_request(net::Method::Post, "/api/places/discover", now);
-    Json arr = Json::array();
-    for (const auto& obs : observations) {
-      Json o = Json::object();
-      o.set("t", obs.t);
-      o.set("cell", to_json(obs.cell));
-      arr.push_back(std::move(o));
+    // Suffix upload: ship only what the cloud has not acknowledged, plus a
+    // claim about the acknowledged prefix (length + rolling digest). The
+    // cloud retains the stream, verifies the claim, and answers 409 when
+    // the two sides disagree about history (e.g. a response was lost after
+    // the cloud applied a suffix) — then this pass re-sends everything.
+    auto build_request = [&](std::size_t from, bool with_prefix) {
+      net::HttpRequest request =
+          make_request(net::Method::Post, "/api/places/discover", now);
+      Json arr = Json::array();
+      for (std::size_t i = from; i < observations.size(); ++i) {
+        Json o = Json::object();
+        o.set("t", observations[i].t);
+        o.set("cell", to_json(observations[i].cell));
+        arr.push_back(std::move(o));
+      }
+      request.body = Json::object();
+      request.body.set("observations", std::move(arr));
+      if (with_prefix) {
+        request.body.set("prefix_len", static_cast<std::int64_t>(from));
+        request.body.set("prefix_digest", strfmt("%016llx",
+            static_cast<unsigned long long>(upload_digest_)));
+      }
+      return request;
+    };
+    net::HttpResponse response =
+        client_->send(build_request(upload_acked_, true));
+    if (response.status == 409) {
+      counter(kGcaResyncs,
+              "GCA offloads that fell back to a full upload after the cloud "
+              "rejected the suffix prefix claim")
+          .inc();
+      response = client_->send(build_request(0, false));
     }
-    request.body = Json::object();
-    request.body.set("observations", std::move(arr));
-    const net::HttpResponse response = client_->send(request);
     if (response.ok()) {
+      upload_acked_ = observations.size();
+      upload_digest_ = graph_digest;
       counter(kGcaOffloads, "GCA clustering passes offloaded to the cloud")
           .inc();
       algorithms::GcaResult result;

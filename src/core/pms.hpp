@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cache/content_cache.hpp"
+#include "cache/digest.hpp"
 #include "core/connected_apps.hpp"
 #include "core/inference_engine.hpp"
 #include "core/intents.hpp"
@@ -24,6 +25,7 @@
 #include "sensing/device.hpp"
 #include "sensing/scheduler.hpp"
 #include "telemetry/metrics.hpp"
+#include "util/arena.hpp"
 
 namespace pmware::core {
 
@@ -45,6 +47,13 @@ struct PmsConfig {
   /// recovery").
   OutboxConfig outbox;
   energy::PowerProfile power = energy::PowerProfile::htc_explorer();
+  /// Arena backing the inference engine's append-only logs (GSM
+  /// observations, visits). Null = plain heap. The streaming study runner
+  /// hands each worker slot's arena here and reset()s it between
+  /// participants, so per-participant readings recycle one warm allocation
+  /// footprint instead of churning the heap. The arena must outlive the
+  /// service.
+  util::Arena* arena = nullptr;
 };
 
 /// Per-service counters. Since the telemetry subsystem landed this is a
@@ -195,6 +204,18 @@ class PmwareMobileService {
   /// registration only when it is wanted but failed — a PMS whose caller
   /// never registered must not register itself.
   bool registration_wanted_ = false;
+
+  // --- Suffix-upload state for GCA offload (DESIGN.md "Content addressing
+  // & cache coherence"). The GSM log is append-only, so the service keeps a
+  // rolling movement digest (O(new observations) per pass instead of O(log))
+  // and remembers how much of the log the cloud has acknowledged; each
+  // offload then ships only the unacknowledged suffix plus a prefix claim.
+  // A 409 from the cloud (history disagreement after a lost response) falls
+  // back to a full upload for that pass.
+  std::size_t digest_fed_ = 0;  ///< observations folded into digest_
+  std::uint64_t digest_ = cache::kDigestBasis;  ///< rolling movement digest
+  std::size_t upload_acked_ = 0;  ///< log length the cloud has applied
+  std::uint64_t upload_digest_ = cache::kDigestBasis;  ///< digest of that prefix
 
   SyncOutbox outbox_;
   std::size_t routes_enqueued_ = 0;      ///< route_log entries queued so far

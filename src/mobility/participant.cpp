@@ -1,6 +1,7 @@
 #include "mobility/participant.hpp"
 
 #include "util/strfmt.hpp"
+#include <algorithm>
 #include <stdexcept>
 
 namespace pmware::mobility {
@@ -17,77 +18,86 @@ const char* to_string(Archetype a) {
   return "?";
 }
 
-std::vector<Participant> make_participants(const world::World& world, int count,
-                                           Rng& rng) {
-  auto homes = world.all_of_category(PlaceCategory::Home);
-  if (static_cast<int>(homes.size()) < count)
-    throw std::invalid_argument(
-        "make_participants: world has fewer homes than participants");
-  rng.shuffle(homes);
+ParticipantStream::ParticipantStream(const world::World& world, Rng& rng)
+    : world_(&world), rng_(&rng) {
+  homes_ = world.all_of_category(PlaceCategory::Home);
+  if (homes_.empty())
+    throw std::invalid_argument("make_participants: world has no homes");
+  rng.shuffle(homes_);
 
-  const auto workplaces = world.all_of_category(PlaceCategory::Workplace);
-  if (workplaces.empty())
+  workplaces_ = world.all_of_category(PlaceCategory::Workplace);
+  if (workplaces_.empty())
     throw std::invalid_argument("make_participants: world has no workplaces");
-  const auto academic = world.find_category(PlaceCategory::AcademicBuilding);
-  const auto library = world.find_category(PlaceCategory::Library);
+  academic_ = world.find_category(PlaceCategory::AcademicBuilding);
+  library_ = world.find_category(PlaceCategory::Library);
 
   // Leisure pool: everything people go to in evenings/weekends.
-  std::vector<PlaceId> leisure_pool;
   for (PlaceCategory c :
        {PlaceCategory::Market, PlaceCategory::Restaurant, PlaceCategory::Cafe,
         PlaceCategory::Mall, PlaceCategory::Gym, PlaceCategory::Park,
         PlaceCategory::Cinema}) {
-    for (PlaceId p : world.all_of_category(c)) leisure_pool.push_back(p);
+    for (PlaceId p : world.all_of_category(c)) leisure_pool_.push_back(p);
   }
-  if (leisure_pool.empty())
+  if (leisure_pool_.empty())
     throw std::invalid_argument("make_participants: world has no leisure POIs");
+}
 
-  std::vector<Participant> out;
-  out.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    Participant p;
-    p.id = static_cast<world::DeviceId>(i);
-    p.name = strfmt("participant-%02d", i + 1);
-    p.home = homes[static_cast<std::size_t>(i)];
+Participant ParticipantStream::next() {
+  const int i = next_id_++;
+  Rng& rng = *rng_;
 
-    if (academic && i % 5 == 1) {
-      p.archetype = Archetype::Student;
-      p.anchor = *academic;
-      p.anchor_adjunct = library.value_or(world::kNoPlace);
-    } else if (i % 8 == 7) {
-      p.archetype = Archetype::Homemaker;
-      p.anchor = world::kNoPlace;
-    } else {
-      p.archetype = Archetype::OfficeWorker;
-      p.anchor = workplaces[rng.index(workplaces.size())];
-    }
+  Participant p;
+  p.id = static_cast<world::DeviceId>(i);
+  p.name = strfmt("participant-%02d", i + 1);
+  // Round-robin over the shuffled deck: ids below the housing stock get
+  // unique homes (identical to the historical no-reuse assignment), and a
+  // population larger than the world shares homes instead of throwing.
+  p.home = homes_[static_cast<std::size_t>(i) % homes_.size()];
 
-    const int n_leisure =
-        static_cast<int>(rng.uniform_int(3, 5));
-    std::vector<PlaceId> pool = leisure_pool;
-    rng.shuffle(pool);
-    for (int k = 0; k < n_leisure && k < static_cast<int>(pool.size()); ++k)
-      p.leisure.push_back(pool[static_cast<std::size_t>(k)]);
-
-    // People visit complexes, not isolated points: if a chosen haunt has a
-    // neighbouring leisure POI (the cinema inside the mall, the restaurant
-    // row at the market), they frequent that one too.
-    const std::vector<PlaceId> chosen = p.leisure;
-    for (PlaceId id : chosen) {
-      for (PlaceId other : leisure_pool) {
-        if (other == id) continue;
-        if (std::find(p.leisure.begin(), p.leisure.end(), other) !=
-            p.leisure.end())
-          continue;
-        if (geo::distance_m(world.place(id).center,
-                            world.place(other).center) <= 150.0)
-          p.leisure.push_back(other);
-      }
-    }
-
-    p.weekday_outing_prob = rng.uniform(0.3, 0.7);
-    out.push_back(std::move(p));
+  if (academic_ && i % 5 == 1) {
+    p.archetype = Archetype::Student;
+    p.anchor = *academic_;
+    p.anchor_adjunct = library_.value_or(world::kNoPlace);
+  } else if (i % 8 == 7) {
+    p.archetype = Archetype::Homemaker;
+    p.anchor = world::kNoPlace;
+  } else {
+    p.archetype = Archetype::OfficeWorker;
+    p.anchor = workplaces_[rng.index(workplaces_.size())];
   }
+
+  const int n_leisure = static_cast<int>(rng.uniform_int(3, 5));
+  std::vector<PlaceId> pool = leisure_pool_;
+  rng.shuffle(pool);
+  for (int k = 0; k < n_leisure && k < static_cast<int>(pool.size()); ++k)
+    p.leisure.push_back(pool[static_cast<std::size_t>(k)]);
+
+  // People visit complexes, not isolated points: if a chosen haunt has a
+  // neighbouring leisure POI (the cinema inside the mall, the restaurant
+  // row at the market), they frequent that one too.
+  const std::vector<PlaceId> chosen = p.leisure;
+  for (PlaceId id : chosen) {
+    for (PlaceId other : leisure_pool_) {
+      if (other == id) continue;
+      if (std::find(p.leisure.begin(), p.leisure.end(), other) !=
+          p.leisure.end())
+        continue;
+      if (geo::distance_m(world_->place(id).center,
+                          world_->place(other).center) <= 150.0)
+        p.leisure.push_back(other);
+    }
+  }
+
+  p.weekday_outing_prob = rng.uniform(0.3, 0.7);
+  return p;
+}
+
+std::vector<Participant> make_participants(const world::World& world, int count,
+                                           Rng& rng) {
+  ParticipantStream stream(world, rng);
+  std::vector<Participant> out;
+  out.reserve(static_cast<std::size_t>(std::max(count, 0)));
+  for (int i = 0; i < count; ++i) out.push_back(stream.next());
   return out;
 }
 

@@ -2,6 +2,7 @@
 // frequent. Profiles drive the schedule generator.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,10 +33,41 @@ struct Participant {
 };
 
 /// Builds `count` participants over the world's POIs. Homes are assigned
-/// without reuse (throws if the world has fewer homes than participants).
-/// Roughly 1 in 5 participants is a Student anchored at the campus cluster
-/// when the world has one; 1 in 8 is a Homemaker.
+/// round-robin over a shuffled deck (they start repeating once the
+/// population exceeds the world's housing stock, which is how a 100k-
+/// participant study fits in a city-sized world). Roughly 1 in 5
+/// participants is a Student anchored at the campus cluster when the world
+/// has one; 1 in 8 is a Homemaker.
 std::vector<Participant> make_participants(const world::World& world, int count,
                                            Rng& rng);
+
+/// Incremental form of make_participants for the streaming study runner:
+/// emits participant 0, 1, 2, ... on demand, drawing from the caller's
+/// `rng` in exactly the order the batch builder would, so
+/// `stream.next()` called `count` times is element-for-element identical
+/// to `make_participants(world, count, rng)` (the differential oracle in
+/// tests/test_population.cpp asserts this). The stream holds references:
+/// `world` and `rng` must outlive it, and nothing else may draw from `rng`
+/// between next() calls.
+class ParticipantStream {
+ public:
+  ParticipantStream(const world::World& world, Rng& rng);
+
+  /// Builds the next participant (ids are assigned sequentially from 0).
+  Participant next();
+
+  /// Participants emitted so far == the id the next() call will assign.
+  int emitted() const { return next_id_; }
+
+ private:
+  const world::World* world_;
+  Rng* rng_;
+  std::vector<world::PlaceId> homes_;  ///< shuffled once at construction
+  std::vector<world::PlaceId> workplaces_;
+  std::optional<world::PlaceId> academic_;
+  std::optional<world::PlaceId> library_;
+  std::vector<world::PlaceId> leisure_pool_;
+  int next_id_ = 0;
+};
 
 }  // namespace pmware::mobility

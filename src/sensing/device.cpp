@@ -122,10 +122,22 @@ void Device::read_gsm_into(SimTime t, GsmReading& reading) {
   last_serving_ = reading.serving;
   last_serving_rssi_ = reading.serving_rssi_dbm;
 
-  // Neighbor list: strongest other cells, any RAT.
-  std::sort(faded_.begin(), faded_.end(),
-            [](const Candidate& a, const Candidate& b) { return a.rssi > b.rssi; });
-  for (const auto& c : faded_) {
+  // Neighbor list: strongest other cells, any RAT. Only the strongest
+  // max_neighbors + 1 candidates can ever be emitted (the +1 absorbs the
+  // serving cell), so a partial selection replaces the full sort; if any
+  // element of that prefix is below the detection threshold, everything
+  // beyond the prefix is too, so the scan below never needs the rest
+  // ordered.
+  const auto sorted_end =
+      faded_.begin() +
+      static_cast<std::ptrdiff_t>(
+          std::min(faded_.size(),
+                   static_cast<std::size_t>(config_.max_neighbors) + 1));
+  std::partial_sort(
+      faded_.begin(), sorted_end, faded_.end(),
+      [](const Candidate& a, const Candidate& b) { return a.rssi > b.rssi; });
+  for (auto it = faded_.begin(); it != sorted_end; ++it) {
+    const auto& c = *it;
     if (c.cell == reading.serving) continue;
     if (c.rssi < world::kCellDetectionDbm) continue;
     reading.neighbors.push_back(c.cell);

@@ -34,7 +34,7 @@ struct TagState {
 /// Finds the ground-truth place whose visits overlap this discovered
 /// place's logged visits the most.
 std::optional<world::PlaceId> dominant_truth(
-    const std::vector<core::LoggedVisit>& log, core::PlaceUid uid,
+    const core::VisitLog& log, core::PlaceUid uid,
     const std::vector<mobility::Visit>& truth) {
   std::map<world::PlaceId, SimDuration> overlap;
   for (const auto& lv : log) {
@@ -88,7 +88,8 @@ void diary_session(core::PmwareMobileService& pms, const world::World& world,
 
 ParticipantResult DeploymentStudy::run_participant(
     const mobility::Participant& participant, cloud::CloudInstance& cloud,
-    Rng& rng, std::vector<PlaceMapEntry>& place_map) {
+    Rng& rng, std::vector<PlaceMapEntry>* place_map, util::Arena* arena,
+    bool retire) {
   telemetry::Span span(telemetry::tracer(),
                        "study.participant." + participant.name, 0);
   Rng trace_rng = rng.fork(1);
@@ -113,6 +114,7 @@ ParticipantResult DeploymentStudy::run_participant(
   pms_config.offload_gca = config_.offload_gca;
   pms_config.outbox = config_.outbox;
   pms_config.cache = config_.cache;
+  pms_config.arena = arena;
 
   core::PmwareMobileService pms(std::move(device), pms_config,
                                 std::move(client), rng.fork(4));
@@ -200,17 +202,26 @@ ParticipantResult DeploymentStudy::run_participant(
   span.finish(start_of_day(config_.days));
 
   // Figure 5b inventory: every discovered place with a resolvable position.
-  for (const core::PlaceUid uid : discovered) {
-    const core::PlaceRecord* record = pms.places().get(uid);
-    if (record == nullptr) continue;
-    PlaceMapEntry entry;
-    entry.participant = static_cast<int>(participant.id);
-    entry.uid = uid;
-    entry.label = record->label;
-    entry.location = record->location;
-    if (!entry.location)
-      entry.location = cloud.geolocation().locate_signature(record->signature);
-    place_map.push_back(std::move(entry));
+  if (place_map != nullptr) {
+    for (const core::PlaceUid uid : discovered) {
+      const core::PlaceRecord* record = pms.places().get(uid);
+      if (record == nullptr) continue;
+      PlaceMapEntry entry;
+      entry.participant = static_cast<int>(participant.id);
+      entry.uid = uid;
+      entry.label = record->label;
+      entry.location = record->location;
+      if (!entry.location)
+        entry.location = cloud.geolocation().locate_signature(record->signature);
+      place_map->push_back(std::move(entry));
+    }
+  }
+
+  // Streaming retirement: the participant is fully synced and evaluated —
+  // fold its cloud record into the archived accumulators (digest and stats
+  // invariant) so the live store only ever holds the active wave.
+  if (retire) {
+    if (const auto uid = pms.user_id()) cloud.storage().archive_user(*uid);
   }
   return result;
 }
@@ -233,7 +244,7 @@ void DeploymentStudy::note_participant_day() {
     telemetry::alerts().evaluate(fleet_t);
 }
 
-StudyResult DeploymentStudy::run() {
+void DeploymentStudy::configure_telemetry() {
   days_done_.store(0, std::memory_order_relaxed);
   auto& recorder = telemetry::timeseries();
   recorder.configure(config_.timeseries);
@@ -255,6 +266,25 @@ StudyResult DeploymentStudy::run() {
   }
   telemetry::alerts().clear();
   if (config_.alerts) telemetry::alerts().install_default_rules();
+}
+
+StudyResult DeploymentStudy::run() {
+  switch (config_.runner) {
+    case RunnerMode::Materialized:
+      return run_materialized();
+    case RunnerMode::Streaming:
+      return run_streaming(config_.participants <= kDetailThreshold);
+    case RunnerMode::Auto:
+      break;
+  }
+  // Auto: the streaming runner is the default everywhere (its digest is
+  // byte-identical to the materialized reference); per-participant detail
+  // is kept while the population is small enough to afford it.
+  return run_streaming(config_.participants <= kDetailThreshold);
+}
+
+StudyResult DeploymentStudy::run_materialized() {
+  configure_telemetry();
 
   Rng participants_rng = rng_.fork(2);
   const std::vector<mobility::Participant> participants =
@@ -291,8 +321,8 @@ StudyResult DeploymentStudy::run() {
       std::clamp(config_.threads, 1, static_cast<int>(participants.size()));
   if (threads <= 1) {
     for (std::size_t i = 0; i < participants.size(); ++i)
-      result.participants[i] =
-          run_participant(participants[i], cloud, rngs[i], maps[i]);
+      result.participants[i] = run_participant(
+          participants[i], cloud, rngs[i], &maps[i], nullptr, false);
   } else {
     std::atomic<std::size_t> next{0};
     std::exception_ptr failure;
@@ -302,8 +332,8 @@ StudyResult DeploymentStudy::run() {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= participants.size()) return;
         try {
-          result.participants[i] =
-              run_participant(participants[i], cloud, rngs[i], maps[i]);
+          result.participants[i] = run_participant(
+              participants[i], cloud, rngs[i], &maps[i], nullptr, false);
         } catch (...) {
           const std::scoped_lock lock(failure_mu);
           if (!failure) failure = std::current_exception();
@@ -324,6 +354,8 @@ StudyResult DeploymentStudy::run() {
 
   for (std::size_t i = 0; i < participants.size(); ++i) {
     const ParticipantResult& r = result.participants[i];
+    result.totals.fold(r);
+    result.cohorts[participants[i].archetype].fold(r);
     result.place_map.insert(result.place_map.end(), maps[i].begin(),
                             maps[i].end());
     telemetry::slog_info("study", start_of_day(config_.days),
@@ -334,28 +366,155 @@ StudyResult DeploymentStudy::run() {
   return result;
 }
 
+StudyResult DeploymentStudy::run_streaming(bool detail) {
+  configure_telemetry();
+
+  // The rng_ draw order is the materialized runner's exactly: fork(2) for
+  // the participant stream, fork(3) for the cloud, then fork(1000 + id) in
+  // ascending id order — waves are admitted in order, so wave-by-wave
+  // forking reproduces the up-front fork sequence draw for draw.
+  Rng participants_rng = rng_.fork(2);
+  mobility::ParticipantStream stream(*world_, participants_rng);
+
+  cloud::GeoLocationService geoloc(world_->cell_location_db());
+  geoloc.set_ap_db(world_->ap_location_db());
+  cloud::CloudConfig cloud_config;
+  cloud_config.shards = static_cast<std::size_t>(std::max(config_.shards, 1));
+  cloud_config.fault_plan = config_.fault_plan;
+  cloud_config.cache = config_.cache;
+  cloud::CloudInstance cloud(cloud_config, std::move(geoloc), rng_.fork(3));
+
+  const int total = std::max(config_.participants, 0);
+  telemetry::registry()
+      .gauge("study_participants", {}, "participants in the deployment study")
+      .set(static_cast<double>(total));
+
+  const int threads = std::clamp(config_.threads, 1, std::max(total, 1));
+  const int wave_size = config_.wave_size > 0
+                            ? config_.wave_size
+                            : std::max(threads * 4, 16);
+
+  StudyResult result;
+  if (detail) result.participants.resize(static_cast<std::size_t>(total));
+
+  // One arena per worker slot, retained across waves: after the first
+  // participant warms a slot up, the steady-state sensing loop allocates
+  // without touching the heap.
+  std::vector<std::unique_ptr<util::Arena>> arenas;
+  arenas.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t)
+    arenas.push_back(std::make_unique<util::Arena>(std::size_t{1} << 20));
+
+  std::exception_ptr failure;
+  std::mutex failure_mu;
+
+  std::vector<mobility::Participant> wave;
+  std::vector<Rng> wave_rngs;
+  std::vector<std::vector<PlaceMapEntry>> wave_maps;
+  // Wave-local results, folded after the barrier in id order: float
+  // accumulation (joules, battery hours) is order-sensitive, so folding in
+  // completion order would make the totals depend on thread scheduling.
+  std::vector<ParticipantResult> wave_results;
+
+  for (int base = 0; base < total; base += wave_size) {
+    const int n = std::min(wave_size, total - base);
+    // Admission: materialize this wave's profiles and RNG forks, both in
+    // ascending id order (the determinism contract).
+    wave.clear();
+    wave_rngs.clear();
+    for (int k = 0; k < n; ++k) {
+      wave.push_back(stream.next());
+      wave_rngs.push_back(
+          rng_.fork(1000 + static_cast<std::uint64_t>(base + k)));
+    }
+    wave_maps.assign(static_cast<std::size_t>(n), {});
+    wave_results.assign(static_cast<std::size_t>(n), {});
+
+    std::atomic<int> next{0};
+    auto worker = [&](int slot) {
+      // Aggregate mode reuses one instance label per slot, so the metrics
+      // registry stays O(threads) instead of growing by O(participants).
+      std::optional<telemetry::InstanceLabelScope> scope;
+      if (!detail) scope.emplace(strfmt("w%d", slot));
+      while (true) {
+        const int k = next.fetch_add(1, std::memory_order_relaxed);
+        if (k >= n) return;
+        try {
+          wave_results[static_cast<std::size_t>(k)] = run_participant(
+              wave[static_cast<std::size_t>(k)], cloud,
+              wave_rngs[static_cast<std::size_t>(k)],
+              detail ? &wave_maps[static_cast<std::size_t>(k)] : nullptr,
+              arenas[static_cast<std::size_t>(slot)].get(), true);
+          // The participant retired (PMS destroyed, cloud record archived):
+          // recycle the slot's warm allocation footprint.
+          arenas[static_cast<std::size_t>(slot)]->reset();
+        } catch (...) {
+          const std::scoped_lock lock(failure_mu);
+          if (!failure) failure = std::current_exception();
+        }
+      }
+    };
+
+    if (threads <= 1 || n <= 1) {
+      worker(0);
+    } else {
+      std::vector<std::thread> pool;
+      const int active = std::min(threads, n);
+      pool.reserve(static_cast<std::size_t>(active));
+      for (int t = 0; t < active; ++t) pool.emplace_back(worker, t);
+      for (std::thread& t : pool) t.join();
+    }
+    if (failure) std::rethrow_exception(failure);
+
+    // Wave barrier passed: fold results and merge place-map segments in id
+    // order so totals and the map are independent of completion order.
+    for (int k = 0; k < n; ++k) {
+      ParticipantResult& r = wave_results[static_cast<std::size_t>(k)];
+      result.totals.fold(r);
+      result.cohorts[r.profile.archetype].fold(r);
+      if (detail) {
+        result.place_map.insert(result.place_map.end(),
+                                wave_maps[static_cast<std::size_t>(k)].begin(),
+                                wave_maps[static_cast<std::size_t>(k)].end());
+        result.participants[static_cast<std::size_t>(base + k)] = std::move(r);
+      }
+    }
+  }
+
+  // Every wave retired; the live store holds no users — the fingerprint is
+  // the archived accumulators plus whatever a failed retirement left live.
+  result.storage_stats = cloud.storage().stats();
+  result.storage_digest = cloud.storage().content_digest();
+  return result;
+}
+
+void CohortStats::fold(const ParticipantResult& r) {
+  ++participants;
+  places_discovered += r.places_discovered;
+  places_tagged += r.places_tagged;
+  places_evaluable += r.places_evaluable;
+  for (const auto& [idx, outcome] : r.eval.outcomes)
+    ++outcomes[static_cast<std::size_t>(outcome)];
+  ad_likes += r.ad_likes;
+  ad_dislikes += r.ad_dislikes;
+  sensing_joules += r.sensing_joules;
+  battery_hours += r.implied_battery_hours;
+}
+
 std::size_t StudyResult::total_discovered() const {
-  std::size_t n = 0;
-  for (const auto& p : participants) n += p.places_discovered;
-  return n;
+  return static_cast<std::size_t>(totals.places_discovered);
 }
 
 std::size_t StudyResult::total_tagged() const {
-  std::size_t n = 0;
-  for (const auto& p : participants) n += p.places_tagged;
-  return n;
+  return static_cast<std::size_t>(totals.places_tagged);
 }
 
 std::size_t StudyResult::total_evaluable() const {
-  std::size_t n = 0;
-  for (const auto& p : participants) n += p.places_evaluable;
-  return n;
+  return static_cast<std::size_t>(totals.places_evaluable);
 }
 
 std::size_t StudyResult::total(DiscoveredOutcome o) const {
-  std::size_t n = 0;
-  for (const auto& p : participants) n += p.eval.count(o);
-  return n;
+  return static_cast<std::size_t>(totals.outcome(o));
 }
 
 double StudyResult::fraction(DiscoveredOutcome o) const {
@@ -367,20 +526,17 @@ double StudyResult::fraction(DiscoveredOutcome o) const {
 }
 
 std::size_t StudyResult::total_likes() const {
-  std::size_t n = 0;
-  for (const auto& p : participants) n += p.ad_likes;
-  return n;
+  return static_cast<std::size_t>(totals.ad_likes);
 }
 
 std::size_t StudyResult::total_dislikes() const {
-  std::size_t n = 0;
-  for (const auto& p : participants) n += p.ad_dislikes;
-  return n;
+  return static_cast<std::size_t>(totals.ad_dislikes);
 }
 
 std::string StudyResult::summary() const {
   std::string out;
-  out += strfmt("participants:            %zu\n", participants.size());
+  out += strfmt("participants:            %llu\n",
+                static_cast<unsigned long long>(totals.participants));
   out += strfmt("places discovered:       %zu\n", total_discovered());
   out += strfmt("places tagged:           %zu (%.1f%%)\n", total_tagged(),
                 total_discovered() == 0
@@ -400,6 +556,18 @@ std::string StudyResult::summary() const {
                           static_cast<double>(impressions);
     out += strfmt("PlaceADs impressions:    %zu, like:dislike = %.1f : %.1f\n",
                   impressions, like20, 20.0 - like20);
+  }
+  for (const auto& [archetype, c] : cohorts) {
+    const double denom = c.participants > 0
+                             ? static_cast<double>(c.participants)
+                             : 1.0;
+    out += strfmt(
+        "cohort %-14s %llu participants, %.1f places/p, %.0f J/p, "
+        "%.0f h battery\n",
+        mobility::to_string(archetype),
+        static_cast<unsigned long long>(c.participants),
+        static_cast<double>(c.places_discovered) / denom,
+        c.sensing_joules / denom, c.battery_hours / denom);
   }
   return out;
 }

@@ -19,9 +19,28 @@
 #include "core/pms.hpp"
 #include "mobility/schedule.hpp"
 #include "telemetry/timeseries.hpp"
+#include "util/arena.hpp"
 #include "world/world.hpp"
 
 namespace pmware::study {
+
+/// Which study runner executes the participants.
+///
+///  * Materialized — the historical runner: every participant profile, RNG
+///    and result is built up front and kept for the whole run. O(N) memory;
+///    the reference implementation the streaming runner is differentially
+///    tested against.
+///  * Streaming — wave-scheduled: participants are constructed on first
+///    touch, run their sim-days, sync, and retire (their cloud record is
+///    folded into the archived accumulators) before the next wave is
+///    admitted. Peak memory is O(threads + wave), not O(N) — this is what
+///    makes a 100k-participant study fit in bounded memory. The cloud
+///    content digest is byte-identical to Materialized at any
+///    threads x shards x cache x fault-plan combination.
+///  * Auto — Streaming, keeping per-participant results and the place map
+///    while the population is small enough to afford them (N <= 256) and
+///    switching to slot-scoped aggregate-only collection above.
+enum class RunnerMode : std::uint8_t { Auto, Materialized, Streaming };
 
 struct StudyConfig {
   int participants = 16;
@@ -81,6 +100,15 @@ struct StudyConfig {
   /// Evaluate the default SLO alert rules at every timeseries sample
   /// (--no-alerts in studyctl). Same determinism guarantee as above.
   bool alerts = true;
+  /// Runner selection (--runner in studyctl). Results — science numbers and
+  /// the cloud content digest — are byte-identical across runners; the
+  /// choice only trades memory for per-participant detail.
+  RunnerMode runner = RunnerMode::Auto;
+  /// Streaming wave size (--wave in studyctl): participants admitted per
+  /// scheduling epoch. 0 = auto (4 per worker thread, min 16). Any value
+  /// yields identical results; it only bounds how many participant
+  /// profiles are materialized at once.
+  int wave_size = 0;
 };
 
 /// One entry of the Figure-5b place map.
@@ -104,12 +132,41 @@ struct ParticipantResult {
   core::PmsStats pms_stats;
 };
 
+/// Commutatively folded aggregate of ParticipantResults — what the
+/// streaming runner keeps instead of the per-participant vector. One
+/// instance serves as the whole-study total and one per archetype cohort.
+struct CohortStats {
+  std::uint64_t participants = 0;
+  std::uint64_t places_discovered = 0;
+  std::uint64_t places_tagged = 0;
+  std::uint64_t places_evaluable = 0;
+  /// Outcome counts of the evaluable (tagged, with-departure) split,
+  /// indexed by DiscoveredOutcome.
+  std::uint64_t outcomes[4] = {0, 0, 0, 0};
+  std::uint64_t ad_likes = 0;
+  std::uint64_t ad_dislikes = 0;
+  double sensing_joules = 0;
+  double battery_hours = 0;
+
+  void fold(const ParticipantResult& r);
+  std::uint64_t outcome(algorithms::DiscoveredOutcome o) const {
+    return outcomes[static_cast<std::size_t>(o)];
+  }
+};
+
 struct StudyResult {
+  /// Per-participant detail. Populated by the materialized runner and by
+  /// streaming runs small enough to afford it; EMPTY in aggregate-only
+  /// streaming runs (the totals below carry the study numbers there).
   std::vector<ParticipantResult> participants;
   std::vector<PlaceMapEntry> place_map;
+  /// Folded aggregates — filled by every runner, so total_*()/summary()
+  /// read identically whether or not per-participant detail was kept.
+  CohortStats totals;
+  std::map<mobility::Archetype, CohortStats> cohorts;
   /// Post-join snapshot of the cloud storage: aggregate record counts and
   /// the order-independent content digest — the determinism fingerprint
-  /// that must match across thread and shard counts.
+  /// that must match across thread and shard counts (and runners).
   cloud::CloudStorage::Stats storage_stats;
   std::uint64_t storage_digest = 0;
 
@@ -127,6 +184,11 @@ struct StudyResult {
 
 class DeploymentStudy {
  public:
+  /// Auto-runner boundary: streaming studies at or below this population
+  /// keep per-participant results and the place map; larger ones collect
+  /// aggregates only (CohortStats + storage fingerprint).
+  static constexpr int kDetailThreshold = 256;
+
   explicit DeploymentStudy(StudyConfig config);
 
   /// Runs the full study (deterministic for a given config).
@@ -145,9 +207,23 @@ class DeploymentStudy {
   }
 
  private:
+  /// Simulates one participant end to end. `place_map` may be null
+  /// (aggregate-only collection skips the Figure-5b inventory), `arena`
+  /// may be null (heap-backed engine logs), and `retire` folds the
+  /// participant's cloud record into the archived accumulators after the
+  /// final sync — the streaming runner's memory-release step.
   ParticipantResult run_participant(const mobility::Participant& participant,
                                     cloud::CloudInstance& cloud, Rng& rng,
-                                    std::vector<PlaceMapEntry>& place_map);
+                                    std::vector<PlaceMapEntry>* place_map,
+                                    util::Arena* arena, bool retire);
+  /// The historical materialize-everything runner (the differential-oracle
+  /// reference for the streaming runner).
+  StudyResult run_materialized();
+  /// Wave-scheduled bounded-memory runner; `detail` keeps per-participant
+  /// results and the place map.
+  StudyResult run_streaming(bool detail);
+  /// Shared prologue: telemetry recorder/alert setup.
+  void configure_telemetry();
   /// Called by workers after each completed participant-day: bumps the
   /// progress counter, advances fleet sim-time, and lets the recorder /
   /// alert engine sample at most once per crossed interval.

@@ -67,8 +67,11 @@ std::string diagnostics_summary(const Tracer& tracer,
 /// flame self-time), 7 = adds the "timeseries" block (per-sim-interval
 /// counter deltas and gauge values from the sim-time series recorder), the
 /// "process" block (RSS / peak RSS / CPU sampled at export), and the
-/// pmware_build_info gauge in "metrics".
-inline constexpr int kBenchSchemaVersion = 7;
+/// pmware_build_info gauge in "metrics", 8 = adds the deployment-study
+/// "population_sweep" block (streaming-runner scale ladder: wall time,
+/// participant-days/sec, peak RSS, cloud request rate, and per-shard
+/// request heat at N = 16 / 1k / 10k / 100k).
+inline constexpr int kBenchSchemaVersion = 8;
 
 /// Reproducibility metadata embedded in every BENCH_*.json, so the perf
 /// trajectory stays comparable across PRs. Zero fields mean "not

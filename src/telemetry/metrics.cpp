@@ -128,10 +128,36 @@ std::uint64_t MetricsRegistry::family_total(const std::string& name) const {
   return total;
 }
 
+namespace {
+thread_local InstanceLabelScope* tl_label_scope = nullptr;
+}  // namespace
+
 std::string MetricsRegistry::next_instance_label(const std::string& prefix) {
+  if (const std::string* slot = InstanceLabelScope::current())
+    return strfmt("%s~%s", prefix.c_str(), slot->c_str());
   return strfmt("%s%llu", prefix.c_str(),
                 static_cast<unsigned long long>(
                     next_instance_.fetch_add(1, std::memory_order_relaxed)));
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  const std::scoped_lock lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [name, family] : families_)
+    n += family.counters.size() + family.gauges.size() +
+         family.histograms.size();
+  return n;
+}
+
+InstanceLabelScope::InstanceLabelScope(std::string slot)
+    : slot_(std::move(slot)), prev_(tl_label_scope) {
+  tl_label_scope = this;
+}
+
+InstanceLabelScope::~InstanceLabelScope() { tl_label_scope = prev_; }
+
+const std::string* InstanceLabelScope::current() {
+  return tl_label_scope == nullptr ? nullptr : &tl_label_scope->slot_;
 }
 
 MetricsRegistry& registry() {

@@ -328,8 +328,15 @@ class MetricsRegistry {
   }
 
   /// Fresh id for per-instance labels ("c3", "pms7"); never reused, not
-  /// affected by reset() so views of dead instances stay distinct.
+  /// affected by reset() so views of dead instances stay distinct. Inside
+  /// an InstanceLabelScope the label is "<prefix>~<slot>" instead — stable
+  /// per worker slot, so a streaming study reuses O(threads) series rather
+  /// than growing the registry by O(participants).
   std::string next_instance_label(const std::string& prefix);
+
+  /// Total series across every family — the label-cardinality gauge the
+  /// streaming runner's O(N)-scan regression test watches.
+  std::size_t series_count() const;
 
  private:
   /// Caller must hold mu_.
@@ -345,6 +352,30 @@ class MetricsRegistry {
 
 /// The process-wide registry every middleware layer records into.
 MetricsRegistry& registry();
+
+/// RAII thread-local override for next_instance_label(): while a scope is
+/// alive on a thread, every instance label minted on that thread is
+/// "<prefix>~<slot>" instead of a fresh "<prefix><n>". The streaming study
+/// runner opens one scope per worker slot in aggregate mode, so the
+/// thousands of short-lived PMS/client/device instances of a population-
+/// scale run share O(threads) registry series (family totals stay exact —
+/// counters only accumulate — but per-instance stats views are meaningless
+/// while a scope is active). Scopes nest; the innermost wins.
+class InstanceLabelScope {
+ public:
+  explicit InstanceLabelScope(std::string slot);
+  ~InstanceLabelScope();
+
+  InstanceLabelScope(const InstanceLabelScope&) = delete;
+  InstanceLabelScope& operator=(const InstanceLabelScope&) = delete;
+
+  /// The innermost slot name active on this thread, or null.
+  static const std::string* current();
+
+ private:
+  std::string slot_;
+  InstanceLabelScope* prev_;
+};
 
 /// Pre-resolved instrument handles for hot loops — the MetricHandle
 /// family. Each resolves its (name, labels) series once and reuses the

@@ -1,0 +1,138 @@
+// Bump-pointer arena for per-participant working memory.
+//
+// The streaming study runner recycles one arena per worker slot: a
+// participant's append-only readings (GSM observation log, visit log) are
+// allocated from the slot's arena, and when the participant retires the
+// arena is reset() — blocks are kept, cursors rewind, and the next
+// participant's identical-shape allocations are served without touching
+// the heap. After the first participant warms a slot up, the steady-state
+// sampling loop performs zero arena growths (asserted in
+// tests/test_population.cpp).
+//
+// Not thread-safe: one arena belongs to one worker slot. The allocator
+// deliberately degrades to plain operator new when constructed without an
+// arena, so arena-aware containers (core::ObsLog, core::VisitLog) behave
+// like ordinary vectors everywhere outside the streaming runner.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace pmware::util {
+
+class Arena {
+ public:
+  /// `first_block_bytes` sizes the initial block, allocated lazily on first
+  /// use; each further block doubles the previous one.
+  explicit Arena(std::size_t first_block_bytes = 1 << 16)
+      : next_block_bytes_(first_block_bytes < 64 ? 64 : first_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* allocate(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) bytes = 1;
+    if (block_ < blocks_.size()) {
+      const std::uintptr_t base =
+          reinterpret_cast<std::uintptr_t>(blocks_[block_].data.get());
+      std::uintptr_t p = (base + used_ + (align - 1)) & ~(align - 1);
+      if (p + bytes <= base + blocks_[block_].size) {
+        used_ = p + bytes - base;
+        in_use_ += bytes;
+        return reinterpret_cast<void*>(p);
+      }
+      // Try later (already-grown) blocks before allocating a new one, so a
+      // reset() arena reuses its whole block chain.
+      if (block_ + 1 < blocks_.size()) {
+        ++block_;
+        used_ = 0;
+        return allocate(bytes, align);
+      }
+    }
+    grow(bytes + align);
+    return allocate(bytes, align);
+  }
+
+  /// Rewinds every cursor; all prior allocations become invalid. Blocks are
+  /// retained, so a warmed-up arena serves the next participant without
+  /// growing.
+  void reset() {
+    block_ = 0;
+    used_ = 0;
+    in_use_ = 0;
+    ++resets_;
+  }
+
+  /// Heap blocks ever allocated — the counting-allocator signal: steady
+  /// state means this stops moving.
+  std::size_t growths() const { return growths_; }
+  std::size_t resets() const { return resets_; }
+  /// Total bytes of all blocks (the slot's memory high-water mark).
+  std::size_t capacity() const { return capacity_; }
+  /// Bytes handed out since the last reset (alignment padding excluded).
+  std::size_t bytes_in_use() const { return in_use_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void grow(std::size_t at_least) {
+    std::size_t size = next_block_bytes_;
+    while (size < at_least) size *= 2;
+    next_block_bytes_ = size * 2;
+    blocks_.push_back({std::make_unique<std::byte[]>(size), size});
+    capacity_ += size;
+    ++growths_;
+    block_ = blocks_.size() - 1;
+    used_ = 0;
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;  ///< block currently bump-allocated from
+  std::size_t used_ = 0;   ///< bytes consumed in blocks_[block_]
+  std::size_t next_block_bytes_;
+  std::size_t capacity_ = 0;
+  std::size_t in_use_ = 0;
+  std::size_t growths_ = 0;
+  std::size_t resets_ = 0;
+};
+
+/// std::allocator-compatible handle over an Arena. Null arena = plain heap,
+/// so containers parameterized on it cost nothing outside the streaming
+/// runner. Deallocation is a no-op for arena-backed memory (reclaimed
+/// wholesale by Arena::reset()).
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  ArenaAllocator() = default;
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    if (arena_ == nullptr)
+      return static_cast<T*>(::operator new(n * sizeof(T)));
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T* p, std::size_t) {
+    if (arena_ == nullptr) ::operator delete(p);
+  }
+
+  Arena* arena() const { return arena_; }
+
+  bool operator==(const ArenaAllocator& other) const {
+    return arena_ == other.arena_;
+  }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
+}  // namespace pmware::util

@@ -1,13 +1,28 @@
 // Uniform-grid spatial index over items with a LatLng position.
 //
 // The world holds hundreds of towers and thousands of APs; every sensing
-// sample queries "what is near this point", so lookups must not be linear.
+// sample queries "what is near this point", so lookups must not be linear
+// — and for the cell layer the path-loss search radius (~11 km) exceeds
+// the whole world, so the scan must also not pay per-cell map lookups or
+// per-candidate haversines for a box that covers everything.
+//
+// The index is built in two phases: add() items, then freeze() into a
+// flat CSR grid (per-cell item lists in one array) with every item's
+// tangent-plane coordinates precomputed. Queries clamp the scan box to the
+// grid's occupied bounds, reject candidates with a squared planar distance
+// against a slackened radius, and only compute the exact geodesic distance
+// for survivors — the reported distances and the visit order (cell-major,
+// insertion order within a cell) are bit-identical to the original
+// map-of-vectors implementation. freeze() is called automatically by the
+// first query for single-threaded users; concurrent readers (the study's
+// worker pool) must freeze before sharing, which world::World does in its
+// constructor.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <vector>
 
 #include "geo/latlng.hpp"
@@ -25,33 +40,107 @@ class SpatialIndex {
       : origin_(origin), cell_size_m_(cell_size_m), position_(std::move(position)) {}
 
   void add(T item) {
-    const auto key = cell_of(position_(item));
+    positions_.push_back(position_(item));
+    const geo::EnuOffset off = geo::to_enu(origin_, positions_.back());
+    enu_.push_back(off);
     items_.push_back(std::move(item));
-    grid_[key].push_back(items_.size() - 1);
+    frozen_ = false;
   }
 
   std::size_t size() const { return items_.size(); }
   const std::vector<T>& items() const { return items_; }
   const T& item(std::size_t i) const { return items_.at(i); }
 
+  /// Builds the flat grid. Idempotent; must be called before the index is
+  /// shared across threads (queries on a frozen index are const and
+  /// lock-free).
+  void freeze() const {
+    if (frozen_) return;
+    min_i_ = min_j_ = 0;
+    cols_ = rows_ = 0;
+    cell_starts_.clear();
+    cell_items_.clear();
+    if (!items_.empty()) {
+      std::int64_t max_i = 0, max_j = 0;
+      std::vector<std::pair<std::int64_t, std::int64_t>> keys(items_.size());
+      for (std::size_t k = 0; k < items_.size(); ++k) {
+        keys[k] = cell_of(enu_[k]);
+        if (k == 0) {
+          min_i_ = max_i = keys[k].first;
+          min_j_ = max_j = keys[k].second;
+        } else {
+          min_i_ = std::min(min_i_, keys[k].first);
+          max_i = std::max(max_i, keys[k].first);
+          min_j_ = std::min(min_j_, keys[k].second);
+          max_j = std::max(max_j, keys[k].second);
+        }
+      }
+      cols_ = max_i - min_i_ + 1;
+      rows_ = max_j - min_j_ + 1;
+      cell_starts_.assign(static_cast<std::size_t>(cols_ * rows_) + 1, 0);
+      for (const auto& [i, j] : keys) ++cell_starts_[flat_cell(i, j) + 1];
+      for (std::size_t c = 1; c < cell_starts_.size(); ++c)
+        cell_starts_[c] += cell_starts_[c - 1];
+      // Stable counting sort: iterating items in insertion order preserves
+      // the per-cell insertion order the original map-of-vectors kept.
+      cell_items_.resize(items_.size());
+      std::vector<std::uint32_t> cursor(cell_starts_.begin(),
+                                        cell_starts_.end() - 1);
+      for (std::size_t k = 0; k < items_.size(); ++k)
+        cell_items_[cursor[flat_cell(keys[k].first, keys[k].second)]++] =
+            static_cast<std::uint32_t>(k);
+    }
+    frozen_ = true;
+  }
+
   /// Visits every item within `radius_m` of `p` as `fn(index, distance_m)`,
-  /// in the same deterministic cell-major order query() returns. The
-  /// allocation-free form of query(): hot paths reuse their own output
-  /// buffers and get the already-computed distance for free instead of
-  /// recomputing it from the returned index.
+  /// in deterministic cell-major order (ascending east cell, then ascending
+  /// north cell, then insertion order). The allocation-free form of
+  /// query(): hot paths reuse their own output buffers and get the
+  /// already-computed distance for free instead of recomputing it from the
+  /// returned index.
   template <typename Fn>
   void for_each_in(const geo::LatLng& p, double radius_m, Fn&& fn) const {
-    const auto [ci, cj] = cell_of(p);
-    const auto span = static_cast<std::int64_t>(
-        std::ceil(radius_m / cell_size_m_));
-    for (std::int64_t di = -span; di <= span; ++di) {
-      for (std::int64_t dj = -span; dj <= span; ++dj) {
-        const auto it = grid_.find({ci + di, cj + dj});
-        if (it == grid_.end()) continue;
-        for (std::size_t idx : it->second) {
-          const double d = geo::distance_m(p, position_(items_[idx]));
-          if (d <= radius_m) fn(idx, d);
-        }
+    if (!frozen_) freeze();
+    if (items_.empty()) return;
+    const geo::EnuOffset q = geo::to_enu(origin_, p);
+    // Planar prefilter radius: the equirectangular projection diverges from
+    // the geodesic distance by well under 0.1% + a few metres at world
+    // scale, so this slack can never reject a point the exact test would
+    // keep — the haversine below still decides membership.
+    const double slack = radius_m * 1.02 + 32.0;
+    const double slack2 = slack * slack;
+    const auto [ci, cj] = cell_of(q);
+    const auto span =
+        static_cast<std::int64_t>(std::ceil(radius_m / cell_size_m_));
+    const std::int64_t i0 = std::max(ci - span, min_i_);
+    const std::int64_t i1 = std::min(ci + span, min_i_ + cols_ - 1);
+    const std::int64_t j0 = std::max(cj - span, min_j_);
+    const std::int64_t j1 = std::min(cj + span, min_j_ + rows_ - 1);
+    if (i0 > i1 || j0 > j1) return;
+
+    auto scan = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t s = begin; s < end; ++s) {
+        const std::uint32_t idx = cell_items_[s];
+        const double dx = enu_[idx].east_m - q.east_m;
+        const double dy = enu_[idx].north_m - q.north_m;
+        if (dx * dx + dy * dy > slack2) continue;
+        const double d = geo::distance_m(p, positions_[idx]);
+        if (d <= radius_m) fn(static_cast<std::size_t>(idx), d);
+      }
+    };
+    if (i0 == min_i_ && j0 == min_j_ && i1 == min_i_ + cols_ - 1 &&
+        j1 == min_j_ + rows_ - 1) {
+      // The scan box covers the whole grid (the cell layer's usual case:
+      // search radius > world extent) — one linear pass over the CSR array,
+      // which is already in cell-major order.
+      scan(0, cell_items_.size());
+      return;
+    }
+    for (std::int64_t i = i0; i <= i1; ++i) {
+      for (std::int64_t j = j0; j <= j1; ++j) {
+        const std::size_t c = flat_cell(i, j);
+        scan(cell_starts_[c], cell_starts_[c + 1]);
       }
     }
   }
@@ -66,19 +155,28 @@ class SpatialIndex {
   }
 
  private:
-  using Key = std::pair<std::int64_t, std::int64_t>;
-
-  Key cell_of(const geo::LatLng& p) const {
-    const geo::EnuOffset off = geo::to_enu(origin_, p);
+  std::pair<std::int64_t, std::int64_t> cell_of(const geo::EnuOffset& off) const {
     return {static_cast<std::int64_t>(std::floor(off.east_m / cell_size_m_)),
             static_cast<std::int64_t>(std::floor(off.north_m / cell_size_m_))};
+  }
+
+  std::size_t flat_cell(std::int64_t i, std::int64_t j) const {
+    return static_cast<std::size_t>((i - min_i_) * rows_ + (j - min_j_));
   }
 
   geo::LatLng origin_;
   double cell_size_m_;
   PositionFn position_;
   std::vector<T> items_;
-  std::map<Key, std::vector<std::size_t>> grid_;
+  std::vector<geo::LatLng> positions_;
+  std::vector<geo::EnuOffset> enu_;
+
+  // Frozen CSR grid (mutable: built lazily by the first const query).
+  mutable bool frozen_ = false;
+  mutable std::int64_t min_i_ = 0, min_j_ = 0;
+  mutable std::int64_t cols_ = 0, rows_ = 0;
+  mutable std::vector<std::uint32_t> cell_starts_;
+  mutable std::vector<std::uint32_t> cell_items_;
 };
 
 }  // namespace pmware::world

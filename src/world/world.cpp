@@ -45,6 +45,12 @@ World::World(WorldConfig config, std::vector<Place> places,
       config_.origin, 500.0,
       [this](const std::size_t& i) { return places_[i].center; });
   for (std::size_t i = 0; i < places_.size(); ++i) place_index_->add(i);
+
+  // Freeze the flat grids before the world is shared: study workers query
+  // the indexes concurrently, and a frozen index is const + lock-free.
+  tower_index_->freeze();
+  ap_index_->freeze();
+  place_index_->freeze();
 }
 
 void World::hearable_cells_into(const geo::LatLng& pos,

@@ -25,10 +25,20 @@ TEST(Participants, UniqueHomes) {
   EXPECT_EQ(homes.size(), participants.size());
 }
 
-TEST(Participants, ThrowsWhenTooMany) {
+TEST(Participants, HomesWrapWhenPopulationExceedsHousing) {
   const auto world = make_world();
+  const std::size_t housing =
+      world->all_of_category(world::PlaceCategory::Home).size();
   Rng rng(2);
-  EXPECT_THROW(make_participants(*world, 1000, rng), std::invalid_argument);
+  const auto participants = make_participants(*world, 1000, rng);
+  ASSERT_EQ(participants.size(), 1000u);
+  // The shuffled home deck repeats round-robin past the housing stock:
+  // participant i and participant i + housing share a home.
+  for (std::size_t i = 0; i + housing < participants.size(); ++i)
+    EXPECT_EQ(participants[i].home, participants[i + housing].home);
+  std::set<world::PlaceId> homes;
+  for (const auto& p : participants) homes.insert(p.home);
+  EXPECT_EQ(homes.size(), housing);
 }
 
 TEST(Participants, ArchetypeMixIncludesStudents) {

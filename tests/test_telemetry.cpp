@@ -679,10 +679,11 @@ TEST(Exporters, BenchJsonCarriesSchemaVersionRunMetaAndFlame) {
   buffer << in.rdbuf();
   const Json doc = Json::parse(buffer.str());
   EXPECT_EQ(doc.at("schema_version").as_int(), kBenchSchemaVersion);
-  // Pin the current version: 7 added the "timeseries" and "process" blocks
-  // plus the pmware_build_info gauge. Bumping kBenchSchemaVersion means
-  // updating this test and the history comment in export.hpp together.
-  EXPECT_EQ(kBenchSchemaVersion, 7);
+  // Pin the current version: 8 added the deployment-study
+  // "population_sweep" block (streaming-runner scale ladder). Bumping
+  // kBenchSchemaVersion means updating this test and the history comment
+  // in export.hpp together.
+  EXPECT_EQ(kBenchSchemaVersion, 8);
   EXPECT_TRUE(doc.contains("timeseries"));
   EXPECT_TRUE(doc.at("timeseries").contains("points"));
   EXPECT_GT(doc.at("process").at("peak_rss_bytes").as_int(), 0);
