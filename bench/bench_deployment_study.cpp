@@ -127,6 +127,23 @@ double scheduler_run_self_ms(const std::vector<telemetry::SpanRecord>& spans) {
   return self_ns / 1e6;
 }
 
+/// Linear-interpolated percentile over a fixed-width telemetry histogram,
+/// q in [0, 1]. Bucket-resolution approximation — good enough for the
+/// checkpoint-size / restore-latency summary the chaos sweep reports.
+double histogram_percentile(const Histogram& h, double q) {
+  if (h.total() == 0) return 0;
+  const double target = q * static_cast<double>(h.total());
+  double seen = 0;
+  for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+    const double c = static_cast<double>(h.count(b));
+    if (c > 0 && seen + c >= target)
+      return h.bucket_lo(b) +
+             (target - seen) / c * (h.bucket_hi(b) - h.bucket_lo(b));
+    seen += c;
+  }
+  return h.hi();
+}
+
 /// Keeps `value` observable so the compiler cannot elide the read producing
 /// it (the reads also mutate RNG/reselection state, but belt and braces).
 template <typename T>
@@ -246,6 +263,12 @@ int main(int argc, char** argv) {
       "route=/api/users,error=0.25,from=2d,to=12d",
       "latency=2,from=0,to=12d",
   };
+  // Default chaos plan for the lifecycle sweep: crash/restart injection
+  // through the mid-study window, a privacy-wipe wave, and a late-join
+  // cohort. --chaos-plan replaces it.
+  std::string chaos_spec =
+      "crash=2d..9d,crash_rate=0.2,restart_delay=2h;"
+      "wipe=6d..7d,wipe_rate=0.25;join=0d..5d,join_rate=0.2";
   bool cache_for_sweeps = true;  // --cache on|off: main sweeps' cache setting
   // --max-pop caps the population_sweep's largest row (default 100k; the
   // committed battery runs the full ladder, smoke runs can pass 1000).
@@ -257,6 +280,8 @@ int main(int argc, char** argv) {
       fixed_shards = std::atoi(argv[i + 1]);
     if (std::strcmp(argv[i], "--fault-plan") == 0)
       fault_specs = {argv[i + 1]};
+    if (std::strcmp(argv[i], "--chaos-plan") == 0)
+      chaos_spec = argv[i + 1];
     if (std::strcmp(argv[i], "--cache") == 0)
       cache_for_sweeps = std::strcmp(argv[i + 1], "off") != 0;
     if (std::strcmp(argv[i], "--max-pop") == 0)
@@ -378,6 +403,101 @@ int main(int argc, char** argv) {
   for (const auto& entry : fault_sweep)
     all_recovered =
         all_recovered && entry.matches_baseline && entry.outbox_pending == 0;
+
+  // --- Chaos sweep: the same study under a device-lifecycle plan (crash
+  // injection + checkpoint restarts, privacy wipes, late joins). A crashed
+  // study legitimately diverges from the no-fault digest (devices are dark
+  // while rebooting), so the headline assertion here is DETERMINISM: the
+  // digest must be byte-identical at every shards x threads x cache x
+  // runner combination, and no surviving participant's records may be lost
+  // (outbox balance closes with zero evicted and zero pending).
+  struct ChaosEntry {
+    int shards = 0;
+    int threads = 0;
+    bool cache = false;
+    const char* runner = "";
+    double wall_s = 0;
+    std::uint64_t digest = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t wipes = 0;
+    std::uint64_t tombstone_rejections = 0;
+    std::uint64_t enqueued = 0, delivered = 0, recovered = 0;
+    std::uint64_t evicted = 0, dropped = 0, pending = 0;
+  };
+  struct HistSummary {
+    std::uint64_t count = 0;
+    double mean = 0, max = 0, p50 = 0, p99 = 0;
+  };
+  std::vector<ChaosEntry> chaos_sweep;
+  HistSummary checkpoint_bytes, restore_us;
+  {
+    const struct {
+      int shards, threads;
+      bool cache;
+      study::RunnerMode runner;
+      const char* runner_name;
+    } kCombos[] = {
+        {1, 1, true, study::RunnerMode::Materialized, "materialized"},
+        {16, 8, true, study::RunnerMode::Materialized, "materialized"},
+        {1, 1, true, study::RunnerMode::Streaming, "streaming"},
+        {16, 8, true, study::RunnerMode::Streaming, "streaming"},
+        {16, 8, false, study::RunnerMode::Materialized, "materialized"},
+    };
+    for (const auto& combo : kCombos) {
+      telemetry::registry().reset();
+      telemetry::tracer().reset();
+      study::StudyConfig chaotic = config;
+      chaotic.shards = combo.shards;
+      chaotic.threads = combo.threads;
+      chaotic.cache = combo.cache;
+      chaotic.runner = combo.runner;
+      chaotic.fault_plan = net::FaultPlan::parse(chaos_spec);
+      const auto begin = std::chrono::steady_clock::now();
+      const study::StudyResult run = study::DeploymentStudy(chaotic).run();
+      ChaosEntry entry;
+      entry.shards = combo.shards;
+      entry.threads = combo.threads;
+      entry.cache = combo.cache;
+      entry.runner = combo.runner_name;
+      entry.wall_s = wall_seconds_since(begin);
+      entry.digest = run.storage_digest;
+      const auto& reg = telemetry::registry();
+      entry.restarts = reg.family_total("pms_restarts_total");
+      entry.wipes = reg.family_total("cloud_wipe_tombstones_total");
+      entry.tombstone_rejections =
+          reg.family_total("cloud_tombstone_rejections_total");
+      entry.enqueued = reg.family_total("pms_outbox_enqueued_total");
+      entry.delivered = reg.family_total("pms_outbox_delivered_total");
+      entry.recovered = reg.family_total("pms_outbox_recovered_total");
+      entry.evicted = reg.family_total("pms_outbox_evicted_total");
+      entry.dropped = reg.family_total("pms_outbox_dropped_total");
+      entry.pending =
+          entry.enqueued - entry.delivered - entry.evicted - entry.dropped;
+      // Checkpoint-size / restore-latency distributions from the last run
+      // (one combo is as good as another: the checkpoint stream is
+      // deterministic, only wall latency varies).
+      const auto summarize = [&](const char* name, HistSummary& out) {
+        if (const auto* hist = reg.find_histogram(name, {})) {
+          const auto snap = hist->snapshot();
+          out.count = static_cast<std::uint64_t>(snap.stats.count());
+          out.mean = snap.stats.mean();
+          out.max = snap.stats.max();
+          out.p50 = histogram_percentile(snap.buckets, 0.50);
+          out.p99 = histogram_percentile(snap.buckets, 0.99);
+        }
+      };
+      summarize("pms_checkpoint_bytes", checkpoint_bytes);
+      summarize("pms_restore_wall_us", restore_us);
+      chaos_sweep.push_back(entry);
+    }
+  }
+  bool chaos_identical = true, chaos_zero_lost = true;
+  for (const auto& entry : chaos_sweep) {
+    chaos_identical =
+        chaos_identical && entry.digest == chaos_sweep.front().digest;
+    chaos_zero_lost =
+        chaos_zero_lost && entry.evicted == 0 && entry.pending == 0;
+  }
 
   // --- Cache sweep: the same study with the content-addressed caches off
   // vs on. Equivalence is the headline assertion — the science results and
@@ -627,6 +747,35 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(entry.outbox_evicted),
                 static_cast<unsigned long long>(entry.outbox_pending),
                 static_cast<unsigned long long>(entry.faults_injected));
+
+  // --- Chaos-sweep report: a crashed study must stay deterministic across
+  // every execution shape, with the outbox balance closing at zero lost.
+  std::printf("\n--- chaos sweep (plan \"%s\")\n    digests identical: %s, "
+              "zero records lost: %s ---\n",
+              chaos_spec.c_str(), chaos_identical ? "yes" : "NO",
+              chaos_zero_lost ? "yes" : "NO");
+  std::printf("%7s %8s %6s %-13s %8s %9s %6s %7s %8s %8s %20s\n", "shards",
+              "threads", "cache", "runner", "wall s", "restarts", "wipes",
+              "rejects", "dropped", "pending", "digest");
+  for (const auto& entry : chaos_sweep)
+    std::printf("%7d %8d %6s %-13s %8.2f %9llu %6llu %7llu %8llu %8llu %20llu\n",
+                entry.shards, entry.threads, entry.cache ? "on" : "off",
+                entry.runner, entry.wall_s,
+                static_cast<unsigned long long>(entry.restarts),
+                static_cast<unsigned long long>(entry.wipes),
+                static_cast<unsigned long long>(entry.tombstone_rejections),
+                static_cast<unsigned long long>(entry.dropped),
+                static_cast<unsigned long long>(entry.pending),
+                static_cast<unsigned long long>(entry.digest));
+  std::printf("  checkpoints: %llu written, %.0f B mean, %.0f B p50, %.0f B "
+              "p99, %.0f B max\n",
+              static_cast<unsigned long long>(checkpoint_bytes.count),
+              checkpoint_bytes.mean, checkpoint_bytes.p50, checkpoint_bytes.p99,
+              checkpoint_bytes.max);
+  std::printf("  restores:    %llu replayed, %.0f us mean, %.0f us p50, "
+              "%.0f us p99, %.0f us max\n",
+              static_cast<unsigned long long>(restore_us.count),
+              restore_us.mean, restore_us.p50, restore_us.p99, restore_us.max);
 
   // --- Cache-sweep report: equal digests with collapsed request/recluster
   // counts is the subsystem working as designed.
@@ -915,6 +1064,48 @@ int main(int argc, char** argv) {
                     static_cast<std::uint64_t>(result.storage_digest));
     fault_block.set("all_recovered", all_recovered);
     extra.set("fault_sweep", std::move(fault_block));
+    // schema_version 9: the "chaos_sweep" block — device-lifecycle chaos
+    // (crash/restart injection, privacy wipes, late joins) with determinism
+    // digests per execution shape and checkpoint/restore distributions.
+    {
+      Json chaos_block = Json::object();
+      chaos_block.set("plan", chaos_spec);
+      Json chaos_runs = Json::array();
+      for (const auto& entry : chaos_sweep) {
+        Json e = Json::object();
+        e.set("shards", entry.shards);
+        e.set("threads", entry.threads);
+        e.set("cache", entry.cache);
+        e.set("runner", std::string(entry.runner));
+        e.set("wall_s", entry.wall_s);
+        e.set("storage_digest", entry.digest);
+        e.set("restarts", entry.restarts);
+        e.set("wipe_tombstones", entry.wipes);
+        e.set("tombstone_rejections", entry.tombstone_rejections);
+        e.set("outbox_enqueued", entry.enqueued);
+        e.set("outbox_delivered", entry.delivered);
+        e.set("outbox_recovered", entry.recovered);
+        e.set("outbox_evicted", entry.evicted);
+        e.set("outbox_dropped", entry.dropped);
+        e.set("outbox_pending", entry.pending);
+        chaos_runs.push_back(std::move(e));
+      }
+      chaos_block.set("runs", std::move(chaos_runs));
+      chaos_block.set("identical_across_configs", chaos_identical);
+      chaos_block.set("zero_records_lost", chaos_zero_lost);
+      const auto hist_json = [](const HistSummary& h) {
+        Json j = Json::object();
+        j.set("count", h.count);
+        j.set("mean", h.mean);
+        j.set("p50", h.p50);
+        j.set("p99", h.p99);
+        j.set("max", h.max);
+        return j;
+      };
+      chaos_block.set("checkpoint_bytes", hist_json(checkpoint_bytes));
+      chaos_block.set("restore_wall_us", hist_json(restore_us));
+      extra.set("chaos_sweep", std::move(chaos_block));
+    }
     // schema_version 5: cache-on vs cache-off equivalence digests, the
     // request/recluster collapse, hit taxonomy, and the conditional-
     // transfer microbenchmarks.

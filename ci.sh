@@ -11,7 +11,9 @@
 # the Robustness-labeled fault/outbox/breaker tests under asan together
 # with Caching, Alerting, and the Population streaming-runner battery.
 # The golden-digest gate runs both study runners (materialized and
-# streaming) against tests/golden/study_digest.txt.
+# streaming) against tests/golden/study_digest.txt, then again under the
+# pinned device-chaos plan (crash/restart injection, privacy wipes, late
+# joins) against tests/golden/study_digest_crash.txt.
 # Usage: ./ci.sh [extra cmake args...]
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -54,6 +56,27 @@ for runner in materialized streaming; do
   echo "study digest ${actual_digest} matches golden (${runner} runner)"
 done
 
+# Crashed-study golden gate: the same study under a pinned device-lifecycle
+# chaos plan (mid-day crashes with checkpoint/restore recovery, end-of-day
+# privacy wipes, late joins) must also stay byte-identical across runners
+# and shapes — crash/restart scheduling rides the same deterministic RNG
+# contract as the healthy path.
+echo "=== golden study digest (device chaos plan) ==="
+crash_plan="crash=0d..2d,crash_rate=0.5,restart_delay=2h;wipe=1d..2d,wipe_rate=0.5;join=0d..2d,join_rate=0.5"
+crash_golden="$(cat tests/golden/study_digest_crash.txt)"
+for runner in materialized streaming; do
+  actual_digest="$(./build/examples/studyctl --participants 4 --days 3 \
+      --threads 2 --shards 4 --runner "${runner}" \
+      --fault-plan "${crash_plan}" 2>/dev/null |
+    sed -n 's/^cloud content digest: //p')"
+  if [[ "${actual_digest}" != "${crash_golden}" ]]; then
+    echo "crashed-study digest mismatch (${runner} runner): got" \
+         "'${actual_digest}', expected '${crash_golden}'" >&2
+    exit 1
+  fi
+  echo "crashed-study digest ${actual_digest} matches golden (${runner} runner)"
+done
+
 # Telemetry budget gate: 8 threads hammer the metric hot paths; asserts
 # exact totals, the lock-free handle path beating the registry-lookup path,
 # and absolute ns/op ceilings (see bench_micro_algorithms.cpp).
@@ -72,8 +95,10 @@ run_suite build-asan "" -DPMWARE_SANITIZE="address;undefined" "$@"
 # Concurrency races the striped-counter / sharded-histogram / handle hot
 # paths; Alerting races the recorder + engine through the parallel study's
 # determinism guard. Population races the streaming wave scheduler's
-# workers against the shared fold state and slot arenas.
-run_suite build-tsan "-L Sharding|Caching|SchedulerPerf|Concurrency|Alerting|Population" -DPMWARE_SANITIZE="thread" "$@"
+# workers against the shared fold state and slot arenas. Lifecycle races
+# the crashed-study determinism battery (checkpoint/restore and churn
+# across shards x threads x runners).
+run_suite build-tsan "-L Sharding|Caching|SchedulerPerf|Concurrency|Alerting|Population|Lifecycle" -DPMWARE_SANITIZE="thread" "$@"
 # Chaos leg: the fault-injection / outbox / circuit-breaker battery again
 # under asan+ubsan, isolated so failures point straight at the recovery
 # machinery, plus the cache battery (conditional transfer under faults,
@@ -81,7 +106,10 @@ run_suite build-tsan "-L Sharding|Caching|SchedulerPerf|Concurrency|Alerting|Pop
 # failure counters those faults drive). Reuses the sanitized build above.
 # Population rides along so the bounded-memory guarantee is asserted under
 # asan (every engine-log allocation routed through the slot arenas).
-echo "=== ctest: build-asan chaos (-L Robustness|Caching|Alerting|Population) ==="
-(cd build-asan && ctest --output-on-failure -j "$(nproc)" -L "Robustness|Caching|Alerting|Population")
+# Lifecycle runs the checkpoint/restore corruption battery and the
+# crash/wipe/churn study under asan, where a half-applied restore or a
+# stale pointer across a PMS teardown/reboot would trip immediately.
+echo "=== ctest: build-asan chaos (-L Robustness|Caching|Alerting|Population|Lifecycle) ==="
+(cd build-asan && ctest --output-on-failure -j "$(nproc)" -L "Robustness|Caching|Alerting|Population|Lifecycle")
 
 echo "ci.sh: all five suites passed"

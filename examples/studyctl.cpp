@@ -21,6 +21,13 @@
 // "route=/api/users,error=0.3,from=2d,to=11d;latency=1". The sync
 // reliability digest printed after the run shows how much traffic failed,
 // what the outbox recovered, and whether anything was lost.
+//
+// --churn [SPEC] adds device-side lifecycle rules (crash/restart chaos,
+// privacy wipes, late joins) on top of --fault-plan, e.g.
+// "crash=2d..9d,crash_rate=0.2,restart_delay=2h;wipe=6d..7d,wipe_rate=0.25".
+// Bare --churn applies a canned schedule of all three. Both flags share the
+// same grammar; --churn exists so a chaos schedule can be layered onto a
+// wire-fault plan without editing one combined spec.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -35,6 +42,7 @@
 #include "telemetry/log.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
+#include "util/strfmt.hpp"
 #include "viz/map_render.hpp"
 
 using namespace pmware;
@@ -50,6 +58,8 @@ int usage(const char* argv0) {
                "          [--region india|switzerland]\n"
                "          [--no-wifi] [--no-ads] [--cache on|off]\n"
                "          [--fault-plan SPEC]  (e.g. \"outage=5d..8d\")\n"
+               "          [--churn [SPEC]]  (bare = canned crash/wipe/join "
+               "schedule)\n"
                "          [--progress] [--no-timeseries] [--no-alerts]\n"
                "          [--log-level debug|info|warn|error|off]\n"
                "          [--report FILE.json] [--map FILE.svg]\n",
@@ -100,11 +110,24 @@ int main(int argc, char** argv) {
         config.world.region = world::RegionProfile::switzerland();
       else
         return usage(argv[0]);
-    } else if (arg == "--fault-plan") {
-      const char* v = next();
+    } else if (arg == "--fault-plan" || arg == "--churn") {
+      const char* v =
+          i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0 ? next()
+                                                                  : nullptr;
+      if (!v && arg == "--churn")
+        // Bare --churn: the canned chaos schedule (mid-study crash wave,
+        // privacy wipes, a late-join cohort), same as the bench default.
+        v = "crash=2d..9d,crash_rate=0.2,restart_delay=2h;"
+            "wipe=6d..7d,wipe_rate=0.25;join=0d..5d,join_rate=0.2";
       if (!v) return usage(argv[0]);
       try {
-        config.fault_plan = net::FaultPlan::parse(v);
+        net::FaultPlan plan = net::FaultPlan::parse(v);
+        // --churn merges into whatever --fault-plan already set (and vice
+        // versa), so the two schedules compose instead of clobbering.
+        for (auto& rule : plan.rules)
+          config.fault_plan.rules.push_back(std::move(rule));
+        for (auto& rule : plan.device_rules)
+          config.fault_plan.device_rules.push_back(std::move(rule));
       } catch (const std::invalid_argument& e) {
         std::fprintf(stderr, "%s\n", e.what());
         return usage(argv[0]);
@@ -217,7 +240,7 @@ int main(int argc, char** argv) {
   // --- Sync reliability digest: what failed, what the outbox recovered,
   // and whether anything was actually lost (evicted or still pending).
   std::size_t sync_failures = 0, enqueued = 0, delivered = 0, recovered = 0,
-              evicted = 0, pending = 0;
+              evicted = 0, dropped = 0, pending = 0;
   const auto& reg = telemetry::registry();
   if (!result.participants.empty()) {
     for (const auto& p : result.participants) {
@@ -226,6 +249,7 @@ int main(int argc, char** argv) {
       delivered += p.pms_stats.outbox_delivered;
       recovered += p.pms_stats.outbox_recovered;
       evicted += p.pms_stats.outbox_evicted;
+      dropped += p.pms_stats.outbox_dropped;
       pending += p.pms_stats.outbox_pending;
     }
   } else {
@@ -236,13 +260,14 @@ int main(int argc, char** argv) {
     delivered = reg.family_total("pms_outbox_delivered_total");
     recovered = reg.family_total("pms_outbox_recovered_total");
     evicted = reg.family_total("pms_outbox_evicted_total");
-    pending = enqueued - delivered - evicted;
+    dropped = reg.family_total("pms_outbox_dropped_total");
+    pending = enqueued - delivered - evicted - dropped;
   }
   std::printf("\n--- sync reliability ---\n");
   std::printf("  sync failures:     %zu\n", sync_failures);
   std::printf("  outbox enqueued:   %zu (delivered %zu, recovered after "
-              "retry %zu)\n",
-              enqueued, delivered, recovered);
+              "retry %zu, dropped at crash/wipe %zu)\n",
+              enqueued, delivered, recovered, dropped);
   std::printf("  breaker opens:     %llu (fast fails %llu)\n",
               static_cast<unsigned long long>(
                   reg.family_total("net_breaker_open_total")),
@@ -256,6 +281,27 @@ int main(int argc, char** argv) {
               "%zu still pending)%s\n",
               recovered, lost, evicted, pending,
               lost == 0 ? " — no records lost" : "");
+
+  // --- Device lifecycle digest (only with --churn / device fault rules):
+  // how often devices died and came back, and what the wipe tombstones
+  // refused to let back in.
+  if (config.fault_plan.has_device_rules()) {
+    std::printf("\n--- device lifecycle ---\n");
+    std::printf("  restarts:          %llu\n",
+                static_cast<unsigned long long>(
+                    reg.family_total("pms_restarts_total")));
+    std::printf("  wipe tombstones:   %llu raised, %llu replays rejected\n",
+                static_cast<unsigned long long>(
+                    reg.family_total("cloud_wipe_tombstones_total")),
+                static_cast<unsigned long long>(
+                    reg.family_total("cloud_tombstone_rejections_total")));
+    std::printf("  cold restarts:     %llu profile-days re-pulled from cloud\n",
+                static_cast<unsigned long long>(
+                    reg.family_total("pms_cold_profile_days_recovered_total")));
+    std::printf("  torn tails healed: %llu\n",
+                static_cast<unsigned long long>(
+                    reg.family_total("persistence_torn_tail_total")));
+  }
 
   // Exact (non-lossy) digest line: ci.sh greps this to assert the study is
   // byte-identical to the golden digest committed with each perf PR.
@@ -352,8 +398,14 @@ int main(int argc, char** argv) {
   sync.set("sync_failures", static_cast<std::uint64_t>(sync_failures));
   sync.set("outbox_recovered", static_cast<std::uint64_t>(recovered));
   sync.set("outbox_evicted", static_cast<std::uint64_t>(evicted));
+  sync.set("outbox_dropped", static_cast<std::uint64_t>(dropped));
   sync.set("outbox_pending", static_cast<std::uint64_t>(pending));
-  sync.set("storage_digest", static_cast<std::uint64_t>(result.storage_digest));
+  sync.set("restarts", reg.family_total("pms_restarts_total"));
+  // As a string: Json numbers are doubles, which cannot carry a full
+  // 64-bit digest exactly (matches the decimal form printed above).
+  sync.set("storage_digest",
+           strfmt("%llu", static_cast<unsigned long long>(
+                          result.storage_digest)));
   report.set("sync", std::move(sync));
   std::ofstream(report_path) << report.pretty() << '\n';
   std::printf("report written to %s\n", report_path.c_str());

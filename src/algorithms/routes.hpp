@@ -70,6 +70,13 @@ class RouteStore {
 
   const std::vector<CanonicalRoute>& routes() const { return routes_; }
 
+  /// Replaces the store wholesale (checkpoint restore): indices, the
+  /// representatives, and use counts round-trip, so post-restore add()
+  /// calls merge exactly as they would have.
+  void restore(std::vector<CanonicalRoute> routes) {
+    routes_ = std::move(routes);
+  }
+
   /// Canonical routes between a place pair, most used first.
   std::vector<std::size_t> between(std::size_t from_place,
                                    std::size_t to_place) const;

@@ -28,6 +28,13 @@ constexpr const char* kGcaCacheName = "cloud_gca";
 constexpr const char* kAnalyticsCacheName = "cloud_analytics";
 constexpr std::size_t kAnalyticsCacheCapacity = 1024;
 
+/// The registration session the request claims to act under (0 if absent).
+std::uint64_t request_session(const HttpRequest& request) {
+  const auto it = request.headers.find(net::kSessionHeader);
+  if (it == request.headers.end()) return 0;
+  return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
 }  // namespace
 
 CloudInstance::CloudInstance(CloudConfig config, GeoLocationService geoloc,
@@ -169,6 +176,19 @@ std::optional<HttpResponse> CloudInstance::require_user(
                                "token does not match user");
   user_out = *user;
   return std::nullopt;
+}
+
+std::optional<HttpResponse> CloudInstance::require_writable(
+    const HttpRequest& request, world::DeviceId user) const {
+  if (storage_.write_allowed(user, request_session(request)))
+    return std::nullopt;
+  telemetry::registry()
+      .counter("cloud_tombstone_rejections_total", {},
+               "writes refused because their session was at or below the "
+               "device's wipe tombstone")
+      .inc();
+  return HttpResponse::error(net::kStatusGone,
+                             "user wiped; re-register before writing");
 }
 
 void CloudInstance::register_routes() {
@@ -319,6 +339,11 @@ void CloudInstance::register_routes() {
     body.set("user", static_cast<std::uint64_t>(grant.user));
     body.set("token", grant.token);
     body.set("expires_at", grant.expires_at);
+    // Boot epoch: bumps on every registration of this device. The client
+    // stamps it on mutating requests (X-PMWare-Session) and qualifies its
+    // replay sequence numbers with it — see DESIGN.md "Failure model &
+    // recovery".
+    body.set("session", grant.session);
     return HttpResponse::json(std::move(body), net::kStatusCreated);
   });
 
@@ -342,6 +367,7 @@ void CloudInstance::register_routes() {
                     [this](const HttpRequest& req, const PathParams& params) {
     world::DeviceId user = 0;
     if (auto err = require_user(req, params, user)) return *err;
+    if (auto err = require_writable(req, user)) return *err;
     std::vector<algorithms::CellObservation> observations;
     for (const auto& o : req.body.at("observations").as_array()) {
       observations.push_back(
@@ -453,6 +479,7 @@ void CloudInstance::register_routes() {
                     [this](const HttpRequest& req, const PathParams& params) {
     world::DeviceId user = 0;
     if (auto err = require_user(req, params, user)) return *err;
+    if (auto err = require_writable(req, user)) return *err;
     core::PlaceRecord record = core::place_record_from_json(req.body);
     record.uid = static_cast<core::PlaceUid>(
         std::atoll(params.at("uid").c_str()));
@@ -473,6 +500,7 @@ void CloudInstance::register_routes() {
                     [this](const HttpRequest& req, const PathParams& params) {
     world::DeviceId user = 0;
     if (auto err = require_user(req, params, user)) return *err;
+    if (auto err = require_writable(req, user)) return *err;
     const auto uid = static_cast<core::PlaceUid>(
         std::atoll(params.at("uid").c_str()));
     {
@@ -492,6 +520,7 @@ void CloudInstance::register_routes() {
                     [this](const HttpRequest& req, const PathParams& params) {
     world::DeviceId user = 0;
     if (auto err = require_user(req, params, user)) return *err;
+    if (auto err = require_writable(req, user)) return *err;
     core::MobilityProfile profile = core::profile_from_json(req.body);
     const std::int64_t day = std::atoll(params.at("day").c_str());
     profile.day = day;
@@ -519,6 +548,7 @@ void CloudInstance::register_routes() {
                     [this](const HttpRequest& req, const PathParams& params) {
     world::DeviceId user = 0;
     if (auto err = require_user(req, params, user)) return *err;
+    if (auto err = require_writable(req, user)) return *err;
     algorithms::RouteObservation obs;
     obs.from_place = static_cast<std::size_t>(req.body.get_int("from", 0));
     obs.to_place = static_cast<std::size_t>(req.body.get_int("to", 0));
@@ -599,6 +629,7 @@ void CloudInstance::register_routes() {
                     [this](const HttpRequest& req, const PathParams& params) {
     world::DeviceId user = 0;
     if (auto err = require_user(req, params, user)) return *err;
+    if (auto err = require_writable(req, user)) return *err;
     const auto locked = storage_.locked_user(user);
     // Replay guard mirroring the routes "seq": the batch declares the
     // device-side log index of its first entry, and entries below the
@@ -658,8 +689,11 @@ void CloudInstance::register_routes() {
     world::DeviceId user = 0;
     if (auto err = require_user(req, params, user)) return *err;
     // The GCA state lives in the user's store, so one erase drops
-    // everything — data and clustering state alike.
-    storage_.erase_user(user);
+    // everything — data and clustering state alike. A session-stamped wipe
+    // also leaves a tombstone at that session, permanently fencing out any
+    // still-queued writes from the wiped incarnation (sessionless wipes —
+    // tests, legacy callers — erase without fencing).
+    storage_.erase_user(user, request_session(req));
     return HttpResponse::json(Json::object());
   });
 
@@ -667,6 +701,9 @@ void CloudInstance::register_routes() {
                     [this](const HttpRequest& req, const PathParams& params) {
     world::DeviceId user = 0;
     if (auto err = require_user(req, params, user)) return *err;
+    // Gated too: after a wipe + re-registration, place uids can be reused,
+    // so a replayed delete from the wiped incarnation could hit new data.
+    if (auto err = require_writable(req, user)) return *err;
     const auto uid = static_cast<core::PlaceUid>(
         std::atoll(params.at("uid").c_str()));
     if (!storage_.erase_place(user, uid))

@@ -109,6 +109,12 @@ class CloudInstance {
       const net::HttpRequest& request, const net::PathParams& params,
       world::DeviceId& user_out) const;
 
+  /// Wipe-tombstone gate for mutating handlers: 410 Gone when the request's
+  /// X-PMWare-Session is at or below the user's wipe tombstone (a replay
+  /// from a wiped incarnation — it must never resurrect pre-wipe data).
+  std::optional<net::HttpResponse> require_writable(
+      const net::HttpRequest& request, world::DeviceId user) const;
+
   CloudConfig config_;
   /// Process start, for /healthz uptime (wall clock — the one clock the
   /// simulated transport does not fake).

@@ -82,8 +82,10 @@ CloudStorage::CloudStorage(std::size_t shards)
 CloudStorage::CloudStorage(const CloudStorage& other)
     : shards_(other.shard_count()) {
   const auto locks = other.lock_all();
-  for (std::size_t s = 0; s < shards_.size(); ++s)
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
     shards_[s].users = other.shards_[s].users;
+    shards_[s].tombstones = other.shards_[s].tombstones;
+  }
   archived_.copy_from(other.archived_);
 }
 
@@ -92,15 +94,24 @@ CloudStorage& CloudStorage::operator=(const CloudStorage& other) {
   // Copy out under the source's locks, then redistribute into this
   // storage's shard layout (the counts may differ).
   std::map<world::DeviceId, UserStore> users;
+  std::map<world::DeviceId, std::uint64_t> tombstones;
   {
     const auto locks = other.lock_all();
-    for (const Shard& shard : other.shards_)
+    for (const Shard& shard : other.shards_) {
       for (const auto& [id, store] : shard.users) users[id] = store;
+      for (const auto& [id, session] : shard.tombstones)
+        tombstones[id] = session;
+    }
   }
   const auto locks = lock_all();
-  for (Shard& shard : shards_) shard.users.clear();
+  for (Shard& shard : shards_) {
+    shard.users.clear();
+    shard.tombstones.clear();
+  }
   for (auto& [id, store] : users)
     shards_[shard_of(id)].users[id] = std::move(store);
+  for (const auto& [id, session] : tombstones)
+    shards_[shard_of(id)].tombstones[id] = session;
   // Wholesale replacement mutates every shard: advance the write marks so
   // analytics cache entries tagged against the old content can never
   // validate against the new.
@@ -221,15 +232,41 @@ bool CloudStorage::archive_user(world::DeviceId id) {
   return archived;
 }
 
-bool CloudStorage::erase_user(world::DeviceId id) {
+bool CloudStorage::erase_user(world::DeviceId id, std::uint64_t wipe_session) {
   bool erased = false;
+  bool tombstoned = false;
   {
     const std::size_t s = shard_of(id);
     const auto lock = lock_shard(s);
     erased = shards_[s].users.erase(id) > 0;
+    if (wipe_session > 0) {
+      std::uint64_t& tombstone = shards_[s].tombstones[id];
+      tombstoned = wipe_session > tombstone;
+      tombstone = std::max(tombstone, wipe_session);
+    }
   }
-  if (erased) note_write(id);
+  if (erased || tombstoned) note_write(id);
+  if (tombstoned)
+    telemetry::registry()
+        .counter("cloud_wipe_tombstones_total", {},
+                 "privacy wipes that raised a device's session tombstone")
+        .inc();
   return erased;
+}
+
+bool CloudStorage::write_allowed(world::DeviceId id,
+                                 std::uint64_t session) const {
+  const std::size_t s = shard_of(id);
+  const auto lock = lock_shard(s);
+  const auto it = shards_[s].tombstones.find(id);
+  return it == shards_[s].tombstones.end() || session > it->second;
+}
+
+std::uint64_t CloudStorage::tombstone_session(world::DeviceId id) const {
+  const std::size_t s = shard_of(id);
+  const auto lock = lock_shard(s);
+  const auto it = shards_[s].tombstones.find(id);
+  return it == shards_[s].tombstones.end() ? 0 : it->second;
 }
 
 bool CloudStorage::erase_place(world::DeviceId id, core::PlaceUid place) {

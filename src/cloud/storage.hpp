@@ -175,7 +175,25 @@ class CloudStorage {
 
   /// Deletes everything stored for `id` (privacy wipe, paper §6 future
   /// work), including its GCA state. Returns true if the user had any data.
-  bool erase_user(world::DeviceId id);
+  ///
+  /// `wipe_session` (when non-zero) leaves a tombstone: the registration
+  /// session the wipe was issued under. Writes stamped with a session at or
+  /// below the tombstone — in-flight requests and replayed outbox entries
+  /// from the wiped incarnation — are refused by write_allowed(), so
+  /// pre-wipe data can never be resurrected; a post-wipe re-registration
+  /// gets a strictly larger session and writes normally. Tombstones survive
+  /// the erase itself (they live beside the user map, not in it) and are
+  /// bookkeeping: excluded from content_digest().
+  bool erase_user(world::DeviceId id, std::uint64_t wipe_session = 0);
+
+  /// Whether a write stamped with `session` may land for `id`: true unless
+  /// a wipe tombstone exists with tombstone >= session. A sessionless write
+  /// (session 0) is refused after any wipe of `id`.
+  bool write_allowed(world::DeviceId id, std::uint64_t session) const;
+
+  /// The session recorded by the most recent tombstoning wipe of `id`
+  /// (0 = never wiped). Tests and diagnostics.
+  std::uint64_t tombstone_session(world::DeviceId id) const;
 
   /// Retires `id` from the live store: the user's content digest and record
   /// counts are folded into the archived accumulators, then the live entry
@@ -214,6 +232,10 @@ class CloudStorage {
   struct Shard {
     mutable std::mutex mu;
     std::map<world::DeviceId, UserStore> users;
+    /// Wipe tombstones: device -> registration session at the wipe (see
+    /// erase_user). Kept outside `users` so erasing the store does not
+    /// erase the fence.
+    std::map<world::DeviceId, std::uint64_t> tombstones;
     /// Monotonic completed-write counter (see write_mark); mutable so the
     /// const bookkeeping accessors work, like the mutex above.
     mutable std::atomic<std::uint64_t> writes{0};

@@ -28,8 +28,9 @@ TokenGrant TokenService::register_device(const std::string& imei,
     const auto key = std::make_pair(imei, email);
     auto it = devices_.find(key);
     if (it == devices_.end())
-      it = devices_.emplace(key, next_user_++).first;
-    grant.user = it->second;
+      it = devices_.emplace(key, DeviceInfo{next_user_++, 0}).first;
+    grant.user = it->second.user;
+    grant.session = ++it->second.sessions;
     grant.token = mint_token();
   }
   grant.expires_at = now + ttl_;

@@ -28,6 +28,13 @@ struct TokenGrant {
   world::DeviceId user = 0;
   std::string token;
   SimTime expires_at = 0;
+  /// Registration session: how many times this device has registered, ever
+  /// (1 on first registration, bumped on every re-registration). The
+  /// device's boot epoch — it qualifies replay sequence numbers across
+  /// crash/restart incarnations and keys wipe tombstones, and it comes from
+  /// the cloud precisely so a cold-restarted device (no local state at all)
+  /// still gets a strictly increasing epoch.
+  std::uint64_t session = 0;
 };
 
 class TokenService {
@@ -38,6 +45,9 @@ class TokenService {
 
   /// Registers (or re-registers) a device; idempotent on (imei, email) —
   /// the same device always maps to the same user id, with a fresh token.
+  /// Every call bumps the device's registration session (TokenGrant::
+  /// session), the monotone boot epoch crash recovery and wipe tombstones
+  /// key on.
   TokenGrant register_device(const std::string& imei, const std::string& email,
                              SimTime now);
 
@@ -74,11 +84,16 @@ class TokenService {
   /// Caller must hold reg_mu_ (mint draws from the shared RNG).
   std::string mint_token();
 
+  struct DeviceInfo {
+    world::DeviceId user = 0;
+    std::uint64_t sessions = 0;  ///< registrations so far (TokenGrant::session)
+  };
+
   /// Guards devices_, next_user_, and rng_ — registration-path state only.
   mutable std::mutex reg_mu_;
   Rng rng_;
   SimDuration ttl_;
-  std::map<std::pair<std::string, std::string>, world::DeviceId> devices_;
+  std::map<std::pair<std::string, std::string>, DeviceInfo> devices_;
   world::DeviceId next_user_ = 1;
 
   mutable std::array<TokenShard, kTokenShards> token_shards_;

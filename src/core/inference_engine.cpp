@@ -450,6 +450,38 @@ std::size_t InferenceEngine::recluster(SimTime now) {
   return new_places;
 }
 
+void InferenceEngine::restore_logs(LogSnapshot snapshot) {
+  gsm_log_.assign(snapshot.gsm_log.begin(), snapshot.gsm_log.end());
+  visit_log_.assign(snapshot.visit_log.begin(), snapshot.visit_log.end());
+  route_log_ = std::move(snapshot.route_log);
+  route_store_.restore(std::move(snapshot.routes));
+  encounter_log_ = std::move(snapshot.encounter_log);
+  activity_by_day_ = std::move(snapshot.activity_by_day);
+
+  // Transient state: the crash killed it and nothing here is authoritative.
+  // The cell tracker, cluster/WiFi identity maps, and GCA state are rebuilt
+  // at the next recluster from the restored GSM log; fingerprints re-intern
+  // by signature into the restored place store, so uids stay stable.
+  gca_state_ = algorithms::GcaState(config_.gca);
+  cell_tracker_.reset();
+  cluster_to_uid_.clear();
+  gsm_uid_.reset();
+  wifi_detector_ = algorithms::WifiPlaceDetector(config_.sensloc);
+  wifi_to_uid_.clear();
+  wifi_uid_.reset();
+  last_wifi_scan_ = -1;
+  last_opportunistic_ = -1;
+  activity_ = mobility::Activity::Still;
+  candidate_activity_ = mobility::Activity::Still;
+  candidate_streak_ = 0;
+  last_accel_t_ = -1;
+  emitted_uid_.reset();
+  emitted_since_ = 0;
+  pending_route_.reset();
+  open_encounters_.clear();
+  wifi_area_.clear();
+}
+
 void InferenceEngine::forget_place(PlaceUid uid) {
   std::erase_if(visit_log_,
                 [uid](const LoggedVisit& v) { return v.uid == uid; });

@@ -152,6 +152,11 @@ class InferenceEngine {
   /// (zero summary when the accelerometer never ran that day).
   ActivitySummary activity_for(std::int64_t day) const;
 
+  /// Every day's activity summary (checkpointing).
+  const std::map<std::int64_t, ActivitySummary>& activity_log() const {
+    return activity_by_day_;
+  }
+
   std::optional<PlaceUid> current_place() const { return emitted_uid_; }
 
   /// End-of-study shutdown: flushes the open WiFi visit and the open stay so
@@ -163,6 +168,25 @@ class InferenceEngine {
   /// maps. The place will be re-discovered (under a new uid) if the user
   /// keeps visiting it.
   void forget_place(PlaceUid uid);
+
+  /// The checkpointable data products of the engine (Pms::save/restore).
+  /// Everything else — online trackers, WiFi fingerprints, identity maps,
+  /// GCA state — is transient and rebuilds deterministically from these at
+  /// the next recluster pass.
+  struct LogSnapshot {
+    std::vector<algorithms::CellObservation> gsm_log;
+    std::vector<LoggedVisit> visit_log;
+    std::vector<RouteEvent> route_log;
+    std::vector<algorithms::CanonicalRoute> routes;
+    std::vector<EncounterEvent> encounter_log;
+    std::map<std::int64_t, ActivitySummary> activity_by_day;
+  };
+
+  /// Replaces the engine's logs with a checkpoint's and resets all transient
+  /// state (trackers, open encounters, pending route, current-place latch) —
+  /// a freshly rebooted device knows its history but not where it is until
+  /// sensing resumes. Call before attach()/run.
+  void restore_logs(LogSnapshot snapshot);
 
  private:
   // Sensor callbacks.

@@ -1,6 +1,12 @@
 #include "core/outbox.hpp"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "core/persistence.hpp"
+#include "util/json.hpp"
 
 namespace pmware::core {
 
@@ -16,12 +22,17 @@ const char* kind_name(SyncKind kind) {
 }
 
 SyncOutbox::EnqueueResult SyncOutbox::enqueue(SyncKind kind, std::uint64_t key,
-                                              std::uint64_t key2, SimTime now) {
+                                              std::uint64_t key2, SimTime now,
+                                              std::uint64_t epoch) {
   EnqueueResult result;
   for (OutboxEntry& entry : entries_) {
     if (entry.kind != kind) continue;
     if (kind == SyncKind::EncounterBatch) {
-      // One batch entry covers everything pending; widen it.
+      // One batch entry covers everything pending — but only within a boot
+      // epoch: [key, key2) ranges index that epoch's encounter log, so
+      // widening across epochs would splice two different logs into one
+      // replay range.
+      if (entry.epoch != epoch) continue;
       entry.key = std::min(entry.key, key);
       entry.key2 = std::max(entry.key2, key2);
       return result;
@@ -32,7 +43,7 @@ SyncOutbox::EnqueueResult SyncOutbox::enqueue(SyncKind kind, std::uint64_t key,
     result.evicted = entries_.front();
     entries_.pop_front();
   }
-  entries_.push_back({kind, key, key2, now, 0});
+  entries_.push_back({kind, key, key2, now, 0, epoch});
   result.appended = true;
   return result;
 }
@@ -45,6 +56,52 @@ bool SyncOutbox::remove(SyncKind kind, std::uint64_t key) {
   if (it == entries_.end()) return false;
   entries_.erase(it);
   return true;
+}
+
+void SyncOutbox::save(std::ostream& out) const {
+  for (const OutboxEntry& entry : entries_) {
+    Json j = Json::object();
+    j.set("kind", static_cast<std::int64_t>(entry.kind));
+    j.set("key", entry.key);
+    j.set("key2", entry.key2);
+    j.set("enqueued_at", entry.enqueued_at);
+    j.set("attempts", static_cast<std::int64_t>(entry.attempts));
+    j.set("epoch", entry.epoch);
+    out << j.dump() << '\n';
+  }
+}
+
+SyncOutbox::LoadResult SyncOutbox::load(std::istream& in) {
+  LoadResult result;
+  entries_.clear();
+  std::string line;
+  std::size_t number = 0;
+  while (std::getline(in, line)) {
+    ++number;
+    if (line.empty()) continue;
+    OutboxEntry entry;
+    try {
+      const Json j = Json::parse(line);
+      const std::int64_t kind = j.at("kind").as_int();
+      if (kind < 0 || kind > static_cast<std::int64_t>(SyncKind::EncounterBatch))
+        throw JsonError("unknown sync kind " + std::to_string(kind));
+      entry.kind = static_cast<SyncKind>(kind);
+      entry.key = static_cast<std::uint64_t>(j.at("key").as_int());
+      entry.key2 = static_cast<std::uint64_t>(j.at("key2").as_int());
+      entry.enqueued_at = j.at("enqueued_at").as_int();
+      entry.attempts = static_cast<int>(j.at("attempts").as_int());
+      entry.epoch = static_cast<std::uint64_t>(j.at("epoch").as_int());
+    } catch (const JsonError& error) {
+      throw PersistenceError(number, error.what());
+    }
+    if (config_.capacity > 0 && entries_.size() >= config_.capacity) {
+      entries_.pop_front();
+      ++result.evicted;
+    }
+    entries_.push_back(entry);
+  }
+  result.loaded = entries_.size();
+  return result;
 }
 
 std::size_t SyncOutbox::drain(const Sender& sender) {

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <iosfwd>
 #include <optional>
 
 #include "util/simtime.hpp"
@@ -42,6 +43,13 @@ struct OutboxEntry {
   std::uint64_t key2 = 0;   ///< EncounterBatch only: one-past-last index
   SimTime enqueued_at = 0;
   int attempts = 0;         ///< failed delivery attempts so far
+  /// Boot epoch (cloud registration session) the entry was enqueued under.
+  /// Routes/encounters qualify their replay sequence numbers with it so a
+  /// restarted device's fresh log indices can never collide with — or be
+  /// deduplicated against — a previous incarnation's (DESIGN.md "Failure
+  /// model & recovery"). Entries restored from a checkpoint keep the epoch
+  /// they were enqueued under.
+  std::uint64_t epoch = 0;
 };
 
 /// Bounded FIFO of pending sync work. Single-threaded like the PMS that
@@ -57,10 +65,12 @@ class SyncOutbox {
 
   /// Queues one work item. Entries dedup by (kind, key) — re-enqueueing a
   /// still-pending day or place is a no-op, since delivery reads current
-  /// state anyway. EncounterBatch keeps at most one entry, widening its
-  /// [key, key2) range to cover both batches.
+  /// state anyway. EncounterBatch keeps at most one entry *per epoch*,
+  /// widening its [key, key2) range to cover both batches: ranges from
+  /// different boot epochs index different log incarnations and must never
+  /// merge. `epoch` stamps newly appended entries.
   EnqueueResult enqueue(SyncKind kind, std::uint64_t key, std::uint64_t key2,
-                        SimTime now);
+                        SimTime now, std::uint64_t epoch = 0);
 
   /// Drops a pending entry (e.g. the upsert of a place being forgotten, so
   /// replay cannot resurrect it). True if one was removed.
@@ -80,6 +90,24 @@ class SyncOutbox {
   bool empty() const { return entries_.empty(); }
   const std::deque<OutboxEntry>& entries() const { return entries_; }
   const OutboxConfig& config() const { return config_; }
+
+  /// Serializes every pending entry as JSONL (front first), preserving
+  /// enqueued_at / attempts / epoch so a restored queue resumes exactly
+  /// where the crashed one stopped.
+  void save(std::ostream& out) const;
+
+  struct LoadResult {
+    std::size_t loaded = 0;   ///< entries now queued
+    std::size_t evicted = 0;  ///< oldest entries dropped to fit capacity
+  };
+
+  /// Replaces the queue with the serialized entries. FIFO order, dedup
+  /// state, and per-entry metadata round-trip; entries beyond capacity
+  /// evict oldest-first exactly like live enqueues (the caller counts
+  /// LoadResult::evicted against its eviction metric). Later enqueue()
+  /// calls re-dedup against the restored entries. Throws PersistenceError
+  /// on a malformed line.
+  LoadResult load(std::istream& in);
 
  private:
   OutboxConfig config_;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/codec.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace pmware::core {
 
@@ -12,16 +13,39 @@ namespace {
 
 /// Applies `parse` to every non-empty line; rethrows JSON errors as
 /// PersistenceError with the line number.
+///
+/// Crash tolerance: a malformed FINAL line that the stream cut off without a
+/// trailing newline is a torn append (the writer died mid-line), not
+/// corruption — the reader keeps the parsed prefix, counts the event in
+/// persistence_torn_tail_total, and returns instead of throwing. A complete
+/// (newline-terminated) line that fails to parse still throws: that is
+/// bit-rot, and silently skipping it would hide data loss.
 template <typename Fn>
 void for_each_line(std::istream& in, Fn parse) {
   std::string line;
   std::size_t number = 0;
   while (std::getline(in, line)) {
     ++number;
+    // getline sets eofbit exactly when this line ended at end-of-stream
+    // with no trailing '\n' — the torn-append signature.
+    const bool unterminated = in.eof();
     if (line.empty()) continue;
     try {
       parse(Json::parse(line));
     } catch (const JsonError& error) {
+      if (unterminated) {
+        telemetry::registry()
+            .counter("persistence_torn_tail_total", {},
+                     "JSONL reads that dropped a torn (unterminated, "
+                     "unparseable) final line and recovered the prefix")
+            .inc();
+        return;
+      }
+      throw PersistenceError(number, error.what());
+    } catch (const std::exception& error) {
+      // Structurally valid JSON whose values fail domain validation (a
+      // bit-rotted visit window with end < begin, say) is corruption too:
+      // surface it under the same contract as a malformed line.
       throw PersistenceError(number, error.what());
     }
   }

@@ -36,6 +36,9 @@ void write_profiles(std::ostream& out,
 std::vector<MobilityProfile> read_profiles(std::istream& in);
 
 /// Thrown by readers on malformed lines (carries the 1-based line number).
+/// A malformed *final* line with no trailing newline is a torn append, not
+/// corruption: readers recover the parsed prefix and count the event in the
+/// persistence_torn_tail_total metric instead of throwing.
 class PersistenceError : public std::runtime_error {
  public:
   PersistenceError(std::size_t line, const std::string& what)

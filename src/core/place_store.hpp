@@ -3,6 +3,7 @@
 // (the data behind the visualization & labeling module, paper §2.2.5).
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <vector>
@@ -37,6 +38,21 @@ class PlaceStore {
 
   const std::map<PlaceUid, PlaceRecord>& records() const { return records_; }
   std::size_t size() const { return records_.size(); }
+
+  /// Replaces the registry wholesale (checkpoint restore, cold-restart
+  /// rebuild from cloud records). `next_uid` must exceed every uid in
+  /// `records` so uids are never reused across incarnations — re-discovered
+  /// signatures then intern to their old uids and cloud upserts converge.
+  void restore(std::vector<PlaceRecord> records, PlaceUid next_uid) {
+    records_.clear();
+    for (PlaceRecord& record : records) {
+      const PlaceUid uid = record.uid;
+      next_uid = std::max(next_uid, uid + 1);
+      records_[uid] = std::move(record);
+    }
+    next_uid_ = next_uid;
+  }
+  PlaceUid next_uid() const { return next_uid_; }
 
   std::vector<PlaceUid> with_label(const std::string& label) const;
 

@@ -1,9 +1,13 @@
 #include "core/pms.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
 
 #include "cache/digest.hpp"
 #include "core/codec.hpp"
+#include "core/persistence.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "telemetry/log.hpp"
@@ -26,7 +30,12 @@ constexpr const char* kOutboxEnqueued = "pms_outbox_enqueued_total";
 constexpr const char* kOutboxDelivered = "pms_outbox_delivered_total";
 constexpr const char* kOutboxRecovered = "pms_outbox_recovered_total";
 constexpr const char* kOutboxEvicted = "pms_outbox_evicted_total";
+constexpr const char* kOutboxDropped = "pms_outbox_dropped_total";
 constexpr const char* kOutboxDepth = "pms_outbox_depth";
+constexpr const char* kRestarts = "pms_restarts_total";
+constexpr const char* kCheckpointBytes = "pms_checkpoint_bytes";
+constexpr const char* kRestoreWall = "pms_restore_wall_us";
+constexpr const char* kColdProfileDays = "pms_cold_profile_days_recovered_total";
 
 /// Sync-failure kinds beyond the outbox's SyncKinds (direct sends).
 constexpr const char* kKindLabel = "label";
@@ -48,6 +57,23 @@ constexpr const char* kGcaCacheName = "pms_gca";
 /// The offload cache holds one entry — the result for the current movement
 /// graph; any growth of the graph changes the digest and recomputes.
 constexpr int kGcaCacheKey = 0;
+
+// --- Checkpoint wire format (Pms::save/restore) ---
+// A manifest line {"format","version","lines","digest"} followed by `lines`
+// JSONL lines of sectioned body: each section is a {"section","lines"} header
+// followed by that many payload lines. The digest is fnv1a over the body
+// bytes, so restore() detects a torn or bit-flipped checkpoint before
+// committing anything.
+constexpr const char* kCheckpointFormat = "pms-checkpoint";
+constexpr std::int64_t kCheckpointVersion = 1;
+
+std::uint64_t parse_hex64(const std::string& text) {
+  return std::strtoull(text.c_str(), nullptr, 16);
+}
+
+std::string hex64(std::uint64_t value) {
+  return strfmt("%016llx", static_cast<unsigned long long>(value));
+}
 
 }  // namespace
 
@@ -129,6 +155,7 @@ PmsStats PmwareMobileService::stats() const {
   stats.outbox_delivered = reg.counter_value(kOutboxDelivered, labels);
   stats.outbox_recovered = reg.counter_value(kOutboxRecovered, labels);
   stats.outbox_evicted = reg.counter_value(kOutboxEvicted, labels);
+  stats.outbox_dropped = reg.counter_value(kOutboxDropped, labels);
   stats.outbox_pending = outbox_.size();
   return stats;
 }
@@ -140,6 +167,11 @@ net::HttpRequest PmwareMobileService::make_request(net::Method method,
   request.method = method;
   request.path = std::move(path);
   request.headers["X-Sim-Time"] = std::to_string(now);
+  // Stamp the registration session so the cloud can fence writes from
+  // incarnations that predate a privacy wipe (tombstones, DESIGN.md
+  // "Failure model & recovery").
+  if (boot_epoch_ > 0)
+    request.headers[net::kSessionHeader] = std::to_string(boot_epoch_);
   return request;
 }
 
@@ -162,6 +194,11 @@ bool PmwareMobileService::register_with_cloud(SimTime now) {
   user_id_ = static_cast<world::DeviceId>(response.body.at("user").as_int());
   client_->set_auth_token(response.body.at("token").as_string());
   token_expires_ = response.body.at("expires_at").as_int();
+  // The cloud counts registrations per device; that session number is this
+  // incarnation's boot epoch (qualifies outbox replay sequence numbers,
+  // keys wipe tombstones).
+  boot_epoch_ =
+      static_cast<std::uint64_t>(response.body.get_int("session", 0));
   telemetry::slog_info("pms", now, "registered as user %u", *user_id_);
   return true;
 }
@@ -371,7 +408,8 @@ void PmwareMobileService::enqueue_sync_work(std::int64_t up_to, SimTime now) {
 
 void PmwareMobileService::enqueue(SyncKind kind, std::uint64_t key,
                                   std::uint64_t key2, SimTime now) {
-  const SyncOutbox::EnqueueResult result = outbox_.enqueue(kind, key, key2, now);
+  const SyncOutbox::EnqueueResult result =
+      outbox_.enqueue(kind, key, key2, now, boot_epoch_);
   if (result.appended) outbox_enqueued_counter_->get().inc();
   if (result.evicted) {
     outbox_evicted_counter_->get().inc();
@@ -387,9 +425,24 @@ void PmwareMobileService::enqueue(SyncKind kind, std::uint64_t key,
 
 void PmwareMobileService::drain_outbox(SimTime now) {
   outbox_.drain([&](const OutboxEntry& entry) {
-    if (!deliver(entry, now)) {
-      record_sync_failure(entry.kind, 0, now);
-      return false;
+    switch (deliver(entry, now)) {
+      case DeliverOutcome::Failed:
+        record_sync_failure(entry.kind, 0, now);
+        return false;
+      case DeliverOutcome::Gone:
+        // The cloud tombstoned this user (privacy wipe): replaying is
+        // pointless and forbidden. Drop the entry and keep draining —
+        // deliberate loss, accounted as dropped rather than delivered.
+        counter(kOutboxDropped,
+                "outbox entries discarded (crash/wipe teardown, tombstoned "
+                "user)")
+            .inc();
+        telemetry::slog_warn(
+            "pms", now, "%s sync rejected (user wiped); dropping entry",
+            kind_name(entry.kind));
+        return true;
+      case DeliverOutcome::Delivered:
+        break;
     }
     outbox_delivered_counter_->get().inc();
     if (entry.attempts > 0) outbox_recovered_counter_->get().inc();
@@ -401,29 +454,57 @@ void PmwareMobileService::drain_outbox(SimTime now) {
       .set(static_cast<double>(outbox_.size()));
 }
 
-bool PmwareMobileService::deliver(const OutboxEntry& entry, SimTime now) {
+PmwareMobileService::DeliverOutcome PmwareMobileService::deliver(
+    const OutboxEntry& entry, SimTime now) {
+  // Shared verdict for plain success/failure responses; 410 Gone is the
+  // cloud's permanent "this user was wiped" refusal.
+  const auto verdict = [](const net::HttpResponse& response) {
+    if (response.ok()) return DeliverOutcome::Delivered;
+    if (response.status == net::kStatusGone) return DeliverOutcome::Gone;
+    return DeliverOutcome::Failed;
+  };
+  // Deliveries authenticate their *enqueue-time* session, not the current
+  // boot's: an entry checkpointed before a privacy wipe replays with its old
+  // session and is rejected by the cloud's wipe tombstone (410 -> dropped),
+  // so restored state can never resurrect wiped data.
+  const auto entry_request = [&](net::Method method, const std::string& path) {
+    net::HttpRequest request = make_request(method, path, now);
+    if (entry.epoch > 0)
+      request.headers[net::kSessionHeader] = std::to_string(entry.epoch);
+    return request;
+  };
   switch (entry.kind) {
     case SyncKind::ProfileDay: {
       const auto day = static_cast<std::int64_t>(entry.key);
       const MobilityProfile profile = profile_for(day);
-      if (profile.empty()) return true;  // refined away since enqueue
-      net::HttpRequest request = make_request(
-          net::Method::Put,
-          strfmt("/api/users/%u/profiles/%lld", *user_id_,
-                 static_cast<long long>(day)),
-          now);
+      if (profile.empty())
+        return DeliverOutcome::Delivered;  // refined away since enqueue
+      net::HttpRequest request = entry_request(
+          net::Method::Put, strfmt("/api/users/%u/profiles/%lld", *user_id_,
+                                   static_cast<long long>(day)));
       request.body = to_json(profile);
-      if (!client_->send(request).ok()) return false;
+      const DeliverOutcome outcome = verdict(client_->send(request));
+      if (outcome == DeliverOutcome::Gone &&
+          static_cast<std::size_t>(day) < day_digest_cache_.size()) {
+        // Honor the wipe: content the cloud refused under its pre-wipe
+        // session must not be re-uploaded under the fresh one, so pin the
+        // day's digest as synced. Only a genuinely new refinement of the
+        // day (digest change) syncs again.
+        synced_day_digest_[day] =
+            day_digest_cache_[static_cast<std::size_t>(day)].first;
+      }
+      if (outcome != DeliverOutcome::Delivered) return outcome;
       counter(kProfileSyncs, "mobility-profile days synced to the cloud").inc();
       if (static_cast<std::size_t>(day) < day_digest_cache_.size())
         synced_day_digest_[day] =
             day_digest_cache_[static_cast<std::size_t>(day)].first;
-      return true;
+      return DeliverOutcome::Delivered;
     }
     case SyncKind::PlaceUpsert: {
       const auto uid = static_cast<PlaceUid>(entry.key);
       const PlaceRecord* record = place_store_.get(uid);
-      if (record == nullptr) return true;  // forgotten since enqueue
+      if (record == nullptr)
+        return DeliverOutcome::Delivered;  // forgotten since enqueue
       // The body never carries the locally cached location: the cloud
       // resolves coordinates from the signature in the body on every PUT,
       // so cloud state is a pure function of the record content — a
@@ -431,15 +512,19 @@ bool PmwareMobileService::deliver(const OutboxEntry& entry, SimTime now) {
       // never-failed run (DESIGN.md "Failure model & recovery").
       PlaceRecord stripped = *record;
       stripped.location.reset();
-      net::HttpRequest request = make_request(
-          net::Method::Put,
-          strfmt("/api/users/%u/places/%llu", *user_id_,
-                 static_cast<unsigned long long>(uid)),
-          now);
+      net::HttpRequest request = entry_request(
+          net::Method::Put, strfmt("/api/users/%u/places/%llu", *user_id_,
+                                   static_cast<unsigned long long>(uid)));
       request.body = to_json(stripped);
       const std::uint64_t digest = fnv1a(request.body.dump());
       const net::HttpResponse response = client_->send(request);
-      if (!response.ok()) return false;
+      if (const DeliverOutcome outcome = verdict(response);
+          outcome != DeliverOutcome::Delivered) {
+        // Same wipe-honoring pin as ProfileDay: a tombstoned upsert stays
+        // "synced" so the fresh session never resurrects it.
+        if (outcome == DeliverOutcome::Gone) synced_place_digest_[uid] = digest;
+        return outcome;
+      }
       // Cache the echoed resolution (geofencing and the map UI need
       // positions on-device) — from every echo, so the local view follows
       // the cloud's current resolution instead of pinning the first one.
@@ -448,33 +533,40 @@ bool PmwareMobileService::deliver(const OutboxEntry& entry, SimTime now) {
           mut->location = latlng_from_json(response.body.at("location"));
       }
       synced_place_digest_[uid] = digest;
-      return true;
+      return DeliverOutcome::Delivered;
     }
     case SyncKind::PlaceDelete: {
       const auto uid = static_cast<PlaceUid>(entry.key);
-      const net::HttpResponse response = client_->send(make_request(
+      const net::HttpResponse response = client_->send(entry_request(
           net::Method::Delete,
           strfmt("/api/users/%u/places/%llu", *user_id_,
-                 static_cast<unsigned long long>(uid)),
-          now));
+                 static_cast<unsigned long long>(uid))));
       // 404 means an earlier attempt (or never-synced place) already left
       // the cloud without it: done.
-      return response.ok() || response.status == net::kStatusNotFound;
+      if (response.status == net::kStatusNotFound)
+        return DeliverOutcome::Delivered;
+      return verdict(response);
     }
     case SyncKind::Route: {
       const auto index = static_cast<std::size_t>(entry.key);
       const auto& route_log = engine_.route_log();
-      if (index >= route_log.size()) return true;
+      if (index >= route_log.size()) return DeliverOutcome::Delivered;
       const RouteEvent& event = route_log[index];
       const auto& canonical = engine_.routes().routes();
-      if (event.route_uid >= canonical.size()) return true;  // not canonical
+      if (event.route_uid >= canonical.size())
+        return DeliverOutcome::Delivered;  // not canonical
       const algorithms::RouteObservation& rep =
           canonical[event.route_uid].representative;
-      net::HttpRequest request = make_request(
-          net::Method::Post, strfmt("/api/users/%u/routes", *user_id_), now);
+      net::HttpRequest request = entry_request(
+          net::Method::Post, strfmt("/api/users/%u/routes", *user_id_));
       request.body = Json::object();
       // Replay guard: the cloud skips sequence numbers it already applied.
-      request.body.set("seq", entry.key);
+      // Qualified by the boot epoch the entry was enqueued under: a
+      // checkpointed entry replayed after a crash keeps its original
+      // sequence number (the cloud's high-water mark dedups a pre-crash
+      // delivery), while the new incarnation's fresh log indices sit in a
+      // strictly higher epoch and can never be wrongly deduplicated.
+      request.body.set("seq", (entry.epoch << 32) | entry.key);
       request.body.set("from", static_cast<std::uint64_t>(event.from));
       request.body.set("to", static_cast<std::uint64_t>(event.to));
       request.body.set("start", event.window.begin);
@@ -498,16 +590,16 @@ bool PmwareMobileService::deliver(const OutboxEntry& entry, SimTime now) {
         }
         request.body.set("gps", std::move(gps));
       }
-      return client_->send(request).ok();
+      return verdict(client_->send(request));
     }
     case SyncKind::EncounterBatch: {
       const auto& encounter_log = engine_.encounter_log();
       const std::size_t first = static_cast<std::size_t>(entry.key);
       const std::size_t last =
           std::min(static_cast<std::size_t>(entry.key2), encounter_log.size());
-      if (first >= last) return true;
-      net::HttpRequest request = make_request(
-          net::Method::Post, strfmt("/api/users/%u/contacts", *user_id_), now);
+      if (first >= last) return DeliverOutcome::Delivered;
+      net::HttpRequest request = entry_request(
+          net::Method::Post, strfmt("/api/users/%u/contacts", *user_id_));
       Json encounters = Json::array();
       for (std::size_t i = first; i < last; ++i) {
         const EncounterEvent& event = encounter_log[i];
@@ -520,12 +612,14 @@ bool PmwareMobileService::deliver(const OutboxEntry& entry, SimTime now) {
       }
       request.body = Json::object();
       // Replay guard: the cloud trims entries below its high-water mark.
-      request.body.set("first_index", entry.key);
+      // Epoch-qualified like route sequence numbers; same-epoch ranges are
+      // contiguous, so the cloud's trim arithmetic stays exact.
+      request.body.set("first_index", (entry.epoch << 32) | entry.key);
       request.body.set("encounters", std::move(encounters));
-      return client_->send(request).ok();
+      return verdict(client_->send(request));
     }
   }
-  return true;
+  return DeliverOutcome::Delivered;
 }
 
 void PmwareMobileService::record_sync_failure(SyncKind kind, int status,
@@ -677,7 +771,10 @@ bool PmwareMobileService::forget_place(PlaceUid uid, SimTime now) {
         strfmt("/api/users/%u/places/%llu", *user_id_,
                static_cast<unsigned long long>(uid)),
         now));
-    if (!response.ok() && response.status != net::kStatusNotFound) {
+    // 410 Gone (wiped user) is permanent: queueing a retry would just be
+    // dropped again at drain time.
+    if (!response.ok() && response.status != net::kStatusNotFound &&
+        response.status != net::kStatusGone) {
       record_sync_failure(SyncKind::PlaceDelete, response.status, now);
       enqueue(SyncKind::PlaceDelete, static_cast<std::uint64_t>(uid), 0, now);
     }
@@ -697,6 +794,488 @@ bool PmwareMobileService::wipe_cloud_data(SimTime now) {
     telemetry::slog_warn("pms", now, "cloud wipe failed (%d)", response.status);
   }
   return response.ok();
+}
+
+void PmwareMobileService::save(std::ostream& out) const {
+  std::ostringstream body;
+  const auto emit_section = [&body](const char* name,
+                                    const std::string& payload) {
+    std::size_t lines = 0;
+    for (const char c : payload) lines += (c == '\n');
+    Json header = Json::object();
+    header.set("section", name);
+    header.set("lines", static_cast<std::int64_t>(lines));
+    body << header.dump() << '\n' << payload;
+  };
+
+  {
+    Json j = Json::object();
+    j.set("registration_wanted", registration_wanted_);
+    j.set("next_uid", place_store_.next_uid());
+    j.set("routes_enqueued", static_cast<std::uint64_t>(routes_enqueued_));
+    j.set("encounters_enqueued",
+          static_cast<std::uint64_t>(encounters_enqueued_));
+    // Suffix-upload state: the cloud retained this device's GSM stream, so
+    // the restored incarnation can keep shipping suffixes. If the cloud saw
+    // more than the checkpoint remembers (a pre-crash offload), the prefix
+    // claim fails, the next pass answers 409, and a full upload re-syncs —
+    // self-healing, never silently wrong.
+    j.set("digest_fed", static_cast<std::uint64_t>(digest_fed_));
+    j.set("digest", hex64(digest_));
+    j.set("upload_acked", static_cast<std::uint64_t>(upload_acked_));
+    j.set("upload_digest", hex64(upload_digest_));
+    emit_section("scalars", j.dump() + "\n");
+  }
+  {
+    Json j = Json::object();
+    j.set("sharing_enabled", preferences_.sharing_enabled());
+    Json caps = Json::array();
+    for (const auto& [app, cap] : preferences_.caps()) {
+      Json c = Json::object();
+      c.set("app", app);
+      c.set("cap", static_cast<std::int64_t>(cap));
+      caps.push_back(std::move(c));
+    }
+    j.set("caps", std::move(caps));
+    emit_section("preferences", j.dump() + "\n");
+  }
+  {
+    std::ostringstream s;
+    write_gsm_log(s, engine_.gsm_log());
+    emit_section("gsm_log", s.str());
+  }
+  {
+    std::ostringstream s;
+    write_visit_log(s, engine_.visit_log());
+    emit_section("visit_log", s.str());
+  }
+  {
+    std::ostringstream s;
+    write_place_records(s, place_store_);
+    emit_section("places", s.str());
+  }
+  {
+    // Day profiles are a derived export (recomputed from the logs above),
+    // checkpointed so the on-disk artifact is a complete account of the
+    // device; restore() validates and discards them.
+    std::int64_t last_day = -1;
+    const auto bump = [&last_day](const TimeWindow& w) {
+      last_day = std::max(last_day, day_of(std::max(w.end - 1, w.begin)));
+    };
+    for (const auto& visit : engine_.visit_log()) bump(visit.window);
+    for (const auto& route : engine_.route_log()) bump(route.window);
+    for (const auto& enc : engine_.encounter_log()) bump(enc.window);
+    if (!engine_.activity_log().empty())
+      last_day = std::max(last_day, engine_.activity_log().rbegin()->first);
+    std::vector<MobilityProfile> profiles;
+    for (std::int64_t day = 0; day <= last_day; ++day) {
+      MobilityProfile profile = profile_for(day);
+      if (!profile.empty()) profiles.push_back(std::move(profile));
+    }
+    std::ostringstream s;
+    write_profiles(s, profiles);
+    emit_section("profiles", s.str());
+  }
+  {
+    std::ostringstream s;
+    for (const auto& event : engine_.route_log()) {
+      Json j = Json::object();
+      j.set("route_uid", event.route_uid);
+      j.set("from", event.from);
+      j.set("to", event.to);
+      j.set("start", event.window.begin);
+      j.set("end", event.window.end);
+      j.set("high_accuracy", event.high_accuracy);
+      s << j.dump() << '\n';
+    }
+    emit_section("route_log", s.str());
+  }
+  {
+    std::ostringstream s;
+    for (const auto& route : engine_.routes().routes()) {
+      const algorithms::RouteObservation& rep = route.representative;
+      Json j = Json::object();
+      j.set("use_count", static_cast<std::uint64_t>(route.use_count));
+      j.set("from", static_cast<std::uint64_t>(rep.from_place));
+      j.set("to", static_cast<std::uint64_t>(rep.to_place));
+      j.set("start", rep.window.begin);
+      j.set("end", rep.window.end);
+      if (!rep.cells.cells.empty()) {
+        Json cells = Json::array();
+        for (std::size_t i = 0; i < rep.cells.cells.size(); ++i) {
+          Json c = Json::object();
+          c.set("t", rep.cells.times[i]);
+          c.set("cell", to_json(rep.cells.cells[i]));
+          cells.push_back(std::move(c));
+        }
+        j.set("cells", std::move(cells));
+      }
+      if (!rep.gps.points.empty()) {
+        Json gps = Json::array();
+        for (std::size_t i = 0; i < rep.gps.points.size(); ++i) {
+          Json g = to_json(rep.gps.points[i]);
+          g.set("t", rep.gps.times[i]);
+          gps.push_back(std::move(g));
+        }
+        j.set("gps", std::move(gps));
+      }
+      s << j.dump() << '\n';
+    }
+    emit_section("route_store", s.str());
+  }
+  {
+    std::ostringstream s;
+    for (const auto& enc : engine_.encounter_log()) {
+      Json j = Json::object();
+      j.set("contact", static_cast<std::uint64_t>(enc.contact));
+      j.set("place", enc.place);
+      j.set("start", enc.window.begin);
+      j.set("end", enc.window.end);
+      s << j.dump() << '\n';
+    }
+    emit_section("encounters", s.str());
+  }
+  {
+    std::ostringstream s;
+    for (const auto& [day, summary] : engine_.activity_log()) {
+      Json j = Json::object();
+      j.set("day", day);
+      j.set("still", summary.still);
+      j.set("walking", summary.walking);
+      j.set("vehicle", summary.vehicle);
+      s << j.dump() << '\n';
+    }
+    emit_section("activity", s.str());
+  }
+  {
+    std::ostringstream s;
+    outbox_.save(s);
+    emit_section("outbox", s.str());
+  }
+  {
+    std::ostringstream s;
+    for (const auto& [day, digest] : synced_day_digest_) {
+      Json j = Json::object();
+      j.set("day", day);
+      j.set("digest", hex64(digest));
+      s << j.dump() << '\n';
+    }
+    emit_section("synced_days", s.str());
+  }
+  {
+    std::ostringstream s;
+    for (const auto& [uid, digest] : synced_place_digest_) {
+      Json j = Json::object();
+      j.set("uid", uid);
+      j.set("digest", hex64(digest));
+      s << j.dump() << '\n';
+    }
+    emit_section("synced_places", s.str());
+  }
+
+  const std::string payload = body.str();
+  std::size_t total_lines = 0;
+  for (const char c : payload) total_lines += (c == '\n');
+  Json manifest = Json::object();
+  manifest.set("format", kCheckpointFormat);
+  manifest.set("version", kCheckpointVersion);
+  manifest.set("lines", static_cast<std::int64_t>(total_lines));
+  manifest.set("digest", hex64(fnv1a(payload)));
+  const std::string head = manifest.dump();
+  out << head << '\n' << payload;
+  telemetry::registry()
+      .histogram(kCheckpointBytes, {}, 0, 1 << 20, 64,
+                 "serialized PMS checkpoint size in bytes")
+      .observe(static_cast<double>(head.size() + 1 + payload.size()));
+}
+
+bool PmwareMobileService::restore(std::istream& in) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  std::size_t expected_lines = 0;
+  std::uint64_t expected_digest = 0;
+  try {
+    const Json manifest = Json::parse(line);
+    if (manifest.get_string("format", "") != kCheckpointFormat) return false;
+    if (manifest.get_int("version", 0) != kCheckpointVersion) return false;
+    const std::int64_t lines = manifest.get_int("lines", -1);
+    if (lines < 0) return false;
+    expected_lines = static_cast<std::size_t>(lines);
+    expected_digest = parse_hex64(manifest.get_string("digest", ""));
+  } catch (const JsonError&) {
+    return false;
+  }
+  // A short read (torn checkpoint) or a digest mismatch (bit rot, a torn
+  // final line) both fail before anything is touched.
+  std::vector<std::string> lines;
+  lines.reserve(expected_lines);
+  std::string payload;
+  while (lines.size() < expected_lines && std::getline(in, line)) {
+    payload += line;
+    payload += '\n';
+    lines.push_back(std::move(line));
+  }
+  if (lines.size() < expected_lines) return false;
+  // save() always terminates the body with a newline; getline() would
+  // happily heal a checkpoint whose final '\n' was torn off (the rebuilt
+  // payload is byte-identical), so the missing delimiter itself — eofbit
+  // raised mid-line — is the truncation signal.
+  if (expected_lines > 0 && in.eof()) return false;
+  if (fnv1a(payload) != expected_digest) return false;
+
+  // Parse every section into temporaries; nothing below commits until all
+  // of them decoded.
+  InferenceEngine::LogSnapshot snapshot;
+  std::vector<PlaceRecord> places;
+  PlaceUid next_uid = 1;
+  bool wanted = false;
+  std::size_t routes_enqueued = 0;
+  std::size_t encounters_enqueued = 0;
+  std::size_t digest_fed = 0;
+  std::uint64_t digest = kDigestBasis;
+  std::size_t upload_acked = 0;
+  std::uint64_t upload_digest = kDigestBasis;
+  bool sharing = true;
+  std::vector<std::pair<std::string, Granularity>> caps;
+  SyncOutbox staged_outbox(config_.outbox);
+  SyncOutbox::LoadResult outbox_result;
+  std::map<std::int64_t, std::uint64_t> synced_days;
+  std::map<PlaceUid, std::uint64_t> synced_places;
+  try {
+    std::size_t i = 0;
+    while (i < lines.size()) {
+      const Json header = Json::parse(lines[i++]);
+      const std::string name = header.get_string("section", "");
+      const std::int64_t declared = header.get_int("lines", -1);
+      if (declared < 0 ||
+          static_cast<std::size_t>(declared) > lines.size() - i)
+        return false;
+      const std::size_t count = static_cast<std::size_t>(declared);
+      std::string chunk;
+      for (std::size_t k = 0; k < count; ++k) {
+        chunk += lines[i + k];
+        chunk += '\n';
+      }
+      i += count;
+      std::istringstream section(chunk);
+      if (name == "scalars") {
+        const Json j = Json::parse(lines[i - count]);
+        wanted = j.get_bool("registration_wanted", false);
+        next_uid = static_cast<PlaceUid>(j.get_int("next_uid", 1));
+        routes_enqueued =
+            static_cast<std::size_t>(j.get_int("routes_enqueued", 0));
+        encounters_enqueued =
+            static_cast<std::size_t>(j.get_int("encounters_enqueued", 0));
+        digest_fed = static_cast<std::size_t>(j.get_int("digest_fed", 0));
+        digest = parse_hex64(j.get_string("digest", "cbf29ce484222325"));
+        upload_acked =
+            static_cast<std::size_t>(j.get_int("upload_acked", 0));
+        upload_digest =
+            parse_hex64(j.get_string("upload_digest", "cbf29ce484222325"));
+      } else if (name == "preferences") {
+        const Json j = Json::parse(lines[i - count]);
+        sharing = j.get_bool("sharing_enabled", true);
+        if (j.contains("caps")) {
+          for (const auto& c : j.at("caps").as_array())
+            caps.emplace_back(
+                c.at("app").as_string(),
+                static_cast<Granularity>(c.at("cap").as_int()));
+        }
+      } else if (name == "gsm_log") {
+        snapshot.gsm_log = read_gsm_log(section);
+      } else if (name == "visit_log") {
+        snapshot.visit_log = read_visit_log(section);
+      } else if (name == "places") {
+        places = read_place_records(section);
+      } else if (name == "profiles") {
+        read_profiles(section);  // derived product: validate and discard
+      } else if (name == "route_log") {
+        for (std::size_t k = 0; k < count; ++k) {
+          const Json j = Json::parse(lines[i - count + k]);
+          RouteEvent event;
+          event.route_uid =
+              static_cast<std::uint64_t>(j.get_int("route_uid", 0));
+          event.from = static_cast<PlaceUid>(j.get_int("from", 0));
+          event.to = static_cast<PlaceUid>(j.get_int("to", 0));
+          event.window =
+              TimeWindow{j.get_int("start", 0), j.get_int("end", 0)};
+          event.high_accuracy = j.get_bool("high_accuracy", false);
+          snapshot.route_log.push_back(event);
+        }
+      } else if (name == "route_store") {
+        for (std::size_t k = 0; k < count; ++k) {
+          const Json j = Json::parse(lines[i - count + k]);
+          algorithms::CanonicalRoute route;
+          route.use_count =
+              static_cast<std::size_t>(j.get_int("use_count", 1));
+          algorithms::RouteObservation& rep = route.representative;
+          rep.from_place = static_cast<std::size_t>(j.get_int("from", 0));
+          rep.to_place = static_cast<std::size_t>(j.get_int("to", 0));
+          rep.window = TimeWindow{j.get_int("start", 0), j.get_int("end", 0)};
+          if (j.contains("cells")) {
+            for (const auto& c : j.at("cells").as_array()) {
+              rep.cells.times.push_back(c.at("t").as_int());
+              rep.cells.cells.push_back(cell_from_json(c.at("cell")));
+            }
+          }
+          if (j.contains("gps")) {
+            for (const auto& g : j.at("gps").as_array()) {
+              rep.gps.times.push_back(g.at("t").as_int());
+              rep.gps.points.push_back(latlng_from_json(g));
+            }
+          }
+          snapshot.routes.push_back(std::move(route));
+        }
+      } else if (name == "encounters") {
+        for (std::size_t k = 0; k < count; ++k) {
+          const Json j = Json::parse(lines[i - count + k]);
+          EncounterEvent event;
+          event.contact =
+              static_cast<world::DeviceId>(j.get_int("contact", 0));
+          event.place = static_cast<PlaceUid>(j.get_int("place", 0));
+          event.window =
+              TimeWindow{j.get_int("start", 0), j.get_int("end", 0)};
+          snapshot.encounter_log.push_back(event);
+        }
+      } else if (name == "activity") {
+        for (std::size_t k = 0; k < count; ++k) {
+          const Json j = Json::parse(lines[i - count + k]);
+          ActivitySummary summary;
+          summary.still = j.get_int("still", 0);
+          summary.walking = j.get_int("walking", 0);
+          summary.vehicle = j.get_int("vehicle", 0);
+          snapshot.activity_by_day[j.get_int("day", 0)] = summary;
+        }
+      } else if (name == "outbox") {
+        outbox_result = staged_outbox.load(section);
+      } else if (name == "synced_days") {
+        for (std::size_t k = 0; k < count; ++k) {
+          const Json j = Json::parse(lines[i - count + k]);
+          synced_days[j.get_int("day", 0)] =
+              parse_hex64(j.get_string("digest", "0"));
+        }
+      } else if (name == "synced_places") {
+        for (std::size_t k = 0; k < count; ++k) {
+          const Json j = Json::parse(lines[i - count + k]);
+          synced_places[static_cast<PlaceUid>(j.get_int("uid", 0))] =
+              parse_hex64(j.get_string("digest", "0"));
+        }
+      }
+      // Unknown sections skip silently (forward compatibility).
+    }
+  } catch (const JsonError&) {
+    return false;
+  } catch (const PersistenceError&) {
+    return false;
+  }
+
+  // Commit. Credentials are deliberately NOT restored: the caller must
+  // re-register, which also assigns this incarnation a fresh boot epoch —
+  // restored outbox entries keep the epoch they were enqueued under.
+  engine_.restore_logs(std::move(snapshot));
+  place_store_.restore(std::move(places), next_uid);
+  preferences_.set_sharing_enabled(sharing);
+  for (const auto& [app, cap] : caps) preferences_.set_app_cap(app, cap);
+  outbox_ = std::move(staged_outbox);
+  // Restored entries re-enter this incarnation's books so the study-level
+  // balance (enqueued = delivered + evicted + dropped + pending) holds.
+  if (outbox_result.loaded > 0)
+    outbox_enqueued_counter_->get().inc(outbox_result.loaded);
+  if (outbox_result.evicted > 0)
+    outbox_evicted_counter_->get().inc(outbox_result.evicted);
+  registration_wanted_ = wanted;
+  user_id_.reset();
+  token_expires_ = 0;
+  boot_epoch_ = 0;
+  routes_enqueued_ = routes_enqueued;
+  encounters_enqueued_ = encounters_enqueued;
+  digest_fed_ = digest_fed;
+  digest_ = digest;
+  upload_acked_ = upload_acked;
+  upload_digest_ = upload_digest;
+  synced_day_digest_ = std::move(synced_days);
+  synced_place_digest_ = std::move(synced_places);
+  day_digest_cache_.clear();
+
+  telemetry::registry()
+      .counter(kRestarts, {{"instance", instance_}, {"mode", "warm"}},
+               "PMS reboots by recovery mode (warm = from checkpoint, cold = "
+               "rebuilt from cloud)")
+      .inc();
+  const double wall_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+  telemetry::registry()
+      .histogram(kRestoreWall, {}, 0, 100000, 64,
+                 "checkpoint restore wall time in microseconds")
+      .observe(wall_us);
+  return true;
+}
+
+bool PmwareMobileService::cold_restart(SimTime now) {
+  if (client_ == nullptr) return false;
+  if (!register_with_cloud(now)) return false;
+  const net::HttpResponse response = client_->send(make_request(
+      net::Method::Get, strfmt("/api/users/%u/places", *user_id_), now));
+  if (response.ok()) {
+    std::vector<PlaceRecord> records;
+    try {
+      for (const auto& p : response.body.at("places").as_array())
+        records.push_back(place_record_from_json(p));
+    } catch (const JsonError&) {
+      records.clear();
+    }
+    // These records ARE the cloud's current content: seed the sync marks so
+    // re-upserting them verbatim is skipped, and restore with uid
+    // continuity so re-discovered signatures converge on their old uids.
+    for (const auto& record : records) {
+      PlaceRecord stripped = record;
+      stripped.location.reset();
+      synced_place_digest_[record.uid] = fnv1a(to_json(stripped).dump());
+    }
+    place_store_.restore(std::move(records), 1);
+  } else {
+    // The cloud's uid range is unknown (outage mid-recovery): park this
+    // incarnation's discoveries in a per-epoch uid namespace so they can
+    // never overwrite the cloud's retained records.
+    place_store_.restore(
+        {}, std::max<PlaceUid>(1, static_cast<PlaceUid>(boot_epoch_) << 20));
+  }
+  // Profile days stay cloud-side: local logs are empty and empty days are
+  // never re-uploaded, so the cloud's retained profiles survive untouched.
+  // Count how many it kept for us.
+  std::size_t recovered = 0;
+  for (std::int64_t day = 0; day < day_of(now); ++day) {
+    if (client_
+            ->send(make_request(
+                net::Method::Get,
+                strfmt("/api/users/%u/profiles/%lld", *user_id_,
+                       static_cast<long long>(day)),
+                now))
+            .ok())
+      ++recovered;
+  }
+  if (recovered > 0)
+    counter(kColdProfileDays,
+            "profile days found retained on the cloud during cold restarts")
+        .inc(recovered);
+  telemetry::registry()
+      .counter(kRestarts, {{"instance", instance_}, {"mode", "cold"}},
+               "PMS reboots by recovery mode (warm = from checkpoint, cold = "
+               "rebuilt from cloud)")
+      .inc();
+  return true;
+}
+
+std::size_t PmwareMobileService::discard_pending() {
+  const std::size_t dropped = outbox_.size();
+  if (dropped > 0)
+    counter(kOutboxDropped,
+            "outbox entries discarded (crash/wipe teardown, tombstoned user)")
+        .inc(dropped);
+  return dropped;
 }
 
 void PmwareMobileService::shutdown(SimTime now) {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <optional>
@@ -72,6 +73,7 @@ struct PmsStats {
   std::size_t outbox_delivered = 0;  ///< work items drained successfully
   std::size_t outbox_recovered = 0;  ///< delivered after >= 1 failed attempt
   std::size_t outbox_evicted = 0;    ///< dropped to capacity (data at risk)
+  std::size_t outbox_dropped = 0;    ///< discarded at crash/wipe teardown
   std::size_t outbox_pending = 0;    ///< still queued (lost if never drained)
 };
 
@@ -116,6 +118,43 @@ class PmwareMobileService {
   /// is untouched (callers usually discard the PMS afterwards).
   bool wipe_cloud_data(SimTime now);
 
+  // --- Crash-consistent lifecycle (DESIGN.md "Failure model & recovery") ---
+
+  /// Serializes the complete checkpointable device state — GSM/visit logs,
+  /// place store, day-profile export, route/encounter logs, preferences, the
+  /// sync outbox, and the sync high-water marks — as sectioned JSONL led by
+  /// a manifest line carrying a line count and content digest, so restore()
+  /// can tell a torn checkpoint from a whole one.
+  void save(std::ostream& out) const;
+
+  /// Rebuilds device state from a checkpoint written by save(). All-or-
+  /// nothing: state is parsed into temporaries and committed only if the
+  /// manifest digest matches and every section decodes, so a torn or
+  /// corrupted checkpoint returns false and leaves the (fresh) service
+  /// untouched — the caller falls back to cold_restart(). The caller must
+  /// still register_with_cloud() afterwards: tokens are not checkpointed and
+  /// the new incarnation needs a fresh boot epoch.
+  bool restore(std::istream& in);
+
+  /// No-checkpoint recovery: re-registers (fresh boot epoch) and pulls the
+  /// place registry and profile days back from the cloud. Places restore
+  /// with uid continuity (next uid past the highest cloud uid) so
+  /// re-discovered signatures converge on their old uids; local logs stay
+  /// empty, which is safe because empty profile days are never re-uploaded
+  /// over the cloud's retained ones.
+  bool cold_restart(SimTime now);
+
+  /// Crash/wipe teardown accounting: counts every still-queued outbox entry
+  /// as dropped (pms_outbox_dropped_total) so study-level bookkeeping can
+  /// tell deliberate loss from silent loss. Returns the number dropped.
+  /// Call on the doomed instance before destroying it.
+  std::size_t discard_pending();
+
+  /// Cloud registration session of this incarnation (0 = never registered).
+  /// Qualifies replay sequence numbers and is sent as X-PMWare-Session so
+  /// wipe tombstones can fence writes from pre-wipe incarnations.
+  std::uint64_t boot_epoch() const { return boot_epoch_; }
+
   // --- Data products ---
   const InferenceEngine& inference() const { return engine_; }
   InferenceEngine& inference() { return engine_; }
@@ -159,8 +198,12 @@ class PmwareMobileService {
                SimTime now);
   /// FIFO-delivers queued work until the first failure.
   void drain_outbox(SimTime now);
+  /// Delivery verdict for one outbox entry. Gone (HTTP 410) means the cloud
+  /// permanently refuses writes from this incarnation — the user was wiped —
+  /// so the entry is dropped instead of retried forever.
+  enum class DeliverOutcome { Delivered, Failed, Gone };
   /// Sends one outbox entry, serializing CURRENT local state.
-  bool deliver(const OutboxEntry& entry, SimTime now);
+  DeliverOutcome deliver(const OutboxEntry& entry, SimTime now);
   void record_sync_failure(SyncKind kind, int status, SimTime now);
   /// Per-day content digests for days [0, up_to], one pass over the logs;
   /// .second is false for days whose profile would be empty.
@@ -200,6 +243,11 @@ class PmwareMobileService {
 
   std::optional<world::DeviceId> user_id_;
   SimTime token_expires_ = 0;
+  /// Registration session from the cloud ("session" in the register
+  /// response): monotone per device across incarnations, used to qualify
+  /// outbox replay sequence numbers and stamped on every request so the
+  /// cloud can reject writes from wiped incarnations.
+  std::uint64_t boot_epoch_ = 0;
   /// Set by an explicit register_with_cloud() call; housekeeping retries
   /// registration only when it is wanted but failed — a PMS whose caller
   /// never registered must not register itself.

@@ -26,6 +26,9 @@ class UserPreferences {
   void set_sharing_enabled(bool enabled) { sharing_enabled_ = enabled; }
   bool sharing_enabled() const { return sharing_enabled_; }
 
+  /// All per-app caps, for checkpointing (Pms::save/restore).
+  const std::map<std::string, Granularity>& caps() const { return caps_; }
+
  private:
   std::map<std::string, Granularity> caps_;
   bool sharing_enabled_ = true;

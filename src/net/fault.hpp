@@ -42,18 +42,62 @@ struct FaultOutcome {
   SimDuration added_latency_s = 0;
 };
 
+/// One device-side lifecycle rule (crash/restart chaos and churn), rolled
+/// per (plan seed, device key, sim-day) — the device key is the IMEI, a
+/// stable pre-registration identity, so decisions are byte-identical across
+/// thread/shard counts and runners. Exactly one of crash=/wipe=/join= sets
+/// the window and the kind.
+struct DeviceFaultRule {
+  enum class Kind : std::uint8_t {
+    Crash,  ///< kill the PMS mid-day; restart after `restart_delay`
+    Wipe,   ///< end-of-day erase_user privacy wipe + fresh re-registration
+    Join,   ///< late registration: the device joins on a rolled day
+  };
+  Kind kind = Kind::Crash;
+  SimTime from = 0;  ///< active window, inclusive
+  SimTime to = std::numeric_limits<SimTime>::max();  ///< exclusive
+  /// Per-day hit probability (crash/wipe) or per-device selection
+  /// probability (join). Defaults to 1: `crash=2d..3d` alone crashes every
+  /// device once on day 2, mirroring `outage=`'s certainty.
+  double rate = 1.0;
+  /// Crash only: sim-seconds the device stays dark before rebooting.
+  SimDuration restart_delay = 3600;
+};
+
+/// What the device-side rules decided for one (device, day).
+struct DeviceFaultDecision {
+  std::optional<SimTime> crash_at;  ///< absolute sim-time of the kill
+  SimDuration restart_delay = 0;    ///< dark time after crash_at
+  bool wipe = false;                ///< end-of-day privacy wipe
+};
+
 /// An ordered set of fault rules plus the roll seed. Matching rules all
 /// contribute latency; the first matching rule whose error roll hits
 /// produces the injected response.
 struct FaultPlan {
   std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
   std::vector<FaultRule> rules;
+  std::vector<DeviceFaultRule> device_rules;
 
-  bool empty() const { return rules.empty(); }
+  bool empty() const { return rules.empty() && device_rules.empty(); }
+  bool has_device_rules() const { return !device_rules.empty(); }
 
   /// Evaluates the plan against one request (deterministic; thread-safe —
   /// the plan is immutable after setup).
   FaultOutcome evaluate(const HttpRequest& request) const;
+
+  /// Rolls the device-side rules for one (device, sim-day). A day matches a
+  /// rule when its start lies in [from, to). The first crash rule whose roll
+  /// hits decides crash_at (uniform second within the day, from a second
+  /// roll) and restart_delay; wipe rules are evaluated independently.
+  /// Deterministic in (seed, device_key, day) only.
+  DeviceFaultDecision evaluate_device(const std::string& device_key,
+                                      std::int64_t day) const;
+
+  /// First study day for `device_key`: 0 unless a join rule selects the
+  /// device as a late joiner, in which case a day uniform over the rule's
+  /// window. First matching join rule wins.
+  std::int64_t join_day(const std::string& device_key) const;
 
   /// Parses a plan spec. Grammar (times/durations take an optional
   /// s/m/h/d suffix, default seconds):
@@ -66,9 +110,21 @@ struct FaultPlan {
   ///          | 'error=' PROB | 'status=' CODE
   ///          | 'latency=' DURATION
   ///          | 'seed=' N                  — plan-level roll seed
+  ///          | 'crash=' TIME '..' TIME    — device rule: kill window
+  ///          | 'crash_rate=' PROB         — per-day crash probability
+  ///          | 'restart_delay=' DURATION  — dark time before reboot
+  ///          | 'wipe=' TIME '..' TIME     — device rule: privacy-wipe window
+  ///          | 'wipe_rate=' PROB
+  ///          | 'join=' TIME '..' TIME     — device rule: late-join window
+  ///          | 'join_rate=' PROB          — fraction joining late
+  ///
+  /// A rule is either wire-side or device-side; mixing both kinds of field
+  /// in one ';'-segment is an error, as is more than one of crash=/wipe=/
+  /// join= per segment (each sets the segment's window and kind).
   ///
   /// Examples: "outage=5d..8d"
   ///           "route=/api/users,error=0.25,from=2d,to=12d;latency=2"
+  ///           "crash=2d..9d,crash_rate=0.2,restart_delay=2h;wipe=6d..7d,wipe_rate=0.25"
   /// Empty spec -> empty plan. Throws std::invalid_argument on bad specs.
   static FaultPlan parse(const std::string& spec);
 

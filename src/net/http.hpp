@@ -35,6 +35,12 @@ inline constexpr const char* kAttemptHeader = "X-PMWare-Attempt";
 /// in If-None-Match and a match collapses the exchange to a bodyless 304.
 inline constexpr const char* kETagHeader = "ETag";
 inline constexpr const char* kIfNoneMatchHeader = "If-None-Match";
+/// The device's registration session (boot epoch) stamped on mutating
+/// requests: the cloud refuses writes whose session is at or below the
+/// device's wipe tombstone with 410 Gone, so replayed traffic from a
+/// wiped-then-re-registered device can never resurrect pre-wipe data.
+/// Absent means session 0 — blocked after any wipe.
+inline constexpr const char* kSessionHeader = "X-PMWare-Session";
 
 struct HttpRequest {
   Method method = Method::Get;
@@ -108,6 +114,9 @@ inline constexpr int kStatusNotModified = 304;
 inline constexpr int kStatusBadRequest = 400;
 inline constexpr int kStatusUnauthorized = 401;
 inline constexpr int kStatusNotFound = 404;
+/// Permanent refusal: the write's registration session is at or below the
+/// device's wipe tombstone. Clients must drop the work item, not retry.
+inline constexpr int kStatusGone = 410;
 inline constexpr int kStatusServiceUnavailable = 503;
 
 }  // namespace pmware::net

@@ -5,7 +5,11 @@
 #include <exception>
 #include <map>
 #include <mutex>
+#include <sstream>
 #include <thread>
+
+#include "energy/profile.hpp"
+#include "net/fault.hpp"
 
 #include "telemetry/alerts.hpp"
 #include "telemetry/metrics.hpp"
@@ -84,6 +88,27 @@ void diary_session(core::PmwareMobileService& pms, const world::World& world,
   }
 }
 
+/// Accumulates one incarnation's counter view into a participant's
+/// cross-incarnation total. outbox_pending is queue state, not a counter:
+/// a torn-down incarnation's pending entries were already accounted as
+/// dropped, so only a live incarnation contributes pending.
+void fold_stats(core::PmsStats& into, const core::PmsStats& s, bool dead) {
+  into.place_events_delivered += s.place_events_delivered;
+  into.route_events_delivered += s.route_events_delivered;
+  into.encounters_delivered += s.encounters_delivered;
+  into.profile_syncs += s.profile_syncs;
+  into.token_refreshes += s.token_refreshes;
+  into.gca_offloads += s.gca_offloads;
+  into.gca_local_runs += s.gca_local_runs;
+  into.sync_failures += s.sync_failures;
+  into.outbox_enqueued += s.outbox_enqueued;
+  into.outbox_delivered += s.outbox_delivered;
+  into.outbox_recovered += s.outbox_recovered;
+  into.outbox_evicted += s.outbox_evicted;
+  into.outbox_dropped += s.outbox_dropped;
+  into.outbox_pending = dead ? 0 : s.outbox_pending;
+}
+
 }  // namespace
 
 ParticipantResult DeploymentStudy::run_participant(
@@ -98,14 +123,6 @@ ParticipantResult DeploymentStudy::run_participant(
   const std::vector<mobility::Visit> truth_visits =
       trace.significant_visits(config_.inference.min_visit_dwell);
 
-  auto device = std::make_unique<sensing::Device>(
-      world_, sensing::oracle_from_trace(trace), config_.device, rng.fork(2));
-  auto client = std::make_unique<net::RestClient>(
-      &cloud.router(), config_.network, rng.fork(3));
-  client->set_retry_policy(config_.retry);
-  client->set_breaker_policy(config_.breaker);
-  client->set_cache_policy({config_.cache, 64});
-
   core::PmsConfig pms_config;
   pms_config.imei = strfmt("35824005%07u", participant.id + 1);
   pms_config.email = participant.name + "@study.pmware.org";
@@ -116,36 +133,163 @@ ParticipantResult DeploymentStudy::run_participant(
   pms_config.cache = config_.cache;
   pms_config.arena = arena;
 
-  core::PmwareMobileService pms(std::move(device), pms_config,
-                                std::move(client), rng.fork(4));
+  const net::FaultPlan& plan = config_.fault_plan;
+  const bool churn = plan.has_device_rules();
+  const std::int64_t join_day = churn ? plan.join_day(pms_config.imei) : 0;
 
-  apps::LifeLog lifelog;
-  lifelog.connect(pms);
+  // Device lifecycle: the PMS (and the apps connected to it) live and die
+  // with an incarnation. A crash destroys the stack and reboots it after
+  // restart_delay from the last end-of-day checkpoint; a privacy wipe
+  // destroys it, clears the checkpoint, and re-registers from nothing.
+  std::unique_ptr<core::PmwareMobileService> pms;
+  std::optional<apps::LifeLog> lifelog;
   std::optional<apps::PlaceAds> placeads;
-  if (config_.run_placeads) {
-    placeads.emplace(apps::AdInventory::default_catalogue(), rng.fork(5));
-    placeads->connect(pms);
-  }
 
-  pms.register_with_cloud(0);
+  // Cross-incarnation accumulators: counters from torn-down incarnations
+  // fold in here; the final live incarnation is folded at evaluation.
+  core::PmsStats stats_acc;
+  double joules_acc = 0.0;
+  double total_joules_acc = 0.0;  ///< sensing + baseline, for battery life
+  std::size_t likes_acc = 0, dislikes_acc = 0;
+  std::size_t restarts = 0;
+  std::string checkpoint;  ///< serialized end-of-day state; empty = none
+
+  // Boot one incarnation at sim-time `now`. The first boot draws RNG forks
+  // 2..5 — the exact historical sequence, so no-fault runs replay the golden
+  // digest bit-for-bit. Reboots draw from a disjoint salt range; Rng::fork
+  // consumes parent state, so reboot forks only happen when a fault actually
+  // fired, leaving the no-fault stream untouched.
+  const auto boot = [&](SimTime now, bool recover) {
+    const std::uint64_t base =
+        restarts == 0 ? 2 : 7000 + 8 * static_cast<std::uint64_t>(restarts);
+    auto device = std::make_unique<sensing::Device>(
+        world_, sensing::oracle_from_trace(trace), config_.device,
+        rng.fork(base + 0));
+    auto client = std::make_unique<net::RestClient>(
+        &cloud.router(), config_.network, rng.fork(base + 1));
+    client->set_retry_policy(config_.retry);
+    client->set_breaker_policy(config_.breaker);
+    client->set_cache_policy({config_.cache, 64});
+    pms = std::make_unique<core::PmwareMobileService>(
+        std::move(device), pms_config, std::move(client), rng.fork(base + 2));
+    Rng ads_rng = rng.fork(base + 3);
+    lifelog.emplace();
+    lifelog->connect(*pms);
+    if (config_.run_placeads) {
+      placeads.emplace(apps::AdInventory::default_catalogue(),
+                       std::move(ads_rng));
+      placeads->connect(*pms);
+    }
+    ++restarts;
+    if (recover && !checkpoint.empty()) {
+      std::istringstream in(checkpoint);
+      if (pms->restore(in)) {
+        pms->register_with_cloud(now);  // fresh boot epoch for the survivor
+        return;
+      }
+      checkpoint.clear();  // torn checkpoint: fall through to cold restart
+    }
+    if (recover) {
+      pms->cold_restart(now);  // no usable checkpoint: rebuild from cloud
+      return;
+    }
+    pms->register_with_cloud(now);
+  };
+
+  // Tear down the current incarnation. A crash loses everything the outbox
+  // had not yet synced (discard_pending accounts those as dropped); a clean
+  // teardown only happens at wipe time, where pending entries die with the
+  // erased account anyway.
+  const auto teardown = [&](bool crashed) {
+    if (!pms) return;
+    if (crashed) pms->discard_pending();
+    fold_stats(stats_acc, pms->stats(), /*dead=*/true);
+    joules_acc += pms->meter().sensing_j();
+    total_joules_acc += pms->meter().total_j();
+    if (placeads) {
+      likes_acc += placeads->likes();
+      dislikes_acc += placeads->dislikes();
+    }
+    placeads.reset();
+    lifelog.reset();
+    pms.reset();
+  };
+
+  if (join_day == 0) boot(0, /*recover=*/false);
 
   Rng diary_rng = rng.fork(6);
   std::map<core::PlaceUid, TagState> diary;
+  SimTime down_until = -1;  ///< >= 0: crashed, dark until this sim-time
   for (int day = 0; day < config_.days; ++day) {
-    pms.run(TimeWindow{start_of_day(day), start_of_day(day + 1)});
-    diary_session(pms, *world_, truth_visits, config_, start_of_day(day + 1),
-                  diary_rng, diary);
+    if (day < join_day) {  // late joiner: not enrolled yet
+      note_participant_day();
+      continue;
+    }
+    const SimTime day_begin = start_of_day(day);
+    const SimTime day_end = start_of_day(day + 1);
+    SimTime cursor = day_begin;
+    if (!pms) {
+      if (down_until >= day_end) {  // dark all day (long restart_delay)
+        note_participant_day();
+        continue;
+      }
+      cursor = std::max(day_begin, down_until);
+      down_until = -1;
+      boot(cursor, /*recover=*/true);
+    }
+    const net::DeviceFaultDecision decision =
+        churn ? plan.evaluate_device(pms_config.imei, day)
+              : net::DeviceFaultDecision{};
+    if (decision.crash_at && *decision.crash_at >= cursor &&
+        *decision.crash_at < day_end) {
+      const SimTime crash_at = *decision.crash_at;
+      if (crash_at > cursor) pms->run(TimeWindow{cursor, crash_at});
+      teardown(/*crashed=*/true);
+      const SimTime reboot_at =
+          crash_at + std::max<SimDuration>(0, decision.restart_delay);
+      if (reboot_at < day_end) {
+        boot(reboot_at, /*recover=*/true);
+        pms->run(TimeWindow{reboot_at, day_end});
+      } else {
+        down_until = reboot_at;  // dark across the day boundary
+      }
+    } else {
+      pms->run(TimeWindow{cursor, day_end});
+    }
+    if (pms) {
+      diary_session(*pms, *world_, truth_visits, config_, day_end, diary_rng,
+                    diary);
+      if (decision.wipe) {
+        // Privacy wipe: erase the cloud account (raising the wipe tombstone
+        // against outbox replays), destroy the device state, and start the
+        // next incarnation from scratch under a fresh registration session.
+        pms->wipe_cloud_data(day_end);
+        teardown(/*crashed=*/true);
+        checkpoint.clear();
+        diary.clear();  // the wiped device's places (and uids) are gone
+        boot(day_end, /*recover=*/false);
+      } else if (churn) {
+        std::ostringstream out;
+        pms->save(out);
+        checkpoint = out.str();
+      }
+    }
     note_participant_day();
   }
-  pms.shutdown(start_of_day(config_.days));
-  diary_session(pms, *world_, truth_visits, config_, start_of_day(config_.days),
+  if (!pms) {
+    // Still dark at study end: the participant hands the device back, it
+    // boots once more so the final sync and evaluation see recovered state.
+    boot(start_of_day(config_.days), /*recover=*/true);
+  }
+  pms->shutdown(start_of_day(config_.days));
+  diary_session(*pms, *world_, truth_visits, config_, start_of_day(config_.days),
                 diary_rng, diary);
 
   // --- Evaluation (paper §4) ---
   ParticipantResult result;
   result.profile = participant;
 
-  const auto& log = pms.inference().visit_log();
+  const auto& log = pms->inference().visit_log();
   std::set<core::PlaceUid> discovered;
   for (const auto& v : log) discovered.insert(v.uid);
   result.places_discovered = discovered.size();
@@ -171,14 +315,21 @@ ParticipantResult DeploymentStudy::run_participant(
     result.eval.outcomes[idx] = outcome;
   }
 
-  if (placeads) {
-    result.ad_likes = placeads->likes();
-    result.ad_dislikes = placeads->dislikes();
-  }
-  result.sensing_joules = pms.meter().sensing_j();
+  result.ad_likes = likes_acc + (placeads ? placeads->likes() : 0);
+  result.ad_dislikes = dislikes_acc + (placeads ? placeads->dislikes() : 0);
+  result.sensing_joules = joules_acc + pms->meter().sensing_j();
+  // Battery life from the energy of EVERY incarnation over the study span —
+  // the final meter alone undercounts rebooted devices. A participant that
+  // never drew power (a late joiner rolled past the study end) reports 0
+  // rather than an infinite battery.
+  const double total_j = total_joules_acc + pms->meter().total_j();
+  const double power_w = total_j / static_cast<double>(days(config_.days));
   result.implied_battery_hours =
-      pms.meter().implied_battery_duration_s(days(config_.days)) / 3600.0;
-  result.pms_stats = pms.stats();
+      power_w > 0
+          ? energy::battery_duration_s(energy::Battery{}, power_w) / 3600.0
+          : 0.0;
+  fold_stats(stats_acc, pms->stats(), /*dead=*/false);
+  result.pms_stats = stats_acc;
 
   auto& reg = telemetry::registry();
   reg.counter("study_places_discovered_total", {},
@@ -204,7 +355,7 @@ ParticipantResult DeploymentStudy::run_participant(
   // Figure 5b inventory: every discovered place with a resolvable position.
   if (place_map != nullptr) {
     for (const core::PlaceUid uid : discovered) {
-      const core::PlaceRecord* record = pms.places().get(uid);
+      const core::PlaceRecord* record = pms->places().get(uid);
       if (record == nullptr) continue;
       PlaceMapEntry entry;
       entry.participant = static_cast<int>(participant.id);
@@ -221,7 +372,7 @@ ParticipantResult DeploymentStudy::run_participant(
   // fold its cloud record into the archived accumulators (digest and stats
   // invariant) so the live store only ever holds the active wave.
   if (retire) {
-    if (const auto uid = pms.user_id()) cloud.storage().archive_user(*uid);
+    if (const auto uid = pms->user_id()) cloud.storage().archive_user(*uid);
   }
   return result;
 }

@@ -70,8 +70,12 @@ std::string diagnostics_summary(const Tracer& tracer,
 /// pmware_build_info gauge in "metrics", 8 = adds the deployment-study
 /// "population_sweep" block (streaming-runner scale ladder: wall time,
 /// participant-days/sec, peak RSS, cloud request rate, and per-shard
-/// request heat at N = 16 / 1k / 10k / 100k).
-inline constexpr int kBenchSchemaVersion = 8;
+/// request heat at N = 16 / 1k / 10k / 100k), 9 = adds the
+/// deployment-study "chaos_sweep" block (device-lifecycle chaos: crash/
+/// restart injection, privacy wipes, and late joins, with determinism
+/// digests per shards x threads x cache x runner shape, wipe-tombstone
+/// counters, and checkpoint-size / restore-latency distributions).
+inline constexpr int kBenchSchemaVersion = 9;
 
 /// Reproducibility metadata embedded in every BENCH_*.json, so the perf
 /// trajectory stays comparable across PRs. Zero fields mean "not

@@ -683,5 +683,89 @@ TEST_F(CloudFixture, HealthzReportsShardCount) {
             static_cast<std::int64_t>(CloudStorage::kDefaultShards));
 }
 
+TEST_F(CloudFixture, RegistrationCountsSessionsPerDevice) {
+  HttpRequest req = request(Method::Post, "/api/register");
+  req.headers.erase("Authorization");
+  req.body = Json::object();
+  req.body.set("imei", "imei-s");
+  req.body.set("email", "s@x.y");
+  const HttpResponse first = cloud_.router().handle(req);
+  ASSERT_EQ(first.status, net::kStatusCreated);
+  EXPECT_EQ(first.body.at("session").as_int(), 1);
+  const HttpResponse again = cloud_.router().handle(req);
+  ASSERT_EQ(again.status, net::kStatusCreated);
+  EXPECT_EQ(again.body.at("session").as_int(), 2);
+  // A different device has its own session sequence.
+  req.body.set("imei", "imei-t");
+  EXPECT_EQ(cloud_.router().handle(req).body.at("session").as_int(), 1);
+}
+
+// The wipe-tombstone invariant: after a privacy wipe, a replayed write
+// carrying the wiped incarnation's session can never resurrect pre-wipe
+// data, while the re-registered incarnation (strictly newer session)
+// writes freely. Sharding-labeled because the tombstone map lives on the
+// per-user shard and must survive the erase that empties the shard.
+TEST_F(CloudFixture, WipeTombstoneRejectsOldSessionReplay) {
+  const world::DeviceId user = register_device("imei-w", "w@x.y");
+  const std::string base = "/api/users/" + std::to_string(user);
+
+  HttpRequest put = request(Method::Put, base + "/places/7");
+  core::PlaceRecord record;
+  record.uid = 7;
+  put.body = core::to_json(record);
+  put.headers[net::kSessionHeader] = "1";
+  ASSERT_EQ(cloud_.router().handle(put).status, net::kStatusCreated);
+
+  // Session-qualified privacy wipe raises the tombstone at session 1.
+  HttpRequest wipe = request(Method::Delete, base);
+  wipe.headers[net::kSessionHeader] = "1";
+  ASSERT_TRUE(cloud_.router().handle(wipe).ok());
+  EXPECT_EQ(cloud_.storage().find_user(user), nullptr);
+
+  // The device re-registers: session 2.
+  const world::DeviceId again = register_device("imei-w", "w@x.y");
+  ASSERT_EQ(again, user);
+
+  // A replayed outbox write from the wiped incarnation is refused 410...
+  HttpRequest replay = request(Method::Put, base + "/places/7");
+  replay.body = core::to_json(record);
+  replay.headers[net::kSessionHeader] = "1";
+  EXPECT_EQ(cloud_.router().handle(replay).status, net::kStatusGone);
+  // ...as is a write carrying no session at all (pre-session client)...
+  HttpRequest sessionless = request(Method::Put, base + "/places/7");
+  sessionless.body = core::to_json(record);
+  EXPECT_EQ(cloud_.router().handle(sessionless).status, net::kStatusGone);
+  // ...while the new incarnation writes through.
+  HttpRequest fresh = request(Method::Put, base + "/places/8");
+  core::PlaceRecord fresh_record;
+  fresh_record.uid = 8;
+  fresh.body = core::to_json(fresh_record);
+  fresh.headers[net::kSessionHeader] = "2";
+  EXPECT_EQ(cloud_.router().handle(fresh).status, net::kStatusCreated);
+
+  // The resurrected write never landed.
+  const auto* store = cloud_.storage().find_user(user);
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->places.count(7), 0u);
+  EXPECT_EQ(store->places.count(8), 1u);
+  EXPECT_GE(telemetry::registry().family_total(
+                "cloud_tombstone_rejections_total"),
+            2u);
+}
+
+TEST_F(CloudFixture, SessionlessWipeErasesWithoutFencing) {
+  const world::DeviceId user = register_device("imei-v", "v@x.y");
+  const std::string base = "/api/users/" + std::to_string(user);
+  // A wipe with no session header (legacy admin path) erases the account
+  // but raises no tombstone: later writes are not fenced.
+  ASSERT_TRUE(cloud_.router().handle(request(Method::Delete, base)).ok());
+  EXPECT_EQ(cloud_.storage().find_user(user), nullptr);
+  HttpRequest put = request(Method::Put, base + "/places/3");
+  core::PlaceRecord record;
+  record.uid = 3;
+  put.body = core::to_json(record);
+  EXPECT_EQ(cloud_.router().handle(put).status, net::kStatusCreated);
+}
+
 }  // namespace
 }  // namespace pmware::cloud

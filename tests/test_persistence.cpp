@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <sstream>
 
 namespace pmware::core {
@@ -136,6 +137,107 @@ TEST(Persistence, AppendedLogsConcatenate) {
   write_gsm_log(stream, first);
   write_gsm_log(stream, second);
   EXPECT_EQ(read_gsm_log(stream).size(), 2u);
+}
+
+// --- Corruption fuzzing over all four JSONL products. The contract under
+// attack: a truncation is always a torn tail (the reader heals it and
+// returns the intact prefix, never throws), while an interior bit flip
+// either still parses, or throws PersistenceError with a line number —
+// never anything else, never a crash or hang.
+
+/// A representative serialized stream per product, plus a replayable reader.
+struct FuzzProduct {
+  const char* name;
+  std::string bytes;
+  std::function<std::size_t(std::istream&)> read;  ///< returns record count
+};
+
+std::vector<FuzzProduct> fuzz_products() {
+  std::vector<FuzzProduct> products;
+  {
+    std::vector<CellObservation> log;
+    for (int i = 0; i < 12; ++i) log.push_back({i * 60, cell(100 + i % 3)});
+    std::stringstream s;
+    write_gsm_log(s, log);
+    products.push_back({"gsm_log", s.str(), [](std::istream& in) {
+                          return read_gsm_log(in).size();
+                        }});
+  }
+  {
+    std::vector<LoggedVisit> log;
+    for (int i = 0; i < 8; ++i)
+      log.push_back({static_cast<PlaceUid>(i + 1),
+                     TimeWindow{hours(i), hours(i + 1)}});
+    std::stringstream s;
+    write_visit_log(s, log);
+    products.push_back({"visit_log", s.str(), [](std::istream& in) {
+                          return read_visit_log(in).size();
+                        }});
+  }
+  {
+    PlaceStore store;
+    const auto [uid1, c1] =
+        store.intern(algorithms::WifiSignature{{1, 2}}, Granularity::Building);
+    store.set_label(uid1, "home");
+    const auto [uid2, c2] = store.intern(
+        algorithms::CellSignature{{cell(1), cell(2)}}, Granularity::Area);
+    (void)c1;
+    (void)c2;
+    std::stringstream s;
+    write_place_records(s, store);
+    products.push_back({"place_records", s.str(), [](std::istream& in) {
+                          return read_place_records(in).size();
+                        }});
+  }
+  {
+    std::vector<MobilityProfile> profiles(3);
+    for (int d = 0; d < 3; ++d) {
+      profiles[d].user = 1;
+      profiles[d].day = d;
+      profiles[d].places = {{5, hours(9), hours(17)}};
+    }
+    std::stringstream s;
+    write_profiles(s, profiles);
+    products.push_back({"profiles", s.str(), [](std::istream& in) {
+                          return read_profiles(in).size();
+                        }});
+  }
+  return products;
+}
+
+TEST(Persistence, EveryTruncationHealsAsTornTail) {
+  for (const auto& product : fuzz_products()) {
+    SCOPED_TRACE(product.name);
+    std::istringstream whole(product.bytes);
+    const std::size_t full_count = product.read(whole);
+    ASSERT_GT(full_count, 0u);
+    for (std::size_t cut = 0; cut < product.bytes.size(); ++cut) {
+      std::istringstream in(product.bytes.substr(0, cut));
+      std::size_t count = ~std::size_t{0};
+      EXPECT_NO_THROW(count = product.read(in)) << "cut at byte " << cut;
+      EXPECT_LT(count, full_count + 1) << "cut at byte " << cut;
+    }
+  }
+}
+
+TEST(Persistence, BitFlipsEitherParseOrThrowPersistenceError) {
+  for (const auto& product : fuzz_products()) {
+    SCOPED_TRACE(product.name);
+    for (std::size_t pos = 0; pos < product.bytes.size(); ++pos) {
+      for (const unsigned char mask : {0x01, 0x20, 0x80}) {
+        std::string corrupt = product.bytes;
+        corrupt[pos] = static_cast<char>(corrupt[pos] ^ mask);
+        std::istringstream in(corrupt);
+        try {
+          const std::size_t count = product.read(in);
+          EXPECT_LE(count, product.bytes.size());  // sane, no wild growth
+        } catch (const PersistenceError& error) {
+          EXPECT_GE(error.line(), 1u);  // detected, with a line number
+        }
+        // Any other exception type escapes and fails the test.
+      }
+    }
+  }
 }
 
 }  // namespace
